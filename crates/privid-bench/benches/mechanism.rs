@@ -1,0 +1,21 @@
+//! Criterion micro-benchmarks for the Laplace mechanism and report-noisy-max.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use privid::LaplaceMechanism;
+use std::hint::black_box;
+
+fn bench_mechanism(c: &mut Criterion) {
+    c.bench_function("laplace_release", |b| {
+        let mut mech = LaplaceMechanism::new(1);
+        b.iter(|| black_box(mech.release(black_box(1234.0), 140.0, 1.0)));
+    });
+
+    c.bench_function("report_noisy_max_105_cameras", |b| {
+        let mut mech = LaplaceMechanism::new(2);
+        let candidates: Vec<(String, f64)> = (0..105).map(|i| (format!("porto{i}"), (i * 37 % 997) as f64)).collect();
+        b.iter(|| black_box(mech.release_argmax(black_box(&candidates), 30.0, 1.0)));
+    });
+}
+
+criterion_group!(benches, bench_mechanism);
+criterion_main!(benches);

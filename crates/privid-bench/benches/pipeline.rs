@@ -1,0 +1,34 @@
+//! Criterion benchmark of the end-to-end split → process → aggregate → noise
+//! pipeline (the per-query cost an analyst experiences).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use privid::{ChunkProcessor, PrivacyPolicy, PrividSystem, SceneConfig, SceneGenerator, UniqueEntrantProcessor};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(0.5).with_arrival_scale(0.3)).generate();
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    for (name, chunk_secs) in [("chunk_5s", 5.0), ("chunk_30s", 30.0)] {
+        group.bench_function(format!("count_query_10min_{name}"), |b| {
+            b.iter(|| {
+                let mut sys = PrividSystem::new(1);
+                sys.register_camera("campus", scene.clone(), PrivacyPolicy::new(90.0, 2, 1e9));
+                sys.register_processor("proc", || {
+                    Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>
+                });
+                let query = format!(
+                    "SPLIT campus BEGIN 0 END 600 BY TIME {chunk_secs} sec STRIDE 0 sec INTO c;
+                     PROCESS c USING proc TIMEOUT 1 sec PRODUCING 20 ROWS WITH SCHEMA (count:NUMBER=0) INTO t;
+                     SELECT COUNT(*) FROM t CONSUMING 1.0;"
+                );
+                black_box(sys.execute_text(&query).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

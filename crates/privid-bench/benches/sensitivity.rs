@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks for query parsing and sensitivity propagation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use privid::query::{SensitivityContext, TableProfile};
+use privid::{parse_query, Aggregation, Relation, SelectStatement, Value};
+use std::hint::black_box;
+
+fn bench_sensitivity(c: &mut Criterion) {
+    let mut ctx = SensitivityContext::new();
+    for name in ["t0", "t1", "t2", "t3"] {
+        ctx.register(
+            name,
+            TableProfile { max_rows_per_chunk: 10, chunk_secs: 5.0, rho_secs: 30.0, k: 2, num_chunks: 535_680 },
+        );
+    }
+
+    c.bench_function("sensitivity_grouped_count", |b| {
+        let stmt = SelectStatement::simple(Aggregation::count("plate"), Relation::table("t0").distinct_on(vec!["plate"]))
+            .group_by_keys("color", vec![Value::str("RED"), Value::str("WHITE"), Value::str("SILVER")]);
+        b.iter(|| black_box(ctx.statement_sensitivities(black_box(&stmt), 1).unwrap()));
+    });
+
+    c.bench_function("sensitivity_three_way_join_avg", |b| {
+        let joined = Relation::table("t0")
+            .join(Relation::table("t1"), vec!["plate"], privid::query::ast::JoinKind::Inner)
+            .join(Relation::table("t2"), vec!["plate"], privid::query::ast::JoinKind::Outer)
+            .limit(10_000);
+        let stmt = SelectStatement::simple(Aggregation::avg("speed", 30.0, 60.0), joined);
+        b.iter(|| black_box(ctx.statement_sensitivities(black_box(&stmt), 1).unwrap()));
+    });
+
+    c.bench_function("parse_listing1", |b| {
+        let text = r#"
+            SPLIT camA BEGIN 0 END 744 hr BY TIME 5 sec STRIDE 0 sec INTO chunksA;
+            PROCESS chunksA USING model.py TIMEOUT 1 sec PRODUCING 10 ROWS
+                WITH SCHEMA (plate:STRING="", color:STRING="", speed:NUMBER=0) INTO tableA;
+            SELECT AVG(range(speed, 30, 60)) FROM tableA;
+            SELECT color, COUNT(plate) FROM (SELECT plate, color FROM tableA GROUP BY plate)
+                GROUP BY color WITH KEYS ["RED", "WHITE", "SILVER"];"#;
+        b.iter(|| black_box(parse_query(black_box(text)).unwrap()));
+    });
+}
+
+criterion_group!(benches, bench_sensitivity);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion benchmarks of the CV substrate: detection + tracking over a
+//! segment, the workload of the video owner's (ρ, K) estimation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use privid::video::TimeSpan;
+use privid::{DurationEstimator, SceneConfig, SceneGenerator};
+use std::hint::black_box;
+
+fn bench_tracking(c: &mut Criterion) {
+    let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(0.25).with_arrival_scale(0.3)).generate();
+    let mut group = c.benchmark_group("tracking");
+    group.sample_size(10);
+    group.bench_function("duration_estimation_5min_campus", |b| {
+        let estimator = DurationEstimator::for_video("campus");
+        b.iter(|| black_box(estimator.estimate(black_box(&scene), &TimeSpan::between_secs(0.0, 300.0))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tracking);
+criterion_main!(benches);

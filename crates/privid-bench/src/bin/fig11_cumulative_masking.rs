@@ -1,0 +1,11 @@
+//! Regenerates the paper's fig11 cumulative masking experiment. Pass `--full` for the
+//! larger (slower) configuration.
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") {
+        privid_bench::Scale::full()
+    } else {
+        privid_bench::Scale::quick()
+    };
+    print!("{}", privid_bench::fig11_cumulative_masking(scale));
+}

@@ -1,0 +1,11 @@
+//! Regenerates every table and figure of the paper in one run (the output
+//! recorded in EXPERIMENTS.md). Pass `--full` for the larger configuration.
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") {
+        privid_bench::Scale::full()
+    } else {
+        privid_bench::Scale::quick()
+    };
+    print!("{}", privid_bench::run_all(scale));
+}

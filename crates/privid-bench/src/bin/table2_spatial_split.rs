@@ -1,0 +1,11 @@
+//! Regenerates the paper's table2 spatial split experiment. Pass `--full` for the
+//! larger (slower) configuration.
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") {
+        privid_bench::Scale::full()
+    } else {
+        privid_bench::Scale::quick()
+    };
+    print!("{}", privid_bench::table2_spatial_split(scale));
+}

@@ -1,0 +1,11 @@
+//! Regenerates the paper's table6 masking effectiveness experiment. Pass `--full` for the
+//! larger (slower) configuration.
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") {
+        privid_bench::Scale::full()
+    } else {
+        privid_bench::Scale::quick()
+    };
+    print!("{}", privid_bench::table6_masking_effectiveness(scale));
+}

@@ -1,0 +1,165 @@
+//! The per-frame privacy-budget ledger of Algorithm 1 (§6.4).
+//!
+//! Rather than one global ε per video, Privid gives *every frame* its own
+//! budget. A query over interval `[a, b]` requesting ε_Q is admitted only if
+//! every frame in the expanded interval `[a − ρ, b + ρ]` still has at least
+//! ε_Q remaining; on admission only the frames in `[a, b]` are debited. The
+//! ±ρ margin guarantees that a single event segment (duration ≤ ρ) can never
+//! straddle two queries that were admitted against disjoint budgets
+//! (Theorem 6.2, case 2).
+
+use parking_lot::Mutex;
+use privid_video::{Seconds, TimeSpan};
+
+/// Per-frame budget state for one camera. Budgets are tracked at a fixed
+/// slot resolution (default: one slot per second of video), which matches
+/// the paper's per-frame semantics for any query whose window boundaries are
+/// whole seconds.
+#[derive(Debug)]
+pub struct BudgetLedger {
+    /// Budget remaining per slot.
+    slots: Mutex<Vec<f64>>,
+    /// Slot duration in seconds.
+    slot_secs: f64,
+    /// Initial per-frame budget.
+    initial: f64,
+}
+
+impl BudgetLedger {
+    /// Create a ledger covering `duration_secs` of video with `initial`
+    /// budget per frame, at one-second resolution.
+    pub fn new(duration_secs: Seconds, initial: f64) -> Self {
+        Self::with_resolution(duration_secs, initial, 1.0)
+    }
+
+    /// Create a ledger with an explicit slot resolution.
+    pub fn with_resolution(duration_secs: Seconds, initial: f64, slot_secs: f64) -> Self {
+        assert!(slot_secs > 0.0);
+        let n = (duration_secs / slot_secs).ceil().max(1.0) as usize;
+        BudgetLedger { slots: Mutex::new(vec![initial; n]), slot_secs, initial }
+    }
+
+    /// The initial per-frame budget.
+    pub fn initial_budget(&self) -> f64 {
+        self.initial
+    }
+
+    fn slot_range(&self, span: &TimeSpan) -> (usize, usize) {
+        let slots = self.slots.lock();
+        let n = slots.len();
+        let lo = ((span.start.as_secs() / self.slot_secs).floor().max(0.0) as usize).min(n.saturating_sub(1));
+        let hi = ((span.end.as_secs() / self.slot_secs).ceil() as usize).clamp(lo + 1, n);
+        (lo, hi)
+    }
+
+    /// Minimum remaining budget over a span.
+    pub fn min_remaining(&self, span: &TimeSpan) -> f64 {
+        let (lo, hi) = self.slot_range(span);
+        let slots = self.slots.lock();
+        slots[lo..hi].iter().cloned().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Algorithm 1, lines 1–5: admit the query iff every slot in
+    /// `window ± rho_margin` has at least `epsilon` remaining, then debit
+    /// `epsilon` from the slots of `window` only. Returns the minimum
+    /// remaining budget (over the margin-expanded window) when the query is
+    /// rejected.
+    pub fn check_and_debit(&self, window: &TimeSpan, rho_margin: Seconds, epsilon: f64) -> Result<(), f64> {
+        let expanded = window.expand(rho_margin);
+        let (elo, ehi) = self.slot_range(&expanded);
+        let (wlo, whi) = self.slot_range(window);
+        let mut slots = self.slots.lock();
+        let min = slots[elo..ehi].iter().cloned().fold(f64::INFINITY, f64::min);
+        // Tolerate floating-point accumulation at the boundary.
+        if min + 1e-9 < epsilon {
+            return Err(min);
+        }
+        for s in &mut slots[wlo..whi] {
+            *s -= epsilon;
+        }
+        Ok(())
+    }
+
+    /// Remaining budget at a specific time (seconds).
+    pub fn remaining_at(&self, secs: f64) -> f64 {
+        let slots = self.slots.lock();
+        let idx = ((secs / self.slot_secs).floor().max(0.0) as usize).min(slots.len() - 1);
+        slots[idx]
+    }
+}
+
+impl Clone for BudgetLedger {
+    fn clone(&self) -> Self {
+        BudgetLedger { slots: Mutex::new(self.slots.lock().clone()), slot_secs: self.slot_secs, initial: self.initial }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_and_debits_only_the_window() {
+        let ledger = BudgetLedger::new(3600.0, 1.0);
+        let window = TimeSpan::between_secs(600.0, 1200.0);
+        ledger.check_and_debit(&window, 30.0, 0.4).unwrap();
+        assert!((ledger.remaining_at(900.0) - 0.6).abs() < 1e-9, "inside the window is debited");
+        assert!((ledger.remaining_at(590.0) - 1.0).abs() < 1e-9, "the ρ margin is checked but not debited");
+        assert!((ledger.remaining_at(1230.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_when_budget_insufficient() {
+        let ledger = BudgetLedger::new(3600.0, 1.0);
+        let window = TimeSpan::between_secs(0.0, 1800.0);
+        ledger.check_and_debit(&window, 60.0, 0.7).unwrap();
+        // A second query over an overlapping window asking 0.7 again must fail…
+        let err = ledger.check_and_debit(&TimeSpan::between_secs(900.0, 2700.0), 60.0, 0.7).unwrap_err();
+        assert!((err - 0.3).abs() < 1e-9, "reports the limiting remaining budget");
+        // …but a cheaper one succeeds.
+        ledger.check_and_debit(&TimeSpan::between_secs(900.0, 2700.0), 60.0, 0.3).unwrap();
+    }
+
+    #[test]
+    fn margin_prevents_adjacent_window_double_spend() {
+        // Two windows that are closer than ρ share the margin frames, so the
+        // second query sees the first query's debit through the margin check.
+        let ledger = BudgetLedger::new(3600.0, 1.0);
+        ledger.check_and_debit(&TimeSpan::between_secs(0.0, 1000.0), 100.0, 0.8).unwrap();
+        // Window starting 50 s after the first one ends: within the ρ margin.
+        let res = ledger.check_and_debit(&TimeSpan::between_secs(1050.0, 2000.0), 100.0, 0.8);
+        assert!(res.is_err(), "margin overlap must force both queries onto the same budget");
+        // A window more than ρ away draws from a disjoint budget.
+        ledger.check_and_debit(&TimeSpan::between_secs(1200.0, 2000.0), 100.0, 0.8).unwrap();
+    }
+
+    #[test]
+    fn budget_depletes_to_zero_and_blocks() {
+        let ledger = BudgetLedger::new(600.0, 1.0);
+        let w = TimeSpan::between_secs(0.0, 600.0);
+        for _ in 0..4 {
+            ledger.check_and_debit(&w, 0.0, 0.25).unwrap();
+        }
+        assert!(ledger.check_and_debit(&w, 0.0, 0.25).is_err());
+        assert!(ledger.min_remaining(&w).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamps_out_of_range_windows() {
+        let ledger = BudgetLedger::new(100.0, 1.0);
+        // Window extending past the recorded video is clamped, not a panic.
+        ledger.check_and_debit(&TimeSpan::between_secs(50.0, 500.0), 10.0, 0.5).unwrap();
+        assert!((ledger.remaining_at(99.0) - 0.5).abs() < 1e-9);
+        assert!((ledger.remaining_at(10.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clone_snapshots_state() {
+        let ledger = BudgetLedger::new(100.0, 1.0);
+        ledger.check_and_debit(&TimeSpan::between_secs(0.0, 100.0), 0.0, 0.5).unwrap();
+        let snapshot = ledger.clone();
+        ledger.check_and_debit(&TimeSpan::between_secs(0.0, 100.0), 0.0, 0.5).unwrap();
+        assert!((snapshot.remaining_at(50.0) - 0.5).abs() < 1e-9);
+        assert!(ledger.remaining_at(50.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,127 @@
+//! Graceful degradation of privacy beyond the `(ρ, K)` bound (Appendix C).
+//!
+//! Privid protects `(ρ, K)`-bounded events with ε-DP; events that exceed the
+//! bound are not revealed outright but become progressively easier for an
+//! adversary to detect. Equation C.3 bounds the adversary's probability of
+//! correctly deciding an individual is present, given a false-positive budget
+//! α and the effective ε an over-long appearance experiences. Fig. 8 plots
+//! this bound against persistence measured in multiples of ρ; this module
+//! regenerates that curve.
+
+use serde::{Deserialize, Serialize};
+
+/// Upper bound on the probability an adversary with false-positive tolerance
+/// `alpha` correctly detects the event, when the event is protected with
+/// `effective_epsilon`-DP (Eq. C.3):
+/// `min{ e^ε·α, e^{-ε}·(α − (1 − e^ε)) }`, clamped into `[0, 1]`.
+pub fn detection_probability_bound(effective_epsilon: f64, alpha: f64) -> f64 {
+    let eps = effective_epsilon.max(0.0);
+    let a = alpha.clamp(0.0, 1.0);
+    let first = eps.exp() * a;
+    let second = (-eps).exp() * (a - (1.0 - eps.exp()));
+    first.min(second).clamp(0.0, 1.0)
+}
+
+/// One point of the Fig. 8 curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegradationPoint {
+    /// Actual persistence divided by the protected ρ (the x-axis of Fig. 8).
+    pub persistence_ratio: f64,
+    /// Maximum detection probability (the y-axis of Fig. 8).
+    pub detection_probability: f64,
+}
+
+/// The Fig. 8 curve for one adversarial confidence level α.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradationCurve {
+    /// False-positive tolerance of the adversary.
+    pub alpha: f64,
+    /// Baseline ε protecting exactly-(ρ, K)-bounded events.
+    pub epsilon: f64,
+    /// Curve points, in increasing persistence ratio.
+    pub points: Vec<DegradationPoint>,
+}
+
+impl DegradationCurve {
+    /// Compute the curve for persistence ratios `0..=max_ratio` with the given
+    /// step. An event whose persistence is `r·ρ` experiences roughly `r·ε`
+    /// (the appearance spans proportionally more chunks), which is the
+    /// effective ε fed into Eq. C.3.
+    pub fn compute(epsilon: f64, alpha: f64, max_ratio: f64, step: f64) -> Self {
+        assert!(step > 0.0);
+        let mut points = Vec::new();
+        let mut r = 0.0;
+        while r <= max_ratio + 1e-9 {
+            points.push(DegradationPoint {
+                persistence_ratio: r,
+                detection_probability: detection_probability_bound(epsilon * r, alpha),
+            });
+            r += step;
+        }
+        DegradationCurve { alpha, epsilon, points }
+    }
+
+    /// The four α levels plotted in Fig. 8.
+    pub fn figure8(epsilon: f64) -> Vec<DegradationCurve> {
+        [0.001, 0.01, 0.1, 0.2].iter().map(|&a| DegradationCurve::compute(epsilon, a, 12.0, 0.25)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_is_a_probability() {
+        for eps in [0.0, 0.5, 1.0, 3.0, 10.0] {
+            for alpha in [0.001, 0.01, 0.1, 0.2, 0.9] {
+                let p = detection_probability_bound(eps, alpha);
+                assert!((0.0..=1.0).contains(&p), "eps {eps} alpha {alpha} gave {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn at_zero_epsilon_adversary_is_limited_to_alpha() {
+        // With perfect privacy the adversary can do no better than their
+        // false-positive budget.
+        assert!((detection_probability_bound(0.0, 0.1) - 0.1).abs() < 1e-12);
+        assert!((detection_probability_bound(0.0, 0.01) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bound_is_monotone_in_epsilon() {
+        for alpha in [0.001, 0.01, 0.1, 0.2] {
+            let mut prev = 0.0;
+            for i in 0..50 {
+                let eps = i as f64 * 0.2;
+                let p = detection_probability_bound(eps, alpha);
+                assert!(p + 1e-12 >= prev, "detection bound must not decrease with epsilon");
+                prev = p;
+            }
+        }
+    }
+
+    #[test]
+    fn curve_shape_matches_fig8() {
+        let curves = DegradationCurve::figure8(1.0);
+        assert_eq!(curves.len(), 4);
+        for c in &curves {
+            // Starts at α (ratio 0 → effective ε 0), saturates at 1 for large ratios.
+            assert!((c.points[0].detection_probability - c.alpha).abs() < 1e-9);
+            assert!(c.points.last().unwrap().detection_probability > 0.99);
+            // Lower α curves lie below higher α curves at every ratio.
+        }
+        for i in 0..curves[0].points.len() {
+            assert!(curves[0].points[i].detection_probability <= curves[3].points[i].detection_probability + 1e-12);
+        }
+    }
+
+    #[test]
+    fn events_within_the_bound_get_baseline_protection() {
+        // persistence_ratio = 1 → effective ε = ε.
+        let c = DegradationCurve::compute(1.0, 0.1, 2.0, 1.0);
+        let at_one = c.points.iter().find(|p| (p.persistence_ratio - 1.0).abs() < 1e-9).unwrap();
+        assert!((at_one.detection_probability - detection_probability_bound(1.0, 0.1)).abs() < 1e-12);
+    }
+}

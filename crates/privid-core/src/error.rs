@@ -1,0 +1,79 @@
+//! Error type for the Privid system layer.
+
+use privid_query::QueryError;
+use std::fmt;
+
+/// Errors the Privid system can return to an analyst.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrividError {
+    /// The query referenced a camera the video owner has not registered.
+    UnknownCamera(String),
+    /// The query referenced a processor executable that was not attached.
+    UnknownProcessor(String),
+    /// The query referenced a mask the video owner has not published.
+    UnknownMask(String),
+    /// The query referenced a region scheme the video owner has not published.
+    UnknownRegionScheme(String),
+    /// The per-frame privacy budget is insufficient for this query (Alg. 1).
+    BudgetExhausted {
+        /// Camera whose budget is insufficient.
+        camera: String,
+        /// Budget requested by the query.
+        requested: f64,
+        /// Minimum remaining budget over the required frame range.
+        available: f64,
+    },
+    /// Spatial splitting with soft boundaries requires single-frame chunks (§7.2).
+    SoftBoundaryChunkTooLarge {
+        /// The chunk duration requested.
+        chunk_secs: f64,
+        /// The camera's frame duration (the maximum allowed).
+        frame_secs: f64,
+    },
+    /// An error from the query layer (parse, validation, sensitivity).
+    Query(QueryError),
+    /// The query structure is invalid (e.g. SELECT references an undefined table).
+    Invalid(String),
+}
+
+impl fmt::Display for PrividError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrividError::UnknownCamera(c) => write!(f, "unknown camera: {c}"),
+            PrividError::UnknownProcessor(p) => write!(f, "unknown processor executable: {p}"),
+            PrividError::UnknownMask(m) => write!(f, "unknown mask: {m}"),
+            PrividError::UnknownRegionScheme(r) => write!(f, "unknown region scheme: {r}"),
+            PrividError::BudgetExhausted { camera, requested, available } => {
+                write!(f, "privacy budget exhausted for camera {camera}: requested {requested}, available {available}")
+            }
+            PrividError::SoftBoundaryChunkTooLarge { chunk_secs, frame_secs } => write!(
+                f,
+                "spatial splitting over soft boundaries requires chunks of one frame ({frame_secs} s), got {chunk_secs} s"
+            ),
+            PrividError::Query(e) => write!(f, "query error: {e}"),
+            PrividError::Invalid(m) => write!(f, "invalid query: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PrividError {}
+
+impl From<QueryError> for PrividError {
+    fn from(e: QueryError) -> Self {
+        PrividError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: PrividError = QueryError::UnknownColumn("speed".into()).into();
+        assert!(e.to_string().contains("speed"));
+        let b = PrividError::BudgetExhausted { camera: "campus".into(), requested: 1.0, available: 0.25 };
+        assert!(b.to_string().contains("campus"));
+        assert!(PrividError::UnknownMask("m1".into()).to_string().contains("m1"));
+    }
+}

@@ -1,0 +1,147 @@
+//! The Laplace mechanism (§6.1) and report-noisy-max for ARGMAX releases.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Sample Laplace(0, scale) noise using inverse-CDF sampling.
+pub fn laplace_noise(rng: &mut StdRng, scale: f64) -> f64 {
+    if scale <= 0.0 {
+        return 0.0;
+    }
+    // u uniform in (-0.5, 0.5]; inverse CDF of the Laplace distribution.
+    let u: f64 = rng.gen_range(-0.5..0.5);
+    -scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+}
+
+/// Report-noisy-max: add independent Laplace noise (same scale) to every
+/// candidate's count and return the winning key. Used for ARGMAX releases
+/// (Q6), where the released value is categorical rather than numeric.
+pub fn report_noisy_max(rng: &mut StdRng, candidates: &[(String, f64)], scale: f64) -> Option<String> {
+    candidates
+        .iter()
+        .map(|(k, v)| (k.clone(), v + laplace_noise(rng, scale)))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .map(|(k, _)| k)
+}
+
+/// A seeded Laplace mechanism bound to a sensitivity/ε pair.
+#[derive(Debug, Clone)]
+pub struct LaplaceMechanism {
+    rng: StdRng,
+}
+
+impl LaplaceMechanism {
+    /// Construct a mechanism with a fixed seed (reproducible experiments).
+    pub fn new(seed: u64) -> Self {
+        LaplaceMechanism { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The noise scale `b = Δ/ε` for a release.
+    pub fn scale(sensitivity: f64, epsilon: f64) -> f64 {
+        if epsilon <= 0.0 {
+            f64::INFINITY
+        } else {
+            sensitivity / epsilon
+        }
+    }
+
+    /// Release a numeric value with ε-DP given its sensitivity.
+    pub fn release(&mut self, raw: f64, sensitivity: f64, epsilon: f64) -> f64 {
+        raw + laplace_noise(&mut self.rng, Self::scale(sensitivity, epsilon))
+    }
+
+    /// Release the key with the (noisily) largest count.
+    pub fn release_argmax(&mut self, candidates: &[(String, f64)], sensitivity: f64, epsilon: f64) -> Option<String> {
+        report_noisy_max(&mut self.rng, candidates, Self::scale(sensitivity, epsilon))
+    }
+
+    /// Draw a single Laplace(0, scale) sample (exposed for analyses that need
+    /// raw noise, e.g. the Fig. 5 noise ribbon).
+    pub fn sample(&mut self, scale: f64) -> f64 {
+        laplace_noise(&mut self.rng, scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_is_zero_mean_with_correct_spread() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let scale = 5.0;
+        let samples: Vec<f64> = (0..n).map(|_| laplace_noise(&mut rng, scale)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let mad = samples.iter().map(|x| x.abs()).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.2, "mean {mean} should be near 0");
+        // E|X| = b for Laplace(0, b).
+        assert!((mad - scale).abs() < 0.25, "mean absolute deviation {mad} should be near {scale}");
+    }
+
+    #[test]
+    fn zero_scale_adds_no_noise() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(laplace_noise(&mut rng, 0.0), 0.0);
+        let mut m = LaplaceMechanism::new(3);
+        assert_eq!(m.release(42.0, 0.0, 1.0), 42.0);
+    }
+
+    #[test]
+    fn scale_is_sensitivity_over_epsilon() {
+        assert_eq!(LaplaceMechanism::scale(10.0, 2.0), 5.0);
+        assert!(LaplaceMechanism::scale(10.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn empirical_dp_bound_on_neighbouring_counts() {
+        // Statistical check of the ε-DP inequality for a COUNT with Δ = 1:
+        // releases on neighbouring databases (raw 100 vs raw 101) must satisfy
+        // P[A(D) ∈ S] ≤ e^ε P[A(D') ∈ S] for interval events S.
+        let epsilon = 1.0;
+        let scale = 1.0 / epsilon;
+        let n = 60_000;
+        let mut rng = StdRng::seed_from_u64(7);
+        let a: Vec<f64> = (0..n).map(|_| 100.0 + laplace_noise(&mut rng, scale)).collect();
+        let b: Vec<f64> = (0..n).map(|_| 101.0 + laplace_noise(&mut rng, scale)).collect();
+        for (lo, hi) in [(99.0, 100.0), (100.0, 101.0), (101.0, 102.0), (98.0, 103.0)] {
+            let pa = a.iter().filter(|x| **x >= lo && **x < hi).count() as f64 / n as f64;
+            let pb = b.iter().filter(|x| **x >= lo && **x < hi).count() as f64 / n as f64;
+            if pa > 0.01 && pb > 0.01 {
+                let ratio = pa.max(pb) / pa.min(pb).max(1e-9);
+                assert!(ratio <= epsilon.exp() * 1.15, "interval [{lo},{hi}): ratio {ratio} exceeds e^ε");
+            }
+        }
+    }
+
+    #[test]
+    fn reproducible_for_a_seed() {
+        let mut a = LaplaceMechanism::new(11);
+        let mut b = LaplaceMechanism::new(11);
+        for _ in 0..10 {
+            assert_eq!(a.release(5.0, 2.0, 1.0), b.release(5.0, 2.0, 1.0));
+        }
+        let mut c = LaplaceMechanism::new(12);
+        assert_ne!(a.release(5.0, 2.0, 1.0), c.release(5.0, 2.0, 1.0));
+    }
+
+    #[test]
+    fn noisy_max_usually_picks_the_true_winner_when_gap_is_large() {
+        let mut m = LaplaceMechanism::new(5);
+        let candidates =
+            vec![("porto20".to_string(), 5000.0), ("porto3".to_string(), 1200.0), ("porto7".to_string(), 800.0)];
+        let mut wins = 0;
+        for _ in 0..200 {
+            if m.release_argmax(&candidates, 10.0, 1.0).as_deref() == Some("porto20") {
+                wins += 1;
+            }
+        }
+        assert!(wins > 190, "clear winner should almost always survive the noise, got {wins}/200");
+    }
+
+    #[test]
+    fn noisy_max_empty_candidates() {
+        let mut m = LaplaceMechanism::new(6);
+        assert_eq!(m.release_argmax(&[], 1.0, 1.0), None);
+    }
+}

@@ -1,0 +1,100 @@
+//! Privacy policies: the `(ρ, K)` bound and per-camera budget the video owner
+//! chooses (§5.2, §6.1), plus the per-mask policy map of §7.1.
+
+use privid_video::{Mask, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// A per-camera privacy policy: all `(ρ, K)`-bounded events are protected
+/// with ε-DP, and `epsilon_budget` bounds the total leakage over the camera's
+/// lifetime (each frame carries this much budget, Algorithm 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrivacyPolicy {
+    /// Maximum duration of a single protected appearance, in seconds.
+    pub rho_secs: Seconds,
+    /// Maximum number of protected appearances.
+    pub k: u32,
+    /// Per-frame privacy budget (total ε available for queries touching a frame).
+    pub epsilon_budget: f64,
+}
+
+impl PrivacyPolicy {
+    /// Construct a policy. Panics on non-positive ρ or ε, or zero K.
+    pub fn new(rho_secs: Seconds, k: u32, epsilon_budget: f64) -> Self {
+        assert!(rho_secs >= 0.0, "rho must be non-negative");
+        assert!(k >= 1, "K must be at least 1");
+        assert!(epsilon_budget > 0.0, "epsilon budget must be positive");
+        PrivacyPolicy { rho_secs, k, epsilon_budget }
+    }
+
+    /// The `(ρ, K)` pair.
+    pub fn bound(&self) -> (Seconds, u32) {
+        (self.rho_secs, self.k)
+    }
+
+    /// The effective ε protecting an event that is `(ρ, c·K)`-bounded instead
+    /// of `(ρ, K)`-bounded when a query consumed `epsilon` (§5.3): the
+    /// guarantee degrades linearly in the number of appearances.
+    pub fn effective_epsilon_for_k(&self, epsilon: f64, actual_k: u32) -> f64 {
+        epsilon * actual_k as f64 / self.k as f64
+    }
+}
+
+/// A published mask together with the (smaller) ρ it certifies (§7.1): the
+/// video owner re-analyses historical footage with the mask applied and
+/// publishes the reduced maximum observable duration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MaskPolicy {
+    /// The mask applied to every frame before the analyst's processor runs.
+    pub mask: Mask,
+    /// The maximum observable duration under this mask, in seconds.
+    pub rho_secs: Seconds,
+}
+
+impl MaskPolicy {
+    /// Construct a mask policy.
+    pub fn new(mask: Mask, rho_secs: Seconds) -> Self {
+        MaskPolicy { mask, rho_secs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privid_video::{FrameSize, GridSpec};
+
+    #[test]
+    fn policy_construction_and_bound() {
+        let p = PrivacyPolicy::new(90.0, 2, 5.0);
+        assert_eq!(p.bound(), (90.0, 2));
+        assert_eq!(p.epsilon_budget, 5.0);
+    }
+
+    #[test]
+    fn effective_epsilon_scales_with_k() {
+        // §5.3: a (ρ, 2K)-bounded event gets 2ε; a (ρ, K/2)-bounded event gets ε/2.
+        let p = PrivacyPolicy::new(30.0, 2, 1.0);
+        assert_eq!(p.effective_epsilon_for_k(1.0, 4), 2.0);
+        assert_eq!(p.effective_epsilon_for_k(1.0, 1), 0.5);
+        assert_eq!(p.effective_epsilon_for_k(1.0, 2), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_k_rejected() {
+        PrivacyPolicy::new(30.0, 0, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_positive_epsilon_rejected() {
+        PrivacyPolicy::new(30.0, 1, 0.0);
+    }
+
+    #[test]
+    fn mask_policy_holds_reduced_rho() {
+        let grid = GridSpec::coarse(FrameSize::full_hd());
+        let mp = MaskPolicy::new(Mask::empty(grid), 45.0);
+        assert_eq!(mp.rho_secs, 45.0);
+        assert!(mp.mask.is_empty());
+    }
+}

@@ -1,0 +1,115 @@
+//! Spatial splitting (§7.2): divide the frame into regions so each
+//! individual's presence occupies a smaller share of the intermediate table,
+//! and the per-chunk output range (and hence the noise) shrinks.
+//!
+//! Table 2 quantifies the opportunity by comparing the maximum number of
+//! objects visible in one chunk for the whole frame against the maximum for
+//! any single region; [`region_output_ranges`] reproduces that measurement.
+
+use privid_video::{ChunkSpec, RegionScheme, Scene, TimeSpan};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// The Table 2 measurement for one scene and region scheme.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionRangeReport {
+    /// Maximum number of distinct private objects visible in any single chunk
+    /// over the whole frame.
+    pub max_per_chunk_frame: usize,
+    /// Maximum number of distinct private objects visible in any single
+    /// (chunk, region) cell.
+    pub max_per_chunk_region: usize,
+    /// `max_per_chunk_frame / max_per_chunk_region` — the factor by which the
+    /// required output range (and noise) can shrink.
+    pub reduction_factor: f64,
+}
+
+/// Measure the whole-frame vs per-region maximum per-chunk output (Table 2).
+pub fn region_output_ranges(
+    scene: &Scene,
+    window: &TimeSpan,
+    spec: &ChunkSpec,
+    scheme: &RegionScheme,
+) -> RegionRangeReport {
+    let dt = scene.frame_rate.frame_duration();
+    let mut max_frame = 0usize;
+    let mut max_region = 0usize;
+    for span in spec.chunk_spans(window) {
+        let mut frame_ids: HashSet<u64> = HashSet::new();
+        let mut region_ids: Vec<HashSet<u64>> = vec![HashSet::new(); scheme.len()];
+        let n = (span.duration() / dt).ceil().max(1.0) as u64;
+        for i in 0..n {
+            let t = span.start.add_secs(i as f64 * dt);
+            if !span.contains(t) {
+                break;
+            }
+            for obs in scene.observations_at(t) {
+                if !obs.class.is_private() {
+                    continue;
+                }
+                frame_ids.insert(obs.object_id.0);
+                if let Some(region) = scheme.region_of(&obs.bbox) {
+                    region_ids[region.id as usize].insert(obs.object_id.0);
+                }
+            }
+        }
+        max_frame = max_frame.max(frame_ids.len());
+        max_region = max_region.max(region_ids.iter().map(|s| s.len()).max().unwrap_or(0));
+    }
+    RegionRangeReport {
+        max_per_chunk_frame: max_frame,
+        max_per_chunk_region: max_region,
+        reduction_factor: if max_region == 0 { 1.0 } else { max_frame as f64 / max_region as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privid_video::{SceneConfig, SceneGenerator};
+
+    #[test]
+    fn splitting_reduces_the_required_range() {
+        let scene = SceneGenerator::new(SceneConfig::highway().with_duration_hours(0.2).with_arrival_scale(0.3))
+            .generate();
+        let scheme = scene.region_schemes["default"].clone();
+        let report =
+            region_output_ranges(&scene, &TimeSpan::from_secs(600.0), &ChunkSpec::contiguous(5.0), &scheme);
+        assert!(report.max_per_chunk_frame >= report.max_per_chunk_region);
+        assert!(report.reduction_factor >= 1.0);
+        assert!(
+            report.reduction_factor > 1.2,
+            "two highway directions should split the per-chunk load: {report:?}"
+        );
+    }
+
+    #[test]
+    fn reduction_factor_is_one_for_a_single_region_covering_everything() {
+        let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(0.1)).generate();
+        let whole = RegionScheme::new(
+            vec![privid_video::Region {
+                id: 0,
+                name: "all".into(),
+                bbox: privid_video::BoundingBox::new(0.0, 0.0, scene.frame_size.width as f64, scene.frame_size.height as f64),
+            }],
+            privid_video::RegionBoundary::Soft,
+        );
+        let report =
+            region_output_ranges(&scene, &TimeSpan::from_secs(300.0), &ChunkSpec::contiguous(5.0), &whole);
+        assert_eq!(report.max_per_chunk_frame, report.max_per_chunk_region);
+        assert!((report.reduction_factor - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_window_yields_zero_maxima() {
+        let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(0.1)).generate();
+        let scheme = scene.region_schemes["default"].clone();
+        let report = region_output_ranges(
+            &scene,
+            &TimeSpan::between_secs(350.0, 350.5),
+            &ChunkSpec::contiguous(5.0),
+            &scheme,
+        );
+        assert!(report.max_per_chunk_frame <= 5, "half-second window sees few objects");
+    }
+}

@@ -1,0 +1,34 @@
+//! # privid-cv
+//!
+//! Simulated computer-vision substrate for the Privid reproduction.
+//!
+//! The paper uses Faster-RCNN (Detectron2) for object detection and
+//! DeepSORT / SORT for tracking, both to implement analyst `PROCESS`
+//! executables and — more importantly for the privacy argument — to let the
+//! *video owner* estimate the maximum duration any individual is visible,
+//! which parameterizes the `(ρ, K)` policy (§5.2, Table 1, Appendix A).
+//!
+//! Real CV models are unavailable offline, and Privid never relies on their
+//! internals: the relevant behaviour is "detections are imperfect (missed
+//! boxes, jitter, false positives) but a tracker over them still produces a
+//! conservative estimate of the maximum persistence". This crate models the
+//! detector as a stochastic corruption of the scene's ground-truth
+//! observations (per-class miss rates matched to the paper's Table 1) and
+//! implements a genuine SORT-style tracker (greedy IoU association with
+//! constant-velocity prediction, `max_age` / `min_hits` track management) on
+//! top of it, so the duration-estimation pipeline is exercised end-to-end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod detector;
+pub mod duration;
+pub mod policy;
+pub mod tracker;
+pub mod tuning;
+
+pub use detector::{Detection, Detector, DetectorConfig};
+pub use duration::{DurationEstimate, DurationEstimator, TrackSummary};
+pub use policy::{EstimatedPolicy, PolicyEstimator};
+pub use tracker::{Track, Tracker, TrackerConfig};
+pub use tuning::{tune_tracker, TuningGrid, TuningResult};

@@ -1,0 +1,159 @@
+//! Automatic `(ρ, K)` policy estimation from past footage (§5.2, §7.1).
+//!
+//! The video owner's workflow: analyse historical video with the (imperfect)
+//! CV pipeline, take the maximum observed track duration as ρ (optionally
+//! padded by a safety factor), pick K from how often individuals re-appear,
+//! and — when masks are offered — repeat the analysis under each candidate
+//! mask to publish a *map from masks to policies* (Appendix F.2).
+
+use crate::duration::{DurationEstimate, DurationEstimator};
+use privid_video::{Mask, Scene, Seconds, TimeSpan};
+use serde::{Deserialize, Serialize};
+
+/// A `(ρ, K)` policy estimated from footage, with provenance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EstimatedPolicy {
+    /// Estimated ρ: maximum per-appearance duration, in seconds.
+    pub rho_secs: Seconds,
+    /// Estimated K: maximum number of appearances per individual.
+    pub k: u32,
+    /// The raw duration estimate this policy was derived from.
+    pub estimate: DurationEstimate,
+}
+
+/// Derives `(ρ, K)` policies from scenes.
+#[derive(Debug, Clone)]
+pub struct PolicyEstimator {
+    estimator: DurationEstimator,
+    /// Multiplicative safety factor applied to the estimated maximum duration.
+    safety_factor: f64,
+    /// K to publish; the paper's policies protect individuals appearing up to
+    /// `default_k` times within a query window.
+    default_k: u32,
+}
+
+impl PolicyEstimator {
+    /// Construct a policy estimator with a 10% safety margin and K = 2.
+    pub fn new(estimator: DurationEstimator) -> Self {
+        PolicyEstimator { estimator, safety_factor: 1.1, default_k: 2 }
+    }
+
+    /// The per-video preset.
+    pub fn for_video(video: &str) -> Self {
+        PolicyEstimator::new(DurationEstimator::for_video(video))
+    }
+
+    /// Override the safety factor.
+    pub fn with_safety_factor(mut self, f: f64) -> Self {
+        self.safety_factor = f.max(1.0);
+        self
+    }
+
+    /// Override K.
+    pub fn with_k(mut self, k: u32) -> Self {
+        self.default_k = k.max(1);
+        self
+    }
+
+    /// Estimate a policy for a scene using the whole recording as history.
+    pub fn estimate(&self, scene: &Scene) -> EstimatedPolicy {
+        self.estimate_masked(scene, &scene.span.clone(), None)
+    }
+
+    /// Estimate a policy from a specific historical span under an optional mask.
+    pub fn estimate_masked(&self, scene: &Scene, history: &TimeSpan, mask: Option<&Mask>) -> EstimatedPolicy {
+        let estimate = self.estimator.estimate_masked(scene, history, mask);
+        EstimatedPolicy {
+            rho_secs: estimate.max_duration_secs * self.safety_factor,
+            k: self.default_k,
+            estimate,
+        }
+    }
+
+    /// Build the mask → policy map the video owner publishes at camera
+    /// registration time (§7.1): for each candidate mask, the `(ρ, K)` that
+    /// preserves the same privacy goal.
+    pub fn policy_map<'m>(
+        &self,
+        scene: &Scene,
+        history: &TimeSpan,
+        masks: impl IntoIterator<Item = &'m Mask>,
+    ) -> Vec<(&'m Mask, EstimatedPolicy)> {
+        masks.into_iter().map(|m| (m, self.estimate_masked(scene, history, Some(m)))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privid_video::{GridSpec, PresenceHeatmap, SceneConfig, SceneGenerator};
+
+    fn scene() -> Scene {
+        SceneGenerator::new(SceneConfig::campus().with_duration_hours(0.5)).generate()
+    }
+
+    #[test]
+    fn estimated_policy_covers_ground_truth() {
+        let scene = scene();
+        let policy = PolicyEstimator::for_video("campus").estimate(&scene);
+        let gt_max = scene.max_segment_duration(|o| o.class.is_private());
+        assert!(
+            policy.rho_secs >= gt_max,
+            "policy ρ {} must cover ground-truth max duration {gt_max}",
+            policy.rho_secs
+        );
+        assert!(policy.k >= 1);
+    }
+
+    #[test]
+    fn safety_factor_scales_rho() {
+        let scene = scene();
+        let base = PolicyEstimator::for_video("campus").with_safety_factor(1.0).estimate(&scene);
+        let padded = PolicyEstimator::for_video("campus").with_safety_factor(1.5).estimate(&scene);
+        assert!(padded.rho_secs > base.rho_secs * 1.3);
+    }
+
+    #[test]
+    fn masked_policy_has_smaller_rho() {
+        let scene = scene();
+        let grid = GridSpec::coarse(scene.frame_size);
+        let heat = PresenceHeatmap::compute(&scene, grid);
+        let mask = Mask::from_cells(grid, heat.hottest_cells(60));
+        let estimator = PolicyEstimator::for_video("campus");
+        let history = scene.span;
+        let unmasked = estimator.estimate_masked(&scene, &history, None);
+        let masked = estimator.estimate_masked(&scene, &history, Some(&mask));
+        assert!(
+            masked.rho_secs <= unmasked.rho_secs,
+            "masking lingering regions must not increase ρ ({} vs {})",
+            masked.rho_secs,
+            unmasked.rho_secs
+        );
+        // And the masked policy still covers the *masked* ground truth.
+        let masked_gt = scene.max_observable_duration(Some(&mask), |o| o.class.is_private());
+        assert!(masked.rho_secs >= masked_gt);
+    }
+
+    #[test]
+    fn policy_map_has_one_entry_per_mask() {
+        let scene = scene();
+        let grid = GridSpec::coarse(scene.frame_size);
+        let heat = PresenceHeatmap::compute(&scene, grid);
+        let masks: Vec<Mask> = vec![
+            Mask::from_cells(grid, heat.hottest_cells(10)),
+            Mask::from_cells(grid, heat.hottest_cells(40)),
+        ];
+        let history = TimeSpan::between_secs(0.0, 900.0);
+        let map = PolicyEstimator::for_video("campus").policy_map(&scene, &history, masks.iter());
+        assert_eq!(map.len(), 2);
+        // The larger mask cannot yield a larger ρ than the smaller one.
+        assert!(map[1].1.rho_secs <= map[0].1.rho_secs + 1e-9);
+    }
+
+    #[test]
+    fn k_override_is_respected() {
+        let scene = scene();
+        let policy = PolicyEstimator::for_video("campus").with_k(5).estimate(&scene);
+        assert_eq!(policy.k, 5);
+    }
+}

@@ -1,0 +1,150 @@
+//! Tracker hyper-parameter tuning (Appendix A, Tables 4 and 5).
+//!
+//! The paper grid-searches DeepSORT / SORT hyper-parameters per video,
+//! choosing the configuration whose *distribution of track durations* best
+//! matches a manually annotated ground truth. We reproduce the procedure: a
+//! grid over (iou, max_age, min_hits), scored by the absolute relative error
+//! between the estimated and ground-truth maximum durations plus a penalty
+//! for non-conservative estimates (underestimating the maximum would break
+//! the privacy policy, so such configurations are heavily penalized).
+
+use crate::detector::DetectorConfig;
+use crate::duration::DurationEstimator;
+use crate::tracker::TrackerConfig;
+use privid_video::{Scene, TimeSpan};
+use serde::{Deserialize, Serialize};
+
+/// The hyper-parameter grid to search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuningGrid {
+    /// Candidate IoU thresholds.
+    pub iou_thresholds: Vec<f64>,
+    /// Candidate `max_age` values (frames).
+    pub max_ages: Vec<u32>,
+    /// Candidate `min_hits` values.
+    pub min_hits: Vec<u32>,
+}
+
+impl Default for TuningGrid {
+    fn default() -> Self {
+        // A compact version of the paper's Table 4/5 grids.
+        TuningGrid { iou_thresholds: vec![0.1, 0.3, 0.5], max_ages: vec![16, 48, 96, 240], min_hits: vec![2, 3, 5] }
+    }
+}
+
+impl TuningGrid {
+    /// Number of configurations in the grid.
+    pub fn len(&self) -> usize {
+        self.iou_thresholds.len() * self.max_ages.len() * self.min_hits.len()
+    }
+
+    /// True if the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enumerate every configuration in the grid.
+    pub fn configs(&self) -> Vec<TrackerConfig> {
+        let mut out = Vec::with_capacity(self.len());
+        for &iou in &self.iou_thresholds {
+            for &age in &self.max_ages {
+                for &hits in &self.min_hits {
+                    out.push(TrackerConfig {
+                        iou_threshold: iou,
+                        distance_threshold: TrackerConfig::default().distance_threshold,
+                        max_age: age,
+                        min_hits: hits,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One evaluated configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuningResult {
+    /// The configuration evaluated.
+    pub config: TrackerConfig,
+    /// Estimated maximum duration (with margin) in seconds.
+    pub estimated_max_secs: f64,
+    /// Ground-truth maximum duration in seconds.
+    pub ground_truth_max_secs: f64,
+    /// Score: lower is better.
+    pub score: f64,
+    /// Whether the estimate conservatively bounds the ground truth.
+    pub conservative: bool,
+}
+
+/// Evaluate the grid on a scene segment and return results sorted best-first.
+pub fn tune_tracker(
+    scene: &Scene,
+    span: &TimeSpan,
+    detector: &DetectorConfig,
+    grid: &TuningGrid,
+) -> Vec<TuningResult> {
+    let mut results = Vec::with_capacity(grid.len());
+    for config in grid.configs() {
+        let estimator = DurationEstimator::new(detector.clone(), config);
+        let est = estimator.estimate(scene, span);
+        let gt = est.ground_truth_max_secs.max(1e-9);
+        let rel_err = (est.max_duration_secs - gt).abs() / gt;
+        let conservative = est.is_conservative();
+        // Non-conservative estimates would under-protect individuals; penalize
+        // them so they are never chosen when a conservative option exists.
+        let score = if conservative { rel_err } else { 10.0 + rel_err };
+        results.push(TuningResult {
+            config,
+            estimated_max_secs: est.max_duration_secs,
+            ground_truth_max_secs: est.ground_truth_max_secs,
+            score,
+            conservative,
+        });
+    }
+    results.sort_by(|a, b| a.score.partial_cmp(&b.score).unwrap());
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privid_video::{SceneConfig, SceneGenerator};
+
+    #[test]
+    fn grid_enumeration_counts() {
+        let grid = TuningGrid::default();
+        assert_eq!(grid.configs().len(), grid.len());
+        assert_eq!(grid.len(), 3 * 4 * 3);
+        assert!(!grid.is_empty());
+    }
+
+    #[test]
+    fn tuning_prefers_conservative_configs() {
+        let scene = SceneGenerator::new(
+            SceneConfig::campus().with_duration_hours(0.2).with_arrival_scale(0.4),
+        )
+        .generate();
+        let span = TimeSpan::between_secs(0.0, 600.0);
+        let grid = TuningGrid { iou_thresholds: vec![0.3], max_ages: vec![16, 96], min_hits: vec![2, 3] };
+        let results = tune_tracker(&scene, &span, &DetectorConfig::campus(), &grid);
+        assert_eq!(results.len(), 4);
+        assert!(results.windows(2).all(|w| w[0].score <= w[1].score), "results sorted best-first");
+        if results.iter().any(|r| r.conservative) {
+            assert!(results[0].conservative, "a conservative config must win when one exists");
+        }
+    }
+
+    #[test]
+    fn best_config_estimate_is_reasonable() {
+        let scene = SceneGenerator::new(
+            SceneConfig::campus().with_duration_hours(0.2).with_arrival_scale(0.4),
+        )
+        .generate();
+        let span = TimeSpan::between_secs(0.0, 600.0);
+        let grid = TuningGrid { iou_thresholds: vec![0.3], max_ages: vec![48, 96], min_hits: vec![2] };
+        let best = &tune_tracker(&scene, &span, &DetectorConfig::campus(), &grid)[0];
+        assert!(best.estimated_max_secs > 0.0);
+        assert!(best.estimated_max_secs < 20.0 * best.ground_truth_max_secs.max(1.0), "not absurdly loose");
+    }
+}

@@ -1,0 +1,449 @@
+//! The typed query AST: the restricted relational algebra of Appendix D plus
+//! the aggregation layer of a `SELECT` statement.
+//!
+//! Queries can be built programmatically with these types or parsed from the
+//! textual language ([`crate::parser`]). The executor ([`crate::exec`]) and
+//! the sensitivity calculator ([`crate::sensitivity`]) both walk this AST, so
+//! the set of constructs here is exactly the set for which Fig. 10 provides
+//! propagation rules — anything else is rejected at construction or parse
+//! time rather than silently mis-bounded.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// Aggregation functions supported by the outer SELECT (Fig. 10, top table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggregateFunction {
+    /// `COUNT(col)` / `COUNT(*)`: number of rows.
+    Count,
+    /// `SUM(col)`: sum of a numeric column (requires a declared range).
+    Sum,
+    /// `AVG(col)`: mean of a numeric column (requires range and size bounds).
+    Avg,
+    /// `VAR(col)`: variance of a numeric column (requires range and size bounds).
+    Var,
+    /// `ARGMAX(col)`: the GROUP BY key with the largest count; released via
+    /// report-noisy-max.
+    ArgMax,
+}
+
+impl AggregateFunction {
+    /// Keyword as written in the query language.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            AggregateFunction::Count => "COUNT",
+            AggregateFunction::Sum => "SUM",
+            AggregateFunction::Avg => "AVG",
+            AggregateFunction::Var => "VAR",
+            AggregateFunction::ArgMax => "ARGMAX",
+        }
+    }
+
+    /// True if the function needs the aggregated column's range to be bounded.
+    pub fn needs_range(&self) -> bool {
+        matches!(self, AggregateFunction::Sum | AggregateFunction::Avg | AggregateFunction::Var)
+    }
+
+    /// True if the function needs an upper bound on the relation's row count.
+    pub fn needs_size(&self) -> bool {
+        matches!(self, AggregateFunction::Avg | AggregateFunction::Var)
+    }
+}
+
+/// One aggregation of the outer SELECT. Each aggregation (and each GROUP BY
+/// key of it) is a separate data release with its own noise sample and its
+/// own slice of the privacy budget (§6.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Aggregation {
+    /// The function to apply.
+    pub function: AggregateFunction,
+    /// The column aggregated; `None` means `COUNT(*)`.
+    pub column: Option<String>,
+    /// Declared value range `range(col, lo, hi)`; values are truncated into
+    /// this range before aggregation and the range bounds the sensitivity.
+    pub range: Option<(f64, f64)>,
+}
+
+impl Aggregation {
+    /// `COUNT(*)`.
+    pub fn count_star() -> Self {
+        Aggregation { function: AggregateFunction::Count, column: None, range: None }
+    }
+
+    /// `COUNT(col)`.
+    pub fn count(column: impl Into<String>) -> Self {
+        Aggregation { function: AggregateFunction::Count, column: Some(column.into()), range: None }
+    }
+
+    /// `SUM(range(col, lo, hi))`.
+    pub fn sum(column: impl Into<String>, lo: f64, hi: f64) -> Self {
+        Aggregation { function: AggregateFunction::Sum, column: Some(column.into()), range: Some((lo, hi)) }
+    }
+
+    /// `AVG(range(col, lo, hi))`.
+    pub fn avg(column: impl Into<String>, lo: f64, hi: f64) -> Self {
+        Aggregation { function: AggregateFunction::Avg, column: Some(column.into()), range: Some((lo, hi)) }
+    }
+
+    /// `VAR(range(col, lo, hi))`.
+    pub fn var(column: impl Into<String>, lo: f64, hi: f64) -> Self {
+        Aggregation { function: AggregateFunction::Var, column: Some(column.into()), range: Some((lo, hi)) }
+    }
+
+    /// `ARGMAX(col)`.
+    pub fn argmax(column: impl Into<String>) -> Self {
+        Aggregation { function: AggregateFunction::ArgMax, column: Some(column.into()), range: None }
+    }
+}
+
+/// Row predicates allowed in a WHERE clause.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// `col = "literal"` (string equality).
+    EqStr(String, String),
+    /// `col = number`.
+    EqNum(String, f64),
+    /// `col != "literal"`.
+    NeStr(String, String),
+    /// `lo <= col <= hi`.
+    Between(String, f64, f64),
+    /// `col >= number`.
+    Ge(String, f64),
+    /// `col <= number`.
+    Le(String, f64),
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Evaluate the predicate against a resolved column lookup.
+    pub fn eval(&self, lookup: &impl Fn(&str) -> Option<Value>) -> bool {
+        match self {
+            Predicate::EqStr(c, s) => lookup(c).and_then(|v| v.as_str().map(|x| x == s)).unwrap_or(false),
+            Predicate::NeStr(c, s) => lookup(c).and_then(|v| v.as_str().map(|x| x != s)).unwrap_or(false),
+            Predicate::EqNum(c, n) => lookup(c).and_then(|v| v.as_num().map(|x| (x - n).abs() < 1e-12)).unwrap_or(false),
+            Predicate::Between(c, lo, hi) => {
+                lookup(c).and_then(|v| v.as_num().map(|x| x >= *lo && x <= *hi)).unwrap_or(false)
+            }
+            Predicate::Ge(c, n) => lookup(c).and_then(|v| v.as_num().map(|x| x >= *n)).unwrap_or(false),
+            Predicate::Le(c, n) => lookup(c).and_then(|v| v.as_num().map(|x| x <= *n)).unwrap_or(false),
+            Predicate::And(a, b) => a.eval(lookup) && b.eval(lookup),
+            Predicate::Or(a, b) => a.eval(lookup) || b.eval(lookup),
+            Predicate::Not(a) => !a.eval(lookup),
+        }
+    }
+
+    /// Columns referenced by the predicate.
+    pub fn columns(&self) -> Vec<String> {
+        match self {
+            Predicate::EqStr(c, _)
+            | Predicate::NeStr(c, _)
+            | Predicate::EqNum(c, _)
+            | Predicate::Between(c, _, _)
+            | Predicate::Ge(c, _)
+            | Predicate::Le(c, _) => vec![c.clone()],
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                let mut v = a.columns();
+                v.extend(b.columns());
+                v
+            }
+            Predicate::Not(a) => a.columns(),
+        }
+    }
+}
+
+/// Kind of join between two inner relations (Fig. 10, bottom row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JoinKind {
+    /// Equijoin on the key columns — set intersection on the keys.
+    Inner,
+    /// Outer join on the key columns — set union on the keys.
+    Outer,
+}
+
+/// The restricted relational algebra over intermediate tables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Relation {
+    /// A base intermediate table, referenced by the name given in
+    /// `PROCESS ... INTO name`.
+    Table(String),
+    /// `WHERE` selection.
+    Filter {
+        /// Input relation.
+        input: Box<Relation>,
+        /// Row predicate.
+        predicate: Predicate,
+    },
+    /// `LIMIT n`.
+    Limit {
+        /// Input relation.
+        input: Box<Relation>,
+        /// Maximum number of rows kept.
+        limit: usize,
+    },
+    /// Projection onto a subset of columns.
+    Project {
+        /// Input relation.
+        input: Box<Relation>,
+        /// Columns kept (implicit columns may be listed too).
+        columns: Vec<String>,
+    },
+    /// `range(col, lo, hi)` applied as a transformation: values are clamped
+    /// into the range, and the range constraint becomes available downstream.
+    RangeConstraint {
+        /// Input relation.
+        input: Box<Relation>,
+        /// Column constrained.
+        column: String,
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Intermediate `GROUP BY key_columns` with no aggregation: deduplication
+    /// on the key columns (e.g. `GROUP BY plate` so one car = one row).
+    Distinct {
+        /// Input relation.
+        input: Box<Relation>,
+        /// Key columns the output is distinct on.
+        columns: Vec<String>,
+    },
+    /// Join of two relations on equal values of the key columns.
+    Join {
+        /// Left input.
+        left: Box<Relation>,
+        /// Right input.
+        right: Box<Relation>,
+        /// Join key columns (must exist in both inputs).
+        on: Vec<String>,
+        /// Inner (intersection) or outer (union) join.
+        kind: JoinKind,
+    },
+}
+
+impl Relation {
+    /// Convenience constructor: base table.
+    pub fn table(name: impl Into<String>) -> Self {
+        Relation::Table(name.into())
+    }
+
+    /// Wrap in a filter.
+    pub fn filter(self, predicate: Predicate) -> Self {
+        Relation::Filter { input: Box::new(self), predicate }
+    }
+
+    /// Wrap in a limit.
+    pub fn limit(self, limit: usize) -> Self {
+        Relation::Limit { input: Box::new(self), limit }
+    }
+
+    /// Wrap in a projection.
+    pub fn project(self, columns: Vec<&str>) -> Self {
+        Relation::Project { input: Box::new(self), columns: columns.into_iter().map(String::from).collect() }
+    }
+
+    /// Wrap in a range constraint.
+    pub fn with_range(self, column: impl Into<String>, lo: f64, hi: f64) -> Self {
+        Relation::RangeConstraint { input: Box::new(self), column: column.into(), lo, hi }
+    }
+
+    /// Wrap in a deduplication on key columns.
+    pub fn distinct_on(self, columns: Vec<&str>) -> Self {
+        Relation::Distinct { input: Box::new(self), columns: columns.into_iter().map(String::from).collect() }
+    }
+
+    /// Join with another relation.
+    pub fn join(self, right: Relation, on: Vec<&str>, kind: JoinKind) -> Self {
+        Relation::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            on: on.into_iter().map(String::from).collect(),
+            kind,
+        }
+    }
+
+    /// Names of all base tables referenced by the relation.
+    pub fn base_tables(&self) -> Vec<String> {
+        match self {
+            Relation::Table(n) => vec![n.clone()],
+            Relation::Filter { input, .. }
+            | Relation::Limit { input, .. }
+            | Relation::Project { input, .. }
+            | Relation::RangeConstraint { input, .. }
+            | Relation::Distinct { input, .. } => input.base_tables(),
+            Relation::Join { left, right, .. } => {
+                let mut v = left.base_tables();
+                v.extend(right.base_tables());
+                v
+            }
+        }
+    }
+}
+
+/// How the outer SELECT's GROUP BY keys are specified.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GroupKeys {
+    /// Explicit `WITH KEYS [...]` list — required for analyst columns so that
+    /// the set of releases cannot depend on the data (§6.2, [58]).
+    Explicit(Vec<Value>),
+    /// Binning of the trusted implicit `chunk` column (e.g. hourly bins).
+    /// Keys are the bin start times, derived from trusted timestamps only.
+    ChunkBins {
+        /// Bin width in seconds.
+        bin_secs: f64,
+    },
+}
+
+/// The outer SELECT's GROUP BY clause.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupBy {
+    /// Grouping column.
+    pub column: String,
+    /// How keys are specified.
+    pub keys: GroupKeys,
+}
+
+/// A full SELECT statement: one or more aggregations over an inner relation,
+/// optionally grouped.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectStatement {
+    /// The aggregations of the outer select; each is a separate release
+    /// (multiplied by the number of GROUP BY keys, if any).
+    pub aggregations: Vec<Aggregation>,
+    /// The inner relation aggregated over.
+    pub source: Relation,
+    /// Optional GROUP BY.
+    pub group_by: Option<GroupBy>,
+    /// Privacy budget requested for this statement (`CONSUMING ε`); divided
+    /// evenly among the statement's releases. `None` lets the system default
+    /// apply.
+    pub epsilon: Option<f64>,
+}
+
+impl SelectStatement {
+    /// A single ungrouped aggregation.
+    pub fn simple(aggregation: Aggregation, source: Relation) -> Self {
+        SelectStatement { aggregations: vec![aggregation], source, group_by: None, epsilon: None }
+    }
+
+    /// Attach a GROUP BY with explicit keys.
+    pub fn group_by_keys(mut self, column: impl Into<String>, keys: Vec<Value>) -> Self {
+        self.group_by = Some(GroupBy { column: column.into(), keys: GroupKeys::Explicit(keys) });
+        self
+    }
+
+    /// Attach a GROUP BY over chunk-time bins.
+    pub fn group_by_chunk_bins(mut self, bin_secs: f64) -> Self {
+        self.group_by =
+            Some(GroupBy { column: crate::schema::CHUNK_COLUMN.to_string(), keys: GroupKeys::ChunkBins { bin_secs } });
+        self
+    }
+
+    /// Set the requested budget.
+    pub fn consuming(mut self, epsilon: f64) -> Self {
+        self.epsilon = Some(epsilon);
+        self
+    }
+
+    /// The number of data releases this statement produces: one per
+    /// aggregation per explicit GROUP BY key. Chunk-binned group-bys release
+    /// one value per bin of the query window; callers that know the window
+    /// should use [`SelectStatement::release_count_with_bins`].
+    pub fn release_count(&self) -> usize {
+        let groups = match &self.group_by {
+            Some(GroupBy { keys: GroupKeys::Explicit(keys), .. }) => keys.len().max(1),
+            Some(GroupBy { keys: GroupKeys::ChunkBins { .. }, .. }) => 1,
+            None => 1,
+        };
+        self.aggregations.len() * groups
+    }
+
+    /// Release count when the number of chunk bins is known.
+    pub fn release_count_with_bins(&self, bins: usize) -> usize {
+        let groups = match &self.group_by {
+            Some(GroupBy { keys: GroupKeys::Explicit(keys), .. }) => keys.len().max(1),
+            Some(GroupBy { keys: GroupKeys::ChunkBins { .. }, .. }) => bins.max(1),
+            None => 1,
+        };
+        self.aggregations.len() * groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation_constructors() {
+        assert_eq!(Aggregation::count_star().column, None);
+        assert_eq!(Aggregation::sum("speed", 30.0, 60.0).range, Some((30.0, 60.0)));
+        assert!(AggregateFunction::Avg.needs_range());
+        assert!(AggregateFunction::Avg.needs_size());
+        assert!(!AggregateFunction::Count.needs_range());
+        assert_eq!(AggregateFunction::ArgMax.keyword(), "ARGMAX");
+    }
+
+    #[test]
+    fn predicate_evaluation() {
+        let lookup = |c: &str| -> Option<Value> {
+            match c {
+                "color" => Some(Value::str("RED")),
+                "speed" => Some(Value::num(45.0)),
+                _ => None,
+            }
+        };
+        assert!(Predicate::EqStr("color".into(), "RED".into()).eval(&lookup));
+        assert!(!Predicate::EqStr("color".into(), "BLUE".into()).eval(&lookup));
+        assert!(Predicate::Between("speed".into(), 30.0, 60.0).eval(&lookup));
+        assert!(Predicate::And(
+            Box::new(Predicate::Ge("speed".into(), 40.0)),
+            Box::new(Predicate::Le("speed".into(), 50.0))
+        )
+        .eval(&lookup));
+        assert!(Predicate::Not(Box::new(Predicate::EqNum("speed".into(), 50.0))).eval(&lookup));
+        assert!(!Predicate::EqStr("missing".into(), "x".into()).eval(&lookup), "missing column never matches");
+    }
+
+    #[test]
+    fn predicate_columns_collects_all() {
+        let p = Predicate::And(
+            Box::new(Predicate::EqStr("color".into(), "RED".into())),
+            Box::new(Predicate::Ge("speed".into(), 10.0)),
+        );
+        assert_eq!(p.columns(), vec!["color".to_string(), "speed".to_string()]);
+    }
+
+    #[test]
+    fn relation_builders_compose_and_track_base_tables() {
+        let rel = Relation::table("tableA")
+            .filter(Predicate::EqStr("color".into(), "RED".into()))
+            .distinct_on(vec!["plate"])
+            .with_range("speed", 30.0, 60.0);
+        assert_eq!(rel.base_tables(), vec!["tableA".to_string()]);
+        let joined = Relation::table("t1").join(Relation::table("t2"), vec!["plate"], JoinKind::Inner);
+        assert_eq!(joined.base_tables(), vec!["t1".to_string(), "t2".to_string()]);
+    }
+
+    #[test]
+    fn release_counts() {
+        let s1 = SelectStatement::simple(Aggregation::avg("speed", 30.0, 60.0), Relation::table("tableA"));
+        assert_eq!(s1.release_count(), 1);
+        let s2 = SelectStatement::simple(Aggregation::count("plate"), Relation::table("tableA")).group_by_keys(
+            "color",
+            vec![Value::str("RED"), Value::str("WHITE"), Value::str("SILVER")],
+        );
+        assert_eq!(s2.release_count(), 3, "Listing 1's S2 makes three releases");
+        let s3 = SelectStatement::simple(Aggregation::count_star(), Relation::table("t")).group_by_chunk_bins(3600.0);
+        assert_eq!(s3.release_count_with_bins(12), 12);
+    }
+
+    #[test]
+    fn consuming_sets_epsilon() {
+        let s = SelectStatement::simple(Aggregation::count_star(), Relation::table("t")).consuming(0.5);
+        assert_eq!(s.epsilon, Some(0.5));
+    }
+}

@@ -1,0 +1,48 @@
+//! Error type shared across the query layer.
+
+use std::fmt;
+
+/// Errors raised while parsing, validating, executing or bounding a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// The query text could not be parsed.
+    Parse(String),
+    /// A referenced column does not exist in the relation's schema.
+    UnknownColumn(String),
+    /// A referenced table or chunk set was never defined.
+    UnknownTable(String),
+    /// The query violates one of Privid's interface restrictions
+    /// (e.g. GROUP BY over an analyst column without explicit keys).
+    Unsupported(String),
+    /// An aggregation is missing a constraint it needs (range or size).
+    MissingConstraint(String),
+    /// A value had the wrong type for the operation.
+    Type(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse(m) => write!(f, "parse error: {m}"),
+            QueryError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            QueryError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            QueryError::Unsupported(m) => write!(f, "unsupported query construct: {m}"),
+            QueryError::MissingConstraint(m) => write!(f, "missing constraint: {m}"),
+            QueryError::Type(m) => write!(f, "type error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(QueryError::UnknownColumn("speed".into()).to_string().contains("speed"));
+        assert!(QueryError::Parse("bad token".into()).to_string().contains("bad token"));
+        assert!(QueryError::MissingConstraint("range of speed".into()).to_string().contains("range"));
+    }
+}

@@ -1,0 +1,516 @@
+//! Execution of SELECT statements over intermediate tables.
+//!
+//! The executor computes *raw* (pre-noise) release values. Privid never shows
+//! these to the analyst: `privid-core` adds Laplace noise calibrated by the
+//! sensitivity calculator before anything leaves the system. Keeping the two
+//! concerns separate makes it possible to test the aggregation semantics
+//! exactly and the privacy mechanism statistically.
+
+use crate::ast::{AggregateFunction, Aggregation, GroupBy, GroupKeys, JoinKind, Relation, SelectStatement};
+use crate::error::QueryError;
+use crate::schema::{CHUNK_COLUMN, REGION_COLUMN};
+use crate::table::Table;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The raw value of one data release.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ReleaseValue {
+    /// A numeric aggregate (COUNT / SUM / AVG / VAR). Noise is added directly.
+    Number(f64),
+    /// ARGMAX candidates: per-key counts. `privid-core` adds independent noise
+    /// to every count and releases only the winning key (report-noisy-max).
+    Candidates(Vec<(String, f64)>),
+}
+
+impl ReleaseValue {
+    /// The numeric content, if this is a plain number.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            ReleaseValue::Number(n) => Some(*n),
+            ReleaseValue::Candidates(_) => None,
+        }
+    }
+}
+
+/// One raw data release: a label describing which aggregation / group key it
+/// belongs to, and its value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RawRelease {
+    /// Human-readable label, e.g. `AVG(speed)` or `COUNT(plate)[color=RED]`.
+    pub label: String,
+    /// The group key, if this release belongs to a GROUP BY bucket.
+    pub group_key: Option<String>,
+    /// The raw value.
+    pub value: ReleaseValue,
+}
+
+/// A relation materialized into named columns and rows.
+#[derive(Debug, Clone, PartialEq)]
+struct Materialized {
+    columns: Vec<String>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Materialized {
+    fn col_idx(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    fn get(&self, row: &[Value], name: &str) -> Option<Value> {
+        self.col_idx(name).and_then(|i| row.get(i).cloned())
+    }
+
+    fn from_table(table: &Table) -> Materialized {
+        let mut columns: Vec<String> = table.schema.columns.iter().map(|c| c.name.clone()).collect();
+        columns.push(CHUNK_COLUMN.to_string());
+        columns.push(REGION_COLUMN.to_string());
+        let rows = table
+            .rows
+            .iter()
+            .map(|r| {
+                let mut v = r.values.clone();
+                v.push(Value::Num(r.chunk));
+                v.push(Value::Num(r.region as f64));
+                v
+            })
+            .collect();
+        Materialized { columns, rows }
+    }
+}
+
+/// Evaluate an inner relation against the named base tables.
+fn eval(rel: &Relation, tables: &HashMap<String, Table>) -> Result<Materialized, QueryError> {
+    match rel {
+        Relation::Table(name) => {
+            tables.get(name).map(Materialized::from_table).ok_or_else(|| QueryError::UnknownTable(name.clone()))
+        }
+        Relation::Filter { input, predicate } => {
+            let m = eval(input, tables)?;
+            for col in predicate.columns() {
+                if m.col_idx(&col).is_none() {
+                    return Err(QueryError::UnknownColumn(col));
+                }
+            }
+            let rows = m
+                .rows
+                .iter()
+                .filter(|row| predicate.eval(&|c: &str| m.get(row, c)))
+                .cloned()
+                .collect();
+            Ok(Materialized { columns: m.columns.clone(), rows })
+        }
+        Relation::Limit { input, limit } => {
+            let mut m = eval(input, tables)?;
+            m.rows.truncate(*limit);
+            Ok(m)
+        }
+        Relation::Project { input, columns } => {
+            let m = eval(input, tables)?;
+            let mut idx = Vec::with_capacity(columns.len());
+            for c in columns {
+                idx.push(m.col_idx(c).ok_or_else(|| QueryError::UnknownColumn(c.clone()))?);
+            }
+            let rows = m.rows.iter().map(|r| idx.iter().map(|&i| r[i].clone()).collect()).collect();
+            Ok(Materialized { columns: columns.clone(), rows })
+        }
+        Relation::RangeConstraint { input, column, lo, hi } => {
+            let m = eval(input, tables)?;
+            let i = m.col_idx(column).ok_or_else(|| QueryError::UnknownColumn(column.clone()))?;
+            let rows = m
+                .rows
+                .iter()
+                .map(|r| {
+                    let mut r = r.clone();
+                    if let Value::Num(n) = r[i] {
+                        r[i] = Value::Num(n.clamp(*lo, *hi));
+                    }
+                    r
+                })
+                .collect();
+            Ok(Materialized { columns: m.columns.clone(), rows })
+        }
+        Relation::Distinct { input, columns } => {
+            let m = eval(input, tables)?;
+            let mut idx = Vec::with_capacity(columns.len());
+            for c in columns {
+                idx.push(m.col_idx(c).ok_or_else(|| QueryError::UnknownColumn(c.clone()))?);
+            }
+            let mut seen = std::collections::HashSet::new();
+            let rows = m
+                .rows
+                .iter()
+                .filter(|r| {
+                    let key: Vec<String> = idx.iter().map(|&i| r[i].group_key()).collect();
+                    seen.insert(key)
+                })
+                .cloned()
+                .collect();
+            Ok(Materialized { columns: m.columns.clone(), rows })
+        }
+        Relation::Join { left, right, on, kind } => {
+            let l = eval(left, tables)?;
+            let r = eval(right, tables)?;
+            let l_idx: Vec<usize> = on
+                .iter()
+                .map(|c| l.col_idx(c).ok_or_else(|| QueryError::UnknownColumn(c.clone())))
+                .collect::<Result<_, _>>()?;
+            let r_idx: Vec<usize> = on
+                .iter()
+                .map(|c| r.col_idx(c).ok_or_else(|| QueryError::UnknownColumn(c.clone())))
+                .collect::<Result<_, _>>()?;
+            match kind {
+                JoinKind::Inner => {
+                    // Output: join keys, then non-key columns of the left, then
+                    // non-key columns of the right not already named.
+                    let mut columns: Vec<String> = on.clone();
+                    let l_extra: Vec<usize> =
+                        (0..l.columns.len()).filter(|i| !l_idx.contains(i)).collect();
+                    for &i in &l_extra {
+                        columns.push(l.columns[i].clone());
+                    }
+                    let r_extra: Vec<usize> = (0..r.columns.len())
+                        .filter(|i| !r_idx.contains(i) && !columns.contains(&r.columns[*i]))
+                        .collect();
+                    for &i in &r_extra {
+                        columns.push(r.columns[i].clone());
+                    }
+                    let mut by_key: HashMap<Vec<String>, Vec<&Vec<Value>>> = HashMap::new();
+                    for row in &r.rows {
+                        let key: Vec<String> = r_idx.iter().map(|&i| row[i].group_key()).collect();
+                        by_key.entry(key).or_default().push(row);
+                    }
+                    let mut rows = Vec::new();
+                    for lrow in &l.rows {
+                        let key: Vec<String> = l_idx.iter().map(|&i| lrow[i].group_key()).collect();
+                        if let Some(matches) = by_key.get(&key) {
+                            for rrow in matches {
+                                let mut out: Vec<Value> = l_idx.iter().map(|&i| lrow[i].clone()).collect();
+                                out.extend(l_extra.iter().map(|&i| lrow[i].clone()));
+                                out.extend(r_extra.iter().map(|&i| rrow[i].clone()));
+                                rows.push(out);
+                            }
+                        }
+                    }
+                    Ok(Materialized { columns, rows })
+                }
+                JoinKind::Outer => {
+                    // Union on the key columns plus every column present in
+                    // both inputs: concatenate the rows of both sides.
+                    let shared: Vec<String> =
+                        l.columns.iter().filter(|c| r.col_idx(c).is_some()).cloned().collect();
+                    let mut columns = on.clone();
+                    for c in &shared {
+                        if !columns.contains(c) {
+                            columns.push(c.clone());
+                        }
+                    }
+                    let project = |m: &Materialized| -> Result<Vec<Vec<Value>>, QueryError> {
+                        let idx: Vec<usize> = columns
+                            .iter()
+                            .map(|c| m.col_idx(c).ok_or_else(|| QueryError::UnknownColumn(c.clone())))
+                            .collect::<Result<_, _>>()?;
+                        Ok(m.rows.iter().map(|r| idx.iter().map(|&i| r[i].clone()).collect()).collect())
+                    };
+                    let mut rows = project(&l)?;
+                    rows.extend(project(&r)?);
+                    Ok(Materialized { columns, rows })
+                }
+            }
+        }
+    }
+}
+
+/// Compute one aggregation over a set of rows.
+fn aggregate(m: &Materialized, rows: &[&Vec<Value>], agg: &Aggregation) -> Result<ReleaseValue, QueryError> {
+    let values = |col: &str| -> Result<Vec<f64>, QueryError> {
+        let i = m.col_idx(col).ok_or_else(|| QueryError::UnknownColumn(col.to_string()))?;
+        Ok(rows
+            .iter()
+            .filter_map(|r| r[i].as_num())
+            .map(|v| match agg.range {
+                Some((lo, hi)) => v.clamp(lo, hi),
+                None => v,
+            })
+            .collect())
+    };
+    match agg.function {
+        AggregateFunction::Count => {
+            if let Some(col) = &agg.column {
+                if m.col_idx(col).is_none() {
+                    return Err(QueryError::UnknownColumn(col.clone()));
+                }
+            }
+            Ok(ReleaseValue::Number(rows.len() as f64))
+        }
+        AggregateFunction::Sum => {
+            let col = agg.column.as_ref().ok_or_else(|| QueryError::Unsupported("SUM needs a column".into()))?;
+            Ok(ReleaseValue::Number(values(col)?.iter().sum()))
+        }
+        AggregateFunction::Avg => {
+            let col = agg.column.as_ref().ok_or_else(|| QueryError::Unsupported("AVG needs a column".into()))?;
+            let v = values(col)?;
+            if v.is_empty() {
+                Ok(ReleaseValue::Number(0.0))
+            } else {
+                Ok(ReleaseValue::Number(v.iter().sum::<f64>() / v.len() as f64))
+            }
+        }
+        AggregateFunction::Var => {
+            let col = agg.column.as_ref().ok_or_else(|| QueryError::Unsupported("VAR needs a column".into()))?;
+            let v = values(col)?;
+            if v.is_empty() {
+                Ok(ReleaseValue::Number(0.0))
+            } else {
+                let mean = v.iter().sum::<f64>() / v.len() as f64;
+                Ok(ReleaseValue::Number(v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / v.len() as f64))
+            }
+        }
+        AggregateFunction::ArgMax => {
+            let col =
+                agg.column.as_ref().ok_or_else(|| QueryError::Unsupported("ARGMAX needs a column".into()))?;
+            let i = m.col_idx(col).ok_or_else(|| QueryError::UnknownColumn(col.clone()))?;
+            let mut counts: Vec<(String, f64)> = Vec::new();
+            for r in rows {
+                let key = r[i].group_key();
+                match counts.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, c)) => *c += 1.0,
+                    None => counts.push((key, 1.0)),
+                }
+            }
+            Ok(ReleaseValue::Candidates(counts))
+        }
+    }
+}
+
+/// Execute a SELECT statement over the named base tables, producing one raw
+/// release per aggregation per group.
+pub fn execute_select(
+    stmt: &SelectStatement,
+    tables: &HashMap<String, Table>,
+) -> Result<Vec<RawRelease>, QueryError> {
+    let m = eval(&stmt.source, tables)?;
+    let all_rows: Vec<&Vec<Value>> = m.rows.iter().collect();
+
+    // Determine groups: `None` key means "the whole relation".
+    let groups: Vec<(Option<String>, Vec<&Vec<Value>>)> = match &stmt.group_by {
+        None => vec![(None, all_rows)],
+        Some(GroupBy { column, keys }) => {
+            let idx = m.col_idx(column).ok_or_else(|| QueryError::UnknownColumn(column.clone()))?;
+            match keys {
+                GroupKeys::Explicit(keys) => keys
+                    .iter()
+                    .map(|k| {
+                        let key = k.group_key();
+                        let rows = all_rows.iter().filter(|r| r[idx].group_key() == key).cloned().collect();
+                        (Some(key), rows)
+                    })
+                    .collect(),
+                GroupKeys::ChunkBins { bin_secs } => {
+                    if column != CHUNK_COLUMN {
+                        return Err(QueryError::Unsupported(
+                            "chunk-bin grouping is only allowed on the implicit chunk column".into(),
+                        ));
+                    }
+                    let mut bins: Vec<i64> = all_rows
+                        .iter()
+                        .filter_map(|r| r[idx].as_num())
+                        .map(|c| (c / bin_secs).floor() as i64)
+                        .collect();
+                    bins.sort_unstable();
+                    bins.dedup();
+                    bins.into_iter()
+                        .map(|b| {
+                            let rows = all_rows
+                                .iter()
+                                .filter(|r| {
+                                    r[idx].as_num().map(|c| (c / bin_secs).floor() as i64 == b).unwrap_or(false)
+                                })
+                                .cloned()
+                                .collect();
+                            (Some(format!("{}", b as f64 * bin_secs)), rows)
+                        })
+                        .collect()
+                }
+            }
+        }
+    };
+
+    let mut releases = Vec::new();
+    for agg in &stmt.aggregations {
+        for (key, rows) in &groups {
+            let value = aggregate(&m, rows, agg)?;
+            let base = format!("{}({})", agg.function.keyword(), agg.column.clone().unwrap_or_else(|| "*".into()));
+            let label = match (&stmt.group_by, key) {
+                (Some(g), Some(k)) => format!("{base}[{}={}]", g.column, k),
+                _ => base,
+            };
+            releases.push(RawRelease { label, group_key: key.clone(), value });
+        }
+    }
+    Ok(releases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Predicate;
+    use crate::schema::Schema;
+
+    /// The highway table of Listing 1 with a handful of rows.
+    fn listing1_tables() -> HashMap<String, Table> {
+        let mut t = Table::new(Schema::listing1());
+        let rows = [
+            ("AAA", "RED", 45.0, 0.0),
+            ("AAA", "RED", 50.0, 5.0),
+            ("BBB", "WHITE", 55.0, 5.0),
+            ("CCC", "SILVER", 70.0, 10.0),
+            ("DDD", "RED", 20.0, 3600.0),
+        ];
+        for (plate, color, speed, chunk) in rows {
+            t.append_chunk_output(chunk, 0, &[vec![Value::str(plate), Value::str(color), Value::num(speed)]], 10);
+        }
+        HashMap::from([("tableA".to_string(), t)])
+    }
+
+    #[test]
+    fn avg_speed_with_range_truncation() {
+        // Listing 1's S1: AVG(range(speed, 30, 60)). 70 clamps to 60, 20 to 30.
+        let stmt = SelectStatement::simple(Aggregation::avg("speed", 30.0, 60.0), Relation::table("tableA"));
+        let out = execute_select(&stmt, &listing1_tables()).unwrap();
+        assert_eq!(out.len(), 1);
+        let expected = (45.0 + 50.0 + 55.0 + 60.0 + 30.0) / 5.0;
+        assert_eq!(out[0].value, ReleaseValue::Number(expected));
+        assert_eq!(out[0].label, "AVG(speed)");
+    }
+
+    #[test]
+    fn count_grouped_by_color_with_explicit_keys() {
+        // Listing 1's S2: per-colour count of unique plates.
+        let stmt = SelectStatement::simple(
+            Aggregation::count("plate"),
+            Relation::table("tableA").distinct_on(vec!["plate"]),
+        )
+        .group_by_keys("color", vec![Value::str("RED"), Value::str("WHITE"), Value::str("SILVER")]);
+        let out = execute_select(&stmt, &listing1_tables()).unwrap();
+        assert_eq!(out.len(), 3);
+        let by_key: HashMap<_, _> =
+            out.iter().map(|r| (r.group_key.clone().unwrap(), r.value.as_number().unwrap())).collect();
+        assert_eq!(by_key["RED"], 2.0, "AAA (deduped) and DDD");
+        assert_eq!(by_key["WHITE"], 1.0);
+        assert_eq!(by_key["SILVER"], 1.0);
+    }
+
+    #[test]
+    fn missing_group_key_yields_zero_not_absent() {
+        let stmt = SelectStatement::simple(Aggregation::count_star(), Relation::table("tableA"))
+            .group_by_keys("color", vec![Value::str("BLUE")]);
+        let out = execute_select(&stmt, &listing1_tables()).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value, ReleaseValue::Number(0.0), "explicit keys always produce a release");
+    }
+
+    #[test]
+    fn filter_and_limit() {
+        let stmt = SelectStatement::simple(
+            Aggregation::count_star(),
+            Relation::table("tableA").filter(Predicate::EqStr("color".into(), "RED".into())).limit(2),
+        );
+        let out = execute_select(&stmt, &listing1_tables()).unwrap();
+        assert_eq!(out[0].value, ReleaseValue::Number(2.0));
+    }
+
+    #[test]
+    fn chunk_bin_grouping_counts_per_hour() {
+        let stmt = SelectStatement::simple(Aggregation::count_star(), Relation::table("tableA"))
+            .group_by_chunk_bins(3600.0);
+        let out = execute_select(&stmt, &listing1_tables()).unwrap();
+        assert_eq!(out.len(), 2, "rows fall in two hourly bins");
+        assert_eq!(out[0].value, ReleaseValue::Number(4.0));
+        assert_eq!(out[1].value, ReleaseValue::Number(1.0));
+    }
+
+    #[test]
+    fn sum_and_var() {
+        let tables = listing1_tables();
+        let sum = SelectStatement::simple(Aggregation::sum("speed", 0.0, 100.0), Relation::table("tableA"));
+        let out = execute_select(&sum, &tables).unwrap();
+        assert_eq!(out[0].value, ReleaseValue::Number(45.0 + 50.0 + 55.0 + 70.0 + 20.0));
+        let var = SelectStatement::simple(Aggregation::var("speed", 0.0, 100.0), Relation::table("tableA"));
+        let out = execute_select(&var, &tables).unwrap();
+        let v = out[0].value.as_number().unwrap();
+        assert!(v > 0.0);
+    }
+
+    #[test]
+    fn argmax_returns_candidates() {
+        let stmt = SelectStatement::simple(Aggregation::argmax("color"), Relation::table("tableA"));
+        let out = execute_select(&stmt, &listing1_tables()).unwrap();
+        match &out[0].value {
+            ReleaseValue::Candidates(c) => {
+                assert_eq!(c.len(), 3);
+                let red = c.iter().find(|(k, _)| k == "RED").unwrap();
+                assert_eq!(red.1, 3.0);
+            }
+            _ => panic!("expected candidates"),
+        }
+    }
+
+    #[test]
+    fn inner_join_intersects_on_key() {
+        let mut t1 = Table::new(Schema::new(vec![crate::schema::ColumnDef::string("plate", "")]).unwrap());
+        let mut t2 = Table::new(Schema::new(vec![crate::schema::ColumnDef::string("plate", "")]).unwrap());
+        for p in ["A", "B", "C"] {
+            t1.append_chunk_output(0.0, 0, &[vec![Value::str(p)]], 10);
+        }
+        for p in ["B", "C", "D"] {
+            t2.append_chunk_output(0.0, 0, &[vec![Value::str(p)]], 10);
+        }
+        let tables = HashMap::from([("t1".to_string(), t1), ("t2".to_string(), t2)]);
+        let stmt = SelectStatement::simple(
+            Aggregation::count_star(),
+            Relation::table("t1").join(Relation::table("t2"), vec!["plate"], JoinKind::Inner),
+        );
+        let out = execute_select(&stmt, &tables).unwrap();
+        assert_eq!(out[0].value, ReleaseValue::Number(2.0), "B and C appear in both");
+        let union = SelectStatement::simple(
+            Aggregation::count_star(),
+            Relation::table("t1")
+                .join(Relation::table("t2"), vec!["plate"], JoinKind::Outer)
+                .distinct_on(vec!["plate"]),
+        );
+        let out = execute_select(&union, &tables).unwrap();
+        assert_eq!(out[0].value, ReleaseValue::Number(4.0), "A, B, C, D");
+    }
+
+    #[test]
+    fn unknown_table_and_column_errors() {
+        let tables = listing1_tables();
+        let bad_table = SelectStatement::simple(Aggregation::count_star(), Relation::table("nope"));
+        assert!(matches!(execute_select(&bad_table, &tables), Err(QueryError::UnknownTable(_))));
+        let bad_col = SelectStatement::simple(Aggregation::sum("altitude", 0.0, 1.0), Relation::table("tableA"));
+        assert!(matches!(execute_select(&bad_col, &tables), Err(QueryError::UnknownColumn(_))));
+        let bad_filter = SelectStatement::simple(
+            Aggregation::count_star(),
+            Relation::table("tableA").filter(Predicate::EqStr("ghost".into(), "x".into())),
+        );
+        assert!(matches!(execute_select(&bad_filter, &tables), Err(QueryError::UnknownColumn(_))));
+    }
+
+    #[test]
+    fn projection_drops_columns() {
+        let stmt = SelectStatement::simple(
+            Aggregation::count_star(),
+            Relation::table("tableA").project(vec!["plate", "color"]),
+        );
+        let out = execute_select(&stmt, &listing1_tables()).unwrap();
+        assert_eq!(out[0].value, ReleaseValue::Number(5.0));
+        // Aggregating a projected-away column errors.
+        let bad = SelectStatement::simple(
+            Aggregation::avg("speed", 0.0, 100.0),
+            Relation::table("tableA").project(vec!["plate"]),
+        );
+        assert!(execute_select(&bad, &listing1_tables()).is_err());
+    }
+}

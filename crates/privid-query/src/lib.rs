@@ -1,0 +1,41 @@
+//! # privid-query
+//!
+//! The query layer of the Privid reproduction: untrusted intermediate tables,
+//! the restricted relational algebra Privid aggregates with, the sensitivity
+//! propagation rules of Fig. 10, and a parser for the SPLIT / PROCESS /
+//! SELECT query language of Appendix D.
+//!
+//! Nothing in this crate adds noise or manages budgets — that is
+//! `privid-core`'s job. This crate answers two questions:
+//!
+//! 1. *What is the raw (pre-noise) result of this aggregation over this
+//!    table?* ([`exec`])
+//! 2. *By how much could that result change if any single `(ρ, K)`-bounded
+//!    event were added to or removed from the video?* ([`sensitivity`])
+//!
+//! The second question must be answered **without trusting the table's
+//! contents**, because the table is produced by the analyst's own processor.
+//! Sensitivity therefore only ever depends on structural facts Privid itself
+//! enforces (chunk size, `max_rows`, declared ranges, explicit GROUP BY keys)
+//! and never on values in the table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod exec;
+pub mod parser;
+pub mod schema;
+pub mod sensitivity;
+pub mod table;
+pub mod value;
+
+pub use ast::{AggregateFunction, Aggregation, Predicate, Relation, SelectStatement};
+pub use error::QueryError;
+pub use exec::{execute_select, ReleaseValue};
+pub use parser::{parse_query, ParsedQuery, ProcessStatement, SplitStatement};
+pub use schema::{ColumnDef, DataType, Schema};
+pub use sensitivity::{Constraints, SensitivityContext, TableProfile};
+pub use table::{Row, Table};
+pub use value::Value;

@@ -1,0 +1,817 @@
+//! Parser for the Privid query language (Appendix D, Listing 1).
+//!
+//! A query is a sequence of `SPLIT`, `PROCESS` and `SELECT` statements
+//! terminated by semicolons. The parser produces the same typed AST the
+//! builder API produces, so textual and programmatic queries go through
+//! identical validation, execution and sensitivity analysis.
+//!
+//! Differences from the paper's grammar are minor and documented: `BEGIN` /
+//! `END` take time offsets in seconds (with optional `sec` / `min` / `hr`
+//! suffix) rather than calendar dates, and the chunk-time grouping helper is
+//! written `GROUP BY chunk BIN <seconds>` rather than `hour(chunk)`.
+
+use crate::ast::{
+    AggregateFunction, Aggregation, GroupBy, GroupKeys, JoinKind, Predicate, Relation, SelectStatement,
+};
+use crate::error::QueryError;
+use crate::schema::{ColumnDef, DataType, Schema};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// A parsed `SPLIT ... INTO chunks` statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SplitStatement {
+    /// Camera identifier.
+    pub camera: String,
+    /// Window start, seconds from the start of the recording.
+    pub begin_secs: f64,
+    /// Window end, seconds from the start of the recording.
+    pub end_secs: f64,
+    /// Chunk duration in seconds.
+    pub chunk_secs: f64,
+    /// Stride between chunks in seconds.
+    pub stride_secs: f64,
+    /// Optional video-owner mask id (`WITH MASK <id>`).
+    pub mask: Option<String>,
+    /// Optional spatial-split scheme id (`BY REGION <id>`).
+    pub region_scheme: Option<String>,
+    /// Name the chunk set is bound to.
+    pub output: String,
+}
+
+/// A parsed `PROCESS ... INTO table` statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessStatement {
+    /// Name of the chunk set consumed.
+    pub input: String,
+    /// Name of the analyst-supplied executable.
+    pub executable: String,
+    /// Per-chunk processing timeout in seconds.
+    pub timeout_secs: f64,
+    /// Maximum rows each chunk may contribute.
+    pub max_rows: usize,
+    /// Declared output schema.
+    pub schema: Schema,
+    /// Name the intermediate table is bound to.
+    pub output: String,
+}
+
+/// A fully parsed query: any number of each statement kind, in order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ParsedQuery {
+    /// SPLIT statements.
+    pub splits: Vec<SplitStatement>,
+    /// PROCESS statements.
+    pub processes: Vec<ProcessStatement>,
+    /// SELECT statements.
+    pub selects: Vec<SelectStatement>,
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Num(f64),
+    Str(String),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Colon,
+    Star,
+    Eq,
+    Ne,
+    Ge,
+    Le,
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>, QueryError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '/' if i + 1 < chars.len() && chars[i + 1] == '*' => {
+                // Block comment.
+                i += 2;
+                while i + 1 < chars.len() && !(chars[i] == '*' && chars[i + 1] == '/') {
+                    i += 1;
+                }
+                i = (i + 2).min(chars.len());
+            }
+            '-' if i + 1 < chars.len() && chars[i + 1] == '-' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token::RBracket);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semi);
+                i += 1;
+            }
+            ':' => {
+                tokens.push(Token::Colon);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' if i + 1 < chars.len() && chars[i + 1] == '=' => {
+                tokens.push(Token::Ne);
+                i += 2;
+            }
+            '>' if i + 1 < chars.len() && chars[i + 1] == '=' => {
+                tokens.push(Token::Ge);
+                i += 2;
+            }
+            '<' if i + 1 < chars.len() && chars[i + 1] == '=' => {
+                tokens.push(Token::Le);
+                i += 2;
+            }
+            '"' => {
+                let mut s = String::new();
+                i += 1;
+                while i < chars.len() && chars[i] != '"' {
+                    s.push(chars[i]);
+                    i += 1;
+                }
+                if i >= chars.len() {
+                    return Err(QueryError::Parse("unterminated string literal".into()));
+                }
+                i += 1;
+                tokens.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() || (c == '-' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit()) => {
+                let start = i;
+                i += 1;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let n: f64 =
+                    text.parse().map_err(|_| QueryError::Parse(format!("invalid number literal '{text}'")))?;
+                tokens.push(Token::Num(n));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '.') {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(chars[start..i].iter().collect()));
+            }
+            other => return Err(QueryError::Parse(format!("unexpected character '{other}'"))),
+        }
+    }
+    Ok(tokens)
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<(), QueryError> {
+        match self.next() {
+            Some(ref got) if got == t => Ok(()),
+            other => Err(QueryError::Parse(format!("expected {t:?}, found {other:?}"))),
+        }
+    }
+
+    /// Consume an identifier and return it.
+    fn ident(&mut self) -> Result<String, QueryError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(QueryError::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    /// Consume a keyword (case-insensitive identifier match).
+    fn keyword(&mut self, kw: &str) -> Result<(), QueryError> {
+        match self.next() {
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(QueryError::Parse(format!("expected keyword {kw}, found {other:?}"))),
+        }
+    }
+
+    /// True if the next token is the given keyword (without consuming it).
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn number(&mut self) -> Result<f64, QueryError> {
+        match self.next() {
+            Some(Token::Num(n)) => Ok(n),
+            other => Err(QueryError::Parse(format!("expected number, found {other:?}"))),
+        }
+    }
+
+    /// A number with an optional time-unit suffix; returns seconds.
+    fn duration_secs(&mut self) -> Result<f64, QueryError> {
+        let n = self.number()?;
+        if let Some(Token::Ident(unit)) = self.peek() {
+            let factor = match unit.to_ascii_lowercase().as_str() {
+                "s" | "sec" | "secs" | "second" | "seconds" => Some(1.0),
+                "min" | "mins" | "minute" | "minutes" => Some(60.0),
+                "h" | "hr" | "hrs" | "hour" | "hours" => Some(3600.0),
+                "day" | "days" => Some(86_400.0),
+                "frame" | "frames" => Some(0.0), // handled by caller via 0 marker? keep literal
+                _ => None,
+            };
+            if let Some(f) = factor {
+                self.next();
+                if f == 0.0 {
+                    return Ok(n); // "N frames" is interpreted by the caller
+                }
+                return Ok(n * f);
+            }
+        }
+        Ok(n)
+    }
+
+    // -- SPLIT ----------------------------------------------------------------
+
+    fn split_statement(&mut self) -> Result<SplitStatement, QueryError> {
+        self.keyword("SPLIT")?;
+        let camera = self.ident()?;
+        self.keyword("BEGIN")?;
+        let begin_secs = self.duration_secs()?;
+        self.keyword("END")?;
+        let end_secs = self.duration_secs()?;
+        self.keyword("BY")?;
+        self.keyword("TIME")?;
+        let chunk_secs = self.duration_secs()?;
+        self.keyword("STRIDE")?;
+        let stride_secs = self.duration_secs()?;
+        let mut mask = None;
+        let mut region_scheme = None;
+        loop {
+            if self.peek_keyword("WITH") {
+                self.next();
+                self.keyword("MASK")?;
+                mask = Some(self.ident()?);
+            } else if self.peek_keyword("BY") {
+                self.next();
+                self.keyword("REGION")?;
+                region_scheme = Some(self.ident()?);
+            } else {
+                break;
+            }
+        }
+        self.keyword("INTO")?;
+        let output = self.ident()?;
+        self.expect(&Token::Semi)?;
+        if end_secs <= begin_secs {
+            return Err(QueryError::Parse("SPLIT END must be after BEGIN".into()));
+        }
+        if chunk_secs <= 0.0 {
+            return Err(QueryError::Parse("chunk duration must be positive".into()));
+        }
+        Ok(SplitStatement { camera, begin_secs, end_secs, chunk_secs, stride_secs, mask, region_scheme, output })
+    }
+
+    // -- PROCESS --------------------------------------------------------------
+
+    fn process_statement(&mut self) -> Result<ProcessStatement, QueryError> {
+        self.keyword("PROCESS")?;
+        let input = self.ident()?;
+        self.keyword("USING")?;
+        let executable = match self.next() {
+            Some(Token::Ident(s)) => s,
+            Some(Token::Str(s)) => s,
+            other => return Err(QueryError::Parse(format!("expected executable name, found {other:?}"))),
+        };
+        self.keyword("TIMEOUT")?;
+        let timeout_secs = self.duration_secs()?;
+        self.keyword("PRODUCING")?;
+        let max_rows = self.number()? as usize;
+        self.keyword("ROWS")?;
+        self.keyword("WITH")?;
+        self.keyword("SCHEMA")?;
+        self.expect(&Token::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let name = self.ident()?;
+            self.expect(&Token::Colon)?;
+            let dtype = self.ident()?;
+            self.expect(&Token::Eq)?;
+            let default = match self.next() {
+                Some(Token::Str(s)) => Value::Str(s),
+                Some(Token::Num(n)) => Value::Num(n),
+                other => return Err(QueryError::Parse(format!("expected default value, found {other:?}"))),
+            };
+            let dtype = match dtype.to_ascii_uppercase().as_str() {
+                "STRING" => DataType::Str,
+                "NUMBER" => DataType::Num,
+                other => return Err(QueryError::Parse(format!("unknown data type {other}"))),
+            };
+            columns.push(ColumnDef { name, dtype, default });
+            match self.next() {
+                Some(Token::Comma) => continue,
+                Some(Token::RParen) => break,
+                other => return Err(QueryError::Parse(format!("expected ',' or ')', found {other:?}"))),
+            }
+        }
+        self.keyword("INTO")?;
+        let output = self.ident()?;
+        self.expect(&Token::Semi)?;
+        if max_rows == 0 {
+            return Err(QueryError::Parse("PRODUCING must allow at least one row".into()));
+        }
+        Ok(ProcessStatement { input, executable, timeout_secs, max_rows, schema: Schema::new(columns)?, output })
+    }
+
+    // -- SELECT ---------------------------------------------------------------
+
+    fn aggregation(&mut self, func: AggregateFunction) -> Result<Aggregation, QueryError> {
+        self.expect(&Token::LParen)?;
+        // COUNT(*)
+        if func == AggregateFunction::Count {
+            if let Some(Token::Star) = self.peek() {
+                self.next();
+                self.expect(&Token::RParen)?;
+                return Ok(Aggregation::count_star());
+            }
+        }
+        // range(col, lo, hi)
+        if self.peek_keyword("range") {
+            self.next();
+            self.expect(&Token::LParen)?;
+            let column = self.ident()?;
+            self.expect(&Token::Comma)?;
+            let lo = self.number()?;
+            self.expect(&Token::Comma)?;
+            let hi = self.number()?;
+            self.expect(&Token::RParen)?;
+            self.expect(&Token::RParen)?;
+            if hi < lo {
+                return Err(QueryError::Parse(format!("range({column}, {lo}, {hi}) has hi < lo")));
+            }
+            return Ok(Aggregation { function: func, column: Some(column), range: Some((lo, hi)) });
+        }
+        let column = self.ident()?;
+        self.expect(&Token::RParen)?;
+        Ok(Aggregation { function: func, column: Some(column), range: None })
+    }
+
+    fn comparison(&mut self) -> Result<Predicate, QueryError> {
+        let column = self.ident()?;
+        let op = self.next();
+        match op {
+            Some(Token::Eq) => match self.next() {
+                Some(Token::Str(s)) => Ok(Predicate::EqStr(column, s)),
+                Some(Token::Num(n)) => Ok(Predicate::EqNum(column, n)),
+                other => Err(QueryError::Parse(format!("expected literal after '=', found {other:?}"))),
+            },
+            Some(Token::Ne) => match self.next() {
+                Some(Token::Str(s)) => Ok(Predicate::NeStr(column, s)),
+                other => Err(QueryError::Parse(format!("expected string after '!=', found {other:?}"))),
+            },
+            Some(Token::Ge) => Ok(Predicate::Ge(column, self.number()?)),
+            Some(Token::Le) => Ok(Predicate::Le(column, self.number()?)),
+            other => Err(QueryError::Parse(format!("expected comparison operator, found {other:?}"))),
+        }
+    }
+
+    fn predicate(&mut self) -> Result<Predicate, QueryError> {
+        let mut p = self.comparison()?;
+        loop {
+            if self.peek_keyword("AND") {
+                self.next();
+                p = Predicate::And(Box::new(p), Box::new(self.comparison()?));
+            } else if self.peek_keyword("OR") {
+                self.next();
+                p = Predicate::Or(Box::new(p), Box::new(self.comparison()?));
+            } else {
+                return Ok(p);
+            }
+        }
+    }
+
+    /// A source: table name, parenthesized inner select, optionally joined.
+    fn source(&mut self) -> Result<Relation, QueryError> {
+        let mut rel = match self.peek() {
+            Some(Token::LParen) => {
+                self.next();
+                let inner = self.inner_select()?;
+                self.expect(&Token::RParen)?;
+                inner
+            }
+            Some(Token::Ident(_)) => Relation::Table(self.ident()?),
+            other => return Err(QueryError::Parse(format!("expected table or subquery, found {other:?}"))),
+        };
+        while self.peek_keyword("JOIN") || self.peek_keyword("UNION") {
+            let outer = self.peek_keyword("UNION");
+            self.next();
+            if outer && self.peek_keyword("JOIN") {
+                // allow "UNION JOIN" as well as bare "UNION"
+                self.next();
+            }
+            let right = match self.peek() {
+                Some(Token::LParen) => {
+                    self.next();
+                    let inner = self.inner_select()?;
+                    self.expect(&Token::RParen)?;
+                    inner
+                }
+                _ => Relation::Table(self.ident()?),
+            };
+            self.keyword("ON")?;
+            let mut on = vec![self.ident()?];
+            while let Some(Token::Comma) = self.peek() {
+                self.next();
+                on.push(self.ident()?);
+            }
+            rel = Relation::Join {
+                left: Box::new(rel),
+                right: Box::new(right),
+                on,
+                kind: if outer { JoinKind::Outer } else { JoinKind::Inner },
+            };
+        }
+        Ok(rel)
+    }
+
+    /// An inner select: projection / filter / dedup / limit over a source.
+    fn inner_select(&mut self) -> Result<Relation, QueryError> {
+        if !self.peek_keyword("SELECT") {
+            // A bare source inside parentheses.
+            return self.source();
+        }
+        self.keyword("SELECT")?;
+        let mut columns = Vec::new();
+        let mut range: Option<(String, f64, f64)> = None;
+        loop {
+            if self.peek_keyword("range") {
+                self.next();
+                self.expect(&Token::LParen)?;
+                let col = self.ident()?;
+                self.expect(&Token::Comma)?;
+                let lo = self.number()?;
+                self.expect(&Token::Comma)?;
+                let hi = self.number()?;
+                self.expect(&Token::RParen)?;
+                columns.push(col.clone());
+                range = Some((col, lo, hi));
+            } else if let Some(Token::Star) = self.peek() {
+                self.next();
+                columns.clear();
+            } else {
+                columns.push(self.ident()?);
+            }
+            match self.peek() {
+                Some(Token::Comma) => {
+                    self.next();
+                }
+                _ => break,
+            }
+        }
+        self.keyword("FROM")?;
+        let mut rel = self.source()?;
+        if self.peek_keyword("WHERE") {
+            self.next();
+            rel = Relation::Filter { input: Box::new(rel), predicate: self.predicate()? };
+        }
+        if self.peek_keyword("GROUP") {
+            self.next();
+            self.keyword("BY")?;
+            let mut keys = vec![self.ident()?];
+            while let Some(Token::Comma) = self.peek() {
+                self.next();
+                keys.push(self.ident()?);
+            }
+            rel = Relation::Distinct { input: Box::new(rel), columns: keys };
+        }
+        if self.peek_keyword("LIMIT") {
+            self.next();
+            rel = Relation::Limit { input: Box::new(rel), limit: self.number()? as usize };
+        }
+        if let Some((col, lo, hi)) = range {
+            rel = Relation::RangeConstraint { input: Box::new(rel), column: col, lo, hi };
+        }
+        if !columns.is_empty() {
+            rel = Relation::Project { input: Box::new(rel), columns };
+        }
+        Ok(rel)
+    }
+
+    fn select_statement(&mut self) -> Result<SelectStatement, QueryError> {
+        self.keyword("SELECT")?;
+        let mut aggregations = Vec::new();
+        let mut group_columns_in_list: Vec<String> = Vec::new();
+        loop {
+            let item = match self.peek() {
+                Some(Token::Ident(s)) => s.clone(),
+                other => return Err(QueryError::Parse(format!("expected select item, found {other:?}"))),
+            };
+            let func = match item.to_ascii_uppercase().as_str() {
+                "COUNT" => Some(AggregateFunction::Count),
+                "SUM" => Some(AggregateFunction::Sum),
+                "AVG" => Some(AggregateFunction::Avg),
+                "VAR" | "VARIANCE" => Some(AggregateFunction::Var),
+                "ARGMAX" => Some(AggregateFunction::ArgMax),
+                _ => None,
+            };
+            match func {
+                Some(f) => {
+                    self.next();
+                    aggregations.push(self.aggregation(f)?);
+                }
+                None => {
+                    // A bare column in the select list: must be the GROUP BY column.
+                    group_columns_in_list.push(self.ident()?);
+                }
+            }
+            match self.peek() {
+                Some(Token::Comma) => {
+                    self.next();
+                }
+                _ => break,
+            }
+        }
+        if aggregations.is_empty() {
+            return Err(QueryError::Unsupported(
+                "the outer SELECT must contain at least one aggregation (Appendix D)".into(),
+            ));
+        }
+        self.keyword("FROM")?;
+        let mut source = self.source()?;
+        if self.peek_keyword("WHERE") {
+            self.next();
+            source = Relation::Filter { input: Box::new(source), predicate: self.predicate()? };
+        }
+        let mut group_by = None;
+        if self.peek_keyword("GROUP") {
+            self.next();
+            self.keyword("BY")?;
+            let column = self.ident()?;
+            if self.peek_keyword("WITH") {
+                self.next();
+                self.keyword("KEYS")?;
+                self.expect(&Token::LBracket)?;
+                let mut keys = Vec::new();
+                loop {
+                    match self.next() {
+                        Some(Token::Str(s)) => keys.push(Value::Str(s)),
+                        Some(Token::Num(n)) => keys.push(Value::Num(n)),
+                        other => return Err(QueryError::Parse(format!("expected key literal, found {other:?}"))),
+                    }
+                    match self.next() {
+                        Some(Token::Comma) => continue,
+                        Some(Token::RBracket) => break,
+                        other => return Err(QueryError::Parse(format!("expected ',' or ']', found {other:?}"))),
+                    }
+                }
+                group_by = Some(GroupBy { column, keys: GroupKeys::Explicit(keys) });
+            } else if self.peek_keyword("BIN") {
+                self.next();
+                let bin = self.duration_secs()?;
+                group_by = Some(GroupBy { column, keys: GroupKeys::ChunkBins { bin_secs: bin } });
+            } else {
+                return Err(QueryError::Unsupported(format!(
+                    "GROUP BY {column} requires WITH KEYS [...] (analyst column) or BIN <seconds> (chunk column)"
+                )));
+            }
+        }
+        if let (Some(g), false) = (&group_by, group_columns_in_list.is_empty()) {
+            if !group_columns_in_list.contains(&g.column) {
+                return Err(QueryError::Unsupported(format!(
+                    "non-aggregated select column(s) {group_columns_in_list:?} must match the GROUP BY column {}",
+                    g.column
+                )));
+            }
+        } else if !group_columns_in_list.is_empty() && group_by.is_none() {
+            return Err(QueryError::Unsupported(
+                "non-aggregated columns in the outer SELECT require a GROUP BY".into(),
+            ));
+        }
+        let mut epsilon = None;
+        if self.peek_keyword("CONSUMING") {
+            self.next();
+            epsilon = Some(self.number()?);
+        }
+        self.expect(&Token::Semi)?;
+        Ok(SelectStatement { aggregations, source, group_by, epsilon })
+    }
+}
+
+/// Parse a full query text into its statements.
+pub fn parse_query(text: &str) -> Result<ParsedQuery, QueryError> {
+    let tokens = tokenize(text)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let mut query = ParsedQuery::default();
+    while parser.peek().is_some() {
+        if parser.peek_keyword("SPLIT") {
+            query.splits.push(parser.split_statement()?);
+        } else if parser.peek_keyword("PROCESS") {
+            query.processes.push(parser.process_statement()?);
+        } else if parser.peek_keyword("SELECT") {
+            query.selects.push(parser.select_statement()?);
+        } else {
+            return Err(QueryError::Parse(format!(
+                "expected SPLIT, PROCESS or SELECT, found {:?}",
+                parser.peek()
+            )));
+        }
+    }
+    Ok(query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full Listing 1 query, adapted to offset timestamps.
+    const LISTING1: &str = r#"
+        /* Select 1 month time window from camera, split video into chunks */
+        SPLIT camA BEGIN 0 END 744 hr BY TIME 5 sec STRIDE 0 sec INTO chunksA;
+
+        /* Process chunks using analyst's code, store outputs in tableA */
+        PROCESS chunksA USING model.py TIMEOUT 1 sec
+            PRODUCING 10 ROWS
+            WITH SCHEMA (plate:STRING="", color:STRING="", speed:NUMBER=0)
+            INTO tableA;
+
+        /* S1: average speed of all cars */
+        SELECT AVG(range(speed, 30, 60)) FROM tableA;
+
+        /* S2: count total unique cars of each color */
+        SELECT color, COUNT(plate) FROM (SELECT plate, color FROM tableA GROUP BY plate)
+            GROUP BY color WITH KEYS ["RED", "WHITE", "SILVER"];
+    "#;
+
+    #[test]
+    fn listing1_parses_completely() {
+        let q = parse_query(LISTING1).expect("Listing 1 must parse");
+        assert_eq!(q.splits.len(), 1);
+        assert_eq!(q.processes.len(), 1);
+        assert_eq!(q.selects.len(), 2);
+
+        let split = &q.splits[0];
+        assert_eq!(split.camera, "camA");
+        assert_eq!(split.chunk_secs, 5.0);
+        assert_eq!(split.stride_secs, 0.0);
+        assert_eq!(split.end_secs, 744.0 * 3600.0);
+        assert_eq!(split.output, "chunksA");
+
+        let process = &q.processes[0];
+        assert_eq!(process.executable, "model.py");
+        assert_eq!(process.max_rows, 10);
+        assert_eq!(process.schema.len(), 3);
+        assert_eq!(process.output, "tableA");
+
+        let s1 = &q.selects[0];
+        assert_eq!(s1.aggregations[0], Aggregation::avg("speed", 30.0, 60.0));
+        assert_eq!(s1.source, Relation::table("tableA"));
+
+        let s2 = &q.selects[1];
+        assert_eq!(s2.aggregations[0].function, AggregateFunction::Count);
+        assert_eq!(s2.release_count(), 3);
+        match &s2.source {
+            Relation::Project { input, columns } => {
+                assert_eq!(columns, &vec!["plate".to_string(), "color".to_string()]);
+                assert!(matches!(**input, Relation::Distinct { .. }));
+            }
+            other => panic!("expected projection over dedup, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn split_with_mask_and_region() {
+        let q = parse_query(
+            "SPLIT cam BEGIN 0 END 1 hr BY TIME 10 sec STRIDE 0 sec WITH MASK m1 BY REGION crosswalks INTO c;",
+        )
+        .unwrap();
+        assert_eq!(q.splits[0].mask.as_deref(), Some("m1"));
+        assert_eq!(q.splits[0].region_scheme.as_deref(), Some("crosswalks"));
+    }
+
+    #[test]
+    fn select_with_where_consuming_and_bins() {
+        let q = parse_query(
+            r#"SELECT COUNT(*) FROM tableA WHERE color = "RED" AND speed >= 30 GROUP BY chunk BIN 1 hr CONSUMING 0.5;"#,
+        )
+        .unwrap();
+        let s = &q.selects[0];
+        assert_eq!(s.epsilon, Some(0.5));
+        assert!(matches!(s.source, Relation::Filter { .. }));
+        match &s.group_by {
+            Some(GroupBy { column, keys: GroupKeys::ChunkBins { bin_secs } }) => {
+                assert_eq!(column, "chunk");
+                assert_eq!(*bin_secs, 3600.0);
+            }
+            other => panic!("expected chunk bins, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn join_and_union_sources() {
+        let q = parse_query("SELECT COUNT(*) FROM t1 JOIN t2 ON plate, day;").unwrap();
+        match &q.selects[0].source {
+            Relation::Join { on, kind, .. } => {
+                assert_eq!(on, &vec!["plate".to_string(), "day".to_string()]);
+                assert_eq!(*kind, JoinKind::Inner);
+            }
+            other => panic!("expected join, got {other:?}"),
+        }
+        let q = parse_query("SELECT AVG(range(hours, 0, 16)) FROM t1 UNION t2 ON taxi;").unwrap();
+        assert!(matches!(&q.selects[0].source, Relation::Join { kind: JoinKind::Outer, .. }));
+    }
+
+    #[test]
+    fn inner_select_with_limit_and_where() {
+        let q = parse_query(r#"SELECT SUM(range(speed, 0, 100)) FROM (SELECT speed FROM t WHERE speed >= 10 LIMIT 50);"#)
+            .unwrap();
+        // Project > Limit > Filter > Table
+        let mut rel = &q.selects[0].source;
+        if let Relation::Project { input, .. } = rel {
+            rel = input;
+        } else {
+            panic!("expected project");
+        }
+        assert!(matches!(rel, Relation::Limit { limit: 50, .. }));
+    }
+
+    #[test]
+    fn rejected_constructs() {
+        // Outer select without aggregation.
+        assert!(parse_query("SELECT color FROM tableA;").is_err());
+        // GROUP BY without keys or bins.
+        assert!(parse_query("SELECT COUNT(*) FROM t GROUP BY color;").is_err());
+        // Bare column without GROUP BY.
+        assert!(parse_query("SELECT color, COUNT(*) FROM t;").is_err());
+        // range with hi < lo.
+        assert!(parse_query("SELECT AVG(range(speed, 60, 30)) FROM t;").is_err());
+        // Unterminated string.
+        assert!(parse_query(r#"SELECT COUNT(*) FROM t WHERE color = "RED;"#).is_err());
+        // Garbage statement.
+        assert!(parse_query("FROBNICATE t;").is_err());
+        // Zero rows.
+        assert!(parse_query(
+            "PROCESS c USING x TIMEOUT 1 sec PRODUCING 0 ROWS WITH SCHEMA (a:NUMBER=0) INTO t;"
+        )
+        .is_err());
+        // Inverted split window.
+        assert!(parse_query("SPLIT cam BEGIN 100 END 50 BY TIME 5 sec STRIDE 0 sec INTO c;").is_err());
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let q = parse_query("-- a line comment\nSELECT COUNT(*) FROM t; /* block */").unwrap();
+        assert_eq!(q.selects.len(), 1);
+    }
+
+    #[test]
+    fn duration_units() {
+        let q = parse_query("SPLIT cam BEGIN 0 END 2 days BY TIME 30 sec STRIDE 1 min INTO c;").unwrap();
+        assert_eq!(q.splits[0].end_secs, 172_800.0);
+        assert_eq!(q.splits[0].stride_secs, 60.0);
+    }
+}

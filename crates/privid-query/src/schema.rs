@@ -1,0 +1,185 @@
+//! Intermediate-table schemas, as declared in a `PROCESS ... WITH SCHEMA`
+//! clause.
+//!
+//! Privid never trusts the analyst's processor to respect the schema: output
+//! rows are coerced — extraneous columns dropped, missing or mistyped cells
+//! replaced by the declared defaults — before they enter the table (§6.2).
+
+use crate::error::QueryError;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// Analyst-facing data types of the query language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DataType {
+    /// Arbitrary UTF-8 string.
+    Str,
+    /// IEEE-754 double.
+    Num,
+}
+
+/// One declared column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Declared type.
+    pub dtype: DataType,
+    /// Default value, used when the processor crashes, times out, or emits a
+    /// missing / mistyped cell.
+    pub default: Value,
+}
+
+impl ColumnDef {
+    /// A string column with the given default.
+    pub fn string(name: impl Into<String>, default: impl Into<String>) -> Self {
+        ColumnDef { name: name.into(), dtype: DataType::Str, default: Value::Str(default.into()) }
+    }
+
+    /// A numeric column with the given default.
+    pub fn number(name: impl Into<String>, default: f64) -> Self {
+        ColumnDef { name: name.into(), dtype: DataType::Num, default: Value::Num(default) }
+    }
+}
+
+/// A full table schema: the analyst-declared columns plus the two implicit
+/// columns Privid adds itself (`chunk`, the chunk's start timestamp in
+/// seconds, and `region`, the spatial-split region id).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schema {
+    /// Analyst-declared columns, in declaration order.
+    pub columns: Vec<ColumnDef>,
+}
+
+/// Name of the implicit chunk-timestamp column.
+pub const CHUNK_COLUMN: &str = "chunk";
+/// Name of the implicit spatial-region column.
+pub const REGION_COLUMN: &str = "region";
+
+impl Schema {
+    /// Build a schema from analyst columns. Rejects duplicate names and
+    /// collisions with the implicit columns.
+    pub fn new(columns: Vec<ColumnDef>) -> Result<Self, QueryError> {
+        let mut seen = std::collections::HashSet::new();
+        for c in &columns {
+            if c.name == CHUNK_COLUMN || c.name == REGION_COLUMN {
+                return Err(QueryError::Unsupported(format!(
+                    "column name '{}' is reserved for Privid's implicit columns",
+                    c.name
+                )));
+            }
+            if !seen.insert(c.name.clone()) {
+                return Err(QueryError::Unsupported(format!("duplicate column '{}'", c.name)));
+            }
+        }
+        Ok(Schema { columns })
+    }
+
+    /// The schema of Listing 1's `tableA`: `(plate:STRING="", color:STRING="",
+    /// speed:NUMBER=0)`.
+    pub fn listing1() -> Self {
+        Schema::new(vec![
+            ColumnDef::string("plate", ""),
+            ColumnDef::string("color", ""),
+            ColumnDef::number("speed", 0.0),
+        ])
+        .expect("static schema is valid")
+    }
+
+    /// Number of analyst-declared columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True if there are no analyst columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Position of an analyst column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// The column definition by name.
+    pub fn column(&self, name: &str) -> Option<&ColumnDef> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// True if `name` is one of the implicit columns Privid adds.
+    pub fn is_implicit(name: &str) -> bool {
+        name == CHUNK_COLUMN || name == REGION_COLUMN
+    }
+
+    /// True if the column exists (analyst-declared or implicit).
+    pub fn has_column(&self, name: &str) -> bool {
+        Self::is_implicit(name) || self.column_index(name).is_some()
+    }
+
+    /// The default row: every analyst column at its declared default.
+    /// Emitted when a processor crashes or exceeds its timeout (Appendix B).
+    pub fn default_values(&self) -> Vec<Value> {
+        self.columns.iter().map(|c| c.default.clone()).collect()
+    }
+
+    /// Coerce a processor-emitted row to this schema: truncate extra cells,
+    /// fill missing cells with defaults, and replace mistyped cells with
+    /// defaults. The output always has exactly `self.len()` values.
+    pub fn coerce(&self, raw: &[Value]) -> Vec<Value> {
+        self.columns
+            .iter()
+            .enumerate()
+            .map(|(i, col)| match raw.get(i) {
+                Some(v) => match (col.dtype, v) {
+                    (DataType::Str, Value::Str(_)) => v.clone(),
+                    (DataType::Num, Value::Num(n)) if n.is_finite() => v.clone(),
+                    _ => col.default.clone(),
+                },
+                None => col.default.clone(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listing1_schema_shape() {
+        let s = Schema::listing1();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.column_index("speed"), Some(2));
+        assert_eq!(s.column("plate").unwrap().dtype, DataType::Str);
+        assert!(s.has_column("chunk"), "implicit chunk column is always present");
+        assert!(s.has_column("region"));
+        assert!(!s.has_column("nonexistent"));
+    }
+
+    #[test]
+    fn reserved_and_duplicate_names_rejected() {
+        assert!(Schema::new(vec![ColumnDef::number("chunk", 0.0)]).is_err());
+        assert!(Schema::new(vec![ColumnDef::number("region", 0.0)]).is_err());
+        assert!(Schema::new(vec![ColumnDef::number("x", 0.0), ColumnDef::string("x", "")]).is_err());
+    }
+
+    #[test]
+    fn coercion_truncates_fills_and_fixes_types() {
+        let s = Schema::listing1();
+        // Too many cells → truncated; wrong type for speed → default.
+        let coerced = s.coerce(&[Value::str("ABC123"), Value::str("RED"), Value::str("fast"), Value::num(99.0)]);
+        assert_eq!(coerced, vec![Value::str("ABC123"), Value::str("RED"), Value::num(0.0)]);
+        // Too few cells → defaults appended.
+        let coerced = s.coerce(&[Value::str("XYZ")]);
+        assert_eq!(coerced, vec![Value::str("XYZ"), Value::str(""), Value::num(0.0)]);
+        // Non-finite numbers are replaced by the default.
+        let coerced = s.coerce(&[Value::str("A"), Value::str("B"), Value::num(f64::NAN)]);
+        assert_eq!(coerced[2], Value::num(0.0));
+    }
+
+    #[test]
+    fn default_values_match_declarations() {
+        let s = Schema::new(vec![ColumnDef::string("label", "none"), ColumnDef::number("count", 1.0)]).unwrap();
+        assert_eq!(s.default_values(), vec![Value::str("none"), Value::num(1.0)]);
+    }
+}

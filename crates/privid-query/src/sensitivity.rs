@@ -1,0 +1,425 @@
+//! Sensitivity of a Privid query under `(ρ, K)`-event-duration privacy —
+//! the rules of Fig. 10 and Definition 6.1.
+//!
+//! The central objects are:
+//!
+//! * [`TableProfile`] — the *structural* facts Privid itself enforces about a
+//!   base intermediate table: `max_rows` per chunk, chunk duration, the
+//!   governing policy `(ρ, K)`, and the number of chunks in the query window.
+//!   From these, Eq. 6.2 bounds the number of rows any `(ρ, K)`-bounded event
+//!   can influence: `∆ = max_rows · K · (1 + ⌈ρ/c⌉)`.
+//! * [`Constraints`] — what is known about a relation while walking the AST:
+//!   its ∆ (rows an event can influence), per-column range constraints, and
+//!   an upper bound on its total size. These are the `∆P`, `C̃r`, `C̃s` of
+//!   Fig. 10.
+//! * [`SensitivityContext::release_sensitivity`] — the sensitivity of one
+//!   data release, combining the relation's constraints with the aggregation
+//!   function's formula (Fig. 10, top table).
+//!
+//! Everything here deliberately ignores the *contents* of tables: the analyst
+//! controls those, so a bound that depended on them would be unsound. The
+//! JOIN rule is the canonical example (§6.3): the sensitivity of a join is the
+//! **sum** of its inputs' sensitivities, never the min, because the analyst's
+//! processor can "prime" either table with values that only appear in the
+//! other.
+
+use crate::ast::{AggregateFunction, Aggregation, GroupKeys, Relation, SelectStatement};
+use crate::error::QueryError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Structural facts about one base intermediate table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableProfile {
+    /// `max_rows` from the PROCESS statement: cap on rows per chunk.
+    pub max_rows_per_chunk: usize,
+    /// Chunk duration `c` in seconds, from the SPLIT statement.
+    pub chunk_secs: f64,
+    /// Policy ρ in seconds (possibly the reduced ρ of a chosen mask).
+    pub rho_secs: f64,
+    /// Policy K.
+    pub k: u32,
+    /// Number of chunks the query window produces for this table. Trusted
+    /// because Privid performs the split itself; bounds the table's size.
+    pub num_chunks: u64,
+}
+
+impl TableProfile {
+    /// Worst-case number of chunks one event segment of duration ρ can span
+    /// (Eq. 6.1): `1 + ⌈ρ/c⌉`.
+    pub fn max_chunks_per_segment(&self) -> u64 {
+        1 + (self.rho_secs / self.chunk_secs).ceil() as u64
+    }
+
+    /// Intermediate-table sensitivity (Definition 6.1 / Eq. 6.2): the maximum
+    /// number of rows a `(ρ, K)`-bounded event can influence.
+    pub fn delta_rows(&self) -> f64 {
+        self.max_rows_per_chunk as f64 * self.k as f64 * self.max_chunks_per_segment() as f64
+    }
+
+    /// Structural upper bound on the table's total row count:
+    /// `num_chunks · max_rows`.
+    pub fn max_total_rows(&self) -> f64 {
+        self.num_chunks as f64 * self.max_rows_per_chunk as f64
+    }
+}
+
+/// The Fig. 10 constraint triple for a relation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Constraints {
+    /// `∆P(R)`: maximum number of rows a `(ρ, K)`-bounded event can influence.
+    pub delta_rows: f64,
+    /// `C̃r(R, a)`: known value range per column.
+    pub ranges: HashMap<String, (f64, f64)>,
+    /// `C̃s(R)`: upper bound on the relation's total row count, if known.
+    pub size: Option<f64>,
+}
+
+impl Constraints {
+    /// The range constraint for a column, if bound.
+    pub fn range_of(&self, column: &str) -> Option<(f64, f64)> {
+        self.ranges.get(column).copied()
+    }
+}
+
+/// Context mapping base-table names to their structural profiles.
+#[derive(Debug, Clone, Default)]
+pub struct SensitivityContext {
+    /// Profiles keyed by the table name used in the query.
+    pub profiles: HashMap<String, TableProfile>,
+}
+
+impl SensitivityContext {
+    /// Create an empty context.
+    pub fn new() -> Self {
+        SensitivityContext { profiles: HashMap::new() }
+    }
+
+    /// Register a base table's profile.
+    pub fn register(&mut self, name: impl Into<String>, profile: TableProfile) {
+        self.profiles.insert(name.into(), profile);
+    }
+
+    /// Compute the Fig. 10 constraints of an inner relation.
+    pub fn constraints_of(&self, relation: &Relation) -> Result<Constraints, QueryError> {
+        match relation {
+            Relation::Table(name) => {
+                let p = self.profiles.get(name).ok_or_else(|| QueryError::UnknownTable(name.clone()))?;
+                Ok(Constraints { delta_rows: p.delta_rows(), ranges: HashMap::new(), size: Some(p.max_total_rows()) })
+            }
+            // Selection: never adds or alters rows — all constraints carry over.
+            Relation::Filter { input, .. } => self.constraints_of(input),
+            // LIMIT x bounds the size by x.
+            Relation::Limit { input, limit } => {
+                let mut c = self.constraints_of(input)?;
+                c.size = Some(match c.size {
+                    Some(s) => s.min(*limit as f64),
+                    None => *limit as f64,
+                });
+                Ok(c)
+            }
+            // Projection: surviving columns keep their ranges; ∆ and size carry.
+            Relation::Project { input, columns } => {
+                let mut c = self.constraints_of(input)?;
+                c.ranges.retain(|k, _| columns.contains(k));
+                Ok(c)
+            }
+            // range(col, lo, hi): binds the column's range.
+            Relation::RangeConstraint { input, column, lo, hi } => {
+                if hi < lo {
+                    return Err(QueryError::Unsupported(format!("range({column}, {lo}, {hi}) has hi < lo")));
+                }
+                let mut c = self.constraints_of(input)?;
+                c.ranges.insert(column.clone(), (*lo, *hi));
+                Ok(c)
+            }
+            // Intermediate GROUP BY (dedup): rows are merged but an event can
+            // still influence ∆ of the surviving rows. Ranges carry over (the
+            // dedup keeps representative values); the size bound carries over
+            // (dedup can only shrink the relation).
+            Relation::Distinct { input, .. } => self.constraints_of(input),
+            // JOIN: sensitivities add (§6.3) regardless of join kind, because
+            // the untrusted executable can prime either side. Ranges merge
+            // (conservatively requiring both sides to agree when both bind the
+            // same column); the size bound depends on the kind.
+            Relation::Join { left, right, kind, .. } => {
+                let l = self.constraints_of(left)?;
+                let r = self.constraints_of(right)?;
+                let mut ranges = l.ranges.clone();
+                for (col, (rlo, rhi)) in r.ranges {
+                    ranges
+                        .entry(col)
+                        .and_modify(|(lo, hi)| {
+                            *lo = lo.min(rlo);
+                            *hi = hi.max(rhi);
+                        })
+                        .or_insert((rlo, rhi));
+                }
+                let size = match kind {
+                    // Union: at most the sum of both sides.
+                    crate::ast::JoinKind::Outer => match (l.size, r.size) {
+                        (Some(a), Some(b)) => Some(a + b),
+                        _ => None,
+                    },
+                    // Equijoin: each left row can match every right row.
+                    crate::ast::JoinKind::Inner => match (l.size, r.size) {
+                        (Some(a), Some(b)) => Some(a * b),
+                        _ => None,
+                    },
+                };
+                Ok(Constraints { delta_rows: l.delta_rows + r.delta_rows, ranges, size })
+            }
+        }
+    }
+
+    /// Sensitivity of a single aggregation release over `relation`.
+    ///
+    /// With a GROUP BY, every per-key release conservatively uses the same
+    /// sensitivity (an event's rows could all land in one group).
+    pub fn release_sensitivity(&self, relation: &Relation, agg: &Aggregation) -> Result<f64, QueryError> {
+        let constraints = self.constraints_of(relation)?;
+        let delta = constraints.delta_rows;
+        // The aggregation's own `range(col, lo, hi)` takes precedence over a
+        // range bound earlier in the relation tree.
+        let range = |col: &str| -> Option<(f64, f64)> { agg.range.or_else(|| constraints.range_of(col)) };
+        match agg.function {
+            AggregateFunction::Count => Ok(delta),
+            AggregateFunction::ArgMax => Ok(delta),
+            AggregateFunction::Sum => {
+                let col = agg.column.as_deref().ok_or_else(|| QueryError::Unsupported("SUM needs a column".into()))?;
+                let (lo, hi) = range(col).ok_or_else(|| {
+                    QueryError::MissingConstraint(format!("SUM({col}) requires range({col}, lo, hi)"))
+                })?;
+                Ok(delta * lo.abs().max(hi.abs()))
+            }
+            AggregateFunction::Avg => {
+                let col = agg.column.as_deref().ok_or_else(|| QueryError::Unsupported("AVG needs a column".into()))?;
+                let (lo, hi) = range(col).ok_or_else(|| {
+                    QueryError::MissingConstraint(format!("AVG({col}) requires range({col}, lo, hi)"))
+                })?;
+                let size = constraints.size.ok_or_else(|| {
+                    QueryError::MissingConstraint(format!(
+                        "AVG({col}) requires a size bound (LIMIT, or a base table whose window bounds the row count)"
+                    ))
+                })?;
+                Ok(delta * (hi - lo) / size.max(1.0))
+            }
+            AggregateFunction::Var => {
+                let col = agg.column.as_deref().ok_or_else(|| QueryError::Unsupported("VAR needs a column".into()))?;
+                let (lo, hi) = range(col).ok_or_else(|| {
+                    QueryError::MissingConstraint(format!("VAR({col}) requires range({col}, lo, hi)"))
+                })?;
+                let size = constraints.size.ok_or_else(|| {
+                    QueryError::MissingConstraint(format!("VAR({col}) requires a size bound"))
+                })?;
+                Ok((delta * (hi - lo)).powi(2) / size.max(1.0))
+            }
+        }
+    }
+
+    /// Sensitivities for every release of a SELECT statement, in the same
+    /// order the executor produces them (aggregations outer, group keys inner).
+    pub fn statement_sensitivities(
+        &self,
+        stmt: &SelectStatement,
+        chunk_bins_in_window: usize,
+    ) -> Result<Vec<f64>, QueryError> {
+        // Validate GROUP BY restrictions: analyst columns require explicit keys.
+        if let Some(g) = &stmt.group_by {
+            let implicit = crate::schema::Schema::is_implicit(&g.column);
+            match (&g.keys, implicit) {
+                (GroupKeys::Explicit(keys), _) if keys.is_empty() => {
+                    return Err(QueryError::Unsupported("GROUP BY WITH KEYS requires at least one key".into()))
+                }
+                (GroupKeys::ChunkBins { .. }, false) => {
+                    return Err(QueryError::Unsupported(
+                        "GROUP BY over an analyst column must provide explicit keys (WITH KEYS [...])".into(),
+                    ))
+                }
+                _ => {}
+            }
+        }
+        let groups = match &stmt.group_by {
+            Some(g) => match &g.keys {
+                GroupKeys::Explicit(keys) => keys.len().max(1),
+                GroupKeys::ChunkBins { .. } => chunk_bins_in_window.max(1),
+            },
+            None => 1,
+        };
+        let mut out = Vec::with_capacity(stmt.aggregations.len() * groups);
+        for agg in &stmt.aggregations {
+            let s = self.release_sensitivity(&stmt.source, agg)?;
+            for _ in 0..groups {
+                out.push(s);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{JoinKind, Predicate};
+    use crate::value::Value;
+
+    fn listing1_profile() -> TableProfile {
+        // Listing 1: 5 s chunks over one month, max 10 rows/chunk, policy
+        // (ρ = 30 s, K = 2).
+        TableProfile { max_rows_per_chunk: 10, chunk_secs: 5.0, rho_secs: 30.0, k: 2, num_chunks: 535_680 }
+    }
+
+    fn ctx() -> SensitivityContext {
+        let mut c = SensitivityContext::new();
+        c.register("tableA", listing1_profile());
+        c
+    }
+
+    #[test]
+    fn eq_6_2_delta_rows() {
+        let p = listing1_profile();
+        assert_eq!(p.max_chunks_per_segment(), 7, "1 + ceil(30/5)");
+        assert_eq!(p.delta_rows(), 10.0 * 2.0 * 7.0);
+        assert_eq!(p.max_total_rows(), 5_356_800.0);
+    }
+
+    #[test]
+    fn count_sensitivity_is_delta() {
+        let ctx = ctx();
+        let s = ctx.release_sensitivity(&Relation::table("tableA"), &Aggregation::count_star()).unwrap();
+        assert_eq!(s, 140.0);
+    }
+
+    #[test]
+    fn sum_requires_and_uses_range() {
+        let ctx = ctx();
+        let missing = ctx.release_sensitivity(&Relation::table("tableA"), &Aggregation::count("x"));
+        assert!(missing.is_ok(), "count never needs a range");
+        let no_range = Aggregation { function: AggregateFunction::Sum, column: Some("speed".into()), range: None };
+        assert!(matches!(
+            ctx.release_sensitivity(&Relation::table("tableA"), &no_range),
+            Err(QueryError::MissingConstraint(_))
+        ));
+        let s = ctx.release_sensitivity(&Relation::table("tableA"), &Aggregation::sum("speed", 0.0, 60.0)).unwrap();
+        assert_eq!(s, 140.0 * 60.0);
+    }
+
+    #[test]
+    fn avg_uses_window_size_bound() {
+        let ctx = ctx();
+        let s = ctx.release_sensitivity(&Relation::table("tableA"), &Aggregation::avg("speed", 30.0, 60.0)).unwrap();
+        assert!((s - 140.0 * 30.0 / 5_356_800.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn avg_after_unbounded_join_needs_limit() {
+        let mut ctx = ctx();
+        ctx.register("tableB", listing1_profile());
+        // Join of two bounded tables has a (large) bounded size, so AVG works…
+        let joined = Relation::table("tableA").join(Relation::table("tableB"), vec!["plate"], JoinKind::Inner);
+        assert!(ctx.release_sensitivity(&joined, &Aggregation::avg("speed", 0.0, 60.0)).is_ok());
+        // …and a LIMIT tightens it, lowering the noise.
+        let limited = joined.clone().limit(1000);
+        let s_join = ctx.release_sensitivity(&joined, &Aggregation::avg("speed", 0.0, 60.0)).unwrap();
+        let s_limited = ctx.release_sensitivity(&limited, &Aggregation::avg("speed", 0.0, 60.0)).unwrap();
+        assert!(s_limited > s_join, "smaller size bound means each row matters more");
+    }
+
+    #[test]
+    fn join_sensitivity_is_additive_not_min() {
+        // §6.3: the intersection's sensitivity is x + y, not min(x, y).
+        let mut ctx = SensitivityContext::new();
+        ctx.register("t1", TableProfile { max_rows_per_chunk: 5, chunk_secs: 5.0, rho_secs: 10.0, k: 1, num_chunks: 100 });
+        ctx.register("t2", TableProfile { max_rows_per_chunk: 3, chunk_secs: 10.0, rho_secs: 20.0, k: 1, num_chunks: 50 });
+        let d1 = ctx.constraints_of(&Relation::table("t1")).unwrap().delta_rows;
+        let d2 = ctx.constraints_of(&Relation::table("t2")).unwrap().delta_rows;
+        let joined = Relation::table("t1").join(Relation::table("t2"), vec!["plate"], JoinKind::Inner);
+        let c = ctx.constraints_of(&joined).unwrap();
+        assert_eq!(c.delta_rows, d1 + d2);
+        let unioned = Relation::table("t1").join(Relation::table("t2"), vec!["plate"], JoinKind::Outer);
+        assert_eq!(ctx.constraints_of(&unioned).unwrap().delta_rows, d1 + d2);
+    }
+
+    #[test]
+    fn filter_distinct_and_project_preserve_delta() {
+        let ctx = ctx();
+        let base = ctx.constraints_of(&Relation::table("tableA")).unwrap();
+        let wrapped = Relation::table("tableA")
+            .filter(Predicate::EqStr("color".into(), "RED".into()))
+            .distinct_on(vec!["plate"])
+            .project(vec!["plate", "speed"]);
+        let c = ctx.constraints_of(&wrapped).unwrap();
+        assert_eq!(c.delta_rows, base.delta_rows);
+        assert_eq!(c.size, base.size);
+    }
+
+    #[test]
+    fn projection_drops_range_of_removed_columns() {
+        let ctx = ctx();
+        let rel = Relation::table("tableA").with_range("speed", 30.0, 60.0).project(vec!["plate"]);
+        let c = ctx.constraints_of(&rel).unwrap();
+        assert!(c.range_of("speed").is_none());
+        let kept = Relation::table("tableA").with_range("speed", 30.0, 60.0).project(vec!["speed"]);
+        assert_eq!(ctx.constraints_of(&kept).unwrap().range_of("speed"), Some((30.0, 60.0)));
+    }
+
+    #[test]
+    fn limit_bounds_size() {
+        let ctx = ctx();
+        let rel = Relation::table("tableA").limit(42);
+        assert_eq!(ctx.constraints_of(&rel).unwrap().size, Some(42.0));
+    }
+
+    #[test]
+    fn invalid_range_rejected() {
+        let ctx = ctx();
+        let rel = Relation::table("tableA").with_range("speed", 60.0, 30.0);
+        assert!(ctx.constraints_of(&rel).is_err());
+    }
+
+    #[test]
+    fn statement_sensitivities_per_release() {
+        let ctx = ctx();
+        let stmt = SelectStatement::simple(Aggregation::count("plate"), Relation::table("tableA")).group_by_keys(
+            "color",
+            vec![Value::str("RED"), Value::str("WHITE"), Value::str("SILVER")],
+        );
+        let s = ctx.statement_sensitivities(&stmt, 1).unwrap();
+        assert_eq!(s.len(), 3);
+        assert!(s.iter().all(|&x| x == 140.0));
+    }
+
+    #[test]
+    fn group_by_analyst_column_requires_explicit_keys() {
+        let ctx = ctx();
+        let mut stmt = SelectStatement::simple(Aggregation::count_star(), Relation::table("tableA"));
+        stmt.group_by = Some(crate::ast::GroupBy {
+            column: "color".into(),
+            keys: GroupKeys::ChunkBins { bin_secs: 3600.0 },
+        });
+        assert!(matches!(ctx.statement_sensitivities(&stmt, 1), Err(QueryError::Unsupported(_))));
+        let empty_keys = SelectStatement::simple(Aggregation::count_star(), Relation::table("tableA"))
+            .group_by_keys("color", vec![]);
+        assert!(ctx.statement_sensitivities(&empty_keys, 1).is_err());
+    }
+
+    #[test]
+    fn chunk_bin_grouping_is_allowed_without_keys() {
+        let ctx = ctx();
+        let stmt = SelectStatement::simple(Aggregation::count_star(), Relation::table("tableA"))
+            .group_by_chunk_bins(3600.0);
+        let s = ctx.statement_sensitivities(&stmt, 12).unwrap();
+        assert_eq!(s.len(), 12);
+    }
+
+    #[test]
+    fn sensitivity_monotone_in_rho_k_and_max_rows() {
+        let base = TableProfile { max_rows_per_chunk: 10, chunk_secs: 5.0, rho_secs: 30.0, k: 1, num_chunks: 1000 };
+        let more_rho = TableProfile { rho_secs: 60.0, ..base.clone() };
+        let more_k = TableProfile { k: 3, ..base.clone() };
+        let more_rows = TableProfile { max_rows_per_chunk: 20, ..base.clone() };
+        assert!(more_rho.delta_rows() > base.delta_rows());
+        assert!(more_k.delta_rows() > base.delta_rows());
+        assert!(more_rows.delta_rows() > base.delta_rows());
+    }
+}

@@ -1,0 +1,132 @@
+//! Untrusted intermediate tables.
+//!
+//! A table is built by appending the (coerced) rows each chunk's processor
+//! emits. Every row carries the two implicit columns Privid adds itself —
+//! the chunk's start timestamp and the spatial-split region — which are the
+//! only columns whose values Privid trusts (§6.2, Appendix D).
+
+use crate::schema::{Schema, CHUNK_COLUMN, REGION_COLUMN};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// One table row: the analyst columns plus the trusted implicit columns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Values of the analyst-declared columns, in schema order.
+    pub values: Vec<Value>,
+    /// Start timestamp (seconds) of the chunk this row came from (implicit,
+    /// trusted).
+    pub chunk: f64,
+    /// Spatial-split region id this row came from (implicit, trusted; 0 when
+    /// spatial splitting is not used).
+    pub region: u32,
+}
+
+/// An intermediate table: a schema plus the rows accumulated from chunks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// The analyst-declared schema.
+    pub schema: Schema,
+    /// All rows, in chunk order.
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    /// An empty table with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        Table { schema, rows: Vec::new() }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append the output of one chunk, coercing every raw row to the schema
+    /// and enforcing the `max_rows` cap from the PROCESS statement.
+    pub fn append_chunk_output(&mut self, chunk_start_secs: f64, region: u32, raw_rows: &[Vec<Value>], max_rows: usize) {
+        for raw in raw_rows.iter().take(max_rows) {
+            self.rows.push(Row { values: self.schema.coerce(raw), chunk: chunk_start_secs, region });
+        }
+    }
+
+    /// Append a single already-coerced row (used by tests and by JOIN/GROUP BY
+    /// intermediates).
+    pub fn push_row(&mut self, row: Row) {
+        self.rows.push(row);
+    }
+
+    /// Read a column value from a row by name, resolving the implicit columns.
+    pub fn get(&self, row: &Row, column: &str) -> Option<Value> {
+        match column {
+            CHUNK_COLUMN => Some(Value::Num(row.chunk)),
+            REGION_COLUMN => Some(Value::Num(row.region as f64)),
+            _ => self.schema.column_index(column).and_then(|i| row.values.get(i).cloned()),
+        }
+    }
+
+    /// The set of distinct values in a column (used by tests; the DP layer
+    /// never branches on data-dependent key sets).
+    pub fn distinct(&self, column: &str) -> Vec<Value> {
+        let mut seen = Vec::new();
+        for row in &self.rows {
+            if let Some(v) = self.get(row, column) {
+                if !seen.contains(&v) {
+                    seen.push(v);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+
+    fn table() -> Table {
+        Table::new(Schema::listing1())
+    }
+
+    #[test]
+    fn append_respects_max_rows_and_coerces() {
+        let mut t = table();
+        let raw = vec![
+            vec![Value::str("AAA"), Value::str("RED"), Value::num(50.0)],
+            vec![Value::str("BBB"), Value::str("WHITE"), Value::str("oops")],
+            vec![Value::str("CCC"), Value::str("SILVER"), Value::num(70.0)],
+        ];
+        t.append_chunk_output(120.0, 0, &raw, 2);
+        assert_eq!(t.len(), 2, "max_rows = 2 truncates the third row");
+        assert_eq!(t.rows[1].values[2], Value::num(0.0), "mistyped speed coerced to default");
+        assert_eq!(t.rows[0].chunk, 120.0);
+    }
+
+    #[test]
+    fn implicit_columns_are_readable() {
+        let mut t = table();
+        t.append_chunk_output(30.0, 2, &[vec![Value::str("AAA"), Value::str("RED"), Value::num(42.0)]], 10);
+        let row = &t.rows[0];
+        assert_eq!(t.get(row, "chunk"), Some(Value::num(30.0)));
+        assert_eq!(t.get(row, "region"), Some(Value::num(2.0)));
+        assert_eq!(t.get(row, "speed"), Some(Value::num(42.0)));
+        assert_eq!(t.get(row, "missing"), None);
+    }
+
+    #[test]
+    fn distinct_values() {
+        let mut t = Table::new(Schema::new(vec![ColumnDef::string("color", "")]).unwrap());
+        for c in ["RED", "RED", "WHITE"] {
+            t.append_chunk_output(0.0, 0, &[vec![Value::str(c)]], 10);
+        }
+        assert_eq!(t.distinct("color"), vec![Value::str("RED"), Value::str("WHITE")]);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,132 @@
+//! Cell values of intermediate tables.
+//!
+//! The query grammar (Appendix D) allows two analyst-facing data types,
+//! `STRING` and `NUMBER`; `Null` only arises internally for missing cells
+//! before schema defaults are applied.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single cell value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// A string value.
+    Str(String),
+    /// A floating-point number.
+    Num(f64),
+    /// Missing value (replaced by the column default during coercion).
+    Null,
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Build a numeric value.
+    pub fn num(n: f64) -> Value {
+        Value::Num(n)
+    }
+
+    /// The numeric content, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if the value is null.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// A canonical string used as a GROUP BY key. Numbers are formatted with
+    /// enough precision for exact keys produced by `hour()`/`day()` helpers.
+    pub fn group_key(&self) -> String {
+        match self {
+            Value::Str(s) => s.clone(),
+            Value::Num(n) => {
+                if (n.fract()).abs() < 1e-12 {
+                    format!("{}", *n as i64)
+                } else {
+                    format!("{n}")
+                }
+            }
+            Value::Null => String::new(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Num(n) => write!(f, "{n}"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Num(n)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Num(n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_accessors() {
+        assert_eq!(Value::from(3.5).as_num(), Some(3.5));
+        assert_eq!(Value::from(7i64).as_num(), Some(7.0));
+        assert_eq!(Value::from("red").as_str(), Some("red"));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::from("red").as_num(), None);
+        assert_eq!(Value::from(1.0).as_str(), None);
+    }
+
+    #[test]
+    fn group_keys_are_stable() {
+        assert_eq!(Value::num(4.0).group_key(), "4");
+        assert_eq!(Value::num(4.5).group_key(), "4.5");
+        assert_eq!(Value::str("RED").group_key(), "RED");
+        assert_eq!(Value::Null.group_key(), "");
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::str("x").to_string(), "x");
+        assert_eq!(Value::num(2.0).to_string(), "2");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+}

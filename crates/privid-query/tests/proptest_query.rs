@@ -1,0 +1,70 @@
+//! Property-based tests for schema coercion and the sensitivity rules.
+
+use privid_query::{Aggregation, ColumnDef, Relation, Schema, SensitivityContext, TableProfile, Value};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<f64>().prop_map(Value::Num),
+        "[a-zA-Z0-9]{0,8}".prop_map(Value::Str),
+        Just(Value::Null),
+    ]
+}
+
+proptest! {
+    /// Coercion always yields exactly the schema's arity with correct types,
+    /// no matter what the processor emitted.
+    #[test]
+    fn coercion_is_total(raw in proptest::collection::vec(arb_value(), 0..8)) {
+        let schema = Schema::new(vec![
+            ColumnDef::string("plate", ""),
+            ColumnDef::string("color", "NONE"),
+            ColumnDef::number("speed", 0.0),
+        ]).unwrap();
+        let coerced = schema.coerce(&raw);
+        prop_assert_eq!(coerced.len(), 3);
+        prop_assert!(coerced[0].as_str().is_some());
+        prop_assert!(coerced[1].as_str().is_some());
+        let n = coerced[2].as_num().unwrap();
+        prop_assert!(n.is_finite());
+    }
+
+    /// Eq. 6.2 sensitivity is monotone in max_rows, K and rho, and the COUNT
+    /// sensitivity equals the table delta regardless of wrapping filters.
+    #[test]
+    fn sensitivity_monotone(max_rows in 1usize..50, k in 1u32..5, rho in 0.0..600.0f64, chunk in 1.0..60.0f64) {
+        let base = TableProfile { max_rows_per_chunk: max_rows, chunk_secs: chunk, rho_secs: rho, k, num_chunks: 1000 };
+        let more_rows = TableProfile { max_rows_per_chunk: max_rows + 1, ..base.clone() };
+        let more_k = TableProfile { k: k + 1, ..base.clone() };
+        let more_rho = TableProfile { rho_secs: rho + chunk, ..base.clone() };
+        prop_assert!(more_rows.delta_rows() > base.delta_rows());
+        prop_assert!(more_k.delta_rows() > base.delta_rows());
+        prop_assert!(more_rho.delta_rows() >= base.delta_rows());
+
+        let mut ctx = SensitivityContext::new();
+        ctx.register("t", base.clone());
+        let plain = ctx.release_sensitivity(&Relation::table("t"), &Aggregation::count_star()).unwrap();
+        let wrapped = ctx
+            .release_sensitivity(
+                &Relation::table("t").distinct_on(vec!["plate"]).project(vec!["plate"]),
+                &Aggregation::count_star(),
+            )
+            .unwrap();
+        prop_assert!((plain - base.delta_rows()).abs() < 1e-9);
+        prop_assert!((wrapped - plain).abs() < 1e-9, "filters and projections never change the count sensitivity");
+    }
+
+    /// Join sensitivity equals the sum of the inputs' sensitivities for any
+    /// pair of profiles (never the min).
+    #[test]
+    fn join_sensitivity_additive(r1 in 1usize..20, r2 in 1usize..20, rho1 in 0.0..300.0f64, rho2 in 0.0..300.0f64) {
+        let p1 = TableProfile { max_rows_per_chunk: r1, chunk_secs: 5.0, rho_secs: rho1, k: 1, num_chunks: 100 };
+        let p2 = TableProfile { max_rows_per_chunk: r2, chunk_secs: 10.0, rho_secs: rho2, k: 2, num_chunks: 100 };
+        let mut ctx = SensitivityContext::new();
+        ctx.register("a", p1.clone());
+        ctx.register("b", p2.clone());
+        let joined = Relation::table("a").join(Relation::table("b"), vec!["plate"], privid_query::ast::JoinKind::Inner);
+        let c = ctx.constraints_of(&joined).unwrap();
+        prop_assert!((c.delta_rows - (p1.delta_rows() + p2.delta_rows())).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,287 @@
+//! Built-in analyst processors implementing the paper's query case studies.
+//!
+//! Each processor is the Rust analogue of one analyst-supplied executable:
+//! it sees a single chunk and emits rows for that chunk. The mapping to the
+//! paper's queries (Table 3):
+//!
+//! | processor | queries | rows emitted per chunk |
+//! |---|---|---|
+//! | [`UniqueEntrantProcessor`] | Q1–Q3 | one row per private object that *enters* during the chunk |
+//! | [`CarTableProcessor`] | Listing 1 | `(plate, color, speed)` per car observed |
+//! | [`TreeBloomProcessor`] | Q7–Q9 | `(bloomed%)` per tree observed |
+//! | [`RedLightProcessor`] | Q10–Q12 | `(red_secs)` for the traffic light |
+//! | [`DirectionFilterProcessor`] | Q13 | one row per person entering during the chunk and moving north |
+//! | [`TaxiShiftProcessor`] | Q4–Q6 | `(taxi, day, hour, camera)` per taxi sighted |
+
+use crate::processor::ChunkProcessor;
+use privid_query::Value;
+use privid_video::{Chunk, ObjectClass};
+
+/// Emits one row (`count = 1`) per private object of the target class that
+/// enters the scene during the chunk. "Enters during the chunk" means the
+/// object is not visible in the chunk's first frame — the de-duplication
+/// idiom §6.2 describes for objects without globally unique identifiers.
+#[derive(Debug, Clone)]
+pub struct UniqueEntrantProcessor {
+    /// Class of objects to count (e.g. Person for Q1/Q3, Car for Q2).
+    pub class: ObjectClass,
+}
+
+impl UniqueEntrantProcessor {
+    /// Count people.
+    pub fn people() -> Self {
+        UniqueEntrantProcessor { class: ObjectClass::Person }
+    }
+
+    /// Count cars.
+    pub fn cars() -> Self {
+        UniqueEntrantProcessor { class: ObjectClass::Car }
+    }
+}
+
+impl ChunkProcessor for UniqueEntrantProcessor {
+    fn name(&self) -> &str {
+        "unique_entrant_counter"
+    }
+
+    fn process(&mut self, chunk: &Chunk) -> Vec<Vec<Value>> {
+        chunk
+            .objects
+            .values()
+            .filter(|info| info.class == self.class && !info.visible_in_first_frame)
+            .map(|_| vec![Value::num(1.0)])
+            .collect()
+    }
+}
+
+/// Listing 1's `model.py`: emits `(plate, color, speed)` for every car
+/// observed anywhere in the chunk.
+#[derive(Debug, Clone, Default)]
+pub struct CarTableProcessor;
+
+impl ChunkProcessor for CarTableProcessor {
+    fn name(&self) -> &str {
+        "car_table"
+    }
+
+    fn process(&mut self, chunk: &Chunk) -> Vec<Vec<Value>> {
+        chunk
+            .objects
+            .values()
+            .filter(|info| info.class == ObjectClass::Car)
+            .map(|info| {
+                vec![
+                    Value::str(info.attributes.plate.clone()),
+                    Value::str(info.attributes.color.map(|c| c.label()).unwrap_or("")),
+                    Value::num(info.attributes.speed_kmh),
+                ]
+            })
+            .collect()
+    }
+}
+
+/// Q7–Q9: emits one row per tree observed with 100 if it has bloomed and 0
+/// otherwise, so `AVG(range(bloomed, 0, 100))` is the blooming percentage.
+#[derive(Debug, Clone, Default)]
+pub struct TreeBloomProcessor;
+
+impl ChunkProcessor for TreeBloomProcessor {
+    fn name(&self) -> &str {
+        "tree_bloom"
+    }
+
+    fn process(&mut self, chunk: &Chunk) -> Vec<Vec<Value>> {
+        chunk
+            .objects
+            .values()
+            .filter(|info| info.class == ObjectClass::Tree)
+            .map(|info| vec![Value::num(if info.attributes.has_leaves { 100.0 } else { 0.0 })])
+            .collect()
+    }
+}
+
+/// Q10–Q12: emits the observed red-phase duration of the traffic light in the
+/// chunk (one row per light; normally exactly one).
+#[derive(Debug, Clone, Default)]
+pub struct RedLightProcessor;
+
+impl ChunkProcessor for RedLightProcessor {
+    fn name(&self) -> &str {
+        "red_light_duration"
+    }
+
+    fn process(&mut self, chunk: &Chunk) -> Vec<Vec<Value>> {
+        chunk
+            .objects
+            .values()
+            .filter(|info| info.class == ObjectClass::TrafficLight)
+            .map(|info| vec![Value::num(info.attributes.red_light_duration)])
+            .collect()
+    }
+}
+
+/// Q13 (stateful query): emits one row per person that *enters during the
+/// chunk* and whose within-chunk motion is northwards by at least
+/// `min_northward_px` pixels. Detecting direction needs enough temporal
+/// context inside a single chunk, which is why Q13 uses a larger chunk size.
+#[derive(Debug, Clone)]
+pub struct DirectionFilterProcessor {
+    /// Minimum net northward motion, in pixels, to count the person.
+    pub min_northward_px: f64,
+}
+
+impl Default for DirectionFilterProcessor {
+    fn default() -> Self {
+        DirectionFilterProcessor { min_northward_px: 50.0 }
+    }
+}
+
+impl ChunkProcessor for DirectionFilterProcessor {
+    fn name(&self) -> &str {
+        "northbound_entrants"
+    }
+
+    fn process(&mut self, chunk: &Chunk) -> Vec<Vec<Value>> {
+        chunk
+            .objects
+            .values()
+            .filter(|info| {
+                info.class == ObjectClass::Person
+                    && !info.visible_in_first_frame
+                    && info.net_dy <= -self.min_northward_px
+            })
+            .map(|_| vec![Value::num(1.0)])
+            .collect()
+    }
+}
+
+/// Q4–Q6 (Porto): emits `(taxi, day, hour, camera)` for every taxi sighted in
+/// the chunk. Day and hour are derived from the chunk's own start timestamp,
+/// which Privid provides and trusts.
+#[derive(Debug, Clone, Default)]
+pub struct TaxiShiftProcessor;
+
+impl ChunkProcessor for TaxiShiftProcessor {
+    fn name(&self) -> &str {
+        "taxi_shift"
+    }
+
+    fn process(&mut self, chunk: &Chunk) -> Vec<Vec<Value>> {
+        let start = chunk.span.start.as_secs();
+        let day = (start / 86_400.0).floor();
+        let hour = ((start % 86_400.0) / 3600.0).floor();
+        chunk
+            .objects
+            .values()
+            .filter(|info| info.class == ObjectClass::Car)
+            .map(|info| {
+                vec![
+                    Value::str(info.attributes.plate.clone()),
+                    Value::num(day),
+                    Value::num(hour),
+                    Value::str(chunk.camera.clone()),
+                ]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privid_video::{split_scene, ChunkSpec, SceneConfig, SceneGenerator, TimeSpan};
+
+    fn chunks(minutes: f64, chunk_secs: f64) -> Vec<Chunk> {
+        let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(0.5)).generate();
+        split_scene(&scene, &TimeSpan::from_secs(minutes * 60.0), &ChunkSpec::contiguous(chunk_secs), None)
+    }
+
+    #[test]
+    fn unique_entrants_counted_once_across_chunks() {
+        let chunks = chunks(20.0, 5.0);
+        let mut total = 0usize;
+        for c in &chunks {
+            total += UniqueEntrantProcessor::people().process(c).len();
+        }
+        // Compare against ground truth: people whose first appearance starts
+        // within the window (each contributes one entrance per segment start
+        // inside the window).
+        let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(0.5)).generate();
+        let gt: usize = scene
+            .objects
+            .iter()
+            .filter(|o| o.class == ObjectClass::Person)
+            .flat_map(|o| o.segments.iter())
+            .filter(|s| s.span.start.as_secs() < 20.0 * 60.0 && s.span.start.as_secs() > 0.0)
+            .count();
+        // Entrants whose first appearance coincides with a chunk's first frame
+        // are indistinguishable from objects already present, so the chunked
+        // count undershoots by roughly frame_duration/chunk_duration (20% at
+        // 1 fps / 5 s chunks); the error shrinks with higher frame rates.
+        let err = (total as f64 - gt as f64).abs() / gt.max(1) as f64;
+        assert!(err < 0.3, "chunked entrant count {total} should approximate ground truth {gt}");
+        assert!(total <= gt, "chunking can only miss entrants, never invent them");
+    }
+
+    #[test]
+    fn car_table_rows_have_three_columns() {
+        let scene = SceneGenerator::new(SceneConfig::highway().with_duration_hours(0.1).with_arrival_scale(0.1)).generate();
+        let chunks = split_scene(&scene, &TimeSpan::from_secs(120.0), &ChunkSpec::contiguous(5.0), None);
+        let mut p = CarTableProcessor;
+        let rows: Vec<_> = chunks.iter().flat_map(|c| p.process(c)).collect();
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert_eq!(r.len(), 3);
+            assert!(r[0].as_str().unwrap().starts_with("PLT"));
+            assert!(r[2].as_num().unwrap() >= 30.0);
+        }
+    }
+
+    #[test]
+    fn tree_bloom_matches_config_fraction() {
+        let chunks = chunks(1.0, 30.0);
+        let mut p = TreeBloomProcessor;
+        let rows = p.process(&chunks[0]);
+        assert_eq!(rows.len(), 15, "campus has 15 trees, all visible in every chunk");
+        let avg: f64 = rows.iter().map(|r| r[0].as_num().unwrap()).sum::<f64>() / rows.len() as f64;
+        assert_eq!(avg, 100.0, "campus preset: every tree has leaves");
+    }
+
+    #[test]
+    fn red_light_duration_reported() {
+        let chunks = chunks(1.0, 30.0);
+        let rows = RedLightProcessor.process(&chunks[0]);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::num(75.0), "campus red phase is 75 s (Table 3 Q10)");
+    }
+
+    #[test]
+    fn direction_filter_selects_subset_of_entrants() {
+        // Large chunks so within-chunk motion is observable.
+        let chunks = chunks(20.0, 120.0);
+        let mut all = 0usize;
+        let mut north = 0usize;
+        for c in &chunks {
+            all += UniqueEntrantProcessor::people().process(c).len();
+            north += DirectionFilterProcessor::default().process(c).len();
+        }
+        assert!(north > 0, "some pedestrians head north");
+        assert!(north < all, "the direction filter must exclude southbound/eastbound people");
+    }
+
+    #[test]
+    fn taxi_rows_carry_trusted_day_and_hour() {
+        let porto = privid_video::PortoDataset::generate(privid_video::PortoConfig::small());
+        let scene = porto.camera_scene(0);
+        let window = TimeSpan::between_secs(0.0, 6.0 * 3600.0);
+        let chunks = split_scene(&scene, &window, &ChunkSpec::contiguous(60.0), None);
+        let mut p = TaxiShiftProcessor;
+        let rows: Vec<_> = chunks.iter().flat_map(|c| p.process(c)).collect();
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert_eq!(r[1], Value::num(0.0), "all within day 0");
+            assert!(r[2].as_num().unwrap() < 24.0);
+            assert_eq!(r[3].as_str().unwrap(), "porto0");
+        }
+    }
+}

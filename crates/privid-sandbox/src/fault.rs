@@ -1,0 +1,165 @@
+//! Adversarial and faulty processors used to verify that the sandbox contract
+//! holds no matter what the analyst's code does.
+//!
+//! These model the misbehaviours Appendix B worries about: flooding the table
+//! with extra rows, crashing, running past the time budget, emitting rows
+//! that do not match the schema, and attempting to smuggle state between
+//! chunk instantiations through shared memory.
+
+use crate::processor::ChunkProcessor;
+use privid_query::Value;
+use privid_video::Chunk;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Emits far more rows than `max_rows` allows; the sandbox must truncate.
+#[derive(Debug, Clone)]
+pub struct RowFloodProcessor {
+    /// Number of rows to emit per chunk.
+    pub rows: usize,
+}
+
+impl ChunkProcessor for RowFloodProcessor {
+    fn name(&self) -> &str {
+        "row_flood"
+    }
+
+    fn process(&mut self, _chunk: &Chunk) -> Vec<Vec<Value>> {
+        (0..self.rows).map(|i| vec![Value::num(i as f64), Value::str("flood")]).collect()
+    }
+}
+
+/// Panics while processing; the sandbox must substitute the default row.
+#[derive(Debug, Clone, Default)]
+pub struct CrashingProcessor;
+
+impl ChunkProcessor for CrashingProcessor {
+    fn name(&self) -> &str {
+        "crasher"
+    }
+
+    fn process(&mut self, _chunk: &Chunk) -> Vec<Vec<Value>> {
+        panic!("analyst executable crashed");
+    }
+}
+
+/// Reports a simulated execution time that scales with what it "saw" in the
+/// chunk — the timing side channel Appendix B forbids. The sandbox must both
+/// time it out (when over budget) and charge a fixed time regardless.
+#[derive(Debug, Clone)]
+pub struct SlowProcessor {
+    /// Base simulated cost in seconds.
+    pub base_secs: f64,
+    /// Additional seconds per observation in the chunk (the "leak").
+    pub per_observation_secs: f64,
+}
+
+impl ChunkProcessor for SlowProcessor {
+    fn name(&self) -> &str {
+        "slow"
+    }
+
+    fn process(&mut self, chunk: &Chunk) -> Vec<Vec<Value>> {
+        vec![vec![Value::num(chunk.observation_count() as f64)]]
+    }
+
+    fn simulated_cost_secs(&self, chunk: &Chunk) -> f64 {
+        self.base_secs + self.per_observation_secs * chunk.observation_count() as f64
+    }
+}
+
+/// Tries to carry information between chunk executions through shared state
+/// (an `Arc<AtomicU64>` captured by every instance). With a correct factory
+/// discipline each chunk gets a fresh processor, but the *shared counter*
+/// would still leak across instances — the test verifies the sandbox output
+/// for a chunk is identical whether or not other chunks were processed first,
+/// i.e. that any such state cannot influence per-chunk outputs accepted by
+/// Privid. The processor emits the counter value, so if cross-chunk state
+/// leaked into outputs the discrepancy is directly visible.
+#[derive(Debug, Clone)]
+pub struct StatefulCheater {
+    /// Shared counter, incremented once per processed chunk.
+    pub shared: Arc<AtomicU64>,
+}
+
+impl StatefulCheater {
+    /// Create a cheater with a fresh shared counter.
+    pub fn new() -> Self {
+        StatefulCheater { shared: Arc::new(AtomicU64::new(0)) }
+    }
+}
+
+impl Default for StatefulCheater {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChunkProcessor for StatefulCheater {
+    fn name(&self) -> &str {
+        "stateful_cheater"
+    }
+
+    fn process(&mut self, _chunk: &Chunk) -> Vec<Vec<Value>> {
+        let seen_before = self.shared.fetch_add(1, Ordering::SeqCst);
+        vec![vec![Value::num(seen_before as f64)]]
+    }
+}
+
+/// Emits rows whose cells have the wrong types and too many columns; the
+/// sandbox's schema coercion must normalize them.
+#[derive(Debug, Clone, Default)]
+pub struct MalformedRowProcessor;
+
+impl ChunkProcessor for MalformedRowProcessor {
+    fn name(&self) -> &str {
+        "malformed"
+    }
+
+    fn process(&mut self, _chunk: &Chunk) -> Vec<Vec<Value>> {
+        vec![
+            vec![Value::num(1.0), Value::num(2.0), Value::num(3.0), Value::num(4.0), Value::num(5.0)],
+            vec![Value::str("only-one-cell")],
+            vec![],
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privid_video::TimeSpan;
+
+    fn empty_chunk() -> Chunk {
+        Chunk::empty(0, "cam", TimeSpan::from_secs(5.0))
+    }
+
+    #[test]
+    fn flood_and_malformed_emit_raw_rows() {
+        let mut flood = RowFloodProcessor { rows: 1000 };
+        assert_eq!(flood.process(&empty_chunk()).len(), 1000);
+        let mut bad = MalformedRowProcessor;
+        assert_eq!(bad.process(&empty_chunk()).len(), 3);
+    }
+
+    #[test]
+    fn cheater_counts_across_instances() {
+        let cheater = StatefulCheater::new();
+        let mut a = cheater.clone();
+        let mut b = cheater.clone();
+        assert_eq!(a.process(&empty_chunk())[0][0], Value::num(0.0));
+        assert_eq!(b.process(&empty_chunk())[0][0], Value::num(1.0), "shared state visible without a sandbox");
+    }
+
+    #[test]
+    fn slow_processor_cost_depends_on_content() {
+        let p = SlowProcessor { base_secs: 0.5, per_observation_secs: 0.1 };
+        assert_eq!(p.simulated_cost_secs(&empty_chunk()), 0.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn crasher_panics() {
+        CrashingProcessor.process(&empty_chunk());
+    }
+}

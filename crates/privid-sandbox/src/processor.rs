@@ -1,0 +1,77 @@
+//! The analyst-processor interface.
+//!
+//! A [`ChunkProcessor`] is the Rust analogue of the paper's `model.py`: it
+//! receives a single chunk of video (frames of observations) and returns
+//! rows for the intermediate table. Privid places **no trust** in it — the
+//! sandbox coerces, truncates and defaults its output — so implementations
+//! are free to behave arbitrarily, including adversarially.
+//!
+//! A [`ProcessorFactory`] creates one fresh processor per chunk. This is how
+//! the "no state across chunks" requirement of Appendix B is enforced in a
+//! single-process simulation: each chunk gets a brand-new instance, so the
+//! only way to carry information between chunks would be through global
+//! state, which the fault-injection tests cover explicitly.
+
+use privid_query::Value;
+use privid_video::Chunk;
+
+/// An analyst-provided per-chunk processor.
+pub trait ChunkProcessor: Send {
+    /// Human-readable name (the "executable" name in PROCESS statements).
+    fn name(&self) -> &str;
+
+    /// Process one chunk into raw table rows. Rows may be malformed; the
+    /// sandbox coerces them to the declared schema.
+    fn process(&mut self, chunk: &Chunk) -> Vec<Vec<Value>>;
+
+    /// Simulated wall-clock cost of processing this chunk, in seconds.
+    /// The sandbox compares this against the PROCESS statement's `TIMEOUT`
+    /// and substitutes the default row when it is exceeded — the simulation
+    /// analogue of killing a real process at its deadline.
+    fn simulated_cost_secs(&self, chunk: &Chunk) -> f64 {
+        // A cheap default: linear in the number of frames.
+        0.001 * chunk.frames.len() as f64
+    }
+}
+
+/// Creates a fresh processor instance for every chunk.
+pub trait ProcessorFactory: Sync {
+    /// Instantiate a new processor (no state shared with prior instances).
+    fn create(&self) -> Box<dyn ChunkProcessor>;
+}
+
+/// Any `Fn() -> Box<dyn ChunkProcessor>` closure is a factory.
+impl<F> ProcessorFactory for F
+where
+    F: Fn() -> Box<dyn ChunkProcessor> + Sync,
+{
+    fn create(&self) -> Box<dyn ChunkProcessor> {
+        self()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privid_video::TimeSpan;
+
+    struct Nop;
+    impl ChunkProcessor for Nop {
+        fn name(&self) -> &str {
+            "nop"
+        }
+        fn process(&mut self, _chunk: &Chunk) -> Vec<Vec<Value>> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn closures_are_factories() {
+        let factory = || Box::new(Nop) as Box<dyn ChunkProcessor>;
+        let mut p = factory.create();
+        let chunk = Chunk::empty(0, "c", TimeSpan::from_secs(5.0));
+        assert_eq!(p.name(), "nop");
+        assert!(p.process(&chunk).is_empty());
+        assert!(p.simulated_cost_secs(&chunk) >= 0.0);
+    }
+}

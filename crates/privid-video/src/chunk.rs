@@ -1,0 +1,320 @@
+//! Temporal chunking: the `SPLIT ... BY TIME c STRIDE s` stage of a Privid
+//! query (§6.2).
+//!
+//! A chunk is a contiguous run of frames handed to one isolated instantiation
+//! of the analyst's processor. Chunk boundaries are what tie an event's
+//! duration to the number of table rows it can influence (Eq. 6.1), so the
+//! arithmetic here — how many chunks a span yields, which chunks an event can
+//! span — is load-bearing for the privacy guarantee and is tested as such.
+
+use crate::geometry::Mask;
+use crate::object::{Attributes, ObjectClass, ObjectId, Observation};
+use crate::scene::Scene;
+use crate::time::{Seconds, TimeSpan, Timestamp};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One materialized frame: a timestamp plus the observations visible in it.
+///
+/// Real Privid hands pixel frames to the processor; since our processors are
+/// trait objects that consume structured observations, a frame carries the
+/// (possibly masked) ground-truth observations directly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Index of the frame within its chunk.
+    pub index_in_chunk: u64,
+    /// Absolute timestamp of the frame.
+    pub timestamp: Timestamp,
+    /// Observations visible in this frame (after masking, if any).
+    pub observations: Vec<Observation>,
+}
+
+/// What an analyst's model could plausibly extract about one object from a
+/// single chunk's pixels: its apparent class and attributes (plate, colour,
+/// speed, ...) plus its within-chunk motion. Everything here is derived from
+/// this chunk only, preserving the isolation contract of Appendix B.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChunkObjectInfo {
+    /// The object's class.
+    pub class: ObjectClass,
+    /// Appearance attributes (plate, colour, speed, bloom state, ...).
+    pub attributes: Attributes,
+    /// True if the object is already visible in the chunk's first frame
+    /// (processors counting unique entrants skip such objects, §6.2).
+    pub visible_in_first_frame: bool,
+    /// First frame timestamp (within this chunk) the object is visible.
+    pub first_seen: Timestamp,
+    /// Last frame timestamp (within this chunk) the object is visible.
+    pub last_seen: Timestamp,
+    /// Net vertical motion of the object's centre across this chunk, in
+    /// pixels; negative values mean the object moved towards the top of the
+    /// frame ("north"). Only meaningful when the chunk is long enough to
+    /// observe motion — exactly the reason Q13 needs a larger chunk size.
+    pub net_dy: f64,
+}
+
+/// A contiguous chunk of video handed to one processor instantiation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Chunk {
+    /// Index of the chunk within the split (0-based).
+    pub index: u64,
+    /// The camera the chunk came from.
+    pub camera: String,
+    /// Time span covered by the chunk.
+    pub span: TimeSpan,
+    /// The chunk's frames in order.
+    pub frames: Vec<Frame>,
+    /// Per-object information derivable from this chunk alone.
+    pub objects: HashMap<ObjectId, ChunkObjectInfo>,
+}
+
+impl Chunk {
+    /// An empty chunk (no frames, no objects) covering a span — convenient in
+    /// tests and for time ranges where the camera recorded nothing.
+    pub fn empty(index: u64, camera: impl Into<String>, span: TimeSpan) -> Self {
+        Chunk { index, camera: camera.into(), span, frames: Vec::new(), objects: HashMap::new() }
+    }
+
+    /// All distinct object ids observed anywhere in the chunk.
+    pub fn observed_object_ids(&self) -> Vec<crate::object::ObjectId> {
+        let mut ids: Vec<_> = self.frames.iter().flat_map(|f| f.observations.iter().map(|o| o.object_id)).collect();
+        ids.sort();
+        ids.dedup();
+        ids
+    }
+
+    /// Total number of observations across all frames.
+    pub fn observation_count(&self) -> usize {
+        self.frames.iter().map(|f| f.observations.len()).sum()
+    }
+}
+
+/// How to split a span of video into chunks: `BY TIME chunk_secs STRIDE stride_secs`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChunkSpec {
+    /// Duration of each chunk in seconds (`c` in the paper). Must be positive.
+    pub chunk_secs: Seconds,
+    /// Gap between the end of one chunk and the start of the next, in seconds.
+    /// Zero means back-to-back chunks; the paper also allows negative strides
+    /// for overlapping chunks, which we support.
+    pub stride_secs: Seconds,
+}
+
+impl ChunkSpec {
+    /// Back-to-back chunks of the given duration.
+    pub fn contiguous(chunk_secs: Seconds) -> Self {
+        ChunkSpec { chunk_secs, stride_secs: 0.0 }
+    }
+
+    /// Construct a spec, validating the chunk duration.
+    pub fn new(chunk_secs: Seconds, stride_secs: Seconds) -> Result<Self, String> {
+        if chunk_secs <= 0.0 {
+            return Err(format!("chunk duration must be positive, got {chunk_secs}"));
+        }
+        if chunk_secs + stride_secs <= 0.0 {
+            return Err("chunk duration plus stride must be positive or the split never advances".to_string());
+        }
+        Ok(ChunkSpec { chunk_secs, stride_secs })
+    }
+
+    /// Distance between successive chunk starts.
+    pub fn period(&self) -> Seconds {
+        self.chunk_secs + self.stride_secs
+    }
+
+    /// Number of chunks produced for a window of the given duration.
+    pub fn chunk_count(&self, window_secs: Seconds) -> u64 {
+        if window_secs <= 0.0 {
+            return 0;
+        }
+        (window_secs / self.period()).ceil() as u64
+    }
+
+    /// The worst-case number of chunks a single event segment of duration `ρ`
+    /// can span (Eq. 6.1): `1 + ⌈ρ / c⌉`.
+    pub fn max_chunks_spanned(&self, rho_secs: Seconds) -> u64 {
+        1 + (rho_secs / self.chunk_secs).ceil() as u64
+    }
+
+    /// The spans of every chunk covering `window`.
+    pub fn chunk_spans(&self, window: &TimeSpan) -> Vec<TimeSpan> {
+        let mut spans = Vec::new();
+        let mut start = window.start;
+        while start < window.end {
+            let end = start.add_secs(self.chunk_secs);
+            let end = if end > window.end { window.end } else { end };
+            spans.push(TimeSpan::new(start, end));
+            let next = start.add_secs(self.period());
+            if next <= start {
+                break; // guards against pathological negative strides
+            }
+            start = next;
+        }
+        spans
+    }
+}
+
+/// Split a scene's window into materialized chunks, applying an optional mask.
+///
+/// This is the reference implementation of the SPLIT stage used by the
+/// executor and the experiment harness. Frames are sampled at the scene's
+/// frame rate starting at each chunk's start.
+pub fn split_scene(scene: &Scene, window: &TimeSpan, spec: &ChunkSpec, mask: Option<&Mask>) -> Vec<Chunk> {
+    let dt = scene.frame_rate.frame_duration();
+    spec.chunk_spans(window)
+        .into_iter()
+        .enumerate()
+        .map(|(i, span)| {
+            let n_frames = (span.duration() / dt).ceil().max(1.0) as u64;
+            let mut frames = Vec::with_capacity(n_frames as usize);
+            for fi in 0..n_frames {
+                let t = span.start.add_secs(fi as f64 * dt);
+                if !span.contains(t) {
+                    break;
+                }
+                frames.push(Frame {
+                    index_in_chunk: fi,
+                    timestamp: t,
+                    observations: scene.observations_at_masked(t, mask),
+                });
+            }
+            let objects = chunk_object_info(scene, &frames);
+            Chunk { index: i as u64, camera: scene.camera.0.clone(), span, frames, objects }
+        })
+        .collect()
+}
+
+/// Derive the per-object chunk metadata from the chunk's own frames.
+fn chunk_object_info(scene: &Scene, frames: &[Frame]) -> HashMap<ObjectId, ChunkObjectInfo> {
+    let mut info: HashMap<ObjectId, ChunkObjectInfo> = HashMap::new();
+    let mut first_centers: HashMap<ObjectId, f64> = HashMap::new();
+    for (fi, frame) in frames.iter().enumerate() {
+        for obs in &frame.observations {
+            let center_y = obs.bbox.center().y;
+            let entry = info.entry(obs.object_id).or_insert_with(|| {
+                let attributes = scene
+                    .objects
+                    .iter()
+                    .find(|o| o.id == obs.object_id)
+                    .map(|o| o.attributes.clone())
+                    .unwrap_or_default();
+                first_centers.insert(obs.object_id, center_y);
+                ChunkObjectInfo {
+                    class: obs.class,
+                    attributes,
+                    visible_in_first_frame: fi == 0,
+                    first_seen: obs.timestamp,
+                    last_seen: obs.timestamp,
+                    net_dy: 0.0,
+                }
+            });
+            entry.last_seen = obs.timestamp;
+            entry.net_dy = center_y - first_centers.get(&obs.object_id).copied().unwrap_or(center_y);
+        }
+    }
+    info
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{FrameSize, Point};
+    use crate::object::{Attributes, ObjectClass, ObjectId, PresenceSegment, TrackedObject};
+    use crate::scene::CameraId;
+    use crate::time::FrameRate;
+    use crate::trajectory::Trajectory;
+
+    fn scene_with_one_walker(duration: f64) -> Scene {
+        let obj = TrackedObject::new(
+            ObjectId(7),
+            ObjectClass::Person,
+            Attributes::default(),
+            vec![PresenceSegment {
+                span: TimeSpan::between_secs(2.0, 2.0 + duration),
+                trajectory: Trajectory::linear(Point::new(0.0, 50.0), Point::new(100.0, 50.0), 5.0, 10.0),
+            }],
+        );
+        Scene::new(CameraId::new("cam"), TimeSpan::from_secs(60.0), FrameRate::new(2.0), FrameSize::new(100, 100), vec![obj])
+    }
+
+    #[test]
+    fn chunk_spec_counts() {
+        let spec = ChunkSpec::contiguous(5.0);
+        assert_eq!(spec.chunk_count(60.0), 12);
+        assert_eq!(spec.chunk_count(0.0), 0);
+        let strided = ChunkSpec::new(5.0, 5.0).unwrap();
+        assert_eq!(strided.chunk_count(60.0), 6);
+    }
+
+    #[test]
+    fn chunk_spec_rejects_invalid() {
+        assert!(ChunkSpec::new(0.0, 1.0).is_err());
+        assert!(ChunkSpec::new(-5.0, 0.0).is_err());
+        assert!(ChunkSpec::new(5.0, -5.0).is_err());
+        assert!(ChunkSpec::new(5.0, -2.0).is_ok(), "overlapping chunks are allowed");
+    }
+
+    #[test]
+    fn max_chunks_spanned_matches_eq_6_1() {
+        let spec = ChunkSpec::contiguous(5.0);
+        // ρ = 30 s, c = 5 s → 1 + ⌈30/5⌉ = 7
+        assert_eq!(spec.max_chunks_spanned(30.0), 7);
+        // ρ = 0 → a single frame can still touch one chunk... Eq 6.1 gives 1 + 0 = 1
+        assert_eq!(spec.max_chunks_spanned(0.0), 1);
+        // ρ = 1 s, c = 5 s → 2 (first visible in the last frame of a chunk)
+        assert_eq!(spec.max_chunks_spanned(1.0), 2);
+    }
+
+    #[test]
+    fn chunk_spans_cover_window_exactly() {
+        let spec = ChunkSpec::contiguous(7.0);
+        let window = TimeSpan::from_secs(20.0);
+        let spans = spec.chunk_spans(&window);
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0], TimeSpan::between_secs(0.0, 7.0));
+        assert_eq!(spans[2], TimeSpan::between_secs(14.0, 20.0), "last chunk is truncated to the window");
+    }
+
+    #[test]
+    fn split_scene_produces_frames_and_observations() {
+        let scene = scene_with_one_walker(10.0);
+        let chunks = split_scene(&scene, &TimeSpan::from_secs(20.0), &ChunkSpec::contiguous(5.0), None);
+        assert_eq!(chunks.len(), 4);
+        // 2 fps × 5 s chunks = 10 frames per chunk
+        assert_eq!(chunks[0].frames.len(), 10);
+        // The walker is visible from t=2 to t=12, i.e. chunks 0, 1 and 2.
+        assert!(chunks[0].observed_object_ids().contains(&ObjectId(7)));
+        assert!(chunks[1].observed_object_ids().contains(&ObjectId(7)));
+        assert!(chunks[2].observed_object_ids().contains(&ObjectId(7)));
+        assert!(chunks[3].observed_object_ids().is_empty());
+    }
+
+    #[test]
+    fn event_spans_at_most_eq_6_1_chunks() {
+        // A 12-second appearance with 5-second chunks can span at most
+        // 1 + ⌈12/5⌉ = 4 chunks; verify the materialized chunks agree.
+        let scene = scene_with_one_walker(12.0);
+        let spec = ChunkSpec::contiguous(5.0);
+        let chunks = split_scene(&scene, &TimeSpan::from_secs(60.0), &spec, None);
+        let spanned = chunks.iter().filter(|c| c.observed_object_ids().contains(&ObjectId(7))).count() as u64;
+        assert!(spanned <= spec.max_chunks_spanned(12.0));
+        assert!(spanned >= 3);
+    }
+
+    #[test]
+    fn overlapping_chunks_with_negative_stride() {
+        let spec = ChunkSpec::new(10.0, -5.0).unwrap();
+        let spans = spec.chunk_spans(&TimeSpan::from_secs(20.0));
+        assert_eq!(spans.len(), 4);
+        assert!(spans[0].overlaps(&spans[1]));
+    }
+
+    #[test]
+    fn chunk_observation_count_sums_frames() {
+        let scene = scene_with_one_walker(10.0);
+        let chunks = split_scene(&scene, &TimeSpan::from_secs(5.0), &ChunkSpec::contiguous(5.0), None);
+        assert_eq!(chunks.len(), 1);
+        // walker visible t ∈ [2, 5) at 2 fps → frames at 2.0, 2.5, ..., 4.5 = 6 observations
+        assert_eq!(chunks[0].observation_count(), 6);
+    }
+}

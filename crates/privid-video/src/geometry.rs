@@ -1,0 +1,494 @@
+//! Spatial primitives: points, bounding boxes, frame grids, masks and region
+//! schemes.
+//!
+//! Privid's two utility optimizations (§7) are spatial: *masking* removes
+//! fixed pixel regions before the analyst's processor sees a chunk, and
+//! *spatial splitting* divides the frame into regions that are aggregated
+//! separately. Both are expressed here in terms of a coarse grid of cells
+//! (the paper's Appendix F uses 10×10-pixel grid boxes), which is exactly the
+//! granularity Algorithm 2 operates on.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A point in frame coordinates (pixels, origin at top-left).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate in pixels.
+    pub x: f64,
+    /// Vertical coordinate in pixels.
+    pub y: f64,
+}
+
+impl Point {
+    /// Construct a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Linear interpolation between two points: `t = 0` gives `self`, `t = 1`
+    /// gives `other`.
+    pub fn lerp(&self, other: &Point, t: f64) -> Point {
+        Point { x: self.x + (other.x - self.x) * t, y: self.y + (other.y - self.y) * t }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(&self, other: &Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// The pixel dimensions of a camera frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameSize {
+    /// Frame width in pixels.
+    pub width: u32,
+    /// Frame height in pixels.
+    pub height: u32,
+}
+
+impl FrameSize {
+    /// Construct a frame size. Panics on zero dimensions.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "frame dimensions must be positive");
+        FrameSize { width, height }
+    }
+
+    /// 1920×1080, the resolution of the paper's evaluation videos.
+    pub fn full_hd() -> Self {
+        FrameSize::new(1920, 1080)
+    }
+
+    /// Total pixel count.
+    pub fn area(&self) -> f64 {
+        self.width as f64 * self.height as f64
+    }
+
+    /// Clamp a point into the frame.
+    pub fn clamp(&self, p: Point) -> Point {
+        Point { x: p.x.clamp(0.0, self.width as f64), y: p.y.clamp(0.0, self.height as f64) }
+    }
+}
+
+impl Default for FrameSize {
+    fn default() -> Self {
+        FrameSize::full_hd()
+    }
+}
+
+/// An axis-aligned bounding box in frame coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct BoundingBox {
+    /// Left edge in pixels.
+    pub x: f64,
+    /// Top edge in pixels.
+    pub y: f64,
+    /// Width in pixels.
+    pub w: f64,
+    /// Height in pixels.
+    pub h: f64,
+}
+
+impl BoundingBox {
+    /// Construct a box from its top-left corner and dimensions. Negative
+    /// dimensions are clamped to zero.
+    pub fn new(x: f64, y: f64, w: f64, h: f64) -> Self {
+        BoundingBox { x, y, w: w.max(0.0), h: h.max(0.0) }
+    }
+
+    /// Construct a box centred on `center` with the given dimensions.
+    pub fn centered(center: Point, w: f64, h: f64) -> Self {
+        BoundingBox::new(center.x - w / 2.0, center.y - h / 2.0, w, h)
+    }
+
+    /// The centre point of the box.
+    pub fn center(&self) -> Point {
+        Point { x: self.x + self.w / 2.0, y: self.y + self.h / 2.0 }
+    }
+
+    /// Area of the box in square pixels.
+    pub fn area(&self) -> f64 {
+        self.w * self.h
+    }
+
+    /// Area of the overlap between two boxes.
+    pub fn intersection_area(&self, other: &BoundingBox) -> f64 {
+        let ix = (self.x + self.w).min(other.x + other.w) - self.x.max(other.x);
+        let iy = (self.y + self.h).min(other.y + other.h) - self.y.max(other.y);
+        if ix <= 0.0 || iy <= 0.0 {
+            0.0
+        } else {
+            ix * iy
+        }
+    }
+
+    /// Intersection-over-union, the association metric used by SORT/DeepSORT.
+    pub fn iou(&self, other: &BoundingBox) -> f64 {
+        let inter = self.intersection_area(other);
+        let union = self.area() + other.area() - inter;
+        if union <= 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+
+    /// True if the two boxes overlap at all.
+    pub fn intersects(&self, other: &BoundingBox) -> bool {
+        self.intersection_area(other) > 0.0
+    }
+
+    /// True if the point lies within the box.
+    pub fn contains_point(&self, p: Point) -> bool {
+        p.x >= self.x && p.x <= self.x + self.w && p.y >= self.y && p.y <= self.y + self.h
+    }
+
+    /// Clamp the box to lie within a frame, shrinking as necessary.
+    pub fn clamp_to(&self, size: &FrameSize) -> BoundingBox {
+        let x = self.x.clamp(0.0, size.width as f64);
+        let y = self.y.clamp(0.0, size.height as f64);
+        let w = (self.x + self.w).clamp(0.0, size.width as f64) - x;
+        let h = (self.y + self.h).clamp(0.0, size.height as f64) - y;
+        BoundingBox::new(x, y, w, h)
+    }
+}
+
+/// A grid overlaid on the frame, indexed by `(col, row)` cells.
+///
+/// Appendix F.2 analyses masks at the granularity of fixed-size grid boxes;
+/// this is the Rust equivalent.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridSpec {
+    /// The frame the grid is laid over.
+    pub frame: FrameSize,
+    /// Number of columns in the grid.
+    pub cols: u32,
+    /// Number of rows in the grid.
+    pub rows: u32,
+}
+
+/// Identifier of a single grid cell as `(col, row)`.
+pub type CellId = (u32, u32);
+
+impl GridSpec {
+    /// Construct a grid with the given number of cells.
+    pub fn new(frame: FrameSize, cols: u32, rows: u32) -> Self {
+        assert!(cols > 0 && rows > 0, "grid must have at least one cell");
+        GridSpec { frame, cols, rows }
+    }
+
+    /// A 10×10-pixel-cell grid, the resolution used by Appendix F / Fig. 11.
+    /// For a full-HD frame this yields a 192×108 grid; we cap the grid at
+    /// 192×108 cells regardless of frame size to keep the search tractable.
+    pub fn fine(frame: FrameSize) -> Self {
+        let cols = (frame.width / 10).clamp(1, 192);
+        let rows = (frame.height / 10).clamp(1, 108);
+        GridSpec::new(frame, cols, rows)
+    }
+
+    /// A coarse grid (24×14) adequate for the masking experiments at the
+    /// scale of the synthetic scenes; the algorithmic behaviour is identical.
+    pub fn coarse(frame: FrameSize) -> Self {
+        GridSpec::new(frame, 24, 14)
+    }
+
+    /// Width of a single cell in pixels.
+    pub fn cell_width(&self) -> f64 {
+        self.frame.width as f64 / self.cols as f64
+    }
+
+    /// Height of a single cell in pixels.
+    pub fn cell_height(&self) -> f64 {
+        self.frame.height as f64 / self.rows as f64
+    }
+
+    /// Total number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.cols as usize * self.rows as usize
+    }
+
+    /// The cell containing a point (clamped to the frame).
+    pub fn cell_of(&self, p: Point) -> CellId {
+        let p = self.frame.clamp(p);
+        let col = ((p.x / self.cell_width()) as u32).min(self.cols - 1);
+        let row = ((p.y / self.cell_height()) as u32).min(self.rows - 1);
+        (col, row)
+    }
+
+    /// The bounding box of a cell.
+    pub fn cell_box(&self, cell: CellId) -> BoundingBox {
+        BoundingBox::new(
+            cell.0 as f64 * self.cell_width(),
+            cell.1 as f64 * self.cell_height(),
+            self.cell_width(),
+            self.cell_height(),
+        )
+    }
+
+    /// All cells whose area overlaps the given bounding box.
+    pub fn cells_overlapping(&self, bbox: &BoundingBox) -> Vec<CellId> {
+        let clamped = bbox.clamp_to(&self.frame);
+        if clamped.area() <= 0.0 {
+            return Vec::new();
+        }
+        let c0 = ((clamped.x / self.cell_width()) as u32).min(self.cols - 1);
+        let c1 = (((clamped.x + clamped.w) / self.cell_width()).ceil() as u32).min(self.cols);
+        let r0 = ((clamped.y / self.cell_height()) as u32).min(self.rows - 1);
+        let r1 = (((clamped.y + clamped.h) / self.cell_height()).ceil() as u32).min(self.rows);
+        let mut cells = Vec::new();
+        for c in c0..c1.max(c0 + 1) {
+            for r in r0..r1.max(r0 + 1) {
+                cells.push((c, r));
+            }
+        }
+        cells
+    }
+
+    /// Iterator over every cell in the grid, row-major.
+    pub fn all_cells(&self) -> impl Iterator<Item = CellId> + '_ {
+        let cols = self.cols;
+        (0..self.rows).flat_map(move |r| (0..cols).map(move |c| (c, r)))
+    }
+}
+
+/// A spatial mask: a set of grid cells whose pixels are removed (blacked out)
+/// from every frame before the analyst's processor runs (§7.1).
+///
+/// An observation is considered *hidden* by the mask when the fraction of its
+/// bounding-box area covered by masked cells exceeds [`Mask::COVER_THRESHOLD`]
+/// — the synthetic analogue of "the object is no longer recognisable once its
+/// pixels are blacked out".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mask {
+    /// The grid the mask is defined over.
+    pub grid: GridSpec,
+    /// The set of masked cells.
+    pub cells: BTreeSet<CellId>,
+}
+
+impl Mask {
+    /// Fraction of a bounding box that must be covered by masked cells for the
+    /// observation to be treated as hidden.
+    pub const COVER_THRESHOLD: f64 = 0.5;
+
+    /// An empty mask (nothing hidden).
+    pub fn empty(grid: GridSpec) -> Self {
+        Mask { grid, cells: BTreeSet::new() }
+    }
+
+    /// A mask from an explicit set of cells.
+    pub fn from_cells(grid: GridSpec, cells: impl IntoIterator<Item = CellId>) -> Self {
+        Mask { grid, cells: cells.into_iter().collect() }
+    }
+
+    /// Number of masked cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if no cell is masked.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Fraction of the grid that is masked, in `[0, 1]`.
+    pub fn masked_fraction(&self) -> f64 {
+        self.cells.len() as f64 / self.grid.cell_count() as f64
+    }
+
+    /// Add a cell to the mask.
+    pub fn add_cell(&mut self, cell: CellId) {
+        self.cells.insert(cell);
+    }
+
+    /// Fraction of the bounding box's area covered by masked cells.
+    pub fn coverage(&self, bbox: &BoundingBox) -> f64 {
+        if self.cells.is_empty() || bbox.area() <= 0.0 {
+            return 0.0;
+        }
+        let mut covered = 0.0;
+        for cell in self.grid.cells_overlapping(bbox) {
+            if self.cells.contains(&cell) {
+                covered += self.grid.cell_box(cell).intersection_area(bbox);
+            }
+        }
+        (covered / bbox.area()).min(1.0)
+    }
+
+    /// True if the observation at `bbox` is hidden by this mask: either the
+    /// box's centre falls in a masked cell (the object's identifying core is
+    /// blacked out) or masked cells cover at least [`Mask::COVER_THRESHOLD`]
+    /// of its area.
+    pub fn hides(&self, bbox: &BoundingBox) -> bool {
+        if self.cells.contains(&self.grid.cell_of(bbox.center())) {
+            return true;
+        }
+        self.coverage(bbox) >= Self::COVER_THRESHOLD
+    }
+}
+
+/// Whether individuals can cross a region boundary over time (§7.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RegionBoundary {
+    /// Individuals may move between regions (e.g. two crosswalks); tables
+    /// built on a soft split must use a chunk size of one frame.
+    Soft,
+    /// Individuals never cross (e.g. opposite directions of a highway); any
+    /// chunk size is allowed.
+    Hard,
+}
+
+/// A named spatial region of the frame used by spatial splitting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Region {
+    /// Stable region identifier (used as a GROUP BY key).
+    pub id: u32,
+    /// Human-readable name ("crosswalk-north", "lane-southbound", ...).
+    pub name: String,
+    /// Spatial extent of the region.
+    pub bbox: BoundingBox,
+}
+
+/// A video-owner-defined scheme for splitting the frame into regions (§7.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionScheme {
+    /// The regions; they need not tile the frame.
+    pub regions: Vec<Region>,
+    /// Whether individuals can cross between regions.
+    pub boundary: RegionBoundary,
+}
+
+impl RegionScheme {
+    /// Construct a scheme.
+    pub fn new(regions: Vec<Region>, boundary: RegionBoundary) -> Self {
+        RegionScheme { regions, boundary }
+    }
+
+    /// The region containing the centre of a bounding box, if any.
+    pub fn region_of(&self, bbox: &BoundingBox) -> Option<&Region> {
+        let c = bbox.center();
+        self.regions.iter().find(|r| r.bbox.contains_point(c))
+    }
+
+    /// Number of regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// True if the scheme has no regions.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 20.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        assert_eq!(a.lerp(&b, 0.5), Point::new(5.0, 10.0));
+    }
+
+    #[test]
+    fn bbox_iou_identity_and_disjoint() {
+        let a = BoundingBox::new(0.0, 0.0, 10.0, 10.0);
+        let b = BoundingBox::new(100.0, 100.0, 10.0, 10.0);
+        assert!((a.iou(&a) - 1.0).abs() < 1e-12);
+        assert_eq!(a.iou(&b), 0.0);
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn bbox_iou_half_overlap() {
+        let a = BoundingBox::new(0.0, 0.0, 10.0, 10.0);
+        let b = BoundingBox::new(5.0, 0.0, 10.0, 10.0);
+        // intersection 50, union 150
+        assert!((a.iou(&b) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bbox_clamp_to_frame() {
+        let size = FrameSize::new(100, 100);
+        let b = BoundingBox::new(-10.0, 90.0, 30.0, 30.0);
+        let c = b.clamp_to(&size);
+        assert_eq!(c.x, 0.0);
+        assert_eq!(c.w, 20.0);
+        assert_eq!(c.h, 10.0);
+    }
+
+    #[test]
+    fn grid_cell_of_corners() {
+        let grid = GridSpec::new(FrameSize::new(100, 100), 10, 10);
+        assert_eq!(grid.cell_of(Point::new(0.0, 0.0)), (0, 0));
+        assert_eq!(grid.cell_of(Point::new(99.9, 99.9)), (9, 9));
+        // points outside the frame are clamped
+        assert_eq!(grid.cell_of(Point::new(500.0, -5.0)), (9, 0));
+    }
+
+    #[test]
+    fn grid_cells_overlapping_box() {
+        let grid = GridSpec::new(FrameSize::new(100, 100), 10, 10);
+        let bbox = BoundingBox::new(5.0, 5.0, 20.0, 10.0);
+        let cells = grid.cells_overlapping(&bbox);
+        // spans columns 0..=2 and rows 0..=1
+        assert!(cells.contains(&(0, 0)));
+        assert!(cells.contains(&(2, 1)));
+        assert_eq!(cells.len(), 6);
+    }
+
+    #[test]
+    fn grid_all_cells_count() {
+        let grid = GridSpec::new(FrameSize::new(100, 50), 4, 2);
+        assert_eq!(grid.all_cells().count(), 8);
+        assert_eq!(grid.cell_count(), 8);
+    }
+
+    #[test]
+    fn mask_coverage_and_hides() {
+        let grid = GridSpec::new(FrameSize::new(100, 100), 10, 10);
+        let mut mask = Mask::empty(grid);
+        let bbox = BoundingBox::new(0.0, 0.0, 20.0, 10.0); // covers cells (0,0) and (1,0)
+        assert_eq!(mask.coverage(&bbox), 0.0);
+        mask.add_cell((0, 0));
+        assert!((mask.coverage(&bbox) - 0.5).abs() < 1e-9);
+        assert!(mask.hides(&bbox));
+        mask.add_cell((1, 0));
+        assert!((mask.coverage(&bbox) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mask_fraction_reflects_cells() {
+        let grid = GridSpec::new(FrameSize::new(100, 100), 10, 10);
+        let mask = Mask::from_cells(grid, [(0, 0), (1, 1), (2, 2), (3, 3), (4, 4)]);
+        assert!((mask.masked_fraction() - 0.05).abs() < 1e-12);
+        assert_eq!(mask.len(), 5);
+        assert!(!mask.is_empty());
+    }
+
+    #[test]
+    fn region_scheme_assigns_by_center() {
+        let scheme = RegionScheme::new(
+            vec![
+                Region { id: 0, name: "left".into(), bbox: BoundingBox::new(0.0, 0.0, 50.0, 100.0) },
+                Region { id: 1, name: "right".into(), bbox: BoundingBox::new(50.0, 0.0, 50.0, 100.0) },
+            ],
+            RegionBoundary::Hard,
+        );
+        let left_obj = BoundingBox::centered(Point::new(20.0, 50.0), 10.0, 10.0);
+        let right_obj = BoundingBox::centered(Point::new(80.0, 50.0), 10.0, 10.0);
+        assert_eq!(scheme.region_of(&left_obj).unwrap().id, 0);
+        assert_eq!(scheme.region_of(&right_obj).unwrap().id, 1);
+        assert_eq!(scheme.len(), 2);
+    }
+
+    #[test]
+    fn fine_grid_caps_resolution() {
+        let grid = GridSpec::fine(FrameSize::new(4000, 4000));
+        assert!(grid.cols <= 192 && grid.rows <= 108);
+    }
+}

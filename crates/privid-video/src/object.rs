@@ -1,0 +1,294 @@
+//! Ground-truth objects, their attributes, presence segments and per-frame
+//! observations.
+//!
+//! The paper's privacy unit is the *event*: "anything visible within the
+//! camera's field of view" (§5.1), bounded by the number of segments `K` and
+//! the per-segment duration `ρ`. We model each ground-truth object as a set of
+//! [`PresenceSegment`]s, each with its own trajectory, so the `(ρ, K)` bound
+//! of an object is directly computable and every downstream result (Table 1,
+//! Fig. 4, the policy estimator) can be validated against it.
+
+use crate::geometry::BoundingBox;
+use crate::time::{Seconds, TimeSpan, Timestamp};
+use crate::trajectory::Trajectory;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Stable identifier for a ground-truth object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjectId(pub u64);
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj-{}", self.0)
+    }
+}
+
+/// The semantic class of an object, matching the classes the paper's queries
+/// filter on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ObjectClass {
+    /// A pedestrian (private).
+    Person,
+    /// A car or taxi (private: plate / make+model+colour identify the driver).
+    Car,
+    /// A bicycle (private, treated like a person).
+    Bicycle,
+    /// A traffic signal (non-private, used by Q10–Q12).
+    TrafficLight,
+    /// A tree (non-private, used by Q7–Q9).
+    Tree,
+}
+
+impl ObjectClass {
+    /// True for classes whose appearance the paper's default policy protects
+    /// ("protect the appearance of all individuals", §5.2 including vehicles).
+    pub fn is_private(&self) -> bool {
+        matches!(self, ObjectClass::Person | ObjectClass::Car | ObjectClass::Bicycle)
+    }
+
+    /// Short lowercase label, used in intermediate-table values.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ObjectClass::Person => "person",
+            ObjectClass::Car => "car",
+            ObjectClass::Bicycle => "bicycle",
+            ObjectClass::TrafficLight => "traffic_light",
+            ObjectClass::Tree => "tree",
+        }
+    }
+}
+
+/// Colours the example query of Listing 1 groups cars by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VehicleColor {
+    /// Red vehicles.
+    Red,
+    /// White vehicles.
+    White,
+    /// Silver vehicles.
+    Silver,
+    /// Black vehicles.
+    Black,
+    /// Blue vehicles.
+    Blue,
+}
+
+impl VehicleColor {
+    /// All colours, used when sampling attributes.
+    pub const ALL: [VehicleColor; 5] =
+        [VehicleColor::Red, VehicleColor::White, VehicleColor::Silver, VehicleColor::Black, VehicleColor::Blue];
+
+    /// Uppercase label matching the `WITH KEYS` list in Listing 1.
+    pub fn label(&self) -> &'static str {
+        match self {
+            VehicleColor::Red => "RED",
+            VehicleColor::White => "WHITE",
+            VehicleColor::Silver => "SILVER",
+            VehicleColor::Black => "BLACK",
+            VehicleColor::Blue => "BLUE",
+        }
+    }
+}
+
+/// Analyst-relevant attributes of an object (the columns a PROCESS executable
+/// would extract: plate, colour, speed, blooming state, signal state, ...).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Attributes {
+    /// Licence plate for vehicles (globally unique per vehicle), empty otherwise.
+    pub plate: String,
+    /// Vehicle colour, if applicable.
+    pub color: Option<VehicleColor>,
+    /// Typical speed in km/h while moving (0 for static objects).
+    pub speed_kmh: f64,
+    /// For trees: whether the tree has bloomed (Q7–Q9).
+    pub has_leaves: bool,
+    /// For traffic lights: red-phase duration in seconds (Q10–Q12).
+    pub red_light_duration: Seconds,
+    /// Direction of travel: true when the trajectory moves "north" (towards
+    /// campus), the filter of Q13.
+    pub moving_north: bool,
+}
+
+impl Default for Attributes {
+    fn default() -> Self {
+        Attributes {
+            plate: String::new(),
+            color: None,
+            speed_kmh: 0.0,
+            has_leaves: false,
+            red_light_duration: 0.0,
+            moving_north: false,
+        }
+    }
+}
+
+/// One contiguous appearance of an object in the camera's field of view.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PresenceSegment {
+    /// The time during which the object is visible.
+    pub span: TimeSpan,
+    /// Where the object is at each instant of the segment.
+    pub trajectory: Trajectory,
+}
+
+impl PresenceSegment {
+    /// Duration of the segment in seconds — the quantity bounded by `ρ`.
+    pub fn duration(&self) -> Seconds {
+        self.span.duration()
+    }
+
+    /// Bounding box of the object at timestamp `t`, if visible then.
+    pub fn bbox_at(&self, t: Timestamp) -> Option<BoundingBox> {
+        if !self.span.contains(t) {
+            return None;
+        }
+        let frac = if self.span.duration() <= 0.0 { 0.0 } else { (t - self.span.start) / self.span.duration() };
+        Some(self.trajectory.bbox_at(frac))
+    }
+}
+
+/// A ground-truth object: identity, class, attributes and every appearance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrackedObject {
+    /// Stable object identity.
+    pub id: ObjectId,
+    /// Semantic class.
+    pub class: ObjectClass,
+    /// Analyst-relevant attributes.
+    pub attributes: Attributes,
+    /// Every contiguous appearance, sorted by start time.
+    pub segments: Vec<PresenceSegment>,
+}
+
+impl TrackedObject {
+    /// Construct an object, sorting its segments by start time.
+    pub fn new(id: ObjectId, class: ObjectClass, attributes: Attributes, mut segments: Vec<PresenceSegment>) -> Self {
+        segments.sort_by(|a, b| a.span.start.cmp(&b.span.start));
+        TrackedObject { id, class, attributes, segments }
+    }
+
+    /// Number of appearances — the quantity bounded by `K`.
+    pub fn appearance_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Duration of the longest single appearance (the object's tightest `ρ`).
+    pub fn max_segment_duration(&self) -> Seconds {
+        self.segments.iter().map(|s| s.duration()).fold(0.0, f64::max)
+    }
+
+    /// Total time visible across all appearances (the paper calls this the
+    /// object's *persistence* in Fig. 4 / Table 6).
+    pub fn total_duration(&self) -> Seconds {
+        self.segments.iter().map(|s| s.duration()).sum()
+    }
+
+    /// The tightest `(ρ, K)` bound on this object's event:
+    /// `ρ` = longest segment, `K` = number of segments.
+    pub fn tightest_bound(&self) -> (Seconds, usize) {
+        (self.max_segment_duration(), self.appearance_count())
+    }
+
+    /// Timestamp of the first appearance, if any.
+    pub fn first_seen(&self) -> Option<Timestamp> {
+        self.segments.first().map(|s| s.span.start)
+    }
+
+    /// Bounding box at `t`, if the object is visible then.
+    pub fn bbox_at(&self, t: Timestamp) -> Option<BoundingBox> {
+        self.segments.iter().find_map(|s| s.bbox_at(t))
+    }
+
+    /// True if the object is visible at some instant of `span`.
+    pub fn visible_during(&self, span: &TimeSpan) -> bool {
+        self.segments.iter().any(|s| s.span.overlaps(span))
+    }
+}
+
+/// A single ground-truth observation: one object in one frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// The observed object.
+    pub object_id: ObjectId,
+    /// Its class.
+    pub class: ObjectClass,
+    /// Its bounding box in this frame.
+    pub bbox: BoundingBox,
+    /// The frame timestamp.
+    pub timestamp: Timestamp,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+    use crate::trajectory::Trajectory;
+
+    fn seg(start: f64, end: f64) -> PresenceSegment {
+        PresenceSegment {
+            span: TimeSpan::between_secs(start, end),
+            trajectory: Trajectory::linear(Point::new(0.0, 0.0), Point::new(100.0, 0.0), 10.0, 20.0),
+        }
+    }
+
+    #[test]
+    fn tightest_bound_reflects_segments() {
+        // Mirrors the running example of §5.1: 30 s then 10 s → (ρ=30, K=2).
+        let obj = TrackedObject::new(
+            ObjectId(1),
+            ObjectClass::Person,
+            Attributes::default(),
+            vec![seg(0.0, 30.0), seg(100.0, 110.0)],
+        );
+        let (rho, k) = obj.tightest_bound();
+        assert!((rho - 30.0).abs() < 1e-9);
+        assert_eq!(k, 2);
+        assert!((obj.total_duration() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn segments_sorted_on_construction() {
+        let obj = TrackedObject::new(
+            ObjectId(2),
+            ObjectClass::Car,
+            Attributes::default(),
+            vec![seg(50.0, 60.0), seg(0.0, 10.0)],
+        );
+        assert_eq!(obj.first_seen().unwrap(), Timestamp::ZERO);
+        assert!(obj.segments[0].span.start < obj.segments[1].span.start);
+    }
+
+    #[test]
+    fn bbox_interpolates_along_segment() {
+        let s = seg(0.0, 10.0);
+        let start = s.bbox_at(Timestamp::from_secs(0.0)).unwrap();
+        let mid = s.bbox_at(Timestamp::from_secs(5.0)).unwrap();
+        assert!(mid.center().x > start.center().x);
+        assert!(s.bbox_at(Timestamp::from_secs(10.0)).is_none(), "span is half-open");
+        assert!(s.bbox_at(Timestamp::from_secs(11.0)).is_none());
+    }
+
+    #[test]
+    fn visible_during_detects_overlap() {
+        let obj = TrackedObject::new(ObjectId(3), ObjectClass::Person, Attributes::default(), vec![seg(10.0, 20.0)]);
+        assert!(obj.visible_during(&TimeSpan::between_secs(15.0, 25.0)));
+        assert!(!obj.visible_during(&TimeSpan::between_secs(20.0, 25.0)));
+    }
+
+    #[test]
+    fn private_classes() {
+        assert!(ObjectClass::Person.is_private());
+        assert!(ObjectClass::Car.is_private());
+        assert!(ObjectClass::Bicycle.is_private());
+        assert!(!ObjectClass::Tree.is_private());
+        assert!(!ObjectClass::TrafficLight.is_private());
+    }
+
+    #[test]
+    fn color_labels_match_listing1_keys() {
+        assert_eq!(VehicleColor::Red.label(), "RED");
+        assert_eq!(VehicleColor::White.label(), "WHITE");
+        assert_eq!(VehicleColor::Silver.label(), "SILVER");
+    }
+}

@@ -1,0 +1,290 @@
+//! Synthetic stand-in for the Porto taxi dataset used by queries Q4–Q6.
+//!
+//! The paper processes the real Porto trajectory dataset (1.7 M trips of 442
+//! taxis, Jan 2013 – Jul 2014) into "the set of timestamps each taxi would
+//! have been visible to each of 105 cameras". This module generates that
+//! derived structure directly: per-camera visit events with taxi identity,
+//! timestamp and dwell duration, with realistic skew (camera popularity is
+//! Zipf-distributed, drivers work ~6–10 h shifts). The per-camera data can
+//! also be converted into [`Scene`]s so the full Privid pipeline (chunking,
+//! sandboxed processing) runs unchanged on it.
+
+use crate::geometry::{FrameSize, Point};
+use crate::object::{Attributes, ObjectClass, ObjectId, PresenceSegment, TrackedObject, VehicleColor};
+use crate::scene::{CameraId, Scene};
+use crate::time::{FrameRate, Seconds, TimeSpan};
+use crate::trajectory::Trajectory;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Parameters of the synthetic taxi fleet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PortoConfig {
+    /// Number of taxis in the fleet (paper: 442).
+    pub num_taxis: u32,
+    /// Number of cameras in the city (paper: 105).
+    pub num_cameras: u32,
+    /// Number of days covered (paper: ~540; the queries use a 365-day window).
+    pub days: u32,
+    /// Mean camera visits per taxi per working day.
+    pub visits_per_taxi_per_day: f64,
+    /// Mean dwell in a camera's view per visit, seconds (paper ρ range: 15–525 s).
+    pub mean_visit_secs: Seconds,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PortoConfig {
+    fn default() -> Self {
+        PortoConfig {
+            num_taxis: 442,
+            num_cameras: 105,
+            days: 365,
+            visits_per_taxi_per_day: 40.0,
+            mean_visit_secs: 45.0,
+            seed: 0x9087,
+        }
+    }
+}
+
+impl PortoConfig {
+    /// A small configuration for tests (fewer taxis/cameras/days).
+    pub fn small() -> Self {
+        PortoConfig { num_taxis: 40, num_cameras: 10, days: 14, visits_per_taxi_per_day: 20.0, ..Default::default() }
+    }
+}
+
+/// One visit of one taxi to one camera's field of view.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaxiVisit {
+    /// The taxi (0-based fleet index).
+    pub taxi_id: u32,
+    /// The camera (0-based).
+    pub camera_id: u32,
+    /// Day of the dataset (0-based).
+    pub day: u32,
+    /// Seconds since the start of the dataset at which the visit begins.
+    pub start_secs: Seconds,
+    /// Visit duration in seconds.
+    pub duration_secs: Seconds,
+}
+
+/// The generated dataset: all visits plus per-taxi daily working hours
+/// (the ground truth for Q4).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PortoDataset {
+    /// Configuration the dataset was generated from.
+    pub config: PortoConfig,
+    /// Every camera visit, sorted by start time.
+    pub visits: Vec<TaxiVisit>,
+    /// Ground-truth working hours per (taxi, day).
+    pub working_hours: HashMap<(u32, u32), f64>,
+}
+
+impl PortoDataset {
+    /// Generate the dataset deterministically from its configuration.
+    pub fn generate(config: PortoConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut visits = Vec::new();
+        let mut working_hours = HashMap::new();
+
+        // Camera popularity: Zipf-like weights so a few cameras see most traffic
+        // (needed for Q6, "camera with highest daily traffic").
+        let weights: Vec<f64> = (0..config.num_cameras).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let total_weight: f64 = weights.iter().sum();
+
+        for taxi in 0..config.num_taxis {
+            // Each driver has a habitual shift length (hours) and start hour.
+            let shift_len = rng.gen_range(5.0..10.0);
+            let shift_start = rng.gen_range(5.0..14.0);
+            for day in 0..config.days {
+                // Some drivers take the day off.
+                if rng.gen_bool(0.12) {
+                    continue;
+                }
+                let todays_hours = (shift_len + rng.gen_range(-1.0..1.0f64)).clamp(2.0, 14.0);
+                working_hours.insert((taxi, day), todays_hours);
+                let n_visits = (config.visits_per_taxi_per_day * todays_hours / 8.0).round().max(1.0) as u32;
+                for _ in 0..n_visits {
+                    // Pick a camera by popularity weight.
+                    let mut pick = rng.gen_range(0.0..total_weight);
+                    let mut camera = 0u32;
+                    for (i, w) in weights.iter().enumerate() {
+                        if pick < *w {
+                            camera = i as u32;
+                            break;
+                        }
+                        pick -= w;
+                    }
+                    let offset_hours = shift_start + rng.gen_range(0.0..todays_hours);
+                    let start = day as f64 * 86_400.0 + offset_hours * 3600.0;
+                    let duration = rng.gen_range(0.3..2.0) * config.mean_visit_secs;
+                    visits.push(TaxiVisit {
+                        taxi_id: taxi,
+                        camera_id: camera,
+                        day,
+                        start_secs: start,
+                        duration_secs: duration,
+                    });
+                }
+            }
+        }
+        visits.sort_by(|a, b| a.start_secs.partial_cmp(&b.start_secs).unwrap());
+        PortoDataset { config, visits, working_hours }
+    }
+
+    /// Visits seen by a single camera.
+    pub fn visits_for_camera(&self, camera_id: u32) -> Vec<&TaxiVisit> {
+        self.visits.iter().filter(|v| v.camera_id == camera_id).collect()
+    }
+
+    /// Ground-truth mean daily working hours across the fleet (Q4 reference).
+    pub fn mean_working_hours(&self) -> f64 {
+        if self.working_hours.is_empty() {
+            return 0.0;
+        }
+        self.working_hours.values().sum::<f64>() / self.working_hours.len() as f64
+    }
+
+    /// Ground-truth mean number of distinct taxis that pass both cameras on
+    /// the same day (Q5 reference).
+    pub fn mean_daily_intersection(&self, cam_a: u32, cam_b: u32) -> f64 {
+        let mut per_day_a: HashMap<u32, std::collections::HashSet<u32>> = HashMap::new();
+        let mut per_day_b: HashMap<u32, std::collections::HashSet<u32>> = HashMap::new();
+        for v in &self.visits {
+            if v.camera_id == cam_a {
+                per_day_a.entry(v.day).or_default().insert(v.taxi_id);
+            } else if v.camera_id == cam_b {
+                per_day_b.entry(v.day).or_default().insert(v.taxi_id);
+            }
+        }
+        let days = self.config.days.max(1) as f64;
+        let mut total = 0.0;
+        for (day, set_a) in &per_day_a {
+            if let Some(set_b) = per_day_b.get(day) {
+                total += set_a.intersection(set_b).count() as f64;
+            }
+        }
+        total / days
+    }
+
+    /// Ground-truth camera with the highest total visit count (Q6 reference).
+    pub fn busiest_camera(&self) -> u32 {
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for v in &self.visits {
+            *counts.entry(v.camera_id).or_default() += 1;
+        }
+        counts.into_iter().max_by_key(|(_, c)| *c).map(|(cam, _)| cam).unwrap_or(0)
+    }
+
+    /// The maximum single-visit duration for a camera — the basis of its
+    /// `ρ` policy (the paper's per-camera ρ for Porto ranges 15–525 s).
+    pub fn max_visit_duration(&self, camera_id: u32) -> Seconds {
+        self.visits_for_camera(camera_id).iter().map(|v| v.duration_secs).fold(0.0, f64::max)
+    }
+
+    /// Convert one camera's visits into a [`Scene`] so it can flow through the
+    /// standard split/process pipeline. Each visit becomes one presence
+    /// segment of a per-taxi [`TrackedObject`] crossing the frame.
+    pub fn camera_scene(&self, camera_id: u32) -> Scene {
+        let frame = FrameSize::new(1280, 720);
+        let span = TimeSpan::from_secs(self.config.days as f64 * 86_400.0);
+        let mut per_taxi: HashMap<u32, Vec<PresenceSegment>> = HashMap::new();
+        for v in self.visits_for_camera(camera_id) {
+            per_taxi.entry(v.taxi_id).or_default().push(PresenceSegment {
+                span: TimeSpan::between_secs(v.start_secs, v.start_secs + v.duration_secs),
+                trajectory: Trajectory::linear(
+                    Point::new(0.0, 360.0),
+                    Point::new(1280.0, 360.0),
+                    80.0,
+                    40.0,
+                ),
+            });
+        }
+        let objects = per_taxi
+            .into_iter()
+            .map(|(taxi, segments)| {
+                TrackedObject::new(
+                    ObjectId(taxi as u64),
+                    ObjectClass::Car,
+                    Attributes {
+                        plate: format!("TAXI{taxi:04}"),
+                        color: Some(VehicleColor::Black),
+                        speed_kmh: 40.0,
+                        ..Attributes::default()
+                    },
+                    segments,
+                )
+            })
+            .collect();
+        Scene::new(CameraId::new(format!("porto{camera_id}")), span, FrameRate::new(1.0), frame, objects)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_dataset() -> PortoDataset {
+        PortoDataset::generate(PortoConfig::small())
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small_dataset();
+        let b = small_dataset();
+        assert_eq!(a.visits.len(), b.visits.len());
+        assert_eq!(a.busiest_camera(), b.busiest_camera());
+    }
+
+    #[test]
+    fn visits_are_sorted_and_within_range() {
+        let d = small_dataset();
+        assert!(!d.visits.is_empty());
+        for w in d.visits.windows(2) {
+            assert!(w[0].start_secs <= w[1].start_secs);
+        }
+        for v in &d.visits {
+            assert!(v.camera_id < d.config.num_cameras);
+            assert!(v.taxi_id < d.config.num_taxis);
+            assert!(v.duration_secs > 0.0);
+        }
+    }
+
+    #[test]
+    fn camera_popularity_is_skewed() {
+        let d = small_dataset();
+        let busiest = d.visits_for_camera(d.busiest_camera()).len();
+        let least: usize = (0..d.config.num_cameras).map(|c| d.visits_for_camera(c).len()).min().unwrap();
+        assert!(busiest > 3 * least.max(1), "Zipf weighting should make camera load skewed");
+        assert_eq!(d.busiest_camera(), 0, "camera 0 has the largest Zipf weight");
+    }
+
+    #[test]
+    fn working_hours_are_plausible() {
+        let d = small_dataset();
+        let mean = d.mean_working_hours();
+        assert!(mean > 4.0 && mean < 11.0, "mean working hours {mean} should resemble a taxi shift");
+    }
+
+    #[test]
+    fn intersection_is_bounded_by_fleet_size() {
+        let d = small_dataset();
+        let x = d.mean_daily_intersection(0, 1);
+        assert!(x >= 0.0);
+        assert!(x <= d.config.num_taxis as f64);
+    }
+
+    #[test]
+    fn camera_scene_reconstructs_visits() {
+        let d = small_dataset();
+        let cam = d.busiest_camera();
+        let scene = d.camera_scene(cam);
+        let visits = d.visits_for_camera(cam);
+        let segment_count: usize = scene.objects.iter().map(|o| o.segments.len()).sum();
+        assert_eq!(segment_count, visits.len());
+        assert!((scene.max_segment_duration(|_| true) - d.max_visit_duration(cam)).abs() < 1e-6);
+    }
+}

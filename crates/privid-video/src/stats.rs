@@ -1,0 +1,269 @@
+//! Persistence statistics: distributions, histograms and spatial heatmaps.
+//!
+//! These reproduce the analysis artifacts of §7.1: Fig. 3 (per-pixel
+//! persistence heatmaps that suggest masks), Fig. 4 (log-scale persistence
+//! histograms before/after masking, with maxima and reduction factors), and
+//! the "% identities retained" column of Table 6.
+
+use crate::geometry::{GridSpec, Mask};
+use crate::object::TrackedObject;
+use crate::scene::Scene;
+use crate::time::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a set of persistence (duration) values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PersistenceStats {
+    /// Number of objects contributing at least one observable run.
+    pub object_count: usize,
+    /// Maximum observable run duration in seconds.
+    pub max_secs: Seconds,
+    /// Mean observable run duration in seconds.
+    pub mean_secs: Seconds,
+    /// Median observable run duration in seconds.
+    pub median_secs: Seconds,
+    /// 99th-percentile run duration in seconds.
+    pub p99_secs: Seconds,
+}
+
+impl PersistenceStats {
+    /// Compute stats over the observable runs of a scene's private objects,
+    /// optionally under a mask.
+    pub fn compute(scene: &Scene, mask: Option<&Mask>) -> Self {
+        Self::compute_filtered(scene, mask, |o| o.class.is_private())
+    }
+
+    /// Compute stats over objects selected by `filter`.
+    pub fn compute_filtered(scene: &Scene, mask: Option<&Mask>, filter: impl Fn(&TrackedObject) -> bool) -> Self {
+        let mut durations: Vec<Seconds> = Vec::new();
+        let mut object_count = 0usize;
+        for obj in scene.objects.iter().filter(|o| filter(o)) {
+            let runs = scene.observable_runs(obj, mask);
+            if runs.is_empty() {
+                continue;
+            }
+            object_count += 1;
+            durations.extend(runs);
+        }
+        if durations.is_empty() {
+            return PersistenceStats { object_count: 0, max_secs: 0.0, mean_secs: 0.0, median_secs: 0.0, p99_secs: 0.0 };
+        }
+        durations.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = durations.len();
+        let sum: f64 = durations.iter().sum();
+        PersistenceStats {
+            object_count,
+            max_secs: durations[n - 1],
+            mean_secs: sum / n as f64,
+            median_secs: durations[n / 2],
+            p99_secs: durations[((n as f64 * 0.99) as usize).min(n - 1)],
+        }
+    }
+
+    /// Ratio of another set of stats' maximum to this one's — the "relative
+    /// reduction in max persistence" the paper reports for masks.
+    pub fn max_reduction_vs(&self, original: &PersistenceStats) -> f64 {
+        if self.max_secs <= 0.0 {
+            f64::INFINITY
+        } else {
+            original.max_secs / self.max_secs
+        }
+    }
+}
+
+/// A histogram of persistence values in natural-log-second bins (matching the
+/// x-axis of Fig. 4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PersistenceHistogram {
+    /// Upper edge (in ln seconds) of each bin; bin `i` covers `[i, i+1)`.
+    pub bins: Vec<usize>,
+    /// Total number of samples.
+    pub total: usize,
+}
+
+impl PersistenceHistogram {
+    /// Build a histogram from a scene's observable runs under an optional mask.
+    pub fn compute(scene: &Scene, mask: Option<&Mask>) -> Self {
+        let mut bins = vec![0usize; 16];
+        let mut total = 0usize;
+        for obj in scene.objects.iter().filter(|o| o.class.is_private()) {
+            for run in scene.observable_runs(obj, mask) {
+                let ln = run.max(1.0).ln();
+                let bin = (ln.floor() as usize).min(bins.len() - 1);
+                bins[bin] += 1;
+                total += 1;
+            }
+        }
+        PersistenceHistogram { bins, total }
+    }
+
+    /// The relative frequency of each bin.
+    pub fn relative(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.bins.len()];
+        }
+        self.bins.iter().map(|&c| c as f64 / self.total as f64).collect()
+    }
+
+    /// Index of the highest non-empty bin (proxy for the max persistence in
+    /// log space).
+    pub fn max_bin(&self) -> usize {
+        self.bins.iter().rposition(|&c| c > 0).unwrap_or(0)
+    }
+}
+
+/// Per-grid-cell total presence time: the heatmap of Fig. 3 that the video
+/// owner inspects when choosing masks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PresenceHeatmap {
+    /// The grid the heatmap is computed over.
+    pub grid: GridSpec,
+    /// Row-major (row * cols + col) total presence seconds per cell.
+    pub seconds: Vec<f64>,
+}
+
+impl PresenceHeatmap {
+    /// Accumulate presence time per cell by sampling each private object's
+    /// trajectory at the scene frame rate.
+    pub fn compute(scene: &Scene, grid: GridSpec) -> Self {
+        let mut seconds = vec![0.0; grid.cell_count()];
+        let dt = scene.frame_rate.frame_duration();
+        for obj in scene.objects.iter().filter(|o| o.class.is_private()) {
+            for seg in &obj.segments {
+                let n = (seg.span.duration() / dt).ceil() as u64;
+                for i in 0..n {
+                    let t = seg.span.start.add_secs(i as f64 * dt);
+                    if let Some(bbox) = seg.bbox_at(t) {
+                        let cell = grid.cell_of(bbox.center());
+                        seconds[(cell.1 * grid.cols + cell.0) as usize] += dt;
+                    }
+                }
+            }
+        }
+        PresenceHeatmap { grid, seconds }
+    }
+
+    /// Presence seconds accumulated in a cell.
+    pub fn cell_seconds(&self, cell: (u32, u32)) -> f64 {
+        self.seconds[(cell.1 * self.grid.cols + cell.0) as usize]
+    }
+
+    /// The cell with the most accumulated presence time.
+    pub fn hottest_cell(&self) -> (u32, u32) {
+        let idx = self
+            .seconds
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        ((idx as u32) % self.grid.cols, (idx as u32) / self.grid.cols)
+    }
+
+    /// The `n` hottest cells, in decreasing order of presence time.
+    pub fn hottest_cells(&self, n: usize) -> Vec<(u32, u32)> {
+        let mut indexed: Vec<(usize, f64)> = self.seconds.iter().cloned().enumerate().collect();
+        indexed.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        indexed
+            .into_iter()
+            .take(n)
+            .map(|(i, _)| ((i as u32) % self.grid.cols, (i as u32) / self.grid.cols))
+            .collect()
+    }
+
+    /// Normalized heat values in `[0, 1]` (for rendering / comparison).
+    pub fn normalized(&self) -> Vec<f64> {
+        let max = self.seconds.iter().cloned().fold(0.0, f64::max);
+        if max <= 0.0 {
+            return vec![0.0; self.seconds.len()];
+        }
+        self.seconds.iter().map(|&s| s / max).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{SceneConfig, SceneGenerator};
+    use crate::geometry::GridSpec;
+
+    fn campus_1h() -> Scene {
+        SceneGenerator::new(SceneConfig::campus().with_duration_hours(1.0)).generate()
+    }
+
+    #[test]
+    fn stats_reflect_heavy_tail() {
+        let scene = campus_1h();
+        let stats = PersistenceStats::compute(&scene, None);
+        assert!(stats.object_count > 20);
+        assert!(stats.max_secs > stats.median_secs * 3.0, "max {} vs median {}", stats.max_secs, stats.median_secs);
+        assert!(stats.p99_secs <= stats.max_secs);
+        assert!(stats.mean_secs >= stats.median_secs, "heavy tail pulls the mean above the median");
+    }
+
+    #[test]
+    fn histogram_totals_match_runs() {
+        let scene = campus_1h();
+        let hist = PersistenceHistogram::compute(&scene, None);
+        assert!(hist.total > 0);
+        assert_eq!(hist.bins.iter().sum::<usize>(), hist.total);
+        let rel: f64 = hist.relative().iter().sum();
+        assert!((rel - 1.0).abs() < 1e-9);
+        assert!(hist.max_bin() >= 4, "tail should reach at least e^4 ≈ 55 s");
+    }
+
+    #[test]
+    fn heatmap_hotspots_are_in_linger_regions() {
+        let scene = campus_1h();
+        let grid = GridSpec::coarse(scene.frame_size);
+        let heat = PresenceHeatmap::compute(&scene, grid);
+        let hottest = heat.hottest_cell();
+        assert!(heat.cell_seconds(hottest) > 0.0);
+        // Campus linger regions are at normalized (0.05..0.2, 0.75..0.95) and
+        // (0.8..0.95, 0.05..0.25); the hottest cell should fall in one of them.
+        let cx = (hottest.0 as f64 + 0.5) / grid.cols as f64;
+        let cy = (hottest.1 as f64 + 0.5) / grid.rows as f64;
+        let in_linger = (cx < 0.25 && cy > 0.7) || (cx > 0.75 && cy < 0.3);
+        assert!(in_linger, "hottest cell ({cx:.2}, {cy:.2}) should be in a linger region");
+    }
+
+    #[test]
+    fn masking_hot_cells_reduces_max_persistence() {
+        let scene = campus_1h();
+        let grid = GridSpec::coarse(scene.frame_size);
+        let heat = PresenceHeatmap::compute(&scene, grid);
+        let mask = Mask::from_cells(grid, heat.hottest_cells(40));
+        let before = PersistenceStats::compute(&scene, None);
+        let after = PersistenceStats::compute(&scene, Some(&mask));
+        assert!(after.max_secs < before.max_secs, "masking hot cells must not increase max persistence");
+        assert!(after.max_reduction_vs(&before) > 1.0);
+        // Most identities should still be detectable (Table 6 shape).
+        assert!(after.object_count as f64 >= 0.5 * before.object_count as f64);
+    }
+
+    #[test]
+    fn normalized_heatmap_bounded() {
+        let scene = campus_1h();
+        let heat = PresenceHeatmap::compute(&scene, GridSpec::coarse(scene.frame_size));
+        for v in heat.normalized() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn empty_scene_yields_zero_stats() {
+        let scene = Scene::new(
+            crate::scene::CameraId::new("empty"),
+            crate::time::TimeSpan::from_secs(60.0),
+            crate::time::FrameRate::new(1.0),
+            crate::geometry::FrameSize::new(100, 100),
+            vec![],
+        );
+        let stats = PersistenceStats::compute(&scene, None);
+        assert_eq!(stats.object_count, 0);
+        assert_eq!(stats.max_secs, 0.0);
+        let hist = PersistenceHistogram::compute(&scene, None);
+        assert_eq!(hist.total, 0);
+        assert_eq!(hist.relative().iter().sum::<f64>(), 0.0);
+    }
+}

@@ -1,0 +1,281 @@
+//! Time primitives used throughout the workspace.
+//!
+//! The paper measures durations ("ρ", "persistence") in wall-clock seconds and
+//! identifies frames by timestamp. We store timestamps as integer microseconds
+//! so they are exact, hashable, and totally ordered, and expose convenience
+//! conversions to floating-point seconds for statistics.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A duration in seconds. Durations in Privid (chunk size `c`, policy `ρ`,
+/// persistence values) are real-valued seconds in the paper, so we keep the
+/// same convention.
+pub type Seconds = f64;
+
+const MICROS_PER_SEC: i64 = 1_000_000;
+
+/// An absolute point on a video's timeline, in microseconds.
+///
+/// Timestamp 0 corresponds to the start of the recording day (e.g. 6am for the
+/// campus/highway/urban videos); experiment harnesses only ever care about
+/// offsets, so no calendar mapping is needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Timestamp {
+    micros: i64,
+}
+
+impl Timestamp {
+    /// The zero timestamp (start of the recording).
+    pub const ZERO: Timestamp = Timestamp { micros: 0 };
+
+    /// Construct a timestamp from whole seconds.
+    pub fn from_secs(secs: f64) -> Self {
+        Timestamp { micros: (secs * MICROS_PER_SEC as f64).round() as i64 }
+    }
+
+    /// Construct a timestamp from hours.
+    pub fn from_hours(hours: f64) -> Self {
+        Self::from_secs(hours * 3600.0)
+    }
+
+    /// Construct a timestamp from raw microseconds.
+    pub fn from_micros(micros: i64) -> Self {
+        Timestamp { micros }
+    }
+
+    /// The timestamp as (possibly fractional) seconds.
+    pub fn as_secs(&self) -> f64 {
+        self.micros as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// The timestamp as raw microseconds.
+    pub fn as_micros(&self) -> i64 {
+        self.micros
+    }
+
+    /// Saturating subtraction of a duration in seconds, never going below zero.
+    pub fn saturating_sub_secs(&self, secs: f64) -> Timestamp {
+        let delta = (secs * MICROS_PER_SEC as f64).round() as i64;
+        Timestamp { micros: (self.micros - delta).max(0) }
+    }
+
+    /// Add a duration in seconds.
+    pub fn add_secs(&self, secs: f64) -> Timestamp {
+        let delta = (secs * MICROS_PER_SEC as f64).round() as i64;
+        Timestamp { micros: self.micros + delta }
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.as_secs();
+        let h = (total / 3600.0).floor() as i64;
+        let m = ((total - h as f64 * 3600.0) / 60.0).floor() as i64;
+        let s = total - h as f64 * 3600.0 - m as f64 * 60.0;
+        write!(f, "{h:02}:{m:02}:{s:05.2}")
+    }
+}
+
+impl Add<Seconds> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, rhs: Seconds) -> Timestamp {
+        self.add_secs(rhs)
+    }
+}
+
+impl AddAssign<Seconds> for Timestamp {
+    fn add_assign(&mut self, rhs: Seconds) {
+        *self = self.add_secs(rhs);
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = Seconds;
+    fn sub(self, rhs: Timestamp) -> Seconds {
+        (self.micros - rhs.micros) as f64 / MICROS_PER_SEC as f64
+    }
+}
+
+/// A half-open interval `[start, end)` on a video timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeSpan {
+    /// Inclusive start of the span.
+    pub start: Timestamp,
+    /// Exclusive end of the span.
+    pub end: Timestamp,
+}
+
+impl TimeSpan {
+    /// Create a span. Panics if `end < start`.
+    pub fn new(start: Timestamp, end: Timestamp) -> Self {
+        assert!(end >= start, "TimeSpan end must not precede start");
+        TimeSpan { start, end }
+    }
+
+    /// Span covering `[0, secs)`.
+    pub fn from_secs(secs: f64) -> Self {
+        TimeSpan::new(Timestamp::ZERO, Timestamp::from_secs(secs))
+    }
+
+    /// Span covering `[start_secs, end_secs)`.
+    pub fn between_secs(start_secs: f64, end_secs: f64) -> Self {
+        TimeSpan::new(Timestamp::from_secs(start_secs), Timestamp::from_secs(end_secs))
+    }
+
+    /// Duration of the span in seconds.
+    pub fn duration(&self) -> Seconds {
+        self.end - self.start
+    }
+
+    /// True if the timestamp lies in `[start, end)`.
+    pub fn contains(&self, t: Timestamp) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// True if the two spans share at least one instant.
+    pub fn overlaps(&self, other: &TimeSpan) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// Intersection of two spans, if non-empty.
+    pub fn intersect(&self, other: &TimeSpan) -> Option<TimeSpan> {
+        let start = if self.start > other.start { self.start } else { other.start };
+        let end = if self.end < other.end { self.end } else { other.end };
+        if start < end {
+            Some(TimeSpan::new(start, end))
+        } else {
+            None
+        }
+    }
+
+    /// The span expanded by `secs` on both sides (clamped at zero on the left).
+    /// Used by the budget ledger's `[a - ρ, b + ρ]` admission check.
+    pub fn expand(&self, secs: Seconds) -> TimeSpan {
+        TimeSpan::new(self.start.saturating_sub_secs(secs), self.end.add_secs(secs))
+    }
+}
+
+/// A camera's frame rate in frames per second.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrameRate {
+    fps: f64,
+}
+
+impl FrameRate {
+    /// Construct a frame rate. Panics on non-positive values.
+    pub fn new(fps: f64) -> Self {
+        assert!(fps > 0.0, "frame rate must be positive");
+        FrameRate { fps }
+    }
+
+    /// Frames per second.
+    pub fn fps(&self) -> f64 {
+        self.fps
+    }
+
+    /// Duration of a single frame in seconds.
+    pub fn frame_duration(&self) -> Seconds {
+        1.0 / self.fps
+    }
+
+    /// Number of frames that fit fully inside a span.
+    pub fn frames_in(&self, span: &TimeSpan) -> u64 {
+        (span.duration() * self.fps).floor() as u64
+    }
+
+    /// Timestamp of the `i`-th frame after `start`.
+    pub fn frame_time(&self, start: Timestamp, i: u64) -> Timestamp {
+        start.add_secs(i as f64 * self.frame_duration())
+    }
+}
+
+impl Default for FrameRate {
+    fn default() -> Self {
+        FrameRate::new(10.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_roundtrip_seconds() {
+        let t = Timestamp::from_secs(123.456);
+        assert!((t.as_secs() - 123.456).abs() < 1e-6);
+    }
+
+    #[test]
+    fn timestamp_ordering_and_arithmetic() {
+        let a = Timestamp::from_secs(10.0);
+        let b = Timestamp::from_secs(25.5);
+        assert!(a < b);
+        assert!((b - a - 15.5).abs() < 1e-9);
+        assert_eq!(a + 15.5, b);
+    }
+
+    #[test]
+    fn timestamp_saturating_sub_clamps_to_zero() {
+        let a = Timestamp::from_secs(5.0);
+        assert_eq!(a.saturating_sub_secs(10.0), Timestamp::ZERO);
+        assert_eq!(a.saturating_sub_secs(2.0), Timestamp::from_secs(3.0));
+    }
+
+    #[test]
+    fn timestamp_display_formats_hms() {
+        let t = Timestamp::from_hours(2.5);
+        assert_eq!(format!("{t}"), "02:30:00.00");
+    }
+
+    #[test]
+    fn span_contains_is_half_open() {
+        let span = TimeSpan::between_secs(10.0, 20.0);
+        assert!(span.contains(Timestamp::from_secs(10.0)));
+        assert!(span.contains(Timestamp::from_secs(19.999)));
+        assert!(!span.contains(Timestamp::from_secs(20.0)));
+        assert!(!span.contains(Timestamp::from_secs(9.999)));
+    }
+
+    #[test]
+    fn span_overlap_and_intersection() {
+        let a = TimeSpan::between_secs(0.0, 10.0);
+        let b = TimeSpan::between_secs(5.0, 15.0);
+        let c = TimeSpan::between_secs(10.0, 20.0);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c), "half-open spans touching at a point do not overlap");
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i, TimeSpan::between_secs(5.0, 10.0));
+        assert!(a.intersect(&c).is_none());
+    }
+
+    #[test]
+    fn span_expand_clamps_left() {
+        let a = TimeSpan::between_secs(5.0, 10.0);
+        let e = a.expand(30.0);
+        assert_eq!(e.start, Timestamp::ZERO);
+        assert_eq!(e.end, Timestamp::from_secs(40.0));
+    }
+
+    #[test]
+    fn frame_rate_counts_frames() {
+        let fr = FrameRate::new(10.0);
+        let span = TimeSpan::from_secs(5.0);
+        assert_eq!(fr.frames_in(&span), 50);
+        assert!((fr.frame_duration() - 0.1).abs() < 1e-12);
+        assert_eq!(fr.frame_time(span.start, 10), Timestamp::from_secs(1.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn frame_rate_rejects_zero() {
+        FrameRate::new(0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn span_rejects_inverted_bounds() {
+        TimeSpan::between_secs(10.0, 5.0);
+    }
+}

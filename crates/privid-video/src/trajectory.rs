@@ -1,0 +1,186 @@
+//! Parametric trajectories describing where an object is during one presence
+//! segment.
+//!
+//! Trajectories are parameterized by a fraction `t ∈ [0, 1]` of the segment's
+//! duration, so the same trajectory shape can be reused for segments of any
+//! length. The three shapes cover the behaviours the paper's scenes exhibit:
+//! pass-through traffic (linear), lingering individuals such as parked cars or
+//! people on benches (dwell), and static scene elements such as traffic lights
+//! and trees (stationary).
+
+use crate::geometry::{BoundingBox, Point};
+use serde::{Deserialize, Serialize};
+
+/// The shape of a trajectory over a single presence segment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TrajectoryKind {
+    /// Straight-line motion from `from` to `to` over the whole segment.
+    Linear {
+        /// Entry position (bounding-box centre).
+        from: Point,
+        /// Exit position (bounding-box centre).
+        to: Point,
+    },
+    /// Enter at `entry`, move to `rest` during the first `approach_frac` of
+    /// the segment, stay at `rest` until the final `approach_frac`, then move
+    /// to `exit`. This is the "car parked for hours but only moving for a
+    /// minute" behaviour that motivates masking (§7.1).
+    Dwell {
+        /// Entry position.
+        entry: Point,
+        /// Resting position (inside a lingering region).
+        rest: Point,
+        /// Exit position.
+        exit: Point,
+        /// Fraction of the segment spent approaching / departing (each).
+        approach_frac: f64,
+    },
+    /// The object never moves (traffic lights, trees).
+    Stationary {
+        /// Fixed position.
+        at: Point,
+    },
+}
+
+/// A trajectory plus the object's apparent size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    /// Path shape.
+    pub kind: TrajectoryKind,
+    /// Bounding-box width in pixels.
+    pub width: f64,
+    /// Bounding-box height in pixels.
+    pub height: f64,
+}
+
+impl Trajectory {
+    /// A straight-line trajectory.
+    pub fn linear(from: Point, to: Point, width: f64, height: f64) -> Self {
+        Trajectory { kind: TrajectoryKind::Linear { from, to }, width, height }
+    }
+
+    /// A dwell trajectory (enter → rest → exit).
+    pub fn dwell(entry: Point, rest: Point, exit: Point, approach_frac: f64, width: f64, height: f64) -> Self {
+        let approach_frac = approach_frac.clamp(0.0, 0.5);
+        Trajectory { kind: TrajectoryKind::Dwell { entry, rest, exit, approach_frac }, width, height }
+    }
+
+    /// A stationary trajectory.
+    pub fn stationary(at: Point, width: f64, height: f64) -> Self {
+        Trajectory { kind: TrajectoryKind::Stationary { at }, width, height }
+    }
+
+    /// Position of the object's centre at segment fraction `t ∈ [0, 1]`.
+    pub fn position_at(&self, t: f64) -> Point {
+        let t = t.clamp(0.0, 1.0);
+        match &self.kind {
+            TrajectoryKind::Linear { from, to } => from.lerp(to, t),
+            TrajectoryKind::Stationary { at } => *at,
+            TrajectoryKind::Dwell { entry, rest, exit, approach_frac } => {
+                let a = *approach_frac;
+                if a <= 0.0 {
+                    return *rest;
+                }
+                if t < a {
+                    entry.lerp(rest, t / a)
+                } else if t > 1.0 - a {
+                    rest.lerp(exit, (t - (1.0 - a)) / a)
+                } else {
+                    *rest
+                }
+            }
+        }
+    }
+
+    /// Bounding box of the object at segment fraction `t ∈ [0, 1]`.
+    pub fn bbox_at(&self, t: f64) -> BoundingBox {
+        BoundingBox::centered(self.position_at(t), self.width, self.height)
+    }
+
+    /// True if the trajectory's net motion is "northwards", i.e. towards
+    /// decreasing `y` (top of frame). Used by the Q13 direction filter.
+    pub fn moves_north(&self) -> bool {
+        match &self.kind {
+            TrajectoryKind::Linear { from, to } => to.y < from.y,
+            TrajectoryKind::Dwell { entry, exit, .. } => exit.y < entry.y,
+            TrajectoryKind::Stationary { .. } => false,
+        }
+    }
+
+    /// Approximate path length in pixels (entry → rest → exit for dwell).
+    pub fn path_length(&self) -> f64 {
+        match &self.kind {
+            TrajectoryKind::Linear { from, to } => from.distance(to),
+            TrajectoryKind::Stationary { .. } => 0.0,
+            TrajectoryKind::Dwell { entry, rest, exit, .. } => entry.distance(rest) + rest.distance(exit),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_interpolates_endpoints() {
+        let t = Trajectory::linear(Point::new(0.0, 100.0), Point::new(200.0, 100.0), 10.0, 20.0);
+        assert_eq!(t.position_at(0.0), Point::new(0.0, 100.0));
+        assert_eq!(t.position_at(1.0), Point::new(200.0, 100.0));
+        assert_eq!(t.position_at(0.5), Point::new(100.0, 100.0));
+        let bb = t.bbox_at(0.5);
+        assert_eq!(bb.center(), Point::new(100.0, 100.0));
+        assert_eq!(bb.w, 10.0);
+        assert_eq!(bb.h, 20.0);
+    }
+
+    #[test]
+    fn dwell_rests_in_the_middle() {
+        let t = Trajectory::dwell(
+            Point::new(0.0, 0.0),
+            Point::new(50.0, 50.0),
+            Point::new(100.0, 0.0),
+            0.1,
+            10.0,
+            10.0,
+        );
+        // Through the middle 80% of the segment the object sits at `rest`.
+        for frac in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            assert_eq!(t.position_at(frac), Point::new(50.0, 50.0), "at frac {frac}");
+        }
+        assert_eq!(t.position_at(0.0), Point::new(0.0, 0.0));
+        assert!(t.position_at(1.0).distance(&Point::new(100.0, 0.0)) < 1e-9);
+    }
+
+    #[test]
+    fn stationary_never_moves() {
+        let t = Trajectory::stationary(Point::new(5.0, 5.0), 4.0, 4.0);
+        assert_eq!(t.position_at(0.0), t.position_at(0.7));
+        assert_eq!(t.path_length(), 0.0);
+        assert!(!t.moves_north());
+    }
+
+    #[test]
+    fn moves_north_uses_net_motion() {
+        let north = Trajectory::linear(Point::new(0.0, 500.0), Point::new(0.0, 100.0), 5.0, 5.0);
+        let south = Trajectory::linear(Point::new(0.0, 100.0), Point::new(0.0, 500.0), 5.0, 5.0);
+        assert!(north.moves_north());
+        assert!(!south.moves_north());
+    }
+
+    #[test]
+    fn position_clamps_out_of_range_fraction() {
+        let t = Trajectory::linear(Point::new(0.0, 0.0), Point::new(10.0, 0.0), 1.0, 1.0);
+        assert_eq!(t.position_at(-1.0), t.position_at(0.0));
+        assert_eq!(t.position_at(2.0), t.position_at(1.0));
+    }
+
+    #[test]
+    fn dwell_clamps_approach_fraction() {
+        let t = Trajectory::dwell(Point::new(0.0, 0.0), Point::new(1.0, 1.0), Point::new(2.0, 2.0), 0.9, 1.0, 1.0);
+        if let TrajectoryKind::Dwell { approach_frac, .. } = t.kind {
+            assert!(approach_frac <= 0.5);
+        } else {
+            panic!("expected dwell");
+        }
+    }
+}

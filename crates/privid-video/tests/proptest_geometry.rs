@@ -1,0 +1,66 @@
+//! Property-based tests for the spatial and temporal primitives.
+
+use privid_video::{BoundingBox, ChunkSpec, FrameSize, GridSpec, Mask, Point, TimeSpan};
+use proptest::prelude::*;
+
+proptest! {
+    /// IoU is symmetric, bounded in [0, 1], and 1 for identical boxes.
+    #[test]
+    fn iou_properties(x in 0.0..1000.0f64, y in 0.0..1000.0f64, w in 1.0..200.0f64, h in 1.0..200.0f64,
+                      dx in -300.0..300.0f64, dy in -300.0..300.0f64) {
+        let a = BoundingBox::new(x, y, w, h);
+        let b = BoundingBox::new(x + dx, y + dy, w, h);
+        let iou_ab = a.iou(&b);
+        let iou_ba = b.iou(&a);
+        prop_assert!((iou_ab - iou_ba).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&iou_ab));
+        prop_assert!((a.iou(&a) - 1.0).abs() < 1e-9);
+    }
+
+    /// Every point of the frame maps to a valid grid cell, and the cell's box
+    /// contains the point.
+    #[test]
+    fn grid_cell_contains_point(px in 0.0..1919.0f64, py in 0.0..1079.0f64) {
+        let grid = GridSpec::coarse(FrameSize::full_hd());
+        let cell = grid.cell_of(Point::new(px, py));
+        prop_assert!(cell.0 < grid.cols && cell.1 < grid.rows);
+        let bbox = grid.cell_box(cell);
+        prop_assert!(bbox.contains_point(Point::new(px, py)));
+    }
+
+    /// Mask coverage is monotone: adding cells never reduces coverage, and a
+    /// full-grid mask hides every box inside the frame.
+    #[test]
+    fn mask_coverage_monotone(x in 0.0..1800.0f64, y in 0.0..1000.0f64, w in 5.0..100.0f64, h in 5.0..60.0f64,
+                              ncells in 0usize..40) {
+        let grid = GridSpec::coarse(FrameSize::full_hd());
+        let bbox = BoundingBox::new(x, y, w, h);
+        let cells: Vec<_> = grid.all_cells().take(ncells).collect();
+        let small = Mask::from_cells(grid, cells.clone());
+        let bigger = Mask::from_cells(grid, cells.into_iter().chain(grid.all_cells().take(ncells + 20)));
+        prop_assert!(bigger.coverage(&bbox) + 1e-9 >= small.coverage(&bbox));
+        let full = Mask::from_cells(grid, grid.all_cells());
+        prop_assert!(full.hides(&bbox));
+    }
+
+    /// The number of chunk spans equals chunk_count, spans never exceed the
+    /// window, and Eq. 6.1 bounds the chunks any rho-length event can span.
+    #[test]
+    fn chunking_consistency(window in 10.0..5000.0f64, chunk in 1.0..120.0f64, rho in 0.0..600.0f64) {
+        let spec = ChunkSpec::contiguous(chunk);
+        let w = TimeSpan::from_secs(window);
+        let spans = spec.chunk_spans(&w);
+        prop_assert_eq!(spans.len() as u64, spec.chunk_count(window));
+        for s in &spans {
+            prop_assert!(s.start >= w.start && s.end <= w.end);
+            // Timestamps are stored at microsecond resolution, so a span's
+            // duration can exceed the requested chunk length by sub-microsecond
+            // rounding.
+            prop_assert!(s.duration() <= chunk + 1e-5);
+        }
+        // Eq. 6.1: an event of duration rho overlaps at most 1 + ceil(rho/chunk) spans.
+        let event = TimeSpan::between_secs(window / 3.0, (window / 3.0 + rho).min(window));
+        let overlapping = spans.iter().filter(|s| s.overlaps(&event)).count() as u64;
+        prop_assert!(overlapping <= spec.max_chunks_spanned(rho));
+    }
+}
