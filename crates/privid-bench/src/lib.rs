@@ -420,7 +420,7 @@ pub fn fig11_cumulative_masking(scale: Scale) -> String {
 /// Fig. 5: hourly counting time series (original vs Privid-no-noise vs the
 /// 99% noise band) for the Q1-style query on each video.
 pub fn fig5_case1_timeseries(scale: Scale) -> String {
-    let hours = scale.hours.max(2.0).min(6.0) as usize;
+    let hours = scale.hours.clamp(2.0, 6.0) as usize;
     let mut out = String::from("Fig. 5: hourly unique-object counts (raw chunked count ± 99% noise band)\n");
     for (video, processor) in [("campus", "people"), ("highway", "cars"), ("urban", "people")] {
         let scene = SceneGenerator::new(match video {
@@ -506,7 +506,7 @@ pub fn fig6_chunk_range_sweep(scale: Scale) -> String {
 pub fn fig7_window_sweep(scale: Scale) -> String {
     let mut out = String::from("Fig. 7: relative noise vs query window size (campus, Q1-style)\n");
     out.push_str("window (h) | raw count | noise scale | noise / count\n");
-    let max_hours = scale.hours.max(2.0).min(8.0);
+    let max_hours = scale.hours.clamp(2.0, 8.0);
     let scene = SceneGenerator::new(
         SceneConfig::campus().with_duration_hours(max_hours).with_arrival_scale(scale.arrival_scale),
     )

@@ -8,7 +8,7 @@
 //! straddle two queries that were admitted against disjoint budgets
 //! (Theorem 6.2, case 2).
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use privid_video::{Seconds, TimeSpan};
 
 /// Per-frame budget state for one camera. Budgets are tracked at a fixed
@@ -44,9 +44,9 @@ impl BudgetLedger {
         self.initial
     }
 
-    fn slot_range(&self, span: &TimeSpan) -> (usize, usize) {
-        let slots = self.slots.lock();
-        let n = slots.len();
+    /// Slot indices covered by `span`, given `n` total slots. Pure so callers
+    /// can compute ranges under a single lock acquisition.
+    fn slot_range(&self, span: &TimeSpan, n: usize) -> (usize, usize) {
         let lo = ((span.start.as_secs() / self.slot_secs).floor().max(0.0) as usize).min(n.saturating_sub(1));
         let hi = ((span.end.as_secs() / self.slot_secs).ceil() as usize).clamp(lo + 1, n);
         (lo, hi)
@@ -54,8 +54,8 @@ impl BudgetLedger {
 
     /// Minimum remaining budget over a span.
     pub fn min_remaining(&self, span: &TimeSpan) -> f64 {
-        let (lo, hi) = self.slot_range(span);
-        let slots = self.slots.lock();
+        let slots = self.slots.lock().expect("budget ledger lock poisoned");
+        let (lo, hi) = self.slot_range(span, slots.len());
         slots[lo..hi].iter().cloned().fold(f64::INFINITY, f64::min)
     }
 
@@ -66,9 +66,9 @@ impl BudgetLedger {
     /// rejected.
     pub fn check_and_debit(&self, window: &TimeSpan, rho_margin: Seconds, epsilon: f64) -> Result<(), f64> {
         let expanded = window.expand(rho_margin);
-        let (elo, ehi) = self.slot_range(&expanded);
-        let (wlo, whi) = self.slot_range(window);
-        let mut slots = self.slots.lock();
+        let mut slots = self.slots.lock().expect("budget ledger lock poisoned");
+        let (elo, ehi) = self.slot_range(&expanded, slots.len());
+        let (wlo, whi) = self.slot_range(window, slots.len());
         let min = slots[elo..ehi].iter().cloned().fold(f64::INFINITY, f64::min);
         // Tolerate floating-point accumulation at the boundary.
         if min + 1e-9 < epsilon {
@@ -82,7 +82,7 @@ impl BudgetLedger {
 
     /// Remaining budget at a specific time (seconds).
     pub fn remaining_at(&self, secs: f64) -> f64 {
-        let slots = self.slots.lock();
+        let slots = self.slots.lock().expect("budget ledger lock poisoned");
         let idx = ((secs / self.slot_secs).floor().max(0.0) as usize).min(slots.len() - 1);
         slots[idx]
     }
@@ -90,7 +90,7 @@ impl BudgetLedger {
 
 impl Clone for BudgetLedger {
     fn clone(&self) -> Self {
-        BudgetLedger { slots: Mutex::new(self.slots.lock().clone()), slot_secs: self.slot_secs, initial: self.initial }
+        BudgetLedger { slots: Mutex::new(self.slots.lock().expect("budget ledger lock poisoned").clone()), slot_secs: self.slot_secs, initial: self.initial }
     }
 }
 

@@ -53,9 +53,13 @@ impl MaskPlan {
     }
 }
 
+/// One private object's occupancy: its index in the scene, per-cell seconds
+/// of presence, and total presence.
+type ObjectOccupancy = (usize, HashMap<(u32, u32), f64>, Seconds);
+
 /// Internal per-object occupancy: which cells each object's longest-run
 /// trajectory touches, with per-cell frame counts.
-fn object_cell_occupancy(scene: &Scene, grid: &GridSpec) -> Vec<(usize, HashMap<(u32, u32), f64>, Seconds)> {
+fn object_cell_occupancy(scene: &Scene, grid: &GridSpec) -> Vec<ObjectOccupancy> {
     let dt = scene.frame_rate.frame_duration();
     let mut out = Vec::new();
     for (oi, obj) in scene.objects.iter().enumerate() {

@@ -239,7 +239,7 @@ mod tests {
         let (frames, gt) = det.detect_span(&scene, &TimeSpan::between_secs(0.0, 600.0));
         let detected: usize = frames
             .iter()
-            .map(|(_, d)| d.iter().filter(|x| x.source_class.map_or(false, |c| c.is_private())).count())
+            .map(|(_, d)| d.iter().filter(|x| x.source_class.is_some_and(|c| c.is_private())).count())
             .sum();
         assert!(gt > 100, "need enough boxes for the statistic, got {gt}");
         let ratio = detected as f64 / (gt as f64 + 1e-9);

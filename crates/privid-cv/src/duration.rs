@@ -103,7 +103,7 @@ impl DurationEstimator {
             let obs = scene.observations_at_masked(t, mask);
             gt_boxes += obs.iter().filter(|o| o.class.is_private()).count();
             let dets = detector.detect(scene, &obs);
-            detected_gt_boxes += dets.iter().filter(|d| d.source_class.map_or(false, |c| c.is_private())).count();
+            detected_gt_boxes += dets.iter().filter(|d| d.source_class.is_some_and(|c| c.is_private())).count();
             tracker.update(t, &dets);
         }
         let tracker_config = self.tracker_config;

@@ -102,18 +102,14 @@ pub fn run_chunks(
     }
     let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
     let chunk_per_worker = chunks.len().div_ceil(workers);
-    let mut outputs: Vec<Option<Vec<SandboxedOutput>>> = Vec::new();
-    crossbeam::scope(|scope| {
-        let mut handles = Vec::new();
-        for batch in chunks.chunks(chunk_per_worker) {
-            handles.push(scope.spawn(move |_| batch.iter().map(|c| run_chunk(factory, c, spec)).collect::<Vec<_>>()));
-        }
-        for h in handles {
-            outputs.push(Some(h.join().expect("sandbox worker panicked")));
-        }
-    })
-    .expect("crossbeam scope failed");
-    outputs.into_iter().flatten().flatten().collect()
+    let outputs: Vec<Vec<SandboxedOutput>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .chunks(chunk_per_worker)
+            .map(|batch| scope.spawn(move || batch.iter().map(|c| run_chunk(factory, c, spec)).collect::<Vec<_>>()))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sandbox worker panicked")).collect()
+    });
+    outputs.into_iter().flatten().collect()
 }
 
 #[cfg(test)]

@@ -164,7 +164,7 @@ pub struct TrackedObject {
 impl TrackedObject {
     /// Construct an object, sorting its segments by start time.
     pub fn new(id: ObjectId, class: ObjectClass, attributes: Attributes, mut segments: Vec<PresenceSegment>) -> Self {
-        segments.sort_by(|a, b| a.span.start.cmp(&b.span.start));
+        segments.sort_by_key(|a| a.span.start);
         TrackedObject { id, class, attributes, segments }
     }
 

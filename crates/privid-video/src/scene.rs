@@ -162,7 +162,7 @@ impl Scene {
         let dt = self.frame_rate.frame_duration();
         let mut runs = Vec::new();
         for seg in &obj.segments {
-            if mask.map_or(true, |m| m.is_empty()) {
+            if mask.is_none_or(|m| m.is_empty()) {
                 // No mask (or an empty one): the observable run is the whole segment.
                 runs.push(seg.duration());
                 continue;
@@ -172,7 +172,7 @@ impl Scene {
             let n = (seg.span.duration() / dt).ceil() as u64;
             for i in 0..=n {
                 let t = seg.span.start.add_secs(i as f64 * dt);
-                let visible = seg.bbox_at(t).map(|b| mask.map_or(true, |m| !m.hides(&b))).unwrap_or(false);
+                let visible = seg.bbox_at(t).map(|b| mask.is_none_or(|m| !m.hides(&b))).unwrap_or(false);
                 if visible {
                     if run_start.is_none() {
                         run_start = Some(t);

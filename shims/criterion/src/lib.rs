@@ -1,0 +1,161 @@
+//! Offline stand-in for `criterion` 0.5.
+//!
+//! The build environment has no registry access, so this shim implements the
+//! subset of the criterion API the workspace's benches use — [`Criterion`],
+//! `bench_function`, `benchmark_group` (with `sample_size`/`finish`),
+//! [`Bencher::iter`], [`criterion_group!`] and [`criterion_main!`] — with a
+//! small wall-clock measurement loop. Benches are declared with
+//! `harness = false`, so `cargo bench` runs the shim's `main` and prints one
+//! `name  median time/iter  (samples)` line per benchmark; `cargo bench
+//! --no-run` type-checks everything exactly as with the real crate.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (the real one forwards to
+/// `std::hint` on recent toolchains, as does this).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` as a named benchmark and prints its median iteration time.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut bencher);
+        bencher.report(&name.into());
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup { _criterion: self, name: name.into(), sample_size }
+    }
+}
+
+/// A group of related benchmarks (prefixes the group name).
+pub struct BenchmarkGroup<'a> {
+    // Held only so the group mutably borrows the driver for its lifetime,
+    // matching the real API's aliasing rules.
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs `f` as `group/name`.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, name.into()));
+        self
+    }
+
+    /// Finishes the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up plus a quick calibration of iterations-per-sample so each
+        // sample measures at least ~1ms without running long benches forever.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters_per_sample = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters_per_sample);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        match sorted.get(sorted.len() / 2) {
+            Some(median) => println!("{name:<50} {median:>12.2?}/iter  ({} samples)", sorted.len()),
+            None => println!("{name:<50} (no samples: Bencher::iter never called)"),
+        }
+    }
+}
+
+/// Declares a function running the listed benchmark targets, as
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `fn main` running the listed groups, as
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_run_their_closures() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        c.bench_function("unit", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut ran_group = 0u32;
+        group.bench_function("inner", |b| b.iter(|| ran_group += 1));
+        group.finish();
+        assert!(ran_group > 0);
+    }
+}

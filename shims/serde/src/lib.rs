@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names the workspace imports and
+//! (behind the `derive` feature, on by default in the workspace manifest)
+//! re-exports the no-op derives from the sibling `serde_derive` shim. The
+//! traits are deliberately empty: nothing in the workspace serializes yet,
+//! the derives exist so the data model is annotated and ready for the real
+//! crates when registry access returns.
+
+#![forbid(unsafe_code)]
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

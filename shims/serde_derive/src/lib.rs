@@ -1,0 +1,53 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Nothing in the workspace serializes yet (the registry is unreachable from
+//! this build environment, so there is no serde_json either), but the derives
+//! still emit real `impl serde::Serialize` / `impl serde::Deserialize` marker
+//! impls so that `T: Serialize` bounds work the moment someone writes one.
+//! Declaring `attributes(serde)` keeps field annotations such as
+//! `#[serde(skip)]` accepted exactly as the real macros do.
+//!
+//! The type name is extracted by scanning the token stream for the
+//! `struct`/`enum` keyword — no `syn` available offline. Generic types are
+//! not supported (the workspace has none); they get the old no-op expansion.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Finds the name of the derived type, or `None` for shapes this minimal
+/// parser does not handle (e.g. generics, which need a full `syn`).
+fn type_name(input: &TokenStream) -> Option<String> {
+    let mut tokens = input.clone().into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(kw) = &tt {
+            let kw = kw.to_string();
+            if kw == "struct" || kw == "enum" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    // A `<` right after the name means generics: bail out.
+                    match tokens.next() {
+                        Some(TokenTree::Punct(p)) if p.as_char() == '<' => return None,
+                        _ => return Some(name.to_string()),
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// `Serialize` derive: emits an empty `impl serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match type_name(&input) {
+        Some(name) => format!("impl ::serde::Serialize for {name} {{}}").parse().unwrap(),
+        None => TokenStream::new(),
+    }
+}
+
+/// `Deserialize` derive: emits an empty `impl serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match type_name(&input) {
+        Some(name) => format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}").parse().unwrap(),
+        None => TokenStream::new(),
+    }
+}
