@@ -1,8 +1,14 @@
 //! Criterion benchmark of the end-to-end split → process → aggregate → noise
-//! pipeline (the per-query cost an analyst experiences).
+//! pipeline (the per-query cost an analyst experiences), plus a comparison of
+//! the chunk execution engine's worker counts against the pre-engine eager
+//! baseline (see `bench_snapshot` for the machine-readable form).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use privid::{ChunkProcessor, PrivacyPolicy, PrividSystem, SceneConfig, SceneGenerator, UniqueEntrantProcessor};
+use privid::sandbox::{run_chunks, SandboxSpec};
+use privid::video::{split_scene, ChunkSpec, TimeSpan};
+use privid::{
+    ChunkProcessor, Parallelism, PrivacyPolicy, PrividSystem, SceneConfig, SceneGenerator, UniqueEntrantProcessor,
+};
 use std::hint::black_box;
 
 fn bench_pipeline(c: &mut Criterion) {
@@ -30,5 +36,43 @@ fn bench_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline);
+fn bench_execution_engine(c: &mut Criterion) {
+    let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(0.5).with_arrival_scale(0.3)).generate();
+    let query = "SPLIT campus BEGIN 0 END 1200 BY TIME 5 sec STRIDE 0 sec INTO c;
+                 PROCESS c USING proc TIMEOUT 1 sec PRODUCING 20 ROWS WITH SCHEMA (count:NUMBER=0) INTO t;
+                 SELECT COUNT(*) FROM t CONSUMING 1.0;";
+
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+
+    // The pre-engine hot path: eager owned chunks, serial sandbox loop.
+    group.bench_function("eager_split_and_run_240_chunks", |b| {
+        let factory = || Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>;
+        let sandbox = SandboxSpec::new(1.0, 20, privid::query::Schema::new(vec![
+            privid::query::ColumnDef::number("count", 0.0),
+        ]).unwrap());
+        b.iter(|| {
+            let chunks = split_scene(&scene, &TimeSpan::from_secs(1200.0), &ChunkSpec::contiguous(5.0), None);
+            black_box(run_chunks(&factory, &chunks, &sandbox, false))
+        });
+    });
+
+    for (name, parallelism) in [
+        ("streaming_serial", Parallelism::Serial),
+        ("streaming_workers_4", Parallelism::Fixed(4)),
+        ("streaming_auto", Parallelism::Auto),
+    ] {
+        group.bench_function(format!("count_query_20min_{name}"), |b| {
+            let mut sys = PrividSystem::new(1).with_parallelism(parallelism);
+            sys.register_camera("campus", scene.clone(), PrivacyPolicy::new(90.0, 2, 1e9));
+            sys.register_processor("proc", || {
+                Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>
+            });
+            b.iter(|| black_box(sys.execute_text(query).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_execution_engine);
 criterion_main!(benches);

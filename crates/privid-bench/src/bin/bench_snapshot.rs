@@ -1,0 +1,248 @@
+//! Machine-readable pipeline benchmark snapshot.
+//!
+//! Times the chunk-processing hot path (the stage that dominates end-to-end
+//! query latency) through three implementations and writes the results as
+//! JSON so the repo's perf trajectory is tracked PR over PR:
+//!
+//! 1. `eager_serial_baseline` — the pre-engine pipeline, reconstructed from
+//!    the still-public pieces: eager `split_scene` into owned chunks, serial
+//!    `run_chunks`, and the copying `Table::append_chunk_output`.
+//! 2. `engine_workers_N` — the streaming engine (`ChunkPlan` →
+//!    `execute_plan` → by-value `Table::append_chunk_rows`) at N workers.
+//! 3. End-to-end `execute_text` at serial vs. auto parallelism.
+//!
+//! Usage: `bench_snapshot [--smoke] [--out PATH]` (default `BENCH_PR2.json`
+//! in the current directory; CI runs `--smoke --out /dev/null`).
+
+use privid::core::execute_plan;
+use privid::query::{ColumnDef, Schema, Table};
+use privid::sandbox::{run_chunks, ChunkProcessor, SandboxSpec};
+use privid::video::{split_scene, ChunkPlan, ChunkSpec, RegionScheme, Scene, TimeSpan};
+use privid::{Parallelism, PrivacyPolicy, PrividSystem, SceneConfig, SceneGenerator, UniqueEntrantProcessor};
+use std::time::Instant;
+
+struct Timing {
+    mode: String,
+    median_ms: f64,
+}
+
+/// Median wall-clock of `samples` runs of `f`, after one warm-up run, in ms.
+fn median_ms(samples: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+fn factory() -> impl Fn() -> Box<dyn ChunkProcessor> + Sync {
+    || Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>
+}
+
+fn count_schema() -> Schema {
+    Schema::new(vec![ColumnDef::number("count", 0.0)]).unwrap()
+}
+
+/// The pre-engine hot path: eager materialization, serial sandbox loop,
+/// copying (and re-coercing) table append.
+fn eager_process_stage(scene: &Scene, window: &TimeSpan, spec: &ChunkSpec, max_rows: usize) -> Table {
+    let sandbox = SandboxSpec::new(1.0, max_rows, count_schema());
+    let chunks = split_scene(scene, window, spec, None);
+    let outputs = run_chunks(&factory(), &chunks, &sandbox, false);
+    let mut table = Table::new(count_schema());
+    for out in &outputs {
+        table.append_chunk_output(out.chunk_start_secs, 0, &out.rows, max_rows);
+    }
+    table
+}
+
+/// The pre-engine spatial-split hot path: the executor used to deep-clone the
+/// whole chunk once per region (`restrict_chunk_to_region`).
+fn eager_spatial_stage(
+    scene: &Scene,
+    window: &TimeSpan,
+    spec: &ChunkSpec,
+    scheme: &RegionScheme,
+    max_rows: usize,
+) -> Table {
+    let sandbox = SandboxSpec::new(1.0, max_rows, count_schema());
+    let chunks = split_scene(scene, window, spec, None);
+    let f = factory();
+    let mut table = Table::new(count_schema());
+    for chunk in &chunks {
+        for region in &scheme.regions {
+            let mut sub = chunk.clone();
+            for frame in &mut sub.frames {
+                frame.observations.retain(|o| region.bbox.contains_point(o.bbox.center()));
+            }
+            let visible: std::collections::HashSet<_> =
+                sub.frames.iter().flat_map(|fr| fr.observations.iter().map(|o| o.object_id)).collect();
+            sub.objects.retain(|id, _| visible.contains(id));
+            let out = privid::sandbox::run_chunk_owned(&f, &sub, &sandbox);
+            table.append_chunk_output(out.chunk_start_secs, region.id, &out.rows, max_rows);
+        }
+    }
+    table
+}
+
+/// The streaming engine at a given worker count.
+fn engine_process_stage(
+    scene: &Scene,
+    window: &TimeSpan,
+    spec: &ChunkSpec,
+    scheme: Option<&RegionScheme>,
+    max_rows: usize,
+    parallelism: Parallelism,
+) -> Table {
+    let sandbox = SandboxSpec::new(1.0, max_rows, count_schema());
+    let plan = ChunkPlan::new(scene, window, spec, None);
+    let outputs = execute_plan(&plan, scheme, &factory(), &sandbox, parallelism);
+    let mut table = Table::new(count_schema());
+    for (region, out) in outputs {
+        table.append_chunk_rows(out.chunk_start_secs, region, out.rows, max_rows);
+    }
+    table
+}
+
+fn json_timings(timings: &[Timing]) -> String {
+    timings
+        .iter()
+        .map(|t| format!("    {{\"mode\": \"{}\", \"median_ms\": {:.3}}}", t.mode, t.median_ms))
+        .collect::<Vec<_>>()
+        .join(",\n")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR2.json".to_string());
+
+    // Multi-chunk workload: a campus counting query, 5 s chunks. The smoke
+    // configuration keeps CI fast; the default is the snapshot of record.
+    let (hours, window_secs, samples) = if smoke { (0.25, 300.0, 3) } else { (1.0, 1200.0, 7) };
+    let scene = SceneGenerator::new(
+        SceneConfig::campus().with_duration_hours(hours).with_arrival_scale(0.3),
+    )
+    .generate();
+    let window = TimeSpan::from_secs(window_secs);
+    let spec = ChunkSpec::contiguous(5.0);
+    let max_rows = 20;
+    let n_chunks = spec.chunk_count(window_secs);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    eprintln!("bench_snapshot: {n_chunks} chunks, {samples} samples per mode, {cores} core(s)");
+
+    // ---- temporal split: eager baseline vs engine at 1/2/4/8 workers ------
+    let mut process_stage = Vec::new();
+    process_stage.push(Timing {
+        mode: "eager_serial_baseline".into(),
+        median_ms: median_ms(samples, || {
+            std::hint::black_box(eager_process_stage(&scene, &window, &spec, max_rows));
+        }),
+    });
+    for workers in [1usize, 2, 4, 8] {
+        process_stage.push(Timing {
+            mode: format!("engine_workers_{workers}"),
+            median_ms: median_ms(samples, || {
+                std::hint::black_box(engine_process_stage(
+                    &scene,
+                    &window,
+                    &spec,
+                    None,
+                    max_rows,
+                    Parallelism::Fixed(workers),
+                ));
+            }),
+        });
+    }
+
+    // ---- spatial split: deep-clone-per-region baseline vs filtered views --
+    let scheme = scene.region_schemes["default"].clone();
+    let spatial_window = TimeSpan::from_secs(if smoke { 60.0 } else { 300.0 });
+    let frame_spec = ChunkSpec::contiguous(1.0); // soft boundaries need single-frame chunks
+    let mut spatial_stage = Vec::new();
+    spatial_stage.push(Timing {
+        mode: "eager_clone_per_region_baseline".into(),
+        median_ms: median_ms(samples, || {
+            std::hint::black_box(eager_spatial_stage(&scene, &spatial_window, &frame_spec, &scheme, max_rows));
+        }),
+    });
+    for workers in [1usize, 4] {
+        spatial_stage.push(Timing {
+            mode: format!("engine_workers_{workers}"),
+            median_ms: median_ms(samples, || {
+                std::hint::black_box(engine_process_stage(
+                    &scene,
+                    &spatial_window,
+                    &frame_spec,
+                    Some(&scheme),
+                    max_rows,
+                    Parallelism::Fixed(workers),
+                ));
+            }),
+        });
+    }
+
+    // ---- end-to-end query latency ----------------------------------------
+    let query = format!(
+        "SPLIT campus BEGIN 0 END {window_secs} BY TIME 5 sec STRIDE 0 sec INTO c;
+         PROCESS c USING proc TIMEOUT 1 sec PRODUCING {max_rows} ROWS WITH SCHEMA (count:NUMBER=0) INTO t;
+         SELECT COUNT(*) FROM t CONSUMING 1.0;"
+    );
+    let mut end_to_end = Vec::new();
+    for (label, parallelism) in [("serial", Parallelism::Serial), ("auto", Parallelism::Auto)] {
+        let mut sys = PrividSystem::new(1).with_parallelism(parallelism);
+        sys.register_camera("campus", scene.clone(), PrivacyPolicy::new(90.0, 2, 1e9));
+        sys.register_processor("proc", factory());
+        end_to_end.push(Timing {
+            mode: format!("execute_text_{label}"),
+            median_ms: median_ms(samples, || {
+                std::hint::black_box(sys.execute_text(&query).unwrap());
+            }),
+        });
+    }
+
+    let ms_of = |list: &[Timing], mode: &str| list.iter().find(|t| t.mode == mode).map(|t| t.median_ms).unwrap_or(0.0);
+    let eager = ms_of(&process_stage, "eager_serial_baseline");
+    let engine1 = ms_of(&process_stage, "engine_workers_1");
+    let engine4 = ms_of(&process_stage, "engine_workers_4");
+    let spatial_eager = ms_of(&spatial_stage, "eager_clone_per_region_baseline");
+    let spatial4 = ms_of(&spatial_stage, "engine_workers_4");
+
+    let json = format!(
+        "{{\n  \"pr\": 2,\n  \"bench\": \"pipeline chunk execution\",\n  \"available_cores\": {cores},\n  \
+         \"config\": {{\"video\": \"campus\", \"hours\": {hours}, \"window_secs\": {window_secs}, \
+         \"chunk_secs\": 5.0, \"chunks\": {n_chunks}, \"max_rows\": {max_rows}, \"samples\": {samples}, \
+         \"smoke\": {smoke}}},\n  \"process_stage\": [\n{}\n  ],\n  \"spatial_stage\": [\n{}\n  ],\n  \
+         \"end_to_end\": [\n{}\n  ],\n  \"speedups\": {{\n    \
+         \"engine_1worker_vs_eager_baseline\": {:.2},\n    \
+         \"engine_4workers_vs_eager_baseline\": {:.2},\n    \
+         \"engine_4workers_vs_engine_1worker\": {:.2},\n    \
+         \"spatial_engine_4workers_vs_clone_baseline\": {:.2}\n  }}\n}}\n",
+        json_timings(&process_stage),
+        json_timings(&spatial_stage),
+        json_timings(&end_to_end),
+        eager / engine1.max(1e-9),
+        eager / engine4.max(1e-9),
+        engine1 / engine4.max(1e-9),
+        spatial_eager / spatial4.max(1e-9),
+    );
+
+    if out_path == "/dev/null" {
+        print!("{json}");
+    } else {
+        std::fs::write(&out_path, &json).expect("write bench snapshot");
+        eprintln!("bench_snapshot: wrote {out_path}");
+        print!("{json}");
+    }
+}

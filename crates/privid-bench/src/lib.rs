@@ -21,8 +21,9 @@ use privid::cv::{tune_tracker, DetectorConfig, TuningGrid};
 use privid::video::{ChunkSpec, ObjectClass, PersistenceHistogram};
 use privid::{
     greedy_mask_order, CarTableProcessor, ChunkProcessor, DatasetCatalog, DegradationCurve, DirectionFilterProcessor,
-    DurationEstimator, GridSpec, PortoConfig, PortoDataset, PrivacyPolicy, PrividSystem, RedLightProcessor,
-    Scene, SceneConfig, SceneGenerator, TaxiShiftProcessor, TimeSpan, TreeBloomProcessor, UniqueEntrantProcessor,
+    DurationEstimator, GridSpec, Parallelism, PortoConfig, PortoDataset, PrivacyPolicy, PrividSystem,
+    RedLightProcessor, Scene, SceneConfig, SceneGenerator, TaxiShiftProcessor, TimeSpan, TreeBloomProcessor,
+    UniqueEntrantProcessor,
 };
 
 /// How large to make each experiment.
@@ -38,17 +39,34 @@ pub struct Scale {
     pub porto_days: u32,
     /// Cameras of the Porto dataset (paper: 105).
     pub porto_cameras: u32,
+    /// Worker count for the chunk execution engine. Results are identical at
+    /// every setting; only experiment wall-clock time changes.
+    pub parallelism: Parallelism,
 }
 
 impl Scale {
     /// A configuration that runs every experiment in a couple of minutes.
     pub fn quick() -> Self {
-        Scale { hours: 1.0, arrival_scale: 0.2, noise_trials: 50, porto_days: 14, porto_cameras: 10 }
+        Scale {
+            hours: 1.0,
+            arrival_scale: 0.2,
+            noise_trials: 50,
+            porto_days: 14,
+            porto_cameras: 10,
+            parallelism: Parallelism::Auto,
+        }
     }
 
     /// A configuration closer to the paper's (hours of footage, more trials).
     pub fn full() -> Self {
-        Scale { hours: 6.0, arrival_scale: 0.5, noise_trials: 200, porto_days: 60, porto_cameras: 20 }
+        Scale {
+            hours: 6.0,
+            arrival_scale: 0.5,
+            noise_trials: 200,
+            porto_days: 60,
+            porto_cameras: 20,
+            parallelism: Parallelism::Auto,
+        }
     }
 }
 
@@ -146,7 +164,7 @@ fn run_counting_case(
     rho: f64,
 ) -> CaseResult {
     let scene = scene_for(video, scale);
-    let mut sys = PrividSystem::new(seed);
+    let mut sys = PrividSystem::new(seed).with_parallelism(scale.parallelism);
     // The evaluation policies protect a single appearance (K = 1), matching the
     // paper's per-query parameterization with masked rho values (Table 3).
     sys.register_camera(video, scene, PrivacyPolicy::new(rho, 1, 1e9));
@@ -174,7 +192,7 @@ fn run_counting_case(
     let mut noisy = Vec::with_capacity(scale.noise_trials);
     noisy.push(first.releases[0].value.as_number().unwrap());
     for trial in 1..scale.noise_trials {
-        let mut fresh = PrividSystem::new(seed + trial as u64);
+        let mut fresh = PrividSystem::new(seed + trial as u64).with_parallelism(scale.parallelism);
         fresh.register_camera(video, scene_for(video, scale), PrivacyPolicy::new(rho, 1, 1e9));
         match processor {
             "people" => fresh.register_processor("proc", || Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>),
@@ -244,7 +262,7 @@ fn porto_cases(scale: Scale) -> String {
         ..PortoConfig::default()
     };
     let dataset = PortoDataset::generate(config.clone());
-    let mut sys = PrividSystem::new(77);
+    let mut sys = PrividSystem::new(77).with_parallelism(scale.parallelism);
     for cam in 0..2u32 {
         let scene = dataset.camera_scene(cam);
         let rho = dataset.max_visit_duration(cam) * 1.2;
@@ -431,7 +449,7 @@ pub fn fig5_case1_timeseries(scale: Scale) -> String {
         .with_duration_hours(hours as f64)
         .with_arrival_scale(scale.arrival_scale))
         .generate();
-        let mut sys = PrividSystem::new(31);
+        let mut sys = PrividSystem::new(31).with_parallelism(scale.parallelism);
         sys.register_camera(video, scene, PrivacyPolicy::new(90.0, 2, 1e9));
         if processor == "people" {
             sys.register_processor("proc", || Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>);
@@ -480,7 +498,7 @@ pub fn fig6_chunk_range_sweep(scale: Scale) -> String {
         .count() as f64;
     for chunk in [1.0, 5.0, 10.0, 30.0, 60.0] {
         for max_rows in [10usize, 40, 160] {
-            let mut sys = PrividSystem::new(41);
+            let mut sys = PrividSystem::new(41).with_parallelism(scale.parallelism);
             sys.register_camera("campus", scene.clone(), PrivacyPolicy::new(90.0, 2, 1e9));
             sys.register_processor("proc", || Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>);
             let query = format!(
@@ -513,7 +531,7 @@ pub fn fig7_window_sweep(scale: Scale) -> String {
     .generate();
     let mut hours = 1.0;
     while hours <= max_hours + 1e-9 {
-        let mut sys = PrividSystem::new(51);
+        let mut sys = PrividSystem::new(51).with_parallelism(scale.parallelism);
         sys.register_camera("campus", scene.clone(), PrivacyPolicy::new(90.0, 2, 1e9));
         sys.register_processor("proc", || Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>);
         let query = format!(
@@ -581,7 +599,14 @@ mod tests {
     use super::*;
 
     fn tiny() -> Scale {
-        Scale { hours: 0.25, arrival_scale: 0.1, noise_trials: 5, porto_days: 5, porto_cameras: 5 }
+        Scale {
+            hours: 0.25,
+            arrival_scale: 0.1,
+            noise_trials: 5,
+            porto_days: 5,
+            porto_cameras: 5,
+            parallelism: Parallelism::Serial,
+        }
     }
 
     #[test]

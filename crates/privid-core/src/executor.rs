@@ -5,6 +5,7 @@
 use crate::budget::BudgetLedger;
 use crate::error::PrividError;
 use crate::mechanism::LaplaceMechanism;
+use crate::parallel::{execute_plan, Parallelism};
 use crate::policy::{MaskPolicy, PrivacyPolicy};
 use privid_query::exec::RawRelease;
 use privid_query::sensitivity::TableProfile;
@@ -12,8 +13,8 @@ use privid_query::{
     execute_select, parse_query, ParsedQuery, ProcessStatement, ReleaseValue, SelectStatement, SensitivityContext,
     SplitStatement, Table,
 };
-use privid_sandbox::{run_chunk, ChunkProcessor, ProcessorFactory, SandboxSpec};
-use privid_video::{split_scene, Chunk, ChunkSpec, Mask, RegionBoundary, RegionScheme, Scene, Seconds, TimeSpan};
+use privid_sandbox::{ChunkProcessor, ProcessorFactory, SandboxSpec};
+use privid_video::{ChunkPlan, ChunkSpec, Mask, RegionBoundary, RegionScheme, Scene, Seconds, TimeSpan};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -102,6 +103,11 @@ pub struct PrividSystem {
     mechanism: LaplaceMechanism,
     /// Budget charged to a SELECT that has no `CONSUMING` clause.
     pub default_epsilon: f64,
+    /// How many workers the chunk execution engine uses per PROCESS
+    /// statement. Results are bit-for-bit identical at every setting (the
+    /// engine merges outputs in deterministic chunk order); only wall-clock
+    /// time changes.
+    pub parallelism: Parallelism,
 }
 
 impl PrividSystem {
@@ -112,7 +118,14 @@ impl PrividSystem {
             processors: HashMap::new(),
             mechanism: LaplaceMechanism::new(seed),
             default_epsilon: 1.0,
+            parallelism: Parallelism::Auto,
         }
+    }
+
+    /// Builder-style override of the execution engine's worker count.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Register a camera with its recording and privacy policy.
@@ -189,6 +202,17 @@ impl PrividSystem {
             query.selects.iter().map(|s| s.epsilon.unwrap_or(self.default_epsilon)).sum();
         if query.selects.is_empty() {
             return Err(PrividError::Invalid("a query must contain at least one SELECT".into()));
+        }
+        // Validate release structure *before* budget admission: a SELECT with
+        // no aggregations plans zero releases, and rejecting it only after
+        // `check_and_debit` below would permanently consume the analyst's
+        // budget for a query that can never release anything.
+        for stmt in &query.selects {
+            if stmt.aggregations.is_empty() {
+                return Err(PrividError::Invalid(
+                    "SELECT statement declares no aggregations, so it plans no releases".into(),
+                ));
+            }
         }
 
         // ---- 4. Budget admission (Algorithm 1, lines 1-5), per camera ----------------------
@@ -279,25 +303,17 @@ impl PrividSystem {
             self.processors.get(&p.executable).ok_or_else(|| PrividError::UnknownProcessor(p.executable.clone()))?;
         let entry = self.cameras.get(&split.camera).ok_or_else(|| PrividError::UnknownCamera(split.camera.clone()))?;
         let sandbox_spec = SandboxSpec::new(p.timeout_secs, p.max_rows, p.schema.clone());
-        let chunks = split_scene(&entry.scene, &split.window, &split.spec, split.mask.as_ref());
+        // Stream the chunks through the parallel execution engine: chunks are
+        // materialized lazily in the workers (no owned Chunk is ever built)
+        // and the outputs come back in deterministic (chunk, region) order,
+        // so the table below is identical at every worker count.
+        let plan = ChunkPlan::new(&entry.scene, &split.window, &split.spec, split.mask.as_ref());
+        let outputs =
+            execute_plan(&plan, split.region_scheme.as_ref(), factory.as_ref(), &sandbox_spec, self.parallelism);
         let mut table = Table::new(p.schema.clone());
-        let mut executions = 0usize;
-        for chunk in &chunks {
-            match &split.region_scheme {
-                None => {
-                    let out = run_chunk(factory.as_ref(), chunk, &sandbox_spec);
-                    table.append_chunk_output(out.chunk_start_secs, 0, &out.rows, p.max_rows);
-                    executions += 1;
-                }
-                Some(scheme) => {
-                    for region in &scheme.regions {
-                        let sub = restrict_chunk_to_region(chunk, &region.bbox);
-                        let out = run_chunk(factory.as_ref(), &sub, &sandbox_spec);
-                        table.append_chunk_output(out.chunk_start_secs, region.id, &out.rows, p.max_rows);
-                        executions += 1;
-                    }
-                }
-            }
+        let executions = outputs.len();
+        for (region, out) in outputs {
+            table.append_chunk_rows(out.chunk_start_secs, region, out.rows, p.max_rows);
         }
         let regions = split.region_scheme.as_ref().map(|s| s.len()).unwrap_or(1).max(1);
         let profile = TableProfile {
@@ -338,13 +354,21 @@ impl PrividSystem {
             _ => 1,
         };
         let sensitivities = ctx.statement_sensitivities(stmt, bins)?;
-        let planned_releases = sensitivities.len().max(1);
+        // Aggregation-free SELECTs are rejected before budget admission in
+        // `execute`; this guard is defence in depth so `sensitivities[0]`
+        // can never panic even if a new planning path slips through.
+        let Some(&first_sensitivity) = sensitivities.first() else {
+            return Err(PrividError::Invalid(
+                "SELECT statement declares no aggregations, so it plans no releases".into(),
+            ));
+        };
+        let planned_releases = sensitivities.len();
         let per_release_epsilon = select_epsilon / planned_releases as f64;
 
         let raw: Vec<RawRelease> = execute_select(stmt, tables)?;
         let mut out = Vec::with_capacity(raw.len());
         for (i, release) in raw.into_iter().enumerate() {
-            let sensitivity = sensitivities.get(i).copied().unwrap_or_else(|| sensitivities[0]);
+            let sensitivity = sensitivities.get(i).copied().unwrap_or(first_sensitivity);
             let scale = LaplaceMechanism::scale(sensitivity, per_release_epsilon);
             let value = match &release.value {
                 ReleaseValue::Number(n) => NoisyValue::Number(self.mechanism.release(*n, sensitivity, per_release_epsilon)),
@@ -366,20 +390,6 @@ impl PrividSystem {
         }
         Ok(out)
     }
-}
-
-/// Restrict a chunk to a spatial region: only observations whose centre lies
-/// in the region are kept, and the per-object metadata is filtered to objects
-/// that remain visible.
-fn restrict_chunk_to_region(chunk: &Chunk, region: &privid_video::BoundingBox) -> Chunk {
-    let mut sub = chunk.clone();
-    for frame in &mut sub.frames {
-        frame.observations.retain(|o| region.contains_point(o.bbox.center()));
-    }
-    let visible: std::collections::HashSet<_> =
-        sub.frames.iter().flat_map(|f| f.observations.iter().map(|o| o.object_id)).collect();
-    sub.objects.retain(|id, _| visible.contains(id));
-    sub
 }
 
 #[cfg(test)]
@@ -551,6 +561,43 @@ mod tests {
         let ok_query = query.replace("BY TIME 10 sec", "BY TIME 1 sec");
         let result = sys.execute_text(&ok_query).unwrap();
         assert!(result.chunks_processed >= 1200, "one execution per chunk per region");
+    }
+
+    #[test]
+    fn select_without_aggregations_is_invalid_not_a_panic() {
+        // Regression: a programmatically built SELECT with no aggregations
+        // used to slip through planning (statement_sensitivities returns an
+        // empty vec, and `sensitivities[0]` was one data-shape away from
+        // panicking) and silently consumed budget while releasing nothing.
+        let mut sys = campus_system();
+        let budget_before = sys.remaining_budget("campus", 600.0).unwrap();
+        let mut query = parse_query(COUNT_QUERY).unwrap();
+        query.selects[0].aggregations.clear();
+        match sys.execute(&query) {
+            Err(PrividError::Invalid(msg)) => assert!(msg.contains("no aggregations"), "got: {msg}"),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        assert_eq!(
+            sys.remaining_budget("campus", 600.0).unwrap(),
+            budget_before,
+            "a rejected query must not consume budget"
+        );
+    }
+
+    #[test]
+    fn explicit_parallelism_settings_execute_the_same_query() {
+        let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(0.5)).generate();
+        let mut results = Vec::new();
+        for parallelism in [crate::Parallelism::Serial, crate::Parallelism::Fixed(3), crate::Parallelism::Auto] {
+            let mut sys = PrividSystem::new(5).with_parallelism(parallelism);
+            sys.register_camera("campus", scene.clone(), PrivacyPolicy::new(60.0, 2, 20.0));
+            sys.register_processor("person_counter", || {
+                Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>
+            });
+            results.push(sys.execute_text(COUNT_QUERY).unwrap());
+        }
+        assert_eq!(results[0], results[1], "worker count must not change any release");
+        assert_eq!(results[0], results[2]);
     }
 
     #[test]

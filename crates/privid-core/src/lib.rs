@@ -10,6 +10,9 @@
 //! * [`budget`] — the per-frame privacy-budget ledger of Algorithm 1.
 //! * [`executor`] — the split → process → aggregate → noise pipeline, the
 //!   public entry point ([`PrividSystem`]).
+//! * [`parallel`] — the streaming chunk execution engine: fans lazily
+//!   materialized chunk views out to a worker pool and merges outputs in
+//!   deterministic order ([`Parallelism`] selects the worker count).
 //! * [`masking`] — the spatial-masking optimization of §7.1 and the greedy
 //!   mask-ordering Algorithm 2 (Appendix F).
 //! * [`spatial`] — the spatial-splitting optimization of §7.2.
@@ -51,6 +54,7 @@ pub mod error;
 pub mod executor;
 pub mod masking;
 pub mod mechanism;
+pub mod parallel;
 pub mod policy;
 pub mod spatial;
 
@@ -58,6 +62,7 @@ pub use budget::BudgetLedger;
 pub use degradation::{detection_probability_bound, DegradationCurve};
 pub use error::PrividError;
 pub use executor::{NoisyRelease, NoisyValue, PrividSystem, QueryResult};
+pub use parallel::{execute_plan, Parallelism};
 pub use masking::{greedy_mask_order, MaskPlan, MaskingAnalysis};
 pub use mechanism::{laplace_noise, report_noisy_max, LaplaceMechanism};
 pub use policy::{MaskPolicy, PrivacyPolicy};

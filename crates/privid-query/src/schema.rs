@@ -126,18 +126,29 @@ impl Schema {
     /// fill missing cells with defaults, and replace mistyped cells with
     /// defaults. The output always has exactly `self.len()` values.
     pub fn coerce(&self, raw: &[Value]) -> Vec<Value> {
-        self.columns
-            .iter()
-            .enumerate()
-            .map(|(i, col)| match raw.get(i) {
-                Some(v) => match (col.dtype, v) {
-                    (DataType::Str, Value::Str(_)) => v.clone(),
-                    (DataType::Num, Value::Num(n)) if n.is_finite() => v.clone(),
-                    _ => col.default.clone(),
-                },
-                None => col.default.clone(),
-            })
-            .collect()
+        self.coerce_into(raw.to_vec())
+    }
+
+    /// Consuming form of [`Schema::coerce`]: cells that already match the
+    /// schema are moved into place instead of cloned, so well-behaved
+    /// processors (the common case) pay no per-cell string copy. Semantics
+    /// are identical to `coerce`.
+    pub fn coerce_into(&self, mut raw: Vec<Value>) -> Vec<Value> {
+        raw.truncate(self.columns.len());
+        for (col, v) in self.columns.iter().zip(raw.iter_mut()) {
+            let matches = match (col.dtype, &*v) {
+                (DataType::Str, Value::Str(_)) => true,
+                (DataType::Num, Value::Num(n)) => n.is_finite(),
+                _ => false,
+            };
+            if !matches {
+                *v = col.default.clone();
+            }
+        }
+        for col in self.columns.iter().skip(raw.len()) {
+            raw.push(col.default.clone());
+        }
+        raw
     }
 }
 

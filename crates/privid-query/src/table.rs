@@ -55,6 +55,20 @@ impl Table {
         }
     }
 
+    /// Append the output of one chunk **by value**: rows are moved into the
+    /// table, not copied. The caller must pass rows that already match the
+    /// schema (the sandbox coerces before release); the `max_rows` cap is
+    /// still enforced here as defence in depth. This is the executor's hot
+    /// path — with `append_chunk_output` every string cell was cloned once
+    /// per row, and coerced a second time after the sandbox already had.
+    pub fn append_chunk_rows(&mut self, chunk_start_secs: f64, region: u32, rows: Vec<Vec<Value>>, max_rows: usize) {
+        self.rows.reserve(rows.len().min(max_rows));
+        for values in rows.into_iter().take(max_rows) {
+            debug_assert_eq!(values.len(), self.schema.len(), "sandbox output must match the schema");
+            self.rows.push(Row { values, chunk: chunk_start_secs, region });
+        }
+    }
+
     /// Append a single already-coerced row (used by tests and by JOIN/GROUP BY
     /// intermediates).
     pub fn push_row(&mut self, row: Row) {

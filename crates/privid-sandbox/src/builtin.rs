@@ -15,7 +15,7 @@
 
 use crate::processor::ChunkProcessor;
 use privid_query::Value;
-use privid_video::{Chunk, ObjectClass};
+use privid_video::{ChunkView, ObjectClass};
 
 /// Emits one row (`count = 1`) per private object of the target class that
 /// enters the scene during the chunk. "Enters during the chunk" means the
@@ -44,10 +44,9 @@ impl ChunkProcessor for UniqueEntrantProcessor {
         "unique_entrant_counter"
     }
 
-    fn process(&mut self, chunk: &Chunk) -> Vec<Vec<Value>> {
+    fn process(&mut self, chunk: &ChunkView<'_>) -> Vec<Vec<Value>> {
         chunk
-            .objects
-            .values()
+            .objects()
             .filter(|info| info.class == self.class && !info.visible_in_first_frame)
             .map(|_| vec![Value::num(1.0)])
             .collect()
@@ -64,16 +63,16 @@ impl ChunkProcessor for CarTableProcessor {
         "car_table"
     }
 
-    fn process(&mut self, chunk: &Chunk) -> Vec<Vec<Value>> {
+    fn process(&mut self, chunk: &ChunkView<'_>) -> Vec<Vec<Value>> {
         chunk
-            .objects
-            .values()
+            .objects()
             .filter(|info| info.class == ObjectClass::Car)
             .map(|info| {
+                let attrs = info.attributes();
                 vec![
-                    Value::str(info.attributes.plate.clone()),
-                    Value::str(info.attributes.color.map(|c| c.label()).unwrap_or("")),
-                    Value::num(info.attributes.speed_kmh),
+                    Value::str(attrs.plate.clone()),
+                    Value::str(attrs.color.map(|c| c.label()).unwrap_or("")),
+                    Value::num(attrs.speed_kmh),
                 ]
             })
             .collect()
@@ -90,12 +89,11 @@ impl ChunkProcessor for TreeBloomProcessor {
         "tree_bloom"
     }
 
-    fn process(&mut self, chunk: &Chunk) -> Vec<Vec<Value>> {
+    fn process(&mut self, chunk: &ChunkView<'_>) -> Vec<Vec<Value>> {
         chunk
-            .objects
-            .values()
+            .objects()
             .filter(|info| info.class == ObjectClass::Tree)
-            .map(|info| vec![Value::num(if info.attributes.has_leaves { 100.0 } else { 0.0 })])
+            .map(|info| vec![Value::num(if info.attributes().has_leaves { 100.0 } else { 0.0 })])
             .collect()
     }
 }
@@ -110,12 +108,11 @@ impl ChunkProcessor for RedLightProcessor {
         "red_light_duration"
     }
 
-    fn process(&mut self, chunk: &Chunk) -> Vec<Vec<Value>> {
+    fn process(&mut self, chunk: &ChunkView<'_>) -> Vec<Vec<Value>> {
         chunk
-            .objects
-            .values()
+            .objects()
             .filter(|info| info.class == ObjectClass::TrafficLight)
-            .map(|info| vec![Value::num(info.attributes.red_light_duration)])
+            .map(|info| vec![Value::num(info.attributes().red_light_duration)])
             .collect()
     }
 }
@@ -141,10 +138,9 @@ impl ChunkProcessor for DirectionFilterProcessor {
         "northbound_entrants"
     }
 
-    fn process(&mut self, chunk: &Chunk) -> Vec<Vec<Value>> {
+    fn process(&mut self, chunk: &ChunkView<'_>) -> Vec<Vec<Value>> {
         chunk
-            .objects
-            .values()
+            .objects()
             .filter(|info| {
                 info.class == ObjectClass::Person
                     && !info.visible_in_first_frame
@@ -166,20 +162,19 @@ impl ChunkProcessor for TaxiShiftProcessor {
         "taxi_shift"
     }
 
-    fn process(&mut self, chunk: &Chunk) -> Vec<Vec<Value>> {
-        let start = chunk.span.start.as_secs();
+    fn process(&mut self, chunk: &ChunkView<'_>) -> Vec<Vec<Value>> {
+        let start = chunk.span().start.as_secs();
         let day = (start / 86_400.0).floor();
         let hour = ((start % 86_400.0) / 3600.0).floor();
         chunk
-            .objects
-            .values()
+            .objects()
             .filter(|info| info.class == ObjectClass::Car)
             .map(|info| {
                 vec![
-                    Value::str(info.attributes.plate.clone()),
+                    Value::str(info.attributes().plate.clone()),
                     Value::num(day),
                     Value::num(hour),
-                    Value::str(chunk.camera.clone()),
+                    Value::str(chunk.camera()),
                 ]
             })
             .collect()
@@ -189,7 +184,7 @@ impl ChunkProcessor for TaxiShiftProcessor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use privid_video::{split_scene, ChunkSpec, SceneConfig, SceneGenerator, TimeSpan};
+    use privid_video::{split_scene, Chunk, ChunkBuffer, ChunkSpec, SceneConfig, SceneGenerator, TimeSpan};
 
     fn chunks(minutes: f64, chunk_secs: f64) -> Vec<Chunk> {
         let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(0.5)).generate();
@@ -199,9 +194,10 @@ mod tests {
     #[test]
     fn unique_entrants_counted_once_across_chunks() {
         let chunks = chunks(20.0, 5.0);
+        let mut buf = ChunkBuffer::new();
         let mut total = 0usize;
         for c in &chunks {
-            total += UniqueEntrantProcessor::people().process(c).len();
+            total += UniqueEntrantProcessor::people().process(&buf.load_chunk(c)).len();
         }
         // Compare against ground truth: people whose first appearance starts
         // within the window (each contributes one entrance per segment start
@@ -228,7 +224,8 @@ mod tests {
         let scene = SceneGenerator::new(SceneConfig::highway().with_duration_hours(0.1).with_arrival_scale(0.1)).generate();
         let chunks = split_scene(&scene, &TimeSpan::from_secs(120.0), &ChunkSpec::contiguous(5.0), None);
         let mut p = CarTableProcessor;
-        let rows: Vec<_> = chunks.iter().flat_map(|c| p.process(c)).collect();
+        let mut buf = ChunkBuffer::new();
+        let rows: Vec<_> = chunks.iter().flat_map(|c| p.process(&buf.load_chunk(c))).collect();
         assert!(!rows.is_empty());
         for r in &rows {
             assert_eq!(r.len(), 3);
@@ -241,7 +238,8 @@ mod tests {
     fn tree_bloom_matches_config_fraction() {
         let chunks = chunks(1.0, 30.0);
         let mut p = TreeBloomProcessor;
-        let rows = p.process(&chunks[0]);
+        let mut buf = ChunkBuffer::new();
+        let rows = p.process(&buf.load_chunk(&chunks[0]));
         assert_eq!(rows.len(), 15, "campus has 15 trees, all visible in every chunk");
         let avg: f64 = rows.iter().map(|r| r[0].as_num().unwrap()).sum::<f64>() / rows.len() as f64;
         assert_eq!(avg, 100.0, "campus preset: every tree has leaves");
@@ -250,7 +248,8 @@ mod tests {
     #[test]
     fn red_light_duration_reported() {
         let chunks = chunks(1.0, 30.0);
-        let rows = RedLightProcessor.process(&chunks[0]);
+        let mut buf = ChunkBuffer::new();
+        let rows = RedLightProcessor.process(&buf.load_chunk(&chunks[0]));
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0][0], Value::num(75.0), "campus red phase is 75 s (Table 3 Q10)");
     }
@@ -259,11 +258,13 @@ mod tests {
     fn direction_filter_selects_subset_of_entrants() {
         // Large chunks so within-chunk motion is observable.
         let chunks = chunks(20.0, 120.0);
+        let mut buf = ChunkBuffer::new();
         let mut all = 0usize;
         let mut north = 0usize;
         for c in &chunks {
-            all += UniqueEntrantProcessor::people().process(c).len();
-            north += DirectionFilterProcessor::default().process(c).len();
+            let view = buf.load_chunk(c);
+            all += UniqueEntrantProcessor::people().process(&view).len();
+            north += DirectionFilterProcessor::default().process(&view).len();
         }
         assert!(north > 0, "some pedestrians head north");
         assert!(north < all, "the direction filter must exclude southbound/eastbound people");
@@ -276,7 +277,8 @@ mod tests {
         let window = TimeSpan::between_secs(0.0, 6.0 * 3600.0);
         let chunks = split_scene(&scene, &window, &ChunkSpec::contiguous(60.0), None);
         let mut p = TaxiShiftProcessor;
-        let rows: Vec<_> = chunks.iter().flat_map(|c| p.process(c)).collect();
+        let mut buf = ChunkBuffer::new();
+        let rows: Vec<_> = chunks.iter().flat_map(|c| p.process(&buf.load_chunk(c))).collect();
         assert!(!rows.is_empty());
         for r in &rows {
             assert_eq!(r[1], Value::num(0.0), "all within day 0");

@@ -8,7 +8,7 @@
 
 use crate::processor::ChunkProcessor;
 use privid_query::Value;
-use privid_video::Chunk;
+use privid_video::ChunkView;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -24,7 +24,7 @@ impl ChunkProcessor for RowFloodProcessor {
         "row_flood"
     }
 
-    fn process(&mut self, _chunk: &Chunk) -> Vec<Vec<Value>> {
+    fn process(&mut self, _chunk: &ChunkView<'_>) -> Vec<Vec<Value>> {
         (0..self.rows).map(|i| vec![Value::num(i as f64), Value::str("flood")]).collect()
     }
 }
@@ -38,7 +38,7 @@ impl ChunkProcessor for CrashingProcessor {
         "crasher"
     }
 
-    fn process(&mut self, _chunk: &Chunk) -> Vec<Vec<Value>> {
+    fn process(&mut self, _chunk: &ChunkView<'_>) -> Vec<Vec<Value>> {
         panic!("analyst executable crashed");
     }
 }
@@ -59,11 +59,11 @@ impl ChunkProcessor for SlowProcessor {
         "slow"
     }
 
-    fn process(&mut self, chunk: &Chunk) -> Vec<Vec<Value>> {
+    fn process(&mut self, chunk: &ChunkView<'_>) -> Vec<Vec<Value>> {
         vec![vec![Value::num(chunk.observation_count() as f64)]]
     }
 
-    fn simulated_cost_secs(&self, chunk: &Chunk) -> f64 {
+    fn simulated_cost_secs(&self, chunk: &ChunkView<'_>) -> f64 {
         self.base_secs + self.per_observation_secs * chunk.observation_count() as f64
     }
 }
@@ -100,7 +100,7 @@ impl ChunkProcessor for StatefulCheater {
         "stateful_cheater"
     }
 
-    fn process(&mut self, _chunk: &Chunk) -> Vec<Vec<Value>> {
+    fn process(&mut self, _chunk: &ChunkView<'_>) -> Vec<Vec<Value>> {
         let seen_before = self.shared.fetch_add(1, Ordering::SeqCst);
         vec![vec![Value::num(seen_before as f64)]]
     }
@@ -116,7 +116,7 @@ impl ChunkProcessor for MalformedRowProcessor {
         "malformed"
     }
 
-    fn process(&mut self, _chunk: &Chunk) -> Vec<Vec<Value>> {
+    fn process(&mut self, _chunk: &ChunkView<'_>) -> Vec<Vec<Value>> {
         vec![
             vec![Value::num(1.0), Value::num(2.0), Value::num(3.0), Value::num(4.0), Value::num(5.0)],
             vec![Value::str("only-one-cell")],
@@ -128,7 +128,7 @@ impl ChunkProcessor for MalformedRowProcessor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use privid_video::TimeSpan;
+    use privid_video::{Chunk, ChunkBuffer, TimeSpan};
 
     fn empty_chunk() -> Chunk {
         Chunk::empty(0, "cam", TimeSpan::from_secs(5.0))
@@ -136,30 +136,42 @@ mod tests {
 
     #[test]
     fn flood_and_malformed_emit_raw_rows() {
+        let chunk = empty_chunk();
+        let mut buf = ChunkBuffer::new();
+        let view = buf.load_chunk(&chunk);
         let mut flood = RowFloodProcessor { rows: 1000 };
-        assert_eq!(flood.process(&empty_chunk()).len(), 1000);
+        assert_eq!(flood.process(&view).len(), 1000);
         let mut bad = MalformedRowProcessor;
-        assert_eq!(bad.process(&empty_chunk()).len(), 3);
+        assert_eq!(bad.process(&view).len(), 3);
     }
 
     #[test]
     fn cheater_counts_across_instances() {
+        let chunk = empty_chunk();
+        let mut buf = ChunkBuffer::new();
+        let view = buf.load_chunk(&chunk);
         let cheater = StatefulCheater::new();
         let mut a = cheater.clone();
         let mut b = cheater.clone();
-        assert_eq!(a.process(&empty_chunk())[0][0], Value::num(0.0));
-        assert_eq!(b.process(&empty_chunk())[0][0], Value::num(1.0), "shared state visible without a sandbox");
+        assert_eq!(a.process(&view)[0][0], Value::num(0.0));
+        assert_eq!(b.process(&view)[0][0], Value::num(1.0), "shared state visible without a sandbox");
     }
 
     #[test]
     fn slow_processor_cost_depends_on_content() {
+        let chunk = empty_chunk();
+        let mut buf = ChunkBuffer::new();
+        let view = buf.load_chunk(&chunk);
         let p = SlowProcessor { base_secs: 0.5, per_observation_secs: 0.1 };
-        assert_eq!(p.simulated_cost_secs(&empty_chunk()), 0.5);
+        assert_eq!(p.simulated_cost_secs(&view), 0.5);
     }
 
     #[test]
     #[should_panic]
     fn crasher_panics() {
-        CrashingProcessor.process(&empty_chunk());
+        let chunk = empty_chunk();
+        let mut buf = ChunkBuffer::new();
+        let view = buf.load_chunk(&chunk);
+        CrashingProcessor.process(&view);
     }
 }

@@ -6,14 +6,22 @@
 //! sandbox coerces, truncates and defaults its output — so implementations
 //! are free to behave arbitrarily, including adversarially.
 //!
+//! Processors consume [`ChunkView`]s: borrowed, zero-copy views of one
+//! materialized chunk. The view borrows the camera name and object
+//! attributes from the scene, so handing a chunk to a processor costs
+//! nothing beyond the materialization itself — the property the parallel
+//! execution engine relies on to fan chunks out across workers.
+//!
 //! A [`ProcessorFactory`] creates one fresh processor per chunk. This is how
 //! the "no state across chunks" requirement of Appendix B is enforced in a
 //! single-process simulation: each chunk gets a brand-new instance, so the
 //! only way to carry information between chunks would be through global
-//! state, which the fault-injection tests cover explicitly.
+//! state, which the fault-injection tests cover explicitly. Factories are
+//! `Sync` so a single factory can instantiate processors from many worker
+//! threads at once.
 
 use privid_query::Value;
-use privid_video::Chunk;
+use privid_video::ChunkView;
 
 /// An analyst-provided per-chunk processor.
 pub trait ChunkProcessor: Send {
@@ -22,15 +30,15 @@ pub trait ChunkProcessor: Send {
 
     /// Process one chunk into raw table rows. Rows may be malformed; the
     /// sandbox coerces them to the declared schema.
-    fn process(&mut self, chunk: &Chunk) -> Vec<Vec<Value>>;
+    fn process(&mut self, chunk: &ChunkView<'_>) -> Vec<Vec<Value>>;
 
     /// Simulated wall-clock cost of processing this chunk, in seconds.
     /// The sandbox compares this against the PROCESS statement's `TIMEOUT`
     /// and substitutes the default row when it is exceeded — the simulation
     /// analogue of killing a real process at its deadline.
-    fn simulated_cost_secs(&self, chunk: &Chunk) -> f64 {
+    fn simulated_cost_secs(&self, chunk: &ChunkView<'_>) -> f64 {
         // A cheap default: linear in the number of frames.
-        0.001 * chunk.frames.len() as f64
+        0.001 * chunk.frame_count() as f64
     }
 }
 
@@ -53,14 +61,14 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use privid_video::TimeSpan;
+    use privid_video::{Chunk, ChunkBuffer, TimeSpan};
 
     struct Nop;
     impl ChunkProcessor for Nop {
         fn name(&self) -> &str {
             "nop"
         }
-        fn process(&mut self, _chunk: &Chunk) -> Vec<Vec<Value>> {
+        fn process(&mut self, _chunk: &ChunkView<'_>) -> Vec<Vec<Value>> {
             Vec::new()
         }
     }
@@ -70,8 +78,10 @@ mod tests {
         let factory = || Box::new(Nop) as Box<dyn ChunkProcessor>;
         let mut p = factory.create();
         let chunk = Chunk::empty(0, "c", TimeSpan::from_secs(5.0));
+        let mut buf = ChunkBuffer::new();
+        let view = buf.load_chunk(&chunk);
         assert_eq!(p.name(), "nop");
-        assert!(p.process(&chunk).is_empty());
-        assert!(p.simulated_cost_secs(&chunk) >= 0.0);
+        assert!(p.process(&view).is_empty());
+        assert!(p.simulated_cost_secs(&view) >= 0.0);
     }
 }

@@ -1,13 +1,15 @@
 //! The isolated execution harness (Appendix B).
 //!
-//! [`run_chunk`] executes one fresh processor instance on one chunk and
-//! enforces the sandbox contract; [`run_chunks`] maps it over a whole split,
-//! optionally in parallel (each chunk's execution is independent by
-//! construction, so parallelism cannot change results).
+//! [`run_chunk`] executes one fresh processor instance on one chunk view and
+//! enforces the sandbox contract. The hot path hands it [`ChunkView`]s
+//! materialized straight from a `ChunkPlan`; [`run_chunk_owned`] and
+//! [`run_chunks`] are compatibility wrappers for code that holds owned
+//! [`Chunk`]s (each chunk's execution is independent by construction, so
+//! parallelism cannot change results).
 
 use crate::processor::ProcessorFactory;
 use privid_query::{Schema, Value};
-use privid_video::{Chunk, Seconds};
+use privid_video::{Chunk, ChunkBuffer, ChunkView, Seconds};
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -61,7 +63,7 @@ pub struct SandboxedOutput {
 }
 
 /// Execute one chunk inside the sandbox.
-pub fn run_chunk(factory: &dyn ProcessorFactory, chunk: &Chunk, spec: &SandboxSpec) -> SandboxedOutput {
+pub fn run_chunk(factory: &dyn ProcessorFactory, chunk: &ChunkView<'_>, spec: &SandboxSpec) -> SandboxedOutput {
     // A fresh processor per chunk: no state can persist across instantiations.
     let mut processor = factory.create();
     let simulated_cost = processor.simulated_cost_secs(chunk);
@@ -75,10 +77,12 @@ pub fn run_chunk(factory: &dyn ProcessorFactory, chunk: &Chunk, spec: &SandboxSp
         }
     };
 
-    let rows = raw_rows.iter().take(spec.max_rows).map(|r| spec.schema.coerce(r)).collect();
+    // Coercion consumes the rows: cells that already match the schema are
+    // moved into place, not cloned.
+    let rows = raw_rows.into_iter().take(spec.max_rows).map(|r| spec.schema.coerce_into(r)).collect();
     SandboxedOutput {
-        chunk_index: chunk.index,
-        chunk_start_secs: chunk.span.start.as_secs(),
+        chunk_index: chunk.index(),
+        chunk_start_secs: chunk.span().start.as_secs(),
         rows,
         outcome,
         // The analyst is always charged the full timeout (Appendix B): actual
@@ -87,10 +91,20 @@ pub fn run_chunk(factory: &dyn ProcessorFactory, chunk: &Chunk, spec: &SandboxSp
     }
 }
 
-/// Execute every chunk of a split. When `parallel` is true the chunks are
-/// processed on multiple threads; because each execution is isolated the
-/// outputs are identical either way (verified in tests), only wall-clock
-/// time differs.
+/// Execute one owned [`Chunk`] by loading it into a scratch buffer first.
+/// Compatibility path for tests and eager pipelines.
+pub fn run_chunk_owned(factory: &dyn ProcessorFactory, chunk: &Chunk, spec: &SandboxSpec) -> SandboxedOutput {
+    let mut buf = ChunkBuffer::new();
+    let view = buf.load_chunk(chunk);
+    run_chunk(factory, &view, spec)
+}
+
+/// Execute every chunk of an eagerly materialized split. When `parallel` is
+/// true the chunks are processed on multiple threads; because each execution
+/// is isolated the outputs are identical either way (verified in tests), only
+/// wall-clock time differs. Query execution uses the streaming engine in
+/// `privid-core::parallel` instead; this helper remains for benchmarking the
+/// eager path and for tests that hold owned chunks.
 pub fn run_chunks(
     factory: &(dyn ProcessorFactory + Sync),
     chunks: &[Chunk],
@@ -98,14 +112,20 @@ pub fn run_chunks(
     parallel: bool,
 ) -> Vec<SandboxedOutput> {
     if !parallel || chunks.len() < 2 {
-        return chunks.iter().map(|c| run_chunk(factory, c, spec)).collect();
+        let mut buf = ChunkBuffer::new();
+        return chunks.iter().map(|c| run_chunk(factory, &buf.load_chunk(c), spec)).collect();
     }
     let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
     let chunk_per_worker = chunks.len().div_ceil(workers);
     let outputs: Vec<Vec<SandboxedOutput>> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .chunks(chunk_per_worker)
-            .map(|batch| scope.spawn(move || batch.iter().map(|c| run_chunk(factory, c, spec)).collect::<Vec<_>>()))
+            .map(|batch| {
+                scope.spawn(move || {
+                    let mut buf = ChunkBuffer::new();
+                    batch.iter().map(|c| run_chunk(factory, &buf.load_chunk(c), spec)).collect::<Vec<_>>()
+                })
+            })
             .collect();
         handles.into_iter().map(|h| h.join().expect("sandbox worker panicked")).collect()
     });
@@ -138,7 +158,7 @@ mod tests {
     fn completed_execution_caps_rows_and_coerces() {
         let chunks = campus_chunks();
         let factory = || Box::new(RowFloodProcessor { rows: 500 }) as Box<dyn ChunkProcessor>;
-        let out = run_chunk(&factory, &chunks[0], &spec(10));
+        let out = run_chunk_owned(&factory, &chunks[0], &spec(10));
         assert_eq!(out.outcome, ChunkOutcome::Completed);
         assert_eq!(out.rows.len(), 10, "row flood truncated to max_rows");
         for r in &out.rows {
@@ -150,7 +170,7 @@ mod tests {
     fn crash_yields_default_row() {
         let chunks = campus_chunks();
         let factory = || Box::new(CrashingProcessor) as Box<dyn ChunkProcessor>;
-        let out = run_chunk(&factory, &chunks[0], &spec(10));
+        let out = run_chunk_owned(&factory, &chunks[0], &spec(10));
         assert_eq!(out.outcome, ChunkOutcome::Crashed);
         assert_eq!(out.rows, vec![vec![Value::num(0.0)]], "default row for the declared schema");
     }
@@ -160,13 +180,13 @@ mod tests {
         let chunks = campus_chunks();
         let factory =
             || Box::new(SlowProcessor { base_secs: 0.0, per_observation_secs: 10.0 }) as Box<dyn ChunkProcessor>;
-        let out = run_chunk(&factory, &chunks[0], &spec(10));
+        let out = run_chunk_owned(&factory, &chunks[0], &spec(10));
         assert_eq!(out.outcome, ChunkOutcome::TimedOut);
         assert_eq!(out.rows, vec![vec![Value::num(0.0)]]);
         assert_eq!(out.charged_secs, 1.0, "charged time never depends on actual behaviour");
         // A fast processor is charged exactly the same.
         let fast = || Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>;
-        let out_fast = run_chunk(&fast, &chunks[0], &spec(10));
+        let out_fast = run_chunk_owned(&fast, &chunks[0], &spec(10));
         assert_eq!(out_fast.charged_secs, 1.0);
     }
 
@@ -175,7 +195,7 @@ mod tests {
         let chunks = campus_chunks();
         let schema = Schema::new(vec![ColumnDef::number("a", -1.0), ColumnDef::string("b", "dflt")]).unwrap();
         let factory = || Box::new(MalformedRowProcessor) as Box<dyn ChunkProcessor>;
-        let out = run_chunk(&factory, &chunks[0], &SandboxSpec::new(1.0, 10, schema));
+        let out = run_chunk_owned(&factory, &chunks[0], &SandboxSpec::new(1.0, 10, schema));
         assert_eq!(out.rows.len(), 3);
         assert_eq!(out.rows[0], vec![Value::num(1.0), Value::str("dflt")], "wrong-typed second cell defaulted");
         assert_eq!(out.rows[1], vec![Value::num(-1.0), Value::str("dflt")]);
@@ -196,7 +216,7 @@ mod tests {
         // Fresh state, single chunk processed alone.
         let lone = StatefulCheater::new();
         let lone_factory = move || Box::new(lone.clone()) as Box<dyn ChunkProcessor>;
-        let lone_output = run_chunk(&lone_factory, &chunks[5], &spec(10));
+        let lone_output = run_chunk_owned(&lone_factory, &chunks[5], &spec(10));
 
         assert_ne!(
             batch_outputs[5].rows, lone_output.rows,
@@ -210,7 +230,7 @@ mod tests {
         // its batch output must be rejected in favour of the isolated one.
         let fresh = StatefulCheater::new();
         let fresh_factory = move || Box::new(fresh.clone()) as Box<dyn ChunkProcessor>;
-        let verified = run_chunk(&fresh_factory, &chunks[5], &spec(10));
+        let verified = run_chunk_owned(&fresh_factory, &chunks[5], &spec(10));
         assert_eq!(verified.rows, lone_output.rows);
     }
 
@@ -225,11 +245,7 @@ mod tests {
         assert_eq!(serial.len(), parallel.len());
         for (s, p) in serial.iter().zip(parallel.iter()) {
             assert_eq!(s.chunk_index, p.chunk_index);
-            let mut s_rows = s.rows.clone();
-            let mut p_rows = p.rows.clone();
-            s_rows.sort_by_key(|r| format!("{r:?}"));
-            p_rows.sort_by_key(|r| format!("{r:?}"));
-            assert_eq!(s_rows, p_rows);
+            assert_eq!(s.rows, p.rows, "view iteration order is deterministic, so rows match exactly");
         }
     }
 
@@ -237,7 +253,7 @@ mod tests {
     fn chunk_start_column_is_trusted_timestamp() {
         let chunks = campus_chunks();
         let factory = || Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>;
-        let out = run_chunk(&factory, &chunks[3], &spec(10));
+        let out = run_chunk_owned(&factory, &chunks[3], &spec(10));
         assert_eq!(out.chunk_start_secs, 30.0, "chunk 3 of a 10 s split starts at t = 30 s");
         assert_eq!(out.chunk_index, 3);
     }

@@ -9,10 +9,12 @@
 
 use crate::geometry::Mask;
 use crate::object::{Attributes, ObjectClass, ObjectId, Observation};
+use crate::plan::{ChunkBuffer, ChunkPlan};
 use crate::scene::Scene;
 use crate::time::{Seconds, TimeSpan, Timestamp};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One materialized frame: a timestamp plus the observations visible in it.
 ///
@@ -58,8 +60,9 @@ pub struct ChunkObjectInfo {
 pub struct Chunk {
     /// Index of the chunk within the split (0-based).
     pub index: u64,
-    /// The camera the chunk came from.
-    pub camera: String,
+    /// The camera the chunk came from (interned; cloning bumps a refcount
+    /// instead of copying the string).
+    pub camera: Arc<str>,
     /// Time span covered by the chunk.
     pub span: TimeSpan,
     /// The chunk's frames in order.
@@ -72,7 +75,7 @@ impl Chunk {
     /// An empty chunk (no frames, no objects) covering a span — convenient in
     /// tests and for time ranges where the camera recorded nothing.
     pub fn empty(index: u64, camera: impl Into<String>, span: TimeSpan) -> Self {
-        Chunk { index, camera: camera.into(), span, frames: Vec::new(), objects: HashMap::new() }
+        Chunk { index, camera: Arc::from(camera.into()), span, frames: Vec::new(), objects: HashMap::new() }
     }
 
     /// All distinct object ids observed anywhere in the chunk.
@@ -156,63 +159,16 @@ impl ChunkSpec {
 
 /// Split a scene's window into materialized chunks, applying an optional mask.
 ///
-/// This is the reference implementation of the SPLIT stage used by the
-/// executor and the experiment harness. Frames are sampled at the scene's
-/// frame rate starting at each chunk's start.
+/// This is the eager, owning form of the SPLIT stage, kept for tests, the
+/// statistics module and anything else that wants `Vec<Chunk>`. It is a thin
+/// wrapper over [`ChunkPlan`]: each chunk is materialized into a reused
+/// buffer and then copied out, so the chunking arithmetic has a single
+/// implementation. The executor's hot path uses the plan directly and never
+/// materializes owned chunks.
 pub fn split_scene(scene: &Scene, window: &TimeSpan, spec: &ChunkSpec, mask: Option<&Mask>) -> Vec<Chunk> {
-    let dt = scene.frame_rate.frame_duration();
-    spec.chunk_spans(window)
-        .into_iter()
-        .enumerate()
-        .map(|(i, span)| {
-            let n_frames = (span.duration() / dt).ceil().max(1.0) as u64;
-            let mut frames = Vec::with_capacity(n_frames as usize);
-            for fi in 0..n_frames {
-                let t = span.start.add_secs(fi as f64 * dt);
-                if !span.contains(t) {
-                    break;
-                }
-                frames.push(Frame {
-                    index_in_chunk: fi,
-                    timestamp: t,
-                    observations: scene.observations_at_masked(t, mask),
-                });
-            }
-            let objects = chunk_object_info(scene, &frames);
-            Chunk { index: i as u64, camera: scene.camera.0.clone(), span, frames, objects }
-        })
-        .collect()
-}
-
-/// Derive the per-object chunk metadata from the chunk's own frames.
-fn chunk_object_info(scene: &Scene, frames: &[Frame]) -> HashMap<ObjectId, ChunkObjectInfo> {
-    let mut info: HashMap<ObjectId, ChunkObjectInfo> = HashMap::new();
-    let mut first_centers: HashMap<ObjectId, f64> = HashMap::new();
-    for (fi, frame) in frames.iter().enumerate() {
-        for obs in &frame.observations {
-            let center_y = obs.bbox.center().y;
-            let entry = info.entry(obs.object_id).or_insert_with(|| {
-                let attributes = scene
-                    .objects
-                    .iter()
-                    .find(|o| o.id == obs.object_id)
-                    .map(|o| o.attributes.clone())
-                    .unwrap_or_default();
-                first_centers.insert(obs.object_id, center_y);
-                ChunkObjectInfo {
-                    class: obs.class,
-                    attributes,
-                    visible_in_first_frame: fi == 0,
-                    first_seen: obs.timestamp,
-                    last_seen: obs.timestamp,
-                    net_dy: 0.0,
-                }
-            });
-            entry.last_seen = obs.timestamp;
-            entry.net_dy = center_y - first_centers.get(&obs.object_id).copied().unwrap_or(center_y);
-        }
-    }
-    info
+    let plan = ChunkPlan::new(scene, window, spec, mask);
+    let mut buf = ChunkBuffer::new();
+    (0..plan.len()).map(|i| plan.materialize_into(i, &mut buf).to_chunk()).collect()
 }
 
 #[cfg(test)]

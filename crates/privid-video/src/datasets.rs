@@ -184,7 +184,7 @@ mod tests {
         let cat = DatasetCatalog::table6();
         let scene = cat.generate_scaled("shibuya", 0.25, 0.2).unwrap();
         assert!(scene.object_count() > 10);
-        assert_eq!(scene.camera.0, "shibuya");
+        assert_eq!(scene.camera.as_str(), "shibuya");
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //!   extended BlazeIt / MIRIS-style catalog used by Table 6.
 //! * [`porto`] — the synthetic Porto taxi fleet used by queries Q4–Q6.
 //! * [`chunk`] — temporal chunking (`SPLIT ... BY TIME c STRIDE s`).
+//! * [`plan`] — lazy, zero-copy chunk materialization ([`plan::ChunkPlan`] /
+//!   [`plan::ChunkView`]), the streaming form the execution engine consumes.
 //! * [`stats`] — persistence distributions, heatmaps and maxima (Fig. 3/4).
 
 #![forbid(unsafe_code)]
@@ -29,6 +31,7 @@ pub mod datasets;
 pub mod generator;
 pub mod geometry;
 pub mod object;
+pub mod plan;
 pub mod porto;
 pub mod scene;
 pub mod stats;
@@ -40,7 +43,8 @@ pub use datasets::{DatasetCatalog, DatasetEntry};
 pub use generator::{SceneConfig, SceneGenerator, SceneKind};
 pub use geometry::{BoundingBox, FrameSize, GridSpec, Mask, Point, Region, RegionBoundary, RegionScheme};
 pub use object::{Attributes, ObjectClass, ObjectId, Observation, PresenceSegment, TrackedObject, VehicleColor};
+pub use plan::{ChunkBuffer, ChunkPlan, ChunkView, FrameView, ObjectView};
 pub use porto::{PortoConfig, PortoDataset, TaxiVisit};
-pub use scene::Scene;
+pub use scene::{CameraId, Scene};
 pub use stats::{PersistenceHistogram, PersistenceStats, PresenceHeatmap};
 pub use time::{FrameRate, Seconds, TimeSpan, Timestamp};

@@ -207,7 +207,7 @@ impl TrackedObject {
 }
 
 /// A single ground-truth observation: one object in one frame.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Observation {
     /// The observed object.
     pub object_id: ObjectId,

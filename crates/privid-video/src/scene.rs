@@ -12,19 +12,29 @@
 //! video instead of every object in a 12-hour recording.
 
 use crate::geometry::{FrameSize, Mask, RegionScheme};
-use crate::object::{Observation, TrackedObject};
+use crate::object::{ObjectId, Observation, TrackedObject};
 use crate::time::{FrameRate, Seconds, TimeSpan, Timestamp};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Stable identifier for a camera / scene.
+///
+/// Interned as an `Arc<str>` so hot-path code (chunk materialization, per-row
+/// camera columns) can share the identifier with a reference-count bump
+/// instead of cloning a `String` per chunk.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-pub struct CameraId(pub String);
+pub struct CameraId(pub Arc<str>);
 
 impl CameraId {
     /// Construct a camera id from any string-like value.
     pub fn new(name: impl Into<String>) -> Self {
-        CameraId(name.into())
+        CameraId(Arc::from(name.into()))
+    }
+
+    /// The identifier as a plain string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
     }
 }
 
@@ -58,6 +68,11 @@ pub struct Scene {
     /// skipped during serialization.
     #[serde(skip)]
     index: HashMap<i64, Vec<(u32, u32)>>,
+    /// Object id → index into `objects`. Rebuilt alongside `index`; lets the
+    /// chunking hot path resolve an observation's attributes without scanning
+    /// the whole object list.
+    #[serde(skip)]
+    by_id: HashMap<ObjectId, u32>,
 }
 
 impl Scene {
@@ -77,6 +92,7 @@ impl Scene {
             objects,
             region_schemes: HashMap::new(),
             index: HashMap::new(),
+            by_id: HashMap::new(),
         };
         scene.rebuild_index();
         scene
@@ -86,7 +102,9 @@ impl Scene {
     /// directly (the generators never do; they construct scenes once).
     pub fn rebuild_index(&mut self) {
         self.index.clear();
+        self.by_id.clear();
         for (oi, obj) in self.objects.iter().enumerate() {
+            self.by_id.insert(obj.id, oi as u32);
             for (si, seg) in obj.segments.iter().enumerate() {
                 let b0 = (seg.span.start.as_secs() / BUCKET_SECS).floor() as i64;
                 let b1 = (seg.span.end.as_secs() / BUCKET_SECS).floor() as i64;
@@ -95,6 +113,11 @@ impl Scene {
                 }
             }
         }
+    }
+
+    /// Index of an object in `objects`, by id.
+    pub fn object_index(&self, id: ObjectId) -> Option<usize> {
+        self.by_id.get(&id).map(|&i| i as usize)
     }
 
     /// Register a spatial-splitting scheme under a name.
@@ -118,9 +141,19 @@ impl Scene {
     /// objects whose pixels have been blacked out, which is how §7.1 lowers
     /// the observable persistence.
     pub fn observations_at_masked(&self, t: Timestamp, mask: Option<&Mask>) -> Vec<Observation> {
-        let bucket = (t.as_secs() / BUCKET_SECS).floor() as i64;
         let mut out = Vec::new();
-        let Some(entries) = self.index.get(&bucket) else { return out };
+        self.observations_at_masked_into(t, mask, &mut out);
+        out
+    }
+
+    /// Append the (masked) observations at a timestamp to `out`.
+    ///
+    /// The allocation-free workhorse behind [`Scene::observations_at_masked`]:
+    /// chunk materialization calls it once per frame into a reused buffer, so
+    /// the hot path performs no per-frame allocation at steady state.
+    pub fn observations_at_masked_into(&self, t: Timestamp, mask: Option<&Mask>, out: &mut Vec<Observation>) {
+        let bucket = (t.as_secs() / BUCKET_SECS).floor() as i64;
+        let Some(entries) = self.index.get(&bucket) else { return };
         for &(oi, si) in entries {
             let obj = &self.objects[oi as usize];
             let seg = &obj.segments[si as usize];
@@ -133,7 +166,6 @@ impl Scene {
                 out.push(Observation { object_id: obj.id, class: obj.class, bbox, timestamp: t });
             }
         }
-        out
     }
 
     /// Objects visible at some instant of the span (unmasked).

@@ -25,7 +25,7 @@ pub use privid_video as video;
 
 pub use privid_core::{
     greedy_mask_order, BudgetLedger, DegradationCurve, LaplaceMechanism, MaskPolicy, MaskingAnalysis, NoisyRelease,
-    NoisyValue, PrivacyPolicy, PrividError, PrividSystem, QueryResult,
+    NoisyValue, Parallelism, PrivacyPolicy, PrividError, PrividSystem, QueryResult,
 };
 pub use privid_cv::{Detector, DetectorConfig, DurationEstimator, PolicyEstimator, Tracker, TrackerConfig};
 pub use privid_query::{parse_query, Aggregation, ParsedQuery, Relation, SelectStatement, Value};
@@ -34,8 +34,8 @@ pub use privid_sandbox::{
     TreeBloomProcessor, UniqueEntrantProcessor,
 };
 pub use privid_video::{
-    DatasetCatalog, GridSpec, Mask, PersistenceStats, PortoConfig, PortoDataset, PresenceHeatmap, Scene, SceneConfig,
-    SceneGenerator, TimeSpan,
+    ChunkBuffer, ChunkPlan, ChunkView, DatasetCatalog, GridSpec, Mask, PersistenceStats, PortoConfig, PortoDataset,
+    PresenceHeatmap, Scene, SceneConfig, SceneGenerator, TimeSpan,
 };
 
 #[cfg(test)]

@@ -3,7 +3,9 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use privid::{ChunkProcessor, PrivacyPolicy, PrividSystem, SceneConfig, SceneGenerator, UniqueEntrantProcessor};
+use privid::{
+    ChunkProcessor, Parallelism, PrivacyPolicy, PrividSystem, SceneConfig, SceneGenerator, UniqueEntrantProcessor,
+};
 
 fn main() {
     // --- Video owner side -------------------------------------------------------------
@@ -11,8 +13,11 @@ fn main() {
     // paper's campus YouTube stream) and register it with a privacy policy:
     // protect every appearance shorter than 90 s, up to K = 2 appearances,
     // with a per-frame budget of 10.
+    //
+    // Chunk execution fans out over a worker pool (`Parallelism::Auto` uses
+    // one worker per core); results are identical at any worker count.
     let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(1.0)).generate();
-    let mut privid = PrividSystem::new(42);
+    let mut privid = PrividSystem::new(42).with_parallelism(Parallelism::Auto);
     privid.register_camera("campus", scene, PrivacyPolicy::new(90.0, 2, 10.0));
 
     // --- Analyst side ------------------------------------------------------------------

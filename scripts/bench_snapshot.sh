@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Records a machine-readable pipeline benchmark snapshot at the repo root
+# (BENCH_PR2.json), tracking the perf trajectory PR over PR.
+#
+# Usage:
+#   scripts/bench_snapshot.sh            # full snapshot -> BENCH_PR2.json
+#   scripts/bench_snapshot.sh --smoke    # quick CI smoke run
+#   scripts/bench_snapshot.sh --out F    # write to a different path
+set -eu
+cd "$(dirname "$0")/.."
+exec cargo run --release -p privid-bench --bin bench_snapshot -- "$@"
