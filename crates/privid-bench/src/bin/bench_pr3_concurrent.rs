@@ -1,0 +1,178 @@
+//! Machine-readable concurrent-serving benchmark snapshot.
+//!
+//! Measures the PR-3 serving layer under multi-analyst load and writes the
+//! results as JSON so the repo's perf trajectory is tracked PR over PR:
+//!
+//! 1. `serial_1_analyst` — the full query set executed one query at a time
+//!    (the `PrividSystem`-era serving model) on a fresh service.
+//! 2. `concurrent_N_analysts` — the same query set partitioned over N analyst
+//!    threads hammering one shared `QueryService`.
+//! 3. `cold_pass` / `warm_pass` — the query set executed twice on one
+//!    service: the second pass serves every PROCESS from the chunk cache,
+//!    isolating the cache-hit speedup.
+//!
+//! Usage: `bench_pr3_concurrent [--smoke] [--out PATH]` (default
+//! `BENCH_PR3.json` in the current directory; CI runs `--smoke --out /dev/null`).
+
+use privid::{ChunkProcessor, Parallelism, PrivacyPolicy, QueryService, Scene, SceneConfig, SceneGenerator, UniqueEntrantProcessor};
+use std::time::Instant;
+
+struct Timing {
+    mode: String,
+    median_ms: f64,
+    queries_per_sec: f64,
+}
+
+/// Median wall-clock of `samples` runs of `f`, after one warm-up run, in ms.
+fn median_ms(samples: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+/// The analyst workload: `n` queries with three distinct PROCESS identities
+/// (staggered windows), so both cold execution and cache reuse are exercised.
+fn analyst_queries(n: usize, window_secs: f64) -> Vec<(u64, String)> {
+    (0..n)
+        .map(|q| {
+            let begin = (q % 3) as f64 * window_secs;
+            let end = begin + window_secs;
+            let query = format!(
+                "SPLIT campus BEGIN {begin} END {end} BY TIME 5 sec STRIDE 0 sec INTO c;
+                 PROCESS c USING proc TIMEOUT 1 sec PRODUCING 20 ROWS WITH SCHEMA (count:NUMBER=0) INTO t;
+                 SELECT COUNT(*) FROM t CONSUMING 0.1;"
+            );
+            (q as u64 + 1, query)
+        })
+        .collect()
+}
+
+fn fresh_service(scene: &Scene) -> QueryService {
+    // Engine parallelism 1: measured scaling comes from concurrent sessions,
+    // not from intra-query workers.
+    let service = QueryService::new().with_parallelism(Parallelism::Fixed(1));
+    service.register_camera("campus", scene.clone(), PrivacyPolicy::new(90.0, 2, 1e9));
+    service.register_processor("proc", || Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>);
+    service
+}
+
+/// Run `queries` over `analysts` threads against one shared service.
+fn run_concurrent(service: &QueryService, queries: &[(u64, String)], analysts: usize) {
+    std::thread::scope(|scope| {
+        for a in 0..analysts {
+            let service = &service;
+            let queries = &queries;
+            scope.spawn(move || {
+                for (seed, q) in queries.iter().skip(a).step_by(analysts) {
+                    service.execute_text(*seed, q).expect("bench query admitted");
+                }
+            });
+        }
+    });
+}
+
+fn json_timings(timings: &[Timing]) -> String {
+    timings
+        .iter()
+        .map(|t| {
+            format!(
+                "    {{\"mode\": \"{}\", \"median_ms\": {:.3}, \"queries_per_sec\": {:.1}}}",
+                t.mode, t.median_ms, t.queries_per_sec
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR3.json".to_string());
+
+    let (hours, window_secs, n_queries, samples) = if smoke { (0.25, 120.0, 12, 3) } else { (0.5, 300.0, 48, 7) };
+    let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(hours).with_arrival_scale(0.3)).generate();
+    let queries = analyst_queries(n_queries, window_secs);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    eprintln!("bench_pr3_concurrent: {n_queries} queries, {samples} samples per mode, {cores} core(s)");
+
+    // ---- serving throughput: serial vs N concurrent analysts ---------------
+    // Every sample runs against its own cold service so it pays the full
+    // sandbox cost — but the services are built *outside* the clock (scene
+    // clone + registration would otherwise be a constant fraction of every
+    // sample and skew the serial-vs-concurrent ratios).
+    let mut serving = Vec::new();
+    for analysts in [1usize, 2, 4, 8] {
+        let mode =
+            if analysts == 1 { "serial_1_analyst".to_string() } else { format!("concurrent_{analysts}_analysts") };
+        let pool: Vec<QueryService> = (0..samples + 1).map(|_| fresh_service(&scene)).collect();
+        let mut next = pool.iter();
+        let ms = median_ms(samples, || {
+            let service = next.next().expect("one pre-built service per sample");
+            run_concurrent(service, &queries, analysts);
+        });
+        serving.push(Timing { mode, median_ms: ms, queries_per_sec: n_queries as f64 / (ms / 1e3) });
+    }
+
+    // ---- chunk cache: cold pass vs fully warm pass -------------------------
+    let mut cache_stage = Vec::new();
+    {
+        let service = fresh_service(&scene);
+        // The cold pass is timed directly (no warm-up — a warm-up would fill
+        // the cache and defeat the measurement); it is cold exactly once.
+        let cold = {
+            let start = Instant::now();
+            run_concurrent(&service, &queries, 4);
+            start.elapsed().as_secs_f64() * 1e3
+        };
+        // After the cold run the cache holds every PROCESS identity;
+        // subsequent passes only pay admission + SELECT + noise.
+        let warm = median_ms(samples, || run_concurrent(&service, &queries, 4));
+        let hit_rate = {
+            let s = service.cache_stats();
+            s.hits as f64 / (s.hits + s.misses).max(1) as f64
+        };
+        cache_stage.push(Timing { mode: "cold_pass".into(), median_ms: cold, queries_per_sec: n_queries as f64 / (cold / 1e3) });
+        cache_stage.push(Timing { mode: "warm_pass".into(), median_ms: warm, queries_per_sec: n_queries as f64 / (warm / 1e3) });
+        eprintln!("bench_pr3_concurrent: cache hit rate after all passes: {hit_rate:.3}");
+    }
+
+    let ms_of = |list: &[Timing], mode: &str| list.iter().find(|t| t.mode == mode).map(|t| t.median_ms).unwrap_or(0.0);
+    let serial = ms_of(&serving, "serial_1_analyst");
+    let conc4 = ms_of(&serving, "concurrent_4_analysts");
+    let cold = ms_of(&cache_stage, "cold_pass");
+    let warm = ms_of(&cache_stage, "warm_pass");
+
+    let json = format!(
+        "{{\n  \"pr\": 3,\n  \"bench\": \"concurrent multi-analyst serving\",\n  \"available_cores\": {cores},\n  \
+         \"config\": {{\"video\": \"campus\", \"hours\": {hours}, \"window_secs\": {window_secs}, \
+         \"queries\": {n_queries}, \"distinct_process_identities\": 3, \"samples\": {samples}, \
+         \"smoke\": {smoke}}},\n  \"serving\": [\n{}\n  ],\n  \"cache\": [\n{}\n  ],\n  \"speedups\": {{\n    \
+         \"concurrent_4_analysts_vs_serial\": {:.2},\n    \
+         \"warm_cache_vs_cold_pass\": {:.2}\n  }}\n}}\n",
+        json_timings(&serving),
+        json_timings(&cache_stage),
+        serial / conc4.max(1e-9),
+        cold / warm.max(1e-9),
+    );
+
+    if out_path == "/dev/null" {
+        print!("{json}");
+    } else {
+        std::fs::write(&out_path, &json).expect("write bench snapshot");
+        eprintln!("bench_pr3_concurrent: wrote {out_path}");
+        print!("{json}");
+    }
+}

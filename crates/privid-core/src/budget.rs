@@ -1,4 +1,5 @@
-//! The per-frame privacy-budget ledger of Algorithm 1 (§6.4).
+//! The per-frame privacy-budget ledger of Algorithm 1 (§6.4), and the
+//! admission controller that serializes multi-camera admissions.
 //!
 //! Rather than one global ε per video, Privid gives *every frame* its own
 //! budget. A query over interval `[a, b]` requesting ε_Q is admitted only if
@@ -7,9 +8,39 @@
 //! ±ρ margin guarantees that a single event segment (duration ≤ ρ) can never
 //! straddle two queries that were admitted against disjoint budgets
 //! (Theorem 6.2, case 2).
+//!
+//! Concurrency model: each [`BudgetLedger`] is internally synchronized, so a
+//! single `check_and_debit` is atomic — N racing admissions can never drive a
+//! slot negative. Queries that span *several* cameras need their per-camera
+//! checks and debits to be atomic as a group; that is the job of
+//! [`AdmissionController`], the single serialization point the query service
+//! funnels every admission through.
 
-use std::sync::Mutex;
 use privid_video::{Seconds, TimeSpan};
+use std::sync::Mutex;
+
+/// Why the ledger refused (or could not evaluate) an admission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BudgetError {
+    /// Some slot in the margin-expanded window has less than the requested ε
+    /// remaining. Carries the limiting (minimum) remaining budget.
+    Insufficient {
+        /// Minimum remaining budget over the margin-expanded window.
+        available: f64,
+    },
+    /// The query window lies entirely outside the recorded timeline, so there
+    /// is no footage (and no budget) to spend. Debiting anyway — the old
+    /// behaviour, which silently clamped the window onto the first/last slot —
+    /// would let a query over nonexistent video exhaust a real frame's budget.
+    OutsideRecording {
+        /// Requested window start, seconds.
+        start_secs: f64,
+        /// Requested window end, seconds.
+        end_secs: f64,
+        /// Duration of the recorded timeline, seconds.
+        duration_secs: f64,
+    },
+}
 
 /// Per-frame budget state for one camera. Budgets are tracked at a fixed
 /// slot resolution (default: one slot per second of video), which matches
@@ -23,6 +54,8 @@ pub struct BudgetLedger {
     slot_secs: f64,
     /// Initial per-frame budget.
     initial: f64,
+    /// Duration of the recorded timeline this ledger covers, in seconds.
+    duration_secs: f64,
 }
 
 impl BudgetLedger {
@@ -36,7 +69,10 @@ impl BudgetLedger {
     pub fn with_resolution(duration_secs: Seconds, initial: f64, slot_secs: f64) -> Self {
         assert!(slot_secs > 0.0);
         let n = (duration_secs / slot_secs).ceil().max(1.0) as usize;
-        BudgetLedger { slots: Mutex::new(vec![initial; n]), slot_secs, initial }
+        // `duration_secs` stays the *true* recorded duration (only the slot
+        // count is rounded up): a 0.4 s recording at 1 s resolution must still
+        // reject a window over [0.5, 0.9), where no footage exists.
+        BudgetLedger { slots: Mutex::new(vec![initial; n]), slot_secs, initial, duration_secs: duration_secs.max(0.0) }
     }
 
     /// The initial per-frame budget.
@@ -44,40 +80,81 @@ impl BudgetLedger {
         self.initial
     }
 
+    /// The recorded duration this ledger covers, in seconds.
+    pub fn duration_secs(&self) -> Seconds {
+        self.duration_secs
+    }
+
+    /// Check that `span` touches the recorded timeline at all. Windows that
+    /// merely *extend past* an edge are fine (they are clamped), and an empty
+    /// window at a recorded position keeps its degenerate zero-chunk
+    /// semantics; windows lying entirely before or after the recording are a
+    /// [`BudgetError::OutsideRecording`] error.
+    pub fn validate_window(&self, span: &TimeSpan) -> Result<(), BudgetError> {
+        let (start, end) = (span.start.as_secs(), span.end.as_secs());
+        if start >= self.duration_secs || end < 0.0 || (start < 0.0 && end <= 0.0) {
+            return Err(BudgetError::OutsideRecording {
+                start_secs: start,
+                end_secs: end,
+                duration_secs: self.duration_secs,
+            });
+        }
+        Ok(())
+    }
+
     /// Slot indices covered by `span`, given `n` total slots. Pure so callers
-    /// can compute ranges under a single lock acquisition.
-    fn slot_range(&self, span: &TimeSpan, n: usize) -> (usize, usize) {
+    /// can compute ranges under a single lock acquisition. Fails when the
+    /// span is fully disjoint from the recording; partially overlapping spans
+    /// are clamped to the recorded edge.
+    fn slot_range(&self, span: &TimeSpan, n: usize) -> Result<(usize, usize), BudgetError> {
+        self.validate_window(span)?;
         let lo = ((span.start.as_secs() / self.slot_secs).floor().max(0.0) as usize).min(n.saturating_sub(1));
         let hi = ((span.end.as_secs() / self.slot_secs).ceil() as usize).clamp(lo + 1, n);
-        (lo, hi)
+        Ok((lo, hi))
     }
 
     /// Minimum remaining budget over a span.
-    pub fn min_remaining(&self, span: &TimeSpan) -> f64 {
+    pub fn min_remaining(&self, span: &TimeSpan) -> Result<f64, BudgetError> {
         let slots = self.slots.lock().expect("budget ledger lock poisoned");
-        let (lo, hi) = self.slot_range(span, slots.len());
-        slots[lo..hi].iter().cloned().fold(f64::INFINITY, f64::min)
+        let (lo, hi) = self.slot_range(span, slots.len())?;
+        Ok(slots[lo..hi].iter().cloned().fold(f64::INFINITY, f64::min))
     }
 
     /// Algorithm 1, lines 1–5: admit the query iff every slot in
     /// `window ± rho_margin` has at least `epsilon` remaining, then debit
-    /// `epsilon` from the slots of `window` only. Returns the minimum
-    /// remaining budget (over the margin-expanded window) when the query is
-    /// rejected.
-    pub fn check_and_debit(&self, window: &TimeSpan, rho_margin: Seconds, epsilon: f64) -> Result<(), f64> {
+    /// `epsilon` from the slots of `window` only. The check and the debit
+    /// happen under one lock acquisition, so racing admissions on the same
+    /// ledger can never jointly over-spend a slot.
+    pub fn check_and_debit(&self, window: &TimeSpan, rho_margin: Seconds, epsilon: f64) -> Result<(), BudgetError> {
         let expanded = window.expand(rho_margin);
         let mut slots = self.slots.lock().expect("budget ledger lock poisoned");
-        let (elo, ehi) = self.slot_range(&expanded, slots.len());
-        let (wlo, whi) = self.slot_range(window, slots.len());
+        let n = slots.len();
+        // Validate the *query* window (the expanded window is a superset, so
+        // it overlaps the recording whenever the query window does).
+        let (wlo, whi) = self.slot_range(window, n)?;
+        let (elo, ehi) = self.slot_range(&expanded, n)?;
         let min = slots[elo..ehi].iter().cloned().fold(f64::INFINITY, f64::min);
         // Tolerate floating-point accumulation at the boundary.
         if min + 1e-9 < epsilon {
-            return Err(min);
+            return Err(BudgetError::Insufficient { available: min });
         }
         for s in &mut slots[wlo..whi] {
             *s -= epsilon;
         }
         Ok(())
+    }
+
+    /// Undo a debit made by `check_and_debit` (admission rollback only: the
+    /// window must have been debited `epsilon` beforehand). Private to the
+    /// budget module — only [`AdmissionController`] may unwind, under its gate.
+    fn credit(&self, window: &TimeSpan, epsilon: f64) {
+        let mut slots = self.slots.lock().expect("budget ledger lock poisoned");
+        let n = slots.len();
+        if let Ok((lo, hi)) = self.slot_range(window, n) {
+            for s in &mut slots[lo..hi] {
+                *s += epsilon;
+            }
+        }
     }
 
     /// Remaining budget at a specific time (seconds).
@@ -90,13 +167,81 @@ impl BudgetLedger {
 
 impl Clone for BudgetLedger {
     fn clone(&self) -> Self {
-        BudgetLedger { slots: Mutex::new(self.slots.lock().expect("budget ledger lock poisoned").clone()), slot_secs: self.slot_secs, initial: self.initial }
+        BudgetLedger {
+            slots: Mutex::new(self.slots.lock().expect("budget ledger lock poisoned").clone()),
+            slot_secs: self.slot_secs,
+            initial: self.initial,
+            duration_secs: self.duration_secs,
+        }
+    }
+}
+
+/// One camera's part of a multi-camera admission: which ledger, over which
+/// window, with which ±ρ margin.
+#[derive(Debug)]
+pub struct AdmissionRequest<'a> {
+    /// The camera's budget ledger.
+    pub ledger: &'a BudgetLedger,
+    /// The query window to debit.
+    pub window: TimeSpan,
+    /// The camera's ρ margin (checked but not debited).
+    pub rho_margin: Seconds,
+}
+
+/// Serializes admissions that span several ledgers.
+///
+/// A query over multiple cameras must be admitted against *all* of its
+/// cameras or none: if two concurrent queries each passed their per-camera
+/// checks interleaved, one could debit camera A while the other debits
+/// camera B and both then fail the remaining camera, leaving the ledgers
+/// inconsistent. The controller closes that race by running the whole
+/// check-all-then-debit-all sequence under a single gate, making `budget`
+/// the one serialization point for admission in the system.
+#[derive(Debug, Default)]
+pub struct AdmissionController {
+    gate: Mutex<()>,
+}
+
+impl AdmissionController {
+    /// Create a controller.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Atomically admit `epsilon` against every request, or none of them.
+    /// On rejection returns the index of the failing request plus the reason.
+    pub fn admit(&self, requests: &[AdmissionRequest<'_>], epsilon: f64) -> Result<(), (usize, BudgetError)> {
+        let _gate = self.gate.lock().expect("admission gate poisoned");
+        // Phase 1: every window must be on the recording and have enough
+        // margin-expanded budget. Nothing is debited yet.
+        for (i, r) in requests.iter().enumerate() {
+            r.ledger.validate_window(&r.window).map_err(|e| (i, e))?;
+            let min = r.ledger.min_remaining(&r.window.expand(r.rho_margin)).map_err(|e| (i, e))?;
+            if min + 1e-9 < epsilon {
+                return Err((i, BudgetError::Insufficient { available: min }));
+            }
+        }
+        // Phase 2: debit. A failure here is still possible even under the
+        // gate — two requests may reference the *same* ledger with
+        // overlapping windows (phase 1 checks each independently), or some
+        // caller may debit a ledger outside the controller. Roll back every
+        // debit already made so the call stays all-or-nothing.
+        for (i, r) in requests.iter().enumerate() {
+            if let Err(e) = r.ledger.check_and_debit(&r.window, r.rho_margin, epsilon) {
+                for done in &requests[..i] {
+                    done.ledger.credit(&done.window, epsilon);
+                }
+                return Err((i, e));
+            }
+        }
+        Ok(())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn admits_and_debits_only_the_window() {
@@ -115,7 +260,12 @@ mod tests {
         ledger.check_and_debit(&window, 60.0, 0.7).unwrap();
         // A second query over an overlapping window asking 0.7 again must fail…
         let err = ledger.check_and_debit(&TimeSpan::between_secs(900.0, 2700.0), 60.0, 0.7).unwrap_err();
-        assert!((err - 0.3).abs() < 1e-9, "reports the limiting remaining budget");
+        match err {
+            BudgetError::Insufficient { available } => {
+                assert!((available - 0.3).abs() < 1e-9, "reports the limiting remaining budget")
+            }
+            other => panic!("expected Insufficient, got {other:?}"),
+        }
         // …but a cheaper one succeeds.
         ledger.check_and_debit(&TimeSpan::between_secs(900.0, 2700.0), 60.0, 0.3).unwrap();
     }
@@ -141,16 +291,43 @@ mod tests {
             ledger.check_and_debit(&w, 0.0, 0.25).unwrap();
         }
         assert!(ledger.check_and_debit(&w, 0.0, 0.25).is_err());
-        assert!(ledger.min_remaining(&w).abs() < 1e-9);
+        assert!(ledger.min_remaining(&w).unwrap().abs() < 1e-9);
     }
 
     #[test]
-    fn clamps_out_of_range_windows() {
+    fn clamps_partially_out_of_range_windows() {
         let ledger = BudgetLedger::new(100.0, 1.0);
         // Window extending past the recorded video is clamped, not a panic.
         ledger.check_and_debit(&TimeSpan::between_secs(50.0, 500.0), 10.0, 0.5).unwrap();
         assert!((ledger.remaining_at(99.0) - 0.5).abs() < 1e-9);
         assert!((ledger.remaining_at(10.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_fully_disjoint_windows() {
+        // Regression: a window entirely past the end of the recording used to
+        // be silently clamped onto the *last real slot*, so a query over
+        // nonexistent video debited (and could exhaust) a real frame's budget.
+        let ledger = BudgetLedger::new(100.0, 1.0);
+        let ghost = TimeSpan::between_secs(200.0, 300.0);
+        match ledger.check_and_debit(&ghost, 10.0, 0.5) {
+            Err(BudgetError::OutsideRecording { start_secs, end_secs, duration_secs }) => {
+                assert_eq!(start_secs, 200.0);
+                assert_eq!(end_secs, 300.0);
+                assert_eq!(duration_secs, 100.0);
+            }
+            other => panic!("expected OutsideRecording, got {other:?}"),
+        }
+        assert!(ledger.min_remaining(&ghost).is_err());
+        // The last real slot kept its full budget.
+        assert!((ledger.remaining_at(99.0) - 1.0).abs() < 1e-9, "no real frame may be debited");
+        // A window starting exactly at the recording's end is also disjoint
+        // (windows are half-open), as is one lying entirely before time zero.
+        assert!(ledger.check_and_debit(&TimeSpan::between_secs(100.0, 120.0), 0.0, 0.1).is_err());
+        assert!(ledger.check_and_debit(&TimeSpan::between_secs(-20.0, 0.0), 0.0, 0.1).is_err());
+        // …but a degenerate empty window at a recorded position keeps its
+        // zero-chunk semantics (it backs "COUNT over an empty table" queries).
+        assert!(ledger.check_and_debit(&TimeSpan::between_secs(0.0, 0.0), 0.0, 0.1).is_ok());
     }
 
     #[test]
@@ -161,5 +338,178 @@ mod tests {
         ledger.check_and_debit(&TimeSpan::between_secs(0.0, 100.0), 0.0, 0.5).unwrap();
         assert!((snapshot.remaining_at(50.0) - 0.5).abs() < 1e-9);
         assert!(ledger.remaining_at(50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_admissions_never_over_spend_a_slot() {
+        // N threads race identical admissions: the ledger must admit *exactly*
+        // initial/ε of them and every slot must stay non-negative — a lost
+        // update would admit more, a torn debit would drive a slot negative.
+        let ledger = BudgetLedger::new(1000.0, 1.0);
+        let window = TimeSpan::between_secs(100.0, 400.0);
+        let admitted = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        if ledger.check_and_debit(&window, 30.0, 0.05).is_ok() {
+                            admitted.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(admitted.load(Ordering::Relaxed), 20, "exactly ⌊1.0/0.05⌋ admissions fit");
+        let min = ledger.min_remaining(&window).unwrap();
+        assert!(min.abs() < 1e-6, "window budget fully spent, never negative: {min}");
+        for s in 0..1000 {
+            assert!(ledger.remaining_at(s as f64) >= -1e-9, "slot {s} over-spent");
+        }
+    }
+
+    #[test]
+    fn concurrent_overlapping_windows_respect_the_margin_rule() {
+        // Two window families within ρ of each other race admissions. The
+        // margin-expanded check couples them: wherever expansions overlap,
+        // combined spending may never exceed the per-frame budget, and after
+        // the dust settles a query into the shared margin must be rejected.
+        let ledger = BudgetLedger::new(600.0, 1.0);
+        let a = TimeSpan::between_secs(0.0, 200.0);
+        let b = TimeSpan::between_secs(250.0, 450.0); // within ρ = 100 of `a`
+        let (hits_a, hits_b) = (AtomicUsize::new(0), AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let (w, hits) = if t % 2 == 0 { (&a, &hits_a) } else { (&b, &hits_b) };
+                let ledger = &ledger;
+                scope.spawn(move || {
+                    for _ in 0..20 {
+                        if ledger.check_and_debit(w, 100.0, 0.2).is_ok() {
+                            hits.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        for s in 0..600 {
+            assert!(ledger.remaining_at(s as f64) >= -1e-9, "slot {s} over-spent");
+        }
+        // Each family alone can spend at most 1.0/0.2 = 5 admissions.
+        assert!(hits_a.load(Ordering::Relaxed) <= 5);
+        assert!(hits_b.load(Ordering::Relaxed) <= 5);
+        assert!(hits_a.load(Ordering::Relaxed) + hits_b.load(Ordering::Relaxed) >= 5, "budget is actually spendable");
+        // The shared margin [150, 550] saw both families' debits: a third
+        // query admitted against it must see the *joint* spending.
+        let margin_probe = TimeSpan::between_secs(210.0, 240.0);
+        let available = ledger.min_remaining(&margin_probe.expand(100.0)).unwrap();
+        let spend_a = hits_a.load(Ordering::Relaxed) as f64 * 0.2;
+        let spend_b = hits_b.load(Ordering::Relaxed) as f64 * 0.2;
+        let expected = (1.0 - spend_a).min(1.0 - spend_b);
+        assert!((available - expected).abs() < 1e-9, "margin probe sees both families: {available} vs {expected}");
+    }
+
+    #[test]
+    fn admission_controller_is_all_or_nothing_across_ledgers() {
+        let a = BudgetLedger::new(100.0, 1.0);
+        let b = BudgetLedger::new(100.0, 0.3);
+        let ctrl = AdmissionController::new();
+        let w = TimeSpan::between_secs(0.0, 100.0);
+        // b cannot afford 0.5, so a must not be debited either.
+        let reqs =
+            [AdmissionRequest { ledger: &a, window: w, rho_margin: 0.0 }, AdmissionRequest { ledger: &b, window: w, rho_margin: 0.0 }];
+        match ctrl.admit(&reqs, 0.5) {
+            Err((1, BudgetError::Insufficient { available })) => assert!((available - 0.3).abs() < 1e-9),
+            other => panic!("expected rejection on request 1, got {other:?}"),
+        }
+        assert!((a.remaining_at(50.0) - 1.0).abs() < 1e-9, "no partial debit on rejection");
+        // A request both can afford debits both.
+        ctrl.admit(&reqs, 0.2).unwrap();
+        assert!((a.remaining_at(50.0) - 0.8).abs() < 1e-9);
+        assert!((b.remaining_at(50.0) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sub_slot_recording_still_rejects_windows_past_the_footage() {
+        // Regression (review): duration used to be rounded up to one slot, so
+        // a 0.4 s recording accepted — and debited — a window over [0.5, 0.9)
+        // where no footage exists.
+        let ledger = BudgetLedger::with_resolution(0.4, 1.0, 1.0);
+        assert!(matches!(
+            ledger.check_and_debit(&TimeSpan::between_secs(0.5, 0.9), 0.0, 0.2),
+            Err(BudgetError::OutsideRecording { .. })
+        ));
+        assert!((ledger.remaining_at(0.0) - 1.0).abs() < 1e-9, "the real frames keep their budget");
+        // The footage itself is still queryable.
+        ledger.check_and_debit(&TimeSpan::between_secs(0.0, 0.4), 0.0, 0.2).unwrap();
+    }
+
+    #[test]
+    fn admission_controller_rolls_back_on_same_ledger_conflict() {
+        // Regression (review): two requests referencing the SAME ledger with
+        // overlapping windows pass the independent phase-1 checks, then the
+        // second debit fails; the first debit must be rolled back to keep
+        // `admit` all-or-nothing.
+        let a = BudgetLedger::new(100.0, 1.0);
+        let ctrl = AdmissionController::new();
+        let reqs = [
+            AdmissionRequest { ledger: &a, window: TimeSpan::between_secs(0.0, 60.0), rho_margin: 0.0 },
+            AdmissionRequest { ledger: &a, window: TimeSpan::between_secs(40.0, 100.0), rho_margin: 0.0 },
+        ];
+        match ctrl.admit(&reqs, 0.6) {
+            Err((1, BudgetError::Insufficient { available })) => assert!((available - 0.4).abs() < 1e-9),
+            other => panic!("expected rejection on request 1, got {other:?}"),
+        }
+        for at in [10.0, 50.0, 90.0] {
+            assert!((a.remaining_at(at) - 1.0).abs() < 1e-9, "no residual debit at {at} s");
+        }
+        // The same request pair is admitted once it is jointly affordable.
+        ctrl.admit(&reqs, 0.4).unwrap();
+        assert!((a.remaining_at(50.0) - 0.2).abs() < 1e-9, "overlap [40, 60) debited by both");
+    }
+
+    #[test]
+    fn admission_controller_rejects_disjoint_windows_without_debit() {
+        let a = BudgetLedger::new(100.0, 1.0);
+        let b = BudgetLedger::new(100.0, 1.0);
+        let ctrl = AdmissionController::new();
+        let reqs = [
+            AdmissionRequest { ledger: &a, window: TimeSpan::between_secs(0.0, 100.0), rho_margin: 0.0 },
+            AdmissionRequest { ledger: &b, window: TimeSpan::between_secs(400.0, 500.0), rho_margin: 0.0 },
+        ];
+        match ctrl.admit(&reqs, 0.2) {
+            Err((1, BudgetError::OutsideRecording { .. })) => {}
+            other => panic!("expected OutsideRecording on request 1, got {other:?}"),
+        }
+        assert!((a.remaining_at(50.0) - 1.0).abs() < 1e-9);
+        assert!((b.remaining_at(50.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_multi_ledger_admissions_are_consistent() {
+        // Two cameras, many racing two-camera queries: every admission debits
+        // both ledgers or neither, so the two ledgers deplete in lock-step.
+        let a = BudgetLedger::new(200.0, 1.0);
+        let b = BudgetLedger::new(200.0, 1.0);
+        let ctrl = AdmissionController::new();
+        let w = TimeSpan::between_secs(0.0, 200.0);
+        let admitted = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..6 {
+                scope.spawn(|| {
+                    for _ in 0..10 {
+                        let reqs = [
+                            AdmissionRequest { ledger: &a, window: w, rho_margin: 10.0 },
+                            AdmissionRequest { ledger: &b, window: w, rho_margin: 10.0 },
+                        ];
+                        if ctrl.admit(&reqs, 0.125).is_ok() {
+                            admitted.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(admitted.load(Ordering::Relaxed), 8, "exactly 1.0/0.125 joint admissions fit");
+        let ra = a.remaining_at(100.0);
+        let rb = b.remaining_at(100.0);
+        assert!(ra.abs() < 1e-6 && rb.abs() < 1e-6, "both ledgers fully and equally spent: {ra}, {rb}");
     }
 }

@@ -1,0 +1,317 @@
+//! The cross-query chunk-result cache.
+//!
+//! The PROCESS stage — running every chunk through a sandboxed processor —
+//! dominates end-to-end query latency, and analysts frequently re-issue the
+//! same PROCESS prolog with different SELECTs (different aggregations,
+//! different ε, a GROUP BY added). Re-executing the sandbox for those is pure
+//! waste: chunk execution is a deterministic function of the recording, the
+//! chunk geometry, the mask and the processor, so its output can be reused.
+//!
+//! **Why caching raw tables is DP-safe.** The cached values are the *raw*
+//! sandbox outputs, which never leave the video owner's trust domain. Privid
+//! applies Laplace noise at release time — after aggregation, per release —
+//! and debits the privacy budget per admitted query, regardless of whether
+//! the intermediate table came from the sandbox or the cache. Serving a
+//! cached table therefore changes neither the released distribution nor the
+//! accounting: the analyst sees exactly what a fresh execution (same seed)
+//! would have produced, at a fraction of the cost.
+//!
+//! Keys cover everything that influences sandbox output: camera, window,
+//! chunk spec, mask, region scheme, processor name, and the sandbox spec
+//! (timeout / max rows / schema). Re-registering a camera, mask or processor
+//! under an existing name invalidates the affected entries.
+
+use privid_sandbox::SandboxedOutput;
+use privid_video::{ChunkSpec, Seconds, TimeSpan};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The sandboxed outputs of one PROCESS statement: `(region id, output)`
+/// pairs in deterministic (chunk, region) order, exactly as produced by
+/// [`crate::parallel::execute_plan`].
+pub type CachedOutputs = Arc<Vec<(u32, SandboxedOutput)>>;
+
+/// Identity of one PROCESS execution. Two PROCESS statements with equal keys
+/// are guaranteed to produce identical sandbox outputs.
+///
+/// The camera and processor are identified by `(name, generation)` pairs: the
+/// registry bumps a generation every time a name is (re-)registered, so a
+/// session that resolved the *old* camera or processor can never insert its
+/// outputs under a key the *new* registration would hit — re-registration
+/// invalidation stays correct even against in-flight queries.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ChunkCacheKey {
+    camera: String,
+    camera_generation: u64,
+    /// Window start/end in microseconds (exact integer timeline).
+    window_micros: (i64, i64),
+    /// Chunk duration and stride as IEEE bit patterns (exact).
+    chunk_bits: (u64, u64),
+    /// Mask id plus its registration generation (masks are re-publishable in
+    /// place on a live camera, so the id alone is not a stable identity).
+    mask: Option<(String, u64)>,
+    region_scheme: Option<String>,
+    processor: String,
+    processor_generation: u64,
+    /// Sandbox spec: timeout bit pattern, max rows, canonical schema text.
+    timeout_bits: u64,
+    max_rows: usize,
+    schema: String,
+}
+
+impl ChunkCacheKey {
+    /// Build a key from the resolved pieces of a PROCESS statement.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        camera: (&str, u64),
+        window: &TimeSpan,
+        spec: &ChunkSpec,
+        mask: Option<(&str, u64)>,
+        region_scheme: Option<&str>,
+        processor: (&str, u64),
+        timeout_secs: Seconds,
+        max_rows: usize,
+        schema_repr: String,
+    ) -> Self {
+        ChunkCacheKey {
+            camera: camera.0.to_string(),
+            camera_generation: camera.1,
+            window_micros: (window.start.as_micros(), window.end.as_micros()),
+            chunk_bits: (spec.chunk_secs.to_bits(), spec.stride_secs.to_bits()),
+            mask: mask.map(|(id, generation)| (id.to_string(), generation)),
+            region_scheme: region_scheme.map(str::to_string),
+            processor: processor.0.to_string(),
+            processor_generation: processor.1,
+            timeout_bits: timeout_secs.to_bits(),
+            max_rows,
+            schema: schema_repr,
+        }
+    }
+}
+
+/// Point-in-time counters of the cache (monotonic over the cache's life).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChunkCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that missed and required sandbox execution.
+    pub misses: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+/// A bounded, thread-safe map from PROCESS identity to sandbox outputs.
+///
+/// Entries are evicted oldest-insertion-first once `max_entries` is reached —
+/// a deliberately simple policy: the cache exists to absorb *bursts* of
+/// analysts re-processing the same windows, not to be a long-lived store.
+#[derive(Debug)]
+pub struct ChunkResultCache {
+    entries: Mutex<HashMap<ChunkCacheKey, (u64, CachedOutputs)>>,
+    /// Monotonic insertion stamp, for oldest-first eviction.
+    next_stamp: AtomicU64,
+    max_entries: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for ChunkResultCache {
+    fn default() -> Self {
+        Self::with_capacity(256)
+    }
+}
+
+impl ChunkResultCache {
+    /// Create a cache bounded to `max_entries` resident PROCESS results.
+    /// `max_entries == 0` disables caching (every lookup misses).
+    pub fn with_capacity(max_entries: usize) -> Self {
+        ChunkResultCache {
+            entries: Mutex::new(HashMap::new()),
+            next_stamp: AtomicU64::new(0),
+            max_entries,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether this cache stores anything at all. Lets the miss path skip
+    /// the defensive row copy when results will never be retained.
+    pub fn enabled(&self) -> bool {
+        self.max_entries > 0
+    }
+
+    /// Look up the outputs for a PROCESS identity.
+    pub fn get(&self, key: &ChunkCacheKey) -> Option<CachedOutputs> {
+        let entries = self.entries.lock().expect("chunk cache lock poisoned");
+        match entries.get(key) {
+            Some((_, outputs)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(outputs))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert freshly computed outputs, evicting the oldest entry if full.
+    /// Concurrent inserts under the same key keep the first value (both are
+    /// identical by construction, so which one wins is unobservable).
+    ///
+    /// There is deliberately no single-flight: N analysts cold-missing the
+    /// same key each run the sandbox and race to insert. The duplicate work
+    /// is transient (one burst, identical results) and keeping lookups
+    /// wait-free avoids a cross-query convoy on the slowest sandbox run.
+    pub fn insert(&self, key: ChunkCacheKey, outputs: CachedOutputs) {
+        if self.max_entries == 0 {
+            return;
+        }
+        let mut entries = self.entries.lock().expect("chunk cache lock poisoned");
+        if entries.contains_key(&key) {
+            return;
+        }
+        if entries.len() >= self.max_entries {
+            if let Some(oldest) = entries.iter().min_by_key(|(_, (stamp, _))| *stamp).map(|(k, _)| k.clone()) {
+                entries.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let stamp = self.next_stamp.fetch_add(1, Ordering::Relaxed);
+        entries.insert(key, (stamp, outputs));
+    }
+
+    /// Drop every entry for a camera (the camera was re-registered, so cached
+    /// outputs may no longer match the footage).
+    pub fn invalidate_camera(&self, camera: &str) {
+        self.entries.lock().expect("chunk cache lock poisoned").retain(|k, _| k.camera != camera);
+    }
+
+    /// Drop the entries produced under one of a camera's masks (that mask was
+    /// re-published; unmasked entries and other masks' entries stay warm).
+    pub fn invalidate_mask(&self, camera: &str, mask_id: &str) {
+        self.entries
+            .lock()
+            .expect("chunk cache lock poisoned")
+            .retain(|k, _| k.camera != camera || !matches!(&k.mask, Some((id, _)) if id == mask_id));
+    }
+
+    /// Drop every entry produced by a processor (it was re-registered under
+    /// the same name, possibly with different behaviour).
+    pub fn invalidate_processor(&self, processor: &str) {
+        self.entries.lock().expect("chunk cache lock poisoned").retain(|k, _| k.processor != processor);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ChunkCacheStats {
+        ChunkCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.entries.lock().expect("chunk cache lock poisoned").len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(camera: &str, start: f64, processor: &str) -> ChunkCacheKey {
+        ChunkCacheKey::new(
+            (camera, 0),
+            &TimeSpan::between_secs(start, start + 100.0),
+            &ChunkSpec::contiguous(5.0),
+            None,
+            None,
+            (processor, 0),
+            1.0,
+            20,
+            "(count:NUMBER=0)".into(),
+        )
+    }
+
+    #[test]
+    fn hit_miss_and_stats() {
+        let cache = ChunkResultCache::with_capacity(8);
+        let k = key("campus", 0.0, "p");
+        assert!(cache.get(&k).is_none());
+        cache.insert(k.clone(), Arc::new(Vec::new()));
+        assert!(cache.get(&k).is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn distinct_process_identities_do_not_collide() {
+        let cache = ChunkResultCache::with_capacity(8);
+        cache.insert(key("campus", 0.0, "p"), Arc::new(Vec::new()));
+        assert!(cache.get(&key("campus", 100.0, "p")).is_none(), "different window");
+        assert!(cache.get(&key("highway", 0.0, "p")).is_none(), "different camera");
+        assert!(cache.get(&key("campus", 0.0, "q")).is_none(), "different processor");
+        let masked = ChunkCacheKey::new(
+            ("campus", 0),
+            &TimeSpan::between_secs(0.0, 100.0),
+            &ChunkSpec::contiguous(5.0),
+            Some(("m", 0)),
+            None,
+            ("p", 0),
+            1.0,
+            20,
+            "(count:NUMBER=0)".into(),
+        );
+        assert!(cache.get(&masked).is_none(), "different mask");
+        let new_generation = ChunkCacheKey::new(
+            ("campus", 1),
+            &TimeSpan::between_secs(0.0, 100.0),
+            &ChunkSpec::contiguous(5.0),
+            None,
+            None,
+            ("p", 0),
+            1.0,
+            20,
+            "(count:NUMBER=0)".into(),
+        );
+        assert!(cache.get(&new_generation).is_none(), "re-registered camera generation");
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_first() {
+        let cache = ChunkResultCache::with_capacity(2);
+        cache.insert(key("c", 0.0, "p"), Arc::new(Vec::new()));
+        cache.insert(key("c", 100.0, "p"), Arc::new(Vec::new()));
+        cache.insert(key("c", 200.0, "p"), Arc::new(Vec::new()));
+        assert!(cache.get(&key("c", 0.0, "p")).is_none(), "oldest entry evicted");
+        assert!(cache.get(&key("c", 100.0, "p")).is_some());
+        assert!(cache.get(&key("c", 200.0, "p")).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn invalidation_by_camera_and_processor() {
+        let cache = ChunkResultCache::with_capacity(8);
+        cache.insert(key("campus", 0.0, "p"), Arc::new(Vec::new()));
+        cache.insert(key("highway", 0.0, "p"), Arc::new(Vec::new()));
+        cache.insert(key("highway", 0.0, "q"), Arc::new(Vec::new()));
+        cache.invalidate_camera("campus");
+        assert!(cache.get(&key("campus", 0.0, "p")).is_none());
+        assert!(cache.get(&key("highway", 0.0, "p")).is_some());
+        cache.invalidate_processor("q");
+        assert!(cache.get(&key("highway", 0.0, "q")).is_none());
+        assert!(cache.get(&key("highway", 0.0, "p")).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = ChunkResultCache::with_capacity(0);
+        let k = key("c", 0.0, "p");
+        cache.insert(k.clone(), Arc::new(Vec::new()));
+        assert!(cache.get(&k).is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

@@ -14,6 +14,19 @@ pub enum PrividError {
     UnknownMask(String),
     /// The query referenced a region scheme the video owner has not published.
     UnknownRegionScheme(String),
+    /// The query window lies entirely outside the camera's recorded timeline:
+    /// there is no footage to process and no budget to debit (the ledger used
+    /// to silently clamp such windows onto a real frame's budget).
+    WindowOutsideRecording {
+        /// Camera whose recording the window missed.
+        camera: String,
+        /// Requested window start, seconds.
+        start_secs: f64,
+        /// Requested window end, seconds.
+        end_secs: f64,
+        /// Duration of the camera's recording, seconds.
+        duration_secs: f64,
+    },
     /// The per-frame privacy budget is insufficient for this query (Alg. 1).
     BudgetExhausted {
         /// Camera whose budget is insufficient.
@@ -43,6 +56,10 @@ impl fmt::Display for PrividError {
             PrividError::UnknownProcessor(p) => write!(f, "unknown processor executable: {p}"),
             PrividError::UnknownMask(m) => write!(f, "unknown mask: {m}"),
             PrividError::UnknownRegionScheme(r) => write!(f, "unknown region scheme: {r}"),
+            PrividError::WindowOutsideRecording { camera, start_secs, end_secs, duration_secs } => write!(
+                f,
+                "window [{start_secs}, {end_secs}) s lies outside camera {camera}'s recording ({duration_secs} s)"
+            ),
             PrividError::BudgetExhausted { camera, requested, available } => {
                 write!(f, "privacy budget exhausted for camera {camera}: requested {requested}, available {available}")
             }

@@ -1,22 +1,22 @@
-//! The Privid query executor: split → process → aggregate → add noise
-//! (Algorithm 1), with support for masks (§7.1), spatial splitting (§7.2) and
-//! multi-query budget accounting (§6.4).
+//! The single-analyst Privid executor and the query result types.
+//!
+//! [`PrividSystem`] is the original, synchronous entry point: one analyst,
+//! one query at a time, one continuous seeded noise stream across the
+//! system's whole query sequence (which makes experiment scripts exactly
+//! reproducible). Since the serving-layer refactor it is a thin wrapper over
+//! [`QueryService`] — registration, per-query sessions, budget admission and
+//! the cross-query chunk cache are all shared with the concurrent front-end;
+//! only the noise-stream policy differs.
 
-use crate::budget::BudgetLedger;
 use crate::error::PrividError;
 use crate::mechanism::LaplaceMechanism;
-use crate::parallel::{execute_plan, Parallelism};
+use crate::parallel::Parallelism;
 use crate::policy::{MaskPolicy, PrivacyPolicy};
-use privid_query::exec::RawRelease;
-use privid_query::sensitivity::TableProfile;
-use privid_query::{
-    execute_select, parse_query, ParsedQuery, ProcessStatement, ReleaseValue, SelectStatement, SensitivityContext,
-    SplitStatement, Table,
-};
-use privid_sandbox::{ChunkProcessor, ProcessorFactory, SandboxSpec};
-use privid_video::{ChunkPlan, ChunkSpec, Mask, RegionBoundary, RegionScheme, Scene, Seconds, TimeSpan};
+use crate::service::QueryService;
+use privid_query::{parse_query, ParsedQuery, ReleaseValue};
+use privid_sandbox::ChunkProcessor;
+use privid_video::Scene;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// The value of one noisy data release returned to the analyst.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -65,7 +65,9 @@ pub struct QueryResult {
     pub releases: Vec<NoisyRelease>,
     /// Total privacy budget consumed.
     pub epsilon_spent: f64,
-    /// Total number of chunk executions performed.
+    /// Total number of chunk executions the query required. Executions served
+    /// from the cross-query chunk cache count too, so this is a deterministic
+    /// function of the query — independent of what other queries ran before.
     pub chunks_processed: usize,
 }
 
@@ -76,30 +78,14 @@ impl QueryResult {
     }
 }
 
-/// A registered camera: its recording, policy, published masks and budget ledger.
-struct CameraEntry {
-    scene: Scene,
-    policy: PrivacyPolicy,
-    masks: HashMap<String, MaskPolicy>,
-    ledger: BudgetLedger,
-}
-
-/// A SPLIT statement resolved against the registered cameras.
-struct PreparedSplit {
-    camera: String,
-    window: TimeSpan,
-    spec: ChunkSpec,
-    mask: Option<Mask>,
-    /// The ρ governing tables built from this split (the mask's reduced ρ, or
-    /// the camera policy's ρ).
-    rho_secs: Seconds,
-    region_scheme: Option<RegionScheme>,
-}
-
-/// The Privid system: the video owner's server that accepts analyst queries.
+/// The Privid system: the video owner's server, driven by one analyst.
+///
+/// All queries draw noise from a single mechanism seeded at construction, so
+/// a script's *sequence* of queries is exactly reproducible. For serving many
+/// analysts concurrently — each query independently seeded — use
+/// [`QueryService`] directly.
 pub struct PrividSystem {
-    cameras: HashMap<String, CameraEntry>,
-    processors: HashMap<String, Box<dyn ProcessorFactory + Send>>,
+    service: QueryService,
     mechanism: LaplaceMechanism,
     /// Budget charged to a SELECT that has no `CONSUMING` clause.
     pub default_epsilon: f64,
@@ -114,8 +100,7 @@ impl PrividSystem {
     /// Create a system; `seed` makes the noise reproducible for experiments.
     pub fn new(seed: u64) -> Self {
         PrividSystem {
-            cameras: HashMap::new(),
-            processors: HashMap::new(),
+            service: QueryService::new(),
             mechanism: LaplaceMechanism::new(seed),
             default_epsilon: 1.0,
             parallelism: Parallelism::Auto,
@@ -128,13 +113,16 @@ impl PrividSystem {
         self
     }
 
+    /// Counters of the chunk-result cache backing this system. (The inner
+    /// `QueryService` is deliberately not exposed: its own `execute` methods
+    /// would bypass this system's `parallelism`/`default_epsilon` knobs.)
+    pub fn cache_stats(&self) -> crate::cache::ChunkCacheStats {
+        self.service.cache_stats()
+    }
+
     /// Register a camera with its recording and privacy policy.
     pub fn register_camera(&mut self, name: impl Into<String>, scene: Scene, policy: PrivacyPolicy) {
-        let duration = scene.span.end.as_secs();
-        self.cameras.insert(
-            name.into(),
-            CameraEntry { scene, policy, masks: HashMap::new(), ledger: BudgetLedger::new(duration, policy.epsilon_budget) },
-        );
+        self.service.register_camera(name, scene, policy);
     }
 
     /// Publish a mask (and its reduced ρ) for a camera (§7.1).
@@ -144,9 +132,7 @@ impl PrividSystem {
         mask_id: impl Into<String>,
         policy: MaskPolicy,
     ) -> Result<(), PrividError> {
-        let entry = self.cameras.get_mut(camera).ok_or_else(|| PrividError::UnknownCamera(camera.to_string()))?;
-        entry.masks.insert(mask_id.into(), policy);
-        Ok(())
+        self.service.register_mask(camera, mask_id, policy)
     }
 
     /// Attach an analyst processor executable under a name.
@@ -154,17 +140,17 @@ impl PrividSystem {
     where
         F: Fn() -> Box<dyn ChunkProcessor> + Send + Sync + 'static,
     {
-        self.processors.insert(name.into(), Box::new(factory));
+        self.service.register_processor(name, factory);
     }
 
     /// Remaining per-frame budget of a camera at a given time.
     pub fn remaining_budget(&self, camera: &str, at_secs: f64) -> Option<f64> {
-        self.cameras.get(camera).map(|c| c.ledger.remaining_at(at_secs))
+        self.service.remaining_budget(camera, at_secs)
     }
 
     /// The registered policy of a camera.
     pub fn camera_policy(&self, camera: &str) -> Option<PrivacyPolicy> {
-        self.cameras.get(camera).map(|c| c.policy)
+        self.service.camera_policy(camera)
     }
 
     /// Parse and execute a textual query.
@@ -175,220 +161,7 @@ impl PrividSystem {
 
     /// Execute a parsed query.
     pub fn execute(&mut self, query: &ParsedQuery) -> Result<QueryResult, PrividError> {
-        // ---- 1. Resolve SPLIT statements -------------------------------------------------
-        let mut splits: HashMap<String, PreparedSplit> = HashMap::new();
-        for s in &query.splits {
-            splits.insert(s.output.clone(), self.prepare_split(s)?);
-        }
-
-        // ---- 2. Run PROCESS statements through the sandbox -------------------------------
-        let mut tables: HashMap<String, Table> = HashMap::new();
-        let mut ctx = SensitivityContext::new();
-        let mut table_windows: HashMap<String, (String, TimeSpan)> = HashMap::new();
-        let mut chunks_processed = 0usize;
-        for p in &query.processes {
-            let split = splits.get(&p.input).ok_or_else(|| {
-                PrividError::Invalid(format!("PROCESS {} references undefined chunk set {}", p.output, p.input))
-            })?;
-            let (table, n_chunks, profile) = self.run_process(p, split)?;
-            chunks_processed += n_chunks;
-            ctx.register(p.output.clone(), profile);
-            table_windows.insert(p.output.clone(), (split.camera.clone(), split.window));
-            tables.insert(p.output.clone(), table);
-        }
-
-        // ---- 3. Total requested budget -----------------------------------------------------
-        let epsilon_total: f64 =
-            query.selects.iter().map(|s| s.epsilon.unwrap_or(self.default_epsilon)).sum();
-        if query.selects.is_empty() {
-            return Err(PrividError::Invalid("a query must contain at least one SELECT".into()));
-        }
-        // Validate release structure *before* budget admission: a SELECT with
-        // no aggregations plans zero releases, and rejecting it only after
-        // `check_and_debit` below would permanently consume the analyst's
-        // budget for a query that can never release anything.
-        for stmt in &query.selects {
-            if stmt.aggregations.is_empty() {
-                return Err(PrividError::Invalid(
-                    "SELECT statement declares no aggregations, so it plans no releases".into(),
-                ));
-            }
-        }
-
-        // ---- 4. Budget admission (Algorithm 1, lines 1-5), per camera ----------------------
-        // Check every camera first, then debit, so a partially admitted query
-        // can never leave the ledgers inconsistent.
-        let mut camera_windows: HashMap<String, TimeSpan> = HashMap::new();
-        for split in splits.values() {
-            camera_windows
-                .entry(split.camera.clone())
-                .and_modify(|w| {
-                    let start = w.start.min(split.window.start);
-                    let end = if w.end > split.window.end { w.end } else { split.window.end };
-                    *w = TimeSpan::new(start, end);
-                })
-                .or_insert(split.window);
-        }
-        for (camera, window) in &camera_windows {
-            let entry = self.cameras.get(camera).ok_or_else(|| PrividError::UnknownCamera(camera.clone()))?;
-            let available = entry.ledger.min_remaining(&window.expand(entry.policy.rho_secs));
-            if available + 1e-9 < epsilon_total {
-                return Err(PrividError::BudgetExhausted {
-                    camera: camera.clone(),
-                    requested: epsilon_total,
-                    available,
-                });
-            }
-        }
-        for (camera, window) in &camera_windows {
-            let entry = self.cameras.get(camera).expect("checked above");
-            entry
-                .ledger
-                .check_and_debit(window, entry.policy.rho_secs, epsilon_total)
-                .map_err(|available| PrividError::BudgetExhausted {
-                    camera: camera.clone(),
-                    requested: epsilon_total,
-                    available,
-                })?;
-        }
-
-        // ---- 5. Aggregate, bound, add noise -------------------------------------------------
-        let mut releases = Vec::new();
-        for stmt in &query.selects {
-            let select_epsilon = stmt.epsilon.unwrap_or(self.default_epsilon);
-            releases.extend(self.run_select(stmt, &tables, &ctx, &table_windows, select_epsilon)?);
-        }
-
-        Ok(QueryResult { releases, epsilon_spent: epsilon_total, chunks_processed })
-    }
-
-    // ---------------------------------------------------------------------------------------
-
-    fn prepare_split(&self, s: &SplitStatement) -> Result<PreparedSplit, PrividError> {
-        let entry = self.cameras.get(&s.camera).ok_or_else(|| PrividError::UnknownCamera(s.camera.clone()))?;
-        let spec = ChunkSpec::new(s.chunk_secs, s.stride_secs).map_err(PrividError::Invalid)?;
-        let window = TimeSpan::between_secs(s.begin_secs, s.end_secs);
-        let (mask, rho) = match &s.mask {
-            Some(id) => {
-                let mp = entry.masks.get(id).ok_or_else(|| PrividError::UnknownMask(id.clone()))?;
-                (Some(mp.mask.clone()), mp.rho_secs)
-            }
-            None => (None, entry.policy.rho_secs),
-        };
-        let region_scheme = match &s.region_scheme {
-            Some(id) => {
-                let scheme = entry
-                    .scene
-                    .region_schemes
-                    .get(id)
-                    .ok_or_else(|| PrividError::UnknownRegionScheme(id.clone()))?;
-                // §7.2: soft boundaries require single-frame chunks.
-                let frame_secs = entry.scene.frame_rate.frame_duration();
-                if scheme.boundary == RegionBoundary::Soft && s.chunk_secs > frame_secs + 1e-9 {
-                    return Err(PrividError::SoftBoundaryChunkTooLarge { chunk_secs: s.chunk_secs, frame_secs });
-                }
-                Some(scheme.clone())
-            }
-            None => None,
-        };
-        Ok(PreparedSplit { camera: s.camera.clone(), window, spec, mask, rho_secs: rho, region_scheme })
-    }
-
-    fn run_process(
-        &self,
-        p: &ProcessStatement,
-        split: &PreparedSplit,
-    ) -> Result<(Table, usize, TableProfile), PrividError> {
-        let factory =
-            self.processors.get(&p.executable).ok_or_else(|| PrividError::UnknownProcessor(p.executable.clone()))?;
-        let entry = self.cameras.get(&split.camera).ok_or_else(|| PrividError::UnknownCamera(split.camera.clone()))?;
-        let sandbox_spec = SandboxSpec::new(p.timeout_secs, p.max_rows, p.schema.clone());
-        // Stream the chunks through the parallel execution engine: chunks are
-        // materialized lazily in the workers (no owned Chunk is ever built)
-        // and the outputs come back in deterministic (chunk, region) order,
-        // so the table below is identical at every worker count.
-        let plan = ChunkPlan::new(&entry.scene, &split.window, &split.spec, split.mask.as_ref());
-        let outputs =
-            execute_plan(&plan, split.region_scheme.as_ref(), factory.as_ref(), &sandbox_spec, self.parallelism);
-        let mut table = Table::new(p.schema.clone());
-        let executions = outputs.len();
-        for (region, out) in outputs {
-            table.append_chunk_rows(out.chunk_start_secs, region, out.rows, p.max_rows);
-        }
-        let regions = split.region_scheme.as_ref().map(|s| s.len()).unwrap_or(1).max(1);
-        let profile = TableProfile {
-            max_rows_per_chunk: p.max_rows,
-            chunk_secs: split.spec.chunk_secs,
-            rho_secs: split.rho_secs,
-            k: entry.policy.k,
-            num_chunks: split.spec.chunk_count(split.window.duration()) * regions as u64,
-        };
-        Ok((table, executions, profile))
-    }
-
-    fn run_select(
-        &mut self,
-        stmt: &SelectStatement,
-        tables: &HashMap<String, Table>,
-        ctx: &SensitivityContext,
-        table_windows: &HashMap<String, (String, TimeSpan)>,
-        select_epsilon: f64,
-    ) -> Result<Vec<NoisyRelease>, PrividError> {
-        // Planned number of releases (data-independent): explicit keys, or
-        // chunk bins derived from the trusted query window.
-        let base_tables = stmt.source.base_tables();
-        for t in &base_tables {
-            if !tables.contains_key(t) {
-                return Err(PrividError::Invalid(format!("SELECT references undefined table {t}")));
-            }
-        }
-        let window = base_tables
-            .first()
-            .and_then(|t| table_windows.get(t))
-            .map(|(_, w)| *w)
-            .unwrap_or_else(|| TimeSpan::from_secs(0.0));
-        let bins = match &stmt.group_by {
-            Some(privid_query::ast::GroupBy { keys: privid_query::ast::GroupKeys::ChunkBins { bin_secs }, .. }) => {
-                (window.duration() / bin_secs).ceil().max(1.0) as usize
-            }
-            _ => 1,
-        };
-        let sensitivities = ctx.statement_sensitivities(stmt, bins)?;
-        // Aggregation-free SELECTs are rejected before budget admission in
-        // `execute`; this guard is defence in depth so `sensitivities[0]`
-        // can never panic even if a new planning path slips through.
-        let Some(&first_sensitivity) = sensitivities.first() else {
-            return Err(PrividError::Invalid(
-                "SELECT statement declares no aggregations, so it plans no releases".into(),
-            ));
-        };
-        let planned_releases = sensitivities.len();
-        let per_release_epsilon = select_epsilon / planned_releases as f64;
-
-        let raw: Vec<RawRelease> = execute_select(stmt, tables)?;
-        let mut out = Vec::with_capacity(raw.len());
-        for (i, release) in raw.into_iter().enumerate() {
-            let sensitivity = sensitivities.get(i).copied().unwrap_or(first_sensitivity);
-            let scale = LaplaceMechanism::scale(sensitivity, per_release_epsilon);
-            let value = match &release.value {
-                ReleaseValue::Number(n) => NoisyValue::Number(self.mechanism.release(*n, sensitivity, per_release_epsilon)),
-                ReleaseValue::Candidates(c) => NoisyValue::Key(
-                    self.mechanism
-                        .release_argmax(c, sensitivity, per_release_epsilon)
-                        .unwrap_or_else(|| String::from("")),
-                ),
-            };
-            out.push(NoisyRelease {
-                label: release.label,
-                group_key: release.group_key,
-                value,
-                raw: release.value,
-                sensitivity,
-                noise_scale: scale,
-                epsilon: per_release_epsilon,
-            });
-        }
-        Ok(out)
+        self.service.execute_session(query, &mut self.mechanism, self.parallelism, self.default_epsilon)
     }
 }
 
@@ -396,7 +169,7 @@ impl PrividSystem {
 mod tests {
     use super::*;
     use privid_sandbox::{CarTableProcessor, RedLightProcessor, UniqueEntrantProcessor};
-    use privid_video::{SceneConfig, SceneGenerator};
+    use privid_video::{Mask, SceneConfig, SceneGenerator};
 
     fn campus_system() -> PrividSystem {
         let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(0.5)).generate();
@@ -450,6 +223,21 @@ mod tests {
     }
 
     #[test]
+    fn repeated_queries_reuse_cached_chunk_results() {
+        // The 20 identical queries above also exercise the chunk cache; this
+        // test pins the accounting: one sandbox execution, then cache hits,
+        // with identical per-query results apart from the fresh noise.
+        let mut sys = campus_system();
+        let a = sys.execute_text(COUNT_QUERY).unwrap();
+        let b = sys.execute_text(COUNT_QUERY).unwrap();
+        assert_eq!(a.chunks_processed, b.chunks_processed, "cache hits still count required executions");
+        assert_eq!(a.releases[0].raw, b.releases[0].raw, "same raw table either way");
+        let stats = sys.cache_stats();
+        assert_eq!(stats.misses, 1, "only the first query ran the sandbox");
+        assert!(stats.hits >= 1);
+    }
+
+    #[test]
     fn unknown_camera_processor_and_mask_are_rejected() {
         let mut sys = campus_system();
         let bad_cam = COUNT_QUERY.replace("SPLIT campus", "SPLIT nowhere");
@@ -458,6 +246,23 @@ mod tests {
         assert!(matches!(sys.execute_text(&bad_proc), Err(PrividError::UnknownProcessor(_))));
         let bad_mask = COUNT_QUERY.replace("STRIDE 0 sec INTO", "STRIDE 0 sec WITH MASK ghost INTO");
         assert!(matches!(sys.execute_text(&bad_mask), Err(PrividError::UnknownMask(_))));
+    }
+
+    #[test]
+    fn window_past_the_recording_is_rejected_without_debit() {
+        // Regression: the ledger used to clamp a fully disjoint window onto
+        // the last real slot and debit it.
+        let mut sys = campus_system();
+        let ghost = COUNT_QUERY.replace("BEGIN 0 END 1200", "BEGIN 5000 END 6200");
+        match sys.execute_text(&ghost) {
+            Err(PrividError::WindowOutsideRecording { camera, start_secs, end_secs, duration_secs }) => {
+                assert_eq!(camera, "campus");
+                assert_eq!((start_secs, end_secs), (5000.0, 6200.0));
+                assert_eq!(duration_secs, 1800.0);
+            }
+            other => panic!("expected WindowOutsideRecording, got {other:?}"),
+        }
+        assert!((sys.remaining_budget("campus", 1799.0).unwrap() - 20.0).abs() < 1e-9);
     }
 
     #[test]
@@ -516,15 +321,52 @@ mod tests {
     }
 
     #[test]
-    fn missing_select_or_table_is_invalid() {
+    fn missing_select_or_table_is_invalid_and_free() {
         let mut sys = campus_system();
         let no_select = "
             SPLIT campus BEGIN 0 END 600 BY TIME 10 sec STRIDE 0 sec INTO chunks;
             PROCESS chunks USING person_counter TIMEOUT 1 sec PRODUCING 20 ROWS
                 WITH SCHEMA (count:NUMBER=0) INTO people;";
         assert!(matches!(sys.execute_text(no_select), Err(PrividError::Invalid(_))));
+        // Regression (review): a typo'd table name used to be caught only
+        // *after* budget admission, permanently debiting ε for a query that
+        // released nothing.
         let wrong_table = COUNT_QUERY.replace("FROM people", "FROM ghosts");
         assert!(matches!(sys.execute_text(&wrong_table), Err(PrividError::Invalid(_))));
+        assert!(
+            (sys.remaining_budget("campus", 600.0).unwrap() - 20.0).abs() < 1e-9,
+            "a rejected SELECT must not consume budget"
+        );
+    }
+
+    #[test]
+    fn disjoint_splits_spare_the_gap_frames() {
+        // Regression (review): admission used to debit the bounding hull of
+        // all splits, so frames between two far-apart windows lost budget
+        // without contributing to any release. Windows within 2ρ still merge
+        // (an event segment could straddle such a gap).
+        let two_splits = |begin2: u32, end2: u32| {
+            format!(
+                "SPLIT campus BEGIN 0 END 300 BY TIME 10 sec STRIDE 0 sec INTO c1;
+                 SPLIT campus BEGIN {begin2} END {end2} BY TIME 10 sec STRIDE 0 sec INTO c2;
+                 PROCESS c1 USING person_counter TIMEOUT 1 sec PRODUCING 20 ROWS
+                     WITH SCHEMA (count:NUMBER=0) INTO t1;
+                 PROCESS c2 USING person_counter TIMEOUT 1 sec PRODUCING 20 ROWS
+                     WITH SCHEMA (count:NUMBER=0) INTO t2;
+                 SELECT COUNT(*) FROM t1 CONSUMING 0.5;
+                 SELECT COUNT(*) FROM t2 CONSUMING 0.5;"
+            )
+        };
+        // Gap 300 s > 2ρ (= 120 s): the gap keeps its full budget.
+        let mut sys = campus_system();
+        sys.execute_text(&two_splits(600, 900)).unwrap();
+        assert!((sys.remaining_budget("campus", 100.0).unwrap() - 19.0).abs() < 1e-9, "first window debited ε_total");
+        assert!((sys.remaining_budget("campus", 700.0).unwrap() - 19.0).abs() < 1e-9, "second window debited ε_total");
+        assert!((sys.remaining_budget("campus", 450.0).unwrap() - 20.0).abs() < 1e-9, "gap frames untouched");
+        // Gap 100 s ≤ 2ρ: merged into one window, hull semantics preserved.
+        let mut sys = campus_system();
+        sys.execute_text(&two_splits(400, 700)).unwrap();
+        assert!((sys.remaining_budget("campus", 350.0).unwrap() - 19.0).abs() < 1e-9, "near gap is debited");
     }
 
     #[test]

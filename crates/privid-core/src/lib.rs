@@ -7,9 +7,17 @@
 //!
 //! * [`policy`] — `(ρ, K)` privacy policies and per-mask policy maps.
 //! * [`mechanism`] — the Laplace mechanism and report-noisy-max.
-//! * [`budget`] — the per-frame privacy-budget ledger of Algorithm 1.
-//! * [`executor`] — the split → process → aggregate → noise pipeline, the
-//!   public entry point ([`PrividSystem`]).
+//! * [`budget`] — the per-frame privacy-budget ledger of Algorithm 1, and the
+//!   admission controller that serializes multi-camera admissions.
+//! * [`service`] — the concurrent multi-analyst serving layer
+//!   ([`QueryService`]): `RwLock`ed camera/processor registries, per-query
+//!   sessions with per-query noise seeds, and the cross-query chunk cache.
+//! * [`session`] — per-query execution: split → process → admit → aggregate
+//!   → noise, shared by both front-ends.
+//! * [`cache`] — the cross-query chunk-result cache (raw sandbox outputs,
+//!   DP-safe to share because noise is applied at release time).
+//! * [`executor`] — the single-analyst front-end ([`PrividSystem`]) and the
+//!   release/result types.
 //! * [`parallel`] — the streaming chunk execution engine: fans lazily
 //!   materialized chunk views out to a worker pool and merges outputs in
 //!   deterministic order ([`Parallelism`] selects the worker count).
@@ -49,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod budget;
+pub mod cache;
 pub mod degradation;
 pub mod error;
 pub mod executor;
@@ -56,13 +65,17 @@ pub mod masking;
 pub mod mechanism;
 pub mod parallel;
 pub mod policy;
+pub mod service;
+mod session;
 pub mod spatial;
 
-pub use budget::BudgetLedger;
+pub use budget::{AdmissionController, AdmissionRequest, BudgetError, BudgetLedger};
+pub use cache::{ChunkCacheKey, ChunkCacheStats, ChunkResultCache};
 pub use degradation::{detection_probability_bound, DegradationCurve};
 pub use error::PrividError;
 pub use executor::{NoisyRelease, NoisyValue, PrividSystem, QueryResult};
 pub use parallel::{execute_plan, Parallelism};
+pub use service::QueryService;
 pub use masking::{greedy_mask_order, MaskPlan, MaskingAnalysis};
 pub use mechanism::{laplace_noise, report_noisy_max, LaplaceMechanism};
 pub use policy::{MaskPolicy, PrivacyPolicy};

@@ -3,25 +3,45 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// The Laplace inverse CDF at `u ∈ (-0.5, 0.5)`. Singular at the endpoints:
+/// `u = ±0.5` maps to `∓∞` (the distribution's tails), so callers must keep
+/// `u` strictly inside the open interval.
+fn laplace_inverse_cdf(u: f64, scale: f64) -> f64 {
+    -scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+}
+
 /// Sample Laplace(0, scale) noise using inverse-CDF sampling.
 pub fn laplace_noise(rng: &mut StdRng, scale: f64) -> f64 {
     if scale <= 0.0 {
         return 0.0;
     }
-    // u uniform in (-0.5, 0.5]; inverse CDF of the Laplace distribution.
-    let u: f64 = rng.gen_range(-0.5..0.5);
-    -scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+    // `gen_range(-0.5..0.5)` is half-open, so the lower endpoint -0.5 — where
+    // the inverse CDF diverges to +∞ — is reachable. Resample until u lies in
+    // the open interval (-0.5, 0.5); rejection keeps the distribution exact
+    // and the rejected set has probability ~2⁻⁵³ per draw.
+    loop {
+        let u: f64 = rng.gen_range(-0.5..0.5);
+        if u != -0.5 {
+            return laplace_inverse_cdf(u, scale);
+        }
+    }
 }
 
 /// Report-noisy-max: add independent Laplace noise (same scale) to every
 /// candidate's count and return the winning key. Used for ARGMAX releases
 /// (Q6), where the released value is categorical rather than numeric.
+///
+/// Noisy scores are compared under IEEE total order (`f64::total_cmp`), so a
+/// NaN score — possible when an infinite scale (ε = 0) meets a zero noise
+/// draw — can never panic the comparison. Exact ties are broken towards the
+/// lexicographically smallest key, so the winner is fully determined by the
+/// noisy scores rather than by the candidates' iteration order.
 pub fn report_noisy_max(rng: &mut StdRng, candidates: &[(String, f64)], scale: f64) -> Option<String> {
     candidates
         .iter()
-        .map(|(k, v)| (k.clone(), v + laplace_noise(rng, scale)))
-        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-        .map(|(k, _)| k)
+        .map(|(k, v)| (k, v + laplace_noise(rng, scale)))
+        .max_by(|a, b| a.1.total_cmp(&b.1).then_with(|| b.0.cmp(a.0)))
+        .map(|(k, _)| k.clone())
 }
 
 /// A seeded Laplace mechanism bound to a sensitivity/ε pair.
@@ -143,5 +163,60 @@ mod tests {
     fn noisy_max_empty_candidates() {
         let mut m = LaplaceMechanism::new(6);
         assert_eq!(m.release_argmax(&[], 1.0, 1.0), None);
+    }
+
+    #[test]
+    fn inverse_cdf_is_singular_only_at_the_endpoints() {
+        // Regression: the sampler draws u from the half-open [-0.5, 0.5), so
+        // u = -0.5 is reachable and maps to an *infinite* release. The
+        // rejection loop must keep that value out of the sampled set.
+        assert!(laplace_inverse_cdf(-0.5, 1.0).is_infinite());
+        assert!(laplace_inverse_cdf(0.5, 1.0).is_infinite());
+        assert!(laplace_inverse_cdf(-0.4999999, 1.0).is_finite());
+        assert!(laplace_inverse_cdf(0.0, 1.0) == 0.0);
+    }
+
+    #[test]
+    fn sampled_noise_is_always_finite() {
+        // A long run across several seeds: every sample must be finite — an
+        // infinite sample would turn a noisy release into ±∞, destroying the
+        // query result while still debiting the analyst's budget.
+        for seed in 0..8 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..50_000 {
+                let x = laplace_noise(&mut rng, 3.0);
+                assert!(x.is_finite(), "infinite noise sample from seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_max_with_zero_epsilon_does_not_panic() {
+        // Regression: ε = 0 makes the scale infinite, so noisy scores can be
+        // ±∞ or NaN (∞·0 inside the inverse CDF). `partial_cmp(..).unwrap()`
+        // used to panic here mid-query; total_cmp must not.
+        let mut m = LaplaceMechanism::new(9);
+        let candidates = vec![("a".to_string(), 1.0), ("b".to_string(), 2.0), ("c".to_string(), 3.0)];
+        for _ in 0..200 {
+            let winner = m.release_argmax(&candidates, 1.0, 0.0);
+            assert!(winner.is_some(), "a non-empty candidate set always yields a winner");
+        }
+    }
+
+    #[test]
+    fn noisy_max_breaks_exact_ties_lexicographically() {
+        // With scale 0 (zero sensitivity) no noise is added, so tied counts
+        // stay tied; the winner must be the lexicographically smallest key no
+        // matter how the candidates are ordered.
+        let mut rng = StdRng::seed_from_u64(4);
+        let forward =
+            vec![("b".to_string(), 5.0), ("a".to_string(), 5.0), ("c".to_string(), 5.0)];
+        let mut reversed = forward.clone();
+        reversed.reverse();
+        assert_eq!(report_noisy_max(&mut rng, &forward, 0.0).as_deref(), Some("a"));
+        assert_eq!(report_noisy_max(&mut rng, &reversed, 0.0).as_deref(), Some("a"));
+        // A strictly larger count still wins outright.
+        let clear = vec![("z".to_string(), 7.0), ("a".to_string(), 5.0)];
+        assert_eq!(report_noisy_max(&mut rng, &clear, 0.0).as_deref(), Some("z"));
     }
 }

@@ -1,0 +1,404 @@
+//! The concurrent, multi-analyst query service.
+//!
+//! [`crate::PrividSystem`] executes one query at a time on the caller's
+//! thread — fine for experiments, the wrong shape for a video owner serving
+//! many analysts. [`QueryService`] is the shared front-end: registration and
+//! lookup go through read-mostly registries (`RwLock`-guarded maps of
+//! `Arc`-shared per-camera state), every admission funnels through the
+//! [`AdmissionController`] in `budget` (the single serialization point), and
+//! each query runs as an independent session with its own seeded noise
+//! stream. Any number of threads can call [`QueryService::execute`]
+//! concurrently on one `&QueryService`.
+//!
+//! **Determinism.** A query's releases are a function of `(seed, query)`
+//! only: the session draws noise from a fresh `LaplaceMechanism::new(seed)`,
+//! and the execution engine merges chunk outputs in deterministic order. N
+//! analysts hammering the service concurrently therefore receive bit-for-bit
+//! the releases a serial replay of the same `(seed, query)` pairs would
+//! produce (given sufficient budget; admission outcomes under *contended*
+//! budget depend on arrival order, exactly as in a real deployment).
+//!
+//! A cross-query [`ChunkResultCache`] absorbs repeated PROCESS work: chunk
+//! execution is deterministic, noise is applied at release time and budget is
+//! debited per admitted query, so serving a cached raw table is invisible to
+//! the analyst except in latency (see `cache` module docs for the DP-safety
+//! argument).
+
+use crate::budget::{AdmissionController, BudgetLedger};
+use crate::cache::{ChunkCacheStats, ChunkResultCache};
+use crate::error::PrividError;
+use crate::executor::QueryResult;
+use crate::mechanism::LaplaceMechanism;
+use crate::parallel::Parallelism;
+use crate::policy::{MaskPolicy, PrivacyPolicy};
+use crate::session;
+use privid_query::{parse_query, ParsedQuery};
+use privid_sandbox::{ChunkProcessor, ProcessorFactory};
+use privid_video::Scene;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Everything the service knows about one registered camera. Shared with
+/// running sessions via `Arc`, so registering new cameras never blocks (or
+/// invalidates) queries already in flight.
+pub(crate) struct CameraState {
+    pub(crate) scene: Scene,
+    pub(crate) policy: PrivacyPolicy,
+    /// Published masks, each tagged with its registration generation (masks
+    /// are re-publishable in place, so they need their own cache-key tag).
+    pub(crate) masks: RwLock<HashMap<String, (u64, MaskPolicy)>>,
+    pub(crate) ledger: BudgetLedger,
+    /// Registration generation, part of every chunk-cache key: a session
+    /// still executing against a *replaced* camera writes cache entries under
+    /// the old generation, which queries against the new registration can
+    /// never hit.
+    pub(crate) generation: u64,
+}
+
+/// A registered processor: its registration generation plus the shared factory.
+type RegisteredProcessor = (u64, Arc<dyn ProcessorFactory + Send + Sync>);
+
+/// A shared, concurrent Privid query service.
+///
+/// Construction is builder-style; all serving methods take `&self`:
+///
+/// ```
+/// use privid_core::{QueryService, PrivacyPolicy};
+/// use privid_sandbox::{ChunkProcessor, UniqueEntrantProcessor};
+/// use privid_video::{SceneConfig, SceneGenerator};
+///
+/// let service = QueryService::new();
+/// let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(0.25)).generate();
+/// service.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 10.0));
+/// service.register_processor("person_counter", || {
+///     Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>
+/// });
+///
+/// // Each analyst query carries its own noise seed; concurrent callers may
+/// // share `&service` across threads.
+/// let result = service
+///     .execute_text(
+///         7,
+///         "SPLIT campus BEGIN 0 END 300 BY TIME 10 sec STRIDE 0 sec INTO chunks;
+///          PROCESS chunks USING person_counter TIMEOUT 1 sec PRODUCING 20 ROWS
+///              WITH SCHEMA (count:NUMBER=0) INTO people;
+///          SELECT COUNT(*) FROM people CONSUMING 1.0;",
+///     )
+///     .unwrap();
+/// assert_eq!(result.releases.len(), 1);
+/// ```
+pub struct QueryService {
+    cameras: RwLock<HashMap<String, Arc<CameraState>>>,
+    processors: RwLock<HashMap<String, RegisteredProcessor>>,
+    admission: AdmissionController,
+    cache: ChunkResultCache,
+    /// Source of registration generations for cameras and processors.
+    generations: AtomicU64,
+    /// Budget charged to a SELECT that has no `CONSUMING` clause.
+    default_epsilon: f64,
+    /// Worker count of the chunk execution engine, per PROCESS statement.
+    parallelism: Parallelism,
+}
+
+impl Default for QueryService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QueryService {
+    /// Create an empty service with default ε (1.0), `Auto` parallelism and
+    /// the default chunk-cache capacity.
+    pub fn new() -> Self {
+        QueryService {
+            cameras: RwLock::new(HashMap::new()),
+            processors: RwLock::new(HashMap::new()),
+            admission: AdmissionController::new(),
+            cache: ChunkResultCache::default(),
+            generations: AtomicU64::new(0),
+            default_epsilon: 1.0,
+            parallelism: Parallelism::Auto,
+        }
+    }
+
+    /// Builder-style override of the execution engine's worker count.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Builder-style override of the ε charged to SELECTs without `CONSUMING`.
+    pub fn with_default_epsilon(mut self, epsilon: f64) -> Self {
+        self.default_epsilon = epsilon;
+        self
+    }
+
+    /// Builder-style override of the chunk cache's capacity (0 disables it).
+    pub fn with_cache_capacity(mut self, max_entries: usize) -> Self {
+        self.cache = ChunkResultCache::with_capacity(max_entries);
+        self
+    }
+
+    // ---- registration -------------------------------------------------------------------
+
+    /// Register a camera with its recording and privacy policy. Re-registering
+    /// a name replaces the camera (fresh ledger) and invalidates its cached
+    /// chunk results; sessions already holding the old state finish against it.
+    pub fn register_camera(&self, name: impl Into<String>, scene: Scene, policy: PrivacyPolicy) {
+        let name = name.into();
+        let duration = scene.span.end.as_secs();
+        let state = Arc::new(CameraState {
+            scene,
+            policy,
+            masks: RwLock::new(HashMap::new()),
+            ledger: BudgetLedger::new(duration, policy.epsilon_budget),
+            generation: self.generations.fetch_add(1, Ordering::Relaxed),
+        });
+        self.cache.invalidate_camera(&name);
+        self.cameras.write().expect("camera registry poisoned").insert(name, state);
+    }
+
+    /// Publish a mask (and its reduced ρ) for a camera (§7.1). Re-publishing
+    /// a mask id replaces it and invalidates only that mask's cached results
+    /// (unmasked and other-mask entries are unaffected by the change).
+    pub fn register_mask(&self, camera: &str, mask_id: impl Into<String>, policy: MaskPolicy) -> Result<(), PrividError> {
+        // Insert under the camera-registry read lock: resolving the state and
+        // then writing outside it would race a concurrent register_camera and
+        // silently publish the mask into the replaced (dead) CameraState.
+        let cameras = self.cameras.read().expect("camera registry poisoned");
+        let state = cameras.get(camera).ok_or_else(|| PrividError::UnknownCamera(camera.to_string()))?;
+        let mask_id = mask_id.into();
+        self.cache.invalidate_mask(camera, &mask_id);
+        let generation = self.generations.fetch_add(1, Ordering::Relaxed);
+        state.masks.write().expect("mask registry poisoned").insert(mask_id, (generation, policy));
+        Ok(())
+    }
+
+    /// Attach an analyst processor executable under a name. Re-registering a
+    /// name replaces the factory and invalidates its cached chunk results.
+    pub fn register_processor<F>(&self, name: impl Into<String>, factory: F)
+    where
+        F: Fn() -> Box<dyn ChunkProcessor> + Send + Sync + 'static,
+    {
+        let name = name.into();
+        self.cache.invalidate_processor(&name);
+        let generation = self.generations.fetch_add(1, Ordering::Relaxed);
+        self.processors.write().expect("processor registry poisoned").insert(name, (generation, Arc::new(factory)));
+    }
+
+    // ---- introspection ------------------------------------------------------------------
+
+    /// Remaining per-frame budget of a camera at a given time.
+    pub fn remaining_budget(&self, camera: &str, at_secs: f64) -> Option<f64> {
+        self.camera(camera).map(|c| c.ledger.remaining_at(at_secs))
+    }
+
+    /// The registered policy of a camera.
+    pub fn camera_policy(&self, camera: &str) -> Option<PrivacyPolicy> {
+        self.camera(camera).map(|c| c.policy)
+    }
+
+    /// Counters of the cross-query chunk-result cache.
+    pub fn cache_stats(&self) -> ChunkCacheStats {
+        self.cache.stats()
+    }
+
+    // ---- execution ----------------------------------------------------------------------
+
+    /// Parse and execute a textual query with a per-query noise seed.
+    pub fn execute_text(&self, seed: u64, text: &str) -> Result<QueryResult, PrividError> {
+        let query = parse_query(text)?;
+        self.execute(seed, &query)
+    }
+
+    /// Execute a parsed query with a per-query noise seed. Safe to call from
+    /// any number of threads concurrently; the releases depend only on
+    /// `(seed, query)` (plus, under contended budget, the admission outcome).
+    ///
+    /// **Threat model**: the seed must be chosen by the *video owner*. This
+    /// reproduction takes it as a parameter so experiments can replay exact
+    /// noise streams — the same reason [`NoisyRelease`](crate::NoisyRelease)
+    /// exposes its `raw` value. A deployment would draw the seed from
+    /// owner-side entropy per query; an analyst who controls (or learns) the
+    /// seed can regenerate every Laplace sample offline and subtract the
+    /// noise, voiding the DP guarantee.
+    pub fn execute(&self, seed: u64, query: &ParsedQuery) -> Result<QueryResult, PrividError> {
+        let mut mechanism = LaplaceMechanism::new(seed);
+        self.execute_session(query, &mut mechanism, self.parallelism, self.default_epsilon)
+    }
+
+    /// Execute a query drawing noise from a caller-owned mechanism.
+    /// `PrividSystem` uses this to preserve its historical semantics of one
+    /// continuous noise stream across a system's whole query sequence.
+    pub(crate) fn execute_session(
+        &self,
+        query: &ParsedQuery,
+        mechanism: &mut LaplaceMechanism,
+        parallelism: Parallelism,
+        default_epsilon: f64,
+    ) -> Result<QueryResult, PrividError> {
+        session::execute_query(self, query, mechanism, parallelism, default_epsilon)
+    }
+
+    // ---- internals shared with `session` -------------------------------------------------
+
+    pub(crate) fn camera(&self, name: &str) -> Option<Arc<CameraState>> {
+        self.cameras.read().expect("camera registry poisoned").get(name).cloned()
+    }
+
+    /// Resolve a processor to its `(generation, factory)` pair.
+    pub(crate) fn processor(&self, name: &str) -> Option<RegisteredProcessor> {
+        self.processors.read().expect("processor registry poisoned").get(name).cloned()
+    }
+
+    pub(crate) fn chunk_cache(&self) -> &ChunkResultCache {
+        &self.cache
+    }
+
+    pub(crate) fn admission(&self) -> &AdmissionController {
+        &self.admission
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privid_sandbox::UniqueEntrantProcessor;
+    use privid_video::{SceneConfig, SceneGenerator};
+
+    const QUERY: &str = "
+        SPLIT campus BEGIN 0 END 600 BY TIME 10 sec STRIDE 0 sec INTO chunks;
+        PROCESS chunks USING person_counter TIMEOUT 1 sec PRODUCING 20 ROWS
+            WITH SCHEMA (count:NUMBER=0) INTO people;
+        SELECT COUNT(*) FROM people CONSUMING 0.5;";
+
+    fn service() -> QueryService {
+        let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(0.5)).generate();
+        let service = QueryService::new().with_parallelism(Parallelism::Fixed(2));
+        service.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 20.0));
+        service.register_processor("person_counter", || {
+            Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>
+        });
+        service
+    }
+
+    #[test]
+    fn seeded_execution_is_reproducible_and_seed_sensitive() {
+        let svc = service();
+        let a = svc.execute_text(11, QUERY).unwrap();
+        let b = svc.execute_text(11, QUERY).unwrap();
+        assert_eq!(a.releases, b.releases, "same (seed, query) → identical releases");
+        let c = svc.execute_text(12, QUERY).unwrap();
+        assert_ne!(a.releases[0].value, c.releases[0].value, "different seed → different noise");
+    }
+
+    #[test]
+    fn repeated_process_prologs_hit_the_cache() {
+        let svc = service();
+        svc.execute_text(1, QUERY).unwrap();
+        let stats = svc.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 1, 1));
+        // Different SELECT, same PROCESS prolog: served from cache.
+        let other_select =
+            QUERY.replace("COUNT(*)", "SUM(range(count, 0, 50))").replace("CONSUMING 0.5", "CONSUMING 0.25");
+        svc.execute_text(2, &other_select).unwrap();
+        let stats = svc.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        // Budget was still debited once per query.
+        let spent = 20.0 - svc.remaining_budget("campus", 300.0).unwrap();
+        assert!((spent - 0.75).abs() < 1e-9, "0.5 + 0.25 debited: {spent}");
+    }
+
+    #[test]
+    fn re_registration_invalidates_cached_results() {
+        let svc = service();
+        svc.execute_text(1, QUERY).unwrap();
+        assert_eq!(svc.cache_stats().entries, 1);
+        svc.register_processor("person_counter", || {
+            Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>
+        });
+        assert_eq!(svc.cache_stats().entries, 0, "re-registered processor drops its entries");
+        svc.execute_text(1, QUERY).unwrap();
+        let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(0.5)).generate();
+        svc.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 20.0));
+        assert_eq!(svc.cache_stats().entries, 0, "re-registered camera drops its entries");
+    }
+
+    #[test]
+    fn mask_republication_invalidates_only_that_mask() {
+        use privid_video::{GridSpec, Mask};
+        let svc = service();
+        let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(0.5)).generate();
+        let grid = GridSpec::coarse(scene.frame_size);
+        svc.register_mask("campus", "benches", MaskPolicy::new(Mask::empty(grid), 20.0)).unwrap();
+        svc.execute_text(1, QUERY).unwrap(); // unmasked entry
+        let masked = QUERY.replace("STRIDE 0 sec INTO", "STRIDE 0 sec WITH MASK benches INTO");
+        svc.execute_text(2, &masked).unwrap(); // masked entry
+        assert_eq!(svc.cache_stats().entries, 2);
+        // Re-publishing the mask drops only its own entry…
+        svc.register_mask("campus", "benches", MaskPolicy::new(Mask::empty(grid), 15.0)).unwrap();
+        assert_eq!(svc.cache_stats().entries, 1, "unmasked entry stays warm");
+        let before = svc.cache_stats().hits;
+        svc.execute_text(3, QUERY).unwrap();
+        assert_eq!(svc.cache_stats().hits, before + 1, "unmasked prolog still served from cache");
+        // …and the re-published mask's next query re-executes (fresh ρ).
+        let replayed = svc.execute_text(4, &masked).unwrap();
+        assert!(replayed.releases[0].sensitivity > 0.0);
+    }
+
+    #[test]
+    fn concurrent_analysts_share_one_service() {
+        let svc = service();
+        let results: Vec<QueryResult> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|analyst| {
+                    let svc = &svc;
+                    scope.spawn(move || svc.execute_text(100 + analyst, QUERY).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Every analyst's result matches a serial replay with the same seed.
+        let replay = service();
+        for (analyst, result) in results.iter().enumerate() {
+            let serial = replay.execute_text(100 + analyst as u64, QUERY).unwrap();
+            assert_eq!(serial.releases, result.releases, "analyst {analyst} releases must match serial replay");
+        }
+        // ε was debited exactly once per query.
+        let spent = 20.0 - svc.remaining_budget("campus", 300.0).unwrap();
+        assert!((spent - 4.0 * 0.5).abs() < 1e-9, "4 queries × 0.5 ε: {spent}");
+    }
+
+    #[test]
+    fn cache_disabled_service_executes_identically() {
+        let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(0.5)).generate();
+        let cached = service();
+        let uncached = QueryService::new().with_parallelism(Parallelism::Fixed(2)).with_cache_capacity(0);
+        uncached.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 20.0));
+        uncached.register_processor("person_counter", || {
+            Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>
+        });
+        let a = cached.execute_text(5, QUERY).unwrap();
+        let b = uncached.execute_text(5, QUERY).unwrap();
+        assert_eq!(a, b, "the cache must be invisible in results");
+        uncached.execute_text(6, QUERY).unwrap();
+        let stats = uncached.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0), "disabled cache is never consulted");
+    }
+
+    #[test]
+    fn window_outside_recording_is_rejected_without_debit() {
+        let svc = service();
+        // The campus scene is 1800 s long; this window is entirely past it.
+        let ghost = QUERY.replace("BEGIN 0 END 600", "BEGIN 2000 END 2600");
+        match svc.execute_text(1, &ghost) {
+            Err(PrividError::WindowOutsideRecording { camera, start_secs, .. }) => {
+                assert_eq!(camera, "campus");
+                assert_eq!(start_secs, 2000.0);
+            }
+            other => panic!("expected WindowOutsideRecording, got {other:?}"),
+        }
+        assert!((svc.remaining_budget("campus", 1799.0).unwrap() - 20.0).abs() < 1e-9, "no frame debited");
+    }
+}

@@ -1,0 +1,407 @@
+//! Per-query execution sessions.
+//!
+//! One session = one analyst query: resolve SPLITs against the camera
+//! registry, run PROCESS statements through the sandbox (or serve them from
+//! the cross-query chunk cache), admit the total ε through the budget
+//! admission controller, then aggregate and add seeded noise. Sessions hold
+//! `Arc`s to the camera state they resolved at the start, so registry writes
+//! never invalidate a query in flight, and they share nothing mutable except
+//! the ledgers (serialized in `budget`) and the chunk cache (internally
+//! locked) — which is what makes [`crate::QueryService`] safely concurrent.
+
+use crate::budget::BudgetError;
+use crate::cache::ChunkCacheKey;
+use crate::error::PrividError;
+use crate::executor::{NoisyRelease, NoisyValue, QueryResult};
+use crate::mechanism::LaplaceMechanism;
+use crate::parallel::{execute_plan, Parallelism};
+use crate::service::{CameraState, QueryService};
+use privid_query::exec::RawRelease;
+use privid_query::{
+    execute_select, ParsedQuery, ProcessStatement, ReleaseValue, SelectStatement, SensitivityContext, SplitStatement,
+    Table,
+};
+use privid_sandbox::SandboxSpec;
+use privid_video::{ChunkPlan, ChunkSpec, Mask, RegionBoundary, RegionScheme, Seconds, TimeSpan};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// A SPLIT statement resolved against the registered cameras.
+struct PreparedSplit {
+    camera: String,
+    state: Arc<CameraState>,
+    window: TimeSpan,
+    spec: ChunkSpec,
+    /// Resolved mask id plus its registration generation (cache-key tag).
+    mask_id: Option<(String, u64)>,
+    mask: Option<Mask>,
+    /// The ρ governing tables built from this split (the mask's reduced ρ, or
+    /// the camera policy's ρ).
+    rho_secs: Seconds,
+    region_scheme_id: Option<String>,
+    region_scheme: Option<RegionScheme>,
+}
+
+/// Execute one query against the service's registries, drawing noise from
+/// `mechanism`. This is the split → process → admit → aggregate → noise
+/// pipeline of Algorithm 1, shared by [`crate::PrividSystem`] (one caller-owned
+/// noise stream) and [`crate::QueryService::execute`] (one seed per query).
+pub(crate) fn execute_query(
+    service: &QueryService,
+    query: &ParsedQuery,
+    mechanism: &mut LaplaceMechanism,
+    parallelism: Parallelism,
+    default_epsilon: f64,
+) -> Result<QueryResult, PrividError> {
+    // ---- 1. Resolve SPLIT statements -------------------------------------------------
+    // Each camera name is resolved against the registry exactly once per
+    // query: if a concurrent register_camera replaced the camera between two
+    // SPLITs, resolving per-split could hand them *different* CameraStates —
+    // and admission (keyed by name) would debit only one of the two ledgers.
+    let mut resolved: HashMap<String, Arc<CameraState>> = HashMap::new();
+    let mut splits: HashMap<String, PreparedSplit> = HashMap::new();
+    for s in &query.splits {
+        let state = match resolved.get(&s.camera) {
+            Some(state) => Arc::clone(state),
+            None => {
+                let state = service.camera(&s.camera).ok_or_else(|| PrividError::UnknownCamera(s.camera.clone()))?;
+                resolved.insert(s.camera.clone(), Arc::clone(&state));
+                state
+            }
+        };
+        splits.insert(s.output.clone(), prepare_split(s, state)?);
+    }
+
+    // ---- 2. Run PROCESS statements through the sandbox (or the cache) ----------------
+    let mut tables: HashMap<String, Table> = HashMap::new();
+    let mut ctx = SensitivityContext::new();
+    let mut table_windows: HashMap<String, (String, TimeSpan)> = HashMap::new();
+    let mut chunks_processed = 0usize;
+    for p in &query.processes {
+        let split = splits.get(&p.input).ok_or_else(|| {
+            PrividError::Invalid(format!("PROCESS {} references undefined chunk set {}", p.output, p.input))
+        })?;
+        let (table, n_chunks, profile) = run_process(service, p, split, parallelism)?;
+        chunks_processed += n_chunks;
+        ctx.register(p.output.clone(), profile);
+        table_windows.insert(p.output.clone(), (split.camera.clone(), split.window));
+        tables.insert(p.output.clone(), table);
+    }
+
+    // ---- 3. Plan every SELECT (validation + sensitivities), pre-admission ------------
+    // Everything that can be rejected from the query *structure* — a missing
+    // table, no aggregations, a sensitivity-rule violation — must fail before
+    // budget admission: rejecting afterwards would permanently consume the
+    // analyst's budget for a query that never releases anything.
+    let epsilon_total: f64 = query.selects.iter().map(|s| s.epsilon.unwrap_or(default_epsilon)).sum();
+    if query.selects.is_empty() {
+        return Err(PrividError::Invalid("a query must contain at least one SELECT".into()));
+    }
+    let mut planned = Vec::with_capacity(query.selects.len());
+    for stmt in &query.selects {
+        let select_epsilon = stmt.epsilon.unwrap_or(default_epsilon);
+        let sensitivities = plan_select(stmt, &tables, &ctx, &table_windows)?;
+        planned.push((stmt, select_epsilon, sensitivities));
+    }
+
+    // ---- 4. Budget admission (Algorithm 1, lines 1-5) --------------------------------
+    // A camera is debited exactly over the union of its splits' windows:
+    // overlapping splits merge, but a gap between disjoint splits is never
+    // debited (no chunk from it contributes to any release). The admission
+    // controller runs check-all-then-debit-all under a single gate, so
+    // concurrent sessions can never partially admit a query or jointly
+    // over-spend a slot. Cameras are visited in sorted order purely for
+    // deterministic error attribution.
+    let mut camera_windows: BTreeMap<String, (Arc<CameraState>, Vec<TimeSpan>)> = BTreeMap::new();
+    for split in splits.values() {
+        camera_windows
+            .entry(split.camera.clone())
+            .and_modify(|(_, windows)| windows.push(split.window))
+            .or_insert_with(|| (Arc::clone(&split.state), vec![split.window]));
+    }
+    let mut requests: Vec<crate::budget::AdmissionRequest<'_>> = Vec::new();
+    let mut request_cameras: Vec<&str> = Vec::new();
+    for (camera, (state, windows)) in &camera_windows {
+        for window in merge_windows(windows, state.policy.rho_secs) {
+            requests.push(crate::budget::AdmissionRequest {
+                ledger: &state.ledger,
+                window,
+                rho_margin: state.policy.rho_secs,
+            });
+            request_cameras.push(camera);
+        }
+    }
+    service.admission().admit(&requests, epsilon_total).map_err(|(index, err)| {
+        let camera = request_cameras[index].to_string();
+        match err {
+            BudgetError::Insufficient { available } => {
+                PrividError::BudgetExhausted { camera, requested: epsilon_total, available }
+            }
+            BudgetError::OutsideRecording { start_secs, end_secs, duration_secs } => {
+                PrividError::WindowOutsideRecording { camera, start_secs, end_secs, duration_secs }
+            }
+        }
+    })?;
+
+    // ---- 5. Aggregate, bound, add noise ----------------------------------------------
+    let mut releases = Vec::new();
+    for (stmt, select_epsilon, sensitivities) in planned {
+        releases.extend(release_select(stmt, &tables, &sensitivities, select_epsilon, mechanism)?);
+    }
+
+    Ok(QueryResult { releases, epsilon_spent: epsilon_total, chunks_processed })
+}
+
+// -------------------------------------------------------------------------------------
+
+/// Merge one camera's split windows into the disjoint spans to admit.
+/// Windows whose ±ρ expansions overlap (gap ≤ 2ρ) are merged — an event
+/// segment could straddle such a gap, so the margin rule treats them as one
+/// continuous window, exactly as the pre-serving-layer executor's bounding
+/// hull did. Gaps wider than 2ρ keep their frames' budget untouched: no chunk
+/// from them contributes to any release.
+fn merge_windows(windows: &[TimeSpan], rho_secs: Seconds) -> Vec<TimeSpan> {
+    let mut sorted = windows.to_vec();
+    sorted.sort_by_key(|w| (w.start, w.end));
+    let mut merged: Vec<TimeSpan> = Vec::with_capacity(sorted.len());
+    for w in sorted {
+        match merged.last_mut() {
+            Some(last) if w.start.as_secs() - last.end.as_secs() <= 2.0 * rho_secs => {
+                if w.end > last.end {
+                    *last = TimeSpan::new(last.start, w.end);
+                }
+            }
+            _ => merged.push(w),
+        }
+    }
+    merged
+}
+
+/// True when the camera, mask and processor registrations a split resolved
+/// are still the live ones — i.e. freshly computed outputs are worth caching.
+fn registrations_current(
+    service: &QueryService,
+    split: &PreparedSplit,
+    processor: &str,
+    processor_generation: u64,
+) -> bool {
+    if service.camera(&split.camera).map(|s| s.generation) != Some(split.state.generation) {
+        return false;
+    }
+    if service.processor(processor).map(|(g, _)| g) != Some(processor_generation) {
+        return false;
+    }
+    match &split.mask_id {
+        None => true,
+        Some((id, generation)) => {
+            split.state.masks.read().expect("mask registry poisoned").get(id).map(|(g, _)| *g) == Some(*generation)
+        }
+    }
+}
+
+fn prepare_split(s: &SplitStatement, state: Arc<CameraState>) -> Result<PreparedSplit, PrividError> {
+    let spec = ChunkSpec::new(s.chunk_secs, s.stride_secs).map_err(PrividError::Invalid)?;
+    let window = TimeSpan::between_secs(s.begin_secs, s.end_secs);
+    // Reject windows with no footage *before* the PROCESS stage: running the
+    // sandbox over an empty plan and failing only at admission would waste
+    // the whole processing cost (and the old ledger silently clamped such
+    // windows onto real frames instead).
+    if let Err(BudgetError::OutsideRecording { start_secs, end_secs, duration_secs }) =
+        state.ledger.validate_window(&window)
+    {
+        return Err(PrividError::WindowOutsideRecording { camera: s.camera.clone(), start_secs, end_secs, duration_secs });
+    }
+    let (mask_id, mask, rho) = match &s.mask {
+        Some(id) => {
+            let masks = state.masks.read().expect("mask registry poisoned");
+            let (generation, mp) = masks.get(id).ok_or_else(|| PrividError::UnknownMask(id.clone()))?;
+            (Some((id.clone(), *generation)), Some(mp.mask.clone()), mp.rho_secs)
+        }
+        None => (None, None, state.policy.rho_secs),
+    };
+    let region_scheme = match &s.region_scheme {
+        Some(id) => {
+            let scheme =
+                state.scene.region_schemes.get(id).ok_or_else(|| PrividError::UnknownRegionScheme(id.clone()))?;
+            // §7.2: soft boundaries require single-frame chunks.
+            let frame_secs = state.scene.frame_rate.frame_duration();
+            if scheme.boundary == RegionBoundary::Soft && s.chunk_secs > frame_secs + 1e-9 {
+                return Err(PrividError::SoftBoundaryChunkTooLarge { chunk_secs: s.chunk_secs, frame_secs });
+            }
+            Some(scheme.clone())
+        }
+        None => None,
+    };
+    Ok(PreparedSplit {
+        camera: s.camera.clone(),
+        state,
+        window,
+        spec,
+        mask_id,
+        mask,
+        rho_secs: rho,
+        region_scheme_id: s.region_scheme.clone(),
+        region_scheme,
+    })
+}
+
+fn run_process(
+    service: &QueryService,
+    p: &ProcessStatement,
+    split: &PreparedSplit,
+    parallelism: Parallelism,
+) -> Result<(Table, usize, privid_query::sensitivity::TableProfile), PrividError> {
+    let (processor_generation, factory) =
+        service.processor(&p.executable).ok_or_else(|| PrividError::UnknownProcessor(p.executable.clone()))?;
+    let sandbox_spec = SandboxSpec::new(p.timeout_secs, p.max_rows, p.schema.clone());
+    let cache = service.chunk_cache();
+    // Identity of this PROCESS execution: any two statements with equal keys
+    // produce identical sandbox outputs, so the raw table can be shared
+    // across queries (noise is applied at release time; see `cache` docs).
+    // Registration generations in the key stop a session racing a
+    // re-registration from repopulating the cache with outdated outputs.
+    // When caching is disabled the key (several String allocations) and the
+    // cache lock are skipped entirely.
+    let key = cache.enabled().then(|| {
+        ChunkCacheKey::new(
+            (&split.camera, split.state.generation),
+            &split.window,
+            &split.spec,
+            split.mask_id.as_ref().map(|(id, generation)| (id.as_str(), *generation)),
+            split.region_scheme_id.as_deref(),
+            (&p.executable, processor_generation),
+            p.timeout_secs,
+            p.max_rows,
+            format!("{:?}", p.schema),
+        )
+    });
+    let mut table = Table::new(p.schema.clone());
+    // `chunks_processed` counts the chunk executions the query *required*,
+    // whether they ran in the sandbox or were served from the cache — keeping
+    // QueryResult a deterministic function of (seed, query).
+    let executions;
+    match key.as_ref().and_then(|k| cache.get(k)) {
+        Some(cached) => {
+            executions = cached.len();
+            for (region, out) in cached.iter() {
+                table.append_chunk_rows(out.chunk_start_secs, *region, out.rows.clone(), p.max_rows);
+            }
+        }
+        None => {
+            // Stream the chunks through the parallel execution engine: chunks
+            // are materialized lazily in the workers and outputs come back in
+            // deterministic (chunk, region) order, so the table below is
+            // identical at every worker count — and on every cache hit.
+            let plan = ChunkPlan::new(&split.state.scene, &split.window, &split.spec, split.mask.as_ref());
+            let outputs = execute_plan(&plan, split.region_scheme.as_ref(), &*factory, &sandbox_spec, parallelism);
+            executions = outputs.len();
+            // Don't retain outputs whose camera/processor/mask registration
+            // moved on while we executed: such entries are unreachable (the
+            // new generation keys differently) and would only displace live
+            // entries when the cache is at capacity.
+            if let Some(key) = key.filter(|_| registrations_current(service, split, &p.executable, processor_generation))
+            {
+                // Retaining the outputs costs one row copy; the table and the
+                // cache each need an owner.
+                let shared = Arc::new(outputs);
+                cache.insert(key, Arc::clone(&shared));
+                for (region, out) in shared.iter() {
+                    table.append_chunk_rows(out.chunk_start_secs, *region, out.rows.clone(), p.max_rows);
+                }
+            } else {
+                // Caching disabled or registration stale: keep PR 2's
+                // by-value hot path, no copy.
+                for (region, out) in outputs {
+                    table.append_chunk_rows(out.chunk_start_secs, region, out.rows, p.max_rows);
+                }
+            }
+        }
+    }
+    let regions = split.region_scheme.as_ref().map(|s| s.len()).unwrap_or(1).max(1);
+    let profile = privid_query::sensitivity::TableProfile {
+        max_rows_per_chunk: p.max_rows,
+        chunk_secs: split.spec.chunk_secs,
+        rho_secs: split.rho_secs,
+        k: split.state.policy.k,
+        num_chunks: split.spec.chunk_count(split.window.duration()) * regions as u64,
+    };
+    Ok((table, executions, profile))
+}
+
+/// Validate a SELECT and derive its per-release sensitivities. Runs *before*
+/// budget admission: any error here (undefined table, no aggregations, a
+/// sensitivity-rule violation) must reject the query while the analyst's
+/// budget is still intact. Data-independent by construction — it looks only
+/// at the statement and the table *profiles*, never at row contents.
+fn plan_select(
+    stmt: &SelectStatement,
+    tables: &HashMap<String, Table>,
+    ctx: &SensitivityContext,
+    table_windows: &HashMap<String, (String, TimeSpan)>,
+) -> Result<Vec<f64>, PrividError> {
+    // Planned number of releases (data-independent): explicit keys, or
+    // chunk bins derived from the trusted query window.
+    let base_tables = stmt.source.base_tables();
+    for t in &base_tables {
+        if !tables.contains_key(t) {
+            return Err(PrividError::Invalid(format!("SELECT references undefined table {t}")));
+        }
+    }
+    let window = base_tables
+        .first()
+        .and_then(|t| table_windows.get(t))
+        .map(|(_, w)| *w)
+        .unwrap_or_else(|| TimeSpan::from_secs(0.0));
+    let bins = match &stmt.group_by {
+        Some(privid_query::ast::GroupBy { keys: privid_query::ast::GroupKeys::ChunkBins { bin_secs }, .. }) => {
+            (window.duration() / bin_secs).ceil().max(1.0) as usize
+        }
+        _ => 1,
+    };
+    let sensitivities = ctx.statement_sensitivities(stmt, bins)?;
+    // A SELECT with no aggregations plans zero releases; admitting it would
+    // consume budget while releasing nothing.
+    if sensitivities.is_empty() {
+        return Err(PrividError::Invalid(
+            "SELECT statement declares no aggregations, so it plans no releases".into(),
+        ));
+    }
+    Ok(sensitivities)
+}
+
+/// Aggregate the tables and apply seeded noise for one planned SELECT. Runs
+/// after admission; `sensitivities` comes from [`plan_select`].
+fn release_select(
+    stmt: &SelectStatement,
+    tables: &HashMap<String, Table>,
+    sensitivities: &[f64],
+    select_epsilon: f64,
+    mechanism: &mut LaplaceMechanism,
+) -> Result<Vec<NoisyRelease>, PrividError> {
+    let first_sensitivity = sensitivities[0];
+    let planned_releases = sensitivities.len();
+    let per_release_epsilon = select_epsilon / planned_releases as f64;
+
+    let raw: Vec<RawRelease> = execute_select(stmt, tables)?;
+    let mut out = Vec::with_capacity(raw.len());
+    for (i, release) in raw.into_iter().enumerate() {
+        let sensitivity = sensitivities.get(i).copied().unwrap_or(first_sensitivity);
+        let scale = LaplaceMechanism::scale(sensitivity, per_release_epsilon);
+        let value = match &release.value {
+            ReleaseValue::Number(n) => NoisyValue::Number(mechanism.release(*n, sensitivity, per_release_epsilon)),
+            ReleaseValue::Candidates(c) => NoisyValue::Key(
+                mechanism.release_argmax(c, sensitivity, per_release_epsilon).unwrap_or_else(|| String::from("")),
+            ),
+        };
+        out.push(NoisyRelease {
+            label: release.label,
+            group_key: release.group_key,
+            value,
+            raw: release.value,
+            sensitivity,
+            noise_scale: scale,
+            epsilon: per_release_epsilon,
+        });
+    }
+    Ok(out)
+}

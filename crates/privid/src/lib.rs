@@ -9,7 +9,8 @@
 //! * [`query`] — the query language, relational algebra and sensitivity rules.
 //! * [`sandbox`] — isolated execution of analyst chunk processors.
 //! * [`core`] — the Privid system: policies, the Laplace mechanism, the
-//!   per-frame budget ledger, the executor and the §7 optimizations.
+//!   per-frame budget ledger, the single-analyst executor, the concurrent
+//!   multi-analyst [`QueryService`] and the §7 optimizations.
 //!
 //! The most common entry points are re-exported at the crate root; see the
 //! `examples/` directory for runnable end-to-end walkthroughs.
@@ -24,8 +25,9 @@ pub use privid_sandbox as sandbox;
 pub use privid_video as video;
 
 pub use privid_core::{
-    greedy_mask_order, BudgetLedger, DegradationCurve, LaplaceMechanism, MaskPolicy, MaskingAnalysis, NoisyRelease,
-    NoisyValue, Parallelism, PrivacyPolicy, PrividError, PrividSystem, QueryResult,
+    greedy_mask_order, AdmissionController, BudgetError, BudgetLedger, ChunkCacheStats, DegradationCurve,
+    LaplaceMechanism, MaskPolicy, MaskingAnalysis, NoisyRelease, NoisyValue, Parallelism, PrivacyPolicy, PrividError,
+    PrividSystem, QueryResult, QueryService,
 };
 pub use privid_cv::{Detector, DetectorConfig, DurationEstimator, PolicyEstimator, Tracker, TrackerConfig};
 pub use privid_query::{parse_query, Aggregation, ParsedQuery, Relation, SelectStatement, Value};

@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Records a machine-readable concurrent-serving benchmark snapshot at the
+# repo root (BENCH_PR3.json), tracking the serving layer's throughput and
+# cache-hit speedup PR over PR.
+#
+# Usage:
+#   scripts/bench_concurrent.sh            # full snapshot -> BENCH_PR3.json
+#   scripts/bench_concurrent.sh --smoke    # quick CI smoke run
+#   scripts/bench_concurrent.sh --out F    # write to a different path
+set -eu
+cd "$(dirname "$0")/.."
+exec cargo run --release -p privid-bench --bin bench_pr3_concurrent -- "$@"
