@@ -1,0 +1,179 @@
+//! Machine-readable live-ingestion benchmark snapshot.
+//!
+//! Measures the PR-4 streaming path and writes the results as JSON so the
+//! repo's perf trajectory is tracked PR over PR:
+//!
+//! 1. `append_only` — a camera ingesting its whole recording as frame
+//!    batches (copy-on-write snapshot, incremental index, ledger growth).
+//! 2. `append_with_standing` — the same ingest with a standing query whose
+//!    period equals the batch size, so every append also executes one
+//!    standing-query firing; the delta to (1) is the per-firing latency.
+//! 3. `cold_pass` / `warm_pass` — closed-window analyst queries against the
+//!    fully ingested recording, cold then cache-warm: closed-window entries
+//!    stay warm across appends, so the steady-state hit rate is what a
+//!    dashboard replaying recent windows would see.
+//!
+//! Usage: `bench_pr4_streaming [--smoke] [--out PATH]` (default
+//! `BENCH_PR4.json` in the current directory; CI runs `--smoke --out /dev/null`).
+
+use privid::{
+    ChunkProcessor, FrameBatch, Parallelism, PrivacyPolicy, QueryService, Scene, SceneConfig, SceneGenerator,
+    TrackedObject, UniqueEntrantProcessor,
+};
+use std::time::Instant;
+
+/// Median wall-clock of `samples` runs of `f(sample_index)`, in ms. No
+/// warm-up run: every sample gets pre-built state via its index.
+fn median_ms(samples: usize, mut f: impl FnMut(usize)) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|s| {
+            let start = Instant::now();
+            f(s);
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+/// Partition a generated scene into frame batches by each object's first
+/// appearance.
+fn batches_of(scene: &Scene, batch_secs: f64) -> Vec<FrameBatch> {
+    let n = (scene.span.end.as_secs() / batch_secs).ceil() as usize;
+    let mut per_batch: Vec<Vec<TrackedObject>> = vec![Vec::new(); n];
+    for obj in &scene.objects {
+        let first = obj.first_seen().map(|t| t.as_secs()).unwrap_or(0.0);
+        per_batch[((first / batch_secs).floor() as usize).min(n - 1)].push(obj.clone());
+    }
+    per_batch.into_iter().map(|objects| FrameBatch::new(batch_secs, objects)).collect()
+}
+
+fn live_service(scene: &Scene) -> QueryService {
+    let service = QueryService::new().with_parallelism(Parallelism::Fixed(1));
+    service.register_live_camera("campus", scene.frame_rate, scene.frame_size, PrivacyPolicy::new(90.0, 2, 1e9));
+    service.register_processor("proc", || Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>);
+    service
+}
+
+fn standing_text(batch_secs: f64) -> String {
+    format!(
+        "SPLIT campus BEGIN 0 END {batch_secs} BY TIME 5 sec STRIDE 0 sec INTO c;
+         PROCESS c USING proc TIMEOUT 1 sec PRODUCING 20 ROWS WITH SCHEMA (count:NUMBER=0) INTO t;
+         SELECT COUNT(*) FROM t CONSUMING 0.1;"
+    )
+}
+
+/// Closed-window analyst queries over the ingested recording (three distinct
+/// PROCESS identities, as in the PR-3 bench).
+fn analyst_queries(n: usize, window_secs: f64) -> Vec<(u64, String)> {
+    (0..n)
+        .map(|q| {
+            let begin = (q % 3) as f64 * window_secs;
+            let end = begin + window_secs;
+            let query = format!(
+                "SPLIT campus BEGIN {begin} END {end} BY TIME 5 sec STRIDE 0 sec INTO c;
+                 PROCESS c USING proc TIMEOUT 1 sec PRODUCING 20 ROWS WITH SCHEMA (count:NUMBER=0) INTO t;
+                 SELECT COUNT(*) FROM t CONSUMING 0.1;"
+            );
+            (q as u64 + 1, query)
+        })
+        .collect()
+}
+
+fn run_concurrent(service: &QueryService, queries: &[(u64, String)], analysts: usize) {
+    std::thread::scope(|scope| {
+        for a in 0..analysts {
+            let service = &service;
+            let queries = &queries;
+            scope.spawn(move || {
+                for (seed, q) in queries.iter().skip(a).step_by(analysts) {
+                    service.execute_text(*seed, q).expect("bench query admitted");
+                }
+            });
+        }
+    });
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR4.json".to_string());
+
+    let (hours, batch_secs, n_queries, samples) = if smoke { (0.25, 150.0, 12, 3) } else { (0.5, 150.0, 24, 5) };
+    let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(hours).with_arrival_scale(0.3)).generate();
+    let batches = batches_of(&scene, batch_secs);
+    let n_batches = batches.len();
+    let footage_secs = n_batches as f64 * batch_secs;
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    eprintln!("bench_pr4_streaming: {n_batches} batches of {batch_secs} s, {samples} samples per mode, {cores} core(s)");
+
+    // ---- ingest: appends alone, then appends + one standing firing each ----
+    let services: Vec<QueryService> = (0..2 * samples).map(|_| live_service(&scene)).collect();
+    for svc in &services[samples..] {
+        svc.register_standing_query("per_batch", 7, &standing_text(batch_secs)).expect("standing registered");
+    }
+    let append_only_ms = median_ms(samples, |s| {
+        for b in batches.clone() {
+            services[s].append_frames("campus", b).expect("append admitted");
+        }
+    });
+    let append_standing_ms = median_ms(samples, |s| {
+        for b in batches.clone() {
+            services[samples + s].append_frames("campus", b).expect("append admitted");
+        }
+    });
+    let firing_overhead_ms = (append_standing_ms - append_only_ms).max(0.0) / n_batches as f64;
+
+    // ---- closed-window cache: cold pass vs warm pass on an ingested service ----
+    let queries = analyst_queries(n_queries, batch_secs);
+    let service = live_service(&scene);
+    for b in batches.clone() {
+        service.append_frames("campus", b).expect("append admitted");
+    }
+    let cold = {
+        let start = Instant::now();
+        run_concurrent(&service, &queries, 4);
+        start.elapsed().as_secs_f64() * 1e3
+    };
+    let warm = median_ms(samples, |_| run_concurrent(&service, &queries, 4));
+    let hit_rate = {
+        let s = service.cache_stats();
+        s.hits as f64 / (s.hits + s.misses).max(1) as f64
+    };
+
+    let json = format!(
+        "{{\n  \"pr\": 4,\n  \"bench\": \"live ingestion & standing queries\",\n  \"available_cores\": {cores},\n  \
+         \"config\": {{\"video\": \"campus\", \"hours\": {hours}, \"batch_secs\": {batch_secs}, \
+         \"batches\": {n_batches}, \"queries\": {n_queries}, \"samples\": {samples}, \"smoke\": {smoke}}},\n  \
+         \"ingest\": [\n    \
+         {{\"mode\": \"append_only\", \"median_ms\": {append_only_ms:.3}, \"batches_per_sec\": {:.1}, \
+         \"footage_secs_per_sec\": {:.0}}},\n    \
+         {{\"mode\": \"append_with_standing\", \"median_ms\": {append_standing_ms:.3}, \"batches_per_sec\": {:.1}, \
+         \"footage_secs_per_sec\": {:.0}}}\n  ],\n  \
+         \"standing\": {{\"firings_per_ingest\": {n_batches}, \"latency_ms_per_firing\": {firing_overhead_ms:.3}}},\n  \
+         \"cache\": [\n    \
+         {{\"mode\": \"cold_pass\", \"median_ms\": {cold:.3}}},\n    \
+         {{\"mode\": \"warm_pass\", \"median_ms\": {warm:.3}}}\n  ],\n  \
+         \"closed_window_cache_hit_rate\": {hit_rate:.3},\n  \
+         \"speedups\": {{\"warm_cache_vs_cold_pass\": {:.2}}}\n}}\n",
+        n_batches as f64 / (append_only_ms / 1e3),
+        footage_secs / (append_only_ms / 1e3),
+        n_batches as f64 / (append_standing_ms / 1e3),
+        footage_secs / (append_standing_ms / 1e3),
+        cold / warm.max(1e-9),
+    );
+
+    if out_path == "/dev/null" {
+        print!("{json}");
+    } else {
+        std::fs::write(&out_path, &json).expect("write bench snapshot");
+        eprintln!("bench_pr4_streaming: wrote {out_path}");
+        print!("{json}");
+    }
+}

@@ -40,6 +40,30 @@ pub enum BudgetError {
         /// Duration of the recorded timeline, seconds.
         duration_secs: f64,
     },
+    /// The query window starts at or past a *live* recording's high-watermark.
+    /// Unlike [`BudgetError::OutsideRecording`] this is retryable: the footage
+    /// does not exist *yet*, and the camera is still recording — the analyst
+    /// should re-submit once the live edge has advanced past the window.
+    BeyondLiveEdge {
+        /// Requested window start, seconds.
+        start_secs: f64,
+        /// Requested window end, seconds.
+        end_secs: f64,
+        /// The live edge (footage exists strictly before it), seconds.
+        live_edge_secs: f64,
+    },
+}
+
+/// The ledger state that can change over its life: the per-slot budgets and —
+/// for live recordings — the recorded duration, which grows with every
+/// appended frame batch. One mutex guards both so an admission never sees a
+/// duration without its slots (or vice versa).
+#[derive(Debug, Clone)]
+struct LedgerState {
+    /// Budget remaining per slot.
+    slots: Vec<f64>,
+    /// Duration of the recorded timeline this ledger covers, in seconds.
+    duration_secs: f64,
 }
 
 /// Per-frame budget state for one camera. Budgets are tracked at a fixed
@@ -48,14 +72,16 @@ pub enum BudgetError {
 /// whole seconds.
 #[derive(Debug)]
 pub struct BudgetLedger {
-    /// Budget remaining per slot.
-    slots: Mutex<Vec<f64>>,
+    state: Mutex<LedgerState>,
     /// Slot duration in seconds.
     slot_secs: f64,
     /// Initial per-frame budget.
     initial: f64,
-    /// Duration of the recorded timeline this ledger covers, in seconds.
-    duration_secs: f64,
+    /// True for a live recording: the timeline grows via [`Self::extend_to`],
+    /// new slots are born with the full initial budget, and windows past the
+    /// edge are [`BudgetError::BeyondLiveEdge`] (retryable) rather than
+    /// [`BudgetError::OutsideRecording`].
+    live: bool,
 }
 
 impl BudgetLedger {
@@ -72,7 +98,21 @@ impl BudgetLedger {
         // `duration_secs` stays the *true* recorded duration (only the slot
         // count is rounded up): a 0.4 s recording at 1 s resolution must still
         // reject a window over [0.5, 0.9), where no footage exists.
-        BudgetLedger { slots: Mutex::new(vec![initial; n]), slot_secs, initial, duration_secs: duration_secs.max(0.0) }
+        BudgetLedger {
+            state: Mutex::new(LedgerState { slots: vec![initial; n], duration_secs: duration_secs.max(0.0) }),
+            slot_secs,
+            initial,
+            live: false,
+        }
+    }
+
+    /// Create the ledger of a live recording, at one-second resolution: zero
+    /// footage to start with, growing by [`Self::extend_to`] as the camera
+    /// appends batches.
+    pub fn new_live(initial: f64) -> Self {
+        let mut ledger = Self::with_resolution(0.0, initial, 1.0);
+        ledger.live = true;
+        ledger
     }
 
     /// The initial per-frame budget.
@@ -80,34 +120,73 @@ impl BudgetLedger {
         self.initial
     }
 
-    /// The recorded duration this ledger covers, in seconds.
-    pub fn duration_secs(&self) -> Seconds {
-        self.duration_secs
+    /// True if this ledger tracks a live (still-recording) timeline.
+    pub fn is_live(&self) -> bool {
+        self.live
     }
 
-    /// Check that `span` touches the recorded timeline at all. Windows that
-    /// merely *extend past* an edge are fine (they are clamped), and an empty
-    /// window at a recorded position keeps its degenerate zero-chunk
-    /// semantics; windows lying entirely before or after the recording are a
-    /// [`BudgetError::OutsideRecording`] error.
-    pub fn validate_window(&self, span: &TimeSpan) -> Result<(), BudgetError> {
+    /// The recorded duration this ledger covers, in seconds. For a live
+    /// ledger this is the current live edge.
+    pub fn duration_secs(&self) -> Seconds {
+        self.state.lock().expect("budget ledger lock poisoned").duration_secs
+    }
+
+    /// Grow a live ledger's timeline to `new_duration_secs` (monotonic).
+    /// Frames that come into existence are born with the full initial budget
+    /// — Privid's budget refills over the *timeline*, not over wall time.
+    pub fn extend_to(&self, new_duration_secs: Seconds) {
+        assert!(self.live, "only live ledgers grow; re-register a fixed recording instead");
+        let mut state = self.state.lock().expect("budget ledger lock poisoned");
+        assert!(
+            new_duration_secs >= state.duration_secs,
+            "a recording timeline only ever grows ({} -> {new_duration_secs})",
+            state.duration_secs
+        );
+        let n = ((new_duration_secs / self.slot_secs).ceil().max(1.0)) as usize;
+        if n > state.slots.len() {
+            state.slots.resize(n, self.initial);
+        }
+        state.duration_secs = new_duration_secs;
+    }
+
+    /// Validate `span` against the state, without locking. See
+    /// [`Self::validate_window`] for the semantics.
+    fn validate_in(&self, state: &LedgerState, span: &TimeSpan) -> Result<(), BudgetError> {
         let (start, end) = (span.start.as_secs(), span.end.as_secs());
-        if start >= self.duration_secs || end < 0.0 || (start < 0.0 && end <= 0.0) {
-            return Err(BudgetError::OutsideRecording {
-                start_secs: start,
-                end_secs: end,
-                duration_secs: self.duration_secs,
+        if end < 0.0 || (start < 0.0 && end <= 0.0) {
+            return Err(BudgetError::OutsideRecording { start_secs: start, end_secs: end, duration_secs: state.duration_secs });
+        }
+        // The recorded part of the window begins at max(start, 0): a window
+        // like [-5, 0.5) on an empty live recording holds no footage at all,
+        // and must not slip past the edge check on its negative start.
+        if start.max(0.0) >= state.duration_secs {
+            return Err(if self.live {
+                BudgetError::BeyondLiveEdge { start_secs: start, end_secs: end, live_edge_secs: state.duration_secs }
+            } else {
+                BudgetError::OutsideRecording { start_secs: start, end_secs: end, duration_secs: state.duration_secs }
             });
         }
         Ok(())
     }
 
-    /// Slot indices covered by `span`, given `n` total slots. Pure so callers
-    /// can compute ranges under a single lock acquisition. Fails when the
-    /// span is fully disjoint from the recording; partially overlapping spans
-    /// are clamped to the recorded edge.
-    fn slot_range(&self, span: &TimeSpan, n: usize) -> Result<(usize, usize), BudgetError> {
-        self.validate_window(span)?;
+    /// Check that `span` touches the recorded timeline at all. Windows that
+    /// merely *extend past* an edge are fine (they are clamped), and an empty
+    /// window at a recorded position keeps its degenerate zero-chunk
+    /// semantics. Windows lying entirely before time zero or past the end of
+    /// a fixed recording are [`BudgetError::OutsideRecording`]; windows
+    /// starting at or past a live recording's edge are the retryable
+    /// [`BudgetError::BeyondLiveEdge`].
+    pub fn validate_window(&self, span: &TimeSpan) -> Result<(), BudgetError> {
+        let state = self.state.lock().expect("budget ledger lock poisoned");
+        self.validate_in(&state, span)
+    }
+
+    /// Slot indices covered by `span`, given the current state. Fails when
+    /// the span is fully disjoint from the recording; partially overlapping
+    /// spans are clamped to the recorded edge.
+    fn slot_range(&self, state: &LedgerState, span: &TimeSpan) -> Result<(usize, usize), BudgetError> {
+        self.validate_in(state, span)?;
+        let n = state.slots.len();
         let lo = ((span.start.as_secs() / self.slot_secs).floor().max(0.0) as usize).min(n.saturating_sub(1));
         let hi = ((span.end.as_secs() / self.slot_secs).ceil() as usize).clamp(lo + 1, n);
         Ok((lo, hi))
@@ -115,9 +194,9 @@ impl BudgetLedger {
 
     /// Minimum remaining budget over a span.
     pub fn min_remaining(&self, span: &TimeSpan) -> Result<f64, BudgetError> {
-        let slots = self.slots.lock().expect("budget ledger lock poisoned");
-        let (lo, hi) = self.slot_range(span, slots.len())?;
-        Ok(slots[lo..hi].iter().cloned().fold(f64::INFINITY, f64::min))
+        let state = self.state.lock().expect("budget ledger lock poisoned");
+        let (lo, hi) = self.slot_range(&state, span)?;
+        Ok(state.slots[lo..hi].iter().cloned().fold(f64::INFINITY, f64::min))
     }
 
     /// Algorithm 1, lines 1–5: admit the query iff every slot in
@@ -127,18 +206,17 @@ impl BudgetLedger {
     /// ledger can never jointly over-spend a slot.
     pub fn check_and_debit(&self, window: &TimeSpan, rho_margin: Seconds, epsilon: f64) -> Result<(), BudgetError> {
         let expanded = window.expand(rho_margin);
-        let mut slots = self.slots.lock().expect("budget ledger lock poisoned");
-        let n = slots.len();
+        let mut state = self.state.lock().expect("budget ledger lock poisoned");
         // Validate the *query* window (the expanded window is a superset, so
         // it overlaps the recording whenever the query window does).
-        let (wlo, whi) = self.slot_range(window, n)?;
-        let (elo, ehi) = self.slot_range(&expanded, n)?;
-        let min = slots[elo..ehi].iter().cloned().fold(f64::INFINITY, f64::min);
+        let (wlo, whi) = self.slot_range(&state, window)?;
+        let (elo, ehi) = self.slot_range(&state, &expanded)?;
+        let min = state.slots[elo..ehi].iter().cloned().fold(f64::INFINITY, f64::min);
         // Tolerate floating-point accumulation at the boundary.
         if min + 1e-9 < epsilon {
             return Err(BudgetError::Insufficient { available: min });
         }
-        for s in &mut slots[wlo..whi] {
+        for s in &mut state.slots[wlo..whi] {
             *s -= epsilon;
         }
         Ok(())
@@ -148,10 +226,9 @@ impl BudgetLedger {
     /// window must have been debited `epsilon` beforehand). Private to the
     /// budget module — only [`AdmissionController`] may unwind, under its gate.
     fn credit(&self, window: &TimeSpan, epsilon: f64) {
-        let mut slots = self.slots.lock().expect("budget ledger lock poisoned");
-        let n = slots.len();
-        if let Ok((lo, hi)) = self.slot_range(window, n) {
-            for s in &mut slots[lo..hi] {
+        let mut state = self.state.lock().expect("budget ledger lock poisoned");
+        if let Ok((lo, hi)) = self.slot_range(&state, window) {
+            for s in &mut state.slots[lo..hi] {
                 *s += epsilon;
             }
         }
@@ -159,19 +236,19 @@ impl BudgetLedger {
 
     /// Remaining budget at a specific time (seconds).
     pub fn remaining_at(&self, secs: f64) -> f64 {
-        let slots = self.slots.lock().expect("budget ledger lock poisoned");
-        let idx = ((secs / self.slot_secs).floor().max(0.0) as usize).min(slots.len() - 1);
-        slots[idx]
+        let state = self.state.lock().expect("budget ledger lock poisoned");
+        let idx = ((secs / self.slot_secs).floor().max(0.0) as usize).min(state.slots.len() - 1);
+        state.slots[idx]
     }
 }
 
 impl Clone for BudgetLedger {
     fn clone(&self) -> Self {
         BudgetLedger {
-            slots: Mutex::new(self.slots.lock().expect("budget ledger lock poisoned").clone()),
+            state: Mutex::new(self.state.lock().expect("budget ledger lock poisoned").clone()),
             slot_secs: self.slot_secs,
             initial: self.initial,
-            duration_secs: self.duration_secs,
+            live: self.live,
         }
     }
 }
@@ -405,6 +482,89 @@ mod tests {
         let spend_b = hits_b.load(Ordering::Relaxed) as f64 * 0.2;
         let expected = (1.0 - spend_a).min(1.0 - spend_b);
         assert!((available - expected).abs() < 1e-9, "margin probe sees both families: {available} vs {expected}");
+    }
+
+    #[test]
+    fn live_ledger_grows_and_new_frames_are_born_with_full_budget() {
+        let ledger = BudgetLedger::new_live(1.0);
+        assert!(ledger.is_live());
+        assert_eq!(ledger.duration_secs(), 0.0);
+        // Nothing recorded yet: every window is beyond the live edge.
+        assert!(matches!(
+            ledger.check_and_debit(&TimeSpan::between_secs(0.0, 10.0), 0.0, 0.1),
+            Err(BudgetError::BeyondLiveEdge { .. })
+        ));
+        ledger.extend_to(100.0);
+        ledger.check_and_debit(&TimeSpan::between_secs(0.0, 100.0), 0.0, 0.4).unwrap();
+        assert!((ledger.remaining_at(50.0) - 0.6).abs() < 1e-9);
+        // A window starting at the edge is the *retryable* error, with the
+        // edge reported so the analyst knows when to come back.
+        match ledger.check_and_debit(&TimeSpan::between_secs(100.0, 200.0), 0.0, 0.1) {
+            Err(BudgetError::BeyondLiveEdge { start_secs, end_secs, live_edge_secs }) => {
+                assert_eq!((start_secs, end_secs, live_edge_secs), (100.0, 200.0, 100.0));
+            }
+            other => panic!("expected BeyondLiveEdge, got {other:?}"),
+        }
+        // …while a window before time zero will never exist on any timeline.
+        assert!(matches!(
+            ledger.check_and_debit(&TimeSpan::between_secs(-20.0, 0.0), 0.0, 0.1),
+            Err(BudgetError::OutsideRecording { .. })
+        ));
+        // New footage is born with the full ε; old slots keep their debits.
+        ledger.extend_to(200.0);
+        ledger.check_and_debit(&TimeSpan::between_secs(100.0, 200.0), 0.0, 0.1).unwrap();
+        assert!((ledger.remaining_at(150.0) - 0.9).abs() < 1e-9);
+        assert!((ledger.remaining_at(50.0) - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn live_ledger_partial_overlap_debits_only_recorded_slots() {
+        let ledger = BudgetLedger::new_live(1.0);
+        ledger.extend_to(100.0);
+        // A window overhanging the live edge is clamped, exactly like a fixed
+        // recording clamps windows past its end.
+        ledger.check_and_debit(&TimeSpan::between_secs(50.0, 300.0), 0.0, 0.5).unwrap();
+        assert!((ledger.remaining_at(99.0) - 0.5).abs() < 1e-9);
+        assert!((ledger.remaining_at(10.0) - 1.0).abs() < 1e-9);
+        ledger.extend_to(300.0);
+        assert!((ledger.remaining_at(150.0) - 1.0).abs() < 1e-9, "slots born after the debit carry full budget");
+    }
+
+    #[test]
+    fn negative_start_window_on_an_empty_live_ledger_is_beyond_the_edge() {
+        // Regression (review): [-5, 0.5) used to slip past the edge check on
+        // its negative start and debit the phantom slot of a zero-footage
+        // ledger, releasing pure noise as a successful query.
+        let ledger = BudgetLedger::new_live(1.0);
+        assert!(matches!(
+            ledger.check_and_debit(&TimeSpan::between_secs(-5.0, 0.5), 0.0, 0.25),
+            Err(BudgetError::BeyondLiveEdge { .. })
+        ));
+        assert!((ledger.remaining_at(0.0) - 1.0).abs() < 1e-9, "phantom slot untouched");
+        // Once footage exists, the window clamps onto it like any partial overlap.
+        ledger.extend_to(10.0);
+        ledger.check_and_debit(&TimeSpan::between_secs(-5.0, 0.5), 0.0, 0.25).unwrap();
+        assert!((ledger.remaining_at(0.0) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractional_extension_shares_the_partial_slot() {
+        let ledger = BudgetLedger::new_live(1.0);
+        ledger.extend_to(0.4);
+        ledger.check_and_debit(&TimeSpan::between_secs(0.0, 0.4), 0.0, 0.25).unwrap();
+        // Growing within the same one-second slot mints no fresh budget.
+        ledger.extend_to(0.8);
+        assert!((ledger.remaining_at(0.6) - 0.75).abs() < 1e-9);
+        assert!(matches!(
+            ledger.validate_window(&TimeSpan::between_secs(0.9, 1.5)),
+            Err(BudgetError::BeyondLiveEdge { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "only live ledgers grow")]
+    fn fixed_ledgers_refuse_to_grow() {
+        BudgetLedger::new(100.0, 1.0).extend_to(200.0);
     }
 
     #[test]

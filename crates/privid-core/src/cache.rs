@@ -20,10 +20,26 @@
 //! chunk spec, mask, region scheme, processor name, and the sandbox spec
 //! (timeout / max rows / schema). Re-registering a camera, mask or processor
 //! under an existing name invalidates the affected entries.
+//!
+//! **The live-edge invalidation rule.** For a *live* camera the recording is
+//! append-only, which splits cached entries into two classes:
+//!
+//! * **Closed-window entries** — the PROCESS window ended at or before the
+//!   live edge when the entry was computed. Footage before the edge never
+//!   changes, so these entries are valid *forever*: appends leave them warm,
+//!   and analysts replaying yesterday's windows keep hitting them.
+//! * **Live-edge-overlapping entries** — the window extended past the edge,
+//!   so the trailing chunks were (partially) empty. Such entries are tagged
+//!   with the live edge they were computed at ([`ChunkCacheKey`]'s
+//!   `live_edge_micros`), which makes them unreachable the moment the edge
+//!   advances — a session that resolved the camera after an append computes a
+//!   different tag, so a racing insert of an outdated table can never be
+//!   served to it. [`ChunkResultCache::invalidate_live_edge`] (called on every
+//!   append) then reclaims their space eagerly.
 
 use privid_sandbox::SandboxedOutput;
 use privid_video::{ChunkSpec, Seconds, TimeSpan};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -58,6 +74,13 @@ pub struct ChunkCacheKey {
     timeout_bits: u64,
     max_rows: usize,
     schema: String,
+    /// Live-edge tag: `None` for fixed recordings and for windows that were
+    /// already closed (fully recorded) when the entry was computed; for a
+    /// window overlapping a live camera's edge, the edge it was computed at.
+    /// Closed-window keys are therefore stable across appends (entries stay
+    /// warm), while overlap keys become unreachable as soon as the edge moves
+    /// — see the module docs for the full invalidation rule.
+    live_edge_micros: Option<i64>,
 }
 
 impl ChunkCacheKey {
@@ -73,6 +96,7 @@ impl ChunkCacheKey {
         timeout_secs: Seconds,
         max_rows: usize,
         schema_repr: String,
+        live_edge_micros: Option<i64>,
     ) -> Self {
         ChunkCacheKey {
             camera: camera.0.to_string(),
@@ -86,6 +110,7 @@ impl ChunkCacheKey {
             timeout_bits: timeout_secs.to_bits(),
             max_rows,
             schema: schema_repr,
+            live_edge_micros,
         }
     }
 }
@@ -103,6 +128,32 @@ pub struct ChunkCacheStats {
     pub entries: usize,
 }
 
+/// The map plus its insertion-order index, guarded by one mutex.
+///
+/// `order` records `(stamp, key)` in insertion order. Invalidation only
+/// removes from `map`, leaving *tombstones* in the deque; eviction pops from
+/// the front, skipping any tombstone (key gone, or re-inserted under a newer
+/// stamp). Each deque element is pushed once and popped at most once, so
+/// eviction is amortized O(1) — the old implementation re-scanned the whole
+/// map under the mutex on every insert at capacity.
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<ChunkCacheKey, (u64, CachedOutputs)>,
+    order: VecDeque<(u64, ChunkCacheKey)>,
+}
+
+impl CacheInner {
+    /// Drop order records whose entry is gone (or re-inserted under a newer
+    /// stamp). Called after every invalidation: eviction only drains the
+    /// deque once the *map* is at capacity, so a workload that invalidates
+    /// faster than it fills — a live camera's append loop is exactly that —
+    /// would otherwise grow `order` without bound.
+    fn prune_order(&mut self) {
+        let CacheInner { map, order } = self;
+        order.retain(|(stamp, key)| map.get(key).is_some_and(|(s, _)| s == stamp));
+    }
+}
+
 /// A bounded, thread-safe map from PROCESS identity to sandbox outputs.
 ///
 /// Entries are evicted oldest-insertion-first once `max_entries` is reached —
@@ -110,7 +161,7 @@ pub struct ChunkCacheStats {
 /// analysts re-processing the same windows, not to be a long-lived store.
 #[derive(Debug)]
 pub struct ChunkResultCache {
-    entries: Mutex<HashMap<ChunkCacheKey, (u64, CachedOutputs)>>,
+    entries: Mutex<CacheInner>,
     /// Monotonic insertion stamp, for oldest-first eviction.
     next_stamp: AtomicU64,
     max_entries: usize,
@@ -130,7 +181,7 @@ impl ChunkResultCache {
     /// `max_entries == 0` disables caching (every lookup misses).
     pub fn with_capacity(max_entries: usize) -> Self {
         ChunkResultCache {
-            entries: Mutex::new(HashMap::new()),
+            entries: Mutex::new(CacheInner::default()),
             next_stamp: AtomicU64::new(0),
             max_entries,
             hits: AtomicU64::new(0),
@@ -147,8 +198,8 @@ impl ChunkResultCache {
 
     /// Look up the outputs for a PROCESS identity.
     pub fn get(&self, key: &ChunkCacheKey) -> Option<CachedOutputs> {
-        let entries = self.entries.lock().expect("chunk cache lock poisoned");
-        match entries.get(key) {
+        let inner = self.entries.lock().expect("chunk cache lock poisoned");
+        match inner.map.get(key) {
             Some((_, outputs)) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(Arc::clone(outputs))
@@ -172,39 +223,64 @@ impl ChunkResultCache {
         if self.max_entries == 0 {
             return;
         }
-        let mut entries = self.entries.lock().expect("chunk cache lock poisoned");
-        if entries.contains_key(&key) {
+        let mut inner = self.entries.lock().expect("chunk cache lock poisoned");
+        if inner.map.contains_key(&key) {
             return;
         }
-        if entries.len() >= self.max_entries {
-            if let Some(oldest) = entries.iter().min_by_key(|(_, (stamp, _))| *stamp).map(|(k, _)| k.clone()) {
-                entries.remove(&oldest);
+        while inner.map.len() >= self.max_entries {
+            // Oldest-first via the insertion-order deque, skipping tombstones
+            // left behind by invalidation (key gone) or re-insertion after
+            // invalidation (stamp moved on).
+            let Some((stamp, oldest)) = inner.order.pop_front() else { break };
+            if inner.map.get(&oldest).is_some_and(|(s, _)| *s == stamp) {
+                inner.map.remove(&oldest);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
         let stamp = self.next_stamp.fetch_add(1, Ordering::Relaxed);
-        entries.insert(key, (stamp, outputs));
+        inner.order.push_back((stamp, key.clone()));
+        inner.map.insert(key, (stamp, outputs));
     }
 
     /// Drop every entry for a camera (the camera was re-registered, so cached
     /// outputs may no longer match the footage).
     pub fn invalidate_camera(&self, camera: &str) {
-        self.entries.lock().expect("chunk cache lock poisoned").retain(|k, _| k.camera != camera);
+        let mut inner = self.entries.lock().expect("chunk cache lock poisoned");
+        inner.map.retain(|k, _| k.camera != camera);
+        inner.prune_order();
     }
 
     /// Drop the entries produced under one of a camera's masks (that mask was
     /// re-published; unmasked entries and other masks' entries stay warm).
     pub fn invalidate_mask(&self, camera: &str, mask_id: &str) {
-        self.entries
-            .lock()
-            .expect("chunk cache lock poisoned")
-            .retain(|k, _| k.camera != camera || !matches!(&k.mask, Some((id, _)) if id == mask_id));
+        let mut inner = self.entries.lock().expect("chunk cache lock poisoned");
+        inner.map.retain(|k, _| k.camera != camera || !matches!(&k.mask, Some((id, _)) if id == mask_id));
+        inner.prune_order();
     }
 
     /// Drop every entry produced by a processor (it was re-registered under
     /// the same name, possibly with different behaviour).
     pub fn invalidate_processor(&self, processor: &str) {
-        self.entries.lock().expect("chunk cache lock poisoned").retain(|k, _| k.processor != processor);
+        let mut inner = self.entries.lock().expect("chunk cache lock poisoned");
+        inner.map.retain(|k, _| k.processor != processor);
+        inner.prune_order();
+    }
+
+    /// A live camera's edge advanced: drop its entries whose PROCESS window
+    /// overlapped the live edge (their trailing chunks were computed against
+    /// footage that has since come into existence). Closed-window entries are
+    /// final and stay warm — see the module docs for why this is safe.
+    pub fn invalidate_live_edge(&self, camera: &str) {
+        let mut inner = self.entries.lock().expect("chunk cache lock poisoned");
+        inner.map.retain(|k, _| k.camera != camera || k.live_edge_micros.is_none());
+        inner.prune_order();
+    }
+
+    /// Number of insertion-order records currently held (test instrumentation
+    /// for the boundedness of the eviction index).
+    #[cfg(test)]
+    fn order_len(&self) -> usize {
+        self.entries.lock().expect("chunk cache lock poisoned").order.len()
     }
 
     /// Current counters.
@@ -213,7 +289,7 @@ impl ChunkResultCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            entries: self.entries.lock().expect("chunk cache lock poisoned").len(),
+            entries: self.entries.lock().expect("chunk cache lock poisoned").map.len(),
         }
     }
 }
@@ -233,6 +309,22 @@ mod tests {
             1.0,
             20,
             "(count:NUMBER=0)".into(),
+            None,
+        )
+    }
+
+    fn live_key(camera: &str, start: f64, edge_secs: f64) -> ChunkCacheKey {
+        ChunkCacheKey::new(
+            (camera, 0),
+            &TimeSpan::between_secs(start, start + 100.0),
+            &ChunkSpec::contiguous(5.0),
+            None,
+            None,
+            ("p", 0),
+            1.0,
+            20,
+            "(count:NUMBER=0)".into(),
+            Some((edge_secs * 1e6) as i64),
         )
     }
 
@@ -264,6 +356,7 @@ mod tests {
             1.0,
             20,
             "(count:NUMBER=0)".into(),
+            None,
         );
         assert!(cache.get(&masked).is_none(), "different mask");
         let new_generation = ChunkCacheKey::new(
@@ -276,8 +369,10 @@ mod tests {
             1.0,
             20,
             "(count:NUMBER=0)".into(),
+            None,
         );
         assert!(cache.get(&new_generation).is_none(), "re-registered camera generation");
+        assert!(cache.get(&live_key("campus", 0.0, 40.0)).is_none(), "live-edge tag is part of the identity");
     }
 
     #[test]
@@ -304,6 +399,66 @@ mod tests {
         cache.invalidate_processor("q");
         assert!(cache.get(&key("highway", 0.0, "q")).is_none());
         assert!(cache.get(&key("highway", 0.0, "p")).is_some());
+    }
+
+    #[test]
+    fn eviction_after_invalidation_removes_the_oldest_resident() {
+        // Invalidation removes entries out of insertion order; a later insert
+        // at capacity must still evict the oldest *resident* entry, and the
+        // invalidated entry's vanishing must not count as an eviction.
+        let cache = ChunkResultCache::with_capacity(2);
+        cache.insert(key("a", 0.0, "p"), Arc::new(Vec::new()));
+        cache.insert(key("b", 0.0, "p"), Arc::new(Vec::new()));
+        cache.invalidate_camera("a");
+        assert_eq!(cache.stats().entries, 1);
+        cache.insert(key("c", 0.0, "p"), Arc::new(Vec::new()));
+        cache.insert(key("d", 0.0, "p"), Arc::new(Vec::new()));
+        assert!(cache.get(&key("b", 0.0, "p")).is_none(), "oldest resident evicted");
+        assert!(cache.get(&key("c", 0.0, "p")).is_some());
+        assert!(cache.get(&key("d", 0.0, "p")).is_some());
+        assert_eq!(cache.stats().evictions, 1, "invalidation is not an eviction");
+    }
+
+    #[test]
+    fn reinserted_key_ranks_by_its_new_insertion_time() {
+        let cache = ChunkResultCache::with_capacity(2);
+        cache.insert(key("a", 0.0, "p"), Arc::new(Vec::new()));
+        cache.insert(key("b", 0.0, "p"), Arc::new(Vec::new()));
+        cache.invalidate_camera("a");
+        // Re-insert "a": it is now the *newest* entry, so the next insert at
+        // capacity must evict "b", not "a".
+        cache.insert(key("a", 0.0, "p"), Arc::new(Vec::new()));
+        cache.insert(key("c", 0.0, "p"), Arc::new(Vec::new()));
+        assert!(cache.get(&key("a", 0.0, "p")).is_some(), "re-insert survives");
+        assert!(cache.get(&key("b", 0.0, "p")).is_none());
+        assert!(cache.get(&key("c", 0.0, "p")).is_some());
+    }
+
+    #[test]
+    fn order_index_stays_bounded_under_invalidation_churn() {
+        // Regression (review): a live camera's append loop — insert an
+        // overlap entry, invalidate it, repeat — never reaches the capacity
+        // eviction path, so tombstones used to accumulate in the order deque
+        // without bound.
+        let cache = ChunkResultCache::with_capacity(8);
+        for round in 0..100 {
+            cache.insert(live_key("live", round as f64 * 100.0, round as f64 + 1.0), Arc::new(Vec::new()));
+            cache.invalidate_live_edge("live");
+        }
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.order_len(), 0, "invalidation must reclaim its order records");
+    }
+
+    #[test]
+    fn live_edge_invalidation_keeps_closed_windows_warm() {
+        let cache = ChunkResultCache::with_capacity(8);
+        cache.insert(key("live", 0.0, "p"), Arc::new(Vec::new())); // closed window
+        cache.insert(live_key("live", 100.0, 150.0), Arc::new(Vec::new())); // overlaps the edge
+        cache.insert(live_key("other", 0.0, 50.0), Arc::new(Vec::new()));
+        cache.invalidate_live_edge("live");
+        assert!(cache.get(&key("live", 0.0, "p")).is_some(), "closed-window entry stays warm");
+        assert!(cache.get(&live_key("live", 100.0, 150.0)).is_none(), "overlap entry dropped");
+        assert!(cache.get(&live_key("other", 0.0, 50.0)).is_some(), "other cameras untouched");
     }
 
     #[test]

@@ -27,6 +27,21 @@ pub enum PrividError {
         /// Duration of the camera's recording, seconds.
         duration_secs: f64,
     },
+    /// The query window starts at or past a live camera's high-watermark: the
+    /// footage does not exist *yet*. Unlike
+    /// [`PrividError::WindowOutsideRecording`] this is retryable — the camera
+    /// is still recording, and the same query will succeed once the live edge
+    /// has advanced past the window. No budget is consumed.
+    BeyondLiveEdge {
+        /// The live camera.
+        camera: String,
+        /// Requested window start, seconds.
+        start_secs: f64,
+        /// Requested window end, seconds.
+        end_secs: f64,
+        /// The camera's live edge (footage exists strictly before it), seconds.
+        live_edge_secs: f64,
+    },
     /// The per-frame privacy budget is insufficient for this query (Alg. 1).
     BudgetExhausted {
         /// Camera whose budget is insufficient.
@@ -59,6 +74,11 @@ impl fmt::Display for PrividError {
             PrividError::WindowOutsideRecording { camera, start_secs, end_secs, duration_secs } => write!(
                 f,
                 "window [{start_secs}, {end_secs}) s lies outside camera {camera}'s recording ({duration_secs} s)"
+            ),
+            PrividError::BeyondLiveEdge { camera, start_secs, end_secs, live_edge_secs } => write!(
+                f,
+                "window [{start_secs}, {end_secs}) s is beyond camera {camera}'s live edge ({live_edge_secs} s); \
+                 retry once the recording has caught up"
             ),
             PrividError::BudgetExhausted { camera, requested, available } => {
                 write!(f, "privacy budget exhausted for camera {camera}: requested {requested}, available {available}")

@@ -125,6 +125,33 @@ impl PrividSystem {
         self.service.register_camera(name, scene, policy);
     }
 
+    /// Register a live camera whose footage arrives via
+    /// [`PrividSystem::append_frames`].
+    pub fn register_live_camera(
+        &mut self,
+        name: impl Into<String>,
+        frame_rate: privid_video::FrameRate,
+        frame_size: privid_video::FrameSize,
+        policy: PrivacyPolicy,
+    ) {
+        self.service.register_live_camera(name, frame_rate, frame_size, policy);
+    }
+
+    /// Append freshly recorded footage to a live camera (see
+    /// [`QueryService::append_frames`]).
+    pub fn append_frames(
+        &mut self,
+        camera: &str,
+        batch: privid_video::FrameBatch,
+    ) -> Result<crate::service::AppendOutcome, PrividError> {
+        self.service.append_frames(camera, batch)
+    }
+
+    /// The recorded duration of a camera — a live camera's high-watermark.
+    pub fn live_edge(&self, camera: &str) -> Option<f64> {
+        self.service.live_edge(camera)
+    }
+
     /// Publish a mask (and its reduced ρ) for a camera (§7.1).
     pub fn register_mask(
         &mut self,

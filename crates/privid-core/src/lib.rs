@@ -75,7 +75,7 @@ pub use degradation::{detection_probability_bound, DegradationCurve};
 pub use error::PrividError;
 pub use executor::{NoisyRelease, NoisyValue, PrividSystem, QueryResult};
 pub use parallel::{execute_plan, Parallelism};
-pub use service::QueryService;
+pub use service::{AppendOutcome, QueryService, StandingFiring};
 pub use masking::{greedy_mask_order, MaskPlan, MaskingAnalysis};
 pub use mechanism::{laplace_noise, report_noisy_max, LaplaceMechanism};
 pub use policy::{MaskPolicy, PrivacyPolicy};

@@ -53,12 +53,18 @@ impl MaskPlan {
     }
 }
 
-/// One private object's occupancy: its index in the scene, per-cell seconds
-/// of presence, and total presence.
-type ObjectOccupancy = (usize, HashMap<(u32, u32), f64>, Seconds);
+/// One private object's occupancy: its index in the scene plus, for each of
+/// its presence segments, per-cell seconds of presence.
+///
+/// Segments are kept separate because the paper's ρ — and therefore the
+/// persistence this module must reduce — bounds the longest single
+/// *contiguous* appearance, not the object's lifetime total: summing a
+/// person's morning and evening visits into one number would make Algorithm 2
+/// chase (and report) a persistence no single event actually has.
+type ObjectOccupancy = (usize, Vec<HashMap<(u32, u32), f64>>);
 
-/// Internal per-object occupancy: which cells each object's longest-run
-/// trajectory touches, with per-cell frame counts.
+/// Internal per-object, per-segment occupancy: which cells each appearance
+/// touches, with per-cell presence seconds.
 fn object_cell_occupancy(scene: &Scene, grid: &GridSpec) -> Vec<ObjectOccupancy> {
     let dt = scene.frame_rate.frame_duration();
     let mut out = Vec::new();
@@ -66,21 +72,28 @@ fn object_cell_occupancy(scene: &Scene, grid: &GridSpec) -> Vec<ObjectOccupancy>
         if !obj.class.is_private() {
             continue;
         }
-        let mut cells: HashMap<(u32, u32), f64> = HashMap::new();
-        let mut total = 0.0;
+        let mut segments = Vec::with_capacity(obj.segments.len());
         for seg in &obj.segments {
+            let mut cells: HashMap<(u32, u32), f64> = HashMap::new();
             let n = (seg.span.duration() / dt).ceil() as u64;
             for i in 0..n {
                 let t = seg.span.start.add_secs(i as f64 * dt);
                 if let Some(bbox) = seg.bbox_at(t) {
                     *cells.entry(grid.cell_of(bbox.center())).or_default() += dt;
-                    total += dt;
                 }
             }
+            segments.push(cells);
         }
-        out.push((oi, cells, total));
+        out.push((oi, segments));
     }
     out
+}
+
+/// An object's observable persistence under the current mask: the longest
+/// single appearance, where each appearance is the sum of its unmasked cell
+/// occupancies.
+fn persistence(segments: &[HashMap<(u32, u32), f64>]) -> Seconds {
+    segments.iter().map(|cells| cells.values().sum::<f64>()).fold(0.0, f64::max)
 }
 
 /// Algorithm 2: greedily order grid cells by how much masking them reduces the
@@ -93,18 +106,19 @@ fn object_cell_occupancy(scene: &Scene, grid: &GridSpec) -> Vec<ObjectOccupancy>
 /// useful set of cells well below the full grid).
 pub fn greedy_mask_order(scene: &Scene, grid: GridSpec, max_steps: usize) -> MaskPlan {
     let occupancy = object_cell_occupancy(scene, &grid);
-    let original: Vec<f64> = occupancy.iter().map(|(_, _, total)| *total).collect();
-    let original_max = original.iter().cloned().fold(0.0, f64::max);
+    let original_max = occupancy.iter().map(|(_, segments)| persistence(segments)).fold(0.0, f64::max);
     let original_identities = occupancy.len();
 
-    // Remaining per-object, per-cell presence; an object's persistence is the
-    // sum of its unmasked cell occupancies.
-    let mut remaining: Vec<HashMap<(u32, u32), f64>> = occupancy.iter().map(|(_, cells, _)| cells.clone()).collect();
+    // Remaining per-object, per-segment, per-cell presence. An object's
+    // persistence is its longest remaining single appearance (the quantity ρ
+    // bounds), *not* the sum over appearances.
+    let mut remaining: Vec<Vec<HashMap<(u32, u32), f64>>> =
+        occupancy.into_iter().map(|(_, segments)| segments).collect();
     let mut steps = Vec::new();
 
     for _ in 0..max_steps {
         // Object with the largest remaining persistence.
-        let persistences: Vec<f64> = remaining.iter().map(|cells| cells.values().sum()).collect();
+        let persistences: Vec<f64> = remaining.iter().map(|segments| persistence(segments)).collect();
         let (max_obj, max_persistence) = match persistences
             .iter()
             .enumerate()
@@ -116,21 +130,33 @@ pub fn greedy_mask_order(scene: &Scene, grid: GridSpec, max_steps: usize) -> Mas
         if max_persistence <= 0.0 {
             break;
         }
-        // The unmasked cell that object occupies longest.
-        let Some((&cell, _)) =
-            remaining[max_obj].iter().max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        // Within that object's longest appearance, the unmasked cell it
+        // occupies longest (ties broken by cell coordinates for determinism).
+        let longest_segment = remaining[max_obj]
+            .iter()
+            .max_by(|a, b| {
+                let (pa, pb) = (a.values().sum::<f64>(), b.values().sum::<f64>());
+                pa.partial_cmp(&pb).unwrap()
+            })
+            .expect("a positive persistence implies at least one segment");
+        let Some((&cell, _)) = longest_segment
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then_with(|| a.0.cmp(b.0)))
         else {
             break;
         };
-        // Mask it for every object.
-        for cells in &mut remaining {
-            cells.remove(&cell);
+        // Mask it for every appearance of every object.
+        for segments in &mut remaining {
+            for cells in segments.iter_mut() {
+                cells.remove(&cell);
+            }
         }
-        let max_after = remaining.iter().map(|c| c.values().sum::<f64>()).fold(0.0, f64::max);
+        let max_after = remaining.iter().map(|segments| persistence(segments)).fold(0.0, f64::max);
         let retained = if original_identities == 0 {
             1.0
         } else {
-            remaining.iter().filter(|c| !c.is_empty()).count() as f64 / original_identities as f64
+            remaining.iter().filter(|segments| segments.iter().any(|c| !c.is_empty())).count() as f64
+                / original_identities as f64
         };
         steps.push(MaskStep { cell, max_persistence_after: max_after, identities_retained: retained });
     }
@@ -212,6 +238,66 @@ mod tests {
         assert!(mask.masked_fraction() < 0.35, "mask should cover a minority of the grid");
         let step = &plan.steps[prefix - 1];
         assert!(step.identities_retained > 0.6, "most identities survive: {}", step.identities_retained);
+    }
+
+    #[test]
+    fn greedy_plan_uses_per_appearance_persistence_not_lifetime_sum() {
+        // Regression: `object_cell_occupancy` used to sum presence across all
+        // of an object's segments, so the greedy plan tracked lifetime totals
+        // while `PersistenceStats` (and the paper's ρ) bound the longest
+        // single contiguous appearance. A two-appearance object exposes the
+        // disagreement: 100 s + 60 s in different cells is a persistence of
+        // 100 s, not 160 s.
+        use privid_video::{
+            Attributes, CameraId, FrameRate, FrameSize, ObjectClass, ObjectId, Point, PresenceSegment, TimeSpan,
+        };
+        let dwell = |p: Point| privid_video::trajectory::Trajectory::linear(p, p, 6.0, 10.0);
+        let object = privid_video::TrackedObject::new(
+            ObjectId(1),
+            ObjectClass::Person,
+            Attributes::default(),
+            vec![
+                PresenceSegment { span: TimeSpan::between_secs(0.0, 100.0), trajectory: dwell(Point::new(15.0, 15.0)) },
+                PresenceSegment { span: TimeSpan::between_secs(200.0, 260.0), trajectory: dwell(Point::new(85.0, 85.0)) },
+            ],
+        );
+        let scene = Scene::new(
+            CameraId::new("two-visits"),
+            TimeSpan::from_secs(300.0),
+            FrameRate::new(2.0),
+            FrameSize::new(100, 100),
+            vec![object],
+        );
+        let grid = GridSpec::new(scene.frame_size, 10, 10);
+        let dt = scene.frame_rate.frame_duration();
+        let plan = greedy_mask_order(&scene, grid, 4);
+
+        assert!(
+            (plan.original_max_persistence - 100.0).abs() <= dt + 1e-9,
+            "longest single appearance is 100 s, not the 160 s lifetime sum: {}",
+            plan.original_max_persistence
+        );
+        // The greedy step masks the long appearance's cell; the remaining
+        // maximum is the second appearance, and the identity stays observable.
+        assert_eq!(plan.steps[0].cell, (1, 1));
+        assert!((plan.steps[0].max_persistence_after - 60.0).abs() <= dt + 1e-9);
+        assert!((plan.steps[0].identities_retained - 1.0).abs() < 1e-9);
+
+        // The plan agrees with the ground-truth analysis of its own mask.
+        let analysis = MaskingAnalysis::analyse(&scene, &plan.mask_prefix(1));
+        assert!(
+            (plan.original_max_persistence - analysis.max_before_secs).abs() <= 2.0 * dt,
+            "plan {} vs analysis {}",
+            plan.original_max_persistence,
+            analysis.max_before_secs
+        );
+        assert!(
+            (plan.steps[0].max_persistence_after - analysis.max_after_secs).abs() <= 2.0 * dt,
+            "plan {} vs analysis {}",
+            plan.steps[0].max_persistence_after,
+            analysis.max_after_secs
+        );
+        assert!((analysis.identities_retained - 1.0).abs() < 1e-9);
     }
 
     #[test]

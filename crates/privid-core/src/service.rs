@@ -34,26 +34,79 @@ use crate::policy::{MaskPolicy, PrivacyPolicy};
 use crate::session;
 use privid_query::{parse_query, ParsedQuery};
 use privid_sandbox::{ChunkProcessor, ProcessorFactory};
-use privid_video::Scene;
+use privid_video::{CameraId, FrameBatch, FrameRate, FrameSize, Recording, Scene, Seconds, TimeSpan};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Everything the service knows about one registered camera. Shared with
 /// running sessions via `Arc`, so registering new cameras never blocks (or
 /// invalidates) queries already in flight.
+///
+/// For a *live* camera every appended frame batch publishes a fresh
+/// `CameraState` (copy-on-write snapshot of the grown scene) while the ledger
+/// and mask registry are `Arc`-shared across snapshots: budget is debited on
+/// the one true ledger no matter which snapshot a session resolved, and a
+/// mask published mid-recording is visible to every later snapshot.
 pub(crate) struct CameraState {
     pub(crate) scene: Scene,
     pub(crate) policy: PrivacyPolicy,
     /// Published masks, each tagged with its registration generation (masks
     /// are re-publishable in place, so they need their own cache-key tag).
-    pub(crate) masks: RwLock<HashMap<String, (u64, MaskPolicy)>>,
-    pub(crate) ledger: BudgetLedger,
+    pub(crate) masks: Arc<RwLock<HashMap<String, (u64, MaskPolicy)>>>,
+    pub(crate) ledger: Arc<BudgetLedger>,
     /// Registration generation, part of every chunk-cache key: a session
     /// still executing against a *replaced* camera writes cache entries under
     /// the old generation, which queries against the new registration can
-    /// never hit.
+    /// never hit. Appends keep the generation (closed-window cache entries
+    /// stay warm — the footage they cover is final).
     pub(crate) generation: u64,
+    /// True for an append-only live recording; its `scene.span.end` is the
+    /// live edge this snapshot was taken at.
+    pub(crate) live: bool,
+}
+
+/// What one [`QueryService::append_frames`] call did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppendOutcome {
+    /// The camera's live edge after the append, in seconds.
+    pub live_edge_secs: Seconds,
+    /// How many standing-query windows completed (and were executed) as a
+    /// result of this append.
+    pub standing_fired: usize,
+}
+
+/// One execution of a standing query over a completed window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandingFiring {
+    /// The absolute window this firing covered.
+    pub window: TimeSpan,
+    /// The per-firing noise seed (`base_seed + window index`), recorded so a
+    /// firing can be replayed bit-for-bit against a batch registration.
+    pub seed: u64,
+    /// The query's outcome: releases on success, or the admission error (e.g.
+    /// exhausted budget) — later windows keep firing either way.
+    pub result: Result<QueryResult, PrividError>,
+}
+
+/// A registered standing query: the prototype (windows relative to zero), the
+/// cameras it reads, and the high-watermark of windows already fired.
+struct StandingState {
+    query: ParsedQuery,
+    cameras: Vec<String>,
+    period_secs: Seconds,
+    base_seed: u64,
+    next_start_secs: Seconds,
+    firings: Vec<StandingFiring>,
+}
+
+/// A due standing-query window collected under the registry lock, executed
+/// outside it.
+struct StandingJob {
+    name: String,
+    window: TimeSpan,
+    seed: u64,
+    query: ParsedQuery,
 }
 
 /// A registered processor: its registration generation plus the shared factory.
@@ -91,6 +144,9 @@ type RegisteredProcessor = (u64, Arc<dyn ProcessorFactory + Send + Sync>);
 pub struct QueryService {
     cameras: RwLock<HashMap<String, Arc<CameraState>>>,
     processors: RwLock<HashMap<String, RegisteredProcessor>>,
+    /// Registered standing queries, keyed by name. A `Mutex` (not `RwLock`):
+    /// every access mutates the firing high-watermark or the results.
+    standing: Mutex<HashMap<String, StandingState>>,
     admission: AdmissionController,
     cache: ChunkResultCache,
     /// Source of registration generations for cameras and processors.
@@ -114,6 +170,7 @@ impl QueryService {
         QueryService {
             cameras: RwLock::new(HashMap::new()),
             processors: RwLock::new(HashMap::new()),
+            standing: Mutex::new(HashMap::new()),
             admission: AdmissionController::new(),
             cache: ChunkResultCache::default(),
             generations: AtomicU64::new(0),
@@ -151,12 +208,99 @@ impl QueryService {
         let state = Arc::new(CameraState {
             scene,
             policy,
-            masks: RwLock::new(HashMap::new()),
-            ledger: BudgetLedger::new(duration, policy.epsilon_budget),
+            masks: Arc::new(RwLock::new(HashMap::new())),
+            ledger: Arc::new(BudgetLedger::new(duration, policy.epsilon_budget)),
             generation: self.generations.fetch_add(1, Ordering::Relaxed),
+            live: false,
         });
         self.cache.invalidate_camera(&name);
         self.cameras.write().expect("camera registry poisoned").insert(name, state);
+    }
+
+    /// Register a *live* camera: an empty append-only recording whose footage
+    /// arrives through [`QueryService::append_frames`]. The privacy budget
+    /// grows with the timeline — every appended slot is born with the
+    /// policy's full ε. Re-registering a name replaces the camera (fresh
+    /// recording and ledger) and invalidates its cached chunk results.
+    pub fn register_live_camera(
+        &self,
+        name: impl Into<String>,
+        frame_rate: FrameRate,
+        frame_size: FrameSize,
+        policy: PrivacyPolicy,
+    ) {
+        let name = name.into();
+        let scene = Recording::start(CameraId::new(name.as_str()), frame_rate, frame_size).into_scene();
+        let state = Arc::new(CameraState {
+            scene,
+            policy,
+            masks: Arc::new(RwLock::new(HashMap::new())),
+            ledger: Arc::new(BudgetLedger::new_live(policy.epsilon_budget)),
+            generation: self.generations.fetch_add(1, Ordering::Relaxed),
+            live: true,
+        });
+        self.cache.invalidate_camera(&name);
+        self.cameras.write().expect("camera registry poisoned").insert(name, state);
+    }
+
+    /// Append one batch of freshly recorded footage to a live camera,
+    /// advancing its live edge and growing its budget ledger (new slots are
+    /// born with full ε). Publishes a copy-on-write snapshot of the grown
+    /// scene — sessions already in flight finish against the edge they
+    /// resolved — invalidates cached chunk results whose window overlapped
+    /// the old live edge (closed-window entries stay warm), and then fires
+    /// every standing query whose next window the new edge completed.
+    pub fn append_frames(&self, camera: &str, batch: FrameBatch) -> Result<AppendOutcome, PrividError> {
+        // The copy-on-write snapshot (O(scene)) is built *outside* the
+        // registry write lock — holding it there would stall every query's
+        // camera resolution for the duration of the clone. The swap then
+        // happens under the write lock only if no other append (or
+        // re-registration) got there first; on conflict, redo against the
+        // winner's state. Progress is guaranteed: a retry only happens when
+        // some other writer succeeded.
+        let live_edge_secs = loop {
+            let base = self.camera(camera).ok_or_else(|| PrividError::UnknownCamera(camera.to_string()))?;
+            if !base.live {
+                return Err(PrividError::Invalid(format!(
+                    "camera {camera} is a fixed recording; only live cameras accept frame batches"
+                )));
+            }
+            let mut recording = Recording::from_scene(base.scene.clone());
+            recording.append_batch(batch.clone()).map_err(|e| PrividError::Invalid(e.to_string()))?;
+            let scene = recording.into_scene();
+            let edge_secs = scene.span.end.as_secs();
+            let mut cameras = self.cameras.write().expect("camera registry poisoned");
+            match cameras.get(camera) {
+                Some(current) if Arc::ptr_eq(current, &base) => {
+                    // Order matters: grow the ledger *before* publishing the
+                    // snapshot (a session resolving the new scene must find
+                    // its slots funded), and drop overlap cache entries while
+                    // holding the write lock so no session can resolve the
+                    // new edge and still hit them.
+                    base.ledger.extend_to(edge_secs);
+                    self.cache.invalidate_live_edge(camera);
+                    let next = Arc::new(CameraState {
+                        scene,
+                        policy: base.policy,
+                        masks: Arc::clone(&base.masks),
+                        ledger: Arc::clone(&base.ledger),
+                        generation: base.generation,
+                        live: true,
+                    });
+                    cameras.insert(camera.to_string(), next);
+                    break edge_secs;
+                }
+                _ => continue,
+            }
+        };
+        let standing_fired = self.pump_standing_queries();
+        Ok(AppendOutcome { live_edge_secs, standing_fired })
+    }
+
+    /// The recorded duration of a camera, in seconds — for a live camera,
+    /// its current high-watermark (footage exists strictly before it).
+    pub fn live_edge(&self, camera: &str) -> Option<Seconds> {
+        self.camera(camera).map(|c| c.scene.span.end.as_secs())
     }
 
     /// Publish a mask (and its reduced ρ) for a camera (§7.1). Re-publishing
@@ -185,6 +329,113 @@ impl QueryService {
         self.cache.invalidate_processor(&name);
         let generation = self.generations.fetch_add(1, Ordering::Relaxed);
         self.processors.write().expect("processor registry poisoned").insert(name, (generation, Arc::new(factory)));
+    }
+
+    // ---- standing queries ---------------------------------------------------------------
+
+    /// Register a standing query: a prototype query whose SPLIT windows cover
+    /// `[0, period)` and which automatically re-runs — shifted by one period —
+    /// over every window the referenced live cameras complete. Each firing is
+    /// an ordinary query: it passes budget admission and debits ε for its own
+    /// window (exactly once per slot over the standing query's life, since
+    /// consecutive windows are disjoint), and draws noise from
+    /// `base_seed + window_index`, so any firing can be replayed bit-for-bit
+    /// against a batch registration of the same footage.
+    ///
+    /// Windows already completed at registration time fire immediately
+    /// (catch-up); the count of firings this call produced is returned.
+    /// Re-registering a name replaces the standing query and resets its
+    /// high-watermark to zero.
+    pub fn register_standing_query(
+        &self,
+        name: impl Into<String>,
+        base_seed: u64,
+        text: &str,
+    ) -> Result<usize, PrividError> {
+        let query = parse_query(text)?;
+        if query.splits.is_empty() {
+            return Err(PrividError::Invalid("a standing query needs at least one SPLIT".into()));
+        }
+        if query.splits.iter().any(|s| s.begin_secs < 0.0) {
+            return Err(PrividError::Invalid("standing-query SPLIT windows must start at or after 0".into()));
+        }
+        let period_secs = query.splits.iter().map(|s| s.end_secs).fold(0.0, f64::max);
+        if period_secs <= 0.0 {
+            return Err(PrividError::Invalid("a standing query's SPLIT windows must cover footage".into()));
+        }
+        let mut cameras: Vec<String> = query.splits.iter().map(|s| s.camera.clone()).collect();
+        cameras.sort();
+        cameras.dedup();
+        for cam in &cameras {
+            let state = self.camera(cam).ok_or_else(|| PrividError::UnknownCamera(cam.clone()))?;
+            if !state.live {
+                return Err(PrividError::Invalid(format!(
+                    "standing queries require live cameras; {cam} is a fixed recording"
+                )));
+            }
+        }
+        self.standing.lock().expect("standing registry poisoned").insert(
+            name.into(),
+            StandingState { query, cameras, period_secs, base_seed, next_start_secs: 0.0, firings: Vec::new() },
+        );
+        Ok(self.pump_standing_queries())
+    }
+
+    /// The firings a standing query has produced so far, in window order.
+    pub fn standing_results(&self, name: &str) -> Option<Vec<StandingFiring>> {
+        self.standing.lock().expect("standing registry poisoned").get(name).map(|s| {
+            let mut firings = s.firings.clone();
+            firings.sort_by_key(|f| f.window.start);
+            firings
+        })
+    }
+
+    /// Fire every standing query whose next window is now fully recorded.
+    ///
+    /// Due windows are claimed (and the per-query high-watermark advanced)
+    /// under the standing-registry lock, so two appends racing each other can
+    /// never double-fire a window; the queries themselves execute *outside*
+    /// the lock through the ordinary [`QueryService::execute`] path.
+    fn pump_standing_queries(&self) -> usize {
+        let mut jobs: Vec<StandingJob> = Vec::new();
+        {
+            let mut standing = self.standing.lock().expect("standing registry poisoned");
+            for (name, st) in standing.iter_mut() {
+                // The firing frontier is the slowest referenced camera's edge.
+                let edge = st
+                    .cameras
+                    .iter()
+                    .map(|c| self.camera(c).map(|s| s.scene.span.end.as_secs()))
+                    .try_fold(f64::INFINITY, |acc: f64, e| e.map(|e| acc.min(e)));
+                let Some(edge) = edge else { continue };
+                // Tolerate float accumulation over many periods at the boundary.
+                while st.next_start_secs + st.period_secs <= edge + 1e-9 {
+                    let start = st.next_start_secs;
+                    let index = (start / st.period_secs).round() as u64;
+                    let mut query = st.query.clone();
+                    for s in &mut query.splits {
+                        s.begin_secs += start;
+                        s.end_secs += start;
+                    }
+                    jobs.push(StandingJob {
+                        name: name.clone(),
+                        window: TimeSpan::between_secs(start, start + st.period_secs),
+                        seed: st.base_seed.wrapping_add(index),
+                        query,
+                    });
+                    st.next_start_secs = start + st.period_secs;
+                }
+            }
+        }
+        let fired = jobs.len();
+        for job in jobs {
+            let result = self.execute(job.seed, &job.query);
+            let mut standing = self.standing.lock().expect("standing registry poisoned");
+            if let Some(st) = standing.get_mut(&job.name) {
+                st.firings.push(StandingFiring { window: job.window, seed: job.seed, result });
+            }
+        }
+        fired
     }
 
     // ---- introspection ------------------------------------------------------------------
@@ -385,6 +636,133 @@ mod tests {
         uncached.execute_text(6, QUERY).unwrap();
         let stats = uncached.cache_stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0), "disabled cache is never consulted");
+    }
+
+    fn walker(id: u64, start: f64, end: f64) -> privid_video::TrackedObject {
+        use privid_video::trajectory::Trajectory;
+        use privid_video::{Attributes, ObjectClass, ObjectId, Point, PresenceSegment, TimeSpan};
+        privid_video::TrackedObject::new(
+            ObjectId(id),
+            ObjectClass::Person,
+            Attributes::default(),
+            vec![PresenceSegment {
+                span: TimeSpan::between_secs(start, end),
+                trajectory: Trajectory::linear(Point::new(0.0, 50.0), Point::new(100.0, 50.0), 5.0, 10.0),
+            }],
+        )
+    }
+
+    const LIVE_QUERY: &str = "
+        SPLIT live BEGIN 0 END 120 BY TIME 10 sec STRIDE 0 sec INTO chunks;
+        PROCESS chunks USING person_counter TIMEOUT 1 sec PRODUCING 20 ROWS
+            WITH SCHEMA (count:NUMBER=0) INTO people;
+        SELECT COUNT(*) FROM people CONSUMING 0.5;";
+
+    fn live_service() -> QueryService {
+        use privid_video::{FrameRate, FrameSize};
+        let svc = QueryService::new().with_parallelism(Parallelism::Fixed(1));
+        svc.register_live_camera("live", FrameRate::new(2.0), FrameSize::new(100, 100), PrivacyPolicy::new(20.0, 2, 10.0));
+        svc.register_processor("person_counter", || {
+            Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>
+        });
+        svc
+    }
+
+    #[test]
+    fn live_camera_closed_windows_match_a_batch_registration() {
+        use privid_video::{CameraId, FrameBatch, FrameRate, FrameSize, Scene, TimeSpan};
+        let objects = vec![walker(1, 5.0, 40.0), walker(2, 70.0, 110.0)];
+        let svc = live_service();
+        let outcome = svc.append_frames("live", FrameBatch::new(60.0, vec![objects[0].clone()])).unwrap();
+        assert_eq!(outcome.live_edge_secs, 60.0);
+        svc.append_frames("live", FrameBatch::new(60.0, vec![objects[1].clone()])).unwrap();
+        assert_eq!(svc.live_edge("live"), Some(120.0));
+        let live = svc.execute_text(7, LIVE_QUERY).unwrap();
+
+        let batch = QueryService::new().with_parallelism(Parallelism::Fixed(1));
+        batch.register_camera(
+            "live",
+            Scene::new(CameraId::new("live"), TimeSpan::from_secs(120.0), FrameRate::new(2.0), FrameSize::new(100, 100), objects),
+            PrivacyPolicy::new(20.0, 2, 10.0),
+        );
+        batch.register_processor("person_counter", || {
+            Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>
+        });
+        let replay = batch.execute_text(7, LIVE_QUERY).unwrap();
+        assert_eq!(live, replay, "a closed window over the appended recording must be bit-for-bit batch-identical");
+        assert!(live.releases[0].raw.as_number().unwrap() >= 1.0, "the appended walkers are visible to the query");
+    }
+
+    #[test]
+    fn window_beyond_live_edge_fails_cleanly_without_debit() {
+        use privid_video::FrameBatch;
+        let svc = live_service();
+        svc.append_frames("live", FrameBatch::new(60.0, vec![walker(1, 5.0, 40.0)])).unwrap();
+        // A window entirely past the edge is the retryable error and burns nothing.
+        let future = LIVE_QUERY.replace("BEGIN 0 END 120", "BEGIN 60 END 120");
+        match svc.execute_text(2, &future) {
+            Err(PrividError::BeyondLiveEdge { camera, start_secs, end_secs, live_edge_secs }) => {
+                assert_eq!(camera, "live");
+                assert_eq!((start_secs, end_secs, live_edge_secs), (60.0, 120.0, 60.0));
+            }
+            other => panic!("expected BeyondLiveEdge, got {other:?}"),
+        }
+        assert!((svc.remaining_budget("live", 30.0).unwrap() - 10.0).abs() < 1e-9, "no slot debited");
+        // A window *overlapping* the edge is admitted (clamped, like a fixed
+        // recording's windows past its end): only recorded slots are debited.
+        let overlap = svc.execute_text(1, LIVE_QUERY).unwrap();
+        assert_eq!(overlap.epsilon_spent, 0.5);
+        assert!((svc.remaining_budget("live", 30.0).unwrap() - 9.5).abs() < 1e-9, "recorded slots debited");
+        // After the footage arrives, the fully-beyond window succeeds and the
+        // newly born slots still carry their full budget.
+        svc.append_frames("live", FrameBatch::empty(60.0)).unwrap();
+        assert!((svc.remaining_budget("live", 90.0).unwrap() - 10.0).abs() < 1e-9, "new frames born with full ε");
+        svc.execute_text(2, &future).unwrap();
+        assert!((svc.remaining_budget("live", 90.0).unwrap() - 9.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn appending_to_a_fixed_camera_is_rejected() {
+        use privid_video::FrameBatch;
+        let svc = service();
+        match svc.append_frames("campus", FrameBatch::empty(60.0)) {
+            Err(PrividError::Invalid(msg)) => assert!(msg.contains("fixed recording"), "got: {msg}"),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        assert!(matches!(svc.append_frames("nowhere", FrameBatch::empty(60.0)), Err(PrividError::UnknownCamera(_))));
+    }
+
+    #[test]
+    fn standing_query_fires_once_per_completed_window() {
+        use privid_video::FrameBatch;
+        let svc = live_service();
+        let standing = "
+            SPLIT live BEGIN 0 END 60 BY TIME 10 sec STRIDE 0 sec INTO chunks;
+            PROCESS chunks USING person_counter TIMEOUT 1 sec PRODUCING 20 ROWS
+                WITH SCHEMA (count:NUMBER=0) INTO people;
+            SELECT COUNT(*) FROM people CONSUMING 0.5;";
+        // Registered before any footage: nothing fires yet.
+        assert_eq!(svc.register_standing_query("people_per_min", 40, standing).unwrap(), 0);
+        // 150 s of footage completes windows [0, 60) and [60, 120).
+        let outcome = svc.append_frames("live", FrameBatch::new(150.0, vec![walker(1, 5.0, 40.0), walker(2, 70.0, 140.0)])).unwrap();
+        assert_eq!(outcome.standing_fired, 2);
+        // 90 s more completes [120, 180) and [180, 240).
+        let outcome = svc.append_frames("live", FrameBatch::new(90.0, vec![walker(3, 150.0, 200.0)])).unwrap();
+        assert_eq!(outcome.standing_fired, 2);
+        let firings = svc.standing_results("people_per_min").unwrap();
+        assert_eq!(firings.len(), 4);
+        for (k, firing) in firings.iter().enumerate() {
+            assert_eq!(firing.window, privid_video::TimeSpan::between_secs(k as f64 * 60.0, (k + 1) as f64 * 60.0));
+            assert_eq!(firing.seed, 40 + k as u64);
+            let result = firing.result.as_ref().expect("ample budget: every firing admitted");
+            assert_eq!(result.epsilon_spent, 0.5);
+        }
+        // ε was debited exactly once per slot across the standing query's life.
+        for at in [10.0, 70.0, 130.0, 190.0] {
+            assert!((svc.remaining_budget("live", at).unwrap() - 9.5).abs() < 1e-9, "slot at {at} debited once");
+        }
+        // Catch-up: a second standing query registered late fires immediately.
+        assert_eq!(svc.register_standing_query("catch_up", 99, standing).unwrap(), 4);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use privid_query::{
     Table,
 };
 use privid_sandbox::SandboxSpec;
-use privid_video::{ChunkPlan, ChunkSpec, Mask, RegionBoundary, RegionScheme, Seconds, TimeSpan};
+use privid_video::{ChunkPlan, ChunkSpec, Mask, RegionBoundary, RegionScheme, Seconds, TimeSpan, Timestamp};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
@@ -35,6 +35,13 @@ struct PreparedSplit {
     /// Resolved mask id plus its registration generation (cache-key tag).
     mask_id: Option<(String, u64)>,
     mask: Option<Mask>,
+    /// Live-edge cache tag: `Some(edge)` iff the camera is live and the
+    /// window extends past the snapshot's live edge (see `cache` module docs).
+    live_edge_micros: Option<i64>,
+    /// The window budget admission debits: the query window, clamped to the
+    /// snapshot's live edge for live cameras (the shared ledger may have
+    /// grown past the snapshot this session serves).
+    admit_window: TimeSpan,
     /// The ρ governing tables built from this split (the mask's reduced ρ, or
     /// the camera policy's ρ).
     rho_secs: Seconds,
@@ -116,8 +123,8 @@ pub(crate) fn execute_query(
     for split in splits.values() {
         camera_windows
             .entry(split.camera.clone())
-            .and_modify(|(_, windows)| windows.push(split.window))
-            .or_insert_with(|| (Arc::clone(&split.state), vec![split.window]));
+            .and_modify(|(_, windows)| windows.push(split.admit_window))
+            .or_insert_with(|| (Arc::clone(&split.state), vec![split.admit_window]));
     }
     let mut requests: Vec<crate::budget::AdmissionRequest<'_>> = Vec::new();
     let mut request_cameras: Vec<&str> = Vec::new();
@@ -139,6 +146,9 @@ pub(crate) fn execute_query(
             }
             BudgetError::OutsideRecording { start_secs, end_secs, duration_secs } => {
                 PrividError::WindowOutsideRecording { camera, start_secs, end_secs, duration_secs }
+            }
+            BudgetError::BeyondLiveEdge { start_secs, end_secs, live_edge_secs } => {
+                PrividError::BeyondLiveEdge { camera, start_secs, end_secs, live_edge_secs }
             }
         }
     })?;
@@ -206,11 +216,38 @@ fn prepare_split(s: &SplitStatement, state: Arc<CameraState>) -> Result<Prepared
     // sandbox over an empty plan and failing only at admission would waste
     // the whole processing cost (and the old ledger silently clamped such
     // windows onto real frames instead).
-    if let Err(BudgetError::OutsideRecording { start_secs, end_secs, duration_secs }) =
-        state.ledger.validate_window(&window)
-    {
-        return Err(PrividError::WindowOutsideRecording { camera: s.camera.clone(), start_secs, end_secs, duration_secs });
+    //
+    // Live cameras are validated against the *snapshot's* edge, not the
+    // shared ledger: an append racing this query may already have grown the
+    // ledger, but this session would still serve the pre-append scene — it
+    // must fail retryably rather than release empty footage as if recorded.
+    let snapshot_edge = state.scene.span.end;
+    if state.live && window.start.max(Timestamp::ZERO) >= snapshot_edge {
+        return Err(PrividError::BeyondLiveEdge {
+            camera: s.camera.clone(),
+            start_secs: s.begin_secs,
+            end_secs: s.end_secs,
+            live_edge_secs: snapshot_edge.as_secs(),
+        });
     }
+    match state.ledger.validate_window(&window) {
+        Err(BudgetError::OutsideRecording { start_secs, end_secs, duration_secs }) => {
+            return Err(PrividError::WindowOutsideRecording { camera: s.camera.clone(), start_secs, end_secs, duration_secs });
+        }
+        Err(BudgetError::BeyondLiveEdge { start_secs, end_secs, live_edge_secs }) => {
+            return Err(PrividError::BeyondLiveEdge { camera: s.camera.clone(), start_secs, end_secs, live_edge_secs });
+        }
+        _ => {}
+    }
+    let live_edge_micros = (state.live && window.end > snapshot_edge).then(|| snapshot_edge.as_micros());
+    // Admission must not debit past the footage this session actually serves:
+    // the ledger is shared across append snapshots and may already cover more
+    // timeline than this snapshot's scene (an append raced the query), but
+    // every chunk comes from the snapshot. Clamping the *admitted* window to
+    // the snapshot edge keeps the debit and the release congruent; the
+    // requested window still drives chunk geometry and sensitivities.
+    let admit_window =
+        if state.live && window.end > snapshot_edge { TimeSpan::new(window.start, snapshot_edge) } else { window };
     let (mask_id, mask, rho) = match &s.mask {
         Some(id) => {
             let masks = state.masks.read().expect("mask registry poisoned");
@@ -239,6 +276,8 @@ fn prepare_split(s: &SplitStatement, state: Arc<CameraState>) -> Result<Prepared
         spec,
         mask_id,
         mask,
+        live_edge_micros,
+        admit_window,
         rho_secs: rho,
         region_scheme_id: s.region_scheme.clone(),
         region_scheme,
@@ -273,6 +312,7 @@ fn run_process(
             p.timeout_secs,
             p.max_rows,
             format!("{:?}", p.schema),
+            split.live_edge_micros,
         )
     });
     let mut table = Table::new(p.schema.clone());

@@ -11,9 +11,9 @@
 //! the tracker's `max_age` coasting window to account for the time an object
 //! could remain present but undetected.
 
-use crate::detector::{Detector, DetectorConfig};
+use crate::detector::{Detection, Detector, DetectorConfig};
 use crate::tracker::{Track, Tracker, TrackerConfig};
-use privid_video::{Mask, Scene, Seconds, TimeSpan};
+use privid_video::{Mask, ObjectId, Scene, Seconds, TimeSpan};
 use serde::{Deserialize, Serialize};
 
 /// Summary of one confirmed track.
@@ -51,6 +51,22 @@ impl DurationEstimate {
     pub fn is_conservative(&self) -> bool {
         self.max_duration_secs >= self.ground_truth_max_secs
     }
+}
+
+/// Number of distinct private ground-truth boxes matched by one frame's
+/// detections. A real detector can emit duplicate or split boxes for a single
+/// object; counting each of them as a recovered ground-truth box would inflate
+/// the recall (and once `detected > gt`, push the miss fraction negative), so
+/// at most one detection is credited per ground-truth box.
+fn detected_private_boxes(dets: &[Detection]) -> usize {
+    let mut sources: Vec<ObjectId> = dets
+        .iter()
+        .filter(|d| d.source_class.is_some_and(|c| c.is_private()))
+        .filter_map(|d| d.source)
+        .collect();
+    sources.sort_unstable();
+    sources.dedup();
+    sources.len()
 }
 
 /// Runs detector + tracker over a scene segment and summarizes durations.
@@ -103,7 +119,7 @@ impl DurationEstimator {
             let obs = scene.observations_at_masked(t, mask);
             gt_boxes += obs.iter().filter(|o| o.class.is_private()).count();
             let dets = detector.detect(scene, &obs);
-            detected_gt_boxes += dets.iter().filter(|d| d.source_class.is_some_and(|c| c.is_private())).count();
+            detected_gt_boxes += detected_private_boxes(&dets);
             tracker.update(t, &dets);
         }
         let tracker_config = self.tracker_config;
@@ -132,7 +148,13 @@ impl DurationEstimator {
             max_duration_secs: max_track + margin,
             max_track_duration_secs: max_track,
             ground_truth_max_secs: ground_truth_max,
-            miss_fraction: if gt_boxes == 0 { 0.0 } else { 1.0 - detected_gt_boxes as f64 / gt_boxes as f64 },
+            // Clamped: duplicate/split detections (or any future detector that
+            // over-reports) must never drive the reported miss rate negative.
+            miss_fraction: if gt_boxes == 0 {
+                0.0
+            } else {
+                (1.0 - detected_gt_boxes as f64 / gt_boxes as f64).clamp(0.0, 1.0)
+            },
             ground_truth_boxes: gt_boxes,
         }
     }
@@ -202,6 +224,43 @@ mod tests {
             masked.max_track_duration_secs <= unmasked.max_track_duration_secs,
             "masking cannot increase the observable max duration"
         );
+    }
+
+    #[test]
+    fn duplicate_detections_count_one_ground_truth_box() {
+        // Regression: a detector emitting duplicate or split boxes for one
+        // ground-truth object used to be credited once per box, which could
+        // push `detected > gt` and the miss fraction below zero.
+        use privid_video::{BoundingBox, ObjectClass, Timestamp};
+        let det = |source: Option<u64>, class: Option<ObjectClass>| Detection {
+            bbox: BoundingBox::new(10.0, 10.0, 20.0, 30.0),
+            class: ObjectClass::Person,
+            score: 0.9,
+            timestamp: Timestamp::from_secs(1.0),
+            source: source.map(ObjectId),
+            source_class: class,
+        };
+        let dets = vec![
+            det(Some(1), Some(ObjectClass::Person)),
+            det(Some(1), Some(ObjectClass::Person)), // split box, same object
+            det(Some(2), Some(ObjectClass::Car)),
+            det(Some(3), Some(ObjectClass::Tree)), // non-private: not a protected box
+            det(None, None),                       // false positive: no source
+        ];
+        assert_eq!(detected_private_boxes(&dets), 2);
+    }
+
+    #[test]
+    fn miss_fraction_is_always_a_fraction() {
+        let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(0.2)).generate();
+        for video in ["campus", "highway", "urban"] {
+            let est = DurationEstimator::for_video(video).estimate(&scene, &segment());
+            assert!(
+                (0.0..=1.0).contains(&est.miss_fraction),
+                "{video}: miss fraction {} out of range",
+                est.miss_fraction
+            );
+        }
     }
 
     #[test]

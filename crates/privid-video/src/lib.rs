@@ -21,6 +21,9 @@
 //! * [`chunk`] — temporal chunking (`SPLIT ... BY TIME c STRIDE s`).
 //! * [`plan`] — lazy, zero-copy chunk materialization ([`plan::ChunkPlan`] /
 //!   [`plan::ChunkView`]), the streaming form the execution engine consumes.
+//! * [`recording`] — append-only live recordings ([`recording::Recording`]):
+//!   a scene that grows by [`recording::FrameBatch`]es behind a per-camera
+//!   live-edge high-watermark.
 //! * [`stats`] — persistence distributions, heatmaps and maxima (Fig. 3/4).
 
 #![forbid(unsafe_code)]
@@ -33,6 +36,7 @@ pub mod geometry;
 pub mod object;
 pub mod plan;
 pub mod porto;
+pub mod recording;
 pub mod scene;
 pub mod stats;
 pub mod time;
@@ -45,6 +49,7 @@ pub use geometry::{BoundingBox, FrameSize, GridSpec, Mask, Point, Region, Region
 pub use object::{Attributes, ObjectClass, ObjectId, Observation, PresenceSegment, TrackedObject, VehicleColor};
 pub use plan::{ChunkBuffer, ChunkPlan, ChunkView, FrameView, ObjectView};
 pub use porto::{PortoConfig, PortoDataset, TaxiVisit};
+pub use recording::{FrameBatch, Recording, RecordingError};
 pub use scene::{CameraId, Scene};
 pub use stats::{PersistenceHistogram, PersistenceStats, PresenceHeatmap};
 pub use time::{FrameRate, Seconds, TimeSpan, Timestamp};

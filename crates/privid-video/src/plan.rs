@@ -428,6 +428,8 @@ impl<'v> ObjectView<'v> {
 pub struct ChunkPlan<'a> {
     scene: &'a Scene,
     mask: Option<&'a Mask>,
+    spec: ChunkSpec,
+    window: TimeSpan,
     spans: Vec<TimeSpan>,
 }
 
@@ -435,7 +437,41 @@ impl<'a> ChunkPlan<'a> {
     /// Plan the split of `scene`'s `window` into chunks per `spec`, with an
     /// optional mask applied during materialization.
     pub fn new(scene: &'a Scene, window: &TimeSpan, spec: &ChunkSpec, mask: Option<&'a Mask>) -> Self {
-        ChunkPlan { scene, mask, spans: spec.chunk_spans(window) }
+        ChunkPlan { scene, mask, spec: *spec, window: *window, spans: spec.chunk_spans(window) }
+    }
+
+    /// The window the plan currently covers.
+    pub fn window(&self) -> TimeSpan {
+        self.window
+    }
+
+    /// Lazily extend the plan to a longer window (a live recording's edge
+    /// moved). Completed chunk spans are kept as-is; only a trailing chunk
+    /// that was truncated by the old window end is re-derived, and new spans
+    /// are appended from there — the cost is proportional to the *extension*,
+    /// not the whole timeline, which is what lets a standing query's plan
+    /// grow all day. Equivalent to re-planning the longer window from scratch.
+    pub fn extend_to(&mut self, new_end: Timestamp) {
+        if new_end <= self.window.end {
+            return;
+        }
+        // Trailing chunks cut short by the old window edge grow back (with a
+        // negative stride several overlapping chunks can end there).
+        while self
+            .spans
+            .last()
+            .is_some_and(|s| s.end == self.window.end && s.duration() < self.spec.chunk_secs)
+        {
+            self.spans.pop();
+        }
+        let resume = match self.spans.last() {
+            Some(last) => last.start.add_secs(self.spec.period()),
+            None => self.window.start,
+        };
+        self.window = TimeSpan::new(self.window.start, new_end);
+        if resume < new_end {
+            self.spans.extend(self.spec.chunk_spans(&TimeSpan::new(resume, new_end)));
+        }
     }
 
     /// Number of chunks the plan yields.
@@ -677,6 +713,42 @@ mod tests {
         let mut buf = ChunkBuffer::new();
         let view = buf.load_chunk(&chunks[0]);
         assert_eq!(&view.to_chunk(), &chunks[0]);
+    }
+
+    #[test]
+    fn extend_to_matches_a_fresh_plan_over_the_longer_window() {
+        let scene = scene_with_one_walker(10.0);
+        // Windows that leave the trailing chunk truncated, full, and strided.
+        for (first_end, spec) in [
+            (12.0, ChunkSpec::contiguous(5.0)),
+            (15.0, ChunkSpec::contiguous(5.0)),
+            (13.0, ChunkSpec::new(5.0, 3.0).unwrap()),
+            (14.0, ChunkSpec::new(10.0, -6.0).unwrap()),
+        ] {
+            let mut lazy = ChunkPlan::new(&scene, &TimeSpan::from_secs(first_end), &spec, None);
+            lazy.extend_to(Timestamp::from_secs(31.0));
+            lazy.extend_to(Timestamp::from_secs(31.0)); // no-op re-extension
+            lazy.extend_to(Timestamp::from_secs(44.0));
+            let fresh = ChunkPlan::new(&scene, &TimeSpan::from_secs(44.0), &spec, None);
+            assert_eq!(lazy.len(), fresh.len(), "spec {spec:?} first_end {first_end}");
+            assert_eq!(lazy.window(), fresh.window());
+            for i in 0..fresh.len() {
+                assert_eq!(lazy.span_of(i), fresh.span_of(i), "chunk {i}, spec {spec:?} first_end {first_end}");
+            }
+        }
+    }
+
+    #[test]
+    fn extend_to_from_an_empty_window() {
+        let scene = scene_with_one_walker(10.0);
+        let mut plan = ChunkPlan::new(&scene, &TimeSpan::between_secs(5.0, 5.0), &ChunkSpec::contiguous(5.0), None);
+        assert!(plan.is_empty());
+        plan.extend_to(Timestamp::from_secs(17.0));
+        let fresh = ChunkPlan::new(&scene, &TimeSpan::between_secs(5.0, 17.0), &ChunkSpec::contiguous(5.0), None);
+        assert_eq!(plan.len(), fresh.len());
+        for i in 0..fresh.len() {
+            assert_eq!(plan.span_of(i), fresh.span_of(i));
+        }
     }
 
     #[test]

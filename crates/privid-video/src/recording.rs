@@ -1,0 +1,284 @@
+//! Append-only live recordings: a [`Scene`] that grows by frame batches.
+//!
+//! Privid's budget is defined over the video *timeline*: every chunk-sized
+//! slot of footage carries its own ε, and new footage is born with a full
+//! budget as the camera keeps recording. A [`Recording`] is the video-owner
+//! side of that model — the per-camera high-watermark (the *live edge*) plus
+//! the validation that keeps already-recorded frames final:
+//!
+//! * the live edge only moves forward ([`FrameBatch::duration_secs`] must be
+//!   positive);
+//! * a batch may only add objects whose first appearance starts at or after
+//!   the live edge it is appended at (footage before the edge never changes,
+//!   which is what lets closed-window query results — and their cache
+//!   entries — stay valid forever);
+//! * object ids stay unique across the whole recording.
+//!
+//! A delivered object may carry trajectory extending past the current edge
+//! (the tracker knows where it is heading); that future footage stays
+//! invisible to queries because [`Scene`] materializes no observations past
+//! `span.end`, and is revealed batch by batch as the edge advances.
+
+use crate::chunk::ChunkSpec;
+use crate::geometry::FrameSize;
+use crate::object::{ObjectId, TrackedObject};
+use crate::plan::ChunkPlan;
+use crate::scene::{CameraId, Scene};
+use crate::time::{FrameRate, Seconds, TimeSpan, Timestamp};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One batch of freshly recorded footage: how much timeline it covers and
+/// which ground-truth objects first appeared during it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameBatch {
+    /// Seconds of new footage this batch appends. Must be positive.
+    pub duration_secs: Seconds,
+    /// Objects whose first appearance falls at or after the live edge this
+    /// batch is appended at. Segments may extend past the new edge; they are
+    /// revealed as later batches advance it.
+    pub objects: Vec<TrackedObject>,
+}
+
+impl FrameBatch {
+    /// A batch of footage with no newly appearing objects.
+    pub fn empty(duration_secs: Seconds) -> Self {
+        FrameBatch { duration_secs, objects: Vec::new() }
+    }
+
+    /// A batch of footage carrying newly appearing objects.
+    pub fn new(duration_secs: Seconds, objects: Vec<TrackedObject>) -> Self {
+        FrameBatch { duration_secs, objects }
+    }
+}
+
+/// Why a batch could not be appended. Rejected batches leave the recording
+/// untouched.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecordingError {
+    /// The batch covers no footage (non-positive duration).
+    EmptyBatch {
+        /// The offending duration.
+        duration_secs: Seconds,
+    },
+    /// The batch re-uses an object id already present in the recording.
+    DuplicateObject(ObjectId),
+    /// The batch delivers an object whose first appearance predates the live
+    /// edge — that would rewrite footage analysts may already have queried.
+    BeforeLiveEdge {
+        /// The offending object.
+        id: ObjectId,
+        /// Its first appearance, seconds.
+        first_seen_secs: Seconds,
+        /// The live edge the batch was appended at, seconds.
+        live_edge_secs: Seconds,
+    },
+}
+
+impl fmt::Display for RecordingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordingError::EmptyBatch { duration_secs } => {
+                write!(f, "frame batch must cover footage, got {duration_secs} s")
+            }
+            RecordingError::DuplicateObject(id) => write!(f, "object {id} already exists in the recording"),
+            RecordingError::BeforeLiveEdge { id, first_seen_secs, live_edge_secs } => write!(
+                f,
+                "object {id} first appears at {first_seen_secs} s, before the live edge ({live_edge_secs} s); \
+                 recorded footage is append-only"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RecordingError {}
+
+/// An append-only recording: the growing [`Scene`] of a live camera.
+#[derive(Debug, Clone)]
+pub struct Recording {
+    scene: Scene,
+}
+
+impl Recording {
+    /// Start an empty recording for a camera (live edge at zero).
+    pub fn start(camera: CameraId, frame_rate: FrameRate, frame_size: FrameSize) -> Self {
+        Recording {
+            scene: Scene::new(
+                camera,
+                TimeSpan::new(Timestamp::ZERO, Timestamp::ZERO),
+                frame_rate,
+                frame_size,
+                Vec::new(),
+            ),
+        }
+    }
+
+    /// Resume a recording from a scene snapshot (its span end is the edge).
+    pub fn from_scene(scene: Scene) -> Self {
+        Recording { scene }
+    }
+
+    /// The high-watermark: footage exists strictly before this timestamp.
+    pub fn live_edge(&self) -> Timestamp {
+        self.scene.span.end
+    }
+
+    /// The recording's scene so far.
+    pub fn scene(&self) -> &Scene {
+        &self.scene
+    }
+
+    /// Unwrap into the underlying scene.
+    pub fn into_scene(self) -> Scene {
+        self.scene
+    }
+
+    /// A chunk plan over the *closed* timeline `[0, live edge)`. As more
+    /// batches arrive, [`ChunkPlan::extend_to`] grows the plan lazily instead
+    /// of recomputing it.
+    pub fn plan<'a>(&'a self, spec: &ChunkSpec) -> ChunkPlan<'a> {
+        ChunkPlan::new(&self.scene, &TimeSpan::new(self.scene.span.start, self.scene.span.end), spec, None)
+    }
+
+    /// Append one batch of footage, advancing the live edge. Returns the new
+    /// edge. Validation is all-or-nothing: a rejected batch changes nothing.
+    pub fn append_batch(&mut self, batch: FrameBatch) -> Result<Timestamp, RecordingError> {
+        if batch.duration_secs <= 0.0 || !batch.duration_secs.is_finite() {
+            return Err(RecordingError::EmptyBatch { duration_secs: batch.duration_secs });
+        }
+        let edge = self.live_edge();
+        for obj in &batch.objects {
+            if self.scene.object_index(obj.id).is_some() {
+                return Err(RecordingError::DuplicateObject(obj.id));
+            }
+            let first = obj.first_seen().unwrap_or(edge);
+            if first < edge {
+                return Err(RecordingError::BeforeLiveEdge {
+                    id: obj.id,
+                    first_seen_secs: first.as_secs(),
+                    live_edge_secs: edge.as_secs(),
+                });
+            }
+        }
+        // Duplicate ids *within* the batch: the scene lookup above only sees
+        // already-appended objects.
+        let mut ids: Vec<ObjectId> = batch.objects.iter().map(|o| o.id).collect();
+        ids.sort_unstable();
+        if let Some(w) = ids.windows(2).find(|w| w[0] == w[1]) {
+            return Err(RecordingError::DuplicateObject(w[0]));
+        }
+        let new_edge = edge.add_secs(batch.duration_secs);
+        self.scene.extend(new_edge, batch.objects);
+        Ok(new_edge)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+    use crate::object::{Attributes, ObjectClass, PresenceSegment};
+    use crate::trajectory::Trajectory;
+
+    fn walker(id: u64, start: f64, end: f64) -> TrackedObject {
+        TrackedObject::new(
+            ObjectId(id),
+            ObjectClass::Person,
+            Attributes::default(),
+            vec![PresenceSegment {
+                span: TimeSpan::between_secs(start, end),
+                trajectory: Trajectory::linear(Point::new(0.0, 50.0), Point::new(100.0, 50.0), 5.0, 10.0),
+            }],
+        )
+    }
+
+    fn fresh() -> Recording {
+        Recording::start(CameraId::new("live"), FrameRate::new(2.0), FrameSize::new(100, 100))
+    }
+
+    #[test]
+    fn batches_advance_the_live_edge_and_reveal_footage() {
+        let mut rec = fresh();
+        assert_eq!(rec.live_edge(), Timestamp::ZERO);
+        // The walker's trajectory extends past the first batch's edge.
+        rec.append_batch(FrameBatch::new(60.0, vec![walker(1, 10.0, 100.0)])).unwrap();
+        assert_eq!(rec.live_edge(), Timestamp::from_secs(60.0));
+        assert_eq!(rec.scene().observations_at(Timestamp::from_secs(30.0)).len(), 1);
+        assert!(
+            rec.scene().observations_at(Timestamp::from_secs(80.0)).is_empty(),
+            "footage past the live edge does not exist yet"
+        );
+        rec.append_batch(FrameBatch::empty(60.0)).unwrap();
+        assert_eq!(rec.live_edge(), Timestamp::from_secs(120.0));
+        assert_eq!(rec.scene().observations_at(Timestamp::from_secs(80.0)).len(), 1, "now it does");
+    }
+
+    #[test]
+    fn rejected_batches_change_nothing() {
+        let mut rec = fresh();
+        rec.append_batch(FrameBatch::new(60.0, vec![walker(1, 10.0, 40.0)])).unwrap();
+        assert!(matches!(
+            rec.append_batch(FrameBatch::empty(0.0)),
+            Err(RecordingError::EmptyBatch { .. })
+        ));
+        assert!(matches!(
+            rec.append_batch(FrameBatch::new(60.0, vec![walker(1, 70.0, 90.0)])),
+            Err(RecordingError::DuplicateObject(ObjectId(1)))
+        ));
+        match rec.append_batch(FrameBatch::new(60.0, vec![walker(2, 30.0, 90.0)])) {
+            Err(RecordingError::BeforeLiveEdge { id, first_seen_secs, live_edge_secs }) => {
+                assert_eq!(id, ObjectId(2));
+                assert_eq!(first_seen_secs, 30.0);
+                assert_eq!(live_edge_secs, 60.0);
+            }
+            other => panic!("expected BeforeLiveEdge, got {other:?}"),
+        }
+        // Duplicate ids within one batch are caught too.
+        assert!(matches!(
+            rec.append_batch(FrameBatch::new(60.0, vec![walker(3, 70.0, 80.0), walker(3, 90.0, 100.0)])),
+            Err(RecordingError::DuplicateObject(ObjectId(3)))
+        ));
+        assert_eq!(rec.live_edge(), Timestamp::from_secs(60.0), "every rejection left the edge alone");
+        assert_eq!(rec.scene().object_count(), 1);
+    }
+
+    #[test]
+    fn appended_recording_equals_one_shot_scene() {
+        // The core live-ingestion invariant: appending batch by batch yields
+        // the same scene (same observations everywhere) as constructing the
+        // final recording in one go.
+        let objects = vec![walker(1, 5.0, 50.0), walker(2, 70.0, 130.0), walker(3, 130.0, 170.0)];
+        let mut rec = fresh();
+        rec.append_batch(FrameBatch::new(60.0, vec![objects[0].clone()])).unwrap();
+        rec.append_batch(FrameBatch::new(60.0, vec![objects[1].clone()])).unwrap();
+        rec.append_batch(FrameBatch::new(60.0, vec![objects[2].clone()])).unwrap();
+        let batch_scene = Scene::new(
+            CameraId::new("live"),
+            TimeSpan::from_secs(180.0),
+            FrameRate::new(2.0),
+            FrameSize::new(100, 100),
+            objects,
+        );
+        let live_scene = rec.scene();
+        assert_eq!(live_scene.span, batch_scene.span);
+        let dt = 0.5;
+        for i in 0..360 {
+            let t = Timestamp::from_secs(i as f64 * dt);
+            assert_eq!(
+                live_scene.observations_at(t),
+                batch_scene.observations_at(t),
+                "observations diverge at {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_over_the_closed_timeline() {
+        let mut rec = fresh();
+        rec.append_batch(FrameBatch::new(25.0, vec![walker(1, 5.0, 20.0)])).unwrap();
+        let spec = ChunkSpec::contiguous(10.0);
+        let plan = rec.plan(&spec);
+        assert_eq!(plan.len(), 3, "25 s of closed footage in 10 s chunks");
+        assert_eq!(plan.span_of(2), TimeSpan::between_secs(20.0, 25.0));
+    }
+}

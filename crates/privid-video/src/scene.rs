@@ -103,15 +103,47 @@ impl Scene {
     pub fn rebuild_index(&mut self) {
         self.index.clear();
         self.by_id.clear();
-        for (oi, obj) in self.objects.iter().enumerate() {
-            self.by_id.insert(obj.id, oi as u32);
-            for (si, seg) in obj.segments.iter().enumerate() {
+        for oi in 0..self.objects.len() {
+            self.index_object(oi);
+        }
+    }
+
+    /// Index one object's segments (and its id), by object index.
+    fn index_object(&mut self, oi: usize) {
+        let obj = &self.objects[oi];
+        self.by_id.insert(obj.id, oi as u32);
+        let buckets: Vec<(i64, i64, u32)> = obj
+            .segments
+            .iter()
+            .enumerate()
+            .map(|(si, seg)| {
                 let b0 = (seg.span.start.as_secs() / BUCKET_SECS).floor() as i64;
                 let b1 = (seg.span.end.as_secs() / BUCKET_SECS).floor() as i64;
-                for b in b0..=b1 {
-                    self.index.entry(b).or_default().push((oi as u32, si as u32));
-                }
+                (b0, b1, si as u32)
+            })
+            .collect();
+        for (b0, b1, si) in buckets {
+            for b in b0..=b1 {
+                self.index.entry(b).or_default().push((oi as u32, si));
             }
+        }
+    }
+
+    /// Append-only extension of the recording: advance the span's end to
+    /// `new_end` and add the objects that newly appeared, indexing only them.
+    ///
+    /// This is the mechanical half of live ingestion — [`crate::Recording`]
+    /// wraps it with the validation (monotonic edge, unique ids, no footage
+    /// added before the live edge) that keeps already-recorded frames final.
+    /// Cost is proportional to the *batch*, not the whole scene, so a camera
+    /// appending all day never pays a full reindex.
+    pub fn extend(&mut self, new_end: Timestamp, objects: Vec<TrackedObject>) {
+        assert!(new_end >= self.span.end, "a recording timeline only ever grows");
+        self.span.end = new_end;
+        for obj in objects {
+            let oi = self.objects.len();
+            self.objects.push(obj);
+            self.index_object(oi);
         }
     }
 
@@ -151,7 +183,15 @@ impl Scene {
     /// The allocation-free workhorse behind [`Scene::observations_at_masked`]:
     /// chunk materialization calls it once per frame into a reused buffer, so
     /// the hot path performs no per-frame allocation at steady state.
+    ///
+    /// Timestamps outside `span` yield nothing: the recording ends at
+    /// `span.end`, so no frame exists there — even when a ground-truth
+    /// trajectory (delivered early by a live [`crate::Recording`] batch, or
+    /// overhanging a generated scene's end) extends past it.
     pub fn observations_at_masked_into(&self, t: Timestamp, mask: Option<&Mask>, out: &mut Vec<Observation>) {
+        if !self.span.contains(t) {
+            return;
+        }
         let bucket = (t.as_secs() / BUCKET_SECS).floor() as i64;
         let Some(entries) = self.index.get(&bucket) else { return };
         for &(oi, si) in entries {
@@ -361,6 +401,44 @@ mod tests {
         let visible = scene.objects_visible_during(&TimeSpan::between_secs(40.0, 50.0));
         assert_eq!(visible.len(), 1);
         assert_eq!(visible[0].id, ObjectId(2));
+    }
+
+    #[test]
+    fn extend_indexes_only_new_objects_and_grows_the_span() {
+        let mut scene = simple_scene();
+        assert_eq!(scene.span.end, Timestamp::from_secs(600.0));
+        scene.extend(
+            Timestamp::from_secs(900.0),
+            vec![TrackedObject::new(
+                ObjectId(9),
+                ObjectClass::Person,
+                Attributes::default(),
+                vec![PresenceSegment {
+                    span: TimeSpan::between_secs(700.0, 760.0),
+                    trajectory: Trajectory::linear(Point::new(0.0, 10.0), Point::new(90.0, 10.0), 5.0, 10.0),
+                }],
+            )],
+        );
+        assert_eq!(scene.span.end, Timestamp::from_secs(900.0));
+        // The new object is reachable through the incremental index…
+        let obs = scene.observations_at(Timestamp::from_secs(730.0));
+        assert_eq!(obs.len(), 1);
+        assert_eq!(obs[0].object_id, ObjectId(9));
+        assert_eq!(scene.object_index(ObjectId(9)), Some(2));
+        // …and the pre-existing footage is untouched.
+        assert_eq!(scene.observations_at(Timestamp::from_secs(10.0)).len(), 2);
+    }
+
+    #[test]
+    fn observations_stop_at_the_recorded_edge() {
+        // A trajectory overhanging the recording's end must not produce
+        // observations past `span.end`: the frames there do not exist (yet).
+        let mut scene = simple_scene();
+        scene.span.end = Timestamp::from_secs(100.0);
+        assert!(scene.observations_at(Timestamp::from_secs(150.0)).is_empty(), "the car dwells until 300 s, but the recording stops at 100 s");
+        assert_eq!(scene.observations_at(Timestamp::from_secs(99.5)).len(), 1);
+        scene.span.end = Timestamp::from_secs(600.0);
+        assert_eq!(scene.observations_at(Timestamp::from_secs(150.0)).len(), 1, "growing the edge reveals the footage");
     }
 
     #[test]

@@ -25,9 +25,9 @@ pub use privid_sandbox as sandbox;
 pub use privid_video as video;
 
 pub use privid_core::{
-    greedy_mask_order, AdmissionController, BudgetError, BudgetLedger, ChunkCacheStats, DegradationCurve,
-    LaplaceMechanism, MaskPolicy, MaskingAnalysis, NoisyRelease, NoisyValue, Parallelism, PrivacyPolicy, PrividError,
-    PrividSystem, QueryResult, QueryService,
+    greedy_mask_order, AdmissionController, AppendOutcome, BudgetError, BudgetLedger, ChunkCacheStats,
+    DegradationCurve, LaplaceMechanism, MaskPolicy, MaskingAnalysis, NoisyRelease, NoisyValue, Parallelism,
+    PrivacyPolicy, PrividError, PrividSystem, QueryResult, QueryService, StandingFiring,
 };
 pub use privid_cv::{Detector, DetectorConfig, DurationEstimator, PolicyEstimator, Tracker, TrackerConfig};
 pub use privid_query::{parse_query, Aggregation, ParsedQuery, Relation, SelectStatement, Value};
@@ -36,8 +36,9 @@ pub use privid_sandbox::{
     TreeBloomProcessor, UniqueEntrantProcessor,
 };
 pub use privid_video::{
-    ChunkBuffer, ChunkPlan, ChunkView, DatasetCatalog, GridSpec, Mask, PersistenceStats, PortoConfig, PortoDataset,
-    PresenceHeatmap, Scene, SceneConfig, SceneGenerator, TimeSpan,
+    CameraId, ChunkBuffer, ChunkPlan, ChunkView, DatasetCatalog, FrameBatch, FrameRate, FrameSize, GridSpec, Mask,
+    PersistenceStats, PortoConfig, PortoDataset, PresenceHeatmap, Recording, Scene, SceneConfig, SceneGenerator,
+    TimeSpan, Timestamp, TrackedObject,
 };
 
 #[cfg(test)]

@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Records a machine-readable live-ingestion benchmark snapshot at the repo
+# root (BENCH_PR4.json), tracking append-batch throughput, standing-query
+# latency and the closed-window cache hit rate PR over PR.
+#
+# Usage:
+#   scripts/bench_streaming.sh            # full snapshot -> BENCH_PR4.json
+#   scripts/bench_streaming.sh --smoke    # quick CI smoke run
+#   scripts/bench_streaming.sh --out F    # write to a different path
+set -eu
+cd "$(dirname "$0")/.."
+exec cargo run --release -p privid-bench --bin bench_pr4_streaming -- "$@"
