@@ -1,0 +1,178 @@
+//! Machine-readable durability benchmark snapshot.
+//!
+//! Measures the PR-5 write-ahead-log path and writes the results as JSON so
+//! the repo's perf trajectory is tracked PR over PR:
+//!
+//! 1. `admissions` — journaled admission throughput (check → WAL append →
+//!    debit) through the real [`privid::AdmissionController`], at three
+//!    durability levels: `in_memory` (no journal), `wal_fsync_never`
+//!    (journal to the OS page cache) and `wal_fsync_always` (fsync per
+//!    record — the power-loss-proof setting). The gap between the three is
+//!    the price of each durability rung.
+//! 2. `recovery` — wall-clock to recover a ledger from (a) a long debit log
+//!    (100k admit records; replay-bound) and (b) the same state after a
+//!    checkpoint (snapshot-bound) — the cost `snapshot_every` bounds.
+//!
+//! Usage: `bench_pr5_durability [--smoke] [--out PATH]` (default
+//! `BENCH_PR5.json` in the current directory; CI runs `--smoke --out /dev/null`).
+
+use privid::store::DebitRange;
+use privid::{
+    AdmissionController, AdmissionJournal, AdmissionRequest, BudgetLedger, FsyncPolicy, Record, StoreError,
+    TimeSpan, WalOptions, WalStore,
+};
+use std::path::PathBuf;
+use std::time::Instant;
+
+const LEDGER_SECS: f64 = 100_000.0;
+const WINDOW_SECS: f64 = 10.0;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("privid-bench-pr5-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The serving layer's journal shape: one atomic admit record carrying the
+/// resolved slot ranges, appended between check and debit.
+struct Journal<'a> {
+    store: &'a WalStore,
+}
+
+impl AdmissionJournal for Journal<'_> {
+    fn record_admit(&self, requests: &[AdmissionRequest<'_>], epsilon: f64) -> Result<(), StoreError> {
+        let mut debits = Vec::with_capacity(requests.len());
+        for r in requests {
+            let (lo, hi) = r.ledger.debit_slot_range(&r.window).expect("checked window resolves");
+            debits.push(DebitRange { camera: "cam".into(), lo: lo as u64, hi: hi as u64 });
+        }
+        self.store.append(Record::Admit { epsilon, debits })
+    }
+    fn record_rollback(&self, _: &[AdmissionRequest<'_>], _: usize, _: f64) {}
+}
+
+fn register_cam(store: &WalStore, epsilon: f64) {
+    store
+        .append(Record::RegisterCamera {
+            name: "cam".into(),
+            generation: 0,
+            live: false,
+            slot_secs: 1.0,
+            duration_secs: LEDGER_SECS,
+            initial_epsilon: epsilon,
+            rho_secs: 30.0,
+            k: 2,
+        })
+        .expect("camera registration journals");
+}
+
+/// Run `n` journaled admissions over rotating disjoint windows; returns
+/// admissions per second.
+fn admissions_per_sec(n: usize, store: Option<&WalStore>) -> f64 {
+    let ledger = BudgetLedger::new(LEDGER_SECS, 1e9);
+    let controller = AdmissionController::new();
+    let journal = store.map(|store| Journal { store });
+    let windows = (LEDGER_SECS / WINDOW_SECS) as usize;
+    let start = Instant::now();
+    for i in 0..n {
+        let begin = ((i % windows) as f64) * WINDOW_SECS;
+        let requests =
+            [AdmissionRequest { ledger: &ledger, window: TimeSpan::between_secs(begin, begin + WINDOW_SECS), rho_margin: 30.0 }];
+        controller
+            .admit_journaled(&requests, 1e-6, journal.as_ref().map(|j| j as &dyn AdmissionJournal))
+            .expect("bench admission admitted");
+    }
+    n as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR5.json".to_string());
+
+    // fsync=Always pays a disk round-trip per record: keep its iteration
+    // count low so the bench stays snappy while the rate stays measurable.
+    let (n_mem, n_never, n_always, n_log) = if smoke { (20_000, 2_000, 50, 5_000) } else { (200_000, 20_000, 300, 100_000) };
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    eprintln!("bench_pr5_durability: {n_log}-record recovery log, {cores} core(s)");
+
+    // ---- journaled admission throughput ----
+    let mem_per_sec = admissions_per_sec(n_mem, None);
+    let dir_never = temp_dir("never");
+    let (store_never, _) =
+        WalStore::open_with(&dir_never, FsyncPolicy::Never, WalOptions { snapshot_every: u64::MAX }).unwrap();
+    register_cam(&store_never, 1e9);
+    let never_per_sec = admissions_per_sec(n_never, Some(&store_never));
+    drop(store_never);
+    let _ = std::fs::remove_dir_all(&dir_never);
+
+    let dir_always = temp_dir("always");
+    let (store_always, _) =
+        WalStore::open_with(&dir_always, FsyncPolicy::Always, WalOptions { snapshot_every: u64::MAX }).unwrap();
+    register_cam(&store_always, 1e9);
+    let always_per_sec = admissions_per_sec(n_always, Some(&store_always));
+    drop(store_always);
+    let _ = std::fs::remove_dir_all(&dir_always);
+
+    // ---- recovery: long-log replay vs snapshot ----
+    let dir = temp_dir("recovery");
+    {
+        let (store, _) =
+            WalStore::open_with(&dir, FsyncPolicy::Never, WalOptions { snapshot_every: u64::MAX }).unwrap();
+        register_cam(&store, 1e9);
+        let windows = (LEDGER_SECS / WINDOW_SECS) as usize;
+        for i in 0..n_log {
+            let lo = ((i % windows) as u64) * WINDOW_SECS as u64;
+            store
+                .append(Record::Admit {
+                    epsilon: 1e-6,
+                    debits: vec![DebitRange { camera: "cam".into(), lo, hi: lo + WINDOW_SECS as u64 }],
+                })
+                .unwrap();
+        }
+    }
+    let log_bytes = std::fs::metadata(dir.join("wal.log")).unwrap().len();
+    let start = Instant::now();
+    let (store, recovered) = WalStore::open(&dir, FsyncPolicy::Never).unwrap();
+    let replay_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(recovered.report.records_replayed, n_log as u64 + 1);
+    store.checkpoint().unwrap();
+    drop(store);
+    let start = Instant::now();
+    let (_store, recovered) = WalStore::open(&dir, FsyncPolicy::Never).unwrap();
+    let snapshot_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(recovered.report.records_replayed, 0, "everything came from the snapshot");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let json = format!(
+        "{{\n  \"pr\": 5,\n  \"bench\": \"durable privacy ledger (WAL + snapshots + recovery)\",\n  \
+         \"available_cores\": {cores},\n  \
+         \"config\": {{\"ledger_secs\": {LEDGER_SECS}, \"window_secs\": {WINDOW_SECS}, \
+         \"recovery_log_records\": {n_log}, \"smoke\": {smoke}}},\n  \
+         \"admissions\": [\n    \
+         {{\"mode\": \"in_memory\", \"iterations\": {n_mem}, \"admissions_per_sec\": {mem_per_sec:.0}}},\n    \
+         {{\"mode\": \"wal_fsync_never\", \"iterations\": {n_never}, \"admissions_per_sec\": {never_per_sec:.0}}},\n    \
+         {{\"mode\": \"wal_fsync_always\", \"iterations\": {n_always}, \"admissions_per_sec\": {always_per_sec:.0}}}\n  ],\n  \
+         \"recovery\": [\n    \
+         {{\"mode\": \"log_replay\", \"records\": {n_log}, \"log_bytes\": {log_bytes}, \"millis\": {replay_ms:.2}, \
+         \"records_per_sec\": {:.0}}},\n    \
+         {{\"mode\": \"from_snapshot\", \"records\": {n_log}, \"millis\": {snapshot_ms:.2}}}\n  ],\n  \
+         \"overheads\": {{\"wal_never_vs_memory\": {:.2}, \"fsync_always_vs_never\": {:.2}}}\n}}\n",
+        n_log as f64 / (replay_ms / 1e3),
+        mem_per_sec / never_per_sec.max(1e-9),
+        never_per_sec / always_per_sec.max(1e-9),
+    );
+
+    if out_path == "/dev/null" {
+        print!("{json}");
+    } else {
+        std::fs::write(&out_path, &json).expect("write bench snapshot");
+        eprintln!("bench_pr5_durability: wrote {out_path}");
+        print!("{json}");
+    }
+}

@@ -16,6 +16,7 @@
 //! [`AdmissionController`], the single serialization point the query service
 //! funnels every admission through.
 
+use privid_store::StoreError;
 use privid_video::{Seconds, TimeSpan};
 use std::sync::Mutex;
 
@@ -115,6 +116,32 @@ impl BudgetLedger {
         ledger
     }
 
+    /// Rebuild a ledger from recovered durable state: the exact per-slot
+    /// budgets and recorded duration a crashed process had journaled. This is
+    /// how a restarted service *adopts* a camera's pre-crash ledger instead
+    /// of minting fresh ε for footage that was already queried.
+    pub fn restore(slots: Vec<f64>, duration_secs: Seconds, slot_secs: f64, initial: f64, live: bool) -> Self {
+        assert!(slot_secs > 0.0);
+        assert!(!slots.is_empty(), "a ledger always has at least one slot");
+        BudgetLedger {
+            state: Mutex::new(LedgerState { slots, duration_secs: duration_secs.max(0.0) }),
+            slot_secs,
+            initial,
+            live,
+        }
+    }
+
+    /// The exact per-slot remaining budgets (a consistent copy). Recovery
+    /// proofs compare this bit-for-bit against the durable shadow state.
+    pub fn slots_snapshot(&self) -> Vec<f64> {
+        self.state.lock().expect("budget ledger lock poisoned").slots.clone()
+    }
+
+    /// The slot resolution, seconds.
+    pub fn slot_secs(&self) -> f64 {
+        self.slot_secs
+    }
+
     /// The initial per-frame budget.
     pub fn initial_budget(&self) -> f64 {
         self.initial
@@ -131,17 +158,22 @@ impl BudgetLedger {
         self.state.lock().expect("budget ledger lock poisoned").duration_secs
     }
 
-    /// Grow a live ledger's timeline to `new_duration_secs` (monotonic).
-    /// Frames that come into existence are born with the full initial budget
-    /// — Privid's budget refills over the *timeline*, not over wall time.
+    /// Grow a live ledger's timeline to `new_duration_secs`. Frames that come
+    /// into existence are born with the full initial budget — Privid's budget
+    /// refills over the *timeline*, not over wall time.
+    ///
+    /// The timeline is a monotonic high-watermark: an extension at or below
+    /// the current duration is a no-op rather than an error, because a
+    /// recovered ledger can sit *ahead* of its re-fed recording — the video
+    /// owner replays already-recorded batches after a restart, and those
+    /// replayed edges must not (and cannot) shrink the ledger or re-mint ε.
     pub fn extend_to(&self, new_duration_secs: Seconds) {
         assert!(self.live, "only live ledgers grow; re-register a fixed recording instead");
+        assert!(new_duration_secs.is_finite(), "live edge must be finite, got {new_duration_secs}");
         let mut state = self.state.lock().expect("budget ledger lock poisoned");
-        assert!(
-            new_duration_secs >= state.duration_secs,
-            "a recording timeline only ever grows ({} -> {new_duration_secs})",
-            state.duration_secs
-        );
+        if new_duration_secs <= state.duration_secs {
+            return;
+        }
         let n = ((new_duration_secs / self.slot_secs).ceil().max(1.0)) as usize;
         if n > state.slots.len() {
             state.slots.resize(n, self.initial);
@@ -190,6 +222,16 @@ impl BudgetLedger {
         let lo = ((span.start.as_secs() / self.slot_secs).floor().max(0.0) as usize).min(n.saturating_sub(1));
         let hi = ((span.end.as_secs() / self.slot_secs).ceil() as usize).clamp(lo + 1, n);
         Ok((lo, hi))
+    }
+
+    /// The slot interval `[lo, hi)` a [`Self::check_and_debit`] over `window`
+    /// would debit, given the current timeline (partial overlaps clamp to the
+    /// recorded edge, exactly as the debit does). The admission journal logs
+    /// this resolved range — not the window in seconds — so replaying the
+    /// record cannot diverge from the debit that was actually applied.
+    pub fn debit_slot_range(&self, window: &TimeSpan) -> Result<(usize, usize), BudgetError> {
+        let state = self.state.lock().expect("budget ledger lock poisoned");
+        self.slot_range(&state, window)
     }
 
     /// Minimum remaining budget over a span.
@@ -265,6 +307,42 @@ pub struct AdmissionRequest<'a> {
     pub rho_margin: Seconds,
 }
 
+/// Why a journaled admission failed: a budget rejection (with the index of
+/// the failing request) or a journal write that could not be made durable
+/// (in which case nothing was debited — a release must never outrun its
+/// durable debit record).
+#[derive(Debug)]
+pub enum AdmissionFailure {
+    /// A request failed the budget check (or its window validation).
+    Budget {
+        /// Index of the failing request.
+        index: usize,
+        /// Why it failed.
+        error: BudgetError,
+    },
+    /// The admission journal refused the debit record; the admission was
+    /// aborted before any slot was debited.
+    Journal(StoreError),
+}
+
+/// The durability hook of [`AdmissionController::admit_journaled`]: the
+/// serving layer implements this over its write-ahead log.
+pub trait AdmissionJournal {
+    /// Called under the admission gate after every budget check passed and
+    /// **before any slot is debited**. An `Err` aborts the admission — the
+    /// in-memory ledger must never run ahead of the journal.
+    fn record_admit(&self, requests: &[AdmissionRequest<'_>], epsilon: f64) -> Result<(), StoreError>;
+
+    /// Called after the (rare) all-or-nothing rollback: the first `debited`
+    /// requests were debited and credited back, the rest never debited at
+    /// all. Either way the admission's net in-memory effect is zero, while
+    /// [`AdmissionJournal::record_admit`] journaled debits for **every**
+    /// request — so the journal must compensate *all* of them, not just the
+    /// first `debited`. Runs *after* the in-memory credits, so a crash in
+    /// between leaves the journal over-debited — never under.
+    fn record_rollback(&self, requests: &[AdmissionRequest<'_>], debited: usize, epsilon: f64);
+}
+
 /// Serializes admissions that span several ledgers.
 ///
 /// A query over multiple cameras must be admitted against *all* of its
@@ -274,6 +352,11 @@ pub struct AdmissionRequest<'a> {
 /// inconsistent. The controller closes that race by running the whole
 /// check-all-then-debit-all sequence under a single gate, making `budget`
 /// the one serialization point for admission in the system.
+///
+/// With a durable service the gate serializes one more thing: live-edge
+/// extensions run under [`AdmissionController::exclusive`], so the slot
+/// ranges an [`AdmissionJournal`] records between check and debit can never
+/// be invalidated by a concurrent ledger growth.
 #[derive(Debug, Default)]
 pub struct AdmissionController {
     gate: Mutex<()>,
@@ -288,31 +371,114 @@ impl AdmissionController {
     /// Atomically admit `epsilon` against every request, or none of them.
     /// On rejection returns the index of the failing request plus the reason.
     pub fn admit(&self, requests: &[AdmissionRequest<'_>], epsilon: f64) -> Result<(), (usize, BudgetError)> {
+        self.admit_journaled(requests, epsilon, None).map_err(|failure| match failure {
+            AdmissionFailure::Budget { index, error } => (index, error),
+            AdmissionFailure::Journal(_) => unreachable!("no journal was supplied"),
+        })
+    }
+
+    /// [`AdmissionController::admit`] with a durability hook: after the
+    /// checks pass, the journal records the admission's exact slot-range
+    /// debits — and only once that record is durable are the slots debited.
+    pub fn admit_journaled(
+        &self,
+        requests: &[AdmissionRequest<'_>],
+        epsilon: f64,
+        journal: Option<&dyn AdmissionJournal>,
+    ) -> Result<(), AdmissionFailure> {
+        let budget_err = |index: usize, error: BudgetError| AdmissionFailure::Budget { index, error };
         let _gate = self.gate.lock().expect("admission gate poisoned");
         // Phase 1: every window must be on the recording and have enough
         // margin-expanded budget. Nothing is debited yet.
         for (i, r) in requests.iter().enumerate() {
-            r.ledger.validate_window(&r.window).map_err(|e| (i, e))?;
-            let min = r.ledger.min_remaining(&r.window.expand(r.rho_margin)).map_err(|e| (i, e))?;
+            r.ledger.validate_window(&r.window).map_err(|e| budget_err(i, e))?;
+            let min = r.ledger.min_remaining(&r.window.expand(r.rho_margin)).map_err(|e| budget_err(i, e))?;
             if min + 1e-9 < epsilon {
-                return Err((i, BudgetError::Insufficient { available: min }));
+                return Err(budget_err(i, BudgetError::Insufficient { available: min }));
             }
         }
-        // Phase 2: debit. A failure here is still possible even under the
-        // gate — two requests may reference the *same* ledger with
-        // overlapping windows (phase 1 checks each independently), or some
-        // caller may debit a ledger outside the controller. Roll back every
-        // debit already made so the call stays all-or-nothing.
+        // Phase 1 checked each request independently, which misses compound
+        // spending when several requests share one ledger. Discovering that
+        // only at debit time would force a rollback *after* the admission was
+        // journaled — and the compensating credits cannot reproduce the
+        // untouched slots bit-for-bit (float subtraction does not round-trip).
+        // So simulate the full debit sequence on scratch copies first: by the
+        // time anything is journaled or debited, the admission is known to
+        // fit. (Cost is one slot-vector clone per *shared* ledger; the common
+        // all-distinct case skips this entirely.)
+        let shares_a_ledger = requests
+            .iter()
+            .enumerate()
+            .any(|(i, r)| requests[..i].iter().any(|q| std::ptr::eq(q.ledger, r.ledger)));
+        if shares_a_ledger {
+            simulate_shared(requests, epsilon).map_err(|(index, error)| budget_err(index, error))?;
+        }
+        // Journal between check and debit: the record describes exactly the
+        // debits phase 2 will apply (the gate excludes concurrent extensions,
+        // so the resolved slot ranges cannot move underneath us). A crash
+        // after this point at worst *over*-debits on recovery.
+        if let Some(journal) = journal {
+            journal.record_admit(requests, epsilon).map_err(AdmissionFailure::Journal)?;
+        }
+        // Phase 2: debit. With shared ledgers pre-simulated, a failure here
+        // is only possible when some caller debits a ledger *outside* the
+        // controller concurrently. Roll back every debit already made so the
+        // call stays all-or-nothing, and journal the rollback after the
+        // credits (crash in between = over-debit; the compensation may also
+        // differ from the untouched slots by ULPs — a bounded, conservative
+        // residue of an already-out-of-contract race).
         for (i, r) in requests.iter().enumerate() {
             if let Err(e) = r.ledger.check_and_debit(&r.window, r.rho_margin, epsilon) {
                 for done in &requests[..i] {
                     done.ledger.credit(&done.window, epsilon);
                 }
-                return Err((i, e));
+                if let Some(journal) = journal {
+                    journal.record_rollback(requests, i, epsilon);
+                }
+                return Err(budget_err(i, e));
             }
         }
         Ok(())
     }
+
+    /// Run `f` holding the admission gate. The serving layer wraps live-edge
+    /// extensions and camera registrations (journal append + state mutation)
+    /// in this, so they serialize against admissions and the journal
+    /// observes every ledger-shaping event in exactly the order the ledgers
+    /// do.
+    pub fn exclusive<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _gate = self.gate.lock().expect("admission gate poisoned");
+        f()
+    }
+}
+
+/// Simulate the full debit sequence of an admission whose requests share at
+/// least one ledger, on scratch slot copies — mirroring `check_and_debit`'s
+/// arithmetic (same clamping, same `1e-9` boundary tolerance) without
+/// touching any real slot.
+fn simulate_shared(requests: &[AdmissionRequest<'_>], epsilon: f64) -> Result<(), (usize, BudgetError)> {
+    let mut scratch: Vec<(*const BudgetLedger, Vec<f64>)> = Vec::new();
+    for (i, r) in requests.iter().enumerate() {
+        let ptr = r.ledger as *const BudgetLedger;
+        let idx = match scratch.iter().position(|(p, _)| std::ptr::eq(*p, ptr)) {
+            Some(idx) => idx,
+            None => {
+                scratch.push((ptr, r.ledger.slots_snapshot()));
+                scratch.len() - 1
+            }
+        };
+        let (elo, ehi) = r.ledger.debit_slot_range(&r.window.expand(r.rho_margin)).map_err(|e| (i, e))?;
+        let (wlo, whi) = r.ledger.debit_slot_range(&r.window).map_err(|e| (i, e))?;
+        let slots = &mut scratch[idx].1;
+        let min = slots[elo..ehi].iter().cloned().fold(f64::INFINITY, f64::min);
+        if min + 1e-9 < epsilon {
+            return Err((i, BudgetError::Insufficient { available: min }));
+        }
+        for s in &mut slots[wlo..whi] {
+            *s -= epsilon;
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -565,6 +731,111 @@ mod tests {
     #[should_panic(expected = "only live ledgers grow")]
     fn fixed_ledgers_refuse_to_grow() {
         BudgetLedger::new(100.0, 1.0).extend_to(200.0);
+    }
+
+    #[test]
+    fn replayed_extensions_are_no_ops() {
+        // After crash recovery the ledger can sit ahead of the re-fed
+        // recording: replayed edges below the high-watermark must neither
+        // shrink the timeline nor re-mint ε for debited slots.
+        let ledger = BudgetLedger::new_live(1.0);
+        ledger.extend_to(100.0);
+        ledger.check_and_debit(&TimeSpan::between_secs(0.0, 100.0), 0.0, 0.4).unwrap();
+        ledger.extend_to(30.0);
+        ledger.extend_to(100.0);
+        assert_eq!(ledger.duration_secs(), 100.0);
+        assert!((ledger.remaining_at(50.0) - 0.6).abs() < 1e-9, "replayed edge must not refill the slot");
+        assert!(matches!(
+            ledger.validate_window(&TimeSpan::between_secs(100.0, 120.0)),
+            Err(BudgetError::BeyondLiveEdge { live_edge_secs, .. }) if live_edge_secs == 100.0
+        ));
+    }
+
+    #[test]
+    fn restore_rebuilds_the_exact_ledger() {
+        let original = BudgetLedger::new_live(1.0);
+        original.extend_to(10.0);
+        original.check_and_debit(&TimeSpan::between_secs(2.0, 7.0), 0.0, 0.1 + 0.2).unwrap();
+        let restored = BudgetLedger::restore(original.slots_snapshot(), original.duration_secs(), 1.0, 1.0, true);
+        assert!(restored.is_live());
+        assert_eq!(restored.duration_secs(), original.duration_secs());
+        assert_eq!(
+            restored.slots_snapshot().iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            original.slots_snapshot().iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            "restored slots must be bit-for-bit identical"
+        );
+        // The restored ledger keeps behaving like the original.
+        assert!(restored.check_and_debit(&TimeSpan::between_secs(2.0, 7.0), 0.0, 0.8).is_err());
+        restored.extend_to(20.0);
+        assert!((restored.remaining_at(15.0) - 1.0).abs() < 1e-9, "new slots born with full ε");
+    }
+
+    #[test]
+    fn journaled_admission_aborts_before_debit_on_journal_failure() {
+        use privid_store::StoreError;
+        struct RefusingJournal;
+        impl AdmissionJournal for RefusingJournal {
+            fn record_admit(&self, _: &[AdmissionRequest<'_>], _: f64) -> Result<(), StoreError> {
+                Err(StoreError::Io { context: "test".into(), message: "disk full".into() })
+            }
+            fn record_rollback(&self, _: &[AdmissionRequest<'_>], _: usize, _: f64) {}
+        }
+        let ledger = BudgetLedger::new(100.0, 1.0);
+        let ctrl = AdmissionController::new();
+        let reqs = [AdmissionRequest { ledger: &ledger, window: TimeSpan::between_secs(0.0, 50.0), rho_margin: 0.0 }];
+        match ctrl.admit_journaled(&reqs, 0.5, Some(&RefusingJournal)) {
+            Err(AdmissionFailure::Journal(StoreError::Io { .. })) => {}
+            other => panic!("expected a journal failure, got {other:?}"),
+        }
+        assert!((ledger.remaining_at(10.0) - 1.0).abs() < 1e-9, "no slot may be debited without a durable record");
+    }
+
+    #[test]
+    fn journal_observes_admissions_and_rollbacks_in_order() {
+        use privid_store::StoreError;
+        use std::sync::Mutex as StdMutex;
+        #[derive(Default)]
+        struct TraceJournal {
+            log: StdMutex<Vec<String>>,
+        }
+        impl AdmissionJournal for TraceJournal {
+            fn record_admit(&self, requests: &[AdmissionRequest<'_>], epsilon: f64) -> Result<(), StoreError> {
+                let ranges: Vec<(usize, usize)> =
+                    requests.iter().map(|r| r.ledger.debit_slot_range(&r.window).unwrap()).collect();
+                self.log.lock().unwrap().push(format!("admit {epsilon} {ranges:?}"));
+                Ok(())
+            }
+            fn record_rollback(&self, _: &[AdmissionRequest<'_>], debited: usize, epsilon: f64) {
+                self.log.lock().unwrap().push(format!("rollback {debited} {epsilon}"));
+            }
+        }
+        let ledger = BudgetLedger::new(100.0, 1.0);
+        let ctrl = AdmissionController::new();
+        let journal = TraceJournal::default();
+        let ok = [AdmissionRequest { ledger: &ledger, window: TimeSpan::between_secs(0.0, 10.0), rho_margin: 0.0 }];
+        ctrl.admit_journaled(&ok, 0.25, Some(&journal)).unwrap();
+        // Same-ledger overlap passes phase 1 independently but fails the
+        // compound simulation: rejected with the limiting budget *before*
+        // anything reaches the journal — no admit record, no rollback, and
+        // every untouched slot keeps its exact bit pattern.
+        let pristine: Vec<u64> = ledger.slots_snapshot().iter().map(|s| s.to_bits()).collect();
+        let conflict = [
+            AdmissionRequest { ledger: &ledger, window: TimeSpan::between_secs(20.0, 60.0), rho_margin: 0.0 },
+            AdmissionRequest { ledger: &ledger, window: TimeSpan::between_secs(40.0, 80.0), rho_margin: 0.0 },
+        ];
+        match ctrl.admit_journaled(&conflict, 0.6, Some(&journal)) {
+            Err(AdmissionFailure::Budget { index: 1, error: BudgetError::Insufficient { available } }) => {
+                assert!((available - 0.4).abs() < 1e-9, "the simulation reports the compound remaining budget")
+            }
+            other => panic!("expected a pre-journal rejection, got {other:?}"),
+        }
+        assert_eq!(*journal.log.lock().unwrap(), vec!["admit 0.25 [(0, 10)]".to_string()]);
+        let after: Vec<u64> = ledger.slots_snapshot().iter().map(|s| s.to_bits()).collect();
+        assert_eq!(after, pristine, "a rejected compound admission must not perturb a single bit");
+        // A jointly affordable compound admission still journals and debits.
+        ctrl.admit_journaled(&conflict, 0.4, Some(&journal)).unwrap();
+        assert_eq!(journal.log.lock().unwrap().len(), 2);
+        assert!((ledger.remaining_at(50.0) - 0.2).abs() < 1e-9, "overlap debited by both requests");
     }
 
     #[test]

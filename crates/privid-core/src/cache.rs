@@ -36,6 +36,14 @@
 //!   different tag, so a racing insert of an outdated table can never be
 //!   served to it. [`ChunkResultCache::invalidate_live_edge`] (called on every
 //!   append) then reclaims their space eagerly.
+//!
+//! **Crash recovery.** The cache is deliberately *not* persisted: entries are
+//! pure recomputable sandbox output, and a restarted service simply starts
+//! cold. What recovery does restore is the registration **generation
+//! counter** (seeded past every generation the WAL ever logged), so keys
+//! minted after a restart can never alias keys from before it — even though
+//! an aliased hit would merely have been a stale-but-identical raw table, the
+//! invariant keeps the re-registration invalidation story airtight.
 
 use privid_sandbox::SandboxedOutput;
 use privid_video::{ChunkSpec, Seconds, TimeSpan};

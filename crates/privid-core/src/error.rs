@@ -1,6 +1,7 @@
 //! Error type for the Privid system layer.
 
 use privid_query::QueryError;
+use privid_store::StoreError;
 use std::fmt;
 
 /// Errors the Privid system can return to an analyst.
@@ -60,6 +61,10 @@ pub enum PrividError {
     },
     /// An error from the query layer (parse, validation, sensitivity).
     Query(QueryError),
+    /// The durability store failed (journal append, recovery, corruption).
+    /// An admission that cannot be journaled is aborted *before* any slot is
+    /// debited — a release must never outrun its durable debit record.
+    Store(StoreError),
     /// The query structure is invalid (e.g. SELECT references an undefined table).
     Invalid(String),
 }
@@ -88,6 +93,7 @@ impl fmt::Display for PrividError {
                 "spatial splitting over soft boundaries requires chunks of one frame ({frame_secs} s), got {chunk_secs} s"
             ),
             PrividError::Query(e) => write!(f, "query error: {e}"),
+            PrividError::Store(e) => write!(f, "durability error: {e}"),
             PrividError::Invalid(m) => write!(f, "invalid query: {m}"),
         }
     }
@@ -98,6 +104,12 @@ impl std::error::Error for PrividError {}
 impl From<QueryError> for PrividError {
     fn from(e: QueryError) -> Self {
         PrividError::Query(e)
+    }
+}
+
+impl From<StoreError> for PrividError {
+    fn from(e: StoreError) -> Self {
+        PrividError::Store(e)
     }
 }
 

@@ -113,6 +113,28 @@ impl PrividSystem {
         self
     }
 
+    /// Builder-style durability knob: persist admission state to a
+    /// write-ahead log and recover any existing state in the directory.
+    /// Replaces the inner service, so call it **before** registering
+    /// cameras or processors. The noise stream is unaffected (it lives in
+    /// this wrapper, seeded at construction).
+    pub fn with_durability(mut self, durability: privid_store::Durability) -> Result<Self, PrividError> {
+        self.service = QueryService::builder().durability(durability).build()?;
+        Ok(self)
+    }
+
+    /// What recovery did when this system was built over an existing store
+    /// (see [`QueryService::recovery_report`]).
+    pub fn recovery_report(&self) -> Option<&privid_store::RecoveryReport> {
+        self.service.recovery_report()
+    }
+
+    /// Snapshot the durable state and truncate the write-ahead log (no-op
+    /// without durability).
+    pub fn checkpoint(&self) -> Result<(), PrividError> {
+        self.service.checkpoint()
+    }
+
     /// Counters of the chunk-result cache backing this system. (The inner
     /// `QueryService` is deliberately not exposed: its own `execute` methods
     /// would bypass this system's `parallelism`/`default_epsilon` knobs.)

@@ -18,6 +18,10 @@
 //!   DP-safe to share because noise is applied at release time).
 //! * [`executor`] — the single-analyst front-end ([`PrividSystem`]) and the
 //!   release/result types.
+//! * durability (the `privid-store` crate, re-exported here) — the
+//!   write-ahead log + snapshot subsystem behind the [`Durability`] knob on
+//!   [`QueryServiceBuilder`]: admissions journal their debits before any slot
+//!   is debited, so a crash can never re-mint ε for queried footage.
 //! * [`parallel`] — the streaming chunk execution engine: fans lazily
 //!   materialized chunk views out to a worker pool and merges outputs in
 //!   deterministic order ([`Parallelism`] selects the worker count).
@@ -69,13 +73,16 @@ pub mod service;
 mod session;
 pub mod spatial;
 
-pub use budget::{AdmissionController, AdmissionRequest, BudgetError, BudgetLedger};
+pub use budget::{
+    AdmissionController, AdmissionFailure, AdmissionJournal, AdmissionRequest, BudgetError, BudgetLedger,
+};
 pub use cache::{ChunkCacheKey, ChunkCacheStats, ChunkResultCache};
 pub use degradation::{detection_probability_bound, DegradationCurve};
 pub use error::PrividError;
 pub use executor::{NoisyRelease, NoisyValue, PrividSystem, QueryResult};
 pub use parallel::{execute_plan, Parallelism};
-pub use service::{AppendOutcome, QueryService, StandingFiring};
+pub use privid_store::{Durability, FsyncPolicy, RecoveryEvent, RecoveryReport, StoreError};
+pub use service::{AppendOutcome, QueryService, QueryServiceBuilder, StandingFiring};
 pub use masking::{greedy_mask_order, MaskPlan, MaskingAnalysis};
 pub use mechanism::{laplace_noise, report_noisy_max, LaplaceMechanism};
 pub use policy::{MaskPolicy, PrivacyPolicy};

@@ -24,7 +24,9 @@
 //! the analyst except in latency (see `cache` module docs for the DP-safety
 //! argument).
 
-use crate::budget::{AdmissionController, BudgetLedger};
+use crate::budget::{
+    AdmissionController, AdmissionFailure, AdmissionJournal, AdmissionRequest, BudgetLedger,
+};
 use crate::cache::{ChunkCacheStats, ChunkResultCache};
 use crate::error::PrividError;
 use crate::executor::QueryResult;
@@ -34,8 +36,9 @@ use crate::policy::{MaskPolicy, PrivacyPolicy};
 use crate::session;
 use privid_query::{parse_query, ParsedQuery};
 use privid_sandbox::{ChunkProcessor, ProcessorFactory};
+use privid_store::{CameraRecord, Durability, Record, RecoveryReport, StoreError, WalOptions, WalStore};
 use privid_video::{CameraId, FrameBatch, FrameRate, FrameSize, Recording, Scene, Seconds, TimeSpan};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -93,6 +96,10 @@ pub struct StandingFiring {
 /// cameras it reads, and the high-watermark of windows already fired.
 struct StandingState {
     query: ParsedQuery,
+    /// The original query text — journaled for recovery, and compared on
+    /// re-registration so restoring the same standing query after a restart
+    /// resumes its watermark instead of resetting (and re-debiting) it.
+    text: String,
     cameras: Vec<String>,
     period_secs: Seconds,
     base_seed: u64,
@@ -105,6 +112,7 @@ struct StandingState {
 struct StandingJob {
     name: String,
     window: TimeSpan,
+    index: u64,
     seed: u64,
     query: ParsedQuery,
 }
@@ -155,6 +163,18 @@ pub struct QueryService {
     default_epsilon: f64,
     /// Worker count of the chunk execution engine, per PROCESS statement.
     parallelism: Parallelism,
+    /// The write-ahead log, when the service was built with
+    /// [`Durability::Wal`]. Every registration, live-edge extension and
+    /// admission journals here *before* mutating in-memory state.
+    store: Option<Arc<WalStore>>,
+    /// Recovered cameras awaiting adoption: when the owner re-registers a
+    /// name with the same policy (and, for fixed recordings, the same
+    /// duration), the pre-crash ledger is restored instead of minting fresh ε
+    /// for footage that was already queried. Consumed on adoption.
+    recovered_cameras: Mutex<BTreeMap<String, CameraRecord>>,
+    /// What recovery did when this service was built (None without
+    /// durability, or for a fresh store).
+    recovery: Option<RecoveryReport>,
 }
 
 impl Default for QueryService {
@@ -164,8 +184,8 @@ impl Default for QueryService {
 }
 
 impl QueryService {
-    /// Create an empty service with default ε (1.0), `Auto` parallelism and
-    /// the default chunk-cache capacity.
+    /// Create an empty service with default ε (1.0), `Auto` parallelism, the
+    /// default chunk-cache capacity and no durability.
     pub fn new() -> Self {
         QueryService {
             cameras: RwLock::new(HashMap::new()),
@@ -176,7 +196,15 @@ impl QueryService {
             generations: AtomicU64::new(0),
             default_epsilon: 1.0,
             parallelism: Parallelism::Auto,
+            store: None,
+            recovered_cameras: Mutex::new(BTreeMap::new()),
+            recovery: None,
         }
+    }
+
+    /// Start building a service — the way to construct one with durability.
+    pub fn builder() -> QueryServiceBuilder {
+        QueryServiceBuilder::default()
     }
 
     /// Builder-style override of the execution engine's worker count.
@@ -202,19 +230,39 @@ impl QueryService {
     /// Register a camera with its recording and privacy policy. Re-registering
     /// a name replaces the camera (fresh ledger) and invalidates its cached
     /// chunk results; sessions already holding the old state finish against it.
+    ///
+    /// On a durable service recovering from a crash, registering a name whose
+    /// recovered policy and duration match **adopts** the pre-crash ledger —
+    /// every debit made before the crash stays spent. A registration that
+    /// does not match is an explicit replacement and mints a fresh ledger,
+    /// exactly as it would have without the restart.
+    ///
+    /// Panics if the registration cannot be journaled (registrations are
+    /// owner-side control-plane calls; a dead store is a deployment fault).
     pub fn register_camera(&self, name: impl Into<String>, scene: Scene, policy: PrivacyPolicy) {
         let name = name.into();
         let duration = scene.span.end.as_secs();
-        let state = Arc::new(CameraState {
-            scene,
-            policy,
-            masks: Arc::new(RwLock::new(HashMap::new())),
-            ledger: Arc::new(BudgetLedger::new(duration, policy.epsilon_budget)),
-            generation: self.generations.fetch_add(1, Ordering::Relaxed),
-            live: false,
-        });
         self.cache.invalidate_camera(&name);
-        self.cameras.write().expect("camera registry poisoned").insert(name, state);
+        // Journal + insert run under the admission gate (and, inside it, the
+        // registry write lock — gate-before-registry is the system's lock
+        // order): two racing registrations of one name reach the WAL and the
+        // registry in the same order, and an in-flight admission can never
+        // journal its debits *after* a replacement's registration record —
+        // its ledger currency check and its append are atomic with respect
+        // to registrations.
+        self.admission.exclusive(|| {
+            let mut cameras = self.cameras.write().expect("camera registry poisoned");
+            let (generation, ledger) = self.camera_ledger(&name, duration, policy, false);
+            let state = Arc::new(CameraState {
+                scene,
+                policy,
+                masks: Arc::new(RwLock::new(HashMap::new())),
+                ledger: Arc::new(ledger),
+                generation,
+                live: false,
+            });
+            cameras.insert(name, state);
+        });
     }
 
     /// Register a *live* camera: an empty append-only recording whose footage
@@ -222,6 +270,15 @@ impl QueryService {
     /// grows with the timeline — every appended slot is born with the
     /// policy's full ε. Re-registering a name replaces the camera (fresh
     /// recording and ledger) and invalidates its cached chunk results.
+    ///
+    /// On a durable service recovering from a crash, a matching registration
+    /// adopts the pre-crash ledger: its timeline already extends to the
+    /// recovered live edge with every debit intact, while the scene restarts
+    /// empty. The owner then re-feeds the recorded batches from its video
+    /// store — replayed edges are no-ops on the ledger (no ε is re-minted),
+    /// and queries between the replayed footage and the recovered edge fail
+    /// with the retryable [`PrividError::BeyondLiveEdge`] until the replay
+    /// catches up.
     pub fn register_live_camera(
         &self,
         name: impl Into<String>,
@@ -231,16 +288,65 @@ impl QueryService {
     ) {
         let name = name.into();
         let scene = Recording::start(CameraId::new(name.as_str()), frame_rate, frame_size).into_scene();
-        let state = Arc::new(CameraState {
-            scene,
-            policy,
-            masks: Arc::new(RwLock::new(HashMap::new())),
-            ledger: Arc::new(BudgetLedger::new_live(policy.epsilon_budget)),
-            generation: self.generations.fetch_add(1, Ordering::Relaxed),
-            live: true,
-        });
         self.cache.invalidate_camera(&name);
-        self.cameras.write().expect("camera registry poisoned").insert(name, state);
+        self.admission.exclusive(|| {
+            let mut cameras = self.cameras.write().expect("camera registry poisoned");
+            let (generation, ledger) = self.camera_ledger(&name, 0.0, policy, true);
+            let state = Arc::new(CameraState {
+                scene,
+                policy,
+                masks: Arc::new(RwLock::new(HashMap::new())),
+                ledger: Arc::new(ledger),
+                generation,
+                live: true,
+            });
+            cameras.insert(name, state);
+        });
+    }
+
+    /// Adopt the recovered ledger for `name` when policy and shape match,
+    /// else mint (and journal) a fresh registration.
+    fn camera_ledger(&self, name: &str, duration: Seconds, policy: PrivacyPolicy, live: bool) -> (u64, BudgetLedger) {
+        if let Some(rec) = self.take_recovered(name, duration, policy, live) {
+            let ledger = BudgetLedger::restore(rec.slots, rec.duration_secs, rec.slot_secs, rec.initial_epsilon, live);
+            return (rec.generation, ledger);
+        }
+        let generation = self.generations.fetch_add(1, Ordering::Relaxed);
+        if let Some(store) = &self.store {
+            store
+                .append(Record::RegisterCamera {
+                    name: name.to_string(),
+                    generation,
+                    live,
+                    slot_secs: 1.0,
+                    duration_secs: duration,
+                    initial_epsilon: policy.epsilon_budget,
+                    rho_secs: policy.rho_secs,
+                    k: policy.k,
+                })
+                .expect("journaling a camera registration must succeed");
+        }
+        let ledger =
+            if live { BudgetLedger::new_live(policy.epsilon_budget) } else { BudgetLedger::new(duration, policy.epsilon_budget) };
+        (generation, ledger)
+    }
+
+    /// Consume the recovered camera record for `name`, returning it iff the
+    /// new registration is the same camera: same liveness, same policy, and
+    /// (for fixed recordings) the same duration. Anything else is a
+    /// deliberate replacement and must *not* inherit the old ledger — and
+    /// the stale entry is dropped either way, so a *later* registration of
+    /// the name can never adopt a ledger that a replacement already
+    /// superseded in the journal.
+    fn take_recovered(&self, name: &str, duration: Seconds, policy: PrivacyPolicy, live: bool) -> Option<CameraRecord> {
+        self.store.as_ref()?;
+        let recovered = self.recovered_cameras.lock().expect("recovered registry poisoned").remove(name)?;
+        let matches = recovered.live == live
+            && recovered.initial_epsilon == policy.epsilon_budget
+            && recovered.rho_secs == policy.rho_secs
+            && recovered.k == policy.k
+            && (live || recovered.duration_secs == duration);
+        matches.then_some(recovered)
     }
 
     /// Append one batch of freshly recorded footage to a live camera,
@@ -269,28 +375,58 @@ impl QueryService {
             recording.append_batch(batch.clone()).map_err(|e| PrividError::Invalid(e.to_string()))?;
             let scene = recording.into_scene();
             let edge_secs = scene.span.end.as_secs();
-            let mut cameras = self.cameras.write().expect("camera registry poisoned");
-            match cameras.get(camera) {
-                Some(current) if Arc::ptr_eq(current, &base) => {
-                    // Order matters: grow the ledger *before* publishing the
-                    // snapshot (a session resolving the new scene must find
-                    // its slots funded), and drop overlap cache entries while
-                    // holding the write lock so no session can resolve the
-                    // new edge and still hit them.
-                    base.ledger.extend_to(edge_secs);
-                    self.cache.invalidate_live_edge(camera);
-                    let next = Arc::new(CameraState {
-                        scene,
-                        policy: base.policy,
-                        masks: Arc::clone(&base.masks),
-                        ledger: Arc::clone(&base.ledger),
-                        generation: base.generation,
-                        live: true,
-                    });
-                    cameras.insert(camera.to_string(), next);
-                    break edge_secs;
+            // Order matters: grow the ledger *before* publishing the
+            // snapshot (a session resolving the new scene must find its
+            // slots funded), and drop overlap cache entries while holding
+            // the write lock so no session can resolve the new edge and
+            // still hit them.
+            //
+            // With durability the new edge is journaled *before* the ledger
+            // grows, under the admission gate (acquired before the registry
+            // lock — gate-before-registry is the system's lock order):
+            // admissions resolve their debit slot ranges between check and
+            // debit, so extensions must not interleave — and the WAL must
+            // observe extends and admits in exactly the order the ledger
+            // does. A crash between journal and extend recovers a timeline
+            // slightly ahead of the footage; queries there fail retryably,
+            // and no slot gains ε.
+            let published: Option<Result<Seconds, PrividError>> = self.admission.exclusive(|| {
+                let mut cameras = self.cameras.write().expect("camera registry poisoned");
+                match cameras.get(camera) {
+                    Some(current) if Arc::ptr_eq(current, &base) => {
+                        if let Some(store) = &self.store {
+                            // Skip the record when the edge does not advance
+                            // the ledger: post-crash replay of recorded
+                            // batches would otherwise pay one append (and an
+                            // fsync) per batch for journal no-ops. Race-free:
+                            // the gate serializes every ledger growth.
+                            if edge_secs > base.ledger.duration_secs() {
+                                let record =
+                                    Record::Extend { camera: camera.to_string(), live_edge_secs: edge_secs };
+                                if let Err(e) = store.append(record) {
+                                    return Some(Err(PrividError::Store(e)));
+                                }
+                            }
+                        }
+                        base.ledger.extend_to(edge_secs);
+                        self.cache.invalidate_live_edge(camera);
+                        let next = Arc::new(CameraState {
+                            scene,
+                            policy: base.policy,
+                            masks: Arc::clone(&base.masks),
+                            ledger: Arc::clone(&base.ledger),
+                            generation: base.generation,
+                            live: true,
+                        });
+                        cameras.insert(camera.to_string(), next);
+                        Some(Ok(edge_secs))
+                    }
+                    _ => None,
                 }
-                _ => continue,
+            });
+            match published {
+                Some(outcome) => break outcome?,
+                None => continue,
             }
         };
         let standing_fired = self.pump_standing_queries();
@@ -315,12 +451,25 @@ impl QueryService {
         let mask_id = mask_id.into();
         self.cache.invalidate_mask(camera, &mask_id);
         let generation = self.generations.fetch_add(1, Ordering::Relaxed);
+        if let Some(store) = &self.store {
+            store
+                .append(Record::RegisterMask {
+                    camera: camera.to_string(),
+                    mask_id: mask_id.clone(),
+                    generation,
+                    rho_secs: policy.rho_secs,
+                })
+                .map_err(PrividError::Store)?;
+        }
         state.masks.write().expect("mask registry poisoned").insert(mask_id, (generation, policy));
         Ok(())
     }
 
     /// Attach an analyst processor executable under a name. Re-registering a
     /// name replaces the factory and invalidates its cached chunk results.
+    ///
+    /// Panics if the registration cannot be journaled (see
+    /// [`QueryService::register_camera`]).
     pub fn register_processor<F>(&self, name: impl Into<String>, factory: F)
     where
         F: Fn() -> Box<dyn ChunkProcessor> + Send + Sync + 'static,
@@ -328,6 +477,11 @@ impl QueryService {
         let name = name.into();
         self.cache.invalidate_processor(&name);
         let generation = self.generations.fetch_add(1, Ordering::Relaxed);
+        if let Some(store) = &self.store {
+            store
+                .append(Record::RegisterProcessor { name: name.clone(), generation })
+                .expect("journaling a processor registration must succeed");
+        }
         self.processors.write().expect("processor registry poisoned").insert(name, (generation, Arc::new(factory)));
     }
 
@@ -344,8 +498,12 @@ impl QueryService {
     ///
     /// Windows already completed at registration time fire immediately
     /// (catch-up); the count of firings this call produced is returned.
-    /// Re-registering a name replaces the standing query and resets its
-    /// high-watermark to zero.
+    /// Re-registering a name with a *different* query text or seed replaces
+    /// the standing query and resets its high-watermark to zero; registering
+    /// the identical `(text, base_seed)` again is idempotent and keeps the
+    /// watermark — which is what lets a restarted durable service re-arm a
+    /// recovered standing query at its next unfired window instead of
+    /// re-firing (and re-debiting) history.
     pub fn register_standing_query(
         &self,
         name: impl Into<String>,
@@ -374,10 +532,39 @@ impl QueryService {
                 )));
             }
         }
-        self.standing.lock().expect("standing registry poisoned").insert(
-            name.into(),
-            StandingState { query, cameras, period_secs, base_seed, next_start_secs: 0.0, firings: Vec::new() },
-        );
+        let name = name.into();
+        {
+            let mut standing = self.standing.lock().expect("standing registry poisoned");
+            match standing.get(&name) {
+                Some(existing) if existing.text == text && existing.base_seed == base_seed => {
+                    // Idempotent re-registration: keep the firing watermark.
+                }
+                _ => {
+                    if let Some(store) = &self.store {
+                        store
+                            .append(Record::RegisterStanding {
+                                name: name.clone(),
+                                base_seed,
+                                period_secs,
+                                text: text.to_string(),
+                            })
+                            .map_err(PrividError::Store)?;
+                    }
+                    standing.insert(
+                        name,
+                        StandingState {
+                            query,
+                            text: text.to_string(),
+                            cameras,
+                            period_secs,
+                            base_seed,
+                            next_start_secs: 0.0,
+                            firings: Vec::new(),
+                        },
+                    );
+                }
+            }
+        }
         Ok(self.pump_standing_queries())
     }
 
@@ -412,6 +599,14 @@ impl QueryService {
                 while st.next_start_secs + st.period_secs <= edge + 1e-9 {
                     let start = st.next_start_secs;
                     let index = (start / st.period_secs).round() as u64;
+                    // The watermark advances by *multiplication*, not by
+                    // accumulating `+= period`: recovery recomputes it as
+                    // `(index + 1) × period` from the journaled firing index,
+                    // and for periods with no exact binary representation the
+                    // two arithmetics drift apart — which would shift every
+                    // post-restart window by ULPs and break bit-for-bit
+                    // resumption.
+                    let next_start = (index + 1) as f64 * st.period_secs;
                     let mut query = st.query.clone();
                     for s in &mut query.splits {
                         s.begin_secs += start;
@@ -419,23 +614,58 @@ impl QueryService {
                     }
                     jobs.push(StandingJob {
                         name: name.clone(),
-                        window: TimeSpan::between_secs(start, start + st.period_secs),
+                        window: TimeSpan::between_secs(start, next_start),
+                        index,
                         seed: st.base_seed.wrapping_add(index),
                         query,
                     });
-                    st.next_start_secs = start + st.period_secs;
+                    st.next_start_secs = next_start;
                 }
             }
         }
         let fired = jobs.len();
         for job in jobs {
             let result = self.execute(job.seed, &job.query);
+            // Journal the advanced watermark *after* the firing (whose own
+            // debits the execute path journaled). Best-effort on purpose: a
+            // lost record can only make recovery re-fire this window — a
+            // duplicate release (identical, by seed determinism) and a
+            // conservative double debit, never an under-debit.
+            if let Some(store) = &self.store {
+                let _ = store.append(Record::StandingFired { name: job.name.clone(), window_index: job.index });
+            }
             let mut standing = self.standing.lock().expect("standing registry poisoned");
             if let Some(st) = standing.get_mut(&job.name) {
                 st.firings.push(StandingFiring { window: job.window, seed: job.seed, result });
             }
         }
         fired
+    }
+
+    // ---- durability ---------------------------------------------------------------------
+
+    /// What recovery did when this service was built from an existing store
+    /// (`None` without durability or for a fresh store directory).
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// Write a snapshot and truncate the write-ahead log, bounding the next
+    /// recovery's replay cost. A no-op without durability. (The store also
+    /// snapshots automatically every `snapshot_every` records.)
+    pub fn checkpoint(&self) -> Result<(), PrividError> {
+        if let Some(store) = &self.store {
+            store.checkpoint().map_err(PrividError::Store)?;
+        }
+        Ok(())
+    }
+
+    /// The durable timeline the budget ledger covers, in seconds. Normally
+    /// equal to [`QueryService::live_edge`]; after crash recovery it can run
+    /// *ahead* of the replayed scene until the owner has re-fed the recorded
+    /// batches (queries in the gap fail retryably).
+    pub fn ledger_edge(&self, camera: &str) -> Option<Seconds> {
+        self.camera(camera).map(|c| c.ledger.duration_secs())
     }
 
     // ---- introspection ------------------------------------------------------------------
@@ -507,8 +737,198 @@ impl QueryService {
         &self.cache
     }
 
-    pub(crate) fn admission(&self) -> &AdmissionController {
-        &self.admission
+    /// Admit a query's per-window requests, journaling the debits first when
+    /// the service is durable. `cameras[i]` names the camera of `requests[i]`
+    /// (for the journal record and error attribution).
+    pub(crate) fn admit_requests(
+        &self,
+        requests: &[AdmissionRequest<'_>],
+        cameras: &[&str],
+        epsilon: f64,
+    ) -> Result<(), AdmissionFailure> {
+        debug_assert_eq!(requests.len(), cameras.len());
+        match &self.store {
+            None => self.admission.admit_journaled(requests, epsilon, None),
+            Some(_) => {
+                let journal = WalAdmissionJournal { service: self, cameras };
+                self.admission.admit_journaled(requests, epsilon, Some(&journal))
+            }
+        }
+    }
+}
+
+/// The serving layer's [`AdmissionJournal`]: one atomic [`Record::Admit`]
+/// per admission, carrying the exact slot ranges the debits will cover.
+struct WalAdmissionJournal<'a> {
+    service: &'a QueryService,
+    /// Camera name per request, index-aligned.
+    cameras: &'a [&'a str],
+}
+
+impl AdmissionJournal for WalAdmissionJournal<'_> {
+    fn record_admit(&self, requests: &[AdmissionRequest<'_>], epsilon: f64) -> Result<(), StoreError> {
+        let store = self.service.store.as_ref().expect("journal exists only on a durable service");
+        let mut debits = Vec::with_capacity(requests.len());
+        for (camera, request) in self.cameras.iter().zip(requests) {
+            // A session may be admitting against a camera a concurrent
+            // re-registration has since replaced. Its debit then lands on
+            // the detached old ledger — correct for the session, which
+            // finishes against the state it resolved — but meaningless after
+            // a restart: the journal's shadow already follows the
+            // replacement's fresh ledger (whose record was appended under
+            // this same gate). Skip journaling such ranges; the detached
+            // ledger dies with the process.
+            let current =
+                self.service.camera(camera).is_some_and(|s| std::ptr::eq(s.ledger.as_ref(), request.ledger));
+            if !current {
+                continue;
+            }
+            // The range is resolved under the admission gate, between check
+            // and debit: it is exactly what `check_and_debit` will cover.
+            let (lo, hi) = request.ledger.debit_slot_range(&request.window).map_err(|e| StoreError::InvalidRecord {
+                offset: 0,
+                reason: format!("checked admission window failed to resolve to slots: {e:?}"),
+            })?;
+            debits.push(privid_store::DebitRange { camera: camera.to_string(), lo: lo as u64, hi: hi as u64 });
+        }
+        if debits.is_empty() {
+            return Ok(());
+        }
+        store.append(Record::Admit { epsilon, debits })
+    }
+
+    fn record_rollback(&self, requests: &[AdmissionRequest<'_>], _debited: usize, epsilon: f64) {
+        // Only reachable when an out-of-contract caller debits a ledger
+        // outside the controller (shared-ledger conflicts are rejected by
+        // simulation before anything is journaled). The admit record
+        // journaled debits for *every* current request, while the rolled-back
+        // admission's net in-memory effect is zero — so every journaled range
+        // must be credited back, including those whose in-memory debit never
+        // happened. Best-effort: a lost (or ULP-inexact) credit recovers an
+        // over-debited slot, never an under-debit.
+        let Some(store) = self.service.store.as_ref() else { return };
+        for (camera, request) in self.cameras.iter().zip(requests) {
+            let current =
+                self.service.camera(camera).is_some_and(|s| std::ptr::eq(s.ledger.as_ref(), request.ledger));
+            if !current {
+                continue;
+            }
+            if let Ok((lo, hi)) = request.ledger.debit_slot_range(&request.window) {
+                let _ = store.append(Record::Credit {
+                    camera: camera.to_string(),
+                    lo: lo as u64,
+                    hi: hi as u64,
+                    epsilon,
+                });
+            }
+        }
+    }
+}
+
+/// Builder for [`QueryService`]: the same knobs as the `with_*` methods plus
+/// the durability configuration (which can fail — recovery reads disk — and
+/// therefore needs a fallible `build`).
+#[derive(Debug, Default)]
+pub struct QueryServiceBuilder {
+    parallelism: Option<Parallelism>,
+    default_epsilon: Option<f64>,
+    cache_capacity: Option<usize>,
+    durability: Durability,
+    snapshot_every: Option<u64>,
+}
+
+impl QueryServiceBuilder {
+    /// Worker count of the chunk execution engine.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = Some(parallelism);
+        self
+    }
+
+    /// ε charged to SELECTs without `CONSUMING`.
+    pub fn default_epsilon(mut self, epsilon: f64) -> Self {
+        self.default_epsilon = Some(epsilon);
+        self
+    }
+
+    /// Chunk-cache capacity (0 disables the cache).
+    pub fn cache_capacity(mut self, max_entries: usize) -> Self {
+        self.cache_capacity = Some(max_entries);
+        self
+    }
+
+    /// Where (and whether) to persist admission state. With
+    /// [`Durability::Wal`], `build` recovers any existing state in the
+    /// directory: standing queries are restored and re-armed at their next
+    /// unfired window, the generation counter resumes past every recovered
+    /// generation, and recovered camera ledgers await adoption by matching
+    /// re-registrations.
+    pub fn durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
+        self
+    }
+
+    /// Snapshot (and truncate the WAL) after this many records (default 4096).
+    pub fn snapshot_every(mut self, records: u64) -> Self {
+        self.snapshot_every = Some(records);
+        self
+    }
+
+    /// Build the service, performing crash recovery if the durability
+    /// directory holds existing state.
+    pub fn build(self) -> Result<QueryService, PrividError> {
+        let mut service = QueryService::new();
+        if let Some(p) = self.parallelism {
+            service.parallelism = p;
+        }
+        if let Some(e) = self.default_epsilon {
+            service.default_epsilon = e;
+        }
+        if let Some(c) = self.cache_capacity {
+            service.cache = ChunkResultCache::with_capacity(c);
+        }
+        let Durability::Wal { dir, fsync } = self.durability else {
+            return Ok(service);
+        };
+        let options = WalOptions { snapshot_every: self.snapshot_every.unwrap_or(WalOptions::default().snapshot_every) };
+        let (store, recovered) = WalStore::open_with(dir, fsync, options).map_err(PrividError::Store)?;
+        service.generations.store(recovered.state.next_generation, Ordering::Relaxed);
+        // Standing queries restore fully automatically: the WAL holds their
+        // text, seed and firing watermark. They stay dormant until the owner
+        // re-registers their live cameras and re-feeds footage past the
+        // watermark (the pump skips queries whose cameras are missing).
+        let mut standing = HashMap::new();
+        for (name, st) in &recovered.state.standing {
+            let query = parse_query(&st.text).map_err(|e| {
+                PrividError::Store(StoreError::InvalidRecord {
+                    offset: 0,
+                    reason: format!("recovered standing query {name} no longer parses: {e}"),
+                })
+            })?;
+            let mut cameras: Vec<String> = query.splits.iter().map(|s| s.camera.clone()).collect();
+            cameras.sort();
+            cameras.dedup();
+            standing.insert(
+                name.clone(),
+                StandingState {
+                    query,
+                    text: st.text.clone(),
+                    cameras,
+                    period_secs: st.period_secs,
+                    base_seed: st.base_seed,
+                    next_start_secs: st.next_start_secs,
+                    firings: Vec::new(),
+                },
+            );
+        }
+        *service.standing.lock().expect("standing registry poisoned") = standing;
+        // A genuinely fresh store (no snapshot, nothing replayed) reports no
+        // recovery; anything else — even an empty-but-snapshotted state —
+        // does, so operators can tell a restart from a first boot.
+        let fresh = recovered.report == RecoveryReport::default() && recovered.state == privid_store::StoreState::default();
+        *service.recovered_cameras.lock().expect("recovered registry poisoned") = recovered.state.cameras;
+        service.recovery = (!fresh).then_some(recovered.report);
+        service.store = Some(Arc::new(store));
+        Ok(service)
     }
 }
 
@@ -763,6 +1183,224 @@ mod tests {
         }
         // Catch-up: a second standing query registered late fires immediately.
         assert_eq!(svc.register_standing_query("catch_up", 99, standing).unwrap(), 4);
+    }
+
+    // ---- durability ---------------------------------------------------------------------
+
+    use privid_store::{Durability, FsyncPolicy};
+    use std::path::PathBuf;
+    use std::sync::atomic::AtomicUsize;
+
+    static WAL_DIR_COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+    fn wal_dir(tag: &str) -> PathBuf {
+        let n = WAL_DIR_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("privid-svc-{tag}-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn durable_service(dir: &PathBuf) -> QueryService {
+        let svc = QueryService::builder()
+            .parallelism(Parallelism::Fixed(1))
+            .durability(Durability::wal(dir, FsyncPolicy::Never))
+            .build()
+            .expect("durable service builds");
+        svc.register_processor("person_counter", || {
+            Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>
+        });
+        svc
+    }
+
+    #[test]
+    fn restart_adopts_the_debited_ledger_instead_of_reminting_epsilon() {
+        let dir = wal_dir("adopt");
+        let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(0.5)).generate();
+        {
+            let svc = durable_service(&dir);
+            svc.register_camera("campus", scene.clone(), PrivacyPolicy::new(60.0, 2, 20.0));
+            svc.execute_text(1, QUERY).unwrap();
+            assert!((svc.remaining_budget("campus", 300.0).unwrap() - 19.5).abs() < 1e-9);
+            // Crash: the service is dropped without any shutdown protocol.
+        }
+        let svc = durable_service(&dir);
+        assert!(svc.recovery_report().is_some());
+        svc.register_camera("campus", scene.clone(), PrivacyPolicy::new(60.0, 2, 20.0));
+        assert!(
+            (svc.remaining_budget("campus", 300.0).unwrap() - 19.5).abs() < 1e-9,
+            "the pre-crash debit must survive the restart"
+        );
+        // A *different* policy is a deliberate replacement: fresh ledger.
+        svc.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 10.0));
+        assert!((svc.remaining_budget("campus", 300.0).unwrap() - 10.0).abs() < 1e-9);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restart_restores_live_edge_and_rejects_the_unreplayed_gap() {
+        use privid_video::{FrameBatch, FrameRate, FrameSize};
+        let dir = wal_dir("live");
+        {
+            let svc = durable_service(&dir);
+            svc.register_live_camera("live", FrameRate::new(2.0), FrameSize::new(100, 100), PrivacyPolicy::new(20.0, 2, 10.0));
+            svc.append_frames("live", FrameBatch::new(60.0, vec![walker(1, 5.0, 40.0)])).unwrap();
+            svc.append_frames("live", FrameBatch::new(60.0, vec![walker(2, 70.0, 110.0)])).unwrap();
+            svc.execute_text(7, LIVE_QUERY).unwrap();
+        }
+        let svc = durable_service(&dir);
+        svc.register_live_camera("live", FrameRate::new(2.0), FrameSize::new(100, 100), PrivacyPolicy::new(20.0, 2, 10.0));
+        // The ledger resumed at the recovered edge with its debits…
+        assert_eq!(svc.ledger_edge("live"), Some(120.0));
+        assert!((svc.remaining_budget("live", 30.0).unwrap() - 9.5).abs() < 1e-9);
+        // …but the scene starts empty: queries fail retryably until the owner
+        // replays the recorded batches.
+        assert_eq!(svc.live_edge("live"), Some(0.0));
+        assert!(matches!(svc.execute_text(1, LIVE_QUERY), Err(PrividError::BeyondLiveEdge { .. })));
+        svc.append_frames("live", FrameBatch::new(60.0, vec![walker(1, 5.0, 40.0)])).unwrap();
+        svc.append_frames("live", FrameBatch::new(60.0, vec![walker(2, 70.0, 110.0)])).unwrap();
+        // Replayed appends do not re-mint ε (the ledger edge never moved).
+        assert!((svc.remaining_budget("live", 30.0).unwrap() - 9.5).abs() < 1e-9);
+        let replayed = svc.execute_text(7, LIVE_QUERY).unwrap();
+        assert_eq!(replayed.epsilon_spent, 0.5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_re_registration_discards_the_recovered_ledger_for_good() {
+        // Regression (review): a mismatched registration used to leave the
+        // recovered entry in place, so a *later* registration with the
+        // original policy silently adopted a ledger the journal had already
+        // superseded — diverging the in-memory state from the WAL shadow.
+        let dir = wal_dir("stale-adopt");
+        let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(0.25)).generate();
+        {
+            let svc = durable_service(&dir);
+            svc.register_camera("campus", scene.clone(), PrivacyPolicy::new(60.0, 2, 20.0));
+            let q = QUERY.replace("END 600", "END 300");
+            svc.execute_text(1, &q).unwrap();
+        }
+        let svc = durable_service(&dir);
+        // A deliberate replacement (different ε budget) supersedes the
+        // recovered ledger…
+        svc.register_camera("campus", scene.clone(), PrivacyPolicy::new(60.0, 2, 10.0));
+        assert!((svc.remaining_budget("campus", 100.0).unwrap() - 10.0).abs() < 1e-9);
+        // …so registering the *original* policy afterwards is a fresh
+        // replacement too, not a resurrection of the pre-crash debits.
+        svc.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 20.0));
+        assert!(
+            (svc.remaining_budget("campus", 100.0).unwrap() - 20.0).abs() < 1e-9,
+            "the superseded pre-crash ledger must not come back"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn conflicting_compound_admission_leaves_the_wal_shadow_equal_to_the_ledger() {
+        // Regression (review): a same-ledger overlapping admission used to
+        // journal its admit record and then roll back, leaving the WAL
+        // shadow over-debited relative to the in-memory ledger (float
+        // credits don't round-trip). Such conflicts are now rejected by
+        // simulation *before* anything reaches the journal; shadow and
+        // ledger must stay bit-for-bit equal through the whole episode.
+        let dir = wal_dir("rollback");
+        let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(0.5)).generate();
+        let svc = durable_service(&dir);
+        svc.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 1.0));
+        let state = svc.camera("campus").unwrap();
+        let requests = [
+            AdmissionRequest { ledger: &state.ledger, window: TimeSpan::between_secs(0.0, 60.0), rho_margin: 0.0 },
+            AdmissionRequest { ledger: &state.ledger, window: TimeSpan::between_secs(40.0, 100.0), rho_margin: 0.0 },
+        ];
+        match svc.admit_requests(&requests, &["campus", "campus"], 0.6) {
+            Err(AdmissionFailure::Budget { index: 1, .. }) => {}
+            other => panic!("expected a phase-2 rejection, got {other:?}"),
+        }
+        let shadow = svc.store.as_ref().unwrap().state();
+        let ledger_bits: Vec<u64> = state.ledger.slots_snapshot().iter().map(|s| s.to_bits()).collect();
+        let shadow_bits: Vec<u64> = shadow.cameras["campus"].slots.iter().map(|s| s.to_bits()).collect();
+        assert_eq!(shadow_bits, ledger_bits, "after a rollback the WAL shadow must equal the ledger bit-for-bit");
+        // And a restart proves it end to end: the adopted ledger still has
+        // every slot's full budget.
+        drop(svc);
+        let svc = durable_service(&dir);
+        let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(0.5)).generate();
+        svc.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 1.0));
+        for at in [10.0, 50.0, 90.0] {
+            assert!((svc.remaining_budget("campus", at).unwrap() - 1.0).abs() < 1e-9, "no residual debit at {at}s");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replayed_appends_journal_no_stale_extend_records() {
+        use privid_video::{FrameBatch, FrameRate, FrameSize};
+        let dir = wal_dir("stale-extend");
+        {
+            let svc = durable_service(&dir);
+            svc.register_live_camera("live", FrameRate::new(2.0), FrameSize::new(100, 100), PrivacyPolicy::new(20.0, 2, 10.0));
+            svc.append_frames("live", FrameBatch::new(60.0, vec![walker(1, 5.0, 40.0)])).unwrap();
+        }
+        let svc = durable_service(&dir);
+        svc.register_live_camera("live", FrameRate::new(2.0), FrameSize::new(100, 100), PrivacyPolicy::new(20.0, 2, 10.0));
+        let seq_before = svc.store.as_ref().unwrap().next_seq();
+        // Replaying the recorded batch must not grow the journal at all…
+        svc.append_frames("live", FrameBatch::new(60.0, vec![walker(1, 5.0, 40.0)])).unwrap();
+        assert_eq!(svc.store.as_ref().unwrap().next_seq(), seq_before, "a stale edge journals nothing");
+        // …while genuinely new footage still does.
+        svc.append_frames("live", FrameBatch::empty(30.0)).unwrap();
+        assert_eq!(svc.store.as_ref().unwrap().next_seq(), seq_before + 1);
+        assert_eq!(svc.ledger_edge("live"), Some(90.0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_and_in_memory_services_release_identically() {
+        let dir = wal_dir("biteq");
+        let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(0.5)).generate();
+        let durable = durable_service(&dir);
+        durable.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 20.0));
+        let plain = service();
+        let a = durable.execute_text(11, QUERY).unwrap();
+        let b = plain.execute_text(11, QUERY).unwrap();
+        assert_eq!(a, b, "durability must be invisible in the released values");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovered_standing_query_rearms_at_its_next_window() {
+        use privid_video::{FrameBatch, FrameRate, FrameSize};
+        let dir = wal_dir("standing");
+        let standing = "
+            SPLIT live BEGIN 0 END 60 BY TIME 10 sec STRIDE 0 sec INTO chunks;
+            PROCESS chunks USING person_counter TIMEOUT 1 sec PRODUCING 20 ROWS
+                WITH SCHEMA (count:NUMBER=0) INTO people;
+            SELECT COUNT(*) FROM people CONSUMING 0.5;";
+        {
+            let svc = durable_service(&dir);
+            svc.register_live_camera("live", FrameRate::new(2.0), FrameSize::new(100, 100), PrivacyPolicy::new(20.0, 2, 10.0));
+            svc.register_standing_query("per_min", 40, standing).unwrap();
+            let fired = svc.append_frames("live", FrameBatch::new(120.0, vec![walker(1, 5.0, 40.0)])).unwrap().standing_fired;
+            assert_eq!(fired, 2, "windows [0,60) and [60,120) fire before the crash");
+        }
+        let svc = durable_service(&dir);
+        svc.register_live_camera("live", FrameRate::new(2.0), FrameSize::new(100, 100), PrivacyPolicy::new(20.0, 2, 10.0));
+        // Replaying the recorded footage must not re-fire recovered windows…
+        let fired = svc.append_frames("live", FrameBatch::new(120.0, vec![walker(1, 5.0, 40.0)])).unwrap().standing_fired;
+        assert_eq!(fired, 0, "recovered watermark holds through the replay");
+        // …and the identical re-registration is idempotent, not a reset.
+        assert_eq!(svc.register_standing_query("per_min", 40, standing).unwrap(), 0);
+        // New footage resumes firing at the next window with the right seed.
+        let fired = svc.append_frames("live", FrameBatch::new(60.0, vec![walker(2, 130.0, 170.0)])).unwrap().standing_fired;
+        assert_eq!(fired, 1);
+        let firings = svc.standing_results("per_min").unwrap();
+        assert_eq!(firings.len(), 1, "only post-restart firings are in memory");
+        assert_eq!(firings[0].window, TimeSpan::between_secs(120.0, 180.0));
+        assert_eq!(firings[0].seed, 42, "seed = base 40 + window index 2");
+        // ε: every window debited exactly once across the crash.
+        for at in [10.0, 70.0, 130.0] {
+            assert!((svc.remaining_budget("live", at).unwrap() - 9.5).abs() < 1e-9, "slot at {at} debited once");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

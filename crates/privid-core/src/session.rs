@@ -9,7 +9,7 @@
 //! the ledgers (serialized in `budget`) and the chunk cache (internally
 //! locked) — which is what makes [`crate::QueryService`] safely concurrent.
 
-use crate::budget::BudgetError;
+use crate::budget::{AdmissionFailure, BudgetError};
 use crate::cache::ChunkCacheKey;
 use crate::error::PrividError;
 use crate::executor::{NoisyRelease, NoisyValue, QueryResult};
@@ -138,19 +138,25 @@ pub(crate) fn execute_query(
             request_cameras.push(camera);
         }
     }
-    service.admission().admit(&requests, epsilon_total).map_err(|(index, err)| {
-        let camera = request_cameras[index].to_string();
-        match err {
-            BudgetError::Insufficient { available } => {
-                PrividError::BudgetExhausted { camera, requested: epsilon_total, available }
-            }
-            BudgetError::OutsideRecording { start_secs, end_secs, duration_secs } => {
-                PrividError::WindowOutsideRecording { camera, start_secs, end_secs, duration_secs }
-            }
-            BudgetError::BeyondLiveEdge { start_secs, end_secs, live_edge_secs } => {
-                PrividError::BeyondLiveEdge { camera, start_secs, end_secs, live_edge_secs }
+    // On a durable service this journals the admission's exact slot-range
+    // debits *before* any slot is debited — and aborts, budget intact, if the
+    // record cannot be appended.
+    service.admit_requests(&requests, &request_cameras, epsilon_total).map_err(|failure| match failure {
+        AdmissionFailure::Budget { index, error } => {
+            let camera = request_cameras[index].to_string();
+            match error {
+                BudgetError::Insufficient { available } => {
+                    PrividError::BudgetExhausted { camera, requested: epsilon_total, available }
+                }
+                BudgetError::OutsideRecording { start_secs, end_secs, duration_secs } => {
+                    PrividError::WindowOutsideRecording { camera, start_secs, end_secs, duration_secs }
+                }
+                BudgetError::BeyondLiveEdge { start_secs, end_secs, live_edge_secs } => {
+                    PrividError::BeyondLiveEdge { camera, start_secs, end_secs, live_edge_secs }
+                }
             }
         }
+        AdmissionFailure::Journal(e) => PrividError::Store(e),
     })?;
 
     // ---- 5. Aggregate, bound, add noise ----------------------------------------------

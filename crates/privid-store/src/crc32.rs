@@ -1,0 +1,76 @@
+//! Hand-rolled CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`).
+//!
+//! The build environment has no registry access, so the WAL's record
+//! checksums are computed with this table-driven implementation instead of a
+//! `crc32fast` dependency. The variant matches zlib/`cksum -o 3`: initial
+//! value `0xFFFF_FFFF`, final XOR `0xFFFF_FFFF`, bits reflected.
+
+/// The 256-entry lookup table, generated at compile time.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    crc32_parts(&[bytes])
+}
+
+/// CRC-32 of several byte slices, as if concatenated. The WAL uses this to
+/// checksum a frame's length field together with its payload without
+/// materializing the concatenation.
+pub fn crc32_parts(parts: &[&[u8]]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for part in parts {
+        for &b in *part {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard zlib test vectors.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn parts_equal_concatenation() {
+        let (a, b) = (b"123".as_slice(), b"456789".as_slice());
+        assert_eq!(crc32_parts(&[a, b]), crc32(b"123456789"));
+        assert_eq!(crc32_parts(&[]), crc32(b""));
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let payload = b"debit|campus|5|10|0.25".to_vec();
+        let original = crc32(&payload);
+        for byte in 0..payload.len() {
+            for bit in 0..8 {
+                let mut flipped = payload.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), original, "flip at byte {byte} bit {bit} must change the checksum");
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! # privid-store
+//!
+//! The durable privacy ledger: a write-ahead log, periodic snapshots and
+//! crash recovery for Privid's admission state.
+//!
+//! Privid's guarantee — at most ε of leakage per frame of a camera's
+//! timeline — is enforced by the budget ledger. If that ledger lives only in
+//! memory, a process restart silently re-mints full ε for footage that was
+//! already queried: a **privacy violation**, not merely data loss. This
+//! crate makes the admission state survive crashes:
+//!
+//! * budget debits (one atomic [`Record::Admit`] per admission, journaled
+//!   *before* any slot is debited and therefore before any release escapes),
+//! * live-edge extensions ([`Record::Extend`]),
+//! * camera / mask / processor registrations,
+//! * standing-query registrations and firing watermarks.
+//!
+//! ## The never-under-debit invariant
+//!
+//! **A recovered ledger never exposes more remaining ε on any slot than the
+//! pre-crash in-memory ledger did.** Every rule in this crate bends in that
+//! direction:
+//!
+//! * admissions journal **before** they debit — a crash in between recovers
+//!   an *over*-debited slot (wasted budget, never leaked privacy);
+//! * rollback credits journal **after** they are applied — a crash in
+//!   between keeps the over-debit;
+//! * a torn tail record (incomplete final frame) is truncated: the append
+//!   never finished, so the operation it describes never happened and no
+//!   release depended on it;
+//! * a *complete* record failing its CRC is disk corruption — recovery
+//!   refuses with [`StoreError::ChecksumMismatch`] rather than drop a debit
+//!   whose release may already have been returned;
+//! * replay is idempotent (per-record sequence numbers), so a duplicated
+//!   record, or a log surviving a crash between snapshot write and log
+//!   truncation, is skipped instead of double-applied — keeping recovery
+//!   bit-for-bit equal to the pre-crash ledger, not merely conservative.
+//!
+//! The serving layer (`privid-core`) holds the live `BudgetLedger`s; this
+//! crate holds their durable mirror ([`StoreState`]) and proves, in the
+//! workspace's property suite, that the two are bit-for-bit equal at every
+//! record boundary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crc32;
+pub mod record;
+pub mod state;
+pub mod wal;
+
+pub use crc32::crc32;
+pub use record::{DebitRange, Record};
+pub use state::{CameraRecord, MaskRecord, StandingRecord, StoreState};
+pub use wal::{
+    Durability, FsyncPolicy, Recovered, RecoveryEvent, RecoveryReport, StoreError, WalOptions, WalStore,
+};

@@ -1,0 +1,503 @@
+//! WAL record types and their wire encoding.
+//!
+//! Every record travels in a length-prefixed, checksummed frame:
+//!
+//! ```text
+//! [len: u32 LE] [crc32(payload): u32 LE] [payload: len bytes]
+//! ```
+//!
+//! The payload is UTF-8 text: `seq|tag|field|field|…`. Numeric fields are
+//! decimal; `f64` fields are the **hexadecimal IEEE-754 bit pattern**
+//! (`f64::to_bits`), so a value round-trips bit-for-bit — recovery must
+//! rebuild ledger slots *exactly*, not to within a formatting epsilon.
+//! String fields escape the separator (`|` → `\p`), backslash (`\` → `\\`)
+//! and newlines (`\n`/`\r` → `\n`/`\r` escapes), so standing-query text —
+//! which contains both — embeds safely.
+
+use std::fmt::Write as _;
+
+/// Frame header size: 4-byte length + 4-byte CRC.
+pub const FRAME_HEADER: usize = 8;
+
+/// Upper bound on one record's payload. A 100k-slot snapshot record is
+/// ~1.7 MB; anything near this bound indicates a corrupt length field.
+pub const MAX_PAYLOAD: u32 = 64 * 1024 * 1024;
+
+/// One slot-range debit inside an [`Record::Admit`] record: the half-open
+/// slot interval `[lo, hi)` of `camera`'s ledger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DebitRange {
+    /// The debited camera.
+    pub camera: String,
+    /// First debited slot index (inclusive).
+    pub lo: u64,
+    /// One past the last debited slot index (exclusive).
+    pub hi: u64,
+}
+
+/// A durable event in the privacy ledger's life.
+///
+/// The first eight variants are appended by the serving layer; the last
+/// three exist only inside snapshot files (they rebuild state wholesale
+/// instead of replaying history).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A camera was registered (fixed recording or live). Carries everything
+    /// needed to rebuild its ledger shape and policy parameters.
+    RegisterCamera {
+        /// Camera name.
+        name: String,
+        /// Registration generation (cache-key tag).
+        generation: u64,
+        /// True for a live (append-only) recording.
+        live: bool,
+        /// Ledger slot resolution, seconds.
+        slot_secs: f64,
+        /// Recorded duration at registration (0 for live cameras).
+        duration_secs: f64,
+        /// Per-frame ε budget each slot is born with.
+        initial_epsilon: f64,
+        /// Policy ρ, seconds.
+        rho_secs: f64,
+        /// Policy K.
+        k: u32,
+    },
+    /// A mask was published for a camera.
+    RegisterMask {
+        /// The camera.
+        camera: String,
+        /// The mask id.
+        mask_id: String,
+        /// Registration generation.
+        generation: u64,
+        /// The mask's reduced ρ, seconds.
+        rho_secs: f64,
+    },
+    /// A processor executable was attached.
+    RegisterProcessor {
+        /// Processor name.
+        name: String,
+        /// Registration generation.
+        generation: u64,
+    },
+    /// A live camera's edge advanced. Logged *before* the in-memory ledger
+    /// grows, so a crash in between at worst recovers a timeline slightly
+    /// ahead of the replayable footage (queries there fail retryably).
+    Extend {
+        /// The live camera.
+        camera: String,
+        /// The new live edge, seconds.
+        live_edge_secs: f64,
+    },
+    /// One admission's debits, as a single atomic record covering every
+    /// ledger the query touches. Appended under the admission gate after the
+    /// budget checks pass and **before any slot is debited** — the WAL never
+    /// under-states spending relative to what an analyst could have received.
+    Admit {
+        /// ε debited from every listed slot range.
+        epsilon: f64,
+        /// The debited slot ranges, one per admitted window.
+        debits: Vec<DebitRange>,
+    },
+    /// A rollback credit (the rare all-or-nothing unwind when a caller hands
+    /// the admission controller overlapping requests on one ledger). Appended
+    /// *after* the in-memory credit, so a crash in between leaves the
+    /// recovered ledger over-debited — never under.
+    Credit {
+        /// The credited camera.
+        camera: String,
+        /// First credited slot (inclusive).
+        lo: u64,
+        /// One past the last credited slot (exclusive).
+        hi: u64,
+        /// ε returned to every slot in the range.
+        epsilon: f64,
+    },
+    /// A standing query was registered.
+    RegisterStanding {
+        /// Standing-query name.
+        name: String,
+        /// Base noise seed (firing k draws from `base_seed + k`).
+        base_seed: u64,
+        /// Window period, seconds.
+        period_secs: f64,
+        /// The prototype query text (re-parsed on recovery).
+        text: String,
+    },
+    /// Standing window `window_index` finished executing; recovery re-arms
+    /// the query at the *next* window. Appended after the firing (whose own
+    /// debits are durable via [`Record::Admit`]), so a crash in between can
+    /// only re-fire the window — a conservative double debit, never an
+    /// under-debit.
+    StandingFired {
+        /// Standing-query name.
+        name: String,
+        /// Index of the completed window.
+        window_index: u64,
+    },
+    /// Snapshot-only: the sequence number and generation watermark the
+    /// snapshot captures. Log records with `seq <= last_seq` are stale and
+    /// skipped on replay (idempotence).
+    SnapshotHeader {
+        /// Sequence number of the last record folded into the snapshot.
+        last_seq: u64,
+        /// Next registration generation.
+        next_generation: u64,
+    },
+    /// Snapshot-only: a contiguous run of a camera ledger's exact per-slot
+    /// budgets. Long ledgers are chunked into several runs so no single
+    /// frame can approach [`MAX_PAYLOAD`] — a snapshot that cannot be read
+    /// back would strand the store.
+    SlotValues {
+        /// The camera.
+        camera: String,
+        /// Index of the first slot in this run.
+        offset: u64,
+        /// Remaining ε per slot from `offset`, bit-exact.
+        slots: Vec<f64>,
+    },
+    /// Snapshot-only: a standing query's firing high-watermark.
+    ArmStanding {
+        /// Standing-query name.
+        name: String,
+        /// Start of the next unfired window, seconds.
+        next_start_secs: f64,
+    },
+}
+
+// ---- field codecs -------------------------------------------------------------------
+
+fn esc(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '|' => out.push_str("\\p"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn unesc(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('p') => out.push('|'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            other => return Err(format!("bad escape \\{other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+fn enc_f64(out: &mut String, v: f64) {
+    let _ = write!(out, "{:016x}", v.to_bits());
+}
+
+fn dec_f64(s: &str) -> Result<f64, String> {
+    u64::from_str_radix(s, 16).map(f64::from_bits).map_err(|e| format!("bad f64 bits {s:?}: {e}"))
+}
+
+fn dec_u64(s: &str) -> Result<u64, String> {
+    s.parse().map_err(|e| format!("bad integer {s:?}: {e}"))
+}
+
+// ---- payload codec ------------------------------------------------------------------
+
+/// Encode `(seq, record)` into a payload (no frame).
+pub fn encode_payload(seq: u64, record: &Record) -> String {
+    let mut p = String::with_capacity(64);
+    let _ = write!(p, "{seq}");
+    match record {
+        Record::RegisterCamera { name, generation, live, slot_secs, duration_secs, initial_epsilon, rho_secs, k } => {
+            p.push_str("|cam|");
+            esc(&mut p, name);
+            let _ = write!(p, "|{generation}|{}|", u8::from(*live));
+            enc_f64(&mut p, *slot_secs);
+            p.push('|');
+            enc_f64(&mut p, *duration_secs);
+            p.push('|');
+            enc_f64(&mut p, *initial_epsilon);
+            p.push('|');
+            enc_f64(&mut p, *rho_secs);
+            let _ = write!(p, "|{k}");
+        }
+        Record::RegisterMask { camera, mask_id, generation, rho_secs } => {
+            p.push_str("|mask|");
+            esc(&mut p, camera);
+            p.push('|');
+            esc(&mut p, mask_id);
+            let _ = write!(p, "|{generation}|");
+            enc_f64(&mut p, *rho_secs);
+        }
+        Record::RegisterProcessor { name, generation } => {
+            p.push_str("|proc|");
+            esc(&mut p, name);
+            let _ = write!(p, "|{generation}");
+        }
+        Record::Extend { camera, live_edge_secs } => {
+            p.push_str("|extend|");
+            esc(&mut p, camera);
+            p.push('|');
+            enc_f64(&mut p, *live_edge_secs);
+        }
+        Record::Admit { epsilon, debits } => {
+            p.push_str("|admit|");
+            enc_f64(&mut p, *epsilon);
+            let _ = write!(p, "|{}", debits.len());
+            for d in debits {
+                p.push('|');
+                esc(&mut p, &d.camera);
+                let _ = write!(p, "|{}|{}", d.lo, d.hi);
+            }
+        }
+        Record::Credit { camera, lo, hi, epsilon } => {
+            p.push_str("|credit|");
+            esc(&mut p, camera);
+            let _ = write!(p, "|{lo}|{hi}|");
+            enc_f64(&mut p, *epsilon);
+        }
+        Record::RegisterStanding { name, base_seed, period_secs, text } => {
+            p.push_str("|standing|");
+            esc(&mut p, name);
+            let _ = write!(p, "|{base_seed}|");
+            enc_f64(&mut p, *period_secs);
+            p.push('|');
+            esc(&mut p, text);
+        }
+        Record::StandingFired { name, window_index } => {
+            p.push_str("|fired|");
+            esc(&mut p, name);
+            let _ = write!(p, "|{window_index}");
+        }
+        Record::SnapshotHeader { last_seq, next_generation } => {
+            p.push_str("|snaphdr");
+            let _ = write!(p, "|{last_seq}|{next_generation}");
+        }
+        Record::SlotValues { camera, offset, slots } => {
+            p.push_str("|slots|");
+            esc(&mut p, camera);
+            let _ = write!(p, "|{offset}");
+            for s in slots {
+                p.push('|');
+                enc_f64(&mut p, *s);
+            }
+        }
+        Record::ArmStanding { name, next_start_secs } => {
+            p.push_str("|arm|");
+            esc(&mut p, name);
+            p.push('|');
+            enc_f64(&mut p, *next_start_secs);
+        }
+    }
+    p
+}
+
+/// Decode a payload back into `(seq, record)`.
+pub fn decode_payload(payload: &[u8]) -> Result<(u64, Record), String> {
+    let text = std::str::from_utf8(payload).map_err(|e| format!("payload is not UTF-8: {e}"))?;
+    let fields: Vec<&str> = text.split('|').collect();
+    if fields.len() < 2 {
+        return Err("payload has no tag".into());
+    }
+    let seq = dec_u64(fields[0])?;
+    let need = |n: usize| -> Result<(), String> {
+        if fields.len() == n {
+            Ok(())
+        } else {
+            Err(format!("tag {} expects {} fields, got {}", fields[1], n, fields.len()))
+        }
+    };
+    let record = match fields[1] {
+        "cam" => {
+            need(10)?;
+            Record::RegisterCamera {
+                name: unesc(fields[2])?,
+                generation: dec_u64(fields[3])?,
+                live: fields[4] == "1",
+                slot_secs: dec_f64(fields[5])?,
+                duration_secs: dec_f64(fields[6])?,
+                initial_epsilon: dec_f64(fields[7])?,
+                rho_secs: dec_f64(fields[8])?,
+                k: dec_u64(fields[9])? as u32,
+            }
+        }
+        "mask" => {
+            need(6)?;
+            Record::RegisterMask {
+                camera: unesc(fields[2])?,
+                mask_id: unesc(fields[3])?,
+                generation: dec_u64(fields[4])?,
+                rho_secs: dec_f64(fields[5])?,
+            }
+        }
+        "proc" => {
+            need(4)?;
+            Record::RegisterProcessor { name: unesc(fields[2])?, generation: dec_u64(fields[3])? }
+        }
+        "extend" => {
+            need(4)?;
+            Record::Extend { camera: unesc(fields[2])?, live_edge_secs: dec_f64(fields[3])? }
+        }
+        "admit" => {
+            if fields.len() < 4 {
+                return Err("admit record too short".into());
+            }
+            let epsilon = dec_f64(fields[2])?;
+            let n = dec_u64(fields[3])? as usize;
+            if fields.len() != 4 + 3 * n {
+                return Err(format!("admit record declares {n} debits but has {} fields", fields.len()));
+            }
+            let mut debits = Vec::with_capacity(n);
+            for i in 0..n {
+                debits.push(DebitRange {
+                    camera: unesc(fields[4 + 3 * i])?,
+                    lo: dec_u64(fields[5 + 3 * i])?,
+                    hi: dec_u64(fields[6 + 3 * i])?,
+                });
+            }
+            Record::Admit { epsilon, debits }
+        }
+        "credit" => {
+            need(6)?;
+            Record::Credit {
+                camera: unesc(fields[2])?,
+                lo: dec_u64(fields[3])?,
+                hi: dec_u64(fields[4])?,
+                epsilon: dec_f64(fields[5])?,
+            }
+        }
+        "standing" => {
+            need(6)?;
+            Record::RegisterStanding {
+                name: unesc(fields[2])?,
+                base_seed: dec_u64(fields[3])?,
+                period_secs: dec_f64(fields[4])?,
+                text: unesc(fields[5])?,
+            }
+        }
+        "fired" => {
+            need(4)?;
+            Record::StandingFired { name: unesc(fields[2])?, window_index: dec_u64(fields[3])? }
+        }
+        "snaphdr" => {
+            need(4)?;
+            Record::SnapshotHeader { last_seq: dec_u64(fields[2])?, next_generation: dec_u64(fields[3])? }
+        }
+        "slots" => {
+            if fields.len() < 4 {
+                return Err("slots record too short".into());
+            }
+            let camera = unesc(fields[2])?;
+            let offset = dec_u64(fields[3])?;
+            let slots = fields[4..].iter().map(|s| dec_f64(s)).collect::<Result<Vec<f64>, String>>()?;
+            Record::SlotValues { camera, offset, slots }
+        }
+        "arm" => {
+            need(4)?;
+            Record::ArmStanding { name: unesc(fields[2])?, next_start_secs: dec_f64(fields[3])? }
+        }
+        tag => return Err(format!("unknown record tag {tag:?}")),
+    };
+    Ok((seq, record))
+}
+
+/// Encode `(seq, record)` into a complete frame (header + payload). The CRC
+/// covers the **length field and the payload**: a bit flip in the length —
+/// which would otherwise misdirect the parser — is detected like any payload
+/// flip instead of masquerading as a torn tail.
+pub fn encode_frame(seq: u64, record: &Record) -> Vec<u8> {
+    let payload = encode_payload(seq, record);
+    let bytes = payload.as_bytes();
+    let len = (bytes.len() as u32).to_le_bytes();
+    let mut frame = Vec::with_capacity(FRAME_HEADER + bytes.len());
+    frame.extend_from_slice(&len);
+    frame.extend_from_slice(&crate::crc32::crc32_parts(&[&len, bytes]).to_le_bytes());
+    frame.extend_from_slice(bytes);
+    frame
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(record: Record) {
+        let frame = encode_frame(7, &record);
+        let len = u32::from_le_bytes(frame[0..4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(frame[4..8].try_into().unwrap());
+        assert_eq!(len, frame.len() - FRAME_HEADER);
+        assert_eq!(crc, crate::crc32::crc32_parts(&[&frame[0..4], &frame[FRAME_HEADER..]]));
+        let (seq, decoded) = decode_payload(&frame[FRAME_HEADER..]).unwrap();
+        assert_eq!(seq, 7);
+        assert_eq!(decoded, record);
+    }
+
+    #[test]
+    fn every_record_kind_round_trips() {
+        roundtrip(Record::RegisterCamera {
+            name: "ca|m\\weird\nname".into(),
+            generation: 3,
+            live: true,
+            slot_secs: 1.0,
+            duration_secs: 0.1 + 0.2, // a value with no short decimal representation
+            initial_epsilon: f64::MIN_POSITIVE,
+            rho_secs: 60.0,
+            k: 2,
+        });
+        roundtrip(Record::RegisterMask { camera: "c".into(), mask_id: "m|1".into(), generation: 9, rho_secs: 0.0 });
+        roundtrip(Record::RegisterProcessor { name: "p".into(), generation: 1 });
+        roundtrip(Record::Extend { camera: "c".into(), live_edge_secs: 1234.567 });
+        roundtrip(Record::Admit {
+            epsilon: 0.125,
+            debits: vec![
+                DebitRange { camera: "a".into(), lo: 0, hi: 10 },
+                DebitRange { camera: "b|2".into(), lo: 5, hi: 6 },
+            ],
+        });
+        roundtrip(Record::Admit { epsilon: 1.0, debits: vec![] });
+        roundtrip(Record::Credit { camera: "c".into(), lo: 1, hi: 4, epsilon: 0.5 });
+        roundtrip(Record::RegisterStanding {
+            name: "per_min".into(),
+            base_seed: 40,
+            period_secs: 60.0,
+            text: "SPLIT live BEGIN 0 END 60 BY TIME 10 sec STRIDE 0 sec INTO c;\n SELECT COUNT(*) FROM t;".into(),
+        });
+        roundtrip(Record::StandingFired { name: "per_min".into(), window_index: 12 });
+        roundtrip(Record::SnapshotHeader { last_seq: 100, next_generation: 17 });
+        roundtrip(Record::SlotValues { camera: "c".into(), offset: 7, slots: vec![1.0, 0.3 - 0.1, f64::INFINITY, -0.0] });
+        roundtrip(Record::SlotValues { camera: "c".into(), offset: 0, slots: vec![] });
+        roundtrip(Record::ArmStanding { name: "per_min".into(), next_start_secs: 180.0 });
+    }
+
+    #[test]
+    fn f64_fields_are_bit_exact() {
+        // 0.1 + 0.2 != 0.3 in binary; a decimal format would silently repair
+        // (or corrupt) the difference. The bit encoding must preserve it.
+        let v = 0.1 + 0.2;
+        let frame = encode_frame(1, &Record::Extend { camera: "c".into(), live_edge_secs: v });
+        match decode_payload(&frame[FRAME_HEADER..]).unwrap().1 {
+            Record::Extend { live_edge_secs, .. } => assert_eq!(live_edge_secs.to_bits(), v.to_bits()),
+            other => panic!("wrong record: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_errors() {
+        assert!(decode_payload(b"").is_err());
+        assert!(decode_payload(b"1").is_err());
+        assert!(decode_payload(b"1|nope|x").is_err());
+        assert!(decode_payload(b"x|extend|c|0000000000000000").is_err(), "non-numeric seq");
+        assert!(decode_payload(b"1|extend|c|zz").is_err(), "bad f64 bits");
+        assert!(decode_payload(b"1|admit|0000000000000000|2|c|0|1").is_err(), "declared 2 debits, carried 1");
+        assert!(decode_payload(b"1|cam|c|1|1").is_err(), "cam record missing fields");
+        assert!(decode_payload(b"1|fired|bad\\escape\\q|3").is_err(), "bad escape sequence");
+    }
+}

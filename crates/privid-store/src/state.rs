@@ -1,0 +1,456 @@
+//! The shadow state a WAL rebuilds: every camera's exact ledger, the
+//! registered masks/processors, standing-query watermarks and the generation
+//! counter.
+//!
+//! [`StoreState`] is the single source of truth for what recovery produces:
+//! the [`crate::WalStore`] applies every appended record to its own copy at
+//! append time — through the *same* [`StoreState::apply`] that recovery uses
+//! — so a snapshot is always exactly the state a full log replay would have
+//! built, and the serving layer's in-memory ledgers provably mirror it (the
+//! property suite compares the two bit-for-bit).
+//!
+//! The slot-count and clamping arithmetic here intentionally duplicates
+//! `privid_core::budget::BudgetLedger` formula-for-formula; any divergence
+//! would let a recovered ledger drift from the live one.
+
+use crate::record::Record;
+use std::collections::BTreeMap;
+
+/// A registered mask, as recovery sees it. The mask *bitmap* is not
+/// persisted (it is re-derivable owner-side data, not admission state); the
+/// entry records that the mask existed, its reduced ρ and its generation so
+/// the owner knows what to re-publish after a restart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaskRecord {
+    /// Registration generation.
+    pub generation: u64,
+    /// The mask's reduced ρ, seconds.
+    pub rho_secs: f64,
+}
+
+/// One camera's durable state: policy parameters, ledger shape and the exact
+/// per-slot budgets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CameraRecord {
+    /// Registration generation (cache-key tag).
+    pub generation: u64,
+    /// True for a live (append-only) recording.
+    pub live: bool,
+    /// Ledger slot resolution, seconds.
+    pub slot_secs: f64,
+    /// Recorded duration — for a live camera, the durable live edge.
+    pub duration_secs: f64,
+    /// Per-frame ε budget each slot is born with.
+    pub initial_epsilon: f64,
+    /// Policy ρ, seconds.
+    pub rho_secs: f64,
+    /// Policy K.
+    pub k: u32,
+    /// Remaining ε per slot, bit-exact.
+    pub slots: Vec<f64>,
+    /// Published masks by id.
+    pub masks: BTreeMap<String, MaskRecord>,
+}
+
+/// A standing query's durable state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandingRecord {
+    /// Base noise seed.
+    pub base_seed: u64,
+    /// Window period, seconds.
+    pub period_secs: f64,
+    /// Start of the next unfired window, seconds — recovery re-arms here.
+    pub next_start_secs: f64,
+    /// The prototype query text.
+    pub text: String,
+}
+
+/// The full durable state of one Privid service.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StoreState {
+    /// Cameras by name.
+    pub cameras: BTreeMap<String, CameraRecord>,
+    /// Processors by name (value: registration generation).
+    pub processors: BTreeMap<String, u64>,
+    /// Standing queries by name.
+    pub standing: BTreeMap<String, StandingRecord>,
+    /// The next registration generation to mint (strictly above every
+    /// generation ever logged, so recovered cache keys can never alias).
+    pub next_generation: u64,
+}
+
+/// Slot count for a timeline of `duration_secs` at `slot_secs` resolution.
+/// Must match `BudgetLedger::with_resolution` exactly.
+fn slot_count(duration_secs: f64, slot_secs: f64) -> usize {
+    (duration_secs / slot_secs).ceil().max(1.0) as usize
+}
+
+/// Slots per snapshot [`Record::SlotValues`] run. Each slot encodes as 17
+/// bytes, so a run's payload stays around 1.1 MB — far below the frame
+/// reader's `MAX_PAYLOAD` no matter how long a live camera has recorded
+/// (a snapshot that cannot be read back would strand the store).
+pub(crate) const SLOTS_PER_RECORD: usize = 65_536;
+
+impl StoreState {
+    /// Validate one record against the state built so far, without mutating
+    /// anything. The WAL runs this *before* a record reaches the log, so a
+    /// record the state would refuse (a caller bug) can never be made
+    /// durable — where it would permanently fail every future recovery.
+    pub fn check(&self, record: &Record) -> Result<(), String> {
+        match record {
+            Record::RegisterCamera { name, slot_secs, .. } => {
+                if !slot_secs.is_finite() || *slot_secs <= 0.0 {
+                    return Err(format!("camera {name}: non-positive slot resolution {slot_secs}"));
+                }
+            }
+            Record::RegisterMask { camera, .. } => {
+                self.camera_ref(camera)?;
+            }
+            Record::RegisterProcessor { .. } | Record::RegisterStanding { .. } | Record::SnapshotHeader { .. } => {}
+            Record::Extend { camera, .. } => {
+                if !self.camera_ref(camera)?.live {
+                    return Err(format!("extend record for fixed camera {camera}"));
+                }
+            }
+            Record::Admit { debits, .. } => {
+                for d in debits {
+                    let cam = self.camera_ref(&d.camera)?;
+                    if d.lo >= d.hi || d.hi as usize > cam.slots.len() {
+                        return Err(format!(
+                            "admit record debits slots [{}, {}) of camera {} which has {} slots",
+                            d.lo,
+                            d.hi,
+                            d.camera,
+                            cam.slots.len()
+                        ));
+                    }
+                }
+            }
+            Record::Credit { camera, lo, hi, .. } => {
+                let cam = self.camera_ref(camera)?;
+                if *lo >= *hi || *hi as usize > cam.slots.len() {
+                    return Err(format!("credit record for slots [{lo}, {hi}) of camera {camera}"));
+                }
+            }
+            Record::StandingFired { name, .. } | Record::ArmStanding { name, .. } => {
+                if !self.standing.contains_key(name) {
+                    return Err(format!("record references unknown standing query {name}"));
+                }
+            }
+            Record::SlotValues { camera, offset, slots } => {
+                let cam = self.camera_ref(camera)?;
+                if *offset as usize + slots.len() > cam.slots.len() {
+                    return Err(format!(
+                        "snapshot carries slots [{}, {}) for camera {camera}, ledger shape says {}",
+                        offset,
+                        *offset as usize + slots.len(),
+                        cam.slots.len()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply one record: [`StoreState::check`] then mutate. Errors indicate a
+    /// record inconsistent with the state built so far (e.g. a debit for an
+    /// unknown camera or past the slot array) — on recovery that is
+    /// corruption, at append time a caller bug; either way the state is left
+    /// unchanged on error.
+    pub fn apply(&mut self, record: &Record) -> Result<(), String> {
+        self.check(record)?;
+        match record {
+            Record::RegisterCamera { name, generation, live, slot_secs, duration_secs, initial_epsilon, rho_secs, k } => {
+                self.bump_generation(*generation);
+                self.cameras.insert(
+                    name.clone(),
+                    CameraRecord {
+                        generation: *generation,
+                        live: *live,
+                        slot_secs: *slot_secs,
+                        duration_secs: duration_secs.max(0.0),
+                        initial_epsilon: *initial_epsilon,
+                        rho_secs: *rho_secs,
+                        k: *k,
+                        slots: vec![*initial_epsilon; slot_count(*duration_secs, *slot_secs)],
+                        masks: BTreeMap::new(),
+                    },
+                );
+            }
+            Record::RegisterMask { camera, mask_id, generation, rho_secs } => {
+                self.bump_generation(*generation);
+                let cam = self.camera_mut(camera)?;
+                cam.masks.insert(mask_id.clone(), MaskRecord { generation: *generation, rho_secs: *rho_secs });
+            }
+            Record::RegisterProcessor { name, generation } => {
+                self.bump_generation(*generation);
+                self.processors.insert(name.clone(), *generation);
+            }
+            Record::Extend { camera, live_edge_secs } => {
+                let cam = self.camera_mut(camera)?;
+                if !cam.live {
+                    return Err(format!("extend record for fixed camera {camera}"));
+                }
+                // Mirrors the (replay-tolerant) BudgetLedger::extend_to: the
+                // high-watermark never moves backwards, new slots are born
+                // with the full initial budget.
+                if *live_edge_secs > cam.duration_secs {
+                    let n = slot_count(*live_edge_secs, cam.slot_secs);
+                    if n > cam.slots.len() {
+                        let initial = cam.initial_epsilon;
+                        cam.slots.resize(n, initial);
+                    }
+                    cam.duration_secs = *live_edge_secs;
+                }
+            }
+            Record::Admit { epsilon, debits } => {
+                // Validate all ranges before mutating any slot, so a corrupt
+                // admit record cannot leave the state partially applied.
+                for d in debits {
+                    let cam = self.camera_ref(&d.camera)?;
+                    if d.lo >= d.hi || d.hi as usize > cam.slots.len() {
+                        return Err(format!(
+                            "admit record debits slots [{}, {}) of camera {} which has {} slots",
+                            d.lo,
+                            d.hi,
+                            d.camera,
+                            cam.slots.len()
+                        ));
+                    }
+                }
+                for d in debits {
+                    let cam = self.cameras.get_mut(&d.camera).expect("validated above");
+                    for s in &mut cam.slots[d.lo as usize..d.hi as usize] {
+                        *s -= epsilon;
+                    }
+                }
+            }
+            Record::Credit { camera, lo, hi, epsilon } => {
+                let cam = self.camera_mut(camera)?;
+                if *lo >= *hi || *hi as usize > cam.slots.len() {
+                    return Err(format!("credit record for slots [{lo}, {hi}) of camera {camera}"));
+                }
+                for s in &mut cam.slots[*lo as usize..*hi as usize] {
+                    *s += epsilon;
+                }
+            }
+            Record::RegisterStanding { name, base_seed, period_secs, text } => {
+                self.standing.insert(
+                    name.clone(),
+                    StandingRecord {
+                        base_seed: *base_seed,
+                        period_secs: *period_secs,
+                        next_start_secs: 0.0,
+                        text: text.clone(),
+                    },
+                );
+            }
+            Record::StandingFired { name, window_index } => {
+                let st = self
+                    .standing
+                    .get_mut(name)
+                    .ok_or_else(|| format!("fired record for unknown standing query {name}"))?;
+                // `max`, not assignment: firings of one query execute outside
+                // the registry lock and may journal out of index order.
+                st.next_start_secs = st.next_start_secs.max((*window_index + 1) as f64 * st.period_secs);
+            }
+            Record::SnapshotHeader { next_generation, .. } => {
+                self.next_generation = self.next_generation.max(*next_generation);
+            }
+            Record::SlotValues { camera, offset, slots } => {
+                let cam = self.camera_mut(camera)?;
+                cam.slots[*offset as usize..*offset as usize + slots.len()].copy_from_slice(slots);
+            }
+            Record::ArmStanding { name, next_start_secs } => {
+                let st = self
+                    .standing
+                    .get_mut(name)
+                    .ok_or_else(|| format!("arm record for unknown standing query {name}"))?;
+                st.next_start_secs = st.next_start_secs.max(*next_start_secs);
+            }
+        }
+        Ok(())
+    }
+
+    /// The records that rebuild this state wholesale — the body of a
+    /// snapshot file, in apply order (camera shapes before slot values,
+    /// standing registrations before their watermarks).
+    pub fn snapshot_records(&self, last_seq: u64) -> Vec<Record> {
+        let mut records = Vec::with_capacity(2 + 2 * self.cameras.len() + 2 * self.standing.len());
+        records.push(Record::SnapshotHeader { last_seq, next_generation: self.next_generation });
+        for (name, cam) in &self.cameras {
+            records.push(Record::RegisterCamera {
+                name: name.clone(),
+                generation: cam.generation,
+                live: cam.live,
+                slot_secs: cam.slot_secs,
+                duration_secs: cam.duration_secs,
+                initial_epsilon: cam.initial_epsilon,
+                rho_secs: cam.rho_secs,
+                k: cam.k,
+            });
+            for (run, chunk) in cam.slots.chunks(SLOTS_PER_RECORD).enumerate() {
+                records.push(Record::SlotValues {
+                    camera: name.clone(),
+                    offset: (run * SLOTS_PER_RECORD) as u64,
+                    slots: chunk.to_vec(),
+                });
+            }
+            for (mask_id, mask) in &cam.masks {
+                records.push(Record::RegisterMask {
+                    camera: name.clone(),
+                    mask_id: mask_id.clone(),
+                    generation: mask.generation,
+                    rho_secs: mask.rho_secs,
+                });
+            }
+        }
+        for (name, generation) in &self.processors {
+            records.push(Record::RegisterProcessor { name: name.clone(), generation: *generation });
+        }
+        for (name, st) in &self.standing {
+            records.push(Record::RegisterStanding {
+                name: name.clone(),
+                base_seed: st.base_seed,
+                period_secs: st.period_secs,
+                text: st.text.clone(),
+            });
+            records.push(Record::ArmStanding { name: name.clone(), next_start_secs: st.next_start_secs });
+        }
+        records
+    }
+
+    fn camera_mut(&mut self, camera: &str) -> Result<&mut CameraRecord, String> {
+        self.cameras.get_mut(camera).ok_or_else(|| format!("record references unknown camera {camera}"))
+    }
+
+    fn camera_ref(&self, camera: &str) -> Result<&CameraRecord, String> {
+        self.cameras.get(camera).ok_or_else(|| format!("record references unknown camera {camera}"))
+    }
+
+    fn bump_generation(&mut self, generation: u64) {
+        self.next_generation = self.next_generation.max(generation + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::DebitRange;
+
+    fn cam_record(name: &str, live: bool, duration: f64, eps: f64) -> Record {
+        Record::RegisterCamera {
+            name: name.into(),
+            generation: 1,
+            live,
+            slot_secs: 1.0,
+            duration_secs: duration,
+            initial_epsilon: eps,
+            rho_secs: 30.0,
+            k: 2,
+        }
+    }
+
+    #[test]
+    fn register_extend_debit_credit_lifecycle() {
+        let mut state = StoreState::default();
+        state.apply(&cam_record("live", true, 0.0, 1.0)).unwrap();
+        assert_eq!(state.cameras["live"].slots, vec![1.0], "empty live timeline still has the phantom slot");
+        state.apply(&Record::Extend { camera: "live".into(), live_edge_secs: 10.0 }).unwrap();
+        assert_eq!(state.cameras["live"].slots.len(), 10);
+        state
+            .apply(&Record::Admit {
+                epsilon: 0.25,
+                debits: vec![DebitRange { camera: "live".into(), lo: 2, hi: 6 }],
+            })
+            .unwrap();
+        assert_eq!(state.cameras["live"].slots[3], 0.75);
+        assert_eq!(state.cameras["live"].slots[1], 1.0);
+        state.apply(&Record::Credit { camera: "live".into(), lo: 2, hi: 3, epsilon: 0.25 }).unwrap();
+        assert_eq!(state.cameras["live"].slots[2], 1.0);
+        // Replayed (stale) extends never shrink the timeline or re-mint ε.
+        state.apply(&Record::Extend { camera: "live".into(), live_edge_secs: 4.0 }).unwrap();
+        assert_eq!(state.cameras["live"].slots.len(), 10);
+        assert_eq!(state.cameras["live"].duration_secs, 10.0);
+    }
+
+    #[test]
+    fn invalid_records_are_rejected_without_partial_application() {
+        let mut state = StoreState::default();
+        state.apply(&cam_record("a", false, 5.0, 1.0)).unwrap();
+        // Second debit range is out of bounds: the first must not apply either.
+        let err = state
+            .apply(&Record::Admit {
+                epsilon: 0.5,
+                debits: vec![
+                    DebitRange { camera: "a".into(), lo: 0, hi: 2 },
+                    DebitRange { camera: "a".into(), lo: 4, hi: 9 },
+                ],
+            })
+            .unwrap_err();
+        assert!(err.contains("5 slots"), "got: {err}");
+        assert!(state.cameras["a"].slots.iter().all(|&s| s == 1.0), "no partial debit");
+        assert!(state.apply(&Record::Extend { camera: "ghost".into(), live_edge_secs: 1.0 }).is_err());
+        assert!(state.apply(&Record::Extend { camera: "a".into(), live_edge_secs: 9.0 }).is_err(), "fixed camera");
+        assert!(state.apply(&Record::StandingFired { name: "ghost".into(), window_index: 0 }).is_err());
+    }
+
+    #[test]
+    fn snapshots_chunk_long_ledgers_below_the_frame_bound() {
+        // Regression (review): a single SlotValues record for a long-lived
+        // live camera could exceed MAX_PAYLOAD, making the snapshot — and
+        // with it the whole store — permanently unreadable.
+        let mut state = StoreState::default();
+        state.apply(&cam_record("live", true, 0.0, 1.0)).unwrap();
+        let n = 2 * SLOTS_PER_RECORD + 1234;
+        state.apply(&Record::Extend { camera: "live".into(), live_edge_secs: n as f64 }).unwrap();
+        // A debit straddling a run boundary must survive the chunked round trip.
+        let lo = SLOTS_PER_RECORD as u64 - 1;
+        state
+            .apply(&Record::Admit { epsilon: 0.25, debits: vec![DebitRange { camera: "live".into(), lo, hi: lo + 3 }] })
+            .unwrap();
+        let records = state.snapshot_records(1);
+        let runs = records.iter().filter(|r| matches!(r, Record::SlotValues { .. })).count();
+        assert_eq!(runs, 3, "{n} slots split into three runs");
+        for record in &records {
+            let frame = crate::record::encode_frame(0, record);
+            assert!(frame.len() < 2 * 1024 * 1024, "every frame stays far below MAX_PAYLOAD, got {}", frame.len());
+        }
+        let mut rebuilt = StoreState::default();
+        for record in records {
+            rebuilt.apply(&record).unwrap();
+        }
+        assert_eq!(rebuilt, state, "chunked slot runs rebuild the exact ledger");
+    }
+
+    #[test]
+    fn snapshot_records_rebuild_the_exact_state() {
+        let mut state = StoreState::default();
+        state.apply(&cam_record("live", true, 0.0, 2.0)).unwrap();
+        state.apply(&Record::Extend { camera: "live".into(), live_edge_secs: 7.3 }).unwrap();
+        state
+            .apply(&Record::Admit { epsilon: 0.1 + 0.2, debits: vec![DebitRange { camera: "live".into(), lo: 0, hi: 3 }] })
+            .unwrap();
+        state
+            .apply(&Record::RegisterMask { camera: "live".into(), mask_id: "m".into(), generation: 5, rho_secs: 10.0 })
+            .unwrap();
+        state.apply(&Record::RegisterProcessor { name: "p".into(), generation: 6 }).unwrap();
+        state
+            .apply(&Record::RegisterStanding {
+                name: "s".into(),
+                base_seed: 9,
+                period_secs: 60.0,
+                text: "SPLIT …".into(),
+            })
+            .unwrap();
+        state.apply(&Record::StandingFired { name: "s".into(), window_index: 2 }).unwrap();
+
+        let mut rebuilt = StoreState::default();
+        for record in state.snapshot_records(42) {
+            rebuilt.apply(&record).unwrap();
+        }
+        assert_eq!(rebuilt, state, "snapshot must round-trip the state bit-for-bit");
+        assert_eq!(rebuilt.standing["s"].next_start_secs, 180.0);
+        assert_eq!(rebuilt.next_generation, 7);
+    }
+}

@@ -1,0 +1,619 @@
+//! The write-ahead log: append, fsync policy, snapshots, and crash recovery.
+//!
+//! Layout inside the store directory:
+//!
+//! * `wal.log` — the live log, a stream of framed records (see
+//!   [`crate::record`]). Appends go here; the file is truncated to zero after
+//!   a successful snapshot.
+//! * `snapshot.bin` — the latest snapshot: the same framed-record format,
+//!   starting with a [`Record::SnapshotHeader`] carrying the sequence
+//!   watermark. Written to `snapshot.tmp` first, fsynced, then renamed into
+//!   place — a crash mid-snapshot leaves the previous snapshot intact.
+//!
+//! ## Recovery invariants
+//!
+//! 1. **Never under-debit.** Every admission record is appended (and, under
+//!    `FsyncPolicy::Always`, fsynced) *before* the in-memory ledger debits a
+//!    slot, and therefore before any release can reach an analyst. Whatever
+//!    prefix of the log survives a crash accounts for at least every release
+//!    that escaped.
+//! 2. **Torn tails truncate; corruption refuses.** Frames are written with
+//!    one sequential write each, so a crash can only leave a *prefix*: a
+//!    partial header, preallocated zeros, or a correct header whose payload
+//!    runs past end-of-file. Those truncate (the record's operation was
+//!    never applied; [`RecoveryEvent::TornTailTruncated`]). Everything else
+//!    is disk corruption — truncating it could silently drop a debit whose
+//!    release *was* returned — so recovery stops with a typed error instead
+//!    of serving an under-debited ledger: [`StoreError::ChecksumMismatch`]
+//!    for a failed CRC (which covers the length field as well as the
+//!    payload, so length flips cannot misdirect the parser), and
+//!    [`StoreError::InvalidRecord`] for implausible lengths a sequential
+//!    append could never produce.
+//! 3. **Replay is idempotent.** Records carry strictly increasing sequence
+//!    numbers; a record at or below the applied watermark (a duplicated
+//!    append, or a log that survived a crash between snapshot write and log
+//!    truncation) is skipped ([`RecoveryEvent::StaleRecordSkipped`]). A
+//!    sequence *gap* means a record vanished and is refused
+//!    ([`StoreError::InvalidRecord`]).
+
+use crate::record::{decode_payload, encode_frame, Record, FRAME_HEADER, MAX_PAYLOAD};
+use crate::state::StoreState;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// When the WAL calls `fsync` on appended records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// `fsync` after every appended record: a record is durable before the
+    /// corresponding ledger mutation (and any release) happens. This is the
+    /// policy under which the never-under-debit invariant covers power loss.
+    #[default]
+    Always,
+    /// Never `fsync`; leave flushing to the OS page cache. Records still
+    /// reach the kernel on every append (a *process* crash loses nothing),
+    /// but power loss may drop the most recent records — recovering a
+    /// conservative earlier state. Orders of magnitude faster.
+    Never,
+}
+
+/// Where (and whether) a service persists its admission state.
+#[derive(Debug, Clone, Default)]
+pub enum Durability {
+    /// Keep everything in memory (the pre-durability behaviour; benches and
+    /// experiments use this).
+    #[default]
+    None,
+    /// Journal to a write-ahead log with periodic snapshots.
+    Wal {
+        /// Directory holding `wal.log` / `snapshot.bin`.
+        dir: PathBuf,
+        /// Fsync policy for appended records.
+        fsync: FsyncPolicy,
+    },
+}
+
+impl Durability {
+    /// Convenience constructor for the WAL variant.
+    pub fn wal(dir: impl Into<PathBuf>, fsync: FsyncPolicy) -> Self {
+        Durability::Wal { dir: dir.into(), fsync }
+    }
+}
+
+/// A typed durability failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// An I/O failure (message carries the `std::io::Error` text and what
+    /// the store was doing).
+    Io {
+        /// What the store was doing.
+        context: String,
+        /// The underlying I/O error text.
+        message: String,
+    },
+    /// A complete log record failed its CRC — disk corruption, not a torn
+    /// append. Recovery refuses to proceed: skipping the record could
+    /// under-debit a slot whose release was already returned.
+    ChecksumMismatch {
+        /// Byte offset of the corrupt frame in `wal.log`.
+        offset: u64,
+    },
+    /// A record decoded but is inconsistent (unparseable payload, a sequence
+    /// gap, or a debit that does not fit the state built so far).
+    InvalidRecord {
+        /// Byte offset of the frame in the file it was read from.
+        offset: u64,
+        /// Why the record was refused.
+        reason: String,
+    },
+    /// The snapshot file is unreadable. Snapshots are written atomically
+    /// (tmp + rename), so this is disk corruption; recovery refuses rather
+    /// than replaying the log against the wrong base state.
+    SnapshotCorrupt {
+        /// Why the snapshot was refused.
+        reason: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { context, message } => write!(f, "store I/O error while {context}: {message}"),
+            StoreError::ChecksumMismatch { offset } => {
+                write!(f, "WAL record at byte {offset} fails its checksum (disk corruption); refusing to recover a possibly under-debited ledger")
+            }
+            StoreError::InvalidRecord { offset, reason } => {
+                write!(f, "invalid WAL record at byte {offset}: {reason}")
+            }
+            StoreError::SnapshotCorrupt { reason } => write!(f, "snapshot is corrupt: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+fn io_err(context: &str) -> impl Fn(std::io::Error) -> StoreError + '_ {
+    move |e| StoreError::Io { context: context.to_string(), message: e.to_string() }
+}
+
+/// Something recovery observed and handled.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryEvent {
+    /// The log ended in an incomplete frame (crash mid-append); the tail was
+    /// truncated at `offset`, dropping `bytes` bytes.
+    TornTailTruncated {
+        /// Byte offset the log was truncated to.
+        offset: u64,
+        /// How many trailing bytes were dropped.
+        bytes: u64,
+    },
+    /// A record at or below the applied sequence watermark was skipped —
+    /// a duplicated append, or a log surviving a crash between snapshot
+    /// write and log truncation. Reported once; `stale_skipped` counts all.
+    StaleRecordSkipped {
+        /// Sequence number of the first stale record.
+        seq: u64,
+    },
+    /// A snapshot was loaded as the replay base.
+    SnapshotLoaded {
+        /// The snapshot's sequence watermark.
+        last_seq: u64,
+    },
+}
+
+/// What recovery did, for operators and tests.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RecoveryReport {
+    /// Sequence watermark of the loaded snapshot (0 if none).
+    pub snapshot_seq: u64,
+    /// Log records applied on top of the snapshot.
+    pub records_replayed: u64,
+    /// Log records skipped as stale (idempotent replay).
+    pub stale_skipped: u64,
+    /// Bytes dropped from a torn tail (0 if the log ended cleanly).
+    pub torn_tail_bytes: u64,
+    /// Notable events, deduplicated by kind.
+    pub events: Vec<RecoveryEvent>,
+}
+
+/// The state and report [`WalStore::open`] hands back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recovered {
+    /// The recovered durable state.
+    pub state: StoreState,
+    /// What recovery did to produce it.
+    pub report: RecoveryReport,
+}
+
+/// Tuning knobs for [`WalStore::open_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct WalOptions {
+    /// Snapshot (and truncate the log) after this many appended records.
+    pub snapshot_every: u64,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        WalOptions { snapshot_every: 4096 }
+    }
+}
+
+struct Inner {
+    file: File,
+    state: StoreState,
+    next_seq: u64,
+    records_since_snapshot: u64,
+    /// Length of wal.log up to the last fully appended frame. A failed
+    /// append truncates back here so a partial frame can never sit *under*
+    /// later successful appends (recovery would misparse the stream).
+    log_len: u64,
+    /// Set when a failed append could not be cleaned up (the truncate itself
+    /// failed): the on-disk log may hold a partial frame, so every further
+    /// append is refused — appending after garbage would corrupt the log.
+    wedged: bool,
+}
+
+/// An open write-ahead log: the append side of the durability subsystem.
+///
+/// Appends are serialized by an internal mutex; the store applies every
+/// record to its own [`StoreState`] shadow as it appends, so snapshots are
+/// cut from state that is — by construction — exactly what recovery would
+/// rebuild.
+pub struct WalStore {
+    inner: Mutex<Inner>,
+    dir: PathBuf,
+    fsync: FsyncPolicy,
+    snapshot_every: u64,
+}
+
+impl fmt::Debug for WalStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WalStore").field("dir", &self.dir).field("fsync", &self.fsync).finish_non_exhaustive()
+    }
+}
+
+impl WalStore {
+    /// Open (or create) the store at `dir`, recovering any existing state.
+    pub fn open(dir: impl Into<PathBuf>, fsync: FsyncPolicy) -> Result<(WalStore, Recovered), StoreError> {
+        Self::open_with(dir, fsync, WalOptions::default())
+    }
+
+    /// [`WalStore::open`] with explicit tuning knobs.
+    pub fn open_with(
+        dir: impl Into<PathBuf>,
+        fsync: FsyncPolicy,
+        options: WalOptions,
+    ) -> Result<(WalStore, Recovered), StoreError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(io_err("creating the store directory"))?;
+        // An orphaned snapshot.tmp is a crash mid-snapshot: the rename never
+        // happened, so the previous snapshot (if any) is still authoritative.
+        let tmp = dir.join("snapshot.tmp");
+        if tmp.exists() {
+            std::fs::remove_file(&tmp).map_err(io_err("removing an orphaned snapshot.tmp"))?;
+        }
+
+        let mut state = StoreState::default();
+        let mut report = RecoveryReport::default();
+        let snapshot_path = dir.join("snapshot.bin");
+        let mut applied_seq = 0u64;
+        if snapshot_path.exists() {
+            let bytes = std::fs::read(&snapshot_path).map_err(io_err("reading snapshot.bin"))?;
+            applied_seq = load_snapshot(&bytes, &mut state)?;
+            report.snapshot_seq = applied_seq;
+            report.events.push(RecoveryEvent::SnapshotLoaded { last_seq: applied_seq });
+        }
+
+        let log_path = dir.join("wal.log");
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&log_path)
+            .map_err(io_err("opening wal.log"))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes).map_err(io_err("reading wal.log"))?;
+
+        let mut offset = 0usize;
+        let mut saw_stale = false;
+        loop {
+            let remaining = bytes.len() - offset;
+            if remaining == 0 {
+                break;
+            }
+            // Classify the frame at `offset`. Appends write each frame with a
+            // single sequential write, so a *crash* can only leave a prefix:
+            // a partial header, an all-zero header (filesystem-preallocated
+            // bytes), or a correct header whose payload runs past end-of-file.
+            // Those are torn tails — the append never finished, the operation
+            // it describes never happened, truncate and proceed. Anything
+            // else that fails to parse is disk corruption: truncating it
+            // could silently drop later records whose debits back released
+            // answers, so recovery refuses with a typed error instead.
+            let torn = |report: &mut RecoveryReport, file: &mut File| -> Result<(), StoreError> {
+                let dropped = (bytes.len() - offset) as u64;
+                file.set_len(offset as u64).map_err(io_err("truncating the torn WAL tail"))?;
+                report.torn_tail_bytes = dropped;
+                report.events.push(RecoveryEvent::TornTailTruncated { offset: offset as u64, bytes: dropped });
+                Ok(())
+            };
+            if remaining < FRAME_HEADER {
+                torn(&mut report, &mut file)?;
+                break;
+            }
+            let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+            let crc = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().expect("4 bytes"));
+            if len == 0 && crc == 0 {
+                // Preallocated-but-unwritten zeros: a torn append.
+                torn(&mut report, &mut file)?;
+                break;
+            }
+            if len == 0 || len > MAX_PAYLOAD as usize {
+                // A sequential append can never produce a complete header
+                // with a zero or absurd length — this is a corrupted length
+                // field, and everything after it is unreachable but may be
+                // valid. Refuse rather than under-debit.
+                return Err(StoreError::InvalidRecord {
+                    offset: offset as u64,
+                    reason: format!("implausible record length {len} (corrupted length field?)"),
+                });
+            }
+            if remaining < FRAME_HEADER + len {
+                torn(&mut report, &mut file)?;
+                break;
+            }
+            let payload = &bytes[offset + FRAME_HEADER..offset + FRAME_HEADER + len];
+            // The CRC covers the length field too: an in-range length flip is
+            // caught here instead of misparsing the stream.
+            if crate::crc32::crc32_parts(&[&bytes[offset..offset + 4], payload]) != crc {
+                return Err(StoreError::ChecksumMismatch { offset: offset as u64 });
+            }
+            let (seq, record) = decode_payload(payload)
+                .map_err(|reason| StoreError::InvalidRecord { offset: offset as u64, reason })?;
+            if seq <= applied_seq {
+                report.stale_skipped += 1;
+                if !saw_stale {
+                    saw_stale = true;
+                    report.events.push(RecoveryEvent::StaleRecordSkipped { seq });
+                }
+            } else if seq != applied_seq + 1 {
+                return Err(StoreError::InvalidRecord {
+                    offset: offset as u64,
+                    reason: format!("sequence gap: expected {}, found {seq}", applied_seq + 1),
+                });
+            } else {
+                state
+                    .apply(&record)
+                    .map_err(|reason| StoreError::InvalidRecord { offset: offset as u64, reason })?;
+                applied_seq = seq;
+                report.records_replayed += 1;
+            }
+            offset += FRAME_HEADER + len;
+        }
+
+        let log_len = file.seek(SeekFrom::End(0)).map_err(io_err("seeking to the end of wal.log"))?;
+        let recovered = Recovered { state: state.clone(), report };
+        let store = WalStore {
+            inner: Mutex::new(Inner {
+                file,
+                state,
+                next_seq: applied_seq + 1,
+                records_since_snapshot: 0,
+                log_len,
+                wedged: false,
+            }),
+            dir,
+            fsync,
+            snapshot_every: options.snapshot_every.max(1),
+        };
+        Ok((store, recovered))
+    }
+
+    /// Append one record, making it durable per the fsync policy, and fold it
+    /// into the shadow state. Callers apply the corresponding in-memory
+    /// mutation only **after** this returns `Ok` — that ordering is what the
+    /// never-under-debit invariant rests on.
+    pub fn append(&self, record: Record) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock().expect("wal store lock poisoned");
+        if inner.wedged {
+            return Err(StoreError::Io {
+                context: "appending a WAL record".into(),
+                message: "store is wedged: an earlier failed append could not be cleaned up".into(),
+            });
+        }
+        // Validate against the shadow first: a record the state would refuse
+        // (a caller bug) must not reach the log at all — once durable, it
+        // would fail every future recovery.
+        inner
+            .state
+            .check(&record)
+            .map_err(|reason| StoreError::InvalidRecord { offset: 0, reason: format!("record refused by state: {reason}") })?;
+        let seq = inner.next_seq;
+        let frame = encode_frame(seq, &record);
+        let write = inner
+            .file
+            .write_all(&frame)
+            .map_err(io_err("appending a WAL record"))
+            .and_then(|()| match self.fsync {
+                FsyncPolicy::Always => inner.file.sync_data().map_err(io_err("fsyncing a WAL record")),
+                FsyncPolicy::Never => Ok(()),
+            });
+        if let Err(e) = write {
+            // Roll the file back to the last good frame so the partial bytes
+            // can never end up *under* later successful appends. If even
+            // that fails, wedge the store: appending after garbage would
+            // corrupt the log for everyone.
+            let target = inner.log_len;
+            if inner.file.set_len(target).and_then(|()| inner.file.seek(SeekFrom::Start(target))).is_err() {
+                inner.wedged = true;
+            }
+            return Err(e);
+        }
+        inner.log_len += frame.len() as u64;
+        inner.state.apply(&record).expect("checked above");
+        inner.next_seq = seq + 1;
+        inner.records_since_snapshot += 1;
+        if inner.records_since_snapshot >= self.snapshot_every {
+            self.checkpoint_locked(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Write a snapshot of the current state and truncate the log, bounding
+    /// the next recovery's replay cost. Also invoked automatically every
+    /// [`WalOptions::snapshot_every`] appends.
+    pub fn checkpoint(&self) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock().expect("wal store lock poisoned");
+        self.checkpoint_locked(&mut inner)
+    }
+
+    /// A copy of the shadow state (what recovery would rebuild right now).
+    pub fn state(&self) -> StoreState {
+        self.inner.lock().expect("wal store lock poisoned").state.clone()
+    }
+
+    /// The sequence number the next appended record will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.inner.lock().expect("wal store lock poisoned").next_seq
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn checkpoint_locked(&self, inner: &mut Inner) -> Result<(), StoreError> {
+        let tmp = self.dir.join("snapshot.tmp");
+        let records = inner.state.snapshot_records(inner.next_seq - 1);
+        {
+            let mut f = File::create(&tmp).map_err(io_err("creating snapshot.tmp"))?;
+            for record in &records {
+                // Snapshot records are positional, not part of the log's
+                // sequence space; they carry seq 0.
+                f.write_all(&encode_frame(0, record)).map_err(io_err("writing snapshot.tmp"))?;
+            }
+            // The snapshot must be durable before it can supersede the log,
+            // regardless of the append-path fsync policy.
+            f.sync_all().map_err(io_err("fsyncing snapshot.tmp"))?;
+        }
+        std::fs::rename(&tmp, self.dir.join("snapshot.bin")).map_err(io_err("renaming snapshot.tmp into place"))?;
+        // Make the rename itself durable (best-effort: directory fsync is
+        // platform-dependent). A crash before it replays the old log against
+        // the old snapshot — the idempotent-seq rule makes that equivalent.
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        inner.file.set_len(0).map_err(io_err("truncating wal.log after snapshot"))?;
+        inner.file.seek(SeekFrom::Start(0)).map_err(io_err("rewinding wal.log after snapshot"))?;
+        inner.file.sync_data().map_err(io_err("fsyncing truncated wal.log"))?;
+        inner.log_len = 0;
+        inner.records_since_snapshot = 0;
+        Ok(())
+    }
+}
+
+/// Parse a snapshot file into `state`; returns its sequence watermark.
+fn load_snapshot(bytes: &[u8], state: &mut StoreState) -> Result<u64, StoreError> {
+    let mut offset = 0usize;
+    let mut last_seq = None;
+    while offset < bytes.len() {
+        let remaining = bytes.len() - offset;
+        if remaining < FRAME_HEADER {
+            return Err(StoreError::SnapshotCorrupt { reason: format!("partial frame header at byte {offset}") });
+        }
+        let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().expect("4 bytes"));
+        if len == 0 || len > MAX_PAYLOAD as usize || remaining < FRAME_HEADER + len {
+            return Err(StoreError::SnapshotCorrupt { reason: format!("truncated record at byte {offset}") });
+        }
+        let payload = &bytes[offset + FRAME_HEADER..offset + FRAME_HEADER + len];
+        if crate::crc32::crc32_parts(&[&bytes[offset..offset + 4], payload]) != crc {
+            return Err(StoreError::SnapshotCorrupt { reason: format!("checksum mismatch at byte {offset}") });
+        }
+        let (_, record) = decode_payload(payload)
+            .map_err(|reason| StoreError::SnapshotCorrupt { reason: format!("at byte {offset}: {reason}") })?;
+        if last_seq.is_none() {
+            match record {
+                Record::SnapshotHeader { last_seq: seq, .. } => last_seq = Some(seq),
+                other => {
+                    return Err(StoreError::SnapshotCorrupt {
+                        reason: format!("snapshot does not start with a header (found {other:?})"),
+                    })
+                }
+            }
+        }
+        state
+            .apply(&record)
+            .map_err(|reason| StoreError::SnapshotCorrupt { reason: format!("at byte {offset}: {reason}") })?;
+        offset += FRAME_HEADER + len;
+    }
+    last_seq.ok_or(StoreError::SnapshotCorrupt { reason: "snapshot is empty".into() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::DebitRange;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let n = DIR_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("privid-wal-{tag}-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn live_cam(name: &str) -> Record {
+        Record::RegisterCamera {
+            name: name.into(),
+            generation: 0,
+            live: true,
+            slot_secs: 1.0,
+            duration_secs: 0.0,
+            initial_epsilon: 1.0,
+            rho_secs: 30.0,
+            k: 2,
+        }
+    }
+
+    #[test]
+    fn append_close_reopen_recovers_the_state() {
+        let dir = temp_dir("reopen");
+        let (store, recovered) = WalStore::open(&dir, FsyncPolicy::Always).unwrap();
+        assert_eq!(recovered.state, StoreState::default());
+        store.append(live_cam("c")).unwrap();
+        store.append(Record::Extend { camera: "c".into(), live_edge_secs: 20.0 }).unwrap();
+        store
+            .append(Record::Admit { epsilon: 0.5, debits: vec![DebitRange { camera: "c".into(), lo: 0, hi: 7 }] })
+            .unwrap();
+        let live_state = store.state();
+        drop(store);
+
+        let (_store, recovered) = WalStore::open(&dir, FsyncPolicy::Always).unwrap();
+        assert_eq!(recovered.state, live_state, "recovery rebuilds the shadow state exactly");
+        assert_eq!(recovered.report.records_replayed, 3);
+        assert_eq!(recovered.report.torn_tail_bytes, 0);
+        assert_eq!(recovered.state.cameras["c"].slots[3], 0.5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_truncates_and_recovery_prefers_the_snapshot() {
+        let dir = temp_dir("checkpoint");
+        let (store, _) = WalStore::open(&dir, FsyncPolicy::Never).unwrap();
+        store.append(live_cam("c")).unwrap();
+        store.append(Record::Extend { camera: "c".into(), live_edge_secs: 10.0 }).unwrap();
+        store.checkpoint().unwrap();
+        assert_eq!(std::fs::metadata(dir.join("wal.log")).unwrap().len(), 0, "log truncated");
+        // Appends after the snapshot land in the fresh log with continuing seqs.
+        store
+            .append(Record::Admit { epsilon: 0.25, debits: vec![DebitRange { camera: "c".into(), lo: 0, hi: 2 }] })
+            .unwrap();
+        let live_state = store.state();
+        drop(store);
+        let (store, recovered) = WalStore::open(&dir, FsyncPolicy::Never).unwrap();
+        assert_eq!(recovered.report.snapshot_seq, 2);
+        assert_eq!(recovered.report.records_replayed, 1, "only the post-snapshot record replays");
+        assert_eq!(recovered.state, live_state);
+        assert_eq!(store.next_seq(), 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn automatic_snapshots_bound_the_log() {
+        let dir = temp_dir("auto");
+        let (store, _) =
+            WalStore::open_with(&dir, FsyncPolicy::Never, WalOptions { snapshot_every: 5 }).unwrap();
+        store.append(live_cam("c")).unwrap();
+        for i in 1..=20u64 {
+            store.append(Record::Extend { camera: "c".into(), live_edge_secs: i as f64 }).unwrap();
+        }
+        let live_state = store.state();
+        drop(store);
+        let log_len = std::fs::metadata(dir.join("wal.log")).unwrap().len();
+        assert!(log_len < 5 * 64, "auto-checkpoint keeps the log short, got {log_len} bytes");
+        let (_s, recovered) = WalStore::open(&dir, FsyncPolicy::Never).unwrap();
+        assert_eq!(recovered.state, live_state);
+        assert!(recovered.report.snapshot_seq >= 20);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn orphaned_snapshot_tmp_is_ignored() {
+        let dir = temp_dir("tmp");
+        let (store, _) = WalStore::open(&dir, FsyncPolicy::Never).unwrap();
+        store.append(live_cam("c")).unwrap();
+        let live_state = store.state();
+        drop(store);
+        std::fs::write(dir.join("snapshot.tmp"), b"half-written garbage").unwrap();
+        let (_s, recovered) = WalStore::open(&dir, FsyncPolicy::Never).unwrap();
+        assert_eq!(recovered.state, live_state, "a crash mid-snapshot must not affect recovery");
+        assert!(!dir.join("snapshot.tmp").exists(), "the orphan is cleaned up");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

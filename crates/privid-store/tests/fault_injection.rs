@@ -1,0 +1,321 @@
+//! Fault-injection suite: adversarial corruption of the WAL and snapshot
+//! files, each recovering to a safe — never under-debited — state with a
+//! distinct, typed outcome:
+//!
+//! * truncated tail record → `RecoveryEvent::TornTailTruncated`, state = last boundary
+//! * bit-flipped checksum (mid-log) → `StoreError::ChecksumMismatch`, recovery refuses
+//! * bit-flipped checksum (tail) → `StoreError::ChecksumMismatch` (a complete record is
+//!   never silently dropped — its debit may back a release)
+//! * duplicated record on replay → `RecoveryEvent::StaleRecordSkipped`, state unchanged
+//! * crash between snapshot write and log truncation → stale log records skipped
+//!   idempotently, state unchanged
+//! * missing record (sequence gap) → `StoreError::InvalidRecord`, recovery refuses
+//! * corrupted snapshot → `StoreError::SnapshotCorrupt`, recovery refuses
+
+use privid_store::{
+    DebitRange, FsyncPolicy, Record, RecoveryEvent, StoreError, StoreState, WalOptions, WalStore,
+};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let n = DIR_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("privid-fault-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn live_cam(name: &str, epsilon: f64) -> Record {
+    Record::RegisterCamera {
+        name: name.into(),
+        generation: 0,
+        live: true,
+        slot_secs: 1.0,
+        duration_secs: 0.0,
+        initial_epsilon: epsilon,
+        rho_secs: 30.0,
+        k: 2,
+    }
+}
+
+/// Build a store with a camera, an extension and two debits; returns the
+/// state after each record so tests can compare against exact boundaries.
+fn seeded_store(dir: &PathBuf) -> Vec<StoreState> {
+    let (store, _) =
+        WalStore::open_with(dir, FsyncPolicy::Always, WalOptions { snapshot_every: u64::MAX }).unwrap();
+    let records = vec![
+        live_cam("c", 1.0),
+        Record::Extend { camera: "c".into(), live_edge_secs: 30.0 },
+        Record::Admit { epsilon: 0.25, debits: vec![DebitRange { camera: "c".into(), lo: 0, hi: 10 }] },
+        Record::Admit { epsilon: 0.5, debits: vec![DebitRange { camera: "c".into(), lo: 15, hi: 30 }] },
+    ];
+    let mut states = vec![store.state()];
+    for r in records {
+        store.append(r).unwrap();
+        states.push(store.state());
+    }
+    states
+}
+
+/// Byte offsets of every record boundary in a log.
+fn boundaries(log: &[u8]) -> Vec<usize> {
+    let mut offsets = vec![0usize];
+    let mut offset = 0usize;
+    while log.len() - offset >= 8 {
+        let len = u32::from_le_bytes(log[offset..offset + 4].try_into().unwrap()) as usize;
+        if len == 0 || log.len() < offset + 8 + len {
+            break;
+        }
+        offset += 8 + len;
+        offsets.push(offset);
+    }
+    offsets
+}
+
+#[test]
+fn truncated_tail_record_recovers_the_last_boundary() {
+    let dir = temp_dir("torn");
+    let states = seeded_store(&dir);
+    let log = std::fs::read(dir.join("wal.log")).unwrap();
+    let bounds = boundaries(&log);
+    assert_eq!(bounds.len(), 5, "four records plus offset zero");
+    // Cut the log inside the final record at several depths, including a cut
+    // that leaves only a partial frame header.
+    let last_start = bounds[3];
+    for cut in [last_start + 1, last_start + 7, last_start + 8, bounds[4] - 1] {
+        std::fs::write(dir.join("wal.log"), &log[..cut]).unwrap();
+        let (_s, recovered) = WalStore::open(&dir, FsyncPolicy::Always).unwrap();
+        assert_eq!(
+            recovered.state, states[3],
+            "cut at byte {cut}: the torn final debit never happened, earlier debits all survive"
+        );
+        assert_eq!(recovered.report.torn_tail_bytes, (cut - last_start) as u64);
+        assert!(
+            recovered
+                .report
+                .events
+                .iter()
+                .any(|e| matches!(e, RecoveryEvent::TornTailTruncated { offset, .. } if *offset == last_start as u64)),
+            "cut at byte {cut} must report the truncation"
+        );
+        // The recovered slot budgets: first debit applied, torn one not.
+        assert_eq!(recovered.state.cameras["c"].slots[5], 0.75);
+        assert_eq!(recovered.state.cameras["c"].slots[20], 1.0, "the torn debit must not be half-applied");
+        // The truncation is persisted: a second recovery is clean.
+        let (_s2, again) = WalStore::open(&dir, FsyncPolicy::Always).unwrap();
+        assert_eq!(again.report.torn_tail_bytes, 0);
+        assert_eq!(again.state, states[3]);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bit_flipped_record_is_a_typed_refusal() {
+    let dir = temp_dir("flip");
+    let states = seeded_store(&dir);
+    let pristine = std::fs::read(dir.join("wal.log")).unwrap();
+    let bounds = boundaries(&pristine);
+    // Flip one payload bit in (a) a mid-log record and (b) the final record:
+    // both are *complete* records, so recovery must refuse rather than guess
+    // — truncating a completed debit could under-debit a released query.
+    for record_index in [1usize, 3] {
+        let mut log = pristine.clone();
+        let payload_byte = bounds[record_index] + 8 + 3;
+        log[payload_byte] ^= 0x10;
+        std::fs::write(dir.join("wal.log"), &log).unwrap();
+        match WalStore::open(&dir, FsyncPolicy::Always) {
+            Err(StoreError::ChecksumMismatch { offset }) => {
+                assert_eq!(offset, bounds[record_index] as u64, "the corrupt frame is identified");
+            }
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+    }
+    // A flip in the CRC field itself is the same refusal.
+    let mut log = pristine.clone();
+    log[bounds[2] + 5] ^= 0x01;
+    std::fs::write(dir.join("wal.log"), &log).unwrap();
+    assert!(matches!(WalStore::open(&dir, FsyncPolicy::Always), Err(StoreError::ChecksumMismatch { .. })));
+    // Restoring the pristine log recovers normally — nothing was truncated
+    // by the refused attempts.
+    std::fs::write(dir.join("wal.log"), &pristine).unwrap();
+    let (_s, recovered) = WalStore::open(&dir, FsyncPolicy::Always).unwrap();
+    assert_eq!(recovered.state, states[4]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_length_field_is_a_typed_refusal_not_a_silent_truncation() {
+    // Regression (review): the length prefix was not covered by the CRC, so
+    // a mid-log bit flip in it masqueraded as a torn tail — silently and
+    // permanently truncating every later record, including durable debits
+    // backing already-released answers (an under-debit).
+    let dir = temp_dir("lenflip");
+    seeded_store(&dir);
+    let pristine = std::fs::read(dir.join("wal.log")).unwrap();
+    let bounds = boundaries(&pristine);
+    // (a) An in-range flip misdirects the parser; the CRC (which covers the
+    // length field) catches it.
+    let mut log = pristine.clone();
+    log[bounds[1]] ^= 0x01;
+    std::fs::write(dir.join("wal.log"), &log).unwrap();
+    match WalStore::open(&dir, FsyncPolicy::Always) {
+        Err(StoreError::ChecksumMismatch { offset }) => assert_eq!(offset, bounds[1] as u64),
+        other => panic!("expected ChecksumMismatch for an in-range length flip, got {other:?}"),
+    }
+    // (b) An absurd length (beyond any plausible record) is refused as an
+    // invalid record — a sequential append can never produce one, so this is
+    // corruption, not a torn tail.
+    let mut log = pristine.clone();
+    log[bounds[1]..bounds[1] + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    std::fs::write(dir.join("wal.log"), &log).unwrap();
+    match WalStore::open(&dir, FsyncPolicy::Always) {
+        Err(StoreError::InvalidRecord { reason, .. }) => assert!(reason.contains("implausible"), "got: {reason}"),
+        other => panic!("expected InvalidRecord for an absurd length, got {other:?}"),
+    }
+    // (c) A zero length with a non-zero CRC is likewise corruption, not the
+    // all-zero preallocated-tail pattern.
+    let mut log = pristine.clone();
+    log[bounds[1]..bounds[1] + 4].copy_from_slice(&0u32.to_le_bytes());
+    std::fs::write(dir.join("wal.log"), &log).unwrap();
+    assert!(matches!(WalStore::open(&dir, FsyncPolicy::Always), Err(StoreError::InvalidRecord { .. })));
+    // In every case the refusal left the (corrupt) log untouched for
+    // operator forensics — nothing was truncated.
+    assert_eq!(std::fs::read(dir.join("wal.log")).unwrap().len(), pristine.len());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn failed_append_leaves_no_partial_frame_behind() {
+    // Regression (review): a failed append used to leave its partial bytes
+    // in the log with the store still usable, so later successful appends
+    // landed after garbage. The append path now truncates back to the last
+    // good frame on error; here we verify the bookkeeping survives a
+    // checkpoint + further appends (the log_len watermark must track both).
+    let dir = temp_dir("appendlen");
+    let (store, _) = WalStore::open_with(&dir, FsyncPolicy::Never, WalOptions { snapshot_every: u64::MAX }).unwrap();
+    store.append(live_cam("c", 1.0)).unwrap();
+    store.checkpoint().unwrap();
+    store.append(Record::Extend { camera: "c".into(), live_edge_secs: 5.0 }).unwrap();
+    // A record the shadow refuses must not reach disk at all — once durable
+    // it would fail every future recovery.
+    let before = std::fs::read(dir.join("wal.log")).unwrap();
+    assert!(matches!(
+        store.append(Record::Extend { camera: "ghost".into(), live_edge_secs: 9.0 }),
+        Err(StoreError::InvalidRecord { .. })
+    ));
+    assert_eq!(std::fs::read(dir.join("wal.log")).unwrap(), before, "refused record never touched the log");
+    store.append(Record::Extend { camera: "c".into(), live_edge_secs: 7.0 }).unwrap();
+    drop(store);
+    let (_s, recovered) = WalStore::open(&dir, FsyncPolicy::Never).unwrap();
+    assert_eq!(recovered.state.cameras["c"].duration_secs, 7.0);
+    assert_eq!(recovered.report.records_replayed, 2, "both post-checkpoint extends recovered");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn duplicated_records_replay_idempotently() {
+    let dir = temp_dir("dup");
+    let states = seeded_store(&dir);
+    let log = std::fs::read(dir.join("wal.log")).unwrap();
+    let bounds = boundaries(&log);
+    // Re-append a copy of the final record (a retried write that actually
+    // made it to disk twice), and a copy of an *earlier* record after it.
+    let mut doubled = log.clone();
+    doubled.extend_from_slice(&log[bounds[3]..bounds[4]]);
+    doubled.extend_from_slice(&log[bounds[1]..bounds[2]]);
+    std::fs::write(dir.join("wal.log"), &doubled).unwrap();
+    let (_s, recovered) = WalStore::open(&dir, FsyncPolicy::Always).unwrap();
+    assert_eq!(recovered.state, states[4], "duplicates must not double-debit (or double-extend)");
+    assert_eq!(recovered.report.stale_skipped, 2);
+    assert!(recovered.report.events.iter().any(|e| matches!(e, RecoveryEvent::StaleRecordSkipped { seq: 4 })));
+    assert_eq!(recovered.state.cameras["c"].slots[20], 0.5, "debited once, not twice");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_between_snapshot_write_and_log_truncation_is_idempotent() {
+    let dir = temp_dir("snapcrash");
+    let states = seeded_store(&dir);
+    // Simulate the crash window: take the snapshot, then put the pre-snapshot
+    // log back — exactly what disk holds if the process dies after the
+    // snapshot rename but before the log truncation.
+    let pre_snapshot_log = std::fs::read(dir.join("wal.log")).unwrap();
+    {
+        let (store, _) = WalStore::open(&dir, FsyncPolicy::Always).unwrap();
+        store.checkpoint().unwrap();
+    }
+    assert_eq!(std::fs::metadata(dir.join("wal.log")).unwrap().len(), 0, "checkpoint truncated the log");
+    std::fs::write(dir.join("wal.log"), &pre_snapshot_log).unwrap();
+    let (store, recovered) = WalStore::open(&dir, FsyncPolicy::Always).unwrap();
+    assert_eq!(recovered.state, states[4], "every logged record is already in the snapshot: skip, don't re-apply");
+    assert_eq!(recovered.report.snapshot_seq, 4);
+    assert_eq!(recovered.report.records_replayed, 0);
+    assert_eq!(recovered.report.stale_skipped, 4);
+    assert_eq!(recovered.state.cameras["c"].slots[5], 0.75, "debits applied exactly once");
+    // Life goes on: new appends continue the sequence past the snapshot.
+    store.append(Record::Extend { camera: "c".into(), live_edge_secs: 45.0 }).unwrap();
+    assert_eq!(store.next_seq(), 6);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sequence_gap_is_a_typed_refusal() {
+    let dir = temp_dir("gap");
+    seeded_store(&dir);
+    let log = std::fs::read(dir.join("wal.log")).unwrap();
+    let bounds = boundaries(&log);
+    // Splice record 2 out entirely: records 3 and 4 remain, so a debit
+    // vanished from history. Truncation-style recovery would under-debit.
+    let mut spliced = log[..bounds[1]].to_vec();
+    spliced.extend_from_slice(&log[bounds[2]..]);
+    std::fs::write(dir.join("wal.log"), &spliced).unwrap();
+    match WalStore::open(&dir, FsyncPolicy::Always) {
+        Err(StoreError::InvalidRecord { reason, .. }) => {
+            assert!(reason.contains("sequence gap"), "got: {reason}")
+        }
+        other => panic!("expected a sequence-gap refusal, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_snapshot_is_a_typed_refusal() {
+    let dir = temp_dir("badsnap");
+    seeded_store(&dir);
+    {
+        let (store, _) = WalStore::open(&dir, FsyncPolicy::Always).unwrap();
+        store.checkpoint().unwrap();
+    }
+    let pristine = std::fs::read(dir.join("snapshot.bin")).unwrap();
+    // Flip a payload bit.
+    let mut bad = pristine.clone();
+    bad[10] ^= 0x40;
+    std::fs::write(dir.join("snapshot.bin"), &bad).unwrap();
+    assert!(matches!(WalStore::open(&dir, FsyncPolicy::Always), Err(StoreError::SnapshotCorrupt { .. })));
+    // Truncate it mid-record.
+    std::fs::write(dir.join("snapshot.bin"), &pristine[..pristine.len() - 3]).unwrap();
+    assert!(matches!(WalStore::open(&dir, FsyncPolicy::Always), Err(StoreError::SnapshotCorrupt { .. })));
+    // Valid frames but no header first: also refused.
+    std::fs::write(dir.join("snapshot.bin"), b"").unwrap();
+    assert!(matches!(WalStore::open(&dir, FsyncPolicy::Always), Err(StoreError::SnapshotCorrupt { .. })));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn zero_length_garbage_tail_truncates() {
+    let dir = temp_dir("zeros");
+    let states = seeded_store(&dir);
+    // Preallocated-but-unwritten tail bytes (all zeros) read as a zero
+    // length field: a torn append, not corruption.
+    let mut log = std::fs::read(dir.join("wal.log")).unwrap();
+    let valid_len = log.len();
+    log.extend_from_slice(&[0u8; 32]);
+    std::fs::write(dir.join("wal.log"), &log).unwrap();
+    let (_s, recovered) = WalStore::open(&dir, FsyncPolicy::Always).unwrap();
+    assert_eq!(recovered.state, states[4]);
+    assert_eq!(recovered.report.torn_tail_bytes, 32);
+    assert_eq!(std::fs::metadata(dir.join("wal.log")).unwrap().len(), valid_len as u64);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -18,6 +18,17 @@
 //! (the tracker knows where it is heading); that future footage stays
 //! invisible to queries because [`Scene`] materializes no observations past
 //! `span.end`, and is revealed batch by batch as the edge advances.
+//!
+//! **The replay contract (crash recovery).** Recorded footage is final, so
+//! the durable privacy ledger (`privid-store`) persists only admission state
+//! — never the video. After a crash the owner re-registers the camera
+//! (adopting the recovered, already-debited ledger) and re-feeds the same
+//! batches from its video store. For that to be sound, appending must be
+//! *bit-for-bit deterministic*: the same batch sequence must reproduce the
+//! exact same live-edge timestamps (edge arithmetic is integer microseconds,
+//! no accumulation error) and the exact same observations, so replayed edges
+//! compare equal against the recovered ledger's high-watermark and are
+//! correctly treated as no-ops that mint no ε.
 
 use crate::chunk::ChunkSpec;
 use crate::geometry::FrameSize;
@@ -270,6 +281,39 @@ mod tests {
                 "observations diverge at {t}"
             );
         }
+    }
+
+    #[test]
+    fn replaying_batches_is_bit_for_bit_deterministic() {
+        // The crash-recovery replay contract: feeding the same batches twice
+        // must reproduce identical live-edge timestamps (down to the micro-
+        // second integer) and identical observations. Fractional batch
+        // durations are the dangerous case — a float-seconds accumulator
+        // would drift; the Timestamp micros arithmetic must not.
+        let batches = vec![
+            FrameBatch::new(0.3, vec![walker(1, 0.1, 0.25)]),
+            FrameBatch::new(7.77, vec![walker(2, 1.0, 9.0)]),
+            FrameBatch::new(0.1 + 0.2, Vec::new()), // a duration with no exact decimal form
+            FrameBatch::new(13.333333, vec![walker(3, 9.5, 20.0)]),
+        ];
+        let run = |batches: &[FrameBatch]| {
+            let mut rec = fresh();
+            let edges: Vec<Timestamp> =
+                batches.iter().map(|b| rec.append_batch(b.clone()).unwrap()).collect();
+            (edges, rec.into_scene())
+        };
+        let (edges_a, scene_a) = run(&batches);
+        let (edges_b, scene_b) = run(&batches);
+        assert_eq!(edges_a, edges_b, "live-edge timestamps must replay exactly");
+        assert_eq!(scene_a.span, scene_b.span);
+        for i in 0..=43 {
+            let t = Timestamp::from_secs(i as f64 * 0.5);
+            assert_eq!(scene_a.observations_at(t), scene_b.observations_at(t), "observations diverge at {t}");
+        }
+        // And the edge the ledger sees (seconds, via the span) is the same
+        // f64 bit pattern both times — the no-op comparison in a recovered
+        // ledger's extend_to depends on it.
+        assert_eq!(scene_a.span.end.as_secs().to_bits(), scene_b.span.end.as_secs().to_bits());
     }
 
     #[test]

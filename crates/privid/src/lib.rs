@@ -11,6 +11,8 @@
 //! * [`core`] — the Privid system: policies, the Laplace mechanism, the
 //!   per-frame budget ledger, the single-analyst executor, the concurrent
 //!   multi-analyst [`QueryService`] and the §7 optimizations.
+//! * [`store`] — the durable privacy ledger: write-ahead log, snapshots and
+//!   crash recovery behind the [`Durability`] knob.
 //!
 //! The most common entry points are re-exported at the crate root; see the
 //! `examples/` directory for runnable end-to-end walkthroughs.
@@ -22,12 +24,17 @@ pub use privid_core as core;
 pub use privid_cv as cv;
 pub use privid_query as query;
 pub use privid_sandbox as sandbox;
+pub use privid_store as store;
 pub use privid_video as video;
 
 pub use privid_core::{
-    greedy_mask_order, AdmissionController, AppendOutcome, BudgetError, BudgetLedger, ChunkCacheStats,
-    DegradationCurve, LaplaceMechanism, MaskPolicy, MaskingAnalysis, NoisyRelease, NoisyValue, Parallelism,
-    PrivacyPolicy, PrividError, PrividSystem, QueryResult, QueryService, StandingFiring,
+    greedy_mask_order, AdmissionController, AdmissionFailure, AdmissionJournal, AdmissionRequest, AppendOutcome,
+    BudgetError, BudgetLedger, ChunkCacheStats, DegradationCurve, LaplaceMechanism, MaskPolicy, MaskingAnalysis,
+    NoisyRelease, NoisyValue, Parallelism, PrivacyPolicy, PrividError, PrividSystem, QueryResult, QueryService,
+    QueryServiceBuilder, StandingFiring,
+};
+pub use privid_store::{
+    Durability, FsyncPolicy, Record, RecoveryEvent, RecoveryReport, StoreError, StoreState, WalOptions, WalStore,
 };
 pub use privid_cv::{Detector, DetectorConfig, DurationEstimator, PolicyEstimator, Tracker, TrackerConfig};
 pub use privid_query::{parse_query, Aggregation, ParsedQuery, Relation, SelectStatement, Value};

@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Records a machine-readable durability benchmark snapshot at the repo root
+# (BENCH_PR5.json): journaled admission throughput at each fsync policy and
+# recovery time for a long WAL vs a snapshot, tracked PR over PR.
+#
+# Usage:
+#   scripts/bench_durability.sh            # full snapshot -> BENCH_PR5.json
+#   scripts/bench_durability.sh --smoke    # quick CI smoke run
+#   scripts/bench_durability.sh --out F    # write to a different path
+set -eu
+cd "$(dirname "$0")/.."
+exec cargo run --release -p privid-bench --bin bench_pr5_durability -- "$@"
