@@ -1,0 +1,262 @@
+//! `analyzer.toml` — the committed allowlist configuration.
+//!
+//! The build environment has no registry access, so this module carries a
+//! hand-rolled parser for the small TOML subset the config needs: `[section]`
+//! and `[[array-of-tables]]` headers, `key = "string"`, and
+//! `key = ["string", …]` arrays (single-line or multi-line). Comments start
+//! with `#`. Anything outside that subset is a hard error — a config typo
+//! must fail CI loudly, not silently relax a rule.
+
+use std::collections::BTreeMap;
+
+/// One taint group: a set of identifiers that may only appear in the listed
+/// files (path suffixes, `/`-separated, relative to the workspace root).
+#[derive(Debug, Clone, Default)]
+pub struct TaintGroup {
+    /// Short label used in diagnostics (e.g. `budget-debit`).
+    pub name: String,
+    /// Identifiers whose use is confined.
+    pub idents: Vec<String>,
+    /// Only flag an identifier when it is *used as a path or constructed*
+    /// (followed by `::` or a struct-literal `{`), not merely named in a
+    /// type position. Set for release-type constructors.
+    pub construct_only: bool,
+    /// Path suffixes where the identifiers are allowed.
+    pub allow: Vec<String>,
+}
+
+/// Parsed `analyzer.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Path substrings excluded from the workspace walk entirely.
+    pub exclude: Vec<String>,
+    /// The declared global lock order, most-outer first. Position in this
+    /// list is the partial order the lock-order rule validates against.
+    pub lock_order: Vec<String>,
+    /// Receiver-identifier (or gate-method) → declared lock name.
+    pub lock_aliases: BTreeMap<String, String>,
+    /// Methods that hold a declared lock for the duration of their call
+    /// (e.g. `exclusive` holds the admission gate around its closure).
+    pub lock_scoped_calls: BTreeMap<String, String>,
+    /// Taint groups for the dp-taint rule.
+    pub taint: Vec<TaintGroup>,
+    /// Path prefixes the panic-freedom rule covers (serving-path crates).
+    pub panic_paths: Vec<String>,
+    /// Path suffixes the f64-exactness rule covers (wire/WAL code).
+    pub float_files: Vec<String>,
+    /// Identifier names treated as f64-valued by the f64-exactness rule.
+    pub float_names: Vec<String>,
+    /// Identifier suffixes treated as f64-valued (e.g. `_secs`).
+    pub float_suffixes: Vec<String>,
+}
+
+impl Config {
+    /// Parse the TOML subset described in the module docs.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut cfg = Config::default();
+        let mut section = String::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            let lineno = idx + 1;
+            if let Some(name) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+                section = name.trim().to_string();
+                if section == "taint" {
+                    cfg.taint.push(TaintGroup::default());
+                } else {
+                    return Err(format!("analyzer.toml:{lineno}: unknown array table [[{section}]]"));
+                }
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                section = name.trim().to_string();
+                continue;
+            }
+            let (key, mut value) = line
+                .split_once('=')
+                .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+                .ok_or_else(|| format!("analyzer.toml:{lineno}: expected `key = value`, got `{line}`"))?;
+            // Multi-line arrays: keep consuming lines until the bracket closes.
+            if value.starts_with('[') && !balanced(&value) {
+                for (_, cont) in lines.by_ref() {
+                    value.push(' ');
+                    value.push_str(strip_comment(cont).trim());
+                    if balanced(&value) {
+                        break;
+                    }
+                }
+            }
+            cfg.assign(&section, &key, &value).map_err(|e| format!("analyzer.toml:{lineno}: {e}"))?;
+        }
+        Ok(cfg)
+    }
+
+    fn assign(&mut self, section: &str, key: &str, value: &str) -> Result<(), String> {
+        match (section, key) {
+            ("workspace", "exclude") => self.exclude = parse_array(value)?,
+            ("lock-order", "order") => self.lock_order = parse_array(value)?,
+            ("lock-order.aliases", _) => {
+                self.lock_aliases.insert(key.to_string(), parse_string(value)?);
+            }
+            ("lock-order.scoped-calls", _) => {
+                self.lock_scoped_calls.insert(key.to_string(), parse_string(value)?);
+            }
+            ("taint", _) => {
+                let group = self.taint.last_mut().ok_or("taint key outside [[taint]]")?;
+                match key {
+                    "name" => group.name = parse_string(value)?,
+                    "idents" => group.idents = parse_array(value)?,
+                    "allow" => group.allow = parse_array(value)?,
+                    "construct-only" => group.construct_only = parse_bool(value)?,
+                    _ => return Err(format!("unknown [[taint]] key `{key}`")),
+                }
+            }
+            ("panic-freedom", "paths") => self.panic_paths = parse_array(value)?,
+            ("f64-exactness", "files") => self.float_files = parse_array(value)?,
+            ("f64-exactness", "float-names") => self.float_names = parse_array(value)?,
+            ("f64-exactness", "float-suffixes") => self.float_suffixes = parse_array(value)?,
+            _ => return Err(format!("unknown key `{key}` in section [{section}]")),
+        }
+        Ok(())
+    }
+
+    /// Position of `lock` in the declared order, if declared.
+    pub fn lock_rank(&self, lock: &str) -> Option<usize> {
+        self.lock_order.iter().position(|l| l == lock)
+    }
+
+    /// True when an identifier counts as f64-valued for the exactness rule.
+    pub fn is_floatish(&self, ident: &str) -> bool {
+        self.float_names.iter().any(|n| n == ident) || self.float_suffixes.iter().any(|s| ident.ends_with(s.as_str()))
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    // A `#` inside a quoted string is content, not a comment.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn balanced(value: &str) -> bool {
+    let mut in_str = false;
+    let mut depth = 0i32;
+    for c in value.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth <= 0
+}
+
+fn parse_string(value: &str) -> Result<String, String> {
+    let v = value.trim();
+    v.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("expected a quoted string, got `{v}`"))
+}
+
+fn parse_bool(value: &str) -> Result<bool, String> {
+    match value.trim() {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        v => Err(format!("expected true/false, got `{v}`")),
+    }
+}
+
+fn parse_array(value: &str) -> Result<Vec<String>, String> {
+    let v = value.trim();
+    let inner = v
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| format!("expected an array, got `{v}`"))?;
+    let mut out = Vec::new();
+    let mut rest = inner.trim();
+    while !rest.is_empty() {
+        let after = rest.strip_prefix('"').ok_or_else(|| format!("expected a quoted element in `{inner}`"))?;
+        let end = after.find('"').ok_or_else(|| format!("unterminated string in `{inner}`"))?;
+        out.push(after[..end].to_string());
+        rest = after[end + 1..].trim_start();
+        rest = rest.strip_prefix(',').unwrap_or(rest).trim_start();
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_shape() {
+        let cfg = Config::parse(
+            r#"
+            # comment
+            [workspace]
+            exclude = ["target/", "shims/"]
+
+            [lock-order]
+            order = [
+                "admission-gate",  # outermost
+                "camera-registry",
+            ]
+
+            [lock-order.aliases]
+            gate = "admission-gate"
+            cameras = "camera-registry"
+
+            [lock-order.scoped-calls]
+            exclusive = "admission-gate"
+
+            [[taint]]
+            name = "budget-debit"
+            idents = ["check_and_debit"]
+            allow = ["crates/privid-core/src/budget.rs"]
+
+            [[taint]]
+            name = "release-construction"
+            idents = ["NoisyRelease"]
+            construct-only = true
+            allow = ["crates/privid-core/src/session.rs"]
+
+            [panic-freedom]
+            paths = ["crates/privid-core/src/"]
+
+            [f64-exactness]
+            files = ["crates/privid-store/src/record.rs"]
+            float-names = ["epsilon"]
+            float-suffixes = ["_secs"]
+            "#,
+        )
+        .unwrap();
+        assert_eq!(cfg.exclude, vec!["target/", "shims/"]);
+        assert_eq!(cfg.lock_order, vec!["admission-gate", "camera-registry"]);
+        assert_eq!(cfg.lock_aliases.get("cameras").unwrap(), "camera-registry");
+        assert_eq!(cfg.lock_scoped_calls.get("exclusive").unwrap(), "admission-gate");
+        assert_eq!(cfg.taint.len(), 2);
+        assert!(cfg.taint[1].construct_only);
+        assert_eq!(cfg.lock_rank("admission-gate"), Some(0));
+        assert!(cfg.is_floatish("slot_secs"));
+        assert!(cfg.is_floatish("epsilon"));
+        assert!(!cfg.is_floatish("offset"));
+    }
+
+    #[test]
+    fn rejects_unknown_keys() {
+        assert!(Config::parse("[workspace]\nbogus = \"x\"\n").is_err());
+        assert!(Config::parse("[[mystery]]\n").is_err());
+        assert!(Config::parse("[lock-order]\norder = 3\n").is_err());
+    }
+}

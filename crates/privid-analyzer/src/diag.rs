@@ -1,0 +1,69 @@
+//! Diagnostics: typed rule IDs and the `file:line` findings rules emit.
+
+use std::fmt;
+
+/// Every rule the engine ships, plus the meta-rule for malformed
+/// suppressions (which is itself not suppressible).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// DP release-path taint: debits, release construction, and rand/noise
+    /// sampling confined to allowlisted modules.
+    DpTaint,
+    /// Nested guard acquisitions must follow the declared partial order.
+    LockOrder,
+    /// No `unwrap`/`expect`/panic-macros/slice-index in serving-path code.
+    PanicFreedom,
+    /// No decimal formatting of f64 in wire/WAL code (`to_bits` mandated).
+    F64Exactness,
+    /// Malformed or reason-less suppression comments.
+    Suppression,
+}
+
+impl RuleId {
+    /// The id spelled in diagnostics and `allow(...)` suppressions.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleId::DpTaint => "dp-taint",
+            RuleId::LockOrder => "lock-order",
+            RuleId::PanicFreedom => "panic-freedom",
+            RuleId::F64Exactness => "f64-exactness",
+            RuleId::Suppression => "suppression",
+        }
+    }
+
+    /// Parse a rule id as written inside `allow(...)`.
+    pub fn parse(s: &str) -> Option<RuleId> {
+        match s {
+            "dp-taint" => Some(RuleId::DpTaint),
+            "lock-order" => Some(RuleId::LockOrder),
+            "panic-freedom" => Some(RuleId::PanicFreedom),
+            "f64-exactness" => Some(RuleId::F64Exactness),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding, anchored to a workspace-relative file and 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}

@@ -1,0 +1,213 @@
+//! The engine: workspace walk, `#[cfg(test)]` masking, suppression
+//! handling, and rule dispatch.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::config::Config;
+use crate::diag::{Diagnostic, RuleId};
+use crate::lexer::{self, Tok, TokKind};
+use crate::rules::{self, FileCx};
+
+/// The outcome of one full run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unsuppressed findings, sorted by file then line.
+    pub findings: Vec<Diagnostic>,
+    /// Findings silenced by a valid inline suppression.
+    pub suppressed: usize,
+    /// Number of `.rs` files analyzed.
+    pub files: usize,
+}
+
+/// Analyze every `.rs` file under `root` (honoring the config's excludes).
+pub fn run(root: &Path, cfg: &Config) -> io::Result<Report> {
+    let mut files = Vec::new();
+    collect(root, root, cfg, &mut files)?;
+    files.sort();
+    let mut report = Report::default();
+    for rel in files {
+        let src = fs::read_to_string(root.join(&rel))?;
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        let (mut findings, suppressed) = check_source(&rel_str, &src, cfg);
+        report.findings.append(&mut findings);
+        report.suppressed += suppressed;
+        report.files += 1;
+    }
+    report.findings.sort();
+    Ok(report)
+}
+
+fn collect(root: &Path, dir: &Path, cfg: &Config, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+        if rel.starts_with('.') || cfg.exclude.iter().any(|e| rel.contains(e.as_str()) || format!("{rel}/").ends_with(e)) {
+            continue;
+        }
+        if entry.file_type()?.is_dir() {
+            collect(root, &path, cfg, out)?;
+        } else if rel.ends_with(".rs") {
+            out.push(path.strip_prefix(root).unwrap_or(&path).to_path_buf());
+        }
+    }
+    Ok(())
+}
+
+/// Analyze one file's source. Returns (unsuppressed findings, suppressed count).
+/// Exposed for the fixture-driven rule tests.
+pub fn check_source(path: &str, src: &str, cfg: &Config) -> (Vec<Diagnostic>, usize) {
+    let all = lexer::lex(src);
+    let (suppressions, mut findings) = parse_suppressions(path, &all);
+    let sig: Vec<Tok> = all.into_iter().filter(|t| !t.is_comment()).collect();
+    let is_test = test_mask(&sig);
+    let cx = FileCx { path, toks: &sig, is_test: &is_test, cfg };
+    let raw = rules::check_all(&cx);
+    let mut suppressed = 0usize;
+    for d in raw {
+        let covered = suppressions
+            .iter()
+            .any(|s| s.rules.contains(&d.rule) && (s.line == d.line || s.line + 1 == d.line));
+        if covered {
+            suppressed += 1;
+        } else {
+            findings.push(d);
+        }
+    }
+    (findings, suppressed)
+}
+
+struct Suppression {
+    line: u32,
+    rules: Vec<RuleId>,
+}
+
+/// Parse `// privid-analyzer: allow(rule-id[, rule-id]) -- reason` comments.
+/// A suppression covers its own line and the next one, so it can sit at the
+/// end of the offending line or on its own line directly above. A missing
+/// `-- reason`, an unknown rule id, or a malformed body is itself a finding
+/// (rule `suppression`) — and that finding cannot be suppressed.
+fn parse_suppressions(path: &str, toks: &[Tok]) -> (Vec<Suppression>, Vec<Diagnostic>) {
+    let mut out = Vec::new();
+    let mut diags = Vec::new();
+    for t in toks {
+        if !t.is_comment() {
+            continue;
+        }
+        let Some(rest) = t.text.trim().strip_prefix("privid-analyzer:") else {
+            continue;
+        };
+        let bad = |msg: &str| Diagnostic {
+            file: path.to_string(),
+            line: t.line,
+            rule: RuleId::Suppression,
+            message: msg.to_string(),
+        };
+        let rest = rest.trim();
+        let Some(body) = rest.strip_prefix("allow(") else {
+            diags.push(bad("malformed suppression; expected `privid-analyzer: allow(rule-id) -- reason`"));
+            continue;
+        };
+        let Some((ids, tail)) = body.split_once(')') else {
+            diags.push(bad("malformed suppression; missing `)` after rule list"));
+            continue;
+        };
+        let reason = tail.trim_start().strip_prefix("--").map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            diags.push(bad("suppression without a `-- reason`; every allow must say why"));
+            continue;
+        }
+        let mut rules = Vec::new();
+        let mut ok = true;
+        for id in ids.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            match RuleId::parse(id) {
+                Some(r) => rules.push(r),
+                None => {
+                    diags.push(bad(&format!("unknown rule id `{id}` in suppression")));
+                    ok = false;
+                }
+            }
+        }
+        if ok && !rules.is_empty() {
+            out.push(Suppression { line: t.line, rules });
+        } else if rules.is_empty() && ok {
+            diags.push(bad("suppression lists no rule ids"));
+        }
+    }
+    (out, diags)
+}
+
+/// Mark the tokens belonging to `#[cfg(test)]` / `#[test]` items (the
+/// attribute through the end of the annotated item). `#[cfg(not(test))]`
+/// does not count.
+fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !(is_p(toks, i, '#') && is_p(toks, i + 1, '[')) {
+            i += 1;
+            continue;
+        }
+        let attr_end = match matching(toks, i + 1, '[', ']') {
+            Some(j) => j,
+            None => break,
+        };
+        let attr = &toks[i + 2..attr_end];
+        let names: Vec<&str> = attr.iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text.as_str()).collect();
+        let is_test_attr = names.contains(&"test") && !names.contains(&"not");
+        if !is_test_attr {
+            i = attr_end + 1;
+            continue;
+        }
+        // Skip any further attributes, then mark through the item's end:
+        // its first top-level `{ … }` block, or its terminating `;`.
+        let mut k = attr_end + 1;
+        while is_p(toks, k, '#') && is_p(toks, k + 1, '[') {
+            match matching(toks, k + 1, '[', ']') {
+                Some(j) => k = j + 1,
+                None => break,
+            }
+        }
+        let mut end = k;
+        while end < toks.len() {
+            if is_p(toks, end, ';') {
+                break;
+            }
+            if is_p(toks, end, '{') {
+                end = matching(toks, end, '{', '}').unwrap_or(toks.len() - 1);
+                break;
+            }
+            end += 1;
+        }
+        let end = end.min(toks.len() - 1);
+        for m in &mut mask[i..=end] {
+            *m = true;
+        }
+        i = end + 1;
+    }
+    mask
+}
+
+fn is_p(toks: &[Tok], i: usize, ch: char) -> bool {
+    toks.get(i).is_some_and(|t| t.kind == TokKind::Punct && t.text.len() == 1 && t.text.starts_with(ch))
+}
+
+/// Index of the punct matching the opener at `open_idx`.
+fn matching(toks: &[Tok], open_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open_idx) {
+        if t.kind == TokKind::Punct {
+            if t.text.len() == 1 && t.text.starts_with(open) {
+                depth += 1;
+            } else if t.text.len() == 1 && t.text.starts_with(close) {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+        }
+    }
+    None
+}

@@ -1,0 +1,416 @@
+//! A hand-rolled Rust lexer: just enough token structure for lexical lint
+//! rules, with the three classically fiddly cases done properly — raw strings
+//! (`r#"…"#` with any number of hashes), nested block comments
+//! (`/* /* */ */`), and `'a` lifetime vs `'a'` char disambiguation.
+//!
+//! The build environment has no registry access, so `syn`/`proc-macro2` are
+//! unavailable by design; the rules downstream only need identifiers,
+//! punctuation, literals, and comments with accurate line numbers.
+
+/// The coarse classification a token receives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `slots`, `r#ident` with the `r#` stripped).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (leading `'` stripped).
+    Lifetime,
+    /// Character or byte literal, quotes included (`'x'`, `b'\n'`).
+    Char,
+    /// String or byte-string literal; `text` holds the *contents* (no quotes).
+    Str,
+    /// Raw (byte-)string literal; `text` holds the contents (no delimiters).
+    RawStr,
+    /// Numeric literal (integers, floats, suffixed forms).
+    Num,
+    /// `// …` comment (incl. `///` and `//!`); `text` is everything after `//`.
+    LineComment,
+    /// `/* … */` comment (nesting-aware); `text` is the interior.
+    BlockComment,
+    /// Any other single character (`.`, `{`, `!`, …).
+    Punct,
+}
+
+/// One lexed token with the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for what each class stores).
+    pub text: String,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True for comment tokens, which rules skip but the suppression layer reads.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Lex `src` into a token stream. Unterminated constructs are closed at EOF
+/// rather than reported — the compiler owns syntax errors; the linter only
+/// needs to stay in sync on well-formed input.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer { chars: src.chars().collect(), pos: 0, line: 1, out: Vec::new() }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => {
+                    self.bump();
+                    self.string(line, TokKind::Str);
+                }
+                '\'' => self.lifetime_or_char(line),
+                'r' | 'b' if self.raw_or_special(line) => {}
+                c if c == '_' || c.is_alphabetic() => self.ident(line),
+                c if c.is_ascii_digit() => self.number(line),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::LineComment, text, line);
+    }
+
+    /// Block comments nest in Rust: `/* outer /* inner */ still outer */`.
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+                text.push_str("/*");
+            } else if c == '*' && self.peek(1) == Some('/') {
+                self.bump();
+                self.bump();
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokKind::BlockComment, text, line);
+    }
+
+    /// Called with `pos` on the opening `"` already consumed.
+    fn string(&mut self, line: u32, kind: TokKind) {
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '"' => break,
+                '\\' => {
+                    // Keep the escape verbatim; rules that scan string
+                    // contents (format captures) never look inside escapes.
+                    text.push('\\');
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                _ => text.push(c),
+            }
+        }
+        self.push(kind, text, line);
+    }
+
+    /// Raw strings `r"…"`, `r#"…"#`, byte strings `b"…"`, raw byte strings
+    /// `br#"…"#`, byte chars `b'…'`, and raw identifiers `r#ident`. Returns
+    /// false when the leading `r`/`b` is just an ordinary identifier start.
+    fn raw_or_special(&mut self, line: u32) -> bool {
+        let c0 = self.peek(0).unwrap_or(' ');
+        let (skip, next) = match (c0, self.peek(1)) {
+            ('b', Some('r')) => (2, self.peek(2)),
+            _ => (1, self.peek(1)),
+        };
+        match (c0, next) {
+            // b'x' byte char
+            ('b', Some('\'')) if skip == 1 => {
+                self.bump();
+                self.bump();
+                self.char_literal(line, "b'".to_string());
+                true
+            }
+            // b"…" byte string
+            ('b', Some('"')) if skip == 1 => {
+                self.bump();
+                self.bump();
+                self.string(line, TokKind::Str);
+                true
+            }
+            // r"…" / br"…" / r#"…"# / br##"…"## / r#ident
+            (_, Some('#')) | (_, Some('"')) => {
+                let mut hashes = 0usize;
+                let mut i = skip;
+                while self.peek(i) == Some('#') {
+                    hashes += 1;
+                    i += 1;
+                }
+                match self.peek(i) {
+                    Some('"') => {
+                        for _ in 0..=i {
+                            self.bump();
+                        }
+                        self.raw_string(line, hashes);
+                        true
+                    }
+                    // r#ident — raw identifier (only a single hash is legal)
+                    Some(c) if c0 == 'r' && skip == 1 && hashes == 1 && (c == '_' || c.is_alphabetic()) => {
+                        self.bump();
+                        self.bump();
+                        self.ident(line);
+                        true
+                    }
+                    _ => false,
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// Called with everything through the opening quote consumed.
+    fn raw_string(&mut self, line: u32, hashes: usize) {
+        let mut text = String::new();
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                // A closing quote counts only when followed by `hashes` hashes.
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        text.push('"');
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+            text.push(c);
+        }
+        self.push(TokKind::RawStr, text, line);
+    }
+
+    /// `'` starts either a lifetime (`'a`, `'static`, `'_`) or a char literal
+    /// (`'a'`, `'\n'`). The tell: after the ident-like run there is a closing
+    /// `'` for chars and none for lifetimes; escapes are always chars.
+    fn lifetime_or_char(&mut self, line: u32) {
+        self.bump(); // the opening '
+        match self.peek(0) {
+            Some('\\') => self.char_literal(line, "'".to_string()),
+            Some(c) if c == '_' || c.is_alphabetic() => {
+                // 'a'  → char; 'a / 'abc / 'a> → lifetime.
+                if self.peek(1) == Some('\'') {
+                    self.char_literal(line, "'".to_string());
+                } else {
+                    let mut name = String::new();
+                    while let Some(c) = self.peek(0) {
+                        if c == '_' || c.is_alphanumeric() {
+                            name.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(TokKind::Lifetime, name, line);
+                }
+            }
+            // Degenerate chars like '(' or '0' (and unterminated tails).
+            _ => self.char_literal(line, "'".to_string()),
+        }
+    }
+
+    /// Called with the opening quote consumed; `text` seeds the prefix.
+    fn char_literal(&mut self, line: u32, mut text: String) {
+        while let Some(c) = self.bump() {
+            text.push(c);
+            match c {
+                '\\' => {
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Char, text, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // `1.5` continues the number; `0..10` does not (range operator).
+                text.push(c);
+                self.bump();
+            } else if (c == '+' || c == '-')
+                && matches!(text.chars().last(), Some('e') | Some('E'))
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+            {
+                // exponent sign: 1e-3
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Num, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r####"let s = r#"a "quoted" body"#;"####);
+        assert!(toks.contains(&(TokKind::RawStr, "a \"quoted\" body".to_string())), "{toks:?}");
+        // Zero-hash raw string.
+        let toks = kinds(r#"r"plain""#);
+        assert_eq!(toks, vec![(TokKind::RawStr, "plain".to_string())]);
+        // Two hashes, with an embedded "# that must NOT close it.
+        let toks = kinds("r##\"has \"# inside\"##");
+        assert_eq!(toks, vec![(TokKind::RawStr, "has \"# inside".to_string())]);
+        // Raw byte string.
+        let toks = kinds("br#\"bytes\"#");
+        assert_eq!(toks, vec![(TokKind::RawStr, "bytes".to_string())]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still outer */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0], (TokKind::Ident, "a".to_string()));
+        assert_eq!(toks[1], (TokKind::BlockComment, " outer /* inner */ still outer ".to_string()));
+        assert_eq!(toks[2], (TokKind::Ident, "b".to_string()));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let s = 'static_lt; }");
+        let lifetimes: Vec<_> = toks.iter().filter(|t| t.0 == TokKind::Lifetime).collect();
+        let chars: Vec<_> = toks.iter().filter(|t| t.0 == TokKind::Char).collect();
+        assert_eq!(lifetimes.len(), 3, "{toks:?}"); // 'a, 'a, 'static_lt
+        assert_eq!(chars, vec![&(TokKind::Char, "'a'".to_string())]);
+    }
+
+    #[test]
+    fn char_escapes() {
+        let toks = kinds(r"let nl = '\n'; let q = '\''; let u = '\u{1F600}'; let b = b'\xFF';");
+        let chars: Vec<_> = toks.iter().filter(|t| t.0 == TokKind::Char).map(|t| t.1.as_str()).collect();
+        assert_eq!(chars, vec![r"'\n'", r"'\''", r"'\u{1F600}'", r"b'\xFF'"]);
+    }
+
+    #[test]
+    fn string_escapes_do_not_end_early() {
+        let toks = kinds(r#"let s = "with \" quote and \\ backslash";"#);
+        let strs: Vec<_> = toks.iter().filter(|t| t.0 == TokKind::Str).collect();
+        assert_eq!(strs, vec![&(TokKind::Str, r#"with \" quote and \\ backslash"#.to_string())]);
+    }
+
+    #[test]
+    fn line_numbers_cross_multiline_tokens() {
+        let src = "line1\n/* spans\nlines */\nident_on_4";
+        let toks = lex(src);
+        assert_eq!(toks[1].kind, TokKind::BlockComment);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].text, "ident_on_4");
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn raw_ident_and_numbers() {
+        let toks = kinds("let r#fn = 0x1F; let range = 0..10; let f = 1.5e-3f64;");
+        assert!(toks.contains(&(TokKind::Ident, "fn".to_string())));
+        assert!(toks.contains(&(TokKind::Num, "0x1F".to_string())));
+        assert!(toks.contains(&(TokKind::Num, "0".to_string())));
+        assert!(toks.contains(&(TokKind::Num, "10".to_string())));
+        assert!(toks.contains(&(TokKind::Num, "1.5e-3f64".to_string())));
+    }
+
+    #[test]
+    fn comment_right_before_eof_and_doc_comments() {
+        let toks = kinds("/// doc\n//! inner\ncode // trailing");
+        assert_eq!(toks[0], (TokKind::LineComment, "/ doc".to_string()));
+        assert_eq!(toks[1], (TokKind::LineComment, "! inner".to_string()));
+        assert_eq!(toks[2], (TokKind::Ident, "code".to_string()));
+        assert_eq!(toks[3], (TokKind::LineComment, " trailing".to_string()));
+    }
+}

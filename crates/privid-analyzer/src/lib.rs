@@ -1,0 +1,56 @@
+//! `privid-analyzer` — a workspace-wide privacy & concurrency lint engine.
+//!
+//! Privid's differential-privacy guarantee is a *path property*: every
+//! released aggregate must flow through budget admission (debiting ε exactly
+//! once) and the Laplace noise path, durable f64 state must round-trip
+//! bit-exactly, and the serving path must neither panic nor deadlock. PRs
+//! 3–5 enforce those invariants by convention and test; this crate enforces
+//! them *statically*, so the ROADMAP's rewrites of these hot paths (sharded
+//! registries, the wire protocol, incremental aggregation) fail CI the
+//! moment they open an un-noised release or invert a lock order — instead
+//! of leaking quietly until a red-team measurement notices.
+//!
+//! Four rules ship (see `analyzer.toml` at the workspace root for the
+//! committed allowlists):
+//!
+//! - **`dp-taint`** — debit entry points, release-type construction, and
+//!   rand/noise sampling may appear only in allowlisted modules.
+//! - **`lock-order`** — nested `.lock()/.read()/.write()` acquisitions must
+//!   follow the declared partial order.
+//! - **`panic-freedom`** — no `unwrap`/`expect`/panic-macros/slice-index in
+//!   non-test serving-path code.
+//! - **`f64-exactness`** — no decimal f64 formatting in wire/WAL code where
+//!   `to_bits`/`from_bits` is mandated.
+//!
+//! Findings are suppressed inline with
+//! `// privid-analyzer: allow(rule-id) -- reason` — the reason is mandatory
+//! and reviewed like code.
+//!
+//! # Why taint is module-granular, not call-graph-precise
+//!
+//! The analyzer is a hand-rolled lexer plus token-stream rules — the build
+//! environment has no registry access, so there is no `syn`, no name
+//! resolution, and no call graph. That makes *interprocedural* claims ("this
+//! value reaches the network without passing `laplace_noise`") out of reach:
+//! a lexical tool cannot see that `helper()` transitively debits a ledger.
+//!
+//! Module granularity sidesteps that honestly. The confined names — debit
+//! methods, release-type constructors, rand samplers — are exactly the
+//! *capabilities* a leak needs, and the allowlist pins which files may name
+//! them. Any new code wanting ε or noise must either live in an audited
+//! module or add a visible allowlist/suppression entry that review can
+//! interrogate. The rule does not prove the allowlisted modules correct —
+//! their unit and property tests do that — it proves *everything else
+//! incapable*, which is the cheap 99% of the red-team surface. The same
+//! trade-off applies to `lock-order`: nesting is checked per function
+//! lexically, and cross-function composition is governed by the declared
+//! global order plus audit comments at every multi-lock site.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod rules;

@@ -1,0 +1,139 @@
+//! Rule `f64-exactness`: no decimal formatting of f64 in the wire/WAL code,
+//! where `to_bits`/`from_bits` round-tripping is mandated.
+//!
+//! A budget slot that survives a crash must recover to the *bit-identical*
+//! ε it held before it — `{:.17}`-style decimal round-trips are close but
+//! not closed under re-parsing across platforms, so `record::enc_f64`
+//! writes `{:016x}` of `to_bits`. This rule patrols the configured wire
+//! files for format-macro uses of f64-valued identifiers (by configured
+//! name or suffix) that bypass that helper. Hex specs (`{v:016x}`) and
+//! arguments routed through `.to_bits()` pass; decimal captures fail.
+
+use super::{ident_at, is_punct, FileCx};
+use crate::diag::{Diagnostic, RuleId};
+use crate::lexer::TokKind;
+
+const FORMAT_MACROS: &[&str] = &["format", "write", "writeln", "print", "println", "eprint", "eprintln"];
+
+/// Flag decimal f64 formatting in the configured wire/WAL files.
+pub fn check(cx: &FileCx<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if !cx.cfg.float_files.iter().any(|f| cx.path.ends_with(f.as_str())) {
+        return out;
+    }
+    let toks = cx.toks;
+    let mut i = 0;
+    while i < toks.len() {
+        let is_fmt = !cx.is_test[i]
+            && ident_at(toks, i).is_some_and(|n| FORMAT_MACROS.contains(&n))
+            && is_punct(toks, i + 1, '!')
+            && is_punct(toks, i + 2, '(');
+        if !is_fmt {
+            i += 1;
+            continue;
+        }
+        // Find the macro call's extent.
+        let mut depth = 0i32;
+        let mut end = i + 2;
+        for (j, t) in toks.iter().enumerate().skip(i + 2) {
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = j;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for j in i + 3..end {
+            let t = &toks[j];
+            match t.kind {
+                // Inline captures in the format string: `{slot_secs}`, `{epsilon:.3}`.
+                TokKind::Str | TokKind::RawStr => {
+                    for (name, spec) in captures(&t.text) {
+                        if cx.cfg.is_floatish(&name) && !spec.contains('x') && !spec.contains('X') {
+                            out.push(cx.diag(
+                                RuleId::F64Exactness,
+                                t.line,
+                                format!(
+                                    "decimal formatting of f64 `{name}` in wire/WAL code; \
+                                     encode via to_bits (see record::enc_f64) or suppress with a reason"
+                                ),
+                            ));
+                        }
+                    }
+                }
+                // Positional/named arguments: a floatish identifier not
+                // immediately routed through `.to_bits()`.
+                TokKind::Ident if cx.cfg.is_floatish(&t.text) => {
+                    let routed = is_punct(toks, j + 1, '.') && ident_at(toks, j + 2) == Some("to_bits");
+                    if !routed {
+                        out.push(cx.diag(
+                            RuleId::F64Exactness,
+                            t.line,
+                            format!(
+                                "f64 `{}` passed to a format macro in wire/WAL code without `.to_bits()`",
+                                t.text
+                            ),
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+        i = end + 1;
+    }
+    out
+}
+
+/// Parse `{name:spec}` captures out of a format string's contents.
+/// `{{` escapes are skipped; positional `{}` captures yield an empty name
+/// (resolved via the argument scan instead).
+fn captures(s: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = s.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] == '{' {
+            if chars.get(i + 1) == Some(&'{') {
+                i += 2;
+                continue;
+            }
+            let mut body = String::new();
+            i += 1;
+            while i < chars.len() && chars[i] != '}' {
+                body.push(chars[i]);
+                i += 1;
+            }
+            let (name, spec) = match body.split_once(':') {
+                Some((n, s)) => (n.to_string(), s.to_string()),
+                None => (body, String::new()),
+            };
+            out.push((name, spec));
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::captures;
+
+    #[test]
+    fn capture_parsing() {
+        assert_eq!(
+            captures("camera {name}: bad ε {epsilon:.3} bits {bits:016x} {{literal}}"),
+            vec![
+                ("name".to_string(), String::new()),
+                ("epsilon".to_string(), ".3".to_string()),
+                ("bits".to_string(), "016x".to_string()),
+            ]
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! Rule `lock-order`: nested guard acquisitions must follow the partial
+//! order declared in `analyzer.toml`.
+//!
+//! The analysis is per-function and lexical. A guard enters the stack when a
+//! `.lock()` / `.read()` / `.write()` call (empty argument list — I/O traits
+//! take arguments, sync primitives do not) or a declared scoped-call method
+//! (e.g. `exclusive`, which holds the admission gate around its closure) is
+//! seen, and leaves it when its lexical extent ends:
+//!
+//! - `let`-bound guards live until the enclosing block closes;
+//! - temporary guards (no `let` in the statement) die at the statement's `;`;
+//! - scoped-call guards die at the call's closing parenthesis.
+//!
+//! Cross-function nesting (a function that acquires a lock calling another
+//! that acquires a second) is invisible here by design — the same
+//! module-granularity trade-off the crate docs describe. The declared order
+//! plus the per-site audit comments are the contract that keeps those
+//! compositions safe.
+
+use super::{ident_at, is_punct, FileCx};
+use crate::diag::{Diagnostic, RuleId};
+use crate::lexer::TokKind;
+
+#[derive(Debug)]
+enum Extent {
+    /// Dies when brace depth drops below the recorded depth.
+    Block(i32),
+    /// Dies at the first `;` at the recorded brace depth (or block close).
+    Statement(i32),
+    /// Dies when paren depth returns to the recorded depth.
+    Call(i32),
+}
+
+#[derive(Debug)]
+struct Guard {
+    /// Declared lock name, or None when the receiver is not aliased.
+    lock: Option<String>,
+    /// The receiver identifier as written (for diagnostics).
+    raw: String,
+    extent: Extent,
+    line: u32,
+}
+
+/// Validate every nested guard acquisition against the declared order.
+pub fn check(cx: &FileCx<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if cx.is_test_path() {
+        return out;
+    }
+    let toks = cx.toks;
+    let mut stack: Vec<Guard> = Vec::new();
+    let mut brace: i32 = 0;
+    let mut paren: i32 = 0;
+    let mut saw_let = false;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if cx.is_test[i] {
+            continue;
+        }
+        match t.kind {
+            TokKind::Punct => match t.text.as_str() {
+                "{" => {
+                    brace += 1;
+                    saw_let = false;
+                }
+                "}" => {
+                    brace -= 1;
+                    stack.retain(|g| match g.extent {
+                        Extent::Block(d) | Extent::Statement(d) => d <= brace,
+                        Extent::Call(_) => true,
+                    });
+                    saw_let = false;
+                }
+                "(" => paren += 1,
+                ")" => {
+                    paren -= 1;
+                    // A scoped-call guard recorded the paren depth *outside*
+                    // its own `(`; it dies once depth returns there.
+                    stack.retain(|g| match g.extent {
+                        Extent::Call(d) => paren > d,
+                        _ => true,
+                    });
+                }
+                ";" => {
+                    stack.retain(|g| !matches!(g.extent, Extent::Statement(d) if d >= brace));
+                    saw_let = false;
+                }
+                _ => {}
+            },
+            TokKind::Ident => {
+                if t.text == "let" {
+                    saw_let = true;
+                    continue;
+                }
+                // `.lock()` / `.read()` / `.write()` with an empty arg list.
+                let is_sync_method = matches!(t.text.as_str(), "lock" | "read" | "write")
+                    && i >= 1
+                    && is_punct(toks, i - 1, '.')
+                    && is_punct(toks, i + 1, '(')
+                    && is_punct(toks, i + 2, ')');
+                let scoped = cx.cfg.lock_scoped_calls.get(&t.text).filter(|_| {
+                    i >= 1 && is_punct(toks, i - 1, '.') && is_punct(toks, i + 1, '(')
+                });
+                if let Some(lock) = scoped {
+                    let guard = Guard {
+                        lock: Some(lock.clone()),
+                        raw: t.text.clone(),
+                        extent: Extent::Call(paren),
+                        line: t.line,
+                    };
+                    validate(cx, &stack, &guard, &mut out);
+                    stack.push(guard);
+                } else if is_sync_method {
+                    let receiver = i.checked_sub(2).and_then(|j| ident_at(toks, j)).unwrap_or("<expr>").to_string();
+                    let lock = cx.cfg.lock_aliases.get(&receiver).cloned();
+                    let extent = if saw_let { Extent::Block(brace) } else { Extent::Statement(brace) };
+                    let guard = Guard { lock, raw: receiver, extent, line: t.line };
+                    validate(cx, &stack, &guard, &mut out);
+                    stack.push(guard);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn validate(cx: &FileCx<'_>, stack: &[Guard], incoming: &Guard, out: &mut Vec<Diagnostic>) {
+    for held in stack {
+        match (&held.lock, &incoming.lock) {
+            (Some(a), Some(b)) => {
+                if a == b {
+                    out.push(cx.diag(
+                        RuleId::LockOrder,
+                        incoming.line,
+                        format!("re-acquires `{a}` while already held (acquired line {})", held.line),
+                    ));
+                    continue;
+                }
+                match (cx.cfg.lock_rank(a), cx.cfg.lock_rank(b)) {
+                    (Some(ra), Some(rb)) if ra < rb => {}
+                    (Some(_), Some(_)) => out.push(cx.diag(
+                        RuleId::LockOrder,
+                        incoming.line,
+                        format!(
+                            "acquires `{b}` while holding `{a}` (line {}); the declared order in analyzer.toml \
+                             requires `{b}` before `{a}`",
+                            held.line
+                        ),
+                    )),
+                    _ => out.push(cx.diag(
+                        RuleId::LockOrder,
+                        incoming.line,
+                        format!("nested acquisition of `{a}`/`{b}` not covered by the declared order in analyzer.toml"),
+                    )),
+                }
+            }
+            (None, _) | (_, None) => {
+                let unknown = if held.lock.is_none() { &held.raw } else { &incoming.raw };
+                out.push(cx.diag(
+                    RuleId::LockOrder,
+                    incoming.line,
+                    format!(
+                        "nested acquisition involves undeclared lock receiver `{unknown}` (outer guard from line {}); \
+                         add an alias and order entry in analyzer.toml",
+                        held.line
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! The four lint rules, each a pure function from a lexed file to findings.
+//!
+//! Rules see only *significant* tokens (comments are stripped by the engine;
+//! the suppression layer reads them separately) plus a parallel `is_test`
+//! mask covering `#[cfg(test)]` / `#[test]` items.
+
+use crate::config::Config;
+use crate::diag::Diagnostic;
+use crate::lexer::{Tok, TokKind};
+
+pub mod floats;
+pub mod locks;
+pub mod panics;
+pub mod taint;
+
+/// Everything a rule needs to know about one file.
+pub struct FileCx<'a> {
+    /// Workspace-relative path, `/`-separated.
+    pub path: &'a str,
+    /// Significant (non-comment) tokens.
+    pub toks: &'a [Tok],
+    /// Parallel to `toks`: true inside `#[cfg(test)]` / `#[test]` items.
+    pub is_test: &'a [bool],
+    /// The committed allowlist config.
+    pub cfg: &'a Config,
+}
+
+impl FileCx<'_> {
+    /// True for paths that are test/bench/example code wholesale — rules
+    /// about serving-path discipline do not apply there.
+    pub fn is_test_path(&self) -> bool {
+        let p = self.path;
+        p.starts_with("tests/")
+            || p.starts_with("examples/")
+            || p.contains("/tests/")
+            || p.contains("/benches/")
+            || p.contains("/examples/")
+    }
+
+    pub(crate) fn diag(&self, rule: crate::diag::RuleId, line: u32, message: String) -> Diagnostic {
+        Diagnostic { file: self.path.to_string(), line, rule, message }
+    }
+}
+
+/// Is token `i` a punct with exactly this text?
+pub(crate) fn is_punct(toks: &[Tok], i: usize, ch: char) -> bool {
+    toks.get(i).is_some_and(|t| t.kind == TokKind::Punct && t.text.len() == 1 && t.text.starts_with(ch))
+}
+
+/// Is token `i` an identifier?
+pub(crate) fn ident_at(toks: &[Tok], i: usize) -> Option<&str> {
+    toks.get(i).and_then(|t| (t.kind == TokKind::Ident).then_some(t.text.as_str()))
+}
+
+/// Run every rule over one file.
+pub fn check_all(cx: &FileCx<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    out.extend(taint::check(cx));
+    out.extend(locks::check(cx));
+    out.extend(panics::check(cx));
+    out.extend(floats::check(cx));
+    out
+}

@@ -1,0 +1,78 @@
+//! Rule `panic-freedom`: no `unwrap`/`expect`, no panic macros, no slice
+//! indexing in non-test code of the serving-path crates.
+//!
+//! `assert!`/`debug_assert!` are deliberately *not* in the forbidden set:
+//! they state invariants (and the ledger's live-growth contract has a
+//! `#[should_panic]` test relying on one). The rule targets the accidental
+//! panics — the `.unwrap()` that should have been a typed error on the
+//! serving path, and the `slots[lo..hi]` whose bounds nothing local proves.
+//! Provably-infallible sites carry an inline suppression whose `-- reason`
+//! documents the proof.
+
+use super::{is_punct, FileCx};
+use crate::diag::{Diagnostic, RuleId};
+use crate::lexer::TokKind;
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "unimplemented", "todo"];
+
+/// Keywords that can directly precede a `[` without forming an index
+/// expression (`let [a, b] = …`, `return [x]`, `impl T for [U]`, …).
+const NON_INDEX_KEYWORDS: &[&str] =
+    &["let", "in", "if", "else", "match", "return", "mut", "ref", "move", "as", "for", "where", "await", "break"];
+
+/// Flag panic-capable constructs in serving-path non-test code.
+pub fn check(cx: &FileCx<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if !cx.cfg.panic_paths.iter().any(|p| cx.path.starts_with(p.as_str())) {
+        return out;
+    }
+    let toks = cx.toks;
+    for i in 0..toks.len() {
+        if cx.is_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Ident => {
+                let name = t.text.as_str();
+                if matches!(name, "unwrap" | "expect")
+                    && i >= 1
+                    && is_punct(toks, i - 1, '.')
+                    && is_punct(toks, i + 1, '(')
+                {
+                    out.push(cx.diag(
+                        RuleId::PanicFreedom,
+                        t.line,
+                        format!("`.{name}(…)` on the serving path; return a typed error or suppress with a proof"),
+                    ));
+                } else if PANIC_MACROS.contains(&name) && is_punct(toks, i + 1, '!') {
+                    out.push(cx.diag(
+                        RuleId::PanicFreedom,
+                        t.line,
+                        format!("`{name}!` on the serving path; return a typed error or suppress with a proof"),
+                    ));
+                }
+            }
+            TokKind::Punct if t.text == "[" && i >= 1 => {
+                let prev = &toks[i - 1];
+                let indexes = match prev.kind {
+                    TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
+                    TokKind::Punct => matches!(prev.text.as_str(), ")" | "]"),
+                    _ => false,
+                };
+                if indexes {
+                    out.push(cx.diag(
+                        RuleId::PanicFreedom,
+                        t.line,
+                        format!(
+                            "slice/array index after `{}` can panic; use `.get(…)` or suppress with a bounds proof",
+                            prev.text
+                        ),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}

@@ -1,0 +1,73 @@
+//! Rule `dp-taint`: confines the identifiers that *spend ε or mint released
+//! values* to the allowlisted modules.
+//!
+//! Three families are confined (see `analyzer.toml`): `BudgetLedger` debit
+//! entry points, raw release-type construction (`NoisyRelease` /
+//! `NoisyValue` / `QueryResult`), and rand/noise sampling. A front-end that
+//! wants to emit a value has no lexical way to reach one of these names
+//! without either living in an allowlisted module or carrying a visible,
+//! reviewed suppression.
+
+use super::FileCx;
+use crate::diag::{Diagnostic, RuleId};
+use crate::lexer::TokKind;
+
+/// Identifiers that, when seen *before* a confined name, mark a type
+/// position or a definition rather than a use that can mint a value.
+const NON_CONSTRUCT_PREFIX: &[&str] =
+    &[">", ":", "<", "&", "as", "impl", "dyn", "struct", "enum", "union", "trait", "for", "let", "use", "mod", "where"];
+
+/// Flag confined identifiers used outside their allowlisted modules.
+pub fn check(cx: &FileCx<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if cx.is_test_path() {
+        return out;
+    }
+    for (i, tok) in cx.toks.iter().enumerate() {
+        if tok.kind != TokKind::Ident || cx.is_test[i] {
+            continue;
+        }
+        for group in &cx.cfg.taint {
+            if !group.idents.iter().any(|id| id == &tok.text) {
+                continue;
+            }
+            if group.construct_only && !is_construction(cx, i) {
+                continue;
+            }
+            if group.allow.iter().any(|a| cx.path.ends_with(a.as_str())) {
+                continue;
+            }
+            out.push(cx.diag(
+                RuleId::DpTaint,
+                tok.line,
+                format!(
+                    "`{}` (group `{}`) used outside its allowlisted modules [{}]",
+                    tok.text,
+                    group.name,
+                    group.allow.join(", ")
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// A confined type name counts as *used for construction* when it is
+/// followed by a struct literal `{` or a `::` path segment, and is not in an
+/// obvious type/definition position. This is deliberately lexical: see the
+/// crate docs for why module granularity (not call-graph precision) is the
+/// contract.
+fn is_construction(cx: &FileCx<'_>, i: usize) -> bool {
+    let followed = super::is_punct(cx.toks, i + 1, '{')
+        || (super::is_punct(cx.toks, i + 1, ':') && super::is_punct(cx.toks, i + 2, ':'));
+    if !followed {
+        return false;
+    }
+    if i > 0 {
+        let prev = &cx.toks[i - 1];
+        if NON_CONSTRUCT_PREFIX.contains(&prev.text.as_str()) {
+            return false;
+        }
+    }
+    true
+}

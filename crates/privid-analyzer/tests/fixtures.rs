@@ -1,0 +1,262 @@
+//! Fixture-driven rule tests: every rule gets a violating snippet and a
+//! clean one, suppression semantics are exercised end to end, an injected
+//! violation in a throwaway workspace proves the CI gate trips, and the
+//! final test runs the analyzer over *this* repository and demands zero
+//! unsuppressed findings — the self-test the `analyze` CI job relies on.
+
+use privid_analyzer::config::Config;
+use privid_analyzer::diag::RuleId;
+use privid_analyzer::engine::{check_source, run};
+
+/// A config mirroring the real analyzer.toml's shape, scoped to fixture paths.
+fn fixture_config() -> Config {
+    Config::parse(
+        r#"
+        [workspace]
+        exclude = ["target/"]
+
+        [lock-order]
+        order = ["admission-gate", "camera-registry", "ledger-state"]
+
+        [lock-order.aliases]
+        gate = "admission-gate"
+        cameras = "camera-registry"
+        state = "ledger-state"
+
+        [lock-order.scoped-calls]
+        exclusive = "admission-gate"
+
+        [[taint]]
+        name = "budget-debit"
+        idents = ["check_and_debit"]
+        allow = ["src/budget.rs"]
+
+        [[taint]]
+        name = "release-construction"
+        idents = ["NoisyRelease"]
+        construct-only = true
+        allow = ["src/session.rs"]
+
+        [panic-freedom]
+        paths = ["src/"]
+
+        [f64-exactness]
+        files = ["src/record.rs"]
+        float-names = ["epsilon"]
+        float-suffixes = ["_secs"]
+        "#,
+    )
+    .expect("fixture config parses")
+}
+
+fn rules_of(path: &str, src: &str) -> Vec<RuleId> {
+    let (findings, _) = check_source(path, src, &fixture_config());
+    findings.iter().map(|d| d.rule).collect()
+}
+
+// ---- dp-taint -------------------------------------------------------------
+
+#[test]
+fn taint_flags_confined_ident_outside_allowlist() {
+    let src = "fn f(l: &Ledger) { l.check_and_debit(w, m, e).unwrap(); }\n";
+    let rules = rules_of("src/rogue.rs", src);
+    assert!(rules.contains(&RuleId::DpTaint), "expected dp-taint, got {rules:?}");
+}
+
+#[test]
+fn taint_allows_ident_in_allowlisted_module_and_in_tests() {
+    assert!(!rules_of("src/budget.rs", "fn f(l: &L) { l.check_and_debit(w, m, e); }\n")
+        .contains(&RuleId::DpTaint));
+    // tests/ trees are exempt: they exercise the ledger deliberately.
+    assert!(rules_of("tests/admission.rs", "fn f(l: &L) { l.check_and_debit(w, m, e); }\n").is_empty());
+}
+
+#[test]
+fn construct_only_taint_distinguishes_construction_from_type_position() {
+    // Construction (struct literal / path) outside the allowlist: flagged.
+    assert!(rules_of("src/rogue.rs", "fn f() { let r = NoisyRelease { value: 1.0 }; }\n")
+        .contains(&RuleId::DpTaint));
+    assert!(rules_of("src/rogue.rs", "fn f() { let r = NoisyRelease::new(1.0); }\n")
+        .contains(&RuleId::DpTaint));
+    // Merely naming the type (signature, annotation): clean.
+    assert!(!rules_of("src/rogue.rs", "fn f(r: &NoisyRelease) -> Vec<NoisyRelease> { todo() }\n")
+        .contains(&RuleId::DpTaint));
+    // Construction in the allowlisted module: clean.
+    assert!(!rules_of("src/session.rs", "fn f() { let r = NoisyRelease { value: 1.0 }; }\n")
+        .contains(&RuleId::DpTaint));
+}
+
+// ---- lock-order -----------------------------------------------------------
+
+#[test]
+fn lock_order_flags_inversion_and_reacquisition() {
+    // cameras (rank 1) acquired, then gate (rank 0) inside it: inversion.
+    let inverted = "fn f(&self) {\n    let c = self.cameras.write();\n    let g = self.gate.lock();\n}\n";
+    assert!(rules_of("src/svc.rs", inverted).contains(&RuleId::LockOrder));
+
+    // Same lock twice while the first guard lives: re-acquisition (deadlock).
+    let twice = "fn f(&self) {\n    let a = self.state.lock();\n    let b = self.state.lock();\n}\n";
+    assert!(rules_of("src/svc.rs", twice).contains(&RuleId::LockOrder));
+}
+
+#[test]
+fn lock_order_accepts_declared_order_and_dropped_guards() {
+    // gate then cameras then state: the declared order.
+    let ordered = "fn f(&self) {\n    let g = self.gate.lock();\n    let c = self.cameras.write();\n    let s = self.state.lock();\n}\n";
+    assert!(!rules_of("src/svc.rs", ordered).contains(&RuleId::LockOrder));
+
+    // Statement-extent guard dies at the `;`: the next acquisition is fresh.
+    let seq = "fn f(&self) {\n    self.state.lock().insert(k, v);\n    self.state.lock().insert(k2, v2);\n}\n";
+    assert!(!rules_of("src/svc.rs", seq).contains(&RuleId::LockOrder));
+}
+
+#[test]
+fn lock_order_sees_through_scoped_calls() {
+    // `exclusive` holds the admission gate for its call: acquiring the gate
+    // again inside the closure is a re-acquisition.
+    let nested = "fn f(&self) {\n    self.admission.exclusive(|| {\n        let g = self.gate.lock();\n    });\n}\n";
+    assert!(rules_of("src/svc.rs", nested).contains(&RuleId::LockOrder));
+    // Registry work under the scoped gate follows the declared order: clean.
+    let fine = "fn f(&self) {\n    self.admission.exclusive(|| {\n        let c = self.cameras.write();\n    });\n}\n";
+    assert!(!rules_of("src/svc.rs", fine).contains(&RuleId::LockOrder));
+}
+
+// ---- panic-freedom --------------------------------------------------------
+
+#[test]
+fn panic_rule_flags_unwrap_expect_macros_and_indexing() {
+    let rules = rules_of(
+        "src/serve.rs",
+        "fn f(v: &[u8]) -> u8 {\n    let x = maybe().unwrap();\n    let y = maybe().expect(\"y\");\n    if bad { panic!(\"no\") }\n    v[0]\n}\n",
+    );
+    assert_eq!(rules.iter().filter(|r| **r == RuleId::PanicFreedom).count(), 4, "{rules:?}");
+}
+
+#[test]
+fn panic_rule_skips_tests_out_of_scope_paths_and_non_index_brackets() {
+    // #[cfg(test)] items are masked.
+    let masked = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { maybe().unwrap(); }\n}\n";
+    assert!(rules_of("src/serve.rs", masked).is_empty());
+    // Out-of-scope path (not under a configured prefix).
+    assert!(rules_of("benches/b.rs", "fn f() { maybe().unwrap(); }\n").is_empty());
+    // `let [a, b] = …` destructuring and array types are not index expressions.
+    assert!(rules_of("src/serve.rs", "fn f(p: [u8; 2]) { let [a, b] = p; }\n").is_empty());
+}
+
+// ---- f64-exactness --------------------------------------------------------
+
+#[test]
+fn float_rule_flags_decimal_formatting_in_wire_files_only() {
+    // Inline capture of a floatish ident, decimal: flagged.
+    assert!(rules_of("src/record.rs", "fn f(epsilon: f64) -> String { format!(\"{epsilon}\") }\n")
+        .contains(&RuleId::F64Exactness));
+    // Floatish positional argument without .to_bits(): flagged.
+    assert!(rules_of("src/record.rs", "fn f(slot_secs: f64) -> String { format!(\"{}\", slot_secs) }\n")
+        .contains(&RuleId::F64Exactness));
+    // Hex spec of the bits, or routing through .to_bits(): clean.
+    assert!(rules_of("src/record.rs", "fn f(bits_secs: u64) -> String { format!(\"{bits_secs:016x}\") }\n").is_empty());
+    assert!(rules_of("src/record.rs", "fn f(epsilon: f64) -> String { format!(\"{}\", epsilon.to_bits()) }\n").is_empty());
+    // Same decimal formatting outside the configured wire files: clean.
+    assert!(rules_of("src/other.rs", "fn f(epsilon: f64) -> String { format!(\"{epsilon}\") }\n").is_empty());
+}
+
+// ---- suppressions ---------------------------------------------------------
+
+#[test]
+fn suppression_silences_its_line_and_the_next() {
+    let cfg = fixture_config();
+    // End-of-line form.
+    let eol = "fn f() { maybe().unwrap() } // privid-analyzer: allow(panic-freedom) -- proven infallible in tests\n";
+    let (findings, suppressed) = check_source("src/serve.rs", eol, &cfg);
+    assert!(findings.is_empty(), "{findings:?}");
+    assert_eq!(suppressed, 1);
+    // Line-above form.
+    let above = "// privid-analyzer: allow(panic-freedom) -- proven infallible in tests\nfn f() { maybe().unwrap() }\n";
+    let (findings, suppressed) = check_source("src/serve.rs", above, &cfg);
+    assert!(findings.is_empty(), "{findings:?}");
+    assert_eq!(suppressed, 1);
+    // Two lines above: out of range, the finding stands.
+    let far = "// privid-analyzer: allow(panic-freedom) -- too far away\n\nfn f() { maybe().unwrap() }\n";
+    let (findings, _) = check_source("src/serve.rs", far, &cfg);
+    assert_eq!(findings.len(), 1);
+}
+
+#[test]
+fn suppression_without_reason_or_with_unknown_rule_is_itself_a_finding() {
+    let cfg = fixture_config();
+    let no_reason = "fn f() { maybe().unwrap() } // privid-analyzer: allow(panic-freedom)\n";
+    let (findings, _) = check_source("src/serve.rs", no_reason, &cfg);
+    assert!(findings.iter().any(|d| d.rule == RuleId::Suppression), "{findings:?}");
+    // The original finding is NOT silenced by a malformed suppression.
+    assert!(findings.iter().any(|d| d.rule == RuleId::PanicFreedom), "{findings:?}");
+
+    let unknown = "fn f() {} // privid-analyzer: allow(made-up-rule) -- because\n";
+    let (findings, _) = check_source("src/serve.rs", unknown, &cfg);
+    assert!(findings.iter().any(|d| d.rule == RuleId::Suppression), "{findings:?}");
+
+    // A suppression finding cannot itself be suppressed.
+    let meta = "// privid-analyzer: allow(suppression) -- nice try\nfn f() {} // privid-analyzer: allow(bogus) -- x\n";
+    let (findings, _) = check_source("src/serve.rs", meta, &cfg);
+    assert!(findings.iter().any(|d| d.rule == RuleId::Suppression), "{findings:?}");
+}
+
+// ---- the CI gate, end to end ----------------------------------------------
+
+/// Injecting a violation into a throwaway workspace must produce a finding —
+/// which is exactly what makes `privid-analyzer -- check` (and the CI
+/// `analyze` job wrapping it) exit non-zero.
+#[test]
+fn injected_violation_fails_a_workspace_run() {
+    let dir = std::env::temp_dir().join(format!("privid-analyzer-gate-{}", std::process::id()));
+    let src_dir = dir.join("src");
+    std::fs::create_dir_all(&src_dir).expect("mkdir fixture workspace");
+    std::fs::write(src_dir.join("clean.rs"), "fn ok(x: Option<u8>) -> u8 { x.unwrap_or(0) }\n").unwrap();
+    std::fs::write(src_dir.join("dirty.rs"), "fn bad(x: Option<u8>) -> u8 { x.unwrap() }\n").unwrap();
+
+    let report = run(&dir, &fixture_config()).expect("fixture workspace run");
+    assert_eq!(report.files, 2);
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    assert_eq!(report.findings[0].rule, RuleId::PanicFreedom);
+    assert!(report.findings[0].file.ends_with("dirty.rs"));
+
+    // Suppressing the injected site (with a reason) makes the same tree clean.
+    std::fs::write(
+        src_dir.join("dirty.rs"),
+        "fn bad(x: Option<u8>) -> u8 { x.unwrap() } // privid-analyzer: allow(panic-freedom) -- fixture\n",
+    )
+    .unwrap();
+    let report = run(&dir, &fixture_config()).expect("fixture workspace re-run");
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert_eq!(report.suppressed, 1);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---- the workspace self-test ----------------------------------------------
+
+/// The analyzer, run over this repository with the committed analyzer.toml,
+/// must report zero unsuppressed findings. This is the test-suite mirror of
+/// the CI `analyze` gate: a regression in either the rules or the code shows
+/// up here before it shows up in CI.
+#[test]
+fn workspace_is_clean_under_committed_config() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root above crates/privid-analyzer")
+        .to_path_buf();
+    let toml = std::fs::read_to_string(root.join("analyzer.toml")).expect("committed analyzer.toml");
+    let cfg = Config::parse(&toml).expect("committed analyzer.toml parses");
+    let report = run(&root, &cfg).expect("workspace walk");
+    assert!(report.files > 50, "walk looks truncated: {} files", report.files);
+    assert!(
+        report.findings.is_empty(),
+        "unsuppressed findings in the workspace:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -20,10 +20,10 @@ fn bench_pipeline(c: &mut Criterion) {
         group.bench_function(format!("count_query_10min_{name}"), |b| {
             b.iter(|| {
                 let mut sys = PrividSystem::new(1);
-                sys.register_camera("campus", scene.clone(), PrivacyPolicy::new(90.0, 2, 1e9));
+                sys.register_camera("campus", scene.clone(), PrivacyPolicy::new(90.0, 2, 1e9)).expect("camera/processor registration must succeed");
                 sys.register_processor("proc", || {
                     Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>
-                });
+                }).expect("camera/processor registration must succeed");
                 let query = format!(
                     "SPLIT campus BEGIN 0 END 600 BY TIME {chunk_secs} sec STRIDE 0 sec INTO c;
                      PROCESS c USING proc TIMEOUT 1 sec PRODUCING 20 ROWS WITH SCHEMA (count:NUMBER=0) INTO t;
@@ -64,10 +64,10 @@ fn bench_execution_engine(c: &mut Criterion) {
     ] {
         group.bench_function(format!("count_query_20min_{name}"), |b| {
             let mut sys = PrividSystem::new(1).with_parallelism(parallelism);
-            sys.register_camera("campus", scene.clone(), PrivacyPolicy::new(90.0, 2, 1e9));
+            sys.register_camera("campus", scene.clone(), PrivacyPolicy::new(90.0, 2, 1e9)).expect("camera/processor registration must succeed");
             sys.register_processor("proc", || {
                 Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>
-            });
+            }).expect("camera/processor registration must succeed");
             b.iter(|| black_box(sys.execute_text(query).unwrap()));
         });
     }

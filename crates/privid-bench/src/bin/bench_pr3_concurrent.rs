@@ -58,8 +58,8 @@ fn fresh_service(scene: &Scene) -> QueryService {
     // Engine parallelism 1: measured scaling comes from concurrent sessions,
     // not from intra-query workers.
     let service = QueryService::new().with_parallelism(Parallelism::Fixed(1));
-    service.register_camera("campus", scene.clone(), PrivacyPolicy::new(90.0, 2, 1e9));
-    service.register_processor("proc", || Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>);
+    service.register_camera("campus", scene.clone(), PrivacyPolicy::new(90.0, 2, 1e9)).expect("camera/processor registration must succeed");
+    service.register_processor("proc", || Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>).expect("camera/processor registration must succeed");
     service
 }
 

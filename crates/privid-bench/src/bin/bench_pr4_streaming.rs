@@ -50,8 +50,8 @@ fn batches_of(scene: &Scene, batch_secs: f64) -> Vec<FrameBatch> {
 
 fn live_service(scene: &Scene) -> QueryService {
     let service = QueryService::new().with_parallelism(Parallelism::Fixed(1));
-    service.register_live_camera("campus", scene.frame_rate, scene.frame_size, PrivacyPolicy::new(90.0, 2, 1e9));
-    service.register_processor("proc", || Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>);
+    service.register_live_camera("campus", scene.frame_rate, scene.frame_size, PrivacyPolicy::new(90.0, 2, 1e9)).expect("camera/processor registration must succeed");
+    service.register_processor("proc", || Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>).expect("camera/processor registration must succeed");
     service
 }
 

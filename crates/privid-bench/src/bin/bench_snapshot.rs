@@ -202,8 +202,8 @@ fn main() {
     let mut end_to_end = Vec::new();
     for (label, parallelism) in [("serial", Parallelism::Serial), ("auto", Parallelism::Auto)] {
         let mut sys = PrividSystem::new(1).with_parallelism(parallelism);
-        sys.register_camera("campus", scene.clone(), PrivacyPolicy::new(90.0, 2, 1e9));
-        sys.register_processor("proc", factory());
+        sys.register_camera("campus", scene.clone(), PrivacyPolicy::new(90.0, 2, 1e9)).expect("camera/processor registration must succeed");
+        sys.register_processor("proc", factory()).expect("camera/processor registration must succeed");
         end_to_end.push(Timing {
             mode: format!("execute_text_{label}"),
             median_ms: median_ms(samples, || {

@@ -167,7 +167,7 @@ fn run_counting_case(
     let mut sys = PrividSystem::new(seed).with_parallelism(scale.parallelism);
     // The evaluation policies protect a single appearance (K = 1), matching the
     // paper's per-query parameterization with masked rho values (Table 3).
-    sys.register_camera(video, scene, PrivacyPolicy::new(rho, 1, 1e9));
+    sys.register_camera(video, scene, PrivacyPolicy::new(rho, 1, 1e9)).expect("registration on a non-durable system cannot fail");
     match processor {
         "people" => sys.register_processor("proc", || Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>),
         "cars" => sys.register_processor("proc", || Box::new(UniqueEntrantProcessor::cars()) as Box<dyn ChunkProcessor>),
@@ -176,6 +176,7 @@ fn run_counting_case(
         "north" => sys.register_processor("proc", || Box::new(DirectionFilterProcessor::default()) as Box<dyn ChunkProcessor>),
         _ => sys.register_processor("proc", || Box::new(CarTableProcessor) as Box<dyn ChunkProcessor>),
     }
+    .expect("registration on a non-durable system cannot fail");
     let (select, schema) = match processor {
         "trees" => ("SELECT AVG(range(bloomed, 0, 100)) FROM t CONSUMING 1.0;", "(bloomed:NUMBER=0)"),
         "redlight" => ("SELECT AVG(range(red_secs, 0, 300)) FROM t CONSUMING 1.0;", "(red_secs:NUMBER=0)"),
@@ -193,7 +194,7 @@ fn run_counting_case(
     noisy.push(first.releases[0].value.as_number().unwrap());
     for trial in 1..scale.noise_trials {
         let mut fresh = PrividSystem::new(seed + trial as u64).with_parallelism(scale.parallelism);
-        fresh.register_camera(video, scene_for(video, scale), PrivacyPolicy::new(rho, 1, 1e9));
+        fresh.register_camera(video, scene_for(video, scale), PrivacyPolicy::new(rho, 1, 1e9)).expect("registration on a non-durable system cannot fail");
         match processor {
             "people" => fresh.register_processor("proc", || Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>),
             "cars" => fresh.register_processor("proc", || Box::new(UniqueEntrantProcessor::cars()) as Box<dyn ChunkProcessor>),
@@ -202,6 +203,7 @@ fn run_counting_case(
             "north" => fresh.register_processor("proc", || Box::new(DirectionFilterProcessor::default()) as Box<dyn ChunkProcessor>),
             _ => fresh.register_processor("proc", || Box::new(CarTableProcessor) as Box<dyn ChunkProcessor>),
         }
+        .expect("registration on a non-durable system cannot fail");
         // Re-use the raw value; only re-sample the noise via the mechanism by
         // re-running the aggregation (cheap relative to re-chunking would be
         // ideal, but correctness first: run the whole query again).
@@ -266,9 +268,9 @@ fn porto_cases(scale: Scale) -> String {
     for cam in 0..2u32 {
         let scene = dataset.camera_scene(cam);
         let rho = dataset.max_visit_duration(cam) * 1.2;
-        sys.register_camera(format!("porto{cam}"), scene, PrivacyPolicy::new(rho.max(15.0), 4, 1e9));
+        sys.register_camera(format!("porto{cam}"), scene, PrivacyPolicy::new(rho.max(15.0), 4, 1e9)).expect("camera/processor registration must succeed");
     }
-    sys.register_processor("taxi", || Box::new(TaxiShiftProcessor) as Box<dyn ChunkProcessor>);
+    sys.register_processor("taxi", || Box::new(TaxiShiftProcessor) as Box<dyn ChunkProcessor>).expect("camera/processor registration must succeed");
     let days = config.days;
     let q5 = format!(
         r#"SPLIT porto0 BEGIN 0 END {days} days BY TIME 60 sec STRIDE 0 sec INTO c0;
@@ -294,9 +296,9 @@ fn porto_cases(scale: Scale) -> String {
             let mut sys2 = PrividSystem::new(78);
             for cam in 0..4u32.min(config.num_cameras) {
                 let scene = dataset.camera_scene(cam);
-                sys2.register_camera(format!("porto{cam}"), scene, PrivacyPolicy::new(60.0, 4, 1e9));
+                sys2.register_camera(format!("porto{cam}"), scene, PrivacyPolicy::new(60.0, 4, 1e9)).expect("camera/processor registration must succeed");
             }
-            sys2.register_processor("taxi", || Box::new(TaxiShiftProcessor) as Box<dyn ChunkProcessor>);
+            sys2.register_processor("taxi", || Box::new(TaxiShiftProcessor) as Box<dyn ChunkProcessor>).expect("camera/processor registration must succeed");
             let mut splits = String::new();
             for cam in 0..4u32.min(config.num_cameras) {
                 splits.push_str(&format!(
@@ -450,11 +452,11 @@ pub fn fig5_case1_timeseries(scale: Scale) -> String {
         .with_arrival_scale(scale.arrival_scale))
         .generate();
         let mut sys = PrividSystem::new(31).with_parallelism(scale.parallelism);
-        sys.register_camera(video, scene, PrivacyPolicy::new(90.0, 2, 1e9));
+        sys.register_camera(video, scene, PrivacyPolicy::new(90.0, 2, 1e9)).expect("camera/processor registration must succeed");
         if processor == "people" {
-            sys.register_processor("proc", || Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>);
+            sys.register_processor("proc", || Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>).expect("camera/processor registration must succeed");
         } else {
-            sys.register_processor("proc", || Box::new(UniqueEntrantProcessor::cars()) as Box<dyn ChunkProcessor>);
+            sys.register_processor("proc", || Box::new(UniqueEntrantProcessor::cars()) as Box<dyn ChunkProcessor>).expect("camera/processor registration must succeed");
         }
         let query = format!(
             "SPLIT {video} BEGIN 0 END {} BY TIME 5 sec STRIDE 0 sec INTO c;
@@ -499,8 +501,8 @@ pub fn fig6_chunk_range_sweep(scale: Scale) -> String {
     for chunk in [1.0, 5.0, 10.0, 30.0, 60.0] {
         for max_rows in [10usize, 40, 160] {
             let mut sys = PrividSystem::new(41).with_parallelism(scale.parallelism);
-            sys.register_camera("campus", scene.clone(), PrivacyPolicy::new(90.0, 2, 1e9));
-            sys.register_processor("proc", || Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>);
+            sys.register_camera("campus", scene.clone(), PrivacyPolicy::new(90.0, 2, 1e9)).expect("camera/processor registration must succeed");
+            sys.register_processor("proc", || Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>).expect("camera/processor registration must succeed");
             let query = format!(
                 "SPLIT campus BEGIN 0 END {window} BY TIME {chunk} sec STRIDE 0 sec INTO c;
                  PROCESS c USING proc TIMEOUT 1 sec PRODUCING {max_rows} ROWS WITH SCHEMA (count:NUMBER=0) INTO t;
@@ -532,8 +534,8 @@ pub fn fig7_window_sweep(scale: Scale) -> String {
     let mut hours = 1.0;
     while hours <= max_hours + 1e-9 {
         let mut sys = PrividSystem::new(51).with_parallelism(scale.parallelism);
-        sys.register_camera("campus", scene.clone(), PrivacyPolicy::new(90.0, 2, 1e9));
-        sys.register_processor("proc", || Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>);
+        sys.register_camera("campus", scene.clone(), PrivacyPolicy::new(90.0, 2, 1e9)).expect("camera/processor registration must succeed");
+        sys.register_processor("proc", || Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>).expect("camera/processor registration must succeed");
         let query = format!(
             "SPLIT campus BEGIN 0 END {} BY TIME 5 sec STRIDE 0 sec INTO c;
              PROCESS c USING proc TIMEOUT 1 sec PRODUCING 20 ROWS WITH SCHEMA (count:NUMBER=0) INTO t;

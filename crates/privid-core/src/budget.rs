@@ -73,6 +73,11 @@ struct LedgerState {
 /// whole seconds.
 #[derive(Debug)]
 pub struct BudgetLedger {
+    /// Lock-order audit: `ledger-state` — a leaf in the declared global
+    /// order (analyzer.toml). Every method acquires it, does its arithmetic,
+    /// and returns; nothing is ever acquired while it is held. Admissions
+    /// that span several ledgers serialize on the admission *gate*, not by
+    /// holding two ledger locks at once.
     state: Mutex<LedgerState>,
     /// Slot duration in seconds.
     slot_secs: f64,
@@ -134,7 +139,7 @@ impl BudgetLedger {
     /// The exact per-slot remaining budgets (a consistent copy). Recovery
     /// proofs compare this bit-for-bit against the durable shadow state.
     pub fn slots_snapshot(&self) -> Vec<f64> {
-        self.state.lock().expect("budget ledger lock poisoned").slots.clone()
+        self.state.lock().expect("budget ledger lock poisoned").slots.clone() // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
     }
 
     /// The slot resolution, seconds.
@@ -155,7 +160,7 @@ impl BudgetLedger {
     /// The recorded duration this ledger covers, in seconds. For a live
     /// ledger this is the current live edge.
     pub fn duration_secs(&self) -> Seconds {
-        self.state.lock().expect("budget ledger lock poisoned").duration_secs
+        self.state.lock().expect("budget ledger lock poisoned").duration_secs // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
     }
 
     /// Grow a live ledger's timeline to `new_duration_secs`. Frames that come
@@ -170,7 +175,7 @@ impl BudgetLedger {
     pub fn extend_to(&self, new_duration_secs: Seconds) {
         assert!(self.live, "only live ledgers grow; re-register a fixed recording instead");
         assert!(new_duration_secs.is_finite(), "live edge must be finite, got {new_duration_secs}");
-        let mut state = self.state.lock().expect("budget ledger lock poisoned");
+        let mut state = self.state.lock().expect("budget ledger lock poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
         if new_duration_secs <= state.duration_secs {
             return;
         }
@@ -209,7 +214,7 @@ impl BudgetLedger {
     /// starting at or past a live recording's edge are the retryable
     /// [`BudgetError::BeyondLiveEdge`].
     pub fn validate_window(&self, span: &TimeSpan) -> Result<(), BudgetError> {
-        let state = self.state.lock().expect("budget ledger lock poisoned");
+        let state = self.state.lock().expect("budget ledger lock poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
         self.validate_in(&state, span)
     }
 
@@ -230,14 +235,15 @@ impl BudgetLedger {
     /// this resolved range — not the window in seconds — so replaying the
     /// record cannot diverge from the debit that was actually applied.
     pub fn debit_slot_range(&self, window: &TimeSpan) -> Result<(usize, usize), BudgetError> {
-        let state = self.state.lock().expect("budget ledger lock poisoned");
+        let state = self.state.lock().expect("budget ledger lock poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
         self.slot_range(&state, window)
     }
 
     /// Minimum remaining budget over a span.
     pub fn min_remaining(&self, span: &TimeSpan) -> Result<f64, BudgetError> {
-        let state = self.state.lock().expect("budget ledger lock poisoned");
+        let state = self.state.lock().expect("budget ledger lock poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
         let (lo, hi) = self.slot_range(&state, span)?;
+        // privid-analyzer: allow(panic-freedom) -- slot_range clamps `[lo, hi)` to slots.len()
         Ok(state.slots[lo..hi].iter().cloned().fold(f64::INFINITY, f64::min))
     }
 
@@ -248,16 +254,18 @@ impl BudgetLedger {
     /// ledger can never jointly over-spend a slot.
     pub fn check_and_debit(&self, window: &TimeSpan, rho_margin: Seconds, epsilon: f64) -> Result<(), BudgetError> {
         let expanded = window.expand(rho_margin);
-        let mut state = self.state.lock().expect("budget ledger lock poisoned");
+        let mut state = self.state.lock().expect("budget ledger lock poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
         // Validate the *query* window (the expanded window is a superset, so
         // it overlaps the recording whenever the query window does).
         let (wlo, whi) = self.slot_range(&state, window)?;
         let (elo, ehi) = self.slot_range(&state, &expanded)?;
+        // privid-analyzer: allow(panic-freedom) -- slot_range clamps both ranges to slots.len()
         let min = state.slots[elo..ehi].iter().cloned().fold(f64::INFINITY, f64::min);
         // Tolerate floating-point accumulation at the boundary.
         if min + 1e-9 < epsilon {
             return Err(BudgetError::Insufficient { available: min });
         }
+        // privid-analyzer: allow(panic-freedom) -- range clamped by slot_range; a silent .get_mut skip here would under-debit
         for s in &mut state.slots[wlo..whi] {
             *s -= epsilon;
         }
@@ -268,8 +276,9 @@ impl BudgetLedger {
     /// window must have been debited `epsilon` beforehand). Private to the
     /// budget module — only [`AdmissionController`] may unwind, under its gate.
     fn credit(&self, window: &TimeSpan, epsilon: f64) {
-        let mut state = self.state.lock().expect("budget ledger lock poisoned");
+        let mut state = self.state.lock().expect("budget ledger lock poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
         if let Ok((lo, hi)) = self.slot_range(&state, window) {
+            // privid-analyzer: allow(panic-freedom) -- range clamped by slot_range; skipping the credit would leave a rolled-back admission spent
             for s in &mut state.slots[lo..hi] {
                 *s += epsilon;
             }
@@ -278,16 +287,17 @@ impl BudgetLedger {
 
     /// Remaining budget at a specific time (seconds).
     pub fn remaining_at(&self, secs: f64) -> f64 {
-        let state = self.state.lock().expect("budget ledger lock poisoned");
+        let state = self.state.lock().expect("budget ledger lock poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+        // privid-analyzer: allow(panic-freedom) -- with_resolution mints >= 1 slot (n.max(1.0)), so len-1 cannot underflow and idx <= len-1
         let idx = ((secs / self.slot_secs).floor().max(0.0) as usize).min(state.slots.len() - 1);
-        state.slots[idx]
+        state.slots[idx] // privid-analyzer: allow(panic-freedom) -- idx is min-clamped to len-1 on the line above
     }
 }
 
 impl Clone for BudgetLedger {
     fn clone(&self) -> Self {
         BudgetLedger {
-            state: Mutex::new(self.state.lock().expect("budget ledger lock poisoned").clone()),
+            state: Mutex::new(self.state.lock().expect("budget ledger lock poisoned").clone()), // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
             slot_secs: self.slot_secs,
             initial: self.initial,
             live: self.live,
@@ -359,6 +369,12 @@ pub trait AdmissionJournal {
 /// be invalidated by a concurrent ledger growth.
 #[derive(Debug, Default)]
 pub struct AdmissionController {
+    /// Lock-order audit: `admission-gate` — the outermost lock in the
+    /// declared global order (analyzer.toml). `admit_journaled` holds it
+    /// across validate → journal → debit, acquiring each `ledger-state`
+    /// leaf inside it; `exclusive` lends it to the service's registration
+    /// and live-extension paths, which take the registry locks under it
+    /// (gate-before-registry).
     gate: Mutex<()>,
 }
 
@@ -373,6 +389,7 @@ impl AdmissionController {
     pub fn admit(&self, requests: &[AdmissionRequest<'_>], epsilon: f64) -> Result<(), (usize, BudgetError)> {
         self.admit_journaled(requests, epsilon, None).map_err(|failure| match failure {
             AdmissionFailure::Budget { index, error } => (index, error),
+            // privid-analyzer: allow(panic-freedom) -- this closure maps a call made with journal=None; the Journal variant is impossible
             AdmissionFailure::Journal(_) => unreachable!("no journal was supplied"),
         })
     }
@@ -387,7 +404,7 @@ impl AdmissionController {
         journal: Option<&dyn AdmissionJournal>,
     ) -> Result<(), AdmissionFailure> {
         let budget_err = |index: usize, error: BudgetError| AdmissionFailure::Budget { index, error };
-        let _gate = self.gate.lock().expect("admission gate poisoned");
+        let _gate = self.gate.lock().expect("admission gate poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
         // Phase 1: every window must be on the recording and have enough
         // margin-expanded budget. Nothing is debited yet.
         for (i, r) in requests.iter().enumerate() {
@@ -409,6 +426,7 @@ impl AdmissionController {
         let shares_a_ledger = requests
             .iter()
             .enumerate()
+            // privid-analyzer: allow(panic-freedom) -- `i` comes from enumerate over `requests`, so `..i` is in bounds
             .any(|(i, r)| requests[..i].iter().any(|q| std::ptr::eq(q.ledger, r.ledger)));
         if shares_a_ledger {
             simulate_shared(requests, epsilon).map_err(|(index, error)| budget_err(index, error))?;
@@ -429,6 +447,7 @@ impl AdmissionController {
         // residue of an already-out-of-contract race).
         for (i, r) in requests.iter().enumerate() {
             if let Err(e) = r.ledger.check_and_debit(&r.window, r.rho_margin, epsilon) {
+                // privid-analyzer: allow(panic-freedom) -- `i` comes from enumerate over `requests`, so `..i` is in bounds
                 for done in &requests[..i] {
                     done.ledger.credit(&done.window, epsilon);
                 }
@@ -447,7 +466,7 @@ impl AdmissionController {
     /// observes every ledger-shaping event in exactly the order the ledgers
     /// do.
     pub fn exclusive<R>(&self, f: impl FnOnce() -> R) -> R {
-        let _gate = self.gate.lock().expect("admission gate poisoned");
+        let _gate = self.gate.lock().expect("admission gate poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
         f()
     }
 }
@@ -469,11 +488,14 @@ fn simulate_shared(requests: &[AdmissionRequest<'_>], epsilon: f64) -> Result<()
         };
         let (elo, ehi) = r.ledger.debit_slot_range(&r.window.expand(r.rho_margin)).map_err(|e| (i, e))?;
         let (wlo, whi) = r.ledger.debit_slot_range(&r.window).map_err(|e| (i, e))?;
+        // privid-analyzer: allow(panic-freedom) -- `idx` is a position in `scratch` or len-1 right after a push
         let slots = &mut scratch[idx].1;
+        // privid-analyzer: allow(panic-freedom) -- both ranges clamped by debit_slot_range against the same snapshot length
         let min = slots[elo..ehi].iter().cloned().fold(f64::INFINITY, f64::min);
         if min + 1e-9 < epsilon {
             return Err((i, BudgetError::Insufficient { available: min }));
         }
+        // privid-analyzer: allow(panic-freedom) -- [wlo, whi) clamped by debit_slot_range against the same snapshot length
         for s in &mut slots[wlo..whi] {
             *s -= epsilon;
         }

@@ -169,6 +169,10 @@ impl CacheInner {
 /// analysts re-processing the same windows, not to be a long-lived store.
 #[derive(Debug)]
 pub struct ChunkResultCache {
+    /// Lock-order audit: `cache-entries` — a leaf in the declared global
+    /// order (analyzer.toml). get/insert/invalidate each hold it for one
+    /// map operation and never acquire anything inside it; callers may hold
+    /// registry locks or the gate when invalidating, never the reverse.
     entries: Mutex<CacheInner>,
     /// Monotonic insertion stamp, for oldest-first eviction.
     next_stamp: AtomicU64,
@@ -206,7 +210,7 @@ impl ChunkResultCache {
 
     /// Look up the outputs for a PROCESS identity.
     pub fn get(&self, key: &ChunkCacheKey) -> Option<CachedOutputs> {
-        let inner = self.entries.lock().expect("chunk cache lock poisoned");
+        let inner = self.entries.lock().expect("chunk cache lock poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
         match inner.map.get(key) {
             Some((_, outputs)) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -231,7 +235,7 @@ impl ChunkResultCache {
         if self.max_entries == 0 {
             return;
         }
-        let mut inner = self.entries.lock().expect("chunk cache lock poisoned");
+        let mut inner = self.entries.lock().expect("chunk cache lock poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
         if inner.map.contains_key(&key) {
             return;
         }
@@ -253,7 +257,7 @@ impl ChunkResultCache {
     /// Drop every entry for a camera (the camera was re-registered, so cached
     /// outputs may no longer match the footage).
     pub fn invalidate_camera(&self, camera: &str) {
-        let mut inner = self.entries.lock().expect("chunk cache lock poisoned");
+        let mut inner = self.entries.lock().expect("chunk cache lock poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
         inner.map.retain(|k, _| k.camera != camera);
         inner.prune_order();
     }
@@ -261,7 +265,7 @@ impl ChunkResultCache {
     /// Drop the entries produced under one of a camera's masks (that mask was
     /// re-published; unmasked entries and other masks' entries stay warm).
     pub fn invalidate_mask(&self, camera: &str, mask_id: &str) {
-        let mut inner = self.entries.lock().expect("chunk cache lock poisoned");
+        let mut inner = self.entries.lock().expect("chunk cache lock poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
         inner.map.retain(|k, _| k.camera != camera || !matches!(&k.mask, Some((id, _)) if id == mask_id));
         inner.prune_order();
     }
@@ -269,7 +273,7 @@ impl ChunkResultCache {
     /// Drop every entry produced by a processor (it was re-registered under
     /// the same name, possibly with different behaviour).
     pub fn invalidate_processor(&self, processor: &str) {
-        let mut inner = self.entries.lock().expect("chunk cache lock poisoned");
+        let mut inner = self.entries.lock().expect("chunk cache lock poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
         inner.map.retain(|k, _| k.processor != processor);
         inner.prune_order();
     }
@@ -279,7 +283,7 @@ impl ChunkResultCache {
     /// footage that has since come into existence). Closed-window entries are
     /// final and stay warm — see the module docs for why this is safe.
     pub fn invalidate_live_edge(&self, camera: &str) {
-        let mut inner = self.entries.lock().expect("chunk cache lock poisoned");
+        let mut inner = self.entries.lock().expect("chunk cache lock poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
         inner.map.retain(|k, _| k.camera != camera || k.live_edge_micros.is_none());
         inner.prune_order();
     }
@@ -288,7 +292,7 @@ impl ChunkResultCache {
     /// for the boundedness of the eviction index).
     #[cfg(test)]
     fn order_len(&self) -> usize {
-        self.entries.lock().expect("chunk cache lock poisoned").order.len()
+        self.entries.lock().expect("chunk cache lock poisoned").order.len() // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
     }
 
     /// Current counters.
@@ -297,7 +301,7 @@ impl ChunkResultCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            entries: self.entries.lock().expect("chunk cache lock poisoned").map.len(),
+            entries: self.entries.lock().expect("chunk cache lock poisoned").map.len(), // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
         }
     }
 }

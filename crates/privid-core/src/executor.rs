@@ -142,9 +142,15 @@ impl PrividSystem {
         self.service.cache_stats()
     }
 
-    /// Register a camera with its recording and privacy policy.
-    pub fn register_camera(&mut self, name: impl Into<String>, scene: Scene, policy: PrivacyPolicy) {
-        self.service.register_camera(name, scene, policy);
+    /// Register a camera with its recording and privacy policy. Fails only
+    /// on a durable system whose journal append fails.
+    pub fn register_camera(
+        &mut self,
+        name: impl Into<String>,
+        scene: Scene,
+        policy: PrivacyPolicy,
+    ) -> Result<(), PrividError> {
+        self.service.register_camera(name, scene, policy)
     }
 
     /// Register a live camera whose footage arrives via
@@ -155,8 +161,8 @@ impl PrividSystem {
         frame_rate: privid_video::FrameRate,
         frame_size: privid_video::FrameSize,
         policy: PrivacyPolicy,
-    ) {
-        self.service.register_live_camera(name, frame_rate, frame_size, policy);
+    ) -> Result<(), PrividError> {
+        self.service.register_live_camera(name, frame_rate, frame_size, policy)
     }
 
     /// Append freshly recorded footage to a live camera (see
@@ -184,12 +190,13 @@ impl PrividSystem {
         self.service.register_mask(camera, mask_id, policy)
     }
 
-    /// Attach an analyst processor executable under a name.
-    pub fn register_processor<F>(&mut self, name: impl Into<String>, factory: F)
+    /// Attach an analyst processor executable under a name. Fails only on a
+    /// durable system whose journal append fails.
+    pub fn register_processor<F>(&mut self, name: impl Into<String>, factory: F) -> Result<(), PrividError>
     where
         F: Fn() -> Box<dyn ChunkProcessor> + Send + Sync + 'static,
     {
-        self.service.register_processor(name, factory);
+        self.service.register_processor(name, factory)
     }
 
     /// Remaining per-frame budget of a camera at a given time.
@@ -223,10 +230,10 @@ mod tests {
     fn campus_system() -> PrividSystem {
         let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(0.5)).generate();
         let mut sys = PrividSystem::new(7);
-        sys.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 20.0));
-        sys.register_processor("person_counter", || Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>);
-        sys.register_processor("car_table", || Box::new(CarTableProcessor) as Box<dyn ChunkProcessor>);
-        sys.register_processor("red_light", || Box::new(RedLightProcessor) as Box<dyn ChunkProcessor>);
+        sys.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 20.0)).expect("camera/processor registration must succeed");
+        sys.register_processor("person_counter", || Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>).expect("camera/processor registration must succeed");
+        sys.register_processor("car_table", || Box::new(CarTableProcessor) as Box<dyn ChunkProcessor>).expect("camera/processor registration must succeed");
+        sys.register_processor("red_light", || Box::new(RedLightProcessor) as Box<dyn ChunkProcessor>).expect("camera/processor registration must succeed");
         sys
     }
 
@@ -355,8 +362,8 @@ mod tests {
         )
         .generate();
         let mut sys = PrividSystem::new(3);
-        sys.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 20.0));
-        sys.register_processor("car_table", || Box::new(CarTableProcessor) as Box<dyn ChunkProcessor>);
+        sys.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 20.0)).expect("camera/processor registration must succeed");
+        sys.register_processor("car_table", || Box::new(CarTableProcessor) as Box<dyn ChunkProcessor>).expect("camera/processor registration must succeed");
         let query = r#"
             SPLIT campus BEGIN 0 END 600 BY TIME 10 sec STRIDE 0 sec INTO chunks;
             PROCESS chunks USING car_table TIMEOUT 1 sec PRODUCING 10 ROWS
@@ -481,10 +488,10 @@ mod tests {
         let mut results = Vec::new();
         for parallelism in [crate::Parallelism::Serial, crate::Parallelism::Fixed(3), crate::Parallelism::Auto] {
             let mut sys = PrividSystem::new(5).with_parallelism(parallelism);
-            sys.register_camera("campus", scene.clone(), PrivacyPolicy::new(60.0, 2, 20.0));
+            sys.register_camera("campus", scene.clone(), PrivacyPolicy::new(60.0, 2, 20.0)).expect("camera/processor registration must succeed");
             sys.register_processor("person_counter", || {
                 Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>
-            });
+            }).expect("camera/processor registration must succeed");
             results.push(sys.execute_text(COUNT_QUERY).unwrap());
         }
         assert_eq!(results[0], results[1], "worker count must not change any release");
@@ -495,11 +502,11 @@ mod tests {
     fn noise_is_reproducible_for_a_seed() {
         let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(0.5)).generate();
         let mut a = PrividSystem::new(99);
-        a.register_camera("campus", scene.clone(), PrivacyPolicy::new(60.0, 2, 20.0));
-        a.register_processor("person_counter", || Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>);
+        a.register_camera("campus", scene.clone(), PrivacyPolicy::new(60.0, 2, 20.0)).expect("camera/processor registration must succeed");
+        a.register_processor("person_counter", || Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>).expect("camera/processor registration must succeed");
         let mut b = PrividSystem::new(99);
-        b.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 20.0));
-        b.register_processor("person_counter", || Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>);
+        b.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 20.0)).expect("camera/processor registration must succeed");
+        b.register_processor("person_counter", || Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>).expect("camera/processor registration must succeed");
         let ra = a.execute_text(COUNT_QUERY).unwrap();
         let rb = b.execute_text(COUNT_QUERY).unwrap();
         assert_eq!(ra.releases[0].value, rb.releases[0].value);

@@ -40,10 +40,10 @@
 //! // The video owner registers a camera, a policy, and accepts queries.
 //! let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(0.25)).generate();
 //! let mut privid = PrividSystem::new(42);
-//! privid.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 10.0));
+//! privid.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 10.0)).unwrap();
 //! privid.register_processor("person_counter", || {
 //!     Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>
-//! });
+//! }).unwrap();
 //!
 //! // The analyst submits a textual query.
 //! let result = privid

@@ -122,7 +122,7 @@ pub fn greedy_mask_order(scene: &Scene, grid: GridSpec, max_steps: usize) -> Mas
         let (max_obj, max_persistence) = match persistences
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
         {
             Some((i, p)) if *p > 0.0 => (i, *p),
             _ => break,
@@ -132,16 +132,17 @@ pub fn greedy_mask_order(scene: &Scene, grid: GridSpec, max_steps: usize) -> Mas
         }
         // Within that object's longest appearance, the unmasked cell it
         // occupies longest (ties broken by cell coordinates for determinism).
+        // privid-analyzer: allow(panic-freedom) -- max_obj enumerates persistences, built 1:1 from remaining
         let longest_segment = remaining[max_obj]
             .iter()
             .max_by(|a, b| {
                 let (pa, pb) = (a.values().sum::<f64>(), b.values().sum::<f64>());
-                pa.partial_cmp(&pb).unwrap()
+                pa.total_cmp(&pb)
             })
-            .expect("a positive persistence implies at least one segment");
+            .expect("a positive persistence implies at least one segment"); // privid-analyzer: allow(panic-freedom) -- guarded by max_persistence > 0.0 above
         let Some((&cell, _)) = longest_segment
             .iter()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then_with(|| a.0.cmp(b.0)))
+            .max_by(|a, b| a.1.total_cmp(b.1).then_with(|| a.0.cmp(b.0)))
         else {
             break;
         };

@@ -131,10 +131,10 @@ type RegisteredProcessor = (u64, Arc<dyn ProcessorFactory + Send + Sync>);
 ///
 /// let service = QueryService::new();
 /// let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(0.25)).generate();
-/// service.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 10.0));
+/// service.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 10.0)).unwrap();
 /// service.register_processor("person_counter", || {
 ///     Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>
-/// });
+/// }).unwrap();
 ///
 /// // Each analyst query carries its own noise seed; concurrent callers may
 /// // share `&service` across threads.
@@ -237,9 +237,10 @@ impl QueryService {
     /// does not match is an explicit replacement and mints a fresh ledger,
     /// exactly as it would have without the restart.
     ///
-    /// Panics if the registration cannot be journaled (registrations are
-    /// owner-side control-plane calls; a dead store is a deployment fault).
-    pub fn register_camera(&self, name: impl Into<String>, scene: Scene, policy: PrivacyPolicy) {
+    /// Fails with [`PrividError::Store`] when the registration cannot be
+    /// journaled — the registry is left untouched, so a retry after the
+    /// store recovers sees exactly the pre-call state.
+    pub fn register_camera(&self, name: impl Into<String>, scene: Scene, policy: PrivacyPolicy) -> Result<(), PrividError> {
         let name = name.into();
         let duration = scene.span.end.as_secs();
         self.cache.invalidate_camera(&name);
@@ -251,8 +252,8 @@ impl QueryService {
         // its ledger currency check and its append are atomic with respect
         // to registrations.
         self.admission.exclusive(|| {
-            let mut cameras = self.cameras.write().expect("camera registry poisoned");
-            let (generation, ledger) = self.camera_ledger(&name, duration, policy, false);
+            let mut cameras = self.cameras.write().expect("camera registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+            let (generation, ledger) = self.camera_ledger(&name, duration, policy, false)?;
             let state = Arc::new(CameraState {
                 scene,
                 policy,
@@ -262,7 +263,8 @@ impl QueryService {
                 live: false,
             });
             cameras.insert(name, state);
-        });
+            Ok(())
+        })
     }
 
     /// Register a *live* camera: an empty append-only recording whose footage
@@ -285,13 +287,13 @@ impl QueryService {
         frame_rate: FrameRate,
         frame_size: FrameSize,
         policy: PrivacyPolicy,
-    ) {
+    ) -> Result<(), PrividError> {
         let name = name.into();
         let scene = Recording::start(CameraId::new(name.as_str()), frame_rate, frame_size).into_scene();
         self.cache.invalidate_camera(&name);
         self.admission.exclusive(|| {
-            let mut cameras = self.cameras.write().expect("camera registry poisoned");
-            let (generation, ledger) = self.camera_ledger(&name, 0.0, policy, true);
+            let mut cameras = self.cameras.write().expect("camera registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+            let (generation, ledger) = self.camera_ledger(&name, 0.0, policy, true)?;
             let state = Arc::new(CameraState {
                 scene,
                 policy,
@@ -301,15 +303,22 @@ impl QueryService {
                 live: true,
             });
             cameras.insert(name, state);
-        });
+            Ok(())
+        })
     }
 
     /// Adopt the recovered ledger for `name` when policy and shape match,
     /// else mint (and journal) a fresh registration.
-    fn camera_ledger(&self, name: &str, duration: Seconds, policy: PrivacyPolicy, live: bool) -> (u64, BudgetLedger) {
+    fn camera_ledger(
+        &self,
+        name: &str,
+        duration: Seconds,
+        policy: PrivacyPolicy,
+        live: bool,
+    ) -> Result<(u64, BudgetLedger), PrividError> {
         if let Some(rec) = self.take_recovered(name, duration, policy, live) {
             let ledger = BudgetLedger::restore(rec.slots, rec.duration_secs, rec.slot_secs, rec.initial_epsilon, live);
-            return (rec.generation, ledger);
+            return Ok((rec.generation, ledger));
         }
         let generation = self.generations.fetch_add(1, Ordering::Relaxed);
         if let Some(store) = &self.store {
@@ -324,11 +333,11 @@ impl QueryService {
                     rho_secs: policy.rho_secs,
                     k: policy.k,
                 })
-                .expect("journaling a camera registration must succeed");
+                .map_err(PrividError::Store)?;
         }
         let ledger =
             if live { BudgetLedger::new_live(policy.epsilon_budget) } else { BudgetLedger::new(duration, policy.epsilon_budget) };
-        (generation, ledger)
+        Ok((generation, ledger))
     }
 
     /// Consume the recovered camera record for `name`, returning it iff the
@@ -340,7 +349,7 @@ impl QueryService {
     /// superseded in the journal.
     fn take_recovered(&self, name: &str, duration: Seconds, policy: PrivacyPolicy, live: bool) -> Option<CameraRecord> {
         self.store.as_ref()?;
-        let recovered = self.recovered_cameras.lock().expect("recovered registry poisoned").remove(name)?;
+        let recovered = self.recovered_cameras.lock().expect("recovered registry poisoned").remove(name)?; // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
         let matches = recovered.live == live
             && recovered.initial_epsilon == policy.epsilon_budget
             && recovered.rho_secs == policy.rho_secs
@@ -391,7 +400,7 @@ impl QueryService {
             // slightly ahead of the footage; queries there fail retryably,
             // and no slot gains ε.
             let published: Option<Result<Seconds, PrividError>> = self.admission.exclusive(|| {
-                let mut cameras = self.cameras.write().expect("camera registry poisoned");
+                let mut cameras = self.cameras.write().expect("camera registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
                 match cameras.get(camera) {
                     Some(current) if Arc::ptr_eq(current, &base) => {
                         if let Some(store) = &self.store {
@@ -446,7 +455,7 @@ impl QueryService {
         // Insert under the camera-registry read lock: resolving the state and
         // then writing outside it would race a concurrent register_camera and
         // silently publish the mask into the replaced (dead) CameraState.
-        let cameras = self.cameras.read().expect("camera registry poisoned");
+        let cameras = self.cameras.read().expect("camera registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
         let state = cameras.get(camera).ok_or_else(|| PrividError::UnknownCamera(camera.to_string()))?;
         let mask_id = mask_id.into();
         self.cache.invalidate_mask(camera, &mask_id);
@@ -461,16 +470,16 @@ impl QueryService {
                 })
                 .map_err(PrividError::Store)?;
         }
-        state.masks.write().expect("mask registry poisoned").insert(mask_id, (generation, policy));
+        state.masks.write().expect("mask registry poisoned").insert(mask_id, (generation, policy)); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
         Ok(())
     }
 
     /// Attach an analyst processor executable under a name. Re-registering a
     /// name replaces the factory and invalidates its cached chunk results.
     ///
-    /// Panics if the registration cannot be journaled (see
-    /// [`QueryService::register_camera`]).
-    pub fn register_processor<F>(&self, name: impl Into<String>, factory: F)
+    /// Fails with [`PrividError::Store`] when the registration cannot be
+    /// journaled; the factory registry is left untouched.
+    pub fn register_processor<F>(&self, name: impl Into<String>, factory: F) -> Result<(), PrividError>
     where
         F: Fn() -> Box<dyn ChunkProcessor> + Send + Sync + 'static,
     {
@@ -480,9 +489,11 @@ impl QueryService {
         if let Some(store) = &self.store {
             store
                 .append(Record::RegisterProcessor { name: name.clone(), generation })
-                .expect("journaling a processor registration must succeed");
+                .map_err(PrividError::Store)?;
         }
+        // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
         self.processors.write().expect("processor registry poisoned").insert(name, (generation, Arc::new(factory)));
+        Ok(())
     }
 
     // ---- standing queries ---------------------------------------------------------------
@@ -534,7 +545,7 @@ impl QueryService {
         }
         let name = name.into();
         {
-            let mut standing = self.standing.lock().expect("standing registry poisoned");
+            let mut standing = self.standing.lock().expect("standing registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
             match standing.get(&name) {
                 Some(existing) if existing.text == text && existing.base_seed == base_seed => {
                     // Idempotent re-registration: keep the firing watermark.
@@ -570,7 +581,7 @@ impl QueryService {
 
     /// The firings a standing query has produced so far, in window order.
     pub fn standing_results(&self, name: &str) -> Option<Vec<StandingFiring>> {
-        self.standing.lock().expect("standing registry poisoned").get(name).map(|s| {
+        self.standing.lock().expect("standing registry poisoned").get(name).map(|s| { // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
             let mut firings = s.firings.clone();
             firings.sort_by_key(|f| f.window.start);
             firings
@@ -586,7 +597,7 @@ impl QueryService {
     fn pump_standing_queries(&self) -> usize {
         let mut jobs: Vec<StandingJob> = Vec::new();
         {
-            let mut standing = self.standing.lock().expect("standing registry poisoned");
+            let mut standing = self.standing.lock().expect("standing registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
             for (name, st) in standing.iter_mut() {
                 // The firing frontier is the slowest referenced camera's edge.
                 let edge = st
@@ -634,7 +645,7 @@ impl QueryService {
             if let Some(store) = &self.store {
                 let _ = store.append(Record::StandingFired { name: job.name.clone(), window_index: job.index });
             }
-            let mut standing = self.standing.lock().expect("standing registry poisoned");
+            let mut standing = self.standing.lock().expect("standing registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
             if let Some(st) = standing.get_mut(&job.name) {
                 st.firings.push(StandingFiring { window: job.window, seed: job.seed, result });
             }
@@ -725,12 +736,12 @@ impl QueryService {
     // ---- internals shared with `session` -------------------------------------------------
 
     pub(crate) fn camera(&self, name: &str) -> Option<Arc<CameraState>> {
-        self.cameras.read().expect("camera registry poisoned").get(name).cloned()
+        self.cameras.read().expect("camera registry poisoned").get(name).cloned() // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
     }
 
     /// Resolve a processor to its `(generation, factory)` pair.
     pub(crate) fn processor(&self, name: &str) -> Option<RegisteredProcessor> {
-        self.processors.read().expect("processor registry poisoned").get(name).cloned()
+        self.processors.read().expect("processor registry poisoned").get(name).cloned() // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
     }
 
     pub(crate) fn chunk_cache(&self) -> &ChunkResultCache {
@@ -749,8 +760,8 @@ impl QueryService {
         debug_assert_eq!(requests.len(), cameras.len());
         match &self.store {
             None => self.admission.admit_journaled(requests, epsilon, None),
-            Some(_) => {
-                let journal = WalAdmissionJournal { service: self, cameras };
+            Some(store) => {
+                let journal = WalAdmissionJournal { service: self, store: store.as_ref(), cameras };
                 self.admission.admit_journaled(requests, epsilon, Some(&journal))
             }
         }
@@ -761,13 +772,17 @@ impl QueryService {
 /// per admission, carrying the exact slot ranges the debits will cover.
 struct WalAdmissionJournal<'a> {
     service: &'a QueryService,
+    /// The service's store, resolved at construction: the journal is only
+    /// ever built inside the `Some(store)` arm of `admit_requests`, so the
+    /// trait methods need no fallible re-resolution.
+    store: &'a WalStore,
     /// Camera name per request, index-aligned.
     cameras: &'a [&'a str],
 }
 
 impl AdmissionJournal for WalAdmissionJournal<'_> {
     fn record_admit(&self, requests: &[AdmissionRequest<'_>], epsilon: f64) -> Result<(), StoreError> {
-        let store = self.service.store.as_ref().expect("journal exists only on a durable service");
+        let store = self.store;
         let mut debits = Vec::with_capacity(requests.len());
         for (camera, request) in self.cameras.iter().zip(requests) {
             // A session may be admitting against a camera a concurrent
@@ -806,7 +821,7 @@ impl AdmissionJournal for WalAdmissionJournal<'_> {
         // must be credited back, including those whose in-memory debit never
         // happened. Best-effort: a lost (or ULP-inexact) credit recovers an
         // over-debited slot, never an under-debit.
-        let Some(store) = self.service.store.as_ref() else { return };
+        let store = self.store;
         for (camera, request) in self.cameras.iter().zip(requests) {
             let current =
                 self.service.camera(camera).is_some_and(|s| std::ptr::eq(s.ledger.as_ref(), request.ledger));
@@ -920,12 +935,12 @@ impl QueryServiceBuilder {
                 },
             );
         }
-        *service.standing.lock().expect("standing registry poisoned") = standing;
+        *service.standing.lock().expect("standing registry poisoned") = standing; // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
         // A genuinely fresh store (no snapshot, nothing replayed) reports no
         // recovery; anything else — even an empty-but-snapshotted state —
         // does, so operators can tell a restart from a first boot.
         let fresh = recovered.report == RecoveryReport::default() && recovered.state == privid_store::StoreState::default();
-        *service.recovered_cameras.lock().expect("recovered registry poisoned") = recovered.state.cameras;
+        *service.recovered_cameras.lock().expect("recovered registry poisoned") = recovered.state.cameras; // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
         service.recovery = (!fresh).then_some(recovered.report);
         service.store = Some(Arc::new(store));
         Ok(service)
@@ -947,10 +962,10 @@ mod tests {
     fn service() -> QueryService {
         let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(0.5)).generate();
         let service = QueryService::new().with_parallelism(Parallelism::Fixed(2));
-        service.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 20.0));
+        service.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 20.0)).expect("camera/processor registration must succeed");
         service.register_processor("person_counter", || {
             Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>
-        });
+        }).expect("camera/processor registration must succeed");
         service
     }
 
@@ -988,11 +1003,11 @@ mod tests {
         assert_eq!(svc.cache_stats().entries, 1);
         svc.register_processor("person_counter", || {
             Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>
-        });
+        }).expect("camera/processor registration must succeed");
         assert_eq!(svc.cache_stats().entries, 0, "re-registered processor drops its entries");
         svc.execute_text(1, QUERY).unwrap();
         let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(0.5)).generate();
-        svc.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 20.0));
+        svc.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 20.0)).expect("camera/processor registration must succeed");
         assert_eq!(svc.cache_stats().entries, 0, "re-registered camera drops its entries");
     }
 
@@ -1046,10 +1061,10 @@ mod tests {
         let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(0.5)).generate();
         let cached = service();
         let uncached = QueryService::new().with_parallelism(Parallelism::Fixed(2)).with_cache_capacity(0);
-        uncached.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 20.0));
+        uncached.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 20.0)).expect("camera/processor registration must succeed");
         uncached.register_processor("person_counter", || {
             Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>
-        });
+        }).expect("camera/processor registration must succeed");
         let a = cached.execute_text(5, QUERY).unwrap();
         let b = uncached.execute_text(5, QUERY).unwrap();
         assert_eq!(a, b, "the cache must be invisible in results");
@@ -1081,10 +1096,10 @@ mod tests {
     fn live_service() -> QueryService {
         use privid_video::{FrameRate, FrameSize};
         let svc = QueryService::new().with_parallelism(Parallelism::Fixed(1));
-        svc.register_live_camera("live", FrameRate::new(2.0), FrameSize::new(100, 100), PrivacyPolicy::new(20.0, 2, 10.0));
+        svc.register_live_camera("live", FrameRate::new(2.0), FrameSize::new(100, 100), PrivacyPolicy::new(20.0, 2, 10.0)).expect("camera/processor registration must succeed");
         svc.register_processor("person_counter", || {
             Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>
-        });
+        }).expect("camera/processor registration must succeed");
         svc
     }
 
@@ -1104,10 +1119,10 @@ mod tests {
             "live",
             Scene::new(CameraId::new("live"), TimeSpan::from_secs(120.0), FrameRate::new(2.0), FrameSize::new(100, 100), objects),
             PrivacyPolicy::new(20.0, 2, 10.0),
-        );
+        ).expect("camera/processor registration must succeed");
         batch.register_processor("person_counter", || {
             Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>
-        });
+        }).expect("camera/processor registration must succeed");
         let replay = batch.execute_text(7, LIVE_QUERY).unwrap();
         assert_eq!(live, replay, "a closed window over the appended recording must be bit-for-bit batch-identical");
         assert!(live.releases[0].raw.as_number().unwrap() >= 1.0, "the appended walkers are visible to the query");
@@ -1208,7 +1223,7 @@ mod tests {
             .expect("durable service builds");
         svc.register_processor("person_counter", || {
             Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>
-        });
+        }).expect("camera/processor registration must succeed");
         svc
     }
 
@@ -1218,20 +1233,20 @@ mod tests {
         let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(0.5)).generate();
         {
             let svc = durable_service(&dir);
-            svc.register_camera("campus", scene.clone(), PrivacyPolicy::new(60.0, 2, 20.0));
+            svc.register_camera("campus", scene.clone(), PrivacyPolicy::new(60.0, 2, 20.0)).expect("camera/processor registration must succeed");
             svc.execute_text(1, QUERY).unwrap();
             assert!((svc.remaining_budget("campus", 300.0).unwrap() - 19.5).abs() < 1e-9);
             // Crash: the service is dropped without any shutdown protocol.
         }
         let svc = durable_service(&dir);
         assert!(svc.recovery_report().is_some());
-        svc.register_camera("campus", scene.clone(), PrivacyPolicy::new(60.0, 2, 20.0));
+        svc.register_camera("campus", scene.clone(), PrivacyPolicy::new(60.0, 2, 20.0)).expect("camera/processor registration must succeed");
         assert!(
             (svc.remaining_budget("campus", 300.0).unwrap() - 19.5).abs() < 1e-9,
             "the pre-crash debit must survive the restart"
         );
         // A *different* policy is a deliberate replacement: fresh ledger.
-        svc.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 10.0));
+        svc.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 10.0)).expect("camera/processor registration must succeed");
         assert!((svc.remaining_budget("campus", 300.0).unwrap() - 10.0).abs() < 1e-9);
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -1242,13 +1257,13 @@ mod tests {
         let dir = wal_dir("live");
         {
             let svc = durable_service(&dir);
-            svc.register_live_camera("live", FrameRate::new(2.0), FrameSize::new(100, 100), PrivacyPolicy::new(20.0, 2, 10.0));
+            svc.register_live_camera("live", FrameRate::new(2.0), FrameSize::new(100, 100), PrivacyPolicy::new(20.0, 2, 10.0)).expect("camera/processor registration must succeed");
             svc.append_frames("live", FrameBatch::new(60.0, vec![walker(1, 5.0, 40.0)])).unwrap();
             svc.append_frames("live", FrameBatch::new(60.0, vec![walker(2, 70.0, 110.0)])).unwrap();
             svc.execute_text(7, LIVE_QUERY).unwrap();
         }
         let svc = durable_service(&dir);
-        svc.register_live_camera("live", FrameRate::new(2.0), FrameSize::new(100, 100), PrivacyPolicy::new(20.0, 2, 10.0));
+        svc.register_live_camera("live", FrameRate::new(2.0), FrameSize::new(100, 100), PrivacyPolicy::new(20.0, 2, 10.0)).expect("camera/processor registration must succeed");
         // The ledger resumed at the recovered edge with its debits…
         assert_eq!(svc.ledger_edge("live"), Some(120.0));
         assert!((svc.remaining_budget("live", 30.0).unwrap() - 9.5).abs() < 1e-9);
@@ -1275,18 +1290,18 @@ mod tests {
         let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(0.25)).generate();
         {
             let svc = durable_service(&dir);
-            svc.register_camera("campus", scene.clone(), PrivacyPolicy::new(60.0, 2, 20.0));
+            svc.register_camera("campus", scene.clone(), PrivacyPolicy::new(60.0, 2, 20.0)).expect("camera/processor registration must succeed");
             let q = QUERY.replace("END 600", "END 300");
             svc.execute_text(1, &q).unwrap();
         }
         let svc = durable_service(&dir);
         // A deliberate replacement (different ε budget) supersedes the
         // recovered ledger…
-        svc.register_camera("campus", scene.clone(), PrivacyPolicy::new(60.0, 2, 10.0));
+        svc.register_camera("campus", scene.clone(), PrivacyPolicy::new(60.0, 2, 10.0)).expect("camera/processor registration must succeed");
         assert!((svc.remaining_budget("campus", 100.0).unwrap() - 10.0).abs() < 1e-9);
         // …so registering the *original* policy afterwards is a fresh
         // replacement too, not a resurrection of the pre-crash debits.
-        svc.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 20.0));
+        svc.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 20.0)).expect("camera/processor registration must succeed");
         assert!(
             (svc.remaining_budget("campus", 100.0).unwrap() - 20.0).abs() < 1e-9,
             "the superseded pre-crash ledger must not come back"
@@ -1305,7 +1320,7 @@ mod tests {
         let dir = wal_dir("rollback");
         let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(0.5)).generate();
         let svc = durable_service(&dir);
-        svc.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 1.0));
+        svc.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 1.0)).expect("camera/processor registration must succeed");
         let state = svc.camera("campus").unwrap();
         let requests = [
             AdmissionRequest { ledger: &state.ledger, window: TimeSpan::between_secs(0.0, 60.0), rho_margin: 0.0 },
@@ -1324,7 +1339,7 @@ mod tests {
         drop(svc);
         let svc = durable_service(&dir);
         let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(0.5)).generate();
-        svc.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 1.0));
+        svc.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 1.0)).expect("camera/processor registration must succeed");
         for at in [10.0, 50.0, 90.0] {
             assert!((svc.remaining_budget("campus", at).unwrap() - 1.0).abs() < 1e-9, "no residual debit at {at}s");
         }
@@ -1337,11 +1352,11 @@ mod tests {
         let dir = wal_dir("stale-extend");
         {
             let svc = durable_service(&dir);
-            svc.register_live_camera("live", FrameRate::new(2.0), FrameSize::new(100, 100), PrivacyPolicy::new(20.0, 2, 10.0));
+            svc.register_live_camera("live", FrameRate::new(2.0), FrameSize::new(100, 100), PrivacyPolicy::new(20.0, 2, 10.0)).expect("camera/processor registration must succeed");
             svc.append_frames("live", FrameBatch::new(60.0, vec![walker(1, 5.0, 40.0)])).unwrap();
         }
         let svc = durable_service(&dir);
-        svc.register_live_camera("live", FrameRate::new(2.0), FrameSize::new(100, 100), PrivacyPolicy::new(20.0, 2, 10.0));
+        svc.register_live_camera("live", FrameRate::new(2.0), FrameSize::new(100, 100), PrivacyPolicy::new(20.0, 2, 10.0)).expect("camera/processor registration must succeed");
         let seq_before = svc.store.as_ref().unwrap().next_seq();
         // Replaying the recorded batch must not grow the journal at all…
         svc.append_frames("live", FrameBatch::new(60.0, vec![walker(1, 5.0, 40.0)])).unwrap();
@@ -1358,7 +1373,7 @@ mod tests {
         let dir = wal_dir("biteq");
         let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(0.5)).generate();
         let durable = durable_service(&dir);
-        durable.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 20.0));
+        durable.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 20.0)).expect("camera/processor registration must succeed");
         let plain = service();
         let a = durable.execute_text(11, QUERY).unwrap();
         let b = plain.execute_text(11, QUERY).unwrap();
@@ -1377,13 +1392,13 @@ mod tests {
             SELECT COUNT(*) FROM people CONSUMING 0.5;";
         {
             let svc = durable_service(&dir);
-            svc.register_live_camera("live", FrameRate::new(2.0), FrameSize::new(100, 100), PrivacyPolicy::new(20.0, 2, 10.0));
+            svc.register_live_camera("live", FrameRate::new(2.0), FrameSize::new(100, 100), PrivacyPolicy::new(20.0, 2, 10.0)).expect("camera/processor registration must succeed");
             svc.register_standing_query("per_min", 40, standing).unwrap();
             let fired = svc.append_frames("live", FrameBatch::new(120.0, vec![walker(1, 5.0, 40.0)])).unwrap().standing_fired;
             assert_eq!(fired, 2, "windows [0,60) and [60,120) fire before the crash");
         }
         let svc = durable_service(&dir);
-        svc.register_live_camera("live", FrameRate::new(2.0), FrameSize::new(100, 100), PrivacyPolicy::new(20.0, 2, 10.0));
+        svc.register_live_camera("live", FrameRate::new(2.0), FrameSize::new(100, 100), PrivacyPolicy::new(20.0, 2, 10.0)).expect("camera/processor registration must succeed");
         // Replaying the recorded footage must not re-fire recovered windows…
         let fired = svc.append_frames("live", FrameBatch::new(120.0, vec![walker(1, 5.0, 40.0)])).unwrap().standing_fired;
         assert_eq!(fired, 0, "recovered watermark holds through the replay");

@@ -143,6 +143,7 @@ pub(crate) fn execute_query(
     // record cannot be appended.
     service.admit_requests(&requests, &request_cameras, epsilon_total).map_err(|failure| match failure {
         AdmissionFailure::Budget { index, error } => {
+            // privid-analyzer: allow(panic-freedom) -- `index` indexes `requests`, built index-aligned with `request_cameras` (debug_assert in admit_requests)
             let camera = request_cameras[index].to_string();
             match error {
                 BudgetError::Insufficient { available } => {
@@ -210,7 +211,7 @@ fn registrations_current(
     match &split.mask_id {
         None => true,
         Some((id, generation)) => {
-            split.state.masks.read().expect("mask registry poisoned").get(id).map(|(g, _)| *g) == Some(*generation)
+            split.state.masks.read().expect("mask registry poisoned").get(id).map(|(g, _)| *g) == Some(*generation) // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
         }
     }
 }
@@ -254,9 +255,13 @@ fn prepare_split(s: &SplitStatement, state: Arc<CameraState>) -> Result<Prepared
     // requested window still drives chunk geometry and sensitivities.
     let admit_window =
         if state.live && window.end > snapshot_edge { TimeSpan::new(window.start, snapshot_edge) } else { window };
+    // Lock-order audit: `mask-registry` is taken here with nothing held
+    // above it — `state` is a cloned Arc<CameraState>, not a registry guard.
+    // The one nested acquisition (under `camera-registry`) lives in
+    // register_mask, which follows the declared order (analyzer.toml).
     let (mask_id, mask, rho) = match &s.mask {
         Some(id) => {
-            let masks = state.masks.read().expect("mask registry poisoned");
+            let masks = state.masks.read().expect("mask registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
             let (generation, mp) = masks.get(id).ok_or_else(|| PrividError::UnknownMask(id.clone()))?;
             (Some((id.clone(), *generation)), Some(mp.mask.clone()), mp.rho_secs)
         }
@@ -424,7 +429,10 @@ fn release_select(
     select_epsilon: f64,
     mechanism: &mut LaplaceMechanism,
 ) -> Result<Vec<NoisyRelease>, PrividError> {
-    let first_sensitivity = sensitivities[0];
+    let first_sensitivity = sensitivities
+        .first()
+        .copied()
+        .ok_or_else(|| PrividError::Invalid("SELECT released no values: no PROCESS produced rows for it".into()))?;
     let planned_releases = sensitivities.len();
     let per_release_epsilon = select_epsilon / planned_releases as f64;
 

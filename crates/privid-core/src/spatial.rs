@@ -49,7 +49,7 @@ pub fn region_output_ranges(
                 }
                 frame_ids.insert(obs.object_id.0);
                 if let Some(region) = scheme.region_of(&obs.bbox) {
-                    region_ids[region.id as usize].insert(obs.object_id.0);
+                    region_ids[region.id as usize].insert(obs.object_id.0); // privid-analyzer: allow(panic-freedom) -- region ids are dense indices into the scheme that sized region_ids (vec of scheme.len())
                 }
             }
         }

@@ -18,7 +18,7 @@ const fn build_table() -> [u32; 256] {
             crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
             bit += 1;
         }
-        table[i] = crc;
+        table[i] = crc; // privid-analyzer: allow(panic-freedom) -- const fn: i < 256 by the loop bound; an out-of-range write would fail compilation
         i += 1;
     }
     table
@@ -36,7 +36,7 @@ pub fn crc32_parts(parts: &[&[u8]]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for part in parts {
         for &b in *part {
-            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize]; // privid-analyzer: allow(panic-freedom) -- index masked with & 0xFF, always < 256
         }
     }
     crc ^ 0xFFFF_FFFF

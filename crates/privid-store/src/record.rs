@@ -301,6 +301,12 @@ pub fn encode_payload(seq: u64, record: &Record) -> String {
     p
 }
 
+/// Checked field access: corrupt or truncated payloads must surface as
+/// typed decode errors, never as slice panics.
+fn field<'a>(fields: &[&'a str], i: usize) -> Result<&'a str, String> {
+    fields.get(i).copied().ok_or_else(|| format!("payload missing field {i}"))
+}
+
 /// Decode a payload back into `(seq, record)`.
 pub fn decode_payload(payload: &[u8]) -> Result<(u64, Record), String> {
     let text = std::str::from_utf8(payload).map_err(|e| format!("payload is not UTF-8: {e}"))?;
@@ -308,60 +314,60 @@ pub fn decode_payload(payload: &[u8]) -> Result<(u64, Record), String> {
     if fields.len() < 2 {
         return Err("payload has no tag".into());
     }
-    let seq = dec_u64(fields[0])?;
+    let seq = dec_u64(field(&fields, 0)?)?;
     let need = |n: usize| -> Result<(), String> {
         if fields.len() == n {
             Ok(())
         } else {
-            Err(format!("tag {} expects {} fields, got {}", fields[1], n, fields.len()))
+            Err(format!("tag {} expects {} fields, got {}", field(&fields, 1)?, n, fields.len()))
         }
     };
-    let record = match fields[1] {
+    let record = match field(&fields, 1)? {
         "cam" => {
             need(10)?;
             Record::RegisterCamera {
-                name: unesc(fields[2])?,
-                generation: dec_u64(fields[3])?,
-                live: fields[4] == "1",
-                slot_secs: dec_f64(fields[5])?,
-                duration_secs: dec_f64(fields[6])?,
-                initial_epsilon: dec_f64(fields[7])?,
-                rho_secs: dec_f64(fields[8])?,
-                k: dec_u64(fields[9])? as u32,
+                name: unesc(field(&fields, 2)?)?,
+                generation: dec_u64(field(&fields, 3)?)?,
+                live: field(&fields, 4)? == "1",
+                slot_secs: dec_f64(field(&fields, 5)?)?,
+                duration_secs: dec_f64(field(&fields, 6)?)?,
+                initial_epsilon: dec_f64(field(&fields, 7)?)?,
+                rho_secs: dec_f64(field(&fields, 8)?)?,
+                k: dec_u64(field(&fields, 9)?)? as u32,
             }
         }
         "mask" => {
             need(6)?;
             Record::RegisterMask {
-                camera: unesc(fields[2])?,
-                mask_id: unesc(fields[3])?,
-                generation: dec_u64(fields[4])?,
-                rho_secs: dec_f64(fields[5])?,
+                camera: unesc(field(&fields, 2)?)?,
+                mask_id: unesc(field(&fields, 3)?)?,
+                generation: dec_u64(field(&fields, 4)?)?,
+                rho_secs: dec_f64(field(&fields, 5)?)?,
             }
         }
         "proc" => {
             need(4)?;
-            Record::RegisterProcessor { name: unesc(fields[2])?, generation: dec_u64(fields[3])? }
+            Record::RegisterProcessor { name: unesc(field(&fields, 2)?)?, generation: dec_u64(field(&fields, 3)?)? }
         }
         "extend" => {
             need(4)?;
-            Record::Extend { camera: unesc(fields[2])?, live_edge_secs: dec_f64(fields[3])? }
+            Record::Extend { camera: unesc(field(&fields, 2)?)?, live_edge_secs: dec_f64(field(&fields, 3)?)? }
         }
         "admit" => {
             if fields.len() < 4 {
                 return Err("admit record too short".into());
             }
-            let epsilon = dec_f64(fields[2])?;
-            let n = dec_u64(fields[3])? as usize;
+            let epsilon = dec_f64(field(&fields, 2)?)?;
+            let n = dec_u64(field(&fields, 3)?)? as usize;
             if fields.len() != 4 + 3 * n {
                 return Err(format!("admit record declares {n} debits but has {} fields", fields.len()));
             }
             let mut debits = Vec::with_capacity(n);
             for i in 0..n {
                 debits.push(DebitRange {
-                    camera: unesc(fields[4 + 3 * i])?,
-                    lo: dec_u64(fields[5 + 3 * i])?,
-                    hi: dec_u64(fields[6 + 3 * i])?,
+                    camera: unesc(field(&fields, 4 + 3 * i)?)?,
+                    lo: dec_u64(field(&fields, 5 + 3 * i)?)?,
+                    hi: dec_u64(field(&fields, 6 + 3 * i)?)?,
                 });
             }
             Record::Admit { epsilon, debits }
@@ -369,41 +375,41 @@ pub fn decode_payload(payload: &[u8]) -> Result<(u64, Record), String> {
         "credit" => {
             need(6)?;
             Record::Credit {
-                camera: unesc(fields[2])?,
-                lo: dec_u64(fields[3])?,
-                hi: dec_u64(fields[4])?,
-                epsilon: dec_f64(fields[5])?,
+                camera: unesc(field(&fields, 2)?)?,
+                lo: dec_u64(field(&fields, 3)?)?,
+                hi: dec_u64(field(&fields, 4)?)?,
+                epsilon: dec_f64(field(&fields, 5)?)?,
             }
         }
         "standing" => {
             need(6)?;
             Record::RegisterStanding {
-                name: unesc(fields[2])?,
-                base_seed: dec_u64(fields[3])?,
-                period_secs: dec_f64(fields[4])?,
-                text: unesc(fields[5])?,
+                name: unesc(field(&fields, 2)?)?,
+                base_seed: dec_u64(field(&fields, 3)?)?,
+                period_secs: dec_f64(field(&fields, 4)?)?,
+                text: unesc(field(&fields, 5)?)?,
             }
         }
         "fired" => {
             need(4)?;
-            Record::StandingFired { name: unesc(fields[2])?, window_index: dec_u64(fields[3])? }
+            Record::StandingFired { name: unesc(field(&fields, 2)?)?, window_index: dec_u64(field(&fields, 3)?)? }
         }
         "snaphdr" => {
             need(4)?;
-            Record::SnapshotHeader { last_seq: dec_u64(fields[2])?, next_generation: dec_u64(fields[3])? }
+            Record::SnapshotHeader { last_seq: dec_u64(field(&fields, 2)?)?, next_generation: dec_u64(field(&fields, 3)?)? }
         }
         "slots" => {
             if fields.len() < 4 {
                 return Err("slots record too short".into());
             }
-            let camera = unesc(fields[2])?;
-            let offset = dec_u64(fields[3])?;
-            let slots = fields[4..].iter().map(|s| dec_f64(s)).collect::<Result<Vec<f64>, String>>()?;
+            let camera = unesc(field(&fields, 2)?)?;
+            let offset = dec_u64(field(&fields, 3)?)?;
+            let slots = fields.get(4..).unwrap_or(&[]).iter().map(|s| dec_f64(s)).collect::<Result<Vec<f64>, String>>()?;
             Record::SlotValues { camera, offset, slots }
         }
         "arm" => {
             need(4)?;
-            Record::ArmStanding { name: unesc(fields[2])?, next_start_secs: dec_f64(fields[3])? }
+            Record::ArmStanding { name: unesc(field(&fields, 2)?)?, next_start_secs: dec_f64(field(&fields, 3)?)? }
         }
         tag => return Err(format!("unknown record tag {tag:?}")),
     };

@@ -100,6 +100,7 @@ impl StoreState {
         match record {
             Record::RegisterCamera { name, slot_secs, .. } => {
                 if !slot_secs.is_finite() || *slot_secs <= 0.0 {
+                    // privid-analyzer: allow(f64-exactness) -- human-facing refusal message; the value is never re-parsed from this string
                     return Err(format!("camera {name}: non-positive slot resolution {slot_secs}"));
                 }
             }
@@ -219,7 +220,11 @@ impl StoreState {
                     }
                 }
                 for d in debits {
-                    let cam = self.cameras.get_mut(&d.camera).expect("validated above");
+                    let cam = self
+                        .cameras
+                        .get_mut(&d.camera)
+                        .ok_or_else(|| format!("admit record debits unknown camera {}", d.camera))?;
+                    // privid-analyzer: allow(panic-freedom) -- range validated against slots.len() in the pass above; a silent .get_mut skip here would under-debit
                     for s in &mut cam.slots[d.lo as usize..d.hi as usize] {
                         *s -= epsilon;
                     }
@@ -230,6 +235,7 @@ impl StoreState {
                 if *lo >= *hi || *hi as usize > cam.slots.len() {
                     return Err(format!("credit record for slots [{lo}, {hi}) of camera {camera}"));
                 }
+                // privid-analyzer: allow(panic-freedom) -- range validated against slots.len() two lines above
                 for s in &mut cam.slots[*lo as usize..*hi as usize] {
                     *s += epsilon;
                 }
@@ -259,7 +265,14 @@ impl StoreState {
             }
             Record::SlotValues { camera, offset, slots } => {
                 let cam = self.camera_mut(camera)?;
-                cam.slots[*offset as usize..*offset as usize + slots.len()].copy_from_slice(slots);
+                let lo = *offset as usize;
+                let have = cam.slots.len();
+                cam.slots
+                    .get_mut(lo..lo + slots.len())
+                    .ok_or_else(|| {
+                        format!("slots record covers [{lo}, {}) of camera {camera} which has {have} slots", lo + slots.len())
+                    })?
+                    .copy_from_slice(slots);
             }
             Record::ArmStanding { name, next_start_secs } => {
                 let st = self

@@ -222,6 +222,10 @@ struct Inner {
 /// cut from state that is — by construction — exactly what recovery would
 /// rebuild.
 pub struct WalStore {
+    /// Lock-order audit: `wal-inner` — a leaf in the declared global order
+    /// (analyzer.toml). Held across one append/checkpoint (including its
+    /// fsync) with nothing acquired inside it. The serving layer appends
+    /// while holding the admission gate and registry locks above it.
     inner: Mutex<Inner>,
     dir: PathBuf,
     fsync: FsyncPolicy,
@@ -304,8 +308,12 @@ impl WalStore {
                 torn(&mut report, &mut file)?;
                 break;
             }
-            let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes")) as usize;
-            let crc = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().expect("4 bytes"));
+            let Some((len, crc, len_field)) = header_at(&bytes, offset) else {
+                // Unreachable given the FRAME_HEADER check above, but a
+                // header the buffer cannot hold is by definition a torn tail.
+                torn(&mut report, &mut file)?;
+                break;
+            };
             if len == 0 && crc == 0 {
                 // Preallocated-but-unwritten zeros: a torn append.
                 torn(&mut report, &mut file)?;
@@ -325,10 +333,13 @@ impl WalStore {
                 torn(&mut report, &mut file)?;
                 break;
             }
-            let payload = &bytes[offset + FRAME_HEADER..offset + FRAME_HEADER + len];
+            let Some(payload) = bytes.get(offset + FRAME_HEADER..offset + FRAME_HEADER + len) else {
+                torn(&mut report, &mut file)?;
+                break;
+            };
             // The CRC covers the length field too: an in-range length flip is
             // caught here instead of misparsing the stream.
-            if crate::crc32::crc32_parts(&[&bytes[offset..offset + 4], payload]) != crc {
+            if crate::crc32::crc32_parts(&[len_field, payload]) != crc {
                 return Err(StoreError::ChecksumMismatch { offset: offset as u64 });
             }
             let (seq, record) = decode_payload(payload)
@@ -377,7 +388,7 @@ impl WalStore {
     /// mutation only **after** this returns `Ok` — that ordering is what the
     /// never-under-debit invariant rests on.
     pub fn append(&self, record: Record) -> Result<(), StoreError> {
-        let mut inner = self.inner.lock().expect("wal store lock poisoned");
+        let mut inner = self.inner.lock().expect("wal store lock poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
         if inner.wedged {
             return Err(StoreError::Io {
                 context: "appending a WAL record".into(),
@@ -413,7 +424,18 @@ impl WalStore {
             return Err(e);
         }
         inner.log_len += frame.len() as u64;
-        inner.state.apply(&record).expect("checked above");
+        if let Err(reason) = inner.state.apply(&record) {
+            // check() accepted the record but apply() refused it — the two
+            // disagree, and the frame is already durable, so every future
+            // recovery would refuse the log. Wedge the store (no further
+            // appends can be trusted) and surface a typed error instead of
+            // panicking mid-serve.
+            inner.wedged = true;
+            return Err(StoreError::InvalidRecord {
+                offset: 0,
+                reason: format!("record accepted by check but refused by apply: {reason}"),
+            });
+        }
         inner.next_seq = seq + 1;
         inner.records_since_snapshot += 1;
         if inner.records_since_snapshot >= self.snapshot_every {
@@ -426,18 +448,18 @@ impl WalStore {
     /// the next recovery's replay cost. Also invoked automatically every
     /// [`WalOptions::snapshot_every`] appends.
     pub fn checkpoint(&self) -> Result<(), StoreError> {
-        let mut inner = self.inner.lock().expect("wal store lock poisoned");
+        let mut inner = self.inner.lock().expect("wal store lock poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
         self.checkpoint_locked(&mut inner)
     }
 
     /// A copy of the shadow state (what recovery would rebuild right now).
     pub fn state(&self) -> StoreState {
-        self.inner.lock().expect("wal store lock poisoned").state.clone()
+        self.inner.lock().expect("wal store lock poisoned").state.clone() // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
     }
 
     /// The sequence number the next appended record will carry.
     pub fn next_seq(&self) -> u64 {
-        self.inner.lock().expect("wal store lock poisoned").next_seq
+        self.inner.lock().expect("wal store lock poisoned").next_seq // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
     }
 
     /// The store directory.
@@ -475,22 +497,33 @@ impl WalStore {
     }
 }
 
+/// Parse the frame header at `offset` without panicking: the payload length,
+/// the stored CRC, and the raw length field (the CRC covers it). `None` when
+/// the buffer cannot hold a full header — the caller classifies that (torn
+/// tail vs corrupt snapshot).
+fn header_at(bytes: &[u8], offset: usize) -> Option<(usize, u32, &[u8])> {
+    let len_field = bytes.get(offset..offset + 4)?;
+    let crc_field = bytes.get(offset + 4..offset + 8)?;
+    let len = u32::from_le_bytes(len_field.try_into().ok()?) as usize;
+    let crc = u32::from_le_bytes(crc_field.try_into().ok()?);
+    Some((len, crc, len_field))
+}
+
 /// Parse a snapshot file into `state`; returns its sequence watermark.
 fn load_snapshot(bytes: &[u8], state: &mut StoreState) -> Result<u64, StoreError> {
     let mut offset = 0usize;
     let mut last_seq = None;
     while offset < bytes.len() {
-        let remaining = bytes.len() - offset;
-        if remaining < FRAME_HEADER {
+        let Some((len, crc, len_field)) = header_at(bytes, offset) else {
             return Err(StoreError::SnapshotCorrupt { reason: format!("partial frame header at byte {offset}") });
-        }
-        let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes")) as usize;
-        let crc = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().expect("4 bytes"));
-        if len == 0 || len > MAX_PAYLOAD as usize || remaining < FRAME_HEADER + len {
+        };
+        if len == 0 || len > MAX_PAYLOAD as usize {
             return Err(StoreError::SnapshotCorrupt { reason: format!("truncated record at byte {offset}") });
         }
-        let payload = &bytes[offset + FRAME_HEADER..offset + FRAME_HEADER + len];
-        if crate::crc32::crc32_parts(&[&bytes[offset..offset + 4], payload]) != crc {
+        let Some(payload) = bytes.get(offset + FRAME_HEADER..offset + FRAME_HEADER + len) else {
+            return Err(StoreError::SnapshotCorrupt { reason: format!("truncated record at byte {offset}") });
+        };
+        if crate::crc32::crc32_parts(&[len_field, payload]) != crc {
             return Err(StoreError::SnapshotCorrupt { reason: format!("checksum mismatch at byte {offset}") });
         }
         let (_, record) = decode_payload(payload)

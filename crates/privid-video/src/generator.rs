@@ -346,7 +346,7 @@ impl SceneGenerator {
         let northbound = rng.gen_bool(cfg.northbound_fraction.clamp(0.0, 1.0));
 
         let trajectory = if lingers && !cfg.linger_regions.is_empty() {
-            let region = cfg.linger_regions[rng.gen_range(0..cfg.linger_regions.len())];
+            let region = cfg.linger_regions[rng.gen_range(0..cfg.linger_regions.len())]; // privid-analyzer: allow(panic-freedom) -- gen_range is bounded by the same len; emptiness checked in the condition above
             let rest = Point::new(
                 (region.0 + rng.gen_range(0.0..region.2)) * fw,
                 (region.1 + rng.gen_range(0.0..region.3)) * fh,
@@ -376,6 +376,7 @@ impl SceneGenerator {
         let attributes = if is_car {
             Attributes {
                 plate: format!("PLT{:06}", *next_id),
+                // privid-analyzer: allow(panic-freedom) -- gen_range is bounded by ALL.len()
                 color: Some(VehicleColor::ALL[rng.gen_range(0..VehicleColor::ALL.len())]),
                 speed_kmh: rng.gen_range(30.0..110.0),
                 moving_north,

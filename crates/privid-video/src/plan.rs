@@ -122,7 +122,7 @@ impl ChunkBuffer {
         let center_y = obs.bbox.center().y;
         match self.slots.get(&obs.object_id) {
             Some(&i) => {
-                let rec = &mut self.objects[i];
+                let rec = &mut self.objects[i]; // privid-analyzer: allow(panic-freedom) -- slots maps object ids to indices this struct itself pushed into objects
                 rec.last_seen = obs.timestamp;
                 rec.net_dy = center_y - rec.first_center_y;
             }
@@ -252,7 +252,7 @@ impl<'v> ChunkView<'v> {
         self.frames.iter().map(move |f| FrameView {
             index_in_chunk: f.index_in_chunk,
             timestamp: f.timestamp,
-            observations: &observations[f.obs_start..f.obs_end],
+            observations: &observations[f.obs_start..f.obs_end], // privid-analyzer: allow(panic-freedom) -- frame ranges are recorded as observations is appended; they never exceed its final length
         })
     }
 
@@ -293,6 +293,7 @@ impl<'v> ChunkView<'v> {
         buf.clear();
         for f in self.frames {
             let obs_start = buf.observations.len();
+            // privid-analyzer: allow(panic-freedom) -- frame ranges are recorded as observations is appended; they never exceed its final length
             for obs in &self.observations[f.obs_start..f.obs_end] {
                 if region.contains_point(obs.bbox.center()) {
                     buf.observations.push(*obs);
@@ -486,7 +487,7 @@ impl<'a> ChunkPlan<'a> {
 
     /// The time span of chunk `index`.
     pub fn span_of(&self, index: usize) -> TimeSpan {
-        self.spans[index]
+        self.spans[index] // privid-analyzer: allow(panic-freedom) -- documented contract: index < chunk_count(), upheld by the executor's chunk loop
     }
 
     /// The scene this plan splits.
@@ -501,7 +502,7 @@ impl<'a> ChunkPlan<'a> {
     /// allocation at steady state), and object attributes are referenced by
     /// scene index, never cloned.
     pub fn materialize_into<'v>(&'v self, index: usize, buf: &'v mut ChunkBuffer) -> ChunkView<'v> {
-        let span = self.spans[index];
+        let span = self.spans[index]; // privid-analyzer: allow(panic-freedom) -- documented contract: index < chunk_count(), upheld by the executor's chunk loop
         buf.clear();
         let dt = self.scene.frame_rate.frame_duration();
         let n_frames = (span.duration() / dt).ceil().max(1.0) as u64;
@@ -513,7 +514,7 @@ impl<'a> ChunkPlan<'a> {
             let obs_start = buf.observations.len();
             self.scene.observations_at_masked_into(t, self.mask, &mut buf.observations);
             for oi in obs_start..buf.observations.len() {
-                let obs = buf.observations[oi];
+                let obs = buf.observations[oi]; // privid-analyzer: allow(panic-freedom) -- oi ranges over obs_start..len() of the same buffer
                 let attr = match self.scene.object_index(obs.object_id) {
                     Some(i) => AttrSlot::Scene(i as u32),
                     None => AttrSlot::Unknown,

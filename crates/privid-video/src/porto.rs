@@ -131,7 +131,7 @@ impl PortoDataset {
                 }
             }
         }
-        visits.sort_by(|a, b| a.start_secs.partial_cmp(&b.start_secs).unwrap());
+        visits.sort_by(|a, b| a.start_secs.total_cmp(&b.start_secs));
         PortoDataset { config, visits, working_hours }
     }
 

@@ -175,8 +175,9 @@ impl Recording {
         // already-appended objects.
         let mut ids: Vec<ObjectId> = batch.objects.iter().map(|o| o.id).collect();
         ids.sort_unstable();
+        // privid-analyzer: allow(panic-freedom) -- windows(2) yields exactly-2-element slices
         if let Some(w) = ids.windows(2).find(|w| w[0] == w[1]) {
-            return Err(RecordingError::DuplicateObject(w[0]));
+            return Err(RecordingError::DuplicateObject(w[0])); // privid-analyzer: allow(panic-freedom) -- windows(2) yields exactly-2-element slices
         }
         let new_edge = edge.add_secs(batch.duration_secs);
         self.scene.extend(new_edge, batch.objects);

@@ -15,10 +15,10 @@ fn main() {
     // and the privacy policy. The budget ledger starts empty and grows with
     // the timeline — every appended slot is born with the policy's full ε.
     let service = QueryService::new().with_parallelism(Parallelism::Auto);
-    service.register_live_camera("lobby", FrameRate::new(10.0), FrameSize::new(1280, 720), PrivacyPolicy::new(60.0, 2, 10.0));
+    service.register_live_camera("lobby", FrameRate::new(10.0), FrameSize::new(1280, 720), PrivacyPolicy::new(60.0, 2, 10.0)).expect("camera/processor registration must succeed");
     service.register_processor("person_counter", || {
         Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>
-    });
+    }).expect("camera/processor registration must succeed");
 
     // --- Analyst side ------------------------------------------------------------------
     // A standing query re-runs over each newly completed 300 s window,

@@ -48,11 +48,11 @@ fn main() {
     let unmasked_rho = analysis.max_before_secs * 1.1;
     let masked_rho = analysis.max_after_secs * 1.1;
     let mut privid = PrividSystem::new(5);
-    privid.register_camera("campus", scene, PrivacyPolicy::new(unmasked_rho, 2, 10.0));
+    privid.register_camera("campus", scene, PrivacyPolicy::new(unmasked_rho, 2, 10.0)).expect("camera/processor registration must succeed");
     privid.register_mask("campus", "linger_mask", MaskPolicy::new(mask, masked_rho)).unwrap();
     privid.register_processor("person_counter", || {
         Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>
-    });
+    }).expect("camera/processor registration must succeed");
 
     let base = "
         SPLIT campus BEGIN 0 END 30 min BY TIME 5 sec STRIDE 0 sec {MASK} INTO chunks;

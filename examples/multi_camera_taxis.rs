@@ -18,9 +18,9 @@ fn main() {
         // Policy ρ per camera: the longest single visit (plus margin), as the
         // video owner would estimate from historical footage.
         let rho = dataset.max_visit_duration(cam) * 1.2;
-        privid.register_camera(format!("porto{cam}"), scene, PrivacyPolicy::new(rho.max(30.0), 4, 20.0));
+        privid.register_camera(format!("porto{cam}"), scene, PrivacyPolicy::new(rho.max(30.0), 4, 20.0)).expect("camera/processor registration must succeed");
     }
-    privid.register_processor("taxi_model", || Box::new(TaxiShiftProcessor) as Box<dyn ChunkProcessor>);
+    privid.register_processor("taxi_model", || Box::new(TaxiShiftProcessor) as Box<dyn ChunkProcessor>).expect("camera/processor registration must succeed");
 
     // --- Q5-style query: taxis seen by BOTH camera 0 and camera 1 on the same day --------
     let join_query = r#"

@@ -18,7 +18,7 @@ fn main() {
     // one worker per core); results are identical at any worker count.
     let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(1.0)).generate();
     let mut privid = PrividSystem::new(42).with_parallelism(Parallelism::Auto);
-    privid.register_camera("campus", scene, PrivacyPolicy::new(90.0, 2, 10.0));
+    privid.register_camera("campus", scene, PrivacyPolicy::new(90.0, 2, 10.0)).expect("camera/processor registration must succeed");
 
     // --- Analyst side ------------------------------------------------------------------
     // The analyst supplies a chunk processor ("executable") that emits one row
@@ -26,7 +26,7 @@ fn main() {
     // counts those rows over a 30-minute window.
     privid.register_processor("person_counter", || {
         Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>
-    });
+    }).expect("camera/processor registration must succeed");
 
     let query = "
         SPLIT campus BEGIN 0 END 30 min BY TIME 5 sec STRIDE 0 sec INTO chunks;

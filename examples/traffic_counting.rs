@@ -14,8 +14,8 @@ fn main() {
     let mut privid = PrividSystem::new(7);
     // The highway policy: appearances up to 5 minutes (parked cars are handled
     // by masks in the full evaluation), K = 2.
-    privid.register_camera("camA", scene, PrivacyPolicy::new(300.0, 2, 10.0));
-    privid.register_processor("model.py", || Box::new(CarTableProcessor) as Box<dyn ChunkProcessor>);
+    privid.register_camera("camA", scene, PrivacyPolicy::new(300.0, 2, 10.0)).expect("camera/processor registration must succeed");
+    privid.register_processor("model.py", || Box::new(CarTableProcessor) as Box<dyn ChunkProcessor>).expect("camera/processor registration must succeed");
 
     // Listing 1, adapted to offset timestamps: one hour of video, 5 s chunks.
     let query = r#"

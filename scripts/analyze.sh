@@ -1,0 +1,9 @@
+#!/usr/bin/env sh
+# Workspace-wide privacy & concurrency lint (privid-analyzer).
+#
+# Walks every .rs file and enforces the four rules configured in
+# analyzer.toml: dp-taint, lock-order, panic-freedom, f64-exactness.
+# Exit 0 = clean; 1 = unsuppressed findings; 2 = usage/config error.
+set -eu
+cd "$(dirname "$0")/.."
+exec cargo run -q --release -p privid-analyzer -- check "$@"

@@ -11,6 +11,8 @@
 //! `struct`/`enum` keyword — no `syn` available offline. Generic types are
 //! not supported (the workspace has none); they get the old no-op expansion.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{TokenStream, TokenTree};
 
 /// Finds the name of the derived type, or `None` for shapes this minimal

@@ -43,10 +43,10 @@ fn batches_of(scene: &Scene) -> Vec<FrameBatch> {
 }
 
 fn register(svc: &QueryService, scene: &Scene) {
-    svc.register_live_camera("campus", scene.frame_rate, scene.frame_size, policy());
+    svc.register_live_camera("campus", scene.frame_rate, scene.frame_size, policy()).expect("camera/processor registration must succeed");
     svc.register_processor("person_counter", || {
         Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>
-    });
+    }).expect("camera/processor registration must succeed");
 }
 
 fn window_query(begin: f64, end: f64, epsilon: f64) -> String {

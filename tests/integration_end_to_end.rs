@@ -9,10 +9,10 @@ use privid::{
 fn campus_system(hours: f64, seed: u64) -> PrividSystem {
     let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(hours)).generate();
     let mut sys = PrividSystem::new(seed);
-    sys.register_camera("campus", scene, PrivacyPolicy::new(90.0, 2, 50.0));
-    sys.register_processor("person_counter", || Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>);
-    sys.register_processor("tree_bloom", || Box::new(TreeBloomProcessor) as Box<dyn ChunkProcessor>);
-    sys.register_processor("car_table", || Box::new(CarTableProcessor) as Box<dyn ChunkProcessor>);
+    sys.register_camera("campus", scene, PrivacyPolicy::new(90.0, 2, 50.0)).expect("camera/processor registration must succeed");
+    sys.register_processor("person_counter", || Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>).expect("camera/processor registration must succeed");
+    sys.register_processor("tree_bloom", || Box::new(TreeBloomProcessor) as Box<dyn ChunkProcessor>).expect("camera/processor registration must succeed");
+    sys.register_processor("car_table", || Box::new(CarTableProcessor) as Box<dyn ChunkProcessor>).expect("camera/processor registration must succeed");
     sys
 }
 
@@ -72,8 +72,8 @@ fn non_private_object_query_reaches_high_accuracy() {
     // per-release noise is small relative to the percentage scale.
     let scene = SceneGenerator::new(SceneConfig::urban().with_duration_hours(0.5).with_arrival_scale(0.05)).generate();
     let mut sys = PrividSystem::new(3);
-    sys.register_camera("urban", scene, PrivacyPolicy::new(60.0, 2, 10.0));
-    sys.register_processor("tree_bloom", || Box::new(TreeBloomProcessor) as Box<dyn ChunkProcessor>);
+    sys.register_camera("urban", scene, PrivacyPolicy::new(60.0, 2, 10.0)).expect("camera/processor registration must succeed");
+    sys.register_processor("tree_bloom", || Box::new(TreeBloomProcessor) as Box<dyn ChunkProcessor>).expect("camera/processor registration must succeed");
     let result = sys
         .execute_text(
             "SPLIT urban BEGIN 0 END 30 min BY TIME 1 sec STRIDE 0 sec INTO chunks;

@@ -45,7 +45,7 @@ fn final_scene(scene: &Scene, batches: &[FrameBatch]) -> Scene {
 fn register_processor(svc: &QueryService) {
     svc.register_processor("person_counter", || {
         Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>
-    });
+    }).expect("camera/processor registration must succeed");
 }
 
 fn live_service() -> (QueryService, Vec<FrameBatch>, Scene) {
@@ -53,14 +53,14 @@ fn live_service() -> (QueryService, Vec<FrameBatch>, Scene) {
     let batches = batches_of(&generated, 6);
     let finale = final_scene(&generated, &batches);
     let svc = QueryService::new().with_parallelism(Parallelism::Fixed(1));
-    svc.register_live_camera("campus", generated.frame_rate, generated.frame_size, policy());
+    svc.register_live_camera("campus", generated.frame_rate, generated.frame_size, policy()).expect("camera/processor registration must succeed");
     register_processor(&svc);
     (svc, batches, finale)
 }
 
 fn batch_service(finale: &Scene) -> QueryService {
     let svc = QueryService::new().with_parallelism(Parallelism::Fixed(1));
-    svc.register_camera("campus", finale.clone(), policy());
+    svc.register_camera("campus", finale.clone(), policy()).expect("camera/processor registration must succeed");
     register_processor(&svc);
     svc
 }

@@ -20,8 +20,8 @@ fn cv_estimated_policy_feeds_the_system_and_protects_everyone() {
     assert!(estimated.rho_secs >= gt_max, "estimated ρ {} must cover ground truth {gt_max}", estimated.rho_secs);
 
     let mut sys = PrividSystem::new(1);
-    sys.register_camera("campus", scene, PrivacyPolicy::new(estimated.rho_secs, estimated.k, 10.0));
-    sys.register_processor("proc", || Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>);
+    sys.register_camera("campus", scene, PrivacyPolicy::new(estimated.rho_secs, estimated.k, 10.0)).expect("camera/processor registration must succeed");
+    sys.register_processor("proc", || Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>).expect("camera/processor registration must succeed");
     let result = sys
         .execute_text(
             "SPLIT campus BEGIN 0 END 15 min BY TIME 10 sec STRIDE 0 sec INTO c;
@@ -55,9 +55,9 @@ fn masking_reduces_rho_and_noise_while_keeping_most_identities() {
     let unmasked_rho = (unmasked_est.max_duration_secs).max(1.0);
     let masked_rho = (masked_est.max_duration_secs).min(unmasked_rho);
     let mut sys = PrividSystem::new(2);
-    sys.register_camera("campus", scene, PrivacyPolicy::new(unmasked_rho, 2, 10.0));
+    sys.register_camera("campus", scene, PrivacyPolicy::new(unmasked_rho, 2, 10.0)).expect("camera/processor registration must succeed");
     sys.register_mask("campus", "m", MaskPolicy::new(mask, masked_rho)).unwrap();
-    sys.register_processor("proc", || Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>);
+    sys.register_processor("proc", || Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>).expect("camera/processor registration must succeed");
     let q = "SPLIT campus BEGIN 0 END 20 min BY TIME 5 sec STRIDE 0 sec {M} INTO c;
              PROCESS c USING proc TIMEOUT 1 sec PRODUCING 20 ROWS WITH SCHEMA (count:NUMBER=0) INTO t;
              SELECT COUNT(*) FROM t CONSUMING 1.0;";
@@ -84,8 +84,8 @@ fn spatial_splitting_reduces_per_region_output_range() {
     assert!(report.reduction_factor > 1.0);
 
     let mut sys = PrividSystem::new(3);
-    sys.register_camera("highway", scene, PrivacyPolicy::new(120.0, 2, 10.0));
-    sys.register_processor("proc", || Box::new(UniqueEntrantProcessor::cars()) as Box<dyn ChunkProcessor>);
+    sys.register_camera("highway", scene, PrivacyPolicy::new(120.0, 2, 10.0)).expect("camera/processor registration must succeed");
+    sys.register_processor("proc", || Box::new(UniqueEntrantProcessor::cars()) as Box<dyn ChunkProcessor>).expect("camera/processor registration must succeed");
     // Hard boundary: a 5-second chunk is allowed with BY REGION.
     let result = sys
         .execute_text(

@@ -20,10 +20,10 @@ fn scene() -> Scene {
 
 fn system(seed: u64, parallelism: Parallelism) -> PrividSystem {
     let mut sys = PrividSystem::new(seed).with_parallelism(parallelism);
-    sys.register_camera("campus", scene(), PrivacyPolicy::new(60.0, 2, 20.0));
+    sys.register_camera("campus", scene(), PrivacyPolicy::new(60.0, 2, 20.0)).expect("camera/processor registration must succeed");
     sys.register_processor("person_counter", || {
         Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>
-    });
+    }).expect("camera/processor registration must succeed");
     sys
 }
 

@@ -15,7 +15,7 @@ const COUNT_QUERY: &str = "
 
 fn system_with(scene: privid::Scene, seed: u64, processor: &'static str) -> PrividSystem {
     let mut sys = PrividSystem::new(seed);
-    sys.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 10.0));
+    sys.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 10.0)).expect("camera/processor registration must succeed");
     match processor {
         "flood" => sys.register_processor("proc", || Box::new(RowFloodProcessor { rows: 10_000 }) as Box<dyn ChunkProcessor>),
         "slow" => sys.register_processor("proc", || {
@@ -23,6 +23,7 @@ fn system_with(scene: privid::Scene, seed: u64, processor: &'static str) -> Priv
         }),
         _ => sys.register_processor("proc", || Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>),
     }
+    .expect("camera/processor registration must succeed");
     sys
 }
 

@@ -37,8 +37,8 @@ fn listing1_schema_roundtrip() {
 fn interface_restrictions_are_enforced_end_to_end() {
     let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(0.1)).generate();
     let mut sys = PrividSystem::new(1);
-    sys.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 10.0));
-    sys.register_processor("proc", || Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>);
+    sys.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 10.0)).expect("camera/processor registration must succeed");
+    sys.register_processor("proc", || Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>).expect("camera/processor registration must succeed");
 
     // SUM without a declared range is refused by the sensitivity calculator.
     let missing_range = "
@@ -67,8 +67,8 @@ fn explicit_keys_control_the_number_of_releases_not_the_data() {
     // released values never leaks which keys exist (the [58] requirement).
     let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(0.1)).generate();
     let mut sys = PrividSystem::new(2);
-    sys.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 10.0));
-    sys.register_processor("proc", || Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>);
+    sys.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 10.0)).expect("camera/processor registration must succeed");
+    sys.register_processor("proc", || Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>).expect("camera/processor registration must succeed");
     let q = r#"
         SPLIT campus BEGIN 0 END 5 min BY TIME 10 sec STRIDE 0 sec INTO c;
         PROCESS c USING proc TIMEOUT 1 sec PRODUCING 5 ROWS WITH SCHEMA (count:NUMBER=0) INTO t;

@@ -47,10 +47,10 @@ fn service() -> QueryService {
     // Fixed(2) keeps total thread fan-out (analysts × engine workers) sane on
     // small CI machines; determinism holds at any setting.
     let service = QueryService::new().with_parallelism(Parallelism::Fixed(2));
-    service.register_camera("campus", scene(), PrivacyPolicy::new(60.0, 2, 20.0));
+    service.register_camera("campus", scene(), PrivacyPolicy::new(60.0, 2, 20.0)).expect("camera/processor registration must succeed");
     service.register_processor("person_counter", || {
         Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>
-    });
+    }).expect("camera/processor registration must succeed");
     service
 }
 
@@ -120,10 +120,10 @@ fn contended_budget_admits_each_epsilon_at_most_once() {
     // (Which four is arrival order — like a real deployment — but accounting
     // must be exact regardless.)
     let service = QueryService::new().with_parallelism(Parallelism::Fixed(1));
-    service.register_camera("campus", scene(), PrivacyPolicy::new(60.0, 2, 2.0));
+    service.register_camera("campus", scene(), PrivacyPolicy::new(60.0, 2, 2.0)).expect("camera/processor registration must succeed");
     service.register_processor("person_counter", || {
         Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>
-    });
+    }).expect("camera/processor registration must succeed");
     let query = format!("{SHARED_PROLOG} SELECT COUNT(*) FROM people CONSUMING 0.5;");
     let outcomes: Vec<Result<QueryResult, PrividError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..8)
@@ -150,10 +150,10 @@ fn single_analyst_facade_and_service_share_semantics() {
     // a fresh noise stream are the same computation.
     let query = format!("{SHARED_PROLOG} SELECT COUNT(*) FROM people CONSUMING 0.5;");
     let mut sys = privid::PrividSystem::new(42).with_parallelism(Parallelism::Fixed(2));
-    sys.register_camera("campus", scene(), PrivacyPolicy::new(60.0, 2, 20.0));
+    sys.register_camera("campus", scene(), PrivacyPolicy::new(60.0, 2, 20.0)).expect("camera/processor registration must succeed");
     sys.register_processor("person_counter", || {
         Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>
-    });
+    }).expect("camera/processor registration must succeed");
     let via_system = sys.execute_text(&query).unwrap();
     let via_service = service().execute_text(42, &query).unwrap();
     assert_eq!(via_system, via_service, "first query of a seed-42 system == seed-42 service session");
