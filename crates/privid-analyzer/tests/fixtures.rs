@@ -232,6 +232,43 @@ fn injected_violation_fails_a_workspace_run() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The committed analyzer.toml must keep the storage `Vfs` layer inside the
+/// panic-freedom surface: `FaultVfs` and friends live on the serving path
+/// (every WAL byte flows through them), so a stray `unwrap` there is a
+/// production panic, not test scaffolding. Guards against the coverage
+/// quietly shrinking when storage modules move.
+#[test]
+fn committed_config_covers_storage_vfs_modules_for_panic_freedom() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root above crates/privid-analyzer");
+    let toml = std::fs::read_to_string(root.join("analyzer.toml")).expect("committed analyzer.toml");
+    let cfg = Config::parse(&toml).expect("committed analyzer.toml parses");
+
+    // An unwrap in non-test vfs code is flagged under the committed config…
+    let dirty = "fn decide(&self) { self.plan.lock().unwrap(); }\n";
+    let (findings, _) = check_source("crates/privid-store/src/vfs.rs", dirty, &cfg);
+    assert!(
+        findings.iter().any(|d| d.rule == RuleId::PanicFreedom),
+        "committed config no longer covers privid-store vfs code: {findings:?}"
+    );
+
+    // …while the module's #[cfg(test)] fixtures stay exempt.
+    let test_only = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { plan().lock().unwrap(); }\n}\n";
+    let (findings, _) = check_source("crates/privid-store/src/vfs.rs", test_only, &cfg);
+    assert!(findings.is_empty(), "{findings:?}");
+
+    // The fault-plan mutex is part of the declared lock order (leaf rank):
+    // nesting another declared lock under it must be an inversion.
+    let nested = "fn f(&self) {\n    let p = self.plan.lock();\n    let i = self.inner.lock();\n}\n";
+    let (findings, _) = check_source("crates/privid-store/src/vfs.rs", nested, &cfg);
+    assert!(
+        findings.iter().any(|d| d.rule == RuleId::LockOrder),
+        "fault-plan must be a leaf in the committed lock order: {findings:?}"
+    );
+}
+
 // ---- the workspace self-test ----------------------------------------------
 
 /// The analyzer, run over this repository with the committed analyzer.toml,

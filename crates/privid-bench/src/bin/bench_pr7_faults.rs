@@ -1,0 +1,184 @@
+//! Machine-readable fault-tolerance benchmark snapshot.
+//!
+//! PR 7 pushed every filesystem touch of the WAL behind the [`Vfs`] trait so
+//! faults can be injected; this bench proves the indirection is free and
+//! prices the new degraded-mode machinery:
+//!
+//! 1. `admissions` — journaled admission throughput (check → WAL append →
+//!    debit) at `fsync=Never` and `fsync=Always`, each through the direct
+//!    [`StdVfs`] and through a disarmed (empty-plan) [`FaultVfs`] decorator.
+//!    `StdVfs` numbers are directly comparable to `BENCH_PR5.json` (which
+//!    predates the indirection): the `Box<dyn VfsFile>` hop should cost ≈0.
+//!    The `FaultVfs` passthrough ratio is the price a chaos harness pays.
+//! 2. `retry_path` — mean `append_frames` latency on a durable service when
+//!    every append's first journal write fails with a scripted transient
+//!    EIO, versus a clean run: the bounded-backoff retry's added latency.
+//!
+//! Usage: `bench_pr7_faults [--smoke] [--out PATH]` (default
+//! `BENCH_PR7.json` in the current directory; CI runs `--smoke --out /dev/null`).
+
+use privid::store::DebitRange;
+use privid::{
+    AdmissionController, AdmissionJournal, AdmissionRequest, BudgetLedger, Durability, FaultKind, FaultOp, FaultVfs,
+    FrameBatch, FrameRate, FrameSize, FsyncPolicy, Parallelism, PrivacyPolicy, QueryService, Record, StdVfs,
+    StoreError, StoreRetryPolicy, TimeSpan, Vfs, WalOptions, WalStore,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const LEDGER_SECS: f64 = 100_000.0;
+const WINDOW_SECS: f64 = 10.0;
+const RETRY_BACKOFF_MS: u64 = 1;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("privid-bench-pr7-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The serving layer's journal shape (same as `bench_pr5_durability`, so the
+/// throughput numbers stay comparable PR over PR).
+struct Journal<'a> {
+    store: &'a WalStore,
+}
+
+impl AdmissionJournal for Journal<'_> {
+    fn record_admit(&self, requests: &[AdmissionRequest<'_>], epsilon: f64) -> Result<(), StoreError> {
+        let mut debits = Vec::with_capacity(requests.len());
+        for r in requests {
+            let (lo, hi) = r.ledger.debit_slot_range(&r.window).expect("checked window resolves");
+            debits.push(DebitRange { camera: "cam".into(), lo: lo as u64, hi: hi as u64 });
+        }
+        self.store.append(Record::Admit { epsilon, debits })
+    }
+    fn record_rollback(&self, _: &[AdmissionRequest<'_>], _: usize, _: f64) {}
+}
+
+fn register_cam(store: &WalStore) {
+    store
+        .append(Record::RegisterCamera {
+            name: "cam".into(),
+            generation: 0,
+            live: false,
+            slot_secs: 1.0,
+            duration_secs: LEDGER_SECS,
+            initial_epsilon: 1e9,
+            rho_secs: 30.0,
+            k: 2,
+        })
+        .expect("camera registration journals");
+}
+
+/// Journaled admissions per second through a store opened over `vfs`.
+fn admissions_per_sec(n: usize, fsync: FsyncPolicy, vfs: Arc<dyn Vfs>) -> f64 {
+    let dir = temp_dir("adm");
+    let (store, _) = WalStore::open_with_vfs(&dir, fsync, WalOptions { snapshot_every: u64::MAX }, vfs).unwrap();
+    register_cam(&store);
+    let ledger = BudgetLedger::new(LEDGER_SECS, 1e9);
+    let controller = AdmissionController::new();
+    let journal = Journal { store: &store };
+    let windows = (LEDGER_SECS / WINDOW_SECS) as usize;
+    let start = Instant::now();
+    for i in 0..n {
+        let begin = ((i % windows) as f64) * WINDOW_SECS;
+        let requests =
+            [AdmissionRequest { ledger: &ledger, window: TimeSpan::between_secs(begin, begin + WINDOW_SECS), rho_margin: 30.0 }];
+        controller
+            .admit_journaled(&requests, 1e-6, Some(&journal as &dyn AdmissionJournal))
+            .expect("bench admission admitted");
+    }
+    let rate = n as f64 / start.elapsed().as_secs_f64();
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    rate
+}
+
+/// Mean `append_frames` latency (µs) on a durable service; with `faulted`,
+/// every append's first journal write fails with a scripted transient EIO so
+/// each one travels the bounded-backoff retry path exactly once.
+fn append_latency_us(n: usize, faulted: bool) -> f64 {
+    let dir = temp_dir(if faulted { "retry" } else { "clean" });
+    let fault = FaultVfs::over_std();
+    let svc = QueryService::builder()
+        .parallelism(Parallelism::Fixed(1))
+        .durability(Durability::wal(&dir, FsyncPolicy::Never))
+        .storage_vfs(fault.clone())
+        .append_retry(StoreRetryPolicy { max_retries: 3, base_backoff: Duration::from_millis(RETRY_BACKOFF_MS) })
+        .build()
+        .expect("durable service builds");
+    svc.register_live_camera("cam", FrameRate::new(1.0), FrameSize::new(8, 8), PrivacyPolicy::new(10.0, 2, 1e9))
+        .expect("registration journals"); // journal write #1
+    if faulted {
+        // Appends alternate fault-then-retry: write 2+2k is append k's first
+        // attempt (scripted EIO), write 3+2k its successful retry.
+        for k in 0..n as u64 {
+            fault.fail_nth(FaultOp::Write, 2 + 2 * k, FaultKind::Eio);
+        }
+    }
+    let start = Instant::now();
+    for _ in 0..n {
+        svc.append_frames("cam", FrameBatch::empty(1.0)).expect("append lands, retried if faulted");
+    }
+    let total = start.elapsed();
+    if faulted {
+        assert_eq!(fault.injected(), n as u64, "every append must have travelled the retry path once");
+    }
+    drop(svc);
+    let _ = std::fs::remove_dir_all(&dir);
+    total.as_secs_f64() * 1e6 / n as f64
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR7.json".to_string());
+
+    let (n_never, n_always, n_retry) = if smoke { (2_000, 50, 50) } else { (20_000, 300, 200) };
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    eprintln!("bench_pr7_faults: {n_never}/{n_always} admissions, {n_retry} retried appends, {cores} core(s)");
+
+    // ---- Vfs indirection: StdVfs vs disarmed FaultVfs, both fsync levels ----
+    // Throwaway warmup: the first store pays page-cache and allocator
+    // cold-start that would otherwise bias whichever mode runs first.
+    let _ = admissions_per_sec(n_never / 4, FsyncPolicy::Never, Arc::new(StdVfs));
+    let never_std = admissions_per_sec(n_never, FsyncPolicy::Never, Arc::new(StdVfs));
+    let never_fault = admissions_per_sec(n_never, FsyncPolicy::Never, FaultVfs::over_std() as Arc<dyn Vfs>);
+    let always_std = admissions_per_sec(n_always, FsyncPolicy::Always, Arc::new(StdVfs));
+    let always_fault = admissions_per_sec(n_always, FsyncPolicy::Always, FaultVfs::over_std() as Arc<dyn Vfs>);
+
+    // ---- retry path: one scripted transient fault per append ----
+    let clean_us = append_latency_us(n_retry, false);
+    let retried_us = append_latency_us(n_retry, true);
+
+    let json = format!(
+        "{{\n  \"pr\": 7,\n  \"bench\": \"storage vfs indirection + fault retry path\",\n  \
+         \"available_cores\": {cores},\n  \
+         \"config\": {{\"ledger_secs\": {LEDGER_SECS}, \"window_secs\": {WINDOW_SECS}, \"smoke\": {smoke}}},\n  \
+         \"admissions\": [\n    \
+         {{\"mode\": \"wal_fsync_never_stdvfs\", \"iterations\": {n_never}, \"admissions_per_sec\": {never_std:.0}}},\n    \
+         {{\"mode\": \"wal_fsync_never_faultvfs_passthrough\", \"iterations\": {n_never}, \"admissions_per_sec\": {never_fault:.0}}},\n    \
+         {{\"mode\": \"wal_fsync_always_stdvfs\", \"iterations\": {n_always}, \"admissions_per_sec\": {always_std:.0}}},\n    \
+         {{\"mode\": \"wal_fsync_always_faultvfs_passthrough\", \"iterations\": {n_always}, \"admissions_per_sec\": {always_fault:.0}}}\n  ],\n  \
+         \"overheads\": {{\"faultvfs_passthrough_vs_std_never\": {:.3}, \"faultvfs_passthrough_vs_std_always\": {:.3}}},\n  \
+         \"retry_path\": {{\"appends\": {n_retry}, \"clean_mean_us\": {clean_us:.1}, \
+         \"one_transient_fault_mean_us\": {retried_us:.1}, \"added_latency_us\": {:.1}, \
+         \"retry_policy\": {{\"max_retries\": 3, \"base_backoff_ms\": {RETRY_BACKOFF_MS}}}}}\n}}\n",
+        never_std / never_fault.max(1e-9),
+        always_std / always_fault.max(1e-9),
+        retried_us - clean_us,
+    );
+
+    if out_path == "/dev/null" {
+        print!("{json}");
+    } else {
+        std::fs::write(&out_path, &json).expect("write bench snapshot");
+        eprintln!("bench_pr7_faults: wrote {out_path}");
+        print!("{json}");
+    }
+}

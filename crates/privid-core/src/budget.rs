@@ -136,6 +136,33 @@ impl BudgetLedger {
         }
     }
 
+    /// Reconcile this live ledger against recovered durable state after a
+    /// supervised store recovery ([`crate::QueryService::recover_store`]):
+    /// take the element-wise **minimum** of remaining budget and the
+    /// **maximum** of the two timelines.
+    ///
+    /// The durable shadow can sit on either side of memory after a wedge — an
+    /// append that survived a failed fsync makes it *more* debited; a lost
+    /// `Credit` rollback record does the same from the other direction — and
+    /// in every case the safe merge is the one that can only *reduce*
+    /// remaining ε, never re-mint it. Timelines are monotonic high-watermarks
+    /// on both sides, so the max can never resurrect pre-edge budget either.
+    pub fn reconcile(&self, durable_slots: &[f64], durable_duration_secs: Seconds) {
+        let mut state = self.state.lock().expect("budget ledger lock poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+        if durable_slots.len() > state.slots.len() {
+            // Slots the durable log knows about that memory has not minted
+            // yet: born at the initial budget, then immediately min-merged
+            // with their durable remainder below.
+            state.slots.resize(durable_slots.len(), self.initial);
+        }
+        for (slot, durable) in state.slots.iter_mut().zip(durable_slots) {
+            if *durable < *slot {
+                *slot = *durable;
+            }
+        }
+        state.duration_secs = state.duration_secs.max(durable_duration_secs.max(0.0));
+    }
+
     /// The exact per-slot remaining budgets (a consistent copy). Recovery
     /// proofs compare this bit-for-bit against the durable shadow state.
     pub fn slots_snapshot(&self) -> Vec<f64> {

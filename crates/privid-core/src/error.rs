@@ -59,6 +59,19 @@ pub enum PrividError {
         /// The camera's frame duration (the maximum allowed).
         frame_secs: f64,
     },
+    /// The camera's durability journal is unavailable (its WAL is wedged or
+    /// its ledger awaits reconciliation), so new admissions and live-edge
+    /// extends on this camera are refused: ε must never be debited without a
+    /// journaled record. **Retryable** after a supervised
+    /// [`crate::QueryService::recover_store`] — and scoped to this camera;
+    /// closed-window reads keep serving from the adopted in-memory ledger,
+    /// and other cameras are unaffected.
+    CameraQuarantined {
+        /// The quarantined camera.
+        camera: String,
+        /// Why it was quarantined.
+        reason: String,
+    },
     /// An error from the query layer (parse, validation, sensitivity).
     Query(QueryError),
     /// The durability store failed (journal append, recovery, corruption).
@@ -67,6 +80,22 @@ pub enum PrividError {
     Store(StoreError),
     /// The query structure is invalid (e.g. SELECT references an undefined table).
     Invalid(String),
+}
+
+impl PrividError {
+    /// True for failures where the identical request may later succeed with
+    /// no action by the analyst: footage that does not exist *yet*
+    /// ([`PrividError::BeyondLiveEdge`]), a quarantined camera awaiting
+    /// supervised recovery ([`PrividError::CameraQuarantined`]), and
+    /// transient store I/O errors. Budget exhaustion and corruption refusals
+    /// are deliberately *not* retryable.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            PrividError::BeyondLiveEdge { .. } | PrividError::CameraQuarantined { .. } => true,
+            PrividError::Store(e) => e.is_transient(),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for PrividError {
@@ -91,6 +120,10 @@ impl fmt::Display for PrividError {
             PrividError::SoftBoundaryChunkTooLarge { chunk_secs, frame_secs } => write!(
                 f,
                 "spatial splitting over soft boundaries requires chunks of one frame ({frame_secs} s), got {chunk_secs} s"
+            ),
+            PrividError::CameraQuarantined { camera, reason } => write!(
+                f,
+                "camera {camera} is quarantined ({reason}); admissions resume after supervised recovery"
             ),
             PrividError::Query(e) => write!(f, "query error: {e}"),
             PrividError::Store(e) => write!(f, "durability error: {e}"),

@@ -1,0 +1,113 @@
+//! Per-camera health states for storage-fault degradation.
+//!
+//! A durability failure on one camera's journal must not take down the whole
+//! service: the health state machine scopes the blast radius.
+//!
+//! ```text
+//!            transient append failure          wedge / unreconciled rollback
+//! Healthy ─────────────────────────► Degraded ─────────────────────────────┐
+//!    ▲  ▲      (retries exhausted)       │                                 ▼
+//!    │  └────────────────────────────────┘ (next success)           Quarantined
+//!    │                                                                     │
+//!    └──────────────── supervised QueryService::recover_store ─────────────┘
+//! ```
+//!
+//! * **Healthy** — admissions and live-edge extends proceed normally.
+//! * **Degraded** — the last journaled operation failed transiently even
+//!   after bounded retries. The camera still *accepts* new operations (each
+//!   gets its own retry budget), the state is advisory: operators should look
+//!   at the disk. Any subsequent success returns the camera to `Healthy`.
+//! * **Quarantined** — the journal can no longer accept records for this
+//!   camera (its WAL is wedged, or a best-effort `Credit` rollback was lost
+//!   and the durable ledger awaits reconciliation). New admissions and
+//!   live-edge extends are **refused** with the retryable
+//!   [`crate::PrividError::CameraQuarantined`] — ε must never be debited
+//!   without a journaled record — while closed-window reads keep serving from
+//!   the adopted in-memory ledger. Only a supervised
+//!   [`crate::QueryService::recover_store`] clears quarantine.
+//!
+//! The states are deliberately one-way ratchets within a failure episode:
+//! `Degraded` never escalates to `Quarantined` on its own (only a wedge
+//! does), and `Quarantined` never self-heals (durability was violated once;
+//! resuming without re-reading the log could repeat it silently).
+
+use std::time::Duration;
+
+/// The health of one camera's durability path. See the module docs for the
+/// state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CameraHealth {
+    /// The journal is accepting and acknowledging this camera's records.
+    Healthy,
+    /// The last journaled operation failed transiently after bounded retries.
+    /// Advisory: new operations are still accepted (and re-tried).
+    Degraded {
+        /// The store error text that exhausted its retries.
+        reason: String,
+    },
+    /// The journal cannot accept records for this camera; admissions and
+    /// extends are refused until a supervised recovery.
+    Quarantined {
+        /// Why the camera was quarantined.
+        reason: String,
+    },
+}
+
+impl CameraHealth {
+    /// True when new admissions and live-edge extends must be refused.
+    pub fn refuses_admissions(&self) -> bool {
+        matches!(self, CameraHealth::Quarantined { .. })
+    }
+}
+
+/// Bounded exponential backoff for transient journal append failures during
+/// live ingestion: retry up to `max_retries` times, sleeping
+/// `base_backoff * 2^attempt` (capped at [`StoreRetryPolicy::MAX_BACKOFF`])
+/// between attempts, then escalate to the caller with the camera marked
+/// [`CameraHealth::Degraded`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreRetryPolicy {
+    /// Retries after the first failure (0 disables retrying).
+    pub max_retries: u32,
+    /// Sleep before the first retry; doubles per attempt.
+    pub base_backoff: Duration,
+}
+
+impl StoreRetryPolicy {
+    /// Ceiling on a single backoff sleep regardless of attempt count, so a
+    /// misconfigured policy cannot stall an ingestion thread for minutes.
+    pub const MAX_BACKOFF: Duration = Duration::from_millis(100);
+
+    /// How long to sleep before retry number `attempt` (1-based).
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.saturating_sub(1).min(16);
+        self.base_backoff.saturating_mul(factor).min(Self::MAX_BACKOFF)
+    }
+}
+
+impl Default for StoreRetryPolicy {
+    fn default() -> Self {
+        StoreRetryPolicy { max_retries: 3, base_backoff: Duration::from_millis(2) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = StoreRetryPolicy { max_retries: 5, base_backoff: Duration::from_millis(2) };
+        assert_eq!(p.backoff(1), Duration::from_millis(2));
+        assert_eq!(p.backoff(2), Duration::from_millis(4));
+        assert_eq!(p.backoff(3), Duration::from_millis(8));
+        assert_eq!(p.backoff(30), StoreRetryPolicy::MAX_BACKOFF, "huge attempts cap instead of overflowing");
+    }
+
+    #[test]
+    fn only_quarantine_refuses() {
+        assert!(!CameraHealth::Healthy.refuses_admissions());
+        assert!(!CameraHealth::Degraded { reason: "eio".into() }.refuses_admissions());
+        assert!(CameraHealth::Quarantined { reason: "wedged".into() }.refuses_admissions());
+    }
+}

@@ -9,6 +9,9 @@
 //! * [`mechanism`] — the Laplace mechanism and report-noisy-max.
 //! * [`budget`] — the per-frame privacy-budget ledger of Algorithm 1, and the
 //!   admission controller that serializes multi-camera admissions.
+//! * [`health`] — per-camera `Healthy → Degraded → Quarantined` states that
+//!   scope a storage fault to the camera it hit, plus the bounded-backoff
+//!   retry policy for transient journal failures.
 //! * [`service`] — the concurrent multi-analyst serving layer
 //!   ([`QueryService`]): `RwLock`ed camera/processor registries, per-query
 //!   sessions with per-query noise seeds, and the cross-query chunk cache.
@@ -65,6 +68,7 @@ pub mod cache;
 pub mod degradation;
 pub mod error;
 pub mod executor;
+pub mod health;
 pub mod masking;
 pub mod mechanism;
 pub mod parallel;
@@ -80,8 +84,12 @@ pub use cache::{ChunkCacheKey, ChunkCacheStats, ChunkResultCache};
 pub use degradation::{detection_probability_bound, DegradationCurve};
 pub use error::PrividError;
 pub use executor::{NoisyRelease, NoisyValue, PrividSystem, QueryResult};
+pub use health::{CameraHealth, StoreRetryPolicy};
 pub use parallel::{execute_plan, Parallelism};
-pub use privid_store::{Durability, FsyncPolicy, RecoveryEvent, RecoveryReport, StoreError};
+pub use privid_store::{
+    Durability, FaultKind, FaultOp, FaultProfile, FaultVfs, FsyncPolicy, RecoveryEvent, RecoveryReport,
+    RecoveryWarning, StdVfs, StoreError, Vfs,
+};
 pub use service::{AppendOutcome, QueryService, QueryServiceBuilder, StandingFiring};
 pub use masking::{greedy_mask_order, MaskPlan, MaskingAnalysis};
 pub use mechanism::{laplace_noise, report_noisy_max, LaplaceMechanism};

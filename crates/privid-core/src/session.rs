@@ -71,6 +71,11 @@ pub(crate) fn execute_query(
         let state = match resolved.get(&s.camera) {
             Some(state) => Arc::clone(state),
             None => {
+                // A quarantined camera is refused up front: the query would
+                // need an admission this camera's journal cannot record, and
+                // failing here (retryably, before any sandbox work) is
+                // cheaper than failing at the admission gate.
+                service.ensure_admittable(&s.camera)?;
                 let state = service.camera(&s.camera).ok_or_else(|| PrividError::UnknownCamera(s.camera.clone()))?;
                 resolved.insert(s.camera.clone(), Arc::clone(&state));
                 state
@@ -157,7 +162,10 @@ pub(crate) fn execute_query(
                 }
             }
         }
-        AdmissionFailure::Journal(e) => PrividError::Store(e),
+        // A journal failure degrades (transient) or quarantines (wedge) the
+        // cameras the refused record covered — per-camera blast radius, not a
+        // global failure.
+        AdmissionFailure::Journal(e) => service.note_journal_failure(&request_cameras, e),
     })?;
 
     // ---- 5. Aggregate, bound, add noise ----------------------------------------------

@@ -47,11 +47,14 @@
 pub mod crc32;
 pub mod record;
 pub mod state;
+pub mod vfs;
 pub mod wal;
 
 pub use crc32::crc32;
 pub use record::{DebitRange, Record};
 pub use state::{CameraRecord, MaskRecord, StandingRecord, StoreState};
+pub use vfs::{FaultKind, FaultOp, FaultProfile, FaultVfs, StdVfs, Vfs, VfsFile};
 pub use wal::{
-    Durability, FsyncPolicy, Recovered, RecoveryEvent, RecoveryReport, StoreError, WalOptions, WalStore,
+    Durability, FsyncPolicy, Recovered, RecoveryEvent, RecoveryReport, RecoveryWarning, StoreError,
+    WalOptions, WalStore,
 };

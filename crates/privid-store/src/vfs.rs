@@ -1,0 +1,669 @@
+//! The storage virtual filesystem: every filesystem touch the durability
+//! subsystem makes goes through the [`Vfs`] trait.
+//!
+//! The WAL's correctness argument ("never under-debit, even across crashes")
+//! rests on assumptions about what the filesystem did — a write either
+//! happened or it didn't, an fsync that returned `Ok` made the data durable,
+//! a rename was atomic. Real disks violate those assumptions in bounded,
+//! well-known ways: `EIO` on a write, short writes, `ENOSPC`, fsync
+//! failures whose page-cache aftermath is undefined ("fsyncgate"), rename
+//! errors mid-snapshot, and read-side bit rot. This module makes the
+//! boundary explicit so those failure modes can be *injected* and the WAL's
+//! responses proven by test instead of assumed:
+//!
+//! * [`StdVfs`] — the production implementation over `std::fs`, a thin
+//!   zero-logic passthrough (the bench suite pins its overhead at ≈0).
+//! * [`FaultVfs`] — a decorator executing a *fault plan*: scripted faults
+//!   ("fail the 3rd write with `ENOSPC`") for deterministic regression
+//!   tests, and seeded probabilistic plans ([`FaultProfile`]) for the chaos
+//!   harness. Faults are injected only while the plan is [armed]; the
+//!   injection RNG is the workspace's deterministic `StdRng`, so a chaos
+//!   schedule is a pure function of its seed.
+//!
+//! ## The injection contract
+//!
+//! Every fault surfaces as an ordinary `std::io::Error` (or, for
+//! [`FaultKind::CorruptRead`], as silently corrupted read bytes — the one
+//! failure mode a real disk does not announce). The WAL must treat each
+//! exactly as it would the real thing:
+//!
+//! * a failed or short **write** never happened durably — the store rolls
+//!   the log back to the previous frame boundary and stays usable;
+//! * a failed **fsync** leaves the page cache in an *unknowable* state — the
+//!   store wedges ([`crate::StoreError::Wedged`]) until a supervised
+//!   [`crate::WalStore::reopen`] re-reads the log from disk;
+//! * a failed **rename** leaves the previous snapshot authoritative;
+//! * **corrupt reads** are caught by the frame CRCs and refused with typed
+//!   errors, never silently applied.
+//!
+//! [armed]: FaultVfs::arm
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An open file handle behind the [`Vfs`] boundary. The subset of
+/// `std::fs::File` the WAL uses — each method maps 1:1 to its `std`
+/// namesake.
+pub trait VfsFile: Send {
+    /// Read the remainder of the file into `buf`; returns bytes read.
+    fn read_to_end(&mut self, buf: &mut Vec<u8>) -> io::Result<usize>;
+    /// Write all of `buf` at the current cursor.
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Flush file *data* to stable storage (`fdatasync`).
+    fn sync_data(&mut self) -> io::Result<()>;
+    /// Flush data and metadata to stable storage (`fsync`).
+    fn sync_all(&mut self) -> io::Result<()>;
+    /// Truncate (or extend) the file to `len` bytes.
+    fn set_len(&mut self, len: u64) -> io::Result<()>;
+    /// Move the cursor; returns the new position.
+    fn seek(&mut self, pos: SeekFrom) -> io::Result<u64>;
+}
+
+/// Every filesystem operation the durability subsystem performs. The WAL
+/// never touches `std::fs` directly; it goes through an `Arc<dyn Vfs>` so a
+/// test (or the chaos harness) can substitute [`FaultVfs`].
+pub trait Vfs: Send + Sync + fmt::Debug {
+    /// Create `path` and every missing parent directory.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Open `path` for reading and appending, creating it if absent and
+    /// *never* truncating (the WAL's log-open mode).
+    fn open_rw(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Create (or truncate) `path` for writing (the snapshot-tmp mode).
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Read the whole file at `path`.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Atomically rename `from` to `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Remove the file at `path`.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Whether a file exists at `path`.
+    fn exists(&self, path: &Path) -> bool;
+    /// Fsync the *directory* at `path`, making renames within it durable.
+    /// Platform-dependent; callers treat failures as best-effort.
+    fn sync_dir(&self, path: &Path) -> io::Result<()>;
+}
+
+// ---------------------------------------------------------------------------
+// StdVfs
+// ---------------------------------------------------------------------------
+
+/// The production [`Vfs`]: a zero-logic passthrough to `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StdVfs;
+
+impl VfsFile for File {
+    fn read_to_end(&mut self, buf: &mut Vec<u8>) -> io::Result<usize> {
+        Read::read_to_end(self, buf)
+    }
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        Write::write_all(self, buf)
+    }
+    fn sync_data(&mut self) -> io::Result<()> {
+        File::sync_data(self)
+    }
+    fn sync_all(&mut self) -> io::Result<()> {
+        File::sync_all(self)
+    }
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        File::set_len(self, len)
+    }
+    fn seek(&mut self, pos: SeekFrom) -> io::Result<u64> {
+        Seek::seek(self, pos)
+    }
+}
+
+impl Vfs for StdVfs {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+    fn open_rw(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let file = OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        Ok(Box::new(file))
+    }
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(File::create(path)?))
+    }
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        File::open(path)?.sync_all()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FaultVfs
+// ---------------------------------------------------------------------------
+
+/// What kind of failure a fault injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The operation fails with `EIO` and has no effect.
+    Eio,
+    /// The operation fails with `ENOSPC` and has no effect.
+    Enospc,
+    /// A write persists only a prefix of its bytes, then fails with `EIO`
+    /// (what a crash or full disk mid-`write(2)` leaves behind).
+    ShortWrite,
+    /// An `fsync`/`fdatasync` fails with `EIO`. Whether the preceding writes
+    /// reached disk is deliberately unknowable — the fsyncgate semantics the
+    /// WAL must wedge on.
+    FsyncFailure,
+    /// A rename fails with `EIO`; the source and destination are untouched.
+    RenameFailure,
+    /// A read succeeds but returns bytes with one bit flipped.
+    CorruptRead,
+}
+
+/// Which operation class a scripted fault targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// `VfsFile::write_all`.
+    Write,
+    /// `VfsFile::sync_data` / `sync_all` (file fsyncs; `sync_dir` is exempt —
+    /// callers already treat directory fsync as best-effort).
+    Fsync,
+    /// `Vfs::rename`.
+    Rename,
+    /// `Vfs::read` and `VfsFile::read_to_end`.
+    Read,
+    /// `VfsFile::set_len`.
+    Truncate,
+    /// `Vfs::open_rw` / `Vfs::create`.
+    Open,
+}
+
+/// Per-operation fault probabilities for a seeded random plan. All default
+/// to zero; the chaos harness derives a profile from its schedule seed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultProfile {
+    /// Probability a write fails (uniformly `Eio` / `Enospc` / `ShortWrite`).
+    pub write_fail: f64,
+    /// Probability a file fsync fails ([`FaultKind::FsyncFailure`]).
+    pub fsync_fail: f64,
+    /// Probability a rename fails ([`FaultKind::RenameFailure`]).
+    pub rename_fail: f64,
+    /// Probability a read returns corrupted bytes ([`FaultKind::CorruptRead`]).
+    pub read_corrupt: f64,
+    /// Probability a truncate fails with `EIO`.
+    pub truncate_fail: f64,
+}
+
+/// One scripted fault: fail occurrences `[at, at + count)` (1-based, per
+/// operation class) with `kind`.
+#[derive(Debug, Clone, Copy)]
+struct ScriptedFault {
+    op: FaultOp,
+    at: u64,
+    count: u64,
+    kind: FaultKind,
+}
+
+/// Counters of how many operations of each class the plan has observed.
+#[derive(Debug, Default, Clone, Copy)]
+struct OpCounters {
+    write: u64,
+    fsync: u64,
+    rename: u64,
+    read: u64,
+    truncate: u64,
+    open: u64,
+}
+
+impl OpCounters {
+    fn bump(&mut self, op: FaultOp) -> u64 {
+        let slot = match op {
+            FaultOp::Write => &mut self.write,
+            FaultOp::Fsync => &mut self.fsync,
+            FaultOp::Rename => &mut self.rename,
+            FaultOp::Read => &mut self.read,
+            FaultOp::Truncate => &mut self.truncate,
+            FaultOp::Open => &mut self.open,
+        };
+        *slot += 1;
+        *slot
+    }
+}
+
+#[derive(Debug)]
+struct PlanState {
+    armed: bool,
+    scripted: Vec<ScriptedFault>,
+    profile: Option<(StdRng, FaultProfile)>,
+    seen: OpCounters,
+    injected: u64,
+}
+
+impl PlanState {
+    /// Decide whether the next occurrence of `op` faults, and with what.
+    fn decide(&mut self, op: FaultOp) -> Option<FaultKind> {
+        // Count even while disarmed: a script written against absolute
+        // operation positions must not shift because faults were paused.
+        let seen = self.seen.bump(op);
+        if !self.armed {
+            return None;
+        }
+        if let Some(f) = self
+            .scripted
+            .iter()
+            .find(|f| f.op == op && seen >= f.at && seen - f.at < f.count)
+            .copied()
+        {
+            self.injected += 1;
+            return Some(f.kind);
+        }
+        if let Some((rng, profile)) = self.profile.as_mut() {
+            let kind = match op {
+                FaultOp::Write if profile.write_fail > 0.0 && rng.gen_bool(profile.write_fail) => {
+                    Some(match rng.gen_range(0u32..3) {
+                        0 => FaultKind::Eio,
+                        1 => FaultKind::Enospc,
+                        _ => FaultKind::ShortWrite,
+                    })
+                }
+                FaultOp::Fsync if profile.fsync_fail > 0.0 && rng.gen_bool(profile.fsync_fail) => {
+                    Some(FaultKind::FsyncFailure)
+                }
+                FaultOp::Rename if profile.rename_fail > 0.0 && rng.gen_bool(profile.rename_fail) => {
+                    Some(FaultKind::RenameFailure)
+                }
+                FaultOp::Read if profile.read_corrupt > 0.0 && rng.gen_bool(profile.read_corrupt) => {
+                    Some(FaultKind::CorruptRead)
+                }
+                FaultOp::Truncate if profile.truncate_fail > 0.0 && rng.gen_bool(profile.truncate_fail) => {
+                    Some(FaultKind::Eio)
+                }
+                _ => None,
+            };
+            if kind.is_some() {
+                self.injected += 1;
+            }
+            return kind;
+        }
+        None
+    }
+}
+
+/// A [`Vfs`] decorator that injects faults according to a plan.
+///
+/// Plans compose two layers, consulted in order for each armed operation:
+/// scripted faults (deterministic, for regression tests) and a seeded
+/// probabilistic [`FaultProfile`] (for the chaos harness). [`heal`] clears
+/// the whole plan, restoring passthrough behaviour.
+///
+/// [`heal`]: FaultVfs::heal
+pub struct FaultVfs {
+    inner: Arc<dyn Vfs>,
+    /// Lock-order audit: `fault-plan` — the innermost leaf in the declared
+    /// global order (analyzer.toml): decisions are taken inside `wal-inner`
+    /// file operations, and nothing is ever acquired while it is held. An
+    /// `Arc` because every [`FaultFile`] the layer hands out shares the one
+    /// plan (its counters and RNG advance globally across handles).
+    plan: Arc<Mutex<PlanState>>,
+}
+
+impl fmt::Debug for FaultVfs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultVfs").field("inner", &self.inner).finish_non_exhaustive()
+    }
+}
+
+fn fault_error(kind: FaultKind, op: &str) -> io::Error {
+    match kind {
+        // Raw OS error codes so callers see realistic `ErrorKind`s on the
+        // platforms the workspace targets (5 = EIO, 28 = ENOSPC on Linux).
+        FaultKind::Enospc => io::Error::from_raw_os_error(28),
+        _ => io::Error::other(format!("injected I/O fault during {op}")),
+    }
+}
+
+/// Flip one bit in the middle of `bytes` (no-op on an empty buffer): the
+/// deterministic read-corruption the CRC layer must catch.
+fn corrupt(bytes: &mut [u8]) {
+    let mid = bytes.len() / 2;
+    if let Some(b) = bytes.get_mut(mid) {
+        *b ^= 0x01;
+    }
+}
+
+impl FaultVfs {
+    /// Wrap `inner` with an empty, disarmed fault plan.
+    pub fn new(inner: Arc<dyn Vfs>) -> Arc<FaultVfs> {
+        Arc::new(FaultVfs {
+            inner,
+            plan: Arc::new(Mutex::new(PlanState {
+                armed: false,
+                scripted: Vec::new(),
+                profile: None,
+                seen: OpCounters::default(),
+                injected: 0,
+            })),
+        })
+    }
+
+    /// A fault layer over the production [`StdVfs`].
+    pub fn over_std() -> Arc<FaultVfs> {
+        Self::new(Arc::new(StdVfs))
+    }
+
+    /// Install a seeded probabilistic plan (replacing any previous one) and
+    /// arm it. Fault decisions are a pure function of `(seed, operation
+    /// sequence)` — the chaos harness's reproducibility contract.
+    pub fn seed_profile(&self, seed: u64, profile: FaultProfile) {
+        let mut plan = self.lock_plan();
+        plan.profile = Some((StdRng::seed_from_u64(seed), profile));
+        plan.armed = true;
+    }
+
+    /// Script a one-shot fault: the `nth` occurrence (1-based) of `op` fails
+    /// with `kind`. Arms the plan.
+    pub fn fail_nth(&self, op: FaultOp, nth: u64, kind: FaultKind) {
+        self.fail_range(op, nth, 1, kind);
+    }
+
+    /// Script a persistent fault: every occurrence of `op` from the `from`th
+    /// on (1-based) fails with `kind`, until healed. Arms the plan.
+    pub fn fail_from(&self, op: FaultOp, from: u64, kind: FaultKind) {
+        self.fail_range(op, from, u64::MAX, kind);
+    }
+
+    /// Script `count` consecutive failures of `op` starting at its `at`th
+    /// occurrence (1-based). Arms the plan.
+    pub fn fail_range(&self, op: FaultOp, at: u64, count: u64, kind: FaultKind) {
+        let mut plan = self.lock_plan();
+        plan.scripted.push(ScriptedFault { op, at: at.max(1), count, kind });
+        plan.armed = true;
+    }
+
+    /// Start injecting faults (plans install armed; this re-arms after
+    /// [`FaultVfs::disarm`]).
+    pub fn arm(&self) {
+        self.lock_plan().armed = true;
+    }
+
+    /// Stop injecting faults without clearing the plan (operation counters
+    /// keep advancing so scripted positions stay meaningful).
+    pub fn disarm(&self) {
+        self.lock_plan().armed = false;
+    }
+
+    /// Clear the whole plan — scripted faults, profile, armed flag. The
+    /// layer becomes a passthrough again ("the disk recovered").
+    pub fn heal(&self) {
+        let mut plan = self.lock_plan();
+        plan.scripted.clear();
+        plan.profile = None;
+        plan.armed = false;
+    }
+
+    /// How many faults the plan has injected so far.
+    pub fn injected(&self) -> u64 {
+        self.lock_plan().injected
+    }
+
+    fn lock_plan(&self) -> std::sync::MutexGuard<'_, PlanState> {
+        self.plan.lock().expect("fault plan lock poisoned") // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+    }
+
+    /// Decide whether the next occurrence of `op` faults, and with what.
+    fn decide(&self, op: FaultOp) -> Option<FaultKind> {
+        self.lock_plan().decide(op)
+    }
+}
+
+/// The fault layer's file handle: forwards to the wrapped handle, consulting
+/// the shared plan before each operation.
+struct FaultFile {
+    inner: Box<dyn VfsFile>,
+    plan: Arc<Mutex<PlanState>>,
+}
+
+impl FaultFile {
+    fn decide(&self, op: FaultOp) -> Option<FaultKind> {
+        self.plan.lock().expect("fault plan lock poisoned").decide(op) // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+    }
+}
+
+impl VfsFile for FaultFile {
+    fn read_to_end(&mut self, buf: &mut Vec<u8>) -> io::Result<usize> {
+        let start = buf.len();
+        let n = self.inner.read_to_end(buf)?;
+        if self.decide(FaultOp::Read) == Some(FaultKind::CorruptRead) {
+            if let Some(tail) = buf.get_mut(start..) {
+                corrupt(tail);
+            }
+        }
+        Ok(n)
+    }
+
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        match self.decide(FaultOp::Write) {
+            None => self.inner.write_all(buf),
+            Some(FaultKind::ShortWrite) => {
+                // Persist a prefix, then fail — the torn state a crashed
+                // `write(2)` leaves behind.
+                let half = buf.get(..buf.len() / 2).unwrap_or(buf);
+                self.inner.write_all(half)?;
+                Err(fault_error(FaultKind::ShortWrite, "write (short)"))
+            }
+            Some(kind) => Err(fault_error(kind, "write")),
+        }
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        match self.decide(FaultOp::Fsync) {
+            None => self.inner.sync_data(),
+            Some(kind) => Err(fault_error(kind, "fdatasync")),
+        }
+    }
+
+    fn sync_all(&mut self) -> io::Result<()> {
+        match self.decide(FaultOp::Fsync) {
+            None => self.inner.sync_all(),
+            Some(kind) => Err(fault_error(kind, "fsync")),
+        }
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        match self.decide(FaultOp::Truncate) {
+            None => self.inner.set_len(len),
+            Some(kind) => Err(fault_error(kind, "truncate")),
+        }
+    }
+
+    fn seek(&mut self, pos: SeekFrom) -> io::Result<u64> {
+        // Seeks never fault: they are in-memory cursor moves on every real
+        // filesystem, and faulting them adds no coverage the write/truncate
+        // faults do not already provide.
+        self.inner.seek(pos)
+    }
+}
+
+/// `Arc<FaultVfs>` is what tests hold (to script, arm and heal) *and* what
+/// the store holds (as its `Arc<dyn Vfs>`) — one shared plan.
+impl Vfs for FaultVfs {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        // Directory creation happens once at open and is not a useful fault
+        // point: a store that cannot create its directory never opens.
+        self.inner.create_dir_all(path)
+    }
+
+    fn open_rw(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        match self.decide(FaultOp::Open) {
+            None => {}
+            Some(kind) => return Err(fault_error(kind, "open")),
+        }
+        let inner = self.inner.open_rw(path)?;
+        Ok(Box::new(FaultFile { inner, plan: Arc::clone(&self.plan) }))
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        match self.decide(FaultOp::Open) {
+            None => {}
+            Some(kind) => return Err(fault_error(kind, "create")),
+        }
+        let inner = self.inner.create(path)?;
+        Ok(Box::new(FaultFile { inner, plan: Arc::clone(&self.plan) }))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut bytes = self.inner.read(path)?;
+        if self.decide(FaultOp::Read) == Some(FaultKind::CorruptRead) {
+            corrupt(&mut bytes);
+        }
+        Ok(bytes)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        match self.decide(FaultOp::Rename) {
+            None => self.inner.rename(from, to),
+            Some(kind) => Err(fault_error(kind, "rename")),
+        }
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove_file(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        // Callers treat directory fsync as best-effort already; faulting it
+        // would only exercise their `let _ =`.
+        self.inner.sync_dir(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("privid-vfs-{tag}-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn std_vfs_round_trips() {
+        let dir = temp_dir("std");
+        let vfs = StdVfs;
+        let path = dir.join("f");
+        let mut f = vfs.open_rw(&path).unwrap();
+        f.write_all(b"hello").unwrap();
+        f.sync_data().unwrap();
+        drop(f);
+        assert_eq!(vfs.read(&path).unwrap(), b"hello");
+        let mut f = vfs.open_rw(&path).unwrap();
+        let mut buf = Vec::new();
+        f.read_to_end(&mut buf).unwrap();
+        assert_eq!(buf, b"hello");
+        f.set_len(2).unwrap();
+        drop(f);
+        assert_eq!(vfs.read(&path).unwrap(), b"he");
+        vfs.rename(&path, &dir.join("g")).unwrap();
+        assert!(!vfs.exists(&path));
+        assert!(vfs.exists(&dir.join("g")));
+        vfs.sync_dir(&dir).unwrap();
+        vfs.remove_file(&dir.join("g")).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scripted_fault_hits_exactly_the_nth_write() {
+        let dir = temp_dir("nth");
+        let fault = FaultVfs::over_std();
+        fault.fail_nth(FaultOp::Write, 2, FaultKind::Eio);
+        let vfs: &dyn Vfs = fault.as_ref();
+        let mut f = vfs.open_rw(&dir.join("f")).unwrap();
+        f.write_all(b"one").unwrap();
+        assert!(f.write_all(b"two").is_err(), "the 2nd write must fault");
+        f.write_all(b"three").unwrap();
+        assert_eq!(fault.injected(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn short_write_persists_a_prefix() {
+        let dir = temp_dir("short");
+        let fault = FaultVfs::over_std();
+        fault.fail_nth(FaultOp::Write, 1, FaultKind::ShortWrite);
+        let vfs: &dyn Vfs = fault.as_ref();
+        let mut f = vfs.open_rw(&dir.join("f")).unwrap();
+        assert!(f.write_all(b"abcdef").is_err());
+        drop(f);
+        assert_eq!(std::fs::read(dir.join("f")).unwrap(), b"abc", "half the bytes persisted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn enospc_carries_the_real_errno() {
+        let dir = temp_dir("enospc");
+        let fault = FaultVfs::over_std();
+        fault.fail_nth(FaultOp::Write, 1, FaultKind::Enospc);
+        let vfs: &dyn Vfs = fault.as_ref();
+        let mut f = vfs.open_rw(&dir.join("f")).unwrap();
+        let err = f.write_all(b"x").unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(28), "ENOSPC");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_read_flips_one_bit_and_heal_restores() {
+        let dir = temp_dir("corrupt");
+        std::fs::write(dir.join("f"), b"pristine").unwrap();
+        let fault = FaultVfs::over_std();
+        fault.fail_from(FaultOp::Read, 1, FaultKind::CorruptRead);
+        let vfs: &dyn Vfs = fault.as_ref();
+        let bytes = vfs.read(&dir.join("f")).unwrap();
+        assert_ne!(bytes, b"pristine");
+        assert_eq!(bytes.iter().zip(b"pristine").filter(|(a, b)| a != b).count(), 1, "exactly one byte differs");
+        fault.heal();
+        assert_eq!(vfs.read(&dir.join("f")).unwrap(), b"pristine");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn seeded_profiles_are_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<bool> {
+            let fault = FaultVfs::over_std();
+            fault.seed_profile(seed, FaultProfile { write_fail: 0.5, ..FaultProfile::default() });
+            (0..32).map(|_| fault.decide(FaultOp::Write).is_some()).collect()
+        };
+        assert_eq!(run(7), run(7), "same seed, same fault schedule");
+        assert_ne!(run(7), run(8), "different seeds diverge");
+    }
+
+    #[test]
+    fn disarm_pauses_but_keeps_counting() {
+        let fault = FaultVfs::over_std();
+        fault.fail_nth(FaultOp::Fsync, 3, FaultKind::FsyncFailure);
+        fault.disarm();
+        assert_eq!(fault.decide(FaultOp::Fsync), None);
+        assert_eq!(fault.decide(FaultOp::Fsync), None);
+        fault.arm();
+        // This is the 3rd fsync overall — the scripted position held.
+        assert_eq!(fault.decide(FaultOp::Fsync), Some(FaultKind::FsyncFailure));
+    }
+}

@@ -38,11 +38,11 @@
 
 use crate::record::{decode_payload, encode_frame, Record, FRAME_HEADER, MAX_PAYLOAD};
 use crate::state::StoreState;
+use crate::vfs::{StdVfs, Vfs, VfsFile};
 use std::fmt;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::SeekFrom;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// When the WAL calls `fsync` on appended records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -115,6 +115,27 @@ pub enum StoreError {
         /// Why the snapshot was refused.
         reason: String,
     },
+    /// The store is wedged: an earlier failure left its in-memory durability
+    /// assumption untrustworthy (a failed fsync whose page-cache aftermath
+    /// is unknowable, a failed append that could not be rolled back, or a
+    /// post-snapshot log reset that failed). Every append and checkpoint is
+    /// refused — retrying could report durability for records that are not
+    /// durable — until a supervised [`WalStore::reopen`] re-reads the log
+    /// from disk and reconciles. Retryable *after* that recovery.
+    Wedged {
+        /// What wedged the store.
+        reason: String,
+    },
+}
+
+impl StoreError {
+    /// True for failures a caller may retry against the *same* store handle
+    /// without supervision: transient I/O errors. [`StoreError::Wedged`] is
+    /// retryable only after [`WalStore::reopen`]; the corruption variants
+    /// are not retryable at all.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StoreError::Io { .. })
+    }
 }
 
 impl fmt::Display for StoreError {
@@ -128,6 +149,9 @@ impl fmt::Display for StoreError {
                 write!(f, "invalid WAL record at byte {offset}: {reason}")
             }
             StoreError::SnapshotCorrupt { reason } => write!(f, "snapshot is corrupt: {reason}"),
+            StoreError::Wedged { reason } => {
+                write!(f, "store is wedged ({reason}); reopen() must re-read the log before further appends")
+            }
         }
     }
 }
@@ -161,6 +185,41 @@ pub enum RecoveryEvent {
         /// The snapshot's sequence watermark.
         last_seq: u64,
     },
+    /// A supervised [`WalStore::reopen`] re-read the log (recovering from a
+    /// wedge). `lost_records` is how many appends the pre-reopen handle had
+    /// accepted that the on-disk log no longer accounts for — records whose
+    /// durability was reported before the wedge but did not survive. Because
+    /// callers debit only *after* an append returns `Ok`, a lost record can
+    /// only over-debit the reconciled ledgers, never under-debit.
+    StoreReopened {
+        /// Appends accepted pre-reopen that the recovered log is missing.
+        lost_records: u64,
+    },
+}
+
+/// A typed warning surfaced through [`RecoveryReport::warnings`]: something
+/// the store (or the serving layer above it) could not make durable, where
+/// the consequence is bounded and conservative but an operator should know.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryWarning {
+    /// A best-effort `Credit` rollback record could not be appended: the
+    /// journal keeps the admission's debits while the in-memory ledger rolled
+    /// them back. Recovery will re-apply the debits (an over-debit — wasted
+    /// budget, never leaked privacy). The serving layer quarantines the
+    /// affected camera until a supervised recovery reconciles the two.
+    CreditRollbackLost {
+        /// The camera whose ledger is over-debited in the journal.
+        camera: String,
+        /// First slot of the un-credited range.
+        lo: u64,
+        /// One past the last slot of the un-credited range.
+        hi: u64,
+        /// The ε that stays debited in the journal (IEEE-754 bits, so the
+        /// report round-trips bit-exactly like every other f64 on the wire).
+        epsilon_bits: u64,
+        /// The store error that refused the credit.
+        error: String,
+    },
 }
 
 /// What recovery did, for operators and tests.
@@ -176,6 +235,10 @@ pub struct RecoveryReport {
     pub torn_tail_bytes: u64,
     /// Notable events, deduplicated by kind.
     pub events: Vec<RecoveryEvent>,
+    /// Typed warnings about state the store could not make durable. The
+    /// serving layer drains its accumulated warnings into the report a
+    /// supervised recovery returns.
+    pub warnings: Vec<RecoveryWarning>,
 }
 
 /// The state and report [`WalStore::open`] hands back.
@@ -201,7 +264,7 @@ impl Default for WalOptions {
 }
 
 struct Inner {
-    file: File,
+    file: Box<dyn VfsFile>,
     state: StoreState,
     next_seq: u64,
     records_since_snapshot: u64,
@@ -209,10 +272,29 @@ struct Inner {
     /// append truncates back here so a partial frame can never sit *under*
     /// later successful appends (recovery would misparse the stream).
     log_len: u64,
-    /// Set when a failed append could not be cleaned up (the truncate itself
-    /// failed): the on-disk log may hold a partial frame, so every further
-    /// append is refused — appending after garbage would corrupt the log.
-    wedged: bool,
+    /// Set when the in-memory durability assumption can no longer be trusted:
+    /// a failed fsync (the page cache may or may not hold the frame — there
+    /// is no way to know, and retrying the fsync cannot un-fail the first
+    /// one), a failed append whose rollback truncate also failed, or a
+    /// post-snapshot log reset that failed. While set, every append and
+    /// checkpoint returns [`StoreError::Wedged`] until [`WalStore::reopen`]
+    /// re-reads the log from disk.
+    wedged: Option<String>,
+    /// A failed *automatic* checkpoint stashed here instead of failing the
+    /// append that triggered it (the append itself was durable). The next
+    /// append retries the checkpoint; operators can inspect it via
+    /// [`WalStore::last_checkpoint_error`].
+    last_checkpoint_error: Option<StoreError>,
+}
+
+/// What [`recover`] hands back: the open log file positioned at its end plus
+/// the rebuilt state.
+struct Recovery {
+    file: Box<dyn VfsFile>,
+    state: StoreState,
+    applied_seq: u64,
+    log_len: u64,
+    report: RecoveryReport,
 }
 
 /// An open write-ahead log: the append side of the durability subsystem.
@@ -227,6 +309,7 @@ pub struct WalStore {
     /// fsync) with nothing acquired inside it. The serving layer appends
     /// while holding the admission gate and registry locks above it.
     inner: Mutex<Inner>,
+    vfs: Arc<dyn Vfs>,
     dir: PathBuf,
     fsync: FsyncPolicy,
     snapshot_every: u64,
@@ -244,138 +327,38 @@ impl WalStore {
         Self::open_with(dir, fsync, WalOptions::default())
     }
 
-    /// [`WalStore::open`] with explicit tuning knobs.
+    /// [`WalStore::open`] with explicit tuning knobs, against the real
+    /// filesystem ([`StdVfs`]).
     pub fn open_with(
         dir: impl Into<PathBuf>,
         fsync: FsyncPolicy,
         options: WalOptions,
     ) -> Result<(WalStore, Recovered), StoreError> {
+        Self::open_with_vfs(dir, fsync, options, Arc::new(StdVfs))
+    }
+
+    /// [`WalStore::open_with`] against an explicit [`Vfs`] — the injection
+    /// point for [`crate::vfs::FaultVfs`] in tests and chaos harnesses.
+    pub fn open_with_vfs(
+        dir: impl Into<PathBuf>,
+        fsync: FsyncPolicy,
+        options: WalOptions,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<(WalStore, Recovered), StoreError> {
         let dir = dir.into();
-        std::fs::create_dir_all(&dir).map_err(io_err("creating the store directory"))?;
-        // An orphaned snapshot.tmp is a crash mid-snapshot: the rename never
-        // happened, so the previous snapshot (if any) is still authoritative.
-        let tmp = dir.join("snapshot.tmp");
-        if tmp.exists() {
-            std::fs::remove_file(&tmp).map_err(io_err("removing an orphaned snapshot.tmp"))?;
-        }
-
-        let mut state = StoreState::default();
-        let mut report = RecoveryReport::default();
-        let snapshot_path = dir.join("snapshot.bin");
-        let mut applied_seq = 0u64;
-        if snapshot_path.exists() {
-            let bytes = std::fs::read(&snapshot_path).map_err(io_err("reading snapshot.bin"))?;
-            applied_seq = load_snapshot(&bytes, &mut state)?;
-            report.snapshot_seq = applied_seq;
-            report.events.push(RecoveryEvent::SnapshotLoaded { last_seq: applied_seq });
-        }
-
-        let log_path = dir.join("wal.log");
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(&log_path)
-            .map_err(io_err("opening wal.log"))?;
-        let mut bytes = Vec::new();
-        file.read_to_end(&mut bytes).map_err(io_err("reading wal.log"))?;
-
-        let mut offset = 0usize;
-        let mut saw_stale = false;
-        loop {
-            let remaining = bytes.len() - offset;
-            if remaining == 0 {
-                break;
-            }
-            // Classify the frame at `offset`. Appends write each frame with a
-            // single sequential write, so a *crash* can only leave a prefix:
-            // a partial header, an all-zero header (filesystem-preallocated
-            // bytes), or a correct header whose payload runs past end-of-file.
-            // Those are torn tails — the append never finished, the operation
-            // it describes never happened, truncate and proceed. Anything
-            // else that fails to parse is disk corruption: truncating it
-            // could silently drop later records whose debits back released
-            // answers, so recovery refuses with a typed error instead.
-            let torn = |report: &mut RecoveryReport, file: &mut File| -> Result<(), StoreError> {
-                let dropped = (bytes.len() - offset) as u64;
-                file.set_len(offset as u64).map_err(io_err("truncating the torn WAL tail"))?;
-                report.torn_tail_bytes = dropped;
-                report.events.push(RecoveryEvent::TornTailTruncated { offset: offset as u64, bytes: dropped });
-                Ok(())
-            };
-            if remaining < FRAME_HEADER {
-                torn(&mut report, &mut file)?;
-                break;
-            }
-            let Some((len, crc, len_field)) = header_at(&bytes, offset) else {
-                // Unreachable given the FRAME_HEADER check above, but a
-                // header the buffer cannot hold is by definition a torn tail.
-                torn(&mut report, &mut file)?;
-                break;
-            };
-            if len == 0 && crc == 0 {
-                // Preallocated-but-unwritten zeros: a torn append.
-                torn(&mut report, &mut file)?;
-                break;
-            }
-            if len == 0 || len > MAX_PAYLOAD as usize {
-                // A sequential append can never produce a complete header
-                // with a zero or absurd length — this is a corrupted length
-                // field, and everything after it is unreachable but may be
-                // valid. Refuse rather than under-debit.
-                return Err(StoreError::InvalidRecord {
-                    offset: offset as u64,
-                    reason: format!("implausible record length {len} (corrupted length field?)"),
-                });
-            }
-            if remaining < FRAME_HEADER + len {
-                torn(&mut report, &mut file)?;
-                break;
-            }
-            let Some(payload) = bytes.get(offset + FRAME_HEADER..offset + FRAME_HEADER + len) else {
-                torn(&mut report, &mut file)?;
-                break;
-            };
-            // The CRC covers the length field too: an in-range length flip is
-            // caught here instead of misparsing the stream.
-            if crate::crc32::crc32_parts(&[len_field, payload]) != crc {
-                return Err(StoreError::ChecksumMismatch { offset: offset as u64 });
-            }
-            let (seq, record) = decode_payload(payload)
-                .map_err(|reason| StoreError::InvalidRecord { offset: offset as u64, reason })?;
-            if seq <= applied_seq {
-                report.stale_skipped += 1;
-                if !saw_stale {
-                    saw_stale = true;
-                    report.events.push(RecoveryEvent::StaleRecordSkipped { seq });
-                }
-            } else if seq != applied_seq + 1 {
-                return Err(StoreError::InvalidRecord {
-                    offset: offset as u64,
-                    reason: format!("sequence gap: expected {}, found {seq}", applied_seq + 1),
-                });
-            } else {
-                state
-                    .apply(&record)
-                    .map_err(|reason| StoreError::InvalidRecord { offset: offset as u64, reason })?;
-                applied_seq = seq;
-                report.records_replayed += 1;
-            }
-            offset += FRAME_HEADER + len;
-        }
-
-        let log_len = file.seek(SeekFrom::End(0)).map_err(io_err("seeking to the end of wal.log"))?;
-        let recovered = Recovered { state: state.clone(), report };
+        let rec = recover(vfs.as_ref(), &dir)?;
+        let recovered = Recovered { state: rec.state.clone(), report: rec.report };
         let store = WalStore {
             inner: Mutex::new(Inner {
-                file,
-                state,
-                next_seq: applied_seq + 1,
+                file: rec.file,
+                state: rec.state,
+                next_seq: rec.applied_seq + 1,
                 records_since_snapshot: 0,
-                log_len,
-                wedged: false,
+                log_len: rec.log_len,
+                wedged: None,
+                last_checkpoint_error: None,
             }),
+            vfs,
             dir,
             fsync,
             snapshot_every: options.snapshot_every.max(1),
@@ -383,17 +366,60 @@ impl WalStore {
         Ok((store, recovered))
     }
 
+    /// Supervised recovery on a live (typically wedged) handle: re-read the
+    /// log and snapshot from disk, rebuild the shadow state from what is
+    /// *actually* durable, and clear the wedge.
+    ///
+    /// The returned report describes the fresh recovery; its events include
+    /// [`RecoveryEvent::StoreReopened`] with how many previously-acknowledged
+    /// appends the on-disk log turned out to be missing. Callers reconcile
+    /// their in-memory ledgers against [`Recovered::state`] — because debits
+    /// happen only after an `Ok` append, a lost record can only make the
+    /// durable state *more* debited than necessary, never less.
+    pub fn reopen(&self) -> Result<Recovered, StoreError> {
+        let mut inner = self.inner.lock().expect("wal store lock poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+        // Highest sequence this handle ever acknowledged as appended.
+        let highest_acked = inner.next_seq.saturating_sub(1);
+        let mut rec = recover(self.vfs.as_ref(), &self.dir)?;
+        let lost = highest_acked.saturating_sub(rec.applied_seq);
+        rec.report.events.push(RecoveryEvent::StoreReopened { lost_records: lost });
+        let recovered = Recovered { state: rec.state.clone(), report: rec.report };
+        inner.file = rec.file;
+        inner.state = rec.state;
+        // Resume the sequence space from the *recovered* watermark: any acked
+        // seq past it is provably absent from the durable log (that is what
+        // made it "lost"), and skipping those numbers would leave a sequence
+        // gap that every future recovery refuses.
+        inner.next_seq = rec.applied_seq + 1;
+        inner.records_since_snapshot = 0;
+        inner.log_len = rec.log_len;
+        inner.wedged = None;
+        inner.last_checkpoint_error = None;
+        Ok(recovered)
+    }
+
     /// Append one record, making it durable per the fsync policy, and fold it
     /// into the shadow state. Callers apply the corresponding in-memory
     /// mutation only **after** this returns `Ok` — that ordering is what the
     /// never-under-debit invariant rests on.
+    ///
+    /// ## Failure semantics
+    ///
+    /// * A failed **write** rolls the file back to the last good frame and
+    ///   returns a transient [`StoreError::Io`]; the store stays usable and
+    ///   the caller may retry. If the rollback itself fails, the store wedges
+    ///   (appending after a partial frame would corrupt the log).
+    /// * A failed **fsync** wedges the store and returns
+    ///   [`StoreError::Wedged`]. The frame reached the kernel but its
+    ///   durability is unknowable — the page cache may have dropped it, kept
+    ///   it, or persisted it — and a *later* successful fsync says nothing
+    ///   about the earlier failed one. The record is **not** acknowledged and
+    ///   **not** applied to the shadow; only [`WalStore::reopen`] (which
+    ///   re-reads what actually survived) can resume appends.
     pub fn append(&self, record: Record) -> Result<(), StoreError> {
         let mut inner = self.inner.lock().expect("wal store lock poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
-        if inner.wedged {
-            return Err(StoreError::Io {
-                context: "appending a WAL record".into(),
-                message: "store is wedged: an earlier failed append could not be cleaned up".into(),
-            });
+        if let Some(reason) = &inner.wedged {
+            return Err(StoreError::Wedged { reason: reason.clone() });
         }
         // Validate against the shadow first: a record the state would refuse
         // (a caller bug) must not reach the log at all — once durable, it
@@ -404,24 +430,29 @@ impl WalStore {
             .map_err(|reason| StoreError::InvalidRecord { offset: 0, reason: format!("record refused by state: {reason}") })?;
         let seq = inner.next_seq;
         let frame = encode_frame(seq, &record);
-        let write = inner
-            .file
-            .write_all(&frame)
-            .map_err(io_err("appending a WAL record"))
-            .and_then(|()| match self.fsync {
-                FsyncPolicy::Always => inner.file.sync_data().map_err(io_err("fsyncing a WAL record")),
-                FsyncPolicy::Never => Ok(()),
-            });
-        if let Err(e) = write {
+        if let Err(e) = inner.file.write_all(&frame).map_err(io_err("appending a WAL record")) {
             // Roll the file back to the last good frame so the partial bytes
             // can never end up *under* later successful appends. If even
             // that fails, wedge the store: appending after garbage would
             // corrupt the log for everyone.
             let target = inner.log_len;
             if inner.file.set_len(target).and_then(|()| inner.file.seek(SeekFrom::Start(target))).is_err() {
-                inner.wedged = true;
+                inner.wedged =
+                    Some("a failed append could not be rolled back; the log tail may hold a partial frame".into());
             }
             return Err(e);
+        }
+        if self.fsync == FsyncPolicy::Always {
+            if let Err(e) = inner.file.sync_data() {
+                // No rollback: the write already reached the kernel, and after
+                // a failed fsync there is no way to know whether those bytes
+                // are on disk. Do NOT acknowledge, do NOT apply to the shadow
+                // — reopen() will re-read the log and adopt the frame iff it
+                // survived (at worst an over-debit, never an under-debit).
+                let reason = format!("fsync failed ({e}); durability of the last frame is unknowable");
+                inner.wedged = Some(reason.clone());
+                return Err(StoreError::Wedged { reason });
+            }
         }
         inner.log_len += frame.len() as u64;
         if let Err(reason) = inner.state.apply(&record) {
@@ -430,7 +461,7 @@ impl WalStore {
             // recovery would refuse the log. Wedge the store (no further
             // appends can be trusted) and surface a typed error instead of
             // panicking mid-serve.
-            inner.wedged = true;
+            inner.wedged = Some(format!("record accepted by check but refused by apply: {reason}"));
             return Err(StoreError::InvalidRecord {
                 offset: 0,
                 reason: format!("record accepted by check but refused by apply: {reason}"),
@@ -439,7 +470,15 @@ impl WalStore {
         inner.next_seq = seq + 1;
         inner.records_since_snapshot += 1;
         if inner.records_since_snapshot >= self.snapshot_every {
-            self.checkpoint_locked(&mut inner)?;
+            if let Err(e) = self.checkpoint_locked(&mut inner) {
+                // The *append* succeeded and its record is durable, so the
+                // caller may debit against it — failing the append here would
+                // force an unnecessary refusal. Stash the checkpoint error
+                // (the counter was not reset, so the next append retries) and
+                // report success for the record itself. If the checkpoint
+                // wedged the store, subsequent appends surface that.
+                inner.last_checkpoint_error = Some(e);
+            }
         }
         Ok(())
     }
@@ -447,9 +486,30 @@ impl WalStore {
     /// Write a snapshot of the current state and truncate the log, bounding
     /// the next recovery's replay cost. Also invoked automatically every
     /// [`WalOptions::snapshot_every`] appends.
+    ///
+    /// A failed snapshot *write* or *rename* leaves the previous snapshot and
+    /// the log fully intact (the snapshot is staged at `snapshot.tmp` and
+    /// renamed only once durable) and returns a transient error. Only a
+    /// failure *after* the rename — resetting the log — wedges the store.
     pub fn checkpoint(&self) -> Result<(), StoreError> {
         let mut inner = self.inner.lock().expect("wal store lock poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+        if let Some(reason) = &inner.wedged {
+            return Err(StoreError::Wedged { reason: reason.clone() });
+        }
         self.checkpoint_locked(&mut inner)
+    }
+
+    /// `Some(reason)` while the store refuses appends pending a supervised
+    /// [`WalStore::reopen`].
+    pub fn is_wedged(&self) -> Option<String> {
+        self.inner.lock().expect("wal store lock poisoned").wedged.clone() // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+    }
+
+    /// The error from the most recent *automatic* checkpoint attempt, if it
+    /// failed. The triggering append still succeeded (its record is durable);
+    /// the next append retries the checkpoint.
+    pub fn last_checkpoint_error(&self) -> Option<StoreError> {
+        self.inner.lock().expect("wal store lock poisoned").last_checkpoint_error.clone() // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
     }
 
     /// A copy of the shadow state (what recovery would rebuild right now).
@@ -469,9 +529,9 @@ impl WalStore {
 
     fn checkpoint_locked(&self, inner: &mut Inner) -> Result<(), StoreError> {
         let tmp = self.dir.join("snapshot.tmp");
-        let records = inner.state.snapshot_records(inner.next_seq - 1);
-        {
-            let mut f = File::create(&tmp).map_err(io_err("creating snapshot.tmp"))?;
+        let records = inner.state.snapshot_records(inner.next_seq.saturating_sub(1));
+        let staged = (|| {
+            let mut f = self.vfs.create(&tmp).map_err(io_err("creating snapshot.tmp"))?;
             for record in &records {
                 // Snapshot records are positional, not part of the log's
                 // sequence space; they carry seq 0.
@@ -479,22 +539,162 @@ impl WalStore {
             }
             // The snapshot must be durable before it can supersede the log,
             // regardless of the append-path fsync policy.
-            f.sync_all().map_err(io_err("fsyncing snapshot.tmp"))?;
+            f.sync_all().map_err(io_err("fsyncing snapshot.tmp"))
+        })();
+        if let Err(e) = staged {
+            // Nothing was renamed: the previous snapshot and the whole log
+            // are untouched, so this is transient — remove the half-written
+            // stage (best-effort; recovery also cleans orphans) and retry
+            // later.
+            let _ = self.vfs.remove_file(&tmp);
+            return Err(e);
         }
-        std::fs::rename(&tmp, self.dir.join("snapshot.bin")).map_err(io_err("renaming snapshot.tmp into place"))?;
+        if let Err(e) = self.vfs.rename(&tmp, &self.dir.join("snapshot.bin")) {
+            let _ = self.vfs.remove_file(&tmp);
+            return Err(io_err("renaming snapshot.tmp into place")(e));
+        }
         // Make the rename itself durable (best-effort: directory fsync is
         // platform-dependent). A crash before it replays the old log against
         // the old snapshot — the idempotent-seq rule makes that equivalent.
-        if let Ok(d) = File::open(&self.dir) {
-            let _ = d.sync_all();
+        let _ = self.vfs.sync_dir(&self.dir);
+        let reset = inner
+            .file
+            .set_len(0)
+            .map_err(io_err("truncating wal.log after snapshot"))
+            .and_then(|()| inner.file.seek(SeekFrom::Start(0)).map(|_| ()).map_err(io_err("rewinding wal.log after snapshot")))
+            .and_then(|()| inner.file.sync_data().map_err(io_err("fsyncing truncated wal.log")));
+        if let Err(e) = reset {
+            // The snapshot is already authoritative, but the log handle is in
+            // an indeterminate position/length — further appends could land
+            // past a hole or under stale frames. Wedge; reopen() re-reads and
+            // resumes cleanly (the snapshot makes any surviving log records
+            // stale, so nothing is lost).
+            let reason = format!("post-snapshot log reset failed: {e}");
+            inner.wedged = Some(reason.clone());
+            return Err(StoreError::Wedged { reason });
         }
-        inner.file.set_len(0).map_err(io_err("truncating wal.log after snapshot"))?;
-        inner.file.seek(SeekFrom::Start(0)).map_err(io_err("rewinding wal.log after snapshot"))?;
-        inner.file.sync_data().map_err(io_err("fsyncing truncated wal.log"))?;
         inner.log_len = 0;
         inner.records_since_snapshot = 0;
+        inner.last_checkpoint_error = None;
         Ok(())
     }
+}
+
+/// Read the store directory through `vfs` and rebuild its durable state:
+/// snapshot (if any) as the base, then the log replayed idempotently on top.
+/// Shared by [`WalStore::open_with_vfs`] (cold start) and
+/// [`WalStore::reopen`] (supervised recovery on a live handle).
+fn recover(vfs: &dyn Vfs, dir: &Path) -> Result<Recovery, StoreError> {
+    vfs.create_dir_all(dir).map_err(io_err("creating the store directory"))?;
+    // An orphaned snapshot.tmp is a crash mid-snapshot: the rename never
+    // happened, so the previous snapshot (if any) is still authoritative.
+    let tmp = dir.join("snapshot.tmp");
+    if vfs.exists(&tmp) {
+        vfs.remove_file(&tmp).map_err(io_err("removing an orphaned snapshot.tmp"))?;
+    }
+
+    let mut state = StoreState::default();
+    let mut report = RecoveryReport::default();
+    let snapshot_path = dir.join("snapshot.bin");
+    let mut applied_seq = 0u64;
+    if vfs.exists(&snapshot_path) {
+        let bytes = vfs.read(&snapshot_path).map_err(io_err("reading snapshot.bin"))?;
+        applied_seq = load_snapshot(&bytes, &mut state)?;
+        report.snapshot_seq = applied_seq;
+        report.events.push(RecoveryEvent::SnapshotLoaded { last_seq: applied_seq });
+    }
+
+    let log_path = dir.join("wal.log");
+    let mut file = vfs.open_rw(&log_path).map_err(io_err("opening wal.log"))?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes).map_err(io_err("reading wal.log"))?;
+
+    let mut offset = 0usize;
+    let mut saw_stale = false;
+    loop {
+        let remaining = bytes.len() - offset;
+        if remaining == 0 {
+            break;
+        }
+        // Classify the frame at `offset`. Appends write each frame with a
+        // single sequential write, so a *crash* can only leave a prefix: a
+        // partial header, an all-zero header (filesystem-preallocated
+        // bytes), or a correct header whose payload runs past end-of-file.
+        // Those are torn tails — the append never finished, the operation
+        // it describes never happened, truncate and proceed. Anything else
+        // that fails to parse is disk corruption: truncating it could
+        // silently drop later records whose debits back released answers,
+        // so recovery refuses with a typed error instead.
+        let torn = |report: &mut RecoveryReport, file: &mut dyn VfsFile| -> Result<(), StoreError> {
+            let dropped = (bytes.len() - offset) as u64;
+            file.set_len(offset as u64).map_err(io_err("truncating the torn WAL tail"))?;
+            report.torn_tail_bytes = dropped;
+            report.events.push(RecoveryEvent::TornTailTruncated { offset: offset as u64, bytes: dropped });
+            Ok(())
+        };
+        if remaining < FRAME_HEADER {
+            torn(&mut report, &mut *file)?;
+            break;
+        }
+        let Some((len, crc, len_field)) = header_at(&bytes, offset) else {
+            // Unreachable given the FRAME_HEADER check above, but a header
+            // the buffer cannot hold is by definition a torn tail.
+            torn(&mut report, &mut *file)?;
+            break;
+        };
+        if len == 0 && crc == 0 {
+            // Preallocated-but-unwritten zeros: a torn append.
+            torn(&mut report, &mut *file)?;
+            break;
+        }
+        if len == 0 || len > MAX_PAYLOAD as usize {
+            // A sequential append can never produce a complete header with a
+            // zero or absurd length — this is a corrupted length field, and
+            // everything after it is unreachable but may be valid. Refuse
+            // rather than under-debit.
+            return Err(StoreError::InvalidRecord {
+                offset: offset as u64,
+                reason: format!("implausible record length {len} (corrupted length field?)"),
+            });
+        }
+        if remaining < FRAME_HEADER + len {
+            torn(&mut report, &mut *file)?;
+            break;
+        }
+        let Some(payload) = bytes.get(offset + FRAME_HEADER..offset + FRAME_HEADER + len) else {
+            torn(&mut report, &mut *file)?;
+            break;
+        };
+        // The CRC covers the length field too: an in-range length flip is
+        // caught here instead of misparsing the stream.
+        if crate::crc32::crc32_parts(&[len_field, payload]) != crc {
+            return Err(StoreError::ChecksumMismatch { offset: offset as u64 });
+        }
+        let (seq, record) = decode_payload(payload)
+            .map_err(|reason| StoreError::InvalidRecord { offset: offset as u64, reason })?;
+        if seq <= applied_seq {
+            report.stale_skipped += 1;
+            if !saw_stale {
+                saw_stale = true;
+                report.events.push(RecoveryEvent::StaleRecordSkipped { seq });
+            }
+        } else if seq != applied_seq + 1 {
+            return Err(StoreError::InvalidRecord {
+                offset: offset as u64,
+                reason: format!("sequence gap: expected {}, found {seq}", applied_seq + 1),
+            });
+        } else {
+            state
+                .apply(&record)
+                .map_err(|reason| StoreError::InvalidRecord { offset: offset as u64, reason })?;
+            applied_seq = seq;
+            report.records_replayed += 1;
+        }
+        offset += FRAME_HEADER + len;
+    }
+
+    let log_len = file.seek(SeekFrom::End(0)).map_err(io_err("seeking to the end of wal.log"))?;
+    Ok(Recovery { file, state, applied_seq, log_len, report })
 }
 
 /// Parse the frame header at `offset` without panicking: the payload length,

@@ -13,10 +13,12 @@
 //! * corrupted snapshot → `StoreError::SnapshotCorrupt`, recovery refuses
 
 use privid_store::{
-    DebitRange, FsyncPolicy, Record, RecoveryEvent, StoreError, StoreState, WalOptions, WalStore,
+    DebitRange, FaultKind, FaultOp, FaultVfs, FsyncPolicy, Record, RecoveryEvent, StoreError, StoreState, Vfs,
+    WalOptions, WalStore,
 };
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
 
@@ -317,5 +319,169 @@ fn zero_length_garbage_tail_truncates() {
     assert_eq!(recovered.state, states[4]);
     assert_eq!(recovered.report.torn_tail_bytes, 32);
     assert_eq!(std::fs::metadata(dir.join("wal.log")).unwrap().len(), valid_len as u64);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Open a store over a fresh [`FaultVfs`] (passthrough until scripted).
+fn faulty_store(dir: &PathBuf) -> (Arc<FaultVfs>, WalStore) {
+    let fault = FaultVfs::over_std();
+    let (store, _recovered) = WalStore::open_with_vfs(
+        dir,
+        FsyncPolicy::Always,
+        WalOptions { snapshot_every: u64::MAX },
+        fault.clone() as Arc<dyn Vfs>,
+    )
+    .unwrap();
+    (fault, store)
+}
+
+#[test]
+fn disk_full_append_is_transient_and_leaves_the_log_intact() {
+    let dir = temp_dir("enospc");
+    let (fault, store) = faulty_store(&dir);
+    store.append(live_cam("c", 1.0)).unwrap();
+    store.append(Record::Extend { camera: "c".into(), live_edge_secs: 30.0 }).unwrap();
+    let before_state = store.state();
+    let before_log = std::fs::read(dir.join("wal.log")).unwrap();
+
+    // The disk fills: every write from here on fails with ENOSPC.
+    fault.fail_from(FaultOp::Write, 1, FaultKind::Enospc);
+    let admit = Record::Admit { epsilon: 0.25, debits: vec![DebitRange { camera: "c".into(), lo: 0, hi: 10 }] };
+    let err = store.append(admit.clone()).unwrap_err();
+    assert!(matches!(err, StoreError::Io { .. }), "ENOSPC is an I/O refusal, got {err:?}");
+    assert!(err.is_transient(), "disk-full is retryable once space frees");
+    assert!(store.is_wedged().is_none(), "the rolled-back append leaves the store serviceable");
+    assert_eq!(store.state(), before_state, "the refused admission must not be debited");
+    assert_eq!(std::fs::read(dir.join("wal.log")).unwrap(), before_log, "no partial frame on disk");
+
+    // Retrying while the disk is still full fails the same way.
+    assert!(store.append(admit.clone()).is_err());
+    assert!(fault.injected() >= 2);
+
+    // Space frees: the very same admission lands, and a fresh recovery of
+    // the directory agrees byte-for-byte with the live shadow.
+    fault.heal();
+    store.append(admit).unwrap();
+    let (_s2, again) =
+        WalStore::open_with(&dir, FsyncPolicy::Always, WalOptions { snapshot_every: u64::MAX }).unwrap();
+    assert_eq!(again.state, store.state());
+    assert!(again.report.events.is_empty(), "nothing torn, nothing truncated");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn failed_snapshot_stages_preserve_the_previous_snapshot_and_log() {
+    let dir = temp_dir("snap-crash");
+    let (fault, store) = faulty_store(&dir);
+    store.append(live_cam("c", 1.0)).unwrap();
+    store.append(Record::Extend { camera: "c".into(), live_edge_secs: 30.0 }).unwrap();
+    store.checkpoint().unwrap(); // snapshot.bin now holds camera + extension
+    store.append(Record::Admit { epsilon: 0.25, debits: vec![DebitRange { camera: "c".into(), lo: 0, hi: 10 }] })
+        .unwrap();
+    let live = store.state();
+    let snap_before = std::fs::read(dir.join("snapshot.bin")).unwrap();
+    let log_before = std::fs::read(dir.join("wal.log")).unwrap();
+
+    // Case 1: the disk fills while streaming the staged snapshot.tmp.
+    fault.fail_from(FaultOp::Write, 1, FaultKind::Enospc);
+    let err = store.checkpoint().unwrap_err();
+    assert!(matches!(err, StoreError::Io { .. }) && err.is_transient(), "got {err:?}");
+
+    // Case 2: fsync of the staged file fails — the bytes may never have
+    // left the page cache, so the stage must be abandoned, not renamed.
+    fault.heal();
+    fault.fail_from(FaultOp::Fsync, 1, FaultKind::FsyncFailure);
+    let err = store.checkpoint().unwrap_err();
+    assert!(matches!(err, StoreError::Io { .. }) && err.is_transient(), "got {err:?}");
+
+    // Case 3: the rename of the fully-synced stage fails.
+    fault.heal();
+    fault.fail_from(FaultOp::Rename, 1, FaultKind::RenameFailure);
+    let err = store.checkpoint().unwrap_err();
+    assert!(matches!(err, StoreError::Io { .. }) && err.is_transient(), "got {err:?}");
+    fault.heal();
+
+    // After every failure mode: the previous snapshot and the log survive
+    // bit-for-bit, no staged file lingers, and the store is not wedged.
+    assert_eq!(std::fs::read(dir.join("snapshot.bin")).unwrap(), snap_before);
+    assert_eq!(std::fs::read(dir.join("wal.log")).unwrap(), log_before);
+    assert!(!dir.join("snapshot.tmp").exists(), "failed stages are removed");
+    assert!(store.is_wedged().is_none());
+
+    // Case 4: a literal crash after staging leaves an orphan snapshot.tmp.
+    // Recovery sweeps it and rebuilds from snapshot.bin + wal.log alone.
+    std::fs::write(dir.join("snapshot.tmp"), b"half-written stage from a crashed checkpoint").unwrap();
+    let (_s2, rec) =
+        WalStore::open_with(&dir, FsyncPolicy::Always, WalOptions { snapshot_every: u64::MAX }).unwrap();
+    assert_eq!(rec.state, live, "the orphan stage must not shadow the real snapshot");
+    assert!(!dir.join("snapshot.tmp").exists(), "orphan staged snapshot is swept on open");
+    drop(_s2);
+
+    // Healed, the original handle checkpoints successfully and a fresh
+    // recovery sees the post-checkpoint state.
+    store.checkpoint().unwrap();
+    assert_ne!(std::fs::read(dir.join("snapshot.bin")).unwrap(), snap_before);
+    let (_s3, rec2) =
+        WalStore::open_with(&dir, FsyncPolicy::Always, WalOptions { snapshot_every: u64::MAX }).unwrap();
+    assert_eq!(rec2.state, live);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn failed_fsync_wedges_instead_of_reporting_durability() {
+    let dir = temp_dir("fsync-wedge");
+    let (fault, store) = faulty_store(&dir);
+    store.append(live_cam("c", 1.0)).unwrap(); // fsync #1
+    store.append(Record::Extend { camera: "c".into(), live_edge_secs: 30.0 }).unwrap(); // fsync #2
+    store.append(Record::Admit { epsilon: 0.25, debits: vec![DebitRange { camera: "c".into(), lo: 0, hi: 10 }] })
+        .unwrap(); // fsync #3
+    let before = store.state();
+
+    // The next append's fsync fails: the frame's durability is unknowable
+    // (the kernel may have dropped the dirty pages), so the store must NOT
+    // report success and must NOT debit the in-memory shadow.
+    fault.fail_nth(FaultOp::Fsync, 4, FaultKind::FsyncFailure);
+    let admit = Record::Admit { epsilon: 0.5, debits: vec![DebitRange { camera: "c".into(), lo: 15, hi: 30 }] };
+    let err = store.append(admit).unwrap_err();
+    assert!(matches!(err, StoreError::Wedged { .. }), "a failed fsync must wedge, not report durability: {err:?}");
+    assert!(!err.is_transient(), "retry-and-assume-durable is exactly the bug this guards against");
+    assert_eq!(store.state(), before, "the unacknowledged debit must not reach the shadow");
+    assert!(store.is_wedged().is_some());
+
+    // Every further mutation refuses until supervised recovery re-reads the
+    // log — the scripted fault is already spent, so these would "succeed" if
+    // the store forgot the failed fsync.
+    let extend = Record::Extend { camera: "c".into(), live_edge_secs: 45.0 };
+    assert!(matches!(store.append(extend.clone()), Err(StoreError::Wedged { .. })));
+    assert!(matches!(store.checkpoint(), Err(StoreError::Wedged { .. })));
+
+    // Supervised recovery: reopen() re-reads the directory and adopts
+    // whatever actually reached disk.
+    fault.heal();
+    let recovered = store.reopen().unwrap();
+    assert!(
+        recovered.report.events.iter().any(|e| matches!(e, RecoveryEvent::StoreReopened { .. })),
+        "reopen must be visible in the recovery report: {:?}",
+        recovered.report.events
+    );
+    assert!(store.is_wedged().is_none(), "reopen clears the wedge");
+
+    // The write itself succeeded before the fsync failed, so recovery may
+    // legitimately adopt the frame. Over-debit is the allowed direction:
+    // recovered remaining budget is never above the pre-fault shadow.
+    let rec_cam = &recovered.state.cameras["c"];
+    let pre_cam = &before.cameras["c"];
+    assert_eq!(rec_cam.slots.len(), pre_cam.slots.len());
+    for (i, slot) in rec_cam.slots.iter().enumerate() {
+        assert!(*slot <= pre_cam.slots[i], "slot {i} recovered above the acknowledged spend: under-debit");
+    }
+
+    // Appends resume with unbroken sequence numbers: a final fresh recovery
+    // replays the whole log without a gap refusal.
+    store.append(extend).unwrap();
+    let (_s2, again) =
+        WalStore::open_with(&dir, FsyncPolicy::Always, WalOptions { snapshot_every: u64::MAX }).unwrap();
+    assert_eq!(again.state, store.state());
+    assert_eq!(again.state.cameras["c"].duration_secs, 45.0);
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -29,12 +29,13 @@ pub use privid_video as video;
 
 pub use privid_core::{
     greedy_mask_order, AdmissionController, AdmissionFailure, AdmissionJournal, AdmissionRequest, AppendOutcome,
-    BudgetError, BudgetLedger, ChunkCacheStats, DegradationCurve, LaplaceMechanism, MaskPolicy, MaskingAnalysis,
-    NoisyRelease, NoisyValue, Parallelism, PrivacyPolicy, PrividError, PrividSystem, QueryResult, QueryService,
-    QueryServiceBuilder, StandingFiring,
+    BudgetError, BudgetLedger, CameraHealth, ChunkCacheStats, DegradationCurve, LaplaceMechanism, MaskPolicy,
+    MaskingAnalysis, NoisyRelease, NoisyValue, Parallelism, PrivacyPolicy, PrividError, PrividSystem, QueryResult,
+    QueryService, QueryServiceBuilder, StandingFiring, StoreRetryPolicy,
 };
 pub use privid_store::{
-    Durability, FsyncPolicy, Record, RecoveryEvent, RecoveryReport, StoreError, StoreState, WalOptions, WalStore,
+    Durability, FaultKind, FaultOp, FaultProfile, FaultVfs, FsyncPolicy, Record, RecoveryEvent, RecoveryReport,
+    RecoveryWarning, StdVfs, StoreError, StoreState, Vfs, VfsFile, WalOptions, WalStore,
 };
 pub use privid_cv::{Detector, DetectorConfig, DurationEstimator, PolicyEstimator, Tracker, TrackerConfig};
 pub use privid_query::{parse_query, Aggregation, ParsedQuery, Relation, SelectStatement, Value};

@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Records a machine-readable fault-tolerance benchmark snapshot at the repo
+# root (BENCH_PR7.json): journaled admission throughput through the storage
+# Vfs indirection (StdVfs vs a disarmed FaultVfs, both fsync policies) and
+# the bounded-backoff retry path's added append latency under scripted
+# transient faults, tracked PR over PR.
+#
+# Usage:
+#   scripts/bench_faults.sh            # full snapshot -> BENCH_PR7.json
+#   scripts/bench_faults.sh --smoke    # quick CI smoke run
+#   scripts/bench_faults.sh --out F    # write to a different path
+set -eu
+cd "$(dirname "$0")/.."
+exec cargo run --release -p privid-bench --bin bench_pr7_faults -- "$@"
