@@ -269,6 +269,53 @@ fn committed_config_covers_storage_vfs_modules_for_panic_freedom() {
     );
 }
 
+/// The committed analyzer.toml must cover the aggregate-state cache (the
+/// second cache tier added with the incremental-fold path): its mutex is a
+/// declared leaf in the lock order, and the module sits inside the
+/// panic-freedom surface. Guards against the new module silently escaping
+/// the privacy-review allowlists.
+#[test]
+fn committed_config_covers_the_aggregate_cache_module() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root above crates/privid-analyzer");
+    let toml = std::fs::read_to_string(root.join("analyzer.toml")).expect("committed analyzer.toml");
+    let cfg = Config::parse(&toml).expect("committed analyzer.toml parses");
+
+    // An unwrap in non-test aggcache code is flagged under the committed config.
+    let dirty = "fn probe(&self) { self.agg_entries.lock().unwrap(); }\n";
+    let (findings, _) = check_source("crates/privid-core/src/aggcache.rs", dirty, &cfg);
+    assert!(
+        findings.iter().any(|d| d.rule == RuleId::PanicFreedom),
+        "committed config no longer covers privid-core aggcache code: {findings:?}"
+    );
+
+    // `agg-cache-entries` is declared: acquiring a registry lock (which every
+    // rank orders *before* the caches) under it must be an inversion…
+    let nested = "fn f(&self) {\n    let a = self.agg_entries.lock();\n    let c = self.cameras.write();\n}\n";
+    let (findings, _) = check_source("crates/privid-core/src/aggcache.rs", nested, &cfg);
+    assert!(
+        findings.iter().any(|d| d.rule == RuleId::LockOrder),
+        "agg-cache-entries must be a declared leaf in the committed lock order: {findings:?}"
+    );
+
+    // …and it is ordered after the chunk-cache mutex, so probing tier 2 while
+    // holding tier 1 follows the declared order (the reverse would not).
+    let tiered = "fn f(&self) {\n    let c = self.entries.lock();\n    let a = self.agg_entries.lock();\n}\n";
+    let (findings, _) = check_source("crates/privid-core/src/aggcache.rs", tiered, &cfg);
+    assert!(
+        !findings.iter().any(|d| d.rule == RuleId::LockOrder),
+        "cache-entries before agg-cache-entries should follow the declared order: {findings:?}"
+    );
+    let inverted = "fn f(&self) {\n    let a = self.agg_entries.lock();\n    let c = self.entries.lock();\n}\n";
+    let (findings, _) = check_source("crates/privid-core/src/aggcache.rs", inverted, &cfg);
+    assert!(
+        findings.iter().any(|d| d.rule == RuleId::LockOrder),
+        "agg-cache-entries before cache-entries must be an inversion: {findings:?}"
+    );
+}
+
 // ---- the workspace self-test ----------------------------------------------
 
 /// The analyzer, run over this repository with the committed analyzer.toml,

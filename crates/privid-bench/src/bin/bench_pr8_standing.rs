@@ -1,0 +1,218 @@
+//! Machine-readable incremental-aggregation benchmark snapshot.
+//!
+//! Measures the PR-8 data plane and writes the results as JSON so the perf
+//! trajectory is tracked PR over PR:
+//!
+//! 1. `window_sweep` — a live camera with one standing query per window
+//!    length, footage appended batch by batch. The incremental path
+//!    pre-folds each append's newly closed chunks, so the append that fires
+//!    a window pays only the final batch; the seed-style path (aggregate
+//!    tier disabled, chunk cache untouched) executes the whole window at
+//!    firing time. Per-firing latency should stay flat as the window grows
+//!    10× where the seed-style path grows ~linearly.
+//! 2. `shared_subplan` — eight analysts repeatedly issuing the *same*
+//!    foldable sub-plan against an ingested recording, tier-1 warm in both
+//!    modes. With tier 2, the first fold is shared and every later query is
+//!    a state clone; without it, every query re-folds the whole table.
+//!    Reports aggregate throughput and the tier-2 hit rate.
+//!
+//! Usage: `bench_pr8_standing [--smoke] [--out PATH]` (default
+//! `BENCH_PR8.json` in the current directory; CI runs `--smoke --out /dev/null`).
+
+use privid::{
+    CarTableProcessor, ChunkProcessor, FrameBatch, Parallelism, PrivacyPolicy, QueryService, Scene, SceneConfig,
+    SceneGenerator, TrackedObject, UniqueEntrantProcessor,
+};
+use std::time::Instant;
+
+const BATCH_SECS: f64 = 30.0;
+const CHUNK_SECS: f64 = 5.0;
+const ANALYSTS: usize = 8;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+/// Partition a generated scene into frame batches by each object's first
+/// appearance.
+fn batches_of(scene: &Scene, batch_secs: f64) -> Vec<FrameBatch> {
+    let n = (scene.span.end.as_secs() / batch_secs).ceil() as usize;
+    let mut per_batch: Vec<Vec<TrackedObject>> = vec![Vec::new(); n];
+    for obj in &scene.objects {
+        let first = obj.first_seen().map(|t| t.as_secs()).unwrap_or(0.0);
+        per_batch[((first / batch_secs).floor() as usize).min(n - 1)].push(obj.clone());
+    }
+    per_batch.into_iter().map(|objects| FrameBatch::new(batch_secs, objects)).collect()
+}
+
+fn live_service(scene: &Scene, incremental: bool) -> QueryService {
+    let service = QueryService::new().with_parallelism(Parallelism::Fixed(1));
+    // The seed-style baseline keeps the chunk cache (tier 1) and loses only
+    // the aggregate tier, which also disables incremental standing firing.
+    let service = if incremental { service } else { service.with_agg_cache_capacity(0) };
+    service
+        .register_live_camera("campus", scene.frame_rate, scene.frame_size, PrivacyPolicy::new(90.0, 2, 1e9))
+        .expect("camera registration must succeed");
+    service
+        .register_processor("proc", || Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>)
+        .expect("processor registration must succeed");
+    service
+        .register_processor("car_table", || Box::new(CarTableProcessor) as Box<dyn ChunkProcessor>)
+        .expect("processor registration must succeed");
+    service
+}
+
+fn standing_text(window_secs: f64) -> String {
+    format!(
+        "SPLIT campus BEGIN 0 END {window_secs} BY TIME {CHUNK_SECS} sec STRIDE 0 sec INTO c;
+         PROCESS c USING proc TIMEOUT 1 sec PRODUCING 20 ROWS WITH SCHEMA (count:NUMBER=0) INTO t;
+         SELECT SUM(range(count, 0, 20)) FROM t CONSUMING 0.1;"
+    )
+}
+
+/// One window-sweep cell: ingest `footage` as 30-second batches under a
+/// standing query of length `window_secs`, timing every append. Returns
+/// (median firing-append ms, median quiet-append ms, firings).
+fn sweep_cell(scene: &Scene, window_secs: f64, incremental: bool) -> (f64, f64, usize) {
+    let svc = live_service(scene, incremental);
+    svc.register_standing_query("sweep", 7, &standing_text(window_secs)).expect("standing registered");
+    let (mut firing, mut quiet) = (Vec::new(), Vec::new());
+    for batch in batches_of(scene, BATCH_SECS) {
+        let start = Instant::now();
+        let outcome = svc.append_frames("campus", batch).expect("append admitted");
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        if outcome.standing_fired > 0 { firing.push(ms) } else { quiet.push(ms) }
+    }
+    let n = firing.len();
+    (median(firing), median(quiet), n)
+}
+
+/// The shared-sub-plan storm: `ANALYSTS` threads issue `reps` copies each of
+/// one foldable query (distinct seeds) against a pre-warmed service.
+/// Returns (total ms, queries).
+fn storm(svc: &QueryService, text: &str, reps: usize) -> (f64, usize) {
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for a in 0..ANALYSTS {
+            let svc = &svc;
+            scope.spawn(move || {
+                for r in 0..reps {
+                    let seed = 1 + (a * reps + r) as u64;
+                    svc.execute_text(seed, text).expect("bench query admitted");
+                }
+            });
+        }
+    });
+    (start.elapsed().as_secs_f64() * 1e3, ANALYSTS * reps)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR8.json".to_string());
+
+    let (windows, sweep_secs, reps) =
+        if smoke { (vec![60.0, 600.0], 1200.0, 4) } else { (vec![60.0, 180.0, 600.0], 1800.0, 12) };
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    eprintln!("bench_pr8_standing: windows {windows:?} s, {ANALYSTS} analysts x {reps} reps, {cores} core(s)");
+
+    // ---- 1. window-length sweep: incremental vs seed-style firing latency ----
+    // One fixed recording for every window length: each cell ingests the same
+    // batches, so a firing append's non-window work is identical across the
+    // sweep and the latency trend isolates the window length itself.
+    let sweep_scene = SceneGenerator::new(
+        SceneConfig::campus().with_duration_hours(sweep_secs / 3600.0).with_arrival_scale(0.3),
+    )
+    .generate();
+    let mut sweep_rows = Vec::new();
+    let mut incremental_latencies = Vec::new();
+    for &w in &windows {
+        let (inc_fire, inc_quiet, firings) = sweep_cell(&sweep_scene, w, true);
+        let (base_fire, base_quiet, _) = sweep_cell(&sweep_scene, w, false);
+        eprintln!(
+            "  window {w:>5.0} s: firing append {inc_fire:.2} ms incremental vs {base_fire:.2} ms seed-style \
+             ({firings} firings)"
+        );
+        incremental_latencies.push(inc_fire);
+        sweep_rows.push(format!(
+            "    {{\"window_secs\": {w}, \"firings\": {firings}, \
+             \"incremental\": {{\"firing_append_ms\": {inc_fire:.3}, \"quiet_append_ms\": {inc_quiet:.3}}}, \
+             \"seed_style\": {{\"firing_append_ms\": {base_fire:.3}, \"quiet_append_ms\": {base_quiet:.3}}}, \
+             \"firing_speedup\": {:.2}}}",
+            base_fire / inc_fire.max(1e-9)
+        ));
+    }
+    let flatness = {
+        let (lo, hi) = incremental_latencies
+            .iter()
+            .fold((f64::INFINITY, 0.0f64), |(lo, hi), &x| (lo.min(x), hi.max(x)));
+        hi / lo.max(1e-9)
+    };
+
+    // ---- 2. eight analysts sharing one sub-plan ------------------------------
+    // A car-dominated scene and a row-per-car processor give the SELECT folds
+    // real work (tens of thousands of rows), which is what tier 2 amortizes:
+    // with the aggregate tier off every query re-folds the whole table; with
+    // it on, the first fold is shared and later queries clone a few states.
+    let scene =
+        SceneGenerator::new(SceneConfig::highway().with_duration_hours(1.0).with_arrival_scale(0.2)).generate();
+    let query = "SPLIT campus BEGIN 0 END 3600 BY TIME 5 sec STRIDE 0 sec INTO c;
+         PROCESS c USING car_table TIMEOUT 1 sec PRODUCING 50 ROWS
+             WITH SCHEMA (plate:STRING=\"\", color:STRING=\"\", speed:NUMBER=0) INTO t;
+         SELECT SUM(range(speed, 0, 200)) FROM t CONSUMING 0.1;
+         SELECT ARGMAX(color) FROM t CONSUMING 0.1;";
+    let mut shared_cells = Vec::new();
+    for (mode, incremental) in [("tier2_shared", true), ("fold_every_query", false)] {
+        let svc = live_service(&scene, incremental);
+        for batch in batches_of(&scene, BATCH_SECS) {
+            svc.append_frames("campus", batch).expect("append admitted");
+        }
+        svc.execute_text(0, query).expect("warm-up admitted"); // tier 1 warm in both modes
+        let (ms, queries) = storm(&svc, query, reps);
+        let stats = svc.agg_cache_stats();
+        let hit_rate = stats.hits as f64 / (stats.hits + stats.misses).max(1) as f64;
+        eprintln!("  {mode}: {queries} queries in {ms:.1} ms ({:.0} q/s), tier-2 hit rate {hit_rate:.3}", queries as f64 / (ms / 1e3));
+        shared_cells.push((mode, ms, queries, hit_rate));
+    }
+    let shared_json: Vec<String> = shared_cells
+        .iter()
+        .map(|(mode, ms, queries, hit_rate)| {
+            format!(
+                "    {{\"mode\": \"{mode}\", \"total_ms\": {ms:.3}, \"queries\": {queries}, \
+                 \"queries_per_sec\": {:.1}, \"tier2_hit_rate\": {hit_rate:.3}}}",
+                *queries as f64 / (ms / 1e3)
+            )
+        })
+        .collect();
+    let throughput_gain = shared_cells[1].1 / shared_cells[0].1.max(1e-9);
+
+    let json = format!(
+        "{{\n  \"pr\": 8,\n  \"bench\": \"incremental aggregation & shared sub-plans\",\n  \
+         \"available_cores\": {cores},\n  \
+         \"config\": {{\"video\": \"campus\", \"batch_secs\": {BATCH_SECS}, \"chunk_secs\": {CHUNK_SECS}, \
+         \"analysts\": {ANALYSTS}, \"reps\": {reps}, \"smoke\": {smoke}}},\n  \
+         \"window_sweep\": [\n{}\n  ],\n  \
+         \"incremental_firing_flatness_max_over_min\": {flatness:.2},\n  \
+         \"shared_subplan\": [\n{}\n  ],\n  \
+         \"speedups\": {{\"shared_subplan_throughput\": {throughput_gain:.2}}}\n}}\n",
+        sweep_rows.join(",\n"),
+        shared_json.join(",\n"),
+    );
+
+    if out_path == "/dev/null" {
+        print!("{json}");
+    } else {
+        std::fs::write(&out_path, &json).expect("write bench snapshot");
+        eprintln!("bench_pr8_standing: wrote {out_path}");
+        print!("{json}");
+    }
+}

@@ -45,16 +45,19 @@
 //! an aliased hit would merely have been a stale-but-identical raw table, the
 //! invariant keeps the re-registration invalidation story airtight.
 
-use privid_sandbox::SandboxedOutput;
+use privid_query::Table;
 use privid_video::{ChunkSpec, Seconds, TimeSpan};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// The sandboxed outputs of one PROCESS statement: `(region id, output)`
-/// pairs in deterministic (chunk, region) order, exactly as produced by
-/// [`crate::parallel::execute_plan`].
-pub type CachedOutputs = Arc<Vec<(u32, SandboxedOutput)>>;
+/// The materialized table of one PROCESS statement: chunk outputs appended in
+/// deterministic (chunk, region) order, exactly as produced by
+/// [`crate::parallel::execute_plan`]. Sharing the *table* (rather than the raw
+/// output rows) makes a cache hit a pure `Arc` clone — no row copies, no
+/// re-materialization — while [`Table::runs`] still records one run per chunk
+/// execution, so `chunks_processed` accounting is identical on hit and miss.
+pub type CachedOutputs = Arc<Table>;
 
 /// Identity of one PROCESS execution. Two PROCESS statements with equal keys
 /// are guaranteed to produce identical sandbox outputs.
@@ -309,6 +312,11 @@ impl ChunkResultCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use privid_query::{ColumnDef, Schema};
+
+    fn table() -> CachedOutputs {
+        Arc::new(Table::new(Schema::new(vec![ColumnDef::number("count", 0.0)]).unwrap()))
+    }
 
     fn key(camera: &str, start: f64, processor: &str) -> ChunkCacheKey {
         ChunkCacheKey::new(
@@ -345,7 +353,7 @@ mod tests {
         let cache = ChunkResultCache::with_capacity(8);
         let k = key("campus", 0.0, "p");
         assert!(cache.get(&k).is_none());
-        cache.insert(k.clone(), Arc::new(Vec::new()));
+        cache.insert(k.clone(), table());
         assert!(cache.get(&k).is_some());
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
@@ -354,7 +362,7 @@ mod tests {
     #[test]
     fn distinct_process_identities_do_not_collide() {
         let cache = ChunkResultCache::with_capacity(8);
-        cache.insert(key("campus", 0.0, "p"), Arc::new(Vec::new()));
+        cache.insert(key("campus", 0.0, "p"), table());
         assert!(cache.get(&key("campus", 100.0, "p")).is_none(), "different window");
         assert!(cache.get(&key("highway", 0.0, "p")).is_none(), "different camera");
         assert!(cache.get(&key("campus", 0.0, "q")).is_none(), "different processor");
@@ -390,9 +398,9 @@ mod tests {
     #[test]
     fn capacity_evicts_oldest_first() {
         let cache = ChunkResultCache::with_capacity(2);
-        cache.insert(key("c", 0.0, "p"), Arc::new(Vec::new()));
-        cache.insert(key("c", 100.0, "p"), Arc::new(Vec::new()));
-        cache.insert(key("c", 200.0, "p"), Arc::new(Vec::new()));
+        cache.insert(key("c", 0.0, "p"), table());
+        cache.insert(key("c", 100.0, "p"), table());
+        cache.insert(key("c", 200.0, "p"), table());
         assert!(cache.get(&key("c", 0.0, "p")).is_none(), "oldest entry evicted");
         assert!(cache.get(&key("c", 100.0, "p")).is_some());
         assert!(cache.get(&key("c", 200.0, "p")).is_some());
@@ -402,9 +410,9 @@ mod tests {
     #[test]
     fn invalidation_by_camera_and_processor() {
         let cache = ChunkResultCache::with_capacity(8);
-        cache.insert(key("campus", 0.0, "p"), Arc::new(Vec::new()));
-        cache.insert(key("highway", 0.0, "p"), Arc::new(Vec::new()));
-        cache.insert(key("highway", 0.0, "q"), Arc::new(Vec::new()));
+        cache.insert(key("campus", 0.0, "p"), table());
+        cache.insert(key("highway", 0.0, "p"), table());
+        cache.insert(key("highway", 0.0, "q"), table());
         cache.invalidate_camera("campus");
         assert!(cache.get(&key("campus", 0.0, "p")).is_none());
         assert!(cache.get(&key("highway", 0.0, "p")).is_some());
@@ -419,12 +427,12 @@ mod tests {
         // at capacity must still evict the oldest *resident* entry, and the
         // invalidated entry's vanishing must not count as an eviction.
         let cache = ChunkResultCache::with_capacity(2);
-        cache.insert(key("a", 0.0, "p"), Arc::new(Vec::new()));
-        cache.insert(key("b", 0.0, "p"), Arc::new(Vec::new()));
+        cache.insert(key("a", 0.0, "p"), table());
+        cache.insert(key("b", 0.0, "p"), table());
         cache.invalidate_camera("a");
         assert_eq!(cache.stats().entries, 1);
-        cache.insert(key("c", 0.0, "p"), Arc::new(Vec::new()));
-        cache.insert(key("d", 0.0, "p"), Arc::new(Vec::new()));
+        cache.insert(key("c", 0.0, "p"), table());
+        cache.insert(key("d", 0.0, "p"), table());
         assert!(cache.get(&key("b", 0.0, "p")).is_none(), "oldest resident evicted");
         assert!(cache.get(&key("c", 0.0, "p")).is_some());
         assert!(cache.get(&key("d", 0.0, "p")).is_some());
@@ -434,13 +442,13 @@ mod tests {
     #[test]
     fn reinserted_key_ranks_by_its_new_insertion_time() {
         let cache = ChunkResultCache::with_capacity(2);
-        cache.insert(key("a", 0.0, "p"), Arc::new(Vec::new()));
-        cache.insert(key("b", 0.0, "p"), Arc::new(Vec::new()));
+        cache.insert(key("a", 0.0, "p"), table());
+        cache.insert(key("b", 0.0, "p"), table());
         cache.invalidate_camera("a");
         // Re-insert "a": it is now the *newest* entry, so the next insert at
         // capacity must evict "b", not "a".
-        cache.insert(key("a", 0.0, "p"), Arc::new(Vec::new()));
-        cache.insert(key("c", 0.0, "p"), Arc::new(Vec::new()));
+        cache.insert(key("a", 0.0, "p"), table());
+        cache.insert(key("c", 0.0, "p"), table());
         assert!(cache.get(&key("a", 0.0, "p")).is_some(), "re-insert survives");
         assert!(cache.get(&key("b", 0.0, "p")).is_none());
         assert!(cache.get(&key("c", 0.0, "p")).is_some());
@@ -454,7 +462,7 @@ mod tests {
         // without bound.
         let cache = ChunkResultCache::with_capacity(8);
         for round in 0..100 {
-            cache.insert(live_key("live", round as f64 * 100.0, round as f64 + 1.0), Arc::new(Vec::new()));
+            cache.insert(live_key("live", round as f64 * 100.0, round as f64 + 1.0), table());
             cache.invalidate_live_edge("live");
         }
         assert_eq!(cache.stats().entries, 0);
@@ -464,9 +472,9 @@ mod tests {
     #[test]
     fn live_edge_invalidation_keeps_closed_windows_warm() {
         let cache = ChunkResultCache::with_capacity(8);
-        cache.insert(key("live", 0.0, "p"), Arc::new(Vec::new())); // closed window
-        cache.insert(live_key("live", 100.0, 150.0), Arc::new(Vec::new())); // overlaps the edge
-        cache.insert(live_key("other", 0.0, 50.0), Arc::new(Vec::new()));
+        cache.insert(key("live", 0.0, "p"), table()); // closed window
+        cache.insert(live_key("live", 100.0, 150.0), table()); // overlaps the edge
+        cache.insert(live_key("other", 0.0, 50.0), table());
         cache.invalidate_live_edge("live");
         assert!(cache.get(&key("live", 0.0, "p")).is_some(), "closed-window entry stays warm");
         assert!(cache.get(&live_key("live", 100.0, 150.0)).is_none(), "overlap entry dropped");
@@ -477,7 +485,7 @@ mod tests {
     fn zero_capacity_disables_caching() {
         let cache = ChunkResultCache::with_capacity(0);
         let k = key("c", 0.0, "p");
-        cache.insert(k.clone(), Arc::new(Vec::new()));
+        cache.insert(k.clone(), table());
         assert!(cache.get(&k).is_none());
         assert_eq!(cache.stats().entries, 0);
     }

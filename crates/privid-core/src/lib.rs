@@ -19,6 +19,9 @@
 //!   → noise, shared by both front-ends.
 //! * [`cache`] — the cross-query chunk-result cache (raw sandbox outputs,
 //!   DP-safe to share because noise is applied at release time).
+//! * [`aggcache`] — the second cache tier: folded per-(plan, chunk-prefix)
+//!   aggregate states, shared across analysts running the same sub-plan and
+//!   extended incrementally by standing queries.
 //! * [`executor`] — the single-analyst front-end ([`PrividSystem`]) and the
 //!   release/result types.
 //! * durability (the `privid-store` crate, re-exported here) — the
@@ -63,6 +66,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggcache;
 pub mod budget;
 pub mod cache;
 pub mod degradation;
@@ -77,6 +81,7 @@ pub mod service;
 mod session;
 pub mod spatial;
 
+pub use aggcache::{AggCacheKey, AggCacheStats, AggStateCache};
 pub use budget::{
     AdmissionController, AdmissionFailure, AdmissionJournal, AdmissionRequest, BudgetError, BudgetLedger,
 };

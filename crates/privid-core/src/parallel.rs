@@ -105,14 +105,33 @@ pub fn execute_plan(
     spec: &SandboxSpec,
     parallelism: Parallelism,
 ) -> ChunkOutputs {
-    let n_chunks = plan.len();
+    execute_plan_range(plan, 0..plan.len(), regions, factory, spec, parallelism)
+}
+
+/// Execute a contiguous sub-range of `plan`'s chunks, preserving everything
+/// [`execute_plan`] guarantees: outputs ordered by chunk index and then by
+/// region position, bit-for-bit identical at every worker count. Each
+/// output's `chunk_index` is the chunk's index *in the full plan* — the
+/// processor-visible trusted column — so executing chunks `k..n` here is
+/// indistinguishable from slicing a full execution's tail. The incremental
+/// standing-query path uses this to run only a window's newly closed chunks.
+pub fn execute_plan_range(
+    plan: &ChunkPlan<'_>,
+    range: std::ops::Range<usize>,
+    regions: Option<&RegionScheme>,
+    factory: &(dyn ProcessorFactory + Sync),
+    spec: &SandboxSpec,
+    parallelism: Parallelism,
+) -> ChunkOutputs {
+    debug_assert!(range.end <= plan.len(), "chunk range must lie within the plan");
+    let n_chunks = range.len();
     let regions = region_list(regions);
     let workers = parallelism.worker_count(n_chunks);
 
     if workers <= 1 || n_chunks < 2 {
         let mut scratch = WorkerScratch::default();
         let mut out = Vec::with_capacity(n_chunks * regions.len());
-        for i in 0..n_chunks {
+        for i in range {
             run_one_chunk(plan, i, &regions, factory, spec, &mut scratch, &mut out);
         }
         return out;
@@ -122,6 +141,7 @@ pub fn execute_plan(
     // next unprocessed chunk to whichever worker is free. Each worker keeps
     // its outputs tagged with the chunk index so the merge below can restore
     // deterministic order no matter how chunks were interleaved.
+    let base = range.start;
     let next = AtomicUsize::new(0);
     let per_worker: Vec<Vec<(usize, ChunkOutputs)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
@@ -137,7 +157,7 @@ pub fn execute_plan(
                             break;
                         }
                         let mut chunk_out = Vec::with_capacity(regions.len());
-                        run_one_chunk(plan, i, regions, factory, spec, &mut scratch, &mut chunk_out);
+                        run_one_chunk(plan, base + i, regions, factory, spec, &mut scratch, &mut chunk_out);
                         local.push((i, chunk_out));
                     }
                     local
@@ -212,6 +232,26 @@ mod tests {
         }
         let parallel = execute_plan(&plan, Some(&scheme), &factory, &sandbox, Parallelism::Fixed(4));
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn range_execution_matches_the_full_plan_tail() {
+        let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(0.25)).generate();
+        let window = TimeSpan::from_secs(600.0);
+        let spec_split = ChunkSpec::contiguous(10.0);
+        let plan = ChunkPlan::new(&scene, &window, &spec_split, None);
+        let sandbox = SandboxSpec::new(1.0, 10, Schema::listing1());
+        let factory = car_factory();
+        let n = plan.len();
+        let full = execute_plan(&plan, None, &factory, &sandbox, Parallelism::Serial);
+        for start in [0, 1, n / 2, n - 1, n] {
+            let tail = execute_plan_range(&plan, start..n, None, &factory, &sandbox, Parallelism::Fixed(3));
+            assert_eq!(
+                tail,
+                full[start..],
+                "chunks {start}..{n} must be bit-identical to the full execution's tail (chunk_index included)"
+            );
+        }
     }
 
     #[test]

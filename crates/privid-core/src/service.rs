@@ -24,6 +24,7 @@
 //! the analyst except in latency (see `cache` module docs for the DP-safety
 //! argument).
 
+use crate::aggcache::{AggCacheStats, AggStateCache};
 use crate::budget::{
     AdmissionController, AdmissionFailure, AdmissionJournal, AdmissionRequest, BudgetLedger,
 };
@@ -123,6 +124,12 @@ struct StandingJob {
 /// A registered processor: its registration generation plus the shared factory.
 type RegisteredProcessor = (u64, Arc<dyn ProcessorFactory + Send + Sync>);
 
+/// Aggregate-state entries per chunk-cache entry: a folded state is a handful
+/// of scalars (or one key→count map), orders of magnitude smaller than the
+/// chunk rows it summarizes, so the second tier affords many more entries —
+/// enough for thousands of standing queries' prefix states per camera.
+const AGG_CACHE_FACTOR: usize = 16;
+
 /// A shared, concurrent Privid query service.
 ///
 /// Construction is builder-style; all serving methods take `&self`:
@@ -160,6 +167,10 @@ pub struct QueryService {
     standing: Mutex<HashMap<String, StandingState>>,
     admission: AdmissionController,
     cache: ChunkResultCache,
+    /// Second cache tier: folded aggregate states per (PROCESS identity,
+    /// SELECT plan, closed-chunk prefix). Entries cover only fully recorded
+    /// footage, so appends never invalidate them; re-registrations do.
+    agg_cache: AggStateCache,
     /// Source of registration generations for cameras and processors.
     generations: AtomicU64,
     /// Budget charged to a SELECT that has no `CONSUMING` clause.
@@ -215,6 +226,7 @@ impl QueryService {
             standing: Mutex::new(HashMap::new()),
             admission: AdmissionController::new(),
             cache: ChunkResultCache::default(),
+            agg_cache: AggStateCache::with_capacity(256 * AGG_CACHE_FACTOR),
             generations: AtomicU64::new(0),
             default_epsilon: 1.0,
             parallelism: Parallelism::Auto,
@@ -244,8 +256,21 @@ impl QueryService {
     }
 
     /// Builder-style override of the chunk cache's capacity (0 disables it).
+    /// The aggregate-state tier scales with it (entries there are a few
+    /// folded states, far smaller than a chunk's rows): `0` disables both.
     pub fn with_cache_capacity(mut self, max_entries: usize) -> Self {
         self.cache = ChunkResultCache::with_capacity(max_entries);
+        self.agg_cache = AggStateCache::with_capacity(max_entries.saturating_mul(AGG_CACHE_FACTOR));
+        self
+    }
+
+    /// Builder-style override of the aggregate-state tier alone (0 disables
+    /// it, which also turns off incremental standing-query execution). The
+    /// chunk cache keeps its own capacity — this is the knob benchmarks use
+    /// to compare the fold-every-time path against tier-2 sharing on equal
+    /// tier-1 footing.
+    pub fn with_agg_cache_capacity(mut self, max_entries: usize) -> Self {
+        self.agg_cache = AggStateCache::with_capacity(max_entries);
         self
     }
 
@@ -268,6 +293,7 @@ impl QueryService {
         let name = name.into();
         let duration = scene.span.end.as_secs();
         self.cache.invalidate_camera(&name);
+        self.agg_cache.invalidate_camera(&name);
         // Journal + insert run under the admission gate (and, inside it, the
         // registry write lock — gate-before-registry is the system's lock
         // order): two racing registrations of one name reach the WAL and the
@@ -315,6 +341,7 @@ impl QueryService {
         let name = name.into();
         let scene = Recording::start(CameraId::new(name.as_str()), frame_rate, frame_size).into_scene();
         self.cache.invalidate_camera(&name);
+        self.agg_cache.invalidate_camera(&name);
         self.admission.exclusive(|| {
             let mut cameras = self.cameras.write().expect("camera registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
             let (generation, ledger) = self.camera_ledger(&name, 0.0, policy, true)?;
@@ -455,6 +482,10 @@ impl QueryService {
                             }
                         }
                         base.ledger.extend_to(edge_secs);
+                        // Only the chunk-result tier carries live-edge-tagged
+                        // entries; aggregate states cover exclusively closed
+                        // chunks, which this append cannot change, so the
+                        // second tier needs no invalidation here.
                         self.cache.invalidate_live_edge(camera);
                         let next = Arc::new(CameraState {
                             scene,
@@ -523,6 +554,7 @@ impl QueryService {
         let state = cameras.get(camera).ok_or_else(|| PrividError::UnknownCamera(camera.to_string()))?;
         let mask_id = mask_id.into();
         self.cache.invalidate_mask(camera, &mask_id);
+        self.agg_cache.invalidate_mask(camera, &mask_id);
         let generation = self.generations.fetch_add(1, Ordering::Relaxed);
         if let Some(store) = &self.store {
             store
@@ -549,6 +581,7 @@ impl QueryService {
     {
         let name = name.into();
         self.cache.invalidate_processor(&name);
+        self.agg_cache.invalidate_processor(&name);
         let generation = self.generations.fetch_add(1, Ordering::Relaxed);
         if let Some(store) = &self.store {
             store
@@ -660,6 +693,7 @@ impl QueryService {
     /// the lock through the ordinary [`QueryService::execute`] path.
     fn pump_standing_queries(&self) -> usize {
         let mut jobs: Vec<StandingJob> = Vec::new();
+        let mut prefolds: Vec<ParsedQuery> = Vec::new();
         {
             let mut standing = self.standing.lock().expect("standing registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
             for (name, st) in standing.iter_mut() {
@@ -696,11 +730,24 @@ impl QueryService {
                     });
                     st.next_start_secs = next_start;
                 }
+                // The window now *forming* (`[next_start, next_start+period)`)
+                // has some footage whenever the edge sits inside it: pre-fold
+                // the chunks this append closed so the eventual firing only
+                // runs the final stretch. Collected under the lock, executed
+                // outside it (it runs the sandbox).
+                if edge > st.next_start_secs {
+                    let mut query = st.query.clone();
+                    for s in &mut query.splits {
+                        s.begin_secs += st.next_start_secs;
+                        s.end_secs += st.next_start_secs;
+                    }
+                    prefolds.push(query);
+                }
             }
         }
         let fired = jobs.len();
         for job in jobs {
-            let result = self.execute(job.seed, &job.query);
+            let result = self.execute_standing_query(job.seed, &job.query);
             // Journal the advanced watermark *after* the firing (whose own
             // debits the execute path journaled). Best-effort on purpose: a
             // lost record can only make recovery re-fire this window — a
@@ -714,7 +761,24 @@ impl QueryService {
                 st.firings.push(StandingFiring { window: job.window, seed: job.seed, result });
             }
         }
+        for query in prefolds {
+            session::prefold_standing(self, &query, self.parallelism);
+        }
         fired
+    }
+
+    /// Execute one standing-query firing: the incremental fold path when it
+    /// applies (fully recorded window, foldable SELECTs), else the ordinary
+    /// [`QueryService::execute`] pipeline. Both paths draw from a fresh
+    /// mechanism seeded the same way and release bit-identical values, so
+    /// which one served a firing is observable only in latency.
+    fn execute_standing_query(&self, seed: u64, query: &ParsedQuery) -> Result<QueryResult, PrividError> {
+        let mut mechanism = LaplaceMechanism::new(seed);
+        match session::execute_standing(self, query, &mut mechanism, self.parallelism, self.default_epsilon) {
+            Ok(Some(result)) => Ok(result),
+            Ok(None) => self.execute(seed, query),
+            Err(e) => Err(e),
+        }
     }
 
     // ---- durability ---------------------------------------------------------------------
@@ -896,6 +960,12 @@ impl QueryService {
         self.cache.stats()
     }
 
+    /// Counters of the aggregate-state cache (the second tier): hits are
+    /// queries that reused another query's folded sub-plan states.
+    pub fn agg_cache_stats(&self) -> AggCacheStats {
+        self.agg_cache.stats()
+    }
+
     // ---- execution ----------------------------------------------------------------------
 
     /// Parse and execute a textual query with a per-query noise seed.
@@ -946,6 +1016,10 @@ impl QueryService {
 
     pub(crate) fn chunk_cache(&self) -> &ChunkResultCache {
         &self.cache
+    }
+
+    pub(crate) fn agg_cache(&self) -> &AggStateCache {
+        &self.agg_cache
     }
 
     /// Admit a query's per-window requests, journaling the debits first when
@@ -1120,6 +1194,7 @@ impl QueryServiceBuilder {
         }
         if let Some(c) = self.cache_capacity {
             service.cache = ChunkResultCache::with_capacity(c);
+            service.agg_cache = AggStateCache::with_capacity(c.saturating_mul(AGG_CACHE_FACTOR));
         }
         if let Some(r) = self.append_retry {
             service.retry = r;

@@ -6,22 +6,33 @@
 //! admission controller, then aggregate and add seeded noise. Sessions hold
 //! `Arc`s to the camera state they resolved at the start, so registry writes
 //! never invalidate a query in flight, and they share nothing mutable except
-//! the ledgers (serialized in `budget`) and the chunk cache (internally
-//! locked) — which is what makes [`crate::QueryService`] safely concurrent.
+//! the ledgers (serialized in `budget`), the chunk cache and the aggregate
+//! cache (both internally locked) — which is what makes
+//! [`crate::QueryService`] safely concurrent.
+//!
+//! Aggregate-only SELECTs never materialize rows at release time: they fold
+//! per-chunk [`AggState`]s (see `privid_query::aggstate`) over the columnar
+//! table, reusing folded chunk-prefix states from the second cache tier
+//! ([`crate::aggcache`]) when another analyst already ran the same sub-plan.
+//! Standing-query firings go further via [`execute_standing`]: when every
+//! chunk of the window is fully recorded, the session executes only the
+//! chunks past the longest cached prefix and extends the folded states —
+//! per-firing work proportional to the *new* footage, not the window.
 
+use crate::aggcache::{AggCacheKey, AggStateCache};
 use crate::budget::{AdmissionFailure, BudgetError};
 use crate::cache::ChunkCacheKey;
 use crate::error::PrividError;
 use crate::executor::{NoisyRelease, NoisyValue, QueryResult};
 use crate::mechanism::LaplaceMechanism;
-use crate::parallel::{execute_plan, Parallelism};
+use crate::parallel::{execute_plan, execute_plan_range, Parallelism};
 use crate::service::{CameraState, QueryService};
 use privid_query::exec::RawRelease;
 use privid_query::{
-    execute_select, ParsedQuery, ProcessStatement, ReleaseValue, SelectStatement, SensitivityContext, SplitStatement,
-    Table,
+    execute_select, AggState, FoldableSelect, ParsedQuery, ProcessStatement, ReleaseValue, SelectStatement,
+    SensitivityContext, SplitStatement, Table,
 };
-use privid_sandbox::SandboxSpec;
+use privid_sandbox::{ProcessorFactory, SandboxSpec};
 use privid_video::{ChunkPlan, ChunkSpec, Mask, RegionBoundary, RegionScheme, Seconds, TimeSpan, Timestamp};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -49,6 +60,79 @@ struct PreparedSplit {
     region_scheme: Option<RegionScheme>,
 }
 
+/// Everything the aggregate-cache tier needs to know about one PROCESS
+/// output: the full execution identity (what [`ChunkCacheKey`] carries,
+/// minus the live-edge tag — folded states cover only *closed* chunks, which
+/// appends never mutate) plus where the window's closed prefix ends.
+pub(crate) struct TableMeta {
+    camera: String,
+    camera_generation: u64,
+    window: TimeSpan,
+    spec: ChunkSpec,
+    mask: Option<(String, u64)>,
+    region_scheme: Option<String>,
+    processor: String,
+    processor_generation: u64,
+    timeout_secs: Seconds,
+    max_rows: usize,
+    schema_repr: String,
+    /// `Some(edge)` for live cameras: chunks ending at or before the edge are
+    /// final; later chunks may still grow. `None` (batch camera) = all final.
+    closed_edge: Option<Timestamp>,
+    /// Registrations were current when the table was built — folded states
+    /// derived from it are worth caching (a stale generation keys entries no
+    /// future session can reach).
+    cacheable: bool,
+}
+
+impl TableMeta {
+    fn new(split: &PreparedSplit, p: &ProcessStatement, processor_generation: u64, cacheable: bool) -> TableMeta {
+        TableMeta {
+            camera: split.camera.clone(),
+            camera_generation: split.state.generation,
+            window: split.window,
+            spec: split.spec,
+            mask: split.mask_id.clone(),
+            region_scheme: split.region_scheme_id.clone(),
+            processor: p.executable.clone(),
+            processor_generation,
+            timeout_secs: p.timeout_secs,
+            max_rows: p.max_rows,
+            schema_repr: format!("{:?}", p.schema),
+            closed_edge: if split.state.live { Some(split.state.scene.span.end) } else { None },
+            cacheable,
+        }
+    }
+
+    fn agg_key(&self, plan_fingerprint: &str, prefix_chunks: u32) -> AggCacheKey {
+        AggCacheKey::new(
+            (&self.camera, self.camera_generation),
+            (self.window.start.as_micros(), self.window.end.as_micros()),
+            (self.spec.chunk_secs.to_bits(), self.spec.stride_secs.to_bits()),
+            self.mask.as_ref().map(|(id, generation)| (id.as_str(), *generation)),
+            self.region_scheme.as_deref(),
+            (&self.processor, self.processor_generation),
+            self.timeout_secs.to_bits(),
+            self.max_rows,
+            &self.schema_repr,
+            plan_fingerprint,
+            prefix_chunks,
+        )
+    }
+
+    /// How many leading chunks of the window are fully recorded. Computed in
+    /// exact `Timestamp` (integer microsecond) arithmetic — an f64 comparison
+    /// could misclassify a chunk that ends exactly at the live edge, and a
+    /// cached state must never cover footage an append can still change.
+    fn closed_chunks(&self) -> usize {
+        let spans = self.spec.chunk_spans(&self.window);
+        match self.closed_edge {
+            None => spans.len(),
+            Some(edge) => spans.iter().take_while(|span| span.end <= edge).count(),
+        }
+    }
+}
+
 /// Execute one query against the service's registries, drawing noise from
 /// `mechanism`. This is the split → process → admit → aggregate → noise
 /// pipeline of Algorithm 1, shared by [`crate::PrividSystem`] (one caller-owned
@@ -61,10 +145,65 @@ pub(crate) fn execute_query(
     default_epsilon: f64,
 ) -> Result<QueryResult, PrividError> {
     // ---- 1. Resolve SPLIT statements -------------------------------------------------
-    // Each camera name is resolved against the registry exactly once per
-    // query: if a concurrent register_camera replaced the camera between two
-    // SPLITs, resolving per-split could hand them *different* CameraStates —
-    // and admission (keyed by name) would debit only one of the two ledgers.
+    let splits = prepare_all_splits(service, query)?;
+
+    // ---- 2. Run PROCESS statements through the sandbox (or the cache) ----------------
+    let mut tables: HashMap<String, Arc<Table>> = HashMap::new();
+    let mut metas: HashMap<String, TableMeta> = HashMap::new();
+    let mut ctx = SensitivityContext::new();
+    let mut table_windows: HashMap<String, (String, TimeSpan)> = HashMap::new();
+    let mut chunks_processed = 0usize;
+    for p in &query.processes {
+        let split = splits.get(&p.input).ok_or_else(|| {
+            PrividError::Invalid(format!("PROCESS {} references undefined chunk set {}", p.output, p.input))
+        })?;
+        let (table, n_chunks, profile, meta) = run_process(service, p, split, parallelism)?;
+        chunks_processed += n_chunks;
+        ctx.register(p.output.clone(), profile);
+        table_windows.insert(p.output.clone(), (split.camera.clone(), split.window));
+        metas.insert(p.output.clone(), meta);
+        tables.insert(p.output.clone(), table);
+    }
+
+    // ---- 3. Plan every SELECT (validation + sensitivities), pre-admission ------------
+    // Everything that can be rejected from the query *structure* — a missing
+    // table, no aggregations, a sensitivity-rule violation — must fail before
+    // budget admission: rejecting afterwards would permanently consume the
+    // analyst's budget for a query that never releases anything.
+    let epsilon_total: f64 = query.selects.iter().map(|s| s.epsilon.unwrap_or(default_epsilon)).sum();
+    if query.selects.is_empty() {
+        return Err(PrividError::Invalid("a query must contain at least one SELECT".into()));
+    }
+    let mut planned = Vec::with_capacity(query.selects.len());
+    for stmt in &query.selects {
+        let select_epsilon = stmt.epsilon.unwrap_or(default_epsilon);
+        let sensitivities = plan_select(stmt, &ctx, &table_windows)?;
+        planned.push((stmt, select_epsilon, sensitivities));
+    }
+
+    // ---- 4. Budget admission (Algorithm 1, lines 1-5) --------------------------------
+    admit_query(service, &splits, epsilon_total)?;
+
+    // ---- 5. Aggregate, bound, add noise ----------------------------------------------
+    let agg = service.agg_cache();
+    let mut releases = Vec::new();
+    for (stmt, select_epsilon, sensitivities) in planned {
+        releases.extend(release_select(stmt, &tables, &metas, &sensitivities, select_epsilon, mechanism, agg)?);
+    }
+
+    Ok(QueryResult { releases, epsilon_spent: epsilon_total, chunks_processed })
+}
+
+/// Resolve every SPLIT of `query` against the camera registry.
+///
+/// Each camera name is resolved against the registry exactly once per query:
+/// if a concurrent register_camera replaced the camera between two SPLITs,
+/// resolving per-split could hand them *different* CameraStates — and
+/// admission (keyed by name) would debit only one of the two ledgers.
+fn prepare_all_splits(
+    service: &QueryService,
+    query: &ParsedQuery,
+) -> Result<HashMap<String, PreparedSplit>, PrividError> {
     let mut resolved: HashMap<String, Arc<CameraState>> = HashMap::new();
     let mut splits: HashMap<String, PreparedSplit> = HashMap::new();
     for s in &query.splits {
@@ -83,47 +222,22 @@ pub(crate) fn execute_query(
         };
         splits.insert(s.output.clone(), prepare_split(s, state)?);
     }
+    Ok(splits)
+}
 
-    // ---- 2. Run PROCESS statements through the sandbox (or the cache) ----------------
-    let mut tables: HashMap<String, Table> = HashMap::new();
-    let mut ctx = SensitivityContext::new();
-    let mut table_windows: HashMap<String, (String, TimeSpan)> = HashMap::new();
-    let mut chunks_processed = 0usize;
-    for p in &query.processes {
-        let split = splits.get(&p.input).ok_or_else(|| {
-            PrividError::Invalid(format!("PROCESS {} references undefined chunk set {}", p.output, p.input))
-        })?;
-        let (table, n_chunks, profile) = run_process(service, p, split, parallelism)?;
-        chunks_processed += n_chunks;
-        ctx.register(p.output.clone(), profile);
-        table_windows.insert(p.output.clone(), (split.camera.clone(), split.window));
-        tables.insert(p.output.clone(), table);
-    }
-
-    // ---- 3. Plan every SELECT (validation + sensitivities), pre-admission ------------
-    // Everything that can be rejected from the query *structure* — a missing
-    // table, no aggregations, a sensitivity-rule violation — must fail before
-    // budget admission: rejecting afterwards would permanently consume the
-    // analyst's budget for a query that never releases anything.
-    let epsilon_total: f64 = query.selects.iter().map(|s| s.epsilon.unwrap_or(default_epsilon)).sum();
-    if query.selects.is_empty() {
-        return Err(PrividError::Invalid("a query must contain at least one SELECT".into()));
-    }
-    let mut planned = Vec::with_capacity(query.selects.len());
-    for stmt in &query.selects {
-        let select_epsilon = stmt.epsilon.unwrap_or(default_epsilon);
-        let sensitivities = plan_select(stmt, &tables, &ctx, &table_windows)?;
-        planned.push((stmt, select_epsilon, sensitivities));
-    }
-
-    // ---- 4. Budget admission (Algorithm 1, lines 1-5) --------------------------------
-    // A camera is debited exactly over the union of its splits' windows:
-    // overlapping splits merge, but a gap between disjoint splits is never
-    // debited (no chunk from it contributes to any release). The admission
-    // controller runs check-all-then-debit-all under a single gate, so
-    // concurrent sessions can never partially admit a query or jointly
-    // over-spend a slot. Cameras are visited in sorted order purely for
-    // deterministic error attribution.
+/// Admit the query's total ε over the union of its windows (Algorithm 1,
+/// lines 1-5). A camera is debited exactly over the union of its splits'
+/// windows: overlapping splits merge, but a gap between disjoint splits is
+/// never debited (no chunk from it contributes to any release). The admission
+/// controller runs check-all-then-debit-all under a single gate, so
+/// concurrent sessions can never partially admit a query or jointly
+/// over-spend a slot. Cameras are visited in sorted order purely for
+/// deterministic error attribution.
+fn admit_query(
+    service: &QueryService,
+    splits: &HashMap<String, PreparedSplit>,
+    epsilon_total: f64,
+) -> Result<(), PrividError> {
     let mut camera_windows: BTreeMap<String, (Arc<CameraState>, Vec<TimeSpan>)> = BTreeMap::new();
     for split in splits.values() {
         camera_windows
@@ -166,15 +280,7 @@ pub(crate) fn execute_query(
         // cameras the refused record covered — per-camera blast radius, not a
         // global failure.
         AdmissionFailure::Journal(e) => service.note_journal_failure(&request_cameras, e),
-    })?;
-
-    // ---- 5. Aggregate, bound, add noise ----------------------------------------------
-    let mut releases = Vec::new();
-    for (stmt, select_epsilon, sensitivities) in planned {
-        releases.extend(release_select(stmt, &tables, &sensitivities, select_epsilon, mechanism)?);
-    }
-
-    Ok(QueryResult { releases, epsilon_spent: epsilon_total, chunks_processed })
+    })
 }
 
 // -------------------------------------------------------------------------------------
@@ -303,12 +409,24 @@ fn prepare_split(s: &SplitStatement, state: Arc<CameraState>) -> Result<Prepared
     })
 }
 
+/// The sensitivity profile a PROCESS output registers: data-independent,
+/// derived from the statement's declared bounds and the trusted window.
+fn table_profile(split: &PreparedSplit, p: &ProcessStatement, regions: usize) -> privid_query::sensitivity::TableProfile {
+    privid_query::sensitivity::TableProfile {
+        max_rows_per_chunk: p.max_rows,
+        chunk_secs: split.spec.chunk_secs,
+        rho_secs: split.rho_secs,
+        k: split.state.policy.k,
+        num_chunks: split.spec.chunk_count(split.window.duration()) * regions as u64,
+    }
+}
+
 fn run_process(
     service: &QueryService,
     p: &ProcessStatement,
     split: &PreparedSplit,
     parallelism: Parallelism,
-) -> Result<(Table, usize, privid_query::sensitivity::TableProfile), PrividError> {
+) -> Result<(Arc<Table>, usize, privid_query::sensitivity::TableProfile, TableMeta), PrividError> {
     let (processor_generation, factory) =
         service.processor(&p.executable).ok_or_else(|| PrividError::UnknownProcessor(p.executable.clone()))?;
     let sandbox_spec = SandboxSpec::new(p.timeout_secs, p.max_rows, p.schema.clone());
@@ -334,17 +452,22 @@ fn run_process(
             split.live_edge_micros,
         )
     });
-    let mut table = Table::new(p.schema.clone());
     // `chunks_processed` counts the chunk executions the query *required*,
     // whether they ran in the sandbox or were served from the cache — keeping
     // QueryResult a deterministic function of (seed, query).
     let executions;
-    match key.as_ref().and_then(|k| cache.get(k)) {
+    let cacheable;
+    let table = match key.as_ref().and_then(|k| cache.get(k)) {
         Some(cached) => {
-            executions = cached.len();
-            for (region, out) in cached.iter() {
-                table.append_chunk_rows(out.chunk_start_secs, *region, out.rows.clone(), p.max_rows);
-            }
+            // The table appends one run per chunk execution — including
+            // empty ones — so the cached table re-counts exactly the
+            // executions it replaced. A hit is shared by `Arc` clone: no
+            // row is copied on this path.
+            executions = cached.runs().len();
+            // A hit implies the entry's registration generations are still
+            // the live ones: every re-registration invalidates eagerly.
+            cacheable = true;
+            cached
         }
         None => {
             // Stream the chunks through the parallel execution engine: chunks
@@ -354,37 +477,28 @@ fn run_process(
             let plan = ChunkPlan::new(&split.state.scene, &split.window, &split.spec, split.mask.as_ref());
             let outputs = execute_plan(&plan, split.region_scheme.as_ref(), &*factory, &sandbox_spec, parallelism);
             executions = outputs.len();
+            // Rows move straight into the columnar table exactly once; the
+            // cache shares the same allocation through the `Arc`.
+            let mut table = Table::new(p.schema.clone());
+            for (region, out) in outputs {
+                table.append_chunk_rows(out.chunk_start_secs, region, out.rows, p.max_rows);
+            }
+            let table = Arc::new(table);
             // Don't retain outputs whose camera/processor/mask registration
             // moved on while we executed: such entries are unreachable (the
             // new generation keys differently) and would only displace live
             // entries when the cache is at capacity.
-            if let Some(key) = key.filter(|_| registrations_current(service, split, &p.executable, processor_generation))
-            {
-                // Retaining the outputs costs one row copy; the table and the
-                // cache each need an owner.
-                let shared = Arc::new(outputs);
-                cache.insert(key, Arc::clone(&shared));
-                for (region, out) in shared.iter() {
-                    table.append_chunk_rows(out.chunk_start_secs, *region, out.rows.clone(), p.max_rows);
-                }
-            } else {
-                // Caching disabled or registration stale: keep PR 2's
-                // by-value hot path, no copy.
-                for (region, out) in outputs {
-                    table.append_chunk_rows(out.chunk_start_secs, region, out.rows, p.max_rows);
-                }
+            cacheable = registrations_current(service, split, &p.executable, processor_generation);
+            if let Some(key) = key.filter(|_| cacheable) {
+                cache.insert(key, Arc::clone(&table));
             }
+            table
         }
-    }
-    let regions = split.region_scheme.as_ref().map(|s| s.len()).unwrap_or(1).max(1);
-    let profile = privid_query::sensitivity::TableProfile {
-        max_rows_per_chunk: p.max_rows,
-        chunk_secs: split.spec.chunk_secs,
-        rho_secs: split.rho_secs,
-        k: split.state.policy.k,
-        num_chunks: split.spec.chunk_count(split.window.duration()) * regions as u64,
     };
-    Ok((table, executions, profile))
+    let regions = split.region_scheme.as_ref().map(|s| s.len()).unwrap_or(1).max(1);
+    let profile = table_profile(split, p, regions);
+    let meta = TableMeta::new(split, p, processor_generation, cacheable);
+    Ok((table, executions, profile, meta))
 }
 
 /// Validate a SELECT and derive its per-release sensitivities. Runs *before*
@@ -394,7 +508,6 @@ fn run_process(
 /// at the statement and the table *profiles*, never at row contents.
 fn plan_select(
     stmt: &SelectStatement,
-    tables: &HashMap<String, Table>,
     ctx: &SensitivityContext,
     table_windows: &HashMap<String, (String, TimeSpan)>,
 ) -> Result<Vec<f64>, PrividError> {
@@ -402,7 +515,7 @@ fn plan_select(
     // chunk bins derived from the trusted query window.
     let base_tables = stmt.source.base_tables();
     for t in &base_tables {
-        if !tables.contains_key(t) {
+        if !table_windows.contains_key(t) {
             return Err(PrividError::Invalid(format!("SELECT references undefined table {t}")));
         }
     }
@@ -430,9 +543,95 @@ fn plan_select(
 
 /// Aggregate the tables and apply seeded noise for one planned SELECT. Runs
 /// after admission; `sensitivities` comes from [`plan_select`].
+///
+/// Aggregate-only single-table SELECTs take the incremental fold path
+/// ([`fold_release`]); JOIN / GROUP BY plans keep the row-materializing
+/// evaluator. Both produce bit-identical raw values (the row evaluator's
+/// aggregation *is* the same [`AggState`] fold).
 fn release_select(
     stmt: &SelectStatement,
-    tables: &HashMap<String, Table>,
+    tables: &HashMap<String, Arc<Table>>,
+    metas: &HashMap<String, TableMeta>,
+    sensitivities: &[f64],
+    select_epsilon: f64,
+    mechanism: &mut LaplaceMechanism,
+    agg: &AggStateCache,
+) -> Result<Vec<NoisyRelease>, PrividError> {
+    let raw: Vec<RawRelease> = match fold_release(stmt, tables, metas, agg) {
+        Some(raw) => raw,
+        None => execute_select(stmt, tables)?,
+    };
+    apply_noise(raw, sensitivities, select_epsilon, mechanism)
+}
+
+/// Release an aggregate-only SELECT by folding per-chunk [`AggState`]s over
+/// the columnar table, reusing (and extending) a cached chunk-prefix state
+/// when one exists. Returns `None` when the plan is not foldable (JOIN,
+/// GROUP BY, no base table) — the caller falls back to the row evaluator.
+///
+/// Determinism contract: states are always the result of observing the
+/// table's surviving rows in row order from row 0 — a cached prefix is
+/// extended, never merged out of order — so the released values are
+/// bit-identical to a from-scratch fold and to the row evaluator.
+fn fold_release(
+    stmt: &SelectStatement,
+    tables: &HashMap<String, Arc<Table>>,
+    metas: &HashMap<String, TableMeta>,
+    agg: &AggStateCache,
+) -> Option<Vec<RawRelease>> {
+    let base_tables = stmt.source.base_tables();
+    if base_tables.len() != 1 {
+        return None;
+    }
+    // privid-analyzer: allow(panic-freedom) -- `base_tables.len() == 1` was checked above, so index 0 exists
+    let table = tables.get(&base_tables[0])?;
+    // privid-analyzer: allow(panic-freedom) -- `base_tables.len() == 1` was checked above, so index 0 exists
+    let meta = metas.get(&base_tables[0])?;
+    let plan = FoldableSelect::compile(stmt, &table.schema)?;
+    let chunks = table.chunk_rows();
+    let n = chunks.len();
+    let closed = meta.closed_chunks().min(n);
+    let use_cache = agg.enabled() && meta.cacheable && closed > 0;
+    let mut states = plan.identity();
+    let mut covered = 0usize;
+    if use_cache {
+        // One counting probe at the target prefix (the cache's hit rate is
+        // the shared-sub-plan rate), then a silent walk-back for the longest
+        // shorter prefix to extend.
+        if let Some(hit) = agg.get(&meta.agg_key(plan.fingerprint(), closed as u32)) {
+            states = hit.as_ref().clone();
+            covered = closed;
+        } else {
+            for prefix in (1..closed).rev() {
+                if let Some(hit) = agg.peek(&meta.agg_key(plan.fingerprint(), prefix as u32)) {
+                    states = hit.as_ref().clone();
+                    covered = prefix;
+                    break;
+                }
+            }
+        }
+    }
+    if covered < closed {
+        // privid-analyzer: allow(panic-freedom) -- `covered < closed <= n == chunks.len()`, so both indices are in bounds
+        plan.fold_range(table, chunks[covered].start..chunks[closed - 1].end, &mut states);
+        if use_cache {
+            // First insert wins on a race; both values are bit-identical by
+            // the determinism contract, so it doesn't matter which.
+            agg.insert(meta.agg_key(plan.fingerprint(), closed as u32), Arc::new(states.clone()));
+        }
+    }
+    if closed < n {
+        // Live-edge tail: chunks an append can still grow are folded fresh
+        // every time and never enter the cache.
+        // privid-analyzer: allow(panic-freedom) -- `closed < n == chunks.len()` in this branch
+        plan.fold_range(table, chunks[closed].start..table.len(), &mut states);
+    }
+    Some(plan.release(&states))
+}
+
+/// Apply seeded Laplace noise to one SELECT's raw releases.
+fn apply_noise(
+    raw: Vec<RawRelease>,
     sensitivities: &[f64],
     select_epsilon: f64,
     mechanism: &mut LaplaceMechanism,
@@ -444,7 +643,6 @@ fn release_select(
     let planned_releases = sensitivities.len();
     let per_release_epsilon = select_epsilon / planned_releases as f64;
 
-    let raw: Vec<RawRelease> = execute_select(stmt, tables)?;
     let mut out = Vec::with_capacity(raw.len());
     for (i, release) in raw.into_iter().enumerate() {
         let sensitivity = sensitivities.get(i).copied().unwrap_or(first_sensitivity);
@@ -466,4 +664,262 @@ fn release_select(
         });
     }
     Ok(out)
+}
+
+// -------------------------------------------------------------------------------------
+// Incremental standing-query execution.
+
+/// One PROCESS statement planned (but not executed) for the incremental path.
+struct StandingProcess<'q> {
+    p: &'q ProcessStatement,
+    split: &'q PreparedSplit,
+    factory: Arc<dyn ProcessorFactory + Send + Sync>,
+    meta: TableMeta,
+    n_chunks: usize,
+}
+
+/// Execute a standing-query firing incrementally: identical releases to
+/// [`execute_query`], but only the chunks past the longest cached fold prefix
+/// run in the sandbox.
+///
+/// Returns `Ok(None)` — *strictly before admission, so no budget is touched
+/// and no noise is drawn* — when the firing can't take the incremental path:
+/// the aggregate cache is disabled, a SELECT isn't foldable (JOIN/GROUP BY),
+/// or some chunk of the window isn't fully recorded yet. The caller then
+/// falls back to the reference pipeline, whose releases are bit-identical.
+///
+/// Error behavior mirrors [`execute_query`] stage by stage (same error
+/// variants in the same order), so a firing fails identically on both paths.
+pub(crate) fn execute_standing(
+    service: &QueryService,
+    query: &ParsedQuery,
+    mechanism: &mut LaplaceMechanism,
+    parallelism: Parallelism,
+    default_epsilon: f64,
+) -> Result<Option<QueryResult>, PrividError> {
+    let agg = service.agg_cache();
+    if !agg.enabled() {
+        return Ok(None);
+    }
+    // ---- 1. Resolve SPLIT statements (identical to the reference path) --------------
+    let splits = prepare_all_splits(service, query)?;
+
+    // ---- 2. Plan PROCESS statements without executing any chunk ----------------------
+    let mut ctx = SensitivityContext::new();
+    let mut table_windows: HashMap<String, (String, TimeSpan)> = HashMap::new();
+    let mut processes: Vec<(String, StandingProcess<'_>)> = Vec::new();
+    let mut chunks_processed = 0usize;
+    for p in &query.processes {
+        let split = splits.get(&p.input).ok_or_else(|| {
+            PrividError::Invalid(format!("PROCESS {} references undefined chunk set {}", p.output, p.input))
+        })?;
+        let (processor_generation, factory) =
+            service.processor(&p.executable).ok_or_else(|| PrividError::UnknownProcessor(p.executable.clone()))?;
+        let cacheable = registrations_current(service, split, &p.executable, processor_generation);
+        let meta = TableMeta::new(split, p, processor_generation, cacheable);
+        let n_chunks = meta.spec.chunk_spans(&meta.window).len();
+        // The incremental path serves only fully recorded windows: a chunk
+        // that can still grow would need re-execution at the next firing
+        // anyway, and folded states must never cover mutable footage.
+        if meta.closed_chunks() < n_chunks {
+            return Ok(None);
+        }
+        let regions = split.region_scheme.as_ref().map(|s| s.len()).unwrap_or(1).max(1);
+        // The reference path executes every (chunk, region) pair; the count
+        // stays a deterministic function of the query on both paths.
+        chunks_processed += n_chunks * regions;
+        ctx.register(p.output.clone(), table_profile(split, p, regions));
+        table_windows.insert(p.output.clone(), (split.camera.clone(), split.window));
+        processes.push((p.output.clone(), StandingProcess { p, split, factory, meta, n_chunks }));
+    }
+
+    // ---- 3. Plan every SELECT, pre-admission (identical to the reference path) -------
+    let epsilon_total: f64 = query.selects.iter().map(|s| s.epsilon.unwrap_or(default_epsilon)).sum();
+    if query.selects.is_empty() {
+        return Err(PrividError::Invalid("a query must contain at least one SELECT".into()));
+    }
+    let mut planned: Vec<(String, f64, Vec<f64>, FoldableSelect)> = Vec::with_capacity(query.selects.len());
+    for stmt in &query.selects {
+        let select_epsilon = stmt.epsilon.unwrap_or(default_epsilon);
+        let sensitivities = plan_select(stmt, &ctx, &table_windows)?;
+        let base_tables = stmt.source.base_tables();
+        if base_tables.len() != 1 {
+            return Ok(None);
+        }
+        let Some(fold) = processes
+            .iter()
+            // privid-analyzer: allow(panic-freedom) -- `base_tables.len() == 1` was checked above, so index 0 exists
+            .find(|(name, _)| *name == base_tables[0])
+            .and_then(|(_, sp)| FoldableSelect::compile(stmt, &sp.p.schema))
+        else {
+            return Ok(None);
+        };
+        planned.push((base_tables.into_iter().next().unwrap_or_default(), select_epsilon, sensitivities, fold));
+    }
+
+    // ---- 4. Budget admission (identical to the reference path) -----------------------
+    admit_query(service, &splits, epsilon_total)?;
+
+    // ---- 5. Fold: extend the longest cached prefix per SELECT ------------------------
+    let mut select_states: Vec<Option<Vec<AggState>>> = planned.iter().map(|_| None).collect();
+    for (name, sp) in &processes {
+        let on_table: Vec<usize> =
+            planned.iter().enumerate().filter(|(_, (t, ..))| t == name).map(|(i, _)| i).collect();
+        if on_table.is_empty() {
+            continue;
+        }
+        let n = sp.n_chunks;
+        // Longest cached prefix per SELECT: one counting probe at the full
+        // prefix, then a silent walk-back.
+        let mut folds: Vec<(usize, usize, Vec<AggState>)> = Vec::with_capacity(on_table.len());
+        for &i in &on_table {
+            // privid-analyzer: allow(panic-freedom) -- `on_table` holds indices enumerate() produced over `planned`
+            let fold = &planned[i].3;
+            let mut covered = 0usize;
+            let mut states = fold.identity();
+            if sp.meta.cacheable {
+                if let Some(hit) = agg.get(&sp.meta.agg_key(fold.fingerprint(), n as u32)) {
+                    states = hit.as_ref().clone();
+                    covered = n;
+                } else {
+                    for prefix in (1..n).rev() {
+                        if let Some(hit) = agg.peek(&sp.meta.agg_key(fold.fingerprint(), prefix as u32)) {
+                            states = hit.as_ref().clone();
+                            covered = prefix;
+                            break;
+                        }
+                    }
+                }
+            }
+            folds.push((i, covered, states));
+        }
+        // Execute only the chunks past the *shortest* covered prefix, once,
+        // shared by every SELECT on this table. `execute_plan_range` keeps
+        // full-plan chunk indices, so the tail is bit-identical to the same
+        // rows of a full execution.
+        let need_from = folds.iter().map(|(_, covered, _)| *covered).min().unwrap_or(n);
+        if need_from < n {
+            let plan = ChunkPlan::new(&sp.split.state.scene, &sp.split.window, &sp.split.spec, sp.split.mask.as_ref());
+            let sandbox_spec = SandboxSpec::new(sp.p.timeout_secs, sp.p.max_rows, sp.p.schema.clone());
+            let outputs = execute_plan_range(
+                &plan,
+                need_from..n,
+                sp.split.region_scheme.as_ref(),
+                &*sp.factory,
+                &sandbox_spec,
+                parallelism,
+            );
+            let mut tail = Table::new(sp.p.schema.clone());
+            for (region, out) in outputs {
+                tail.append_chunk_rows(out.chunk_start_secs, region, out.rows, sp.p.max_rows);
+            }
+            let tail_chunks = tail.chunk_rows();
+            for (i, covered, states) in &mut folds {
+                if *covered < n {
+                    // privid-analyzer: allow(panic-freedom) -- `i` came from enumerate() over `planned`
+                    let fold = &planned[*i].3;
+                    // privid-analyzer: allow(panic-freedom) -- `need_from <= covered < n` and the tail holds exactly `n - need_from` chunks (one run per executed chunk, empty runs included)
+                    fold.fold_range(&tail, tail_chunks[*covered - need_from].start..tail.len(), states);
+                    if sp.meta.cacheable {
+                        agg.insert(sp.meta.agg_key(fold.fingerprint(), n as u32), Arc::new(states.clone()));
+                    }
+                }
+            }
+        }
+        for (i, _, states) in folds {
+            // privid-analyzer: allow(panic-freedom) -- `i` came from enumerate() over `planned`; `select_states` is planned-length
+            select_states[i] = Some(states);
+        }
+    }
+
+    // ---- 6. Release with seeded noise, in SELECT order -------------------------------
+    let mut releases = Vec::new();
+    for (i, (_, select_epsilon, sensitivities, fold)) in planned.iter().enumerate() {
+        // privid-analyzer: allow(panic-freedom) -- `select_states` was built planned-length above
+        let states = select_states[i].take().unwrap_or_else(|| fold.identity());
+        releases.extend(apply_noise(fold.release(&states), sensitivities, *select_epsilon, mechanism)?);
+    }
+    Ok(Some(QueryResult { releases, epsilon_spent: epsilon_total, chunks_processed }))
+}
+
+/// Warm the aggregate cache for a standing query's *forming* window: execute
+/// and fold the chunks that the latest append closed, so the eventual firing
+/// only runs the final stretch. Best-effort and side-effect-free beyond the
+/// cache — no budget is admitted or debited (raw outputs and folded states
+/// stay inside the video owner's trust domain; ε is charged when a firing
+/// releases, exactly as for the chunk cache), no noise is drawn, and every
+/// failure is swallowed (the firing simply does the work itself).
+///
+/// Idempotent under racing appends: the walk-back probe finds the prefix a
+/// previous pump already folded, and a duplicate insert at the same prefix is
+/// a first-wins no-op on bit-identical states.
+pub(crate) fn prefold_standing(service: &QueryService, query: &ParsedQuery, parallelism: Parallelism) {
+    let agg = service.agg_cache();
+    if !agg.enabled() {
+        return;
+    }
+    let Ok(splits) = prepare_all_splits(service, query) else { return };
+    for p in &query.processes {
+        let Some(split) = splits.get(&p.input) else { return };
+        let Some((processor_generation, factory)) = service.processor(&p.executable) else { return };
+        if !registrations_current(service, split, &p.executable, processor_generation) {
+            continue;
+        }
+        let meta = TableMeta::new(split, p, processor_generation, true);
+        let n_chunks = meta.spec.chunk_spans(&meta.window).len();
+        let closed = meta.closed_chunks().min(n_chunks);
+        if closed == 0 {
+            continue;
+        }
+        let folds: Vec<FoldableSelect> = query
+            .selects
+            .iter()
+            .filter(|stmt| {
+                let base_tables = stmt.source.base_tables();
+                // privid-analyzer: allow(panic-freedom) -- short-circuit: index 0 only after `len() == 1`
+                base_tables.len() == 1 && base_tables[0] == p.output
+            })
+            .filter_map(|stmt| FoldableSelect::compile(stmt, &p.schema))
+            .collect();
+        if folds.is_empty() {
+            continue;
+        }
+        // Silent probes only: warm-up must not skew the serving-path hit rate.
+        let mut work: Vec<(usize, Vec<AggState>, &FoldableSelect)> = Vec::new();
+        for fold in &folds {
+            let mut covered = 0usize;
+            let mut states = fold.identity();
+            for prefix in (1..=closed).rev() {
+                if let Some(hit) = agg.peek(&meta.agg_key(fold.fingerprint(), prefix as u32)) {
+                    states = hit.as_ref().clone();
+                    covered = prefix;
+                    break;
+                }
+            }
+            if covered < closed {
+                work.push((covered, states, fold));
+            }
+        }
+        let Some(need_from) = work.iter().map(|(covered, _, _)| *covered).min() else { continue };
+        let plan = ChunkPlan::new(&split.state.scene, &split.window, &split.spec, split.mask.as_ref());
+        let sandbox_spec = SandboxSpec::new(p.timeout_secs, p.max_rows, p.schema.clone());
+        let outputs = execute_plan_range(
+            &plan,
+            need_from..closed,
+            split.region_scheme.as_ref(),
+            &*factory,
+            &sandbox_spec,
+            parallelism,
+        );
+        let mut tail = Table::new(p.schema.clone());
+        for (region, out) in outputs {
+            tail.append_chunk_rows(out.chunk_start_secs, region, out.rows, p.max_rows);
+        }
+        let tail_chunks = tail.chunk_rows();
+        for (covered, mut states, fold) in work {
+            // privid-analyzer: allow(panic-freedom) -- `need_from <= covered < closed` and the tail holds exactly `closed - need_from` chunks (one run per executed chunk, empty runs included)
+            fold.fold_range(&tail, tail_chunks[covered - need_from].start..tail.len(), &mut states);
+            agg.insert(meta.agg_key(fold.fingerprint(), closed as u32), Arc::new(states));
+        }
+    }
 }

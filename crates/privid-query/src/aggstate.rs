@@ -1,0 +1,273 @@
+//! Incremental aggregate state: mergeable partial aggregates per function.
+//!
+//! An [`AggState`] is the running state of one aggregation (COUNT / SUM /
+//! AVG / VAR / ARGMAX) over a prefix of a table. States are built by
+//! **sequential observation**: each surviving row is fed to
+//! [`AggState::observe`] in table row order (chunk-major, append order within
+//! a chunk). Because f64 addition is not associative, this is the load-bearing
+//! invariant for Privid's bit-for-bit determinism contract:
+//!
+//! - **Fold order.** A window's state is always produced by observing its
+//!   rows in the same order the row-oriented executor iterates them. A cached
+//!   prefix state extended by observing the remaining rows therefore performs
+//!   *exactly* the same sequence of floating-point operations as a from-scratch
+//!   aggregation over the whole window — the released values are bit-identical,
+//!   not merely close.
+//! - **Moments form.** VAR is kept as (count, sum, sum-of-squares) moments and
+//!   released as `sumsq/n − mean²` (clamped at 0); the row-oriented executor
+//!   uses the identical formula so the two paths agree exactly.
+//! - **[`AggState::merge`] contract.** Merging two partial states is exact for
+//!   COUNT and ARGMAX (their adds are integer-valued f64s, exact below 2^53)
+//!   but only associativity-limited (ULP-level) for the moment aggregates,
+//!   because `(a+b)+c ≠ a+(b+c)` in general. The release path therefore never
+//!   merges sibling states — it extends a prefix by sequential observation —
+//!   and `merge` exists for callers that accept ULP drift (e.g. approximate
+//!   cross-window rollups).
+//!
+//! Clamping (both `range(...)` constraints and an aggregation's declared
+//! range) happens **before** observation, in the caller; an `AggState` only
+//! ever sees post-clamp cells, which keeps the state independent of where in
+//! the plan the clamps sit.
+
+use crate::ast::AggregateFunction;
+use crate::exec::ReleaseValue;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The running partial state of one aggregation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AggState {
+    /// COUNT: number of surviving rows (cell content irrelevant).
+    Count {
+        /// Rows observed so far.
+        rows: f64,
+    },
+    /// SUM: running sum of observed numeric cells.
+    Sum {
+        /// Sum of observed (post-clamp) values.
+        sum: f64,
+    },
+    /// AVG: running count + sum of observed numeric cells.
+    Avg {
+        /// Number of numeric cells observed.
+        count: f64,
+        /// Sum of observed (post-clamp) values.
+        sum: f64,
+    },
+    /// VAR: running moments (count, sum, sum of squares).
+    Var {
+        /// Number of numeric cells observed.
+        count: f64,
+        /// Sum of observed (post-clamp) values.
+        sum: f64,
+        /// Sum of squares of observed (post-clamp) values.
+        sumsq: f64,
+    },
+    /// ARGMAX: per-key row counts, keyed by the cell's group key. A `BTreeMap`
+    /// keeps candidates in sorted key order — the same deterministic order
+    /// `report_noisy_max` uses to break exact ties (lexicographically smallest
+    /// key wins), so candidate enumeration is stable across paths.
+    ArgMax {
+        /// Observed group keys and their counts.
+        counts: BTreeMap<String, f64>,
+    },
+}
+
+impl AggState {
+    /// The empty (identity) state for an aggregation function.
+    pub fn identity(function: AggregateFunction) -> AggState {
+        match function {
+            AggregateFunction::Count => AggState::Count { rows: 0.0 },
+            AggregateFunction::Sum => AggState::Sum { sum: 0.0 },
+            AggregateFunction::Avg => AggState::Avg { count: 0.0, sum: 0.0 },
+            AggregateFunction::Var => AggState::Var { count: 0.0, sum: 0.0, sumsq: 0.0 },
+            AggregateFunction::ArgMax => AggState::ArgMax { counts: BTreeMap::new() },
+        }
+    }
+
+    /// Observe one surviving row. `cell` is the aggregation column's value for
+    /// this row (already transformed by any `range(...)` constraints in the
+    /// plan), or `None` when the aggregation has no column (`COUNT(*)`).
+    /// `range` is the aggregation's own declared clamp, applied to numeric
+    /// cells exactly as the row-oriented executor does.
+    pub fn observe(&mut self, cell: Option<&Value>, range: Option<(f64, f64)>) {
+        match self {
+            AggState::Count { rows } => *rows += 1.0,
+            AggState::Sum { sum } => {
+                if let Some(x) = cell.and_then(|v| v.as_num()) {
+                    *sum += clamp(x, range);
+                }
+            }
+            AggState::Avg { count, sum } => {
+                if let Some(x) = cell.and_then(|v| v.as_num()) {
+                    *count += 1.0;
+                    *sum += clamp(x, range);
+                }
+            }
+            AggState::Var { count, sum, sumsq } => {
+                if let Some(x) = cell.and_then(|v| v.as_num()) {
+                    let x = clamp(x, range);
+                    *count += 1.0;
+                    *sum += x;
+                    *sumsq += x * x;
+                }
+            }
+            AggState::ArgMax { counts } => {
+                if let Some(v) = cell {
+                    *counts.entry(v.group_key()).or_insert(0.0) += 1.0;
+                }
+            }
+        }
+    }
+
+    /// Merge another partial state into this one. Exact for COUNT / ARGMAX;
+    /// ULP-limited for SUM / AVG / VAR (see the module docs) — the bit-exact
+    /// release path extends prefixes by [`AggState::observe`] instead.
+    /// Mismatched variants are ignored (debug-asserted): states are only ever
+    /// merged within one compiled aggregation, where variants always agree.
+    pub fn merge(&mut self, other: &AggState) {
+        match (self, other) {
+            (AggState::Count { rows }, AggState::Count { rows: o }) => *rows += o,
+            (AggState::Sum { sum }, AggState::Sum { sum: o }) => *sum += o,
+            (AggState::Avg { count, sum }, AggState::Avg { count: oc, sum: os }) => {
+                *count += oc;
+                *sum += os;
+            }
+            (
+                AggState::Var { count, sum, sumsq },
+                AggState::Var { count: oc, sum: os, sumsq: oq },
+            ) => {
+                *count += oc;
+                *sum += os;
+                *sumsq += oq;
+            }
+            (AggState::ArgMax { counts }, AggState::ArgMax { counts: o }) => {
+                for (k, c) in o {
+                    *counts.entry(k.clone()).or_insert(0.0) += c;
+                }
+            }
+            _ => debug_assert!(false, "merged AggState variants must match"),
+        }
+    }
+
+    /// The raw release value of this state. Empty-input semantics mirror the
+    /// row-oriented executor: AVG and VAR of zero observations release 0.
+    pub fn release(&self) -> ReleaseValue {
+        match self {
+            AggState::Count { rows } => ReleaseValue::Number(*rows),
+            AggState::Sum { sum } => ReleaseValue::Number(*sum),
+            AggState::Avg { count, sum } => {
+                ReleaseValue::Number(if *count == 0.0 { 0.0 } else { sum / count })
+            }
+            AggState::Var { count, sum, sumsq } => ReleaseValue::Number(if *count == 0.0 {
+                0.0
+            } else {
+                let mean = sum / count;
+                (sumsq / count - mean * mean).max(0.0)
+            }),
+            AggState::ArgMax { counts } => {
+                ReleaseValue::Candidates(counts.iter().map(|(k, c)| (k.clone(), *c)).collect())
+            }
+        }
+    }
+}
+
+fn clamp(x: f64, range: Option<(f64, f64)>) -> f64 {
+    match range {
+        Some((lo, hi)) => x.clamp(lo, hi),
+        None => x,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_observation_matches_flat_sum_bitwise() {
+        let values = [45.0, 50.0, 55.0, 70.0, 20.0];
+        let mut st = AggState::identity(AggregateFunction::Sum);
+        for v in values {
+            st.observe(Some(&Value::Num(v)), Some((0.0, 100.0)));
+        }
+        let flat: f64 = values.iter().sum();
+        assert_eq!(st.release(), ReleaseValue::Number(flat));
+    }
+
+    #[test]
+    fn prefix_extension_equals_from_scratch_bitwise() {
+        // Awkward magnitudes so f64 rounding actually bites: the prefix-extended
+        // state must still match a from-scratch fold bit for bit.
+        let values: Vec<f64> = (0..100).map(|i| 1e15 / (i as f64 + 3.0) + 0.1 * i as f64).collect();
+        for func in [AggregateFunction::Sum, AggregateFunction::Avg, AggregateFunction::Var] {
+            let mut whole = AggState::identity(func);
+            for v in &values {
+                whole.observe(Some(&Value::Num(*v)), None);
+            }
+            let mut prefix = AggState::identity(func);
+            for v in &values[..37] {
+                prefix.observe(Some(&Value::Num(*v)), None);
+            }
+            let mut extended = prefix.clone();
+            for v in &values[37..] {
+                extended.observe(Some(&Value::Num(*v)), None);
+            }
+            assert_eq!(extended, whole, "{func:?}: extension must replay the exact op sequence");
+            assert_eq!(extended.release(), whole.release());
+        }
+    }
+
+    #[test]
+    fn merge_is_exact_for_count_and_argmax() {
+        let mut a = AggState::identity(AggregateFunction::Count);
+        let mut b = AggState::identity(AggregateFunction::Count);
+        for _ in 0..1000 {
+            a.observe(None, None);
+        }
+        for _ in 0..234 {
+            b.observe(None, None);
+        }
+        a.merge(&b);
+        assert_eq!(a.release(), ReleaseValue::Number(1234.0));
+
+        let mut a = AggState::identity(AggregateFunction::ArgMax);
+        let mut b = AggState::identity(AggregateFunction::ArgMax);
+        for k in ["RED", "RED", "BLUE"] {
+            a.observe(Some(&Value::str(k)), None);
+        }
+        for k in ["BLUE", "GREEN"] {
+            b.observe(Some(&Value::str(k)), None);
+        }
+        a.merge(&b);
+        assert_eq!(
+            a.release(),
+            ReleaseValue::Candidates(vec![
+                ("BLUE".into(), 2.0),
+                ("GREEN".into(), 1.0),
+                ("RED".into(), 2.0),
+            ]),
+            "candidates enumerate in sorted key order"
+        );
+    }
+
+    #[test]
+    fn empty_states_release_like_the_row_path() {
+        assert_eq!(AggState::identity(AggregateFunction::Count).release(), ReleaseValue::Number(0.0));
+        assert_eq!(AggState::identity(AggregateFunction::Sum).release(), ReleaseValue::Number(0.0));
+        assert_eq!(AggState::identity(AggregateFunction::Avg).release(), ReleaseValue::Number(0.0));
+        assert_eq!(AggState::identity(AggregateFunction::Var).release(), ReleaseValue::Number(0.0));
+        assert_eq!(
+            AggState::identity(AggregateFunction::ArgMax).release(),
+            ReleaseValue::Candidates(vec![])
+        );
+    }
+
+    #[test]
+    fn non_numeric_cells_are_skipped_by_moment_aggregates() {
+        let mut st = AggState::identity(AggregateFunction::Avg);
+        st.observe(Some(&Value::str("oops")), None);
+        st.observe(Some(&Value::Num(10.0)), None);
+        assert_eq!(st.release(), ReleaseValue::Number(10.0));
+    }
+}

@@ -5,13 +5,28 @@
 //! sensitivity calculator before anything leaves the system. Keeping the two
 //! concerns separate makes it possible to test the aggregation semantics
 //! exactly and the privacy mechanism statistically.
+//!
+//! Two execution paths produce bit-identical releases:
+//!
+//! - [`execute_select`] is the reference path: it materializes the relation
+//!   row by row (JOIN / GROUP BY / DISTINCT / LIMIT all live here) and feeds
+//!   each aggregation an [`AggState`] by sequential observation.
+//! - [`FoldableSelect`] is the incremental path: for aggregate-only plans
+//!   (filters, projections and range constraints over a single base table) it
+//!   compiles the statement once and folds table rows directly from the
+//!   columnar storage — no per-row materialization — producing the exact same
+//!   sequence of floating-point operations as the reference path.
 
-use crate::ast::{AggregateFunction, Aggregation, GroupBy, GroupKeys, JoinKind, Relation, SelectStatement};
+use crate::aggstate::AggState;
+use crate::ast::{
+    AggregateFunction, Aggregation, GroupBy, GroupKeys, JoinKind, Predicate, Relation, SelectStatement,
+};
 use crate::error::QueryError;
-use crate::schema::{CHUNK_COLUMN, REGION_COLUMN};
+use crate::schema::{Schema, CHUNK_COLUMN, REGION_COLUMN};
 use crate::table::Table;
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
 use std::collections::HashMap;
 
 /// The raw value of one data release.
@@ -19,8 +34,9 @@ use std::collections::HashMap;
 pub enum ReleaseValue {
     /// A numeric aggregate (COUNT / SUM / AVG / VAR). Noise is added directly.
     Number(f64),
-    /// ARGMAX candidates: per-key counts. `privid-core` adds independent noise
-    /// to every count and releases only the winning key (report-noisy-max).
+    /// ARGMAX candidates: per-key counts, in sorted key order. `privid-core`
+    /// adds independent noise to every count and releases only the winning
+    /// key (report-noisy-max).
     Candidates(Vec<(String, f64)>),
 }
 
@@ -66,13 +82,17 @@ impl Materialized {
         let mut columns: Vec<String> = table.schema.columns.iter().map(|c| c.name.clone()).collect();
         columns.push(CHUNK_COLUMN.to_string());
         columns.push(REGION_COLUMN.to_string());
-        let rows = table
-            .rows
-            .iter()
+        let chunk = table.chunk_starts();
+        let region = table.regions();
+        let rows = (0..table.len())
             .map(|r| {
-                let mut v = r.values.clone();
-                v.push(Value::Num(r.chunk));
-                v.push(Value::Num(r.region as f64));
+                let mut v: Vec<Value> = table
+                    .columns()
+                    .iter()
+                    .map(|c| c.value(r).expect("column vectors are row-aligned"))
+                    .collect();
+                v.push(Value::Num(chunk[r]));
+                v.push(Value::Num(region[r] as f64));
                 v
             })
             .collect();
@@ -81,11 +101,12 @@ impl Materialized {
 }
 
 /// Evaluate an inner relation against the named base tables.
-fn eval(rel: &Relation, tables: &HashMap<String, Table>) -> Result<Materialized, QueryError> {
+fn eval<T: Borrow<Table>>(rel: &Relation, tables: &HashMap<String, T>) -> Result<Materialized, QueryError> {
     match rel {
-        Relation::Table(name) => {
-            tables.get(name).map(Materialized::from_table).ok_or_else(|| QueryError::UnknownTable(name.clone()))
-        }
+        Relation::Table(name) => tables
+            .get(name)
+            .map(|t| Materialized::from_table(t.borrow()))
+            .ok_or_else(|| QueryError::UnknownTable(name.clone())),
         Relation::Filter { input, predicate } => {
             let m = eval(input, tables)?;
             for col in predicate.columns() {
@@ -222,73 +243,43 @@ fn eval(rel: &Relation, tables: &HashMap<String, Table>) -> Result<Materialized,
     }
 }
 
-/// Compute one aggregation over a set of rows.
+/// Compute one aggregation over a set of rows by sequential observation of an
+/// [`AggState`] — the same state machine the incremental fold path uses, so
+/// the two paths agree bit for bit.
 fn aggregate(m: &Materialized, rows: &[&Vec<Value>], agg: &Aggregation) -> Result<ReleaseValue, QueryError> {
-    let values = |col: &str| -> Result<Vec<f64>, QueryError> {
-        let i = m.col_idx(col).ok_or_else(|| QueryError::UnknownColumn(col.to_string()))?;
-        Ok(rows
-            .iter()
-            .filter_map(|r| r[i].as_num())
-            .map(|v| match agg.range {
-                Some((lo, hi)) => v.clamp(lo, hi),
-                None => v,
-            })
-            .collect())
-    };
-    match agg.function {
+    let idx: Option<usize> = match agg.function {
         AggregateFunction::Count => {
             if let Some(col) = &agg.column {
                 if m.col_idx(col).is_none() {
                     return Err(QueryError::UnknownColumn(col.clone()));
                 }
             }
-            Ok(ReleaseValue::Number(rows.len() as f64))
+            // COUNT releases the surviving row count; the cell is irrelevant.
+            None
         }
-        AggregateFunction::Sum => {
-            let col = agg.column.as_ref().ok_or_else(|| QueryError::Unsupported("SUM needs a column".into()))?;
-            Ok(ReleaseValue::Number(values(col)?.iter().sum()))
+        AggregateFunction::Sum
+        | AggregateFunction::Avg
+        | AggregateFunction::Var
+        | AggregateFunction::ArgMax => {
+            let col = agg.column.as_ref().ok_or_else(|| {
+                QueryError::Unsupported(format!("{} needs a column", agg.function.keyword()))
+            })?;
+            Some(m.col_idx(col).ok_or_else(|| QueryError::UnknownColumn(col.clone()))?)
         }
-        AggregateFunction::Avg => {
-            let col = agg.column.as_ref().ok_or_else(|| QueryError::Unsupported("AVG needs a column".into()))?;
-            let v = values(col)?;
-            if v.is_empty() {
-                Ok(ReleaseValue::Number(0.0))
-            } else {
-                Ok(ReleaseValue::Number(v.iter().sum::<f64>() / v.len() as f64))
-            }
-        }
-        AggregateFunction::Var => {
-            let col = agg.column.as_ref().ok_or_else(|| QueryError::Unsupported("VAR needs a column".into()))?;
-            let v = values(col)?;
-            if v.is_empty() {
-                Ok(ReleaseValue::Number(0.0))
-            } else {
-                let mean = v.iter().sum::<f64>() / v.len() as f64;
-                Ok(ReleaseValue::Number(v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / v.len() as f64))
-            }
-        }
-        AggregateFunction::ArgMax => {
-            let col =
-                agg.column.as_ref().ok_or_else(|| QueryError::Unsupported("ARGMAX needs a column".into()))?;
-            let i = m.col_idx(col).ok_or_else(|| QueryError::UnknownColumn(col.clone()))?;
-            let mut counts: Vec<(String, f64)> = Vec::new();
-            for r in rows {
-                let key = r[i].group_key();
-                match counts.iter_mut().find(|(k, _)| *k == key) {
-                    Some((_, c)) => *c += 1.0,
-                    None => counts.push((key, 1.0)),
-                }
-            }
-            Ok(ReleaseValue::Candidates(counts))
-        }
+    };
+    let mut state = AggState::identity(agg.function);
+    for r in rows {
+        state.observe(idx.map(|i| &r[i]), agg.range);
     }
+    Ok(state.release())
 }
 
 /// Execute a SELECT statement over the named base tables, producing one raw
-/// release per aggregation per group.
-pub fn execute_select(
+/// release per aggregation per group. Generic over `Arc<Table>` / `Table`
+/// values so shared (cached) tables execute without a copy.
+pub fn execute_select<T: Borrow<Table>>(
     stmt: &SelectStatement,
-    tables: &HashMap<String, Table>,
+    tables: &HashMap<String, T>,
 ) -> Result<Vec<RawRelease>, QueryError> {
     let m = eval(&stmt.source, tables)?;
     let all_rows: Vec<&Vec<Value>> = m.rows.iter().collect();
@@ -350,6 +341,264 @@ pub fn execute_select(
         }
     }
     Ok(releases)
+}
+
+/// A column reference resolved against the base table's schema: either one of
+/// the analyst columns or a trusted implicit column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ColRef {
+    Schema(usize),
+    Chunk,
+    Region,
+}
+
+/// One compiled per-row transformation of a foldable plan, in application
+/// order (innermost relation first).
+#[derive(Debug, Clone)]
+enum FoldOp {
+    /// `range(col, lo, hi)`: clamp the column's numeric value for every
+    /// later op and for the aggregations.
+    Clamp { col: ColRef, lo: f64, hi: f64 },
+    /// `WHERE predicate`: drop rows that fail, evaluated over the columns'
+    /// current (possibly clamped) values.
+    Filter { predicate: Predicate, cols: Vec<(String, ColRef)> },
+}
+
+/// An aggregate-only SELECT compiled for incremental folding.
+///
+/// [`FoldableSelect::compile`] returns `Some` only for plans the fold path
+/// can reproduce bit for bit: no GROUP BY, a single base table, and a
+/// relation tree of filters / projections / range constraints only — and
+/// only when the plan passes the same validation the reference path performs
+/// (unknown columns, missing aggregation columns). Anything else returns
+/// `None`, and the caller falls back to [`execute_select`], which surfaces
+/// the identical error at the identical pipeline point. Over-strict
+/// compilation is therefore safe; under-strict would be a bug.
+///
+/// Folding observes surviving rows in table row order, so extending a prefix
+/// state over chunks `0..k` with the rows of chunks `k..n` performs exactly
+/// the floating-point op sequence of a from-scratch aggregation over
+/// `0..n` — see the [`crate::aggstate`] module docs for the determinism
+/// contract.
+#[derive(Debug, Clone)]
+pub struct FoldableSelect {
+    table: String,
+    schema_len: usize,
+    ops: Vec<FoldOp>,
+    aggs: Vec<(Aggregation, Option<ColRef>)>,
+    labels: Vec<String>,
+    fingerprint: String,
+}
+
+impl FoldableSelect {
+    /// Compile a statement against the base table's schema, or `None` if the
+    /// plan (or its validity) is outside the foldable subset.
+    pub fn compile(stmt: &SelectStatement, schema: &Schema) -> Option<FoldableSelect> {
+        if stmt.group_by.is_some() || stmt.aggregations.is_empty() {
+            return None;
+        }
+        // Walk to the base table, collecting the op chain innermost-first.
+        let mut chain: Vec<&Relation> = Vec::new();
+        let mut rel = &stmt.source;
+        let table = loop {
+            match rel {
+                Relation::Table(name) => break name.clone(),
+                Relation::Filter { input, .. }
+                | Relation::Project { input, .. }
+                | Relation::RangeConstraint { input, .. } => {
+                    chain.push(rel);
+                    rel = input;
+                }
+                _ => return None,
+            }
+        };
+        chain.reverse();
+
+        let resolve = |name: &str| -> Option<ColRef> {
+            match name {
+                CHUNK_COLUMN => Some(ColRef::Chunk),
+                REGION_COLUMN => Some(ColRef::Region),
+                _ => schema.column_index(name).map(ColRef::Schema),
+            }
+        };
+        // Column visibility mirrors the reference path: projections narrow
+        // the set, and any later reference to a dropped column makes the plan
+        // non-foldable (the reference path raises UnknownColumn there).
+        let mut visible: Vec<String> = schema.columns.iter().map(|c| c.name.clone()).collect();
+        visible.push(CHUNK_COLUMN.to_string());
+        visible.push(REGION_COLUMN.to_string());
+
+        let mut ops = Vec::new();
+        for node in chain {
+            match node {
+                Relation::Filter { predicate, .. } => {
+                    let mut cols = Vec::new();
+                    for c in predicate.columns() {
+                        if !visible.contains(&c) {
+                            return None;
+                        }
+                        let r = resolve(&c)?;
+                        cols.push((c, r));
+                    }
+                    ops.push(FoldOp::Filter { predicate: predicate.clone(), cols });
+                }
+                Relation::Project { columns, .. } => {
+                    if columns.iter().any(|c| !visible.contains(c)) {
+                        return None;
+                    }
+                    visible = columns.clone();
+                }
+                Relation::RangeConstraint { column, lo, hi, .. } => {
+                    if !visible.contains(column) {
+                        return None;
+                    }
+                    ops.push(FoldOp::Clamp { col: resolve(column)?, lo: *lo, hi: *hi });
+                }
+                _ => return None,
+            }
+        }
+
+        let mut aggs = Vec::new();
+        let mut labels = Vec::new();
+        for agg in &stmt.aggregations {
+            let col_ref = match (agg.function, &agg.column) {
+                (AggregateFunction::Count, Some(c)) => {
+                    if !visible.contains(c) {
+                        return None;
+                    }
+                    None // COUNT ignores the cell; existence is all that matters.
+                }
+                (AggregateFunction::Count, None) => None,
+                (_, None) => return None, // reference path raises Unsupported
+                (_, Some(c)) => {
+                    if !visible.contains(c) {
+                        return None;
+                    }
+                    Some(resolve(c)?)
+                }
+            };
+            labels.push(format!(
+                "{}({})",
+                agg.function.keyword(),
+                agg.column.clone().unwrap_or_else(|| "*".into())
+            ));
+            aggs.push((agg.clone(), col_ref));
+        }
+
+        Some(FoldableSelect {
+            table,
+            schema_len: schema.len(),
+            ops,
+            aggs,
+            labels,
+            fingerprint: format!("{:?}|{:?}", stmt.source, stmt.aggregations),
+        })
+    }
+
+    /// The single base table this plan reads.
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+
+    /// A deterministic fingerprint of (relation tree, aggregations) — the
+    /// cache key component identifying "the same sub-plan" across analysts.
+    /// Epsilon is deliberately excluded: ε is checked and debited per admitted
+    /// query by the admission gate, never by the cache.
+    pub fn fingerprint(&self) -> &str {
+        &self.fingerprint
+    }
+
+    /// Fresh identity states, one per aggregation of the statement.
+    pub fn identity(&self) -> Vec<AggState> {
+        self.aggs.iter().map(|(agg, _)| AggState::identity(agg.function)).collect()
+    }
+
+    /// Fold the rows `range` of `table` (which must have the schema this plan
+    /// was compiled against) into `states`, observing surviving rows in row
+    /// order.
+    pub fn fold_range(&self, table: &Table, range: std::ops::Range<usize>, states: &mut [AggState]) {
+        debug_assert_eq!(states.len(), self.aggs.len(), "one state per aggregation");
+        debug_assert_eq!(table.schema.len(), self.schema_len, "fold table must match the compiled schema");
+        let n = self.schema_len;
+        // Per-row numeric overrides from range constraints: index i < n is
+        // schema column i, n is the chunk column, n+1 the region column.
+        let mut scratch: Vec<Option<f64>> = vec![None; n + 2];
+        let end = range.end.min(table.len());
+        for row in range.start..end {
+            for s in scratch.iter_mut() {
+                *s = None;
+            }
+            let mut keep = true;
+            for op in &self.ops {
+                match op {
+                    FoldOp::Clamp { col, lo, hi } => {
+                        let i = scratch_index(col, n);
+                        // Str cells pass through unclamped, exactly like the
+                        // reference path's `if let Value::Num` arm.
+                        if let Some(x) = scratch[i].or_else(|| raw_num(table, row, col)) {
+                            scratch[i] = Some(x.clamp(*lo, *hi));
+                        }
+                    }
+                    FoldOp::Filter { predicate, cols } => {
+                        let lookup = |name: &str| -> Option<Value> {
+                            cols.iter()
+                                .find(|(c, _)| c == name)
+                                .and_then(|(_, r)| effective(table, row, r, &scratch, n))
+                        };
+                        if !predicate.eval(&lookup) {
+                            keep = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            if !keep {
+                continue;
+            }
+            for ((agg, col_ref), state) in self.aggs.iter().zip(states.iter_mut()) {
+                let cell = col_ref.as_ref().and_then(|r| effective(table, row, r, &scratch, n));
+                state.observe(cell.as_ref(), agg.range);
+            }
+        }
+    }
+
+    /// Assemble the raw releases from folded states, with the same labels the
+    /// reference path produces.
+    pub fn release(&self, states: &[AggState]) -> Vec<RawRelease> {
+        debug_assert_eq!(states.len(), self.labels.len());
+        self.labels
+            .iter()
+            .zip(states.iter())
+            .map(|(label, state)| RawRelease { label: label.clone(), group_key: None, value: state.release() })
+            .collect()
+    }
+}
+
+fn scratch_index(col: &ColRef, schema_len: usize) -> usize {
+    match col {
+        ColRef::Schema(i) => *i,
+        ColRef::Chunk => schema_len,
+        ColRef::Region => schema_len + 1,
+    }
+}
+
+fn raw_num(table: &Table, row: usize, col: &ColRef) -> Option<f64> {
+    match col {
+        ColRef::Schema(i) => table.columns()[*i].num(row),
+        ColRef::Chunk => Some(table.chunk_starts()[row]),
+        ColRef::Region => Some(table.regions()[row] as f64),
+    }
+}
+
+fn effective(table: &Table, row: usize, col: &ColRef, scratch: &[Option<f64>], schema_len: usize) -> Option<Value> {
+    if let Some(x) = scratch[scratch_index(col, schema_len)] {
+        return Some(Value::Num(x));
+    }
+    match col {
+        ColRef::Schema(i) => table.columns()[*i].value(row),
+        ColRef::Chunk => Some(Value::Num(table.chunk_starts()[row])),
+        ColRef::Region => Some(Value::Num(table.regions()[row] as f64)),
+    }
 }
 
 #[cfg(test)]
@@ -458,6 +707,40 @@ mod tests {
     }
 
     #[test]
+    fn argmax_many_keys_is_sorted_and_exact() {
+        // Regression test for the old O(n²) `iter_mut().find` accumulation:
+        // many distinct keys, exact counts, candidates in sorted key order —
+        // the same deterministic order report_noisy_max breaks ties with.
+        let mut t = Table::new(Schema::new(vec![crate::schema::ColumnDef::string("plate", "")]).unwrap());
+        let n_keys = 500;
+        for rep in 0..3 {
+            for k in 0..n_keys {
+                if k % 3 < rep {
+                    // key k appears (k % 3) + 1 times overall
+                    continue;
+                }
+                t.append_chunk_output(0.0, 0, &[vec![Value::str(format!("P{k:04}"))]], usize::MAX);
+            }
+        }
+        let tables = HashMap::from([("t".to_string(), t)]);
+        let stmt = SelectStatement::simple(Aggregation::argmax("plate"), Relation::table("t"));
+        let out = execute_select(&stmt, &tables).unwrap();
+        match &out[0].value {
+            ReleaseValue::Candidates(c) => {
+                assert_eq!(c.len(), n_keys);
+                let mut sorted = c.clone();
+                sorted.sort_by(|a, b| a.0.cmp(&b.0));
+                assert_eq!(*c, sorted, "candidates must enumerate in sorted key order");
+                for (key, count) in c {
+                    let k: usize = key[1..].parse().unwrap();
+                    assert_eq!(*count, ((k % 3) + 1) as f64, "exact count for {key}");
+                }
+            }
+            _ => panic!("expected candidates"),
+        }
+    }
+
+    #[test]
     fn inner_join_intersects_on_key() {
         let mut t1 = Table::new(Schema::new(vec![crate::schema::ColumnDef::string("plate", "")]).unwrap());
         let mut t2 = Table::new(Schema::new(vec![crate::schema::ColumnDef::string("plate", "")]).unwrap());
@@ -512,5 +795,86 @@ mod tests {
             Relation::table("tableA").project(vec!["plate"]),
         );
         assert!(execute_select(&bad, &listing1_tables()).is_err());
+    }
+
+    /// Every statement the fold path accepts must release bit-identically to
+    /// the reference path — including filters interleaved with clamps, and
+    /// prefix extension across chunk boundaries.
+    #[test]
+    fn foldable_plans_match_the_reference_path_bitwise() {
+        let mut t = Table::new(Schema::listing1());
+        let colors = ["RED", "WHITE", "SILVER", "RED"];
+        for chunk in 0..7 {
+            let rows: Vec<Vec<Value>> = (0..chunk + 1)
+                .map(|i| {
+                    vec![
+                        Value::str(format!("P{chunk}{i}")),
+                        Value::str(colors[(chunk + i) % colors.len()]),
+                        Value::num(1e14 / (chunk as f64 + i as f64 + 2.0)),
+                    ]
+                })
+                .collect();
+            t.append_chunk_output(chunk as f64 * 10.0, (chunk % 2) as u32, &rows, 10);
+        }
+        let tables = HashMap::from([("tableA".to_string(), t)]);
+        let table = &tables["tableA"];
+
+        let stmts = vec![
+            SelectStatement::simple(Aggregation::count_star(), Relation::table("tableA")),
+            SelectStatement::simple(Aggregation::avg("speed", 0.0, 1e13), Relation::table("tableA")),
+            SelectStatement::simple(Aggregation::var("speed", 0.0, 1e15), Relation::table("tableA")),
+            SelectStatement::simple(
+                Aggregation::sum("speed", 0.0, 1e15),
+                Relation::table("tableA")
+                    .with_range("speed", 0.0, 5e13)
+                    .filter(Predicate::EqStr("color".into(), "RED".into())),
+            ),
+            SelectStatement::simple(Aggregation::argmax("color"), Relation::table("tableA")),
+            SelectStatement::simple(
+                Aggregation::count("plate"),
+                Relation::table("tableA")
+                    .filter(Predicate::Ge("chunk".into(), 20.0))
+                    .project(vec!["plate", "chunk"]),
+            ),
+        ];
+        for stmt in &stmts {
+            let reference = execute_select(stmt, &tables).unwrap();
+            let plan = FoldableSelect::compile(stmt, &table.schema)
+                .unwrap_or_else(|| panic!("plan should be foldable: {stmt:?}"));
+            // Whole-table fold.
+            let mut states = plan.identity();
+            plan.fold_range(table, 0..table.len(), &mut states);
+            assert_eq!(plan.release(&states), reference);
+            // Prefix extension chunk by chunk must hit the same bits.
+            let mut states = plan.identity();
+            for c in table.chunk_rows() {
+                plan.fold_range(table, c.start..c.end, &mut states);
+            }
+            assert_eq!(plan.release(&states), reference);
+        }
+    }
+
+    #[test]
+    fn non_foldable_plans_are_rejected() {
+        let schema = Schema::listing1();
+        let grouped = SelectStatement::simple(Aggregation::count_star(), Relation::table("tableA"))
+            .group_by_keys("color", vec![Value::str("RED")]);
+        assert!(FoldableSelect::compile(&grouped, &schema).is_none(), "GROUP BY needs rows");
+        let distinct = SelectStatement::simple(
+            Aggregation::count("plate"),
+            Relation::table("tableA").distinct_on(vec!["plate"]),
+        );
+        assert!(FoldableSelect::compile(&distinct, &schema).is_none(), "DISTINCT is stateful");
+        let limited =
+            SelectStatement::simple(Aggregation::count_star(), Relation::table("tableA").limit(3));
+        assert!(FoldableSelect::compile(&limited, &schema).is_none(), "LIMIT is stateful");
+        let bad_col =
+            SelectStatement::simple(Aggregation::sum("altitude", 0.0, 1.0), Relation::table("tableA"));
+        assert!(FoldableSelect::compile(&bad_col, &schema).is_none(), "invalid plans fall back");
+        let dropped = SelectStatement::simple(
+            Aggregation::avg("speed", 0.0, 100.0),
+            Relation::table("tableA").project(vec!["plate"]),
+        );
+        assert!(FoldableSelect::compile(&dropped, &schema).is_none(), "projected-away column");
     }
 }

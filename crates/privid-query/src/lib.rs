@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggstate;
 pub mod ast;
 pub mod error;
 pub mod exec;
@@ -31,11 +32,12 @@ pub mod sensitivity;
 pub mod table;
 pub mod value;
 
+pub use aggstate::AggState;
 pub use ast::{AggregateFunction, Aggregation, Predicate, Relation, SelectStatement};
 pub use error::QueryError;
-pub use exec::{execute_select, ReleaseValue};
+pub use exec::{execute_select, FoldableSelect, RawRelease, ReleaseValue};
 pub use parser::{parse_query, ParsedQuery, ProcessStatement, SplitStatement};
 pub use schema::{ColumnDef, DataType, Schema};
 pub use sensitivity::{Constraints, SensitivityContext, TableProfile};
-pub use table::{Row, Table};
+pub use table::{ChunkRows, ChunkRun, ColumnData, Table};
 pub use value::Value;

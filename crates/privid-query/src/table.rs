@@ -1,86 +1,233 @@
-//! Untrusted intermediate tables.
+//! Untrusted intermediate tables, stored column-major.
 //!
 //! A table is built by appending the (coerced) rows each chunk's processor
-//! emits. Every row carries the two implicit columns Privid adds itself —
-//! the chunk's start timestamp and the spatial-split region — which are the
-//! only columns whose values Privid trusts (§6.2, Appendix D).
+//! emits. Instead of a `Vec` of row structs, the table keeps one typed vector
+//! per analyst-declared column (struct-of-arrays) plus the two implicit
+//! columns Privid adds itself — the chunk's start timestamp (`f64`) and the
+//! spatial-split region (`u32`) — which are the only columns whose values
+//! Privid trusts (§6.2, Appendix D). Every append also records a [`ChunkRun`]
+//! so downstream folds can walk the table chunk by chunk without re-deriving
+//! boundaries from the data.
 
-use crate::schema::{Schema, CHUNK_COLUMN, REGION_COLUMN};
+use crate::schema::{DataType, Schema, CHUNK_COLUMN, REGION_COLUMN};
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
 
-/// One table row: the analyst columns plus the trusted implicit columns.
+/// One typed column vector. Cells are stored unboxed: coercion guarantees a
+/// cell always matches its column's declared [`DataType`], so there is no
+/// per-cell tag and no `Null` representation (coercion substitutes the column
+/// default for missing or mistyped cells).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Row {
-    /// Values of the analyst-declared columns, in schema order.
-    pub values: Vec<Value>,
-    /// Start timestamp (seconds) of the chunk this row came from (implicit,
-    /// trusted).
-    pub chunk: f64,
-    /// Spatial-split region id this row came from (implicit, trusted; 0 when
-    /// spatial splitting is not used).
-    pub region: u32,
+pub enum ColumnData {
+    /// A string-typed column.
+    Str(Vec<String>),
+    /// A numeric (f64) column.
+    Num(Vec<f64>),
 }
 
-/// An intermediate table: a schema plus the rows accumulated from chunks.
+impl ColumnData {
+    fn with_type(dtype: DataType) -> ColumnData {
+        match dtype {
+            DataType::Str => ColumnData::Str(Vec::new()),
+            DataType::Num => ColumnData::Num(Vec::new()),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            ColumnData::Str(v) => v.len(),
+            ColumnData::Num(v) => v.len(),
+        }
+    }
+
+    /// The cell at `row` as a [`Value`] (clones string cells).
+    pub fn value(&self, row: usize) -> Option<Value> {
+        match self {
+            ColumnData::Str(v) => v.get(row).map(|s| Value::Str(s.clone())),
+            ColumnData::Num(v) => v.get(row).map(|n| Value::Num(*n)),
+        }
+    }
+
+    /// The cell at `row` as a number, if this is a numeric column.
+    pub fn num(&self, row: usize) -> Option<f64> {
+        match self {
+            ColumnData::Num(v) => v.get(row).copied(),
+            ColumnData::Str(_) => None,
+        }
+    }
+
+    /// Push an already-coerced value; a mistyped cell falls back to the
+    /// column default (defence in depth — the sandbox coerces before release,
+    /// so this branch is never taken on the executor path).
+    fn push(&mut self, value: Value, default: &Value) {
+        match self {
+            ColumnData::Str(v) => v.push(match value {
+                Value::Str(s) => s,
+                _ => match default {
+                    Value::Str(s) => s.clone(),
+                    _ => String::new(),
+                },
+            }),
+            ColumnData::Num(v) => v.push(match value {
+                Value::Num(n) => n,
+                _ => default.as_num().unwrap_or(0.0),
+            }),
+        }
+    }
+}
+
+/// One contiguous run of rows appended by a single `append_chunk_*` call:
+/// the output of one (chunk, region) sandbox execution. Runs are recorded
+/// even when the chunk emitted zero rows, so `runs().len()` equals the number
+/// of sandbox executions and chunk boundaries survive into the fold path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChunkRun {
+    /// Start timestamp (seconds) of the chunk this run came from.
+    pub chunk_start_secs: f64,
+    /// Spatial-split region id (0 when spatial splitting is not used).
+    pub region: u32,
+    /// First row index of the run (inclusive).
+    pub start: usize,
+    /// One past the last row index of the run (exclusive).
+    pub end: usize,
+}
+
+/// One chunk's worth of rows: every run sharing the same chunk start,
+/// collapsed into a single row range (regions of one chunk are appended
+/// consecutively, so the range is contiguous).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChunkRows {
+    /// Start timestamp (seconds) of the chunk.
+    pub chunk_start_secs: f64,
+    /// First row index (inclusive).
+    pub start: usize,
+    /// One past the last row index (exclusive).
+    pub end: usize,
+}
+
+/// An intermediate table: a schema plus column-major cell storage.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Table {
     /// The analyst-declared schema.
     pub schema: Schema,
-    /// All rows, in chunk order.
-    pub rows: Vec<Row>,
+    columns: Vec<ColumnData>,
+    chunk: Vec<f64>,
+    region: Vec<u32>,
+    runs: Vec<ChunkRun>,
 }
 
 impl Table {
     /// An empty table with the given schema.
     pub fn new(schema: Schema) -> Self {
-        Table { schema, rows: Vec::new() }
+        let columns = schema.columns.iter().map(|c| ColumnData::with_type(c.dtype)).collect();
+        Table { schema, columns, chunk: Vec::new(), region: Vec::new(), runs: Vec::new() }
     }
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.chunk.len()
     }
 
     /// True if the table has no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.chunk.is_empty()
+    }
+
+    /// The typed column vectors, in schema order (implicit columns excluded).
+    pub fn columns(&self) -> &[ColumnData] {
+        &self.columns
+    }
+
+    /// The trusted implicit chunk column: per-row chunk start seconds.
+    pub fn chunk_starts(&self) -> &[f64] {
+        &self.chunk
+    }
+
+    /// The trusted implicit region column: per-row spatial-split region id.
+    pub fn regions(&self) -> &[u32] {
+        &self.region
+    }
+
+    /// The append runs, one per `append_chunk_*` call (empty runs included).
+    pub fn runs(&self) -> &[ChunkRun] {
+        &self.runs
+    }
+
+    /// Group consecutive runs that share a chunk start into per-chunk row
+    /// ranges, in append order. Distinct chunks always have distinct starts
+    /// (chunk starts increase by the stride period), so equality on the start
+    /// timestamp is an exact chunk identity test.
+    pub fn chunk_rows(&self) -> Vec<ChunkRows> {
+        let mut out: Vec<ChunkRows> = Vec::new();
+        for run in &self.runs {
+            match out.last_mut() {
+                Some(last) if last.chunk_start_secs == run.chunk_start_secs => last.end = run.end,
+                _ => out.push(ChunkRows {
+                    chunk_start_secs: run.chunk_start_secs,
+                    start: run.start,
+                    end: run.end,
+                }),
+            }
+        }
+        out
+    }
+
+    fn push_coerced(&mut self, values: Vec<Value>, chunk_start_secs: f64, region: u32) {
+        debug_assert_eq!(values.len(), self.schema.len(), "sandbox output must match the schema");
+        let mut cells = values.into_iter();
+        for i in 0..self.columns.len() {
+            let default = &self.schema.columns[i].default;
+            // Short rows (never produced by coercion) pad with the column
+            // default so every column vector stays row-aligned.
+            let cell = cells.next().unwrap_or_else(|| default.clone());
+            self.columns[i].push(cell, default);
+        }
+        self.chunk.push(chunk_start_secs);
+        self.region.push(region);
+        debug_assert!(
+            self.columns.iter().all(|c| c.len() == self.chunk.len()),
+            "column vectors must stay row-aligned with the implicit columns"
+        );
+    }
+
+    fn record_run(&mut self, chunk_start_secs: f64, region: u32, start: usize) {
+        self.runs.push(ChunkRun { chunk_start_secs, region, start, end: self.chunk.len() });
     }
 
     /// Append the output of one chunk, coercing every raw row to the schema
     /// and enforcing the `max_rows` cap from the PROCESS statement.
     pub fn append_chunk_output(&mut self, chunk_start_secs: f64, region: u32, raw_rows: &[Vec<Value>], max_rows: usize) {
+        let start = self.chunk.len();
         for raw in raw_rows.iter().take(max_rows) {
-            self.rows.push(Row { values: self.schema.coerce(raw), chunk: chunk_start_secs, region });
+            let coerced = self.schema.coerce(raw);
+            self.push_coerced(coerced, chunk_start_secs, region);
         }
+        self.record_run(chunk_start_secs, region, start);
     }
 
     /// Append the output of one chunk **by value**: rows are moved into the
-    /// table, not copied. The caller must pass rows that already match the
-    /// schema (the sandbox coerces before release); the `max_rows` cap is
-    /// still enforced here as defence in depth. This is the executor's hot
-    /// path — with `append_chunk_output` every string cell was cloned once
-    /// per row, and coerced a second time after the sandbox already had.
+    /// column vectors, not copied. The caller must pass rows that already
+    /// match the schema (the sandbox coerces before release); the `max_rows`
+    /// cap is still enforced here as defence in depth. This is the executor's
+    /// hot path — string cells move straight from the sandbox output into the
+    /// column vector without an intermediate clone.
     pub fn append_chunk_rows(&mut self, chunk_start_secs: f64, region: u32, rows: Vec<Vec<Value>>, max_rows: usize) {
-        self.rows.reserve(rows.len().min(max_rows));
+        let start = self.chunk.len();
         for values in rows.into_iter().take(max_rows) {
-            debug_assert_eq!(values.len(), self.schema.len(), "sandbox output must match the schema");
-            self.rows.push(Row { values, chunk: chunk_start_secs, region });
+            self.push_coerced(values, chunk_start_secs, region);
         }
-    }
-
-    /// Append a single already-coerced row (used by tests and by JOIN/GROUP BY
-    /// intermediates).
-    pub fn push_row(&mut self, row: Row) {
-        self.rows.push(row);
+        self.record_run(chunk_start_secs, region, start);
     }
 
     /// Read a column value from a row by name, resolving the implicit columns.
-    pub fn get(&self, row: &Row, column: &str) -> Option<Value> {
+    pub fn value(&self, row: usize, column: &str) -> Option<Value> {
+        if row >= self.len() {
+            return None;
+        }
         match column {
-            CHUNK_COLUMN => Some(Value::Num(row.chunk)),
-            REGION_COLUMN => Some(Value::Num(row.region as f64)),
-            _ => self.schema.column_index(column).and_then(|i| row.values.get(i).cloned()),
+            CHUNK_COLUMN => Some(Value::Num(self.chunk[row])),
+            REGION_COLUMN => Some(Value::Num(self.region[row] as f64)),
+            _ => self.schema.column_index(column).and_then(|i| self.columns[i].value(row)),
         }
     }
 
@@ -88,8 +235,8 @@ impl Table {
     /// never branches on data-dependent key sets).
     pub fn distinct(&self, column: &str) -> Vec<Value> {
         let mut seen = Vec::new();
-        for row in &self.rows {
-            if let Some(v) = self.get(row, column) {
+        for row in 0..self.len() {
+            if let Some(v) = self.value(row, column) {
                 if !seen.contains(&v) {
                     seen.push(v);
                 }
@@ -118,19 +265,19 @@ mod tests {
         ];
         t.append_chunk_output(120.0, 0, &raw, 2);
         assert_eq!(t.len(), 2, "max_rows = 2 truncates the third row");
-        assert_eq!(t.rows[1].values[2], Value::num(0.0), "mistyped speed coerced to default");
-        assert_eq!(t.rows[0].chunk, 120.0);
+        assert_eq!(t.value(1, "speed"), Some(Value::num(0.0)), "mistyped speed coerced to default");
+        assert_eq!(t.chunk_starts()[0], 120.0);
     }
 
     #[test]
     fn implicit_columns_are_readable() {
         let mut t = table();
         t.append_chunk_output(30.0, 2, &[vec![Value::str("AAA"), Value::str("RED"), Value::num(42.0)]], 10);
-        let row = &t.rows[0];
-        assert_eq!(t.get(row, "chunk"), Some(Value::num(30.0)));
-        assert_eq!(t.get(row, "region"), Some(Value::num(2.0)));
-        assert_eq!(t.get(row, "speed"), Some(Value::num(42.0)));
-        assert_eq!(t.get(row, "missing"), None);
+        assert_eq!(t.value(0, "chunk"), Some(Value::num(30.0)));
+        assert_eq!(t.value(0, "region"), Some(Value::num(2.0)));
+        assert_eq!(t.value(0, "speed"), Some(Value::num(42.0)));
+        assert_eq!(t.value(0, "missing"), None);
+        assert_eq!(t.value(1, "speed"), None, "out-of-range row");
     }
 
     #[test]
@@ -142,5 +289,29 @@ mod tests {
         assert_eq!(t.distinct("color"), vec![Value::str("RED"), Value::str("WHITE")]);
         assert_eq!(t.len(), 3);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn runs_record_every_append_including_empty_chunks() {
+        let mut t = table();
+        t.append_chunk_output(0.0, 0, &[vec![Value::str("AAA"), Value::str("RED"), Value::num(1.0)]], 10);
+        t.append_chunk_output(0.0, 1, &[], 10); // same chunk, second region, no rows
+        t.append_chunk_rows(10.0, 0, vec![], 10); // empty chunk
+        t.append_chunk_rows(
+            20.0,
+            0,
+            vec![
+                vec![Value::str("BBB"), Value::str("WHITE"), Value::num(2.0)],
+                vec![Value::str("CCC"), Value::str("SILVER"), Value::num(3.0)],
+            ],
+            10,
+        );
+        assert_eq!(t.runs().len(), 4, "one run per append, empties included");
+        assert_eq!(t.runs()[1], ChunkRun { chunk_start_secs: 0.0, region: 1, start: 1, end: 1 });
+        let chunks = t.chunk_rows();
+        assert_eq!(chunks.len(), 3, "two regions of chunk 0 collapse into one range");
+        assert_eq!(chunks[0], ChunkRows { chunk_start_secs: 0.0, start: 0, end: 1 });
+        assert_eq!(chunks[1], ChunkRows { chunk_start_secs: 10.0, start: 1, end: 1 });
+        assert_eq!(chunks[2], ChunkRows { chunk_start_secs: 20.0, start: 1, end: 3 });
     }
 }

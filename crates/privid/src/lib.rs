@@ -28,10 +28,10 @@ pub use privid_store as store;
 pub use privid_video as video;
 
 pub use privid_core::{
-    greedy_mask_order, AdmissionController, AdmissionFailure, AdmissionJournal, AdmissionRequest, AppendOutcome,
-    BudgetError, BudgetLedger, CameraHealth, ChunkCacheStats, DegradationCurve, LaplaceMechanism, MaskPolicy,
-    MaskingAnalysis, NoisyRelease, NoisyValue, Parallelism, PrivacyPolicy, PrividError, PrividSystem, QueryResult,
-    QueryService, QueryServiceBuilder, StandingFiring, StoreRetryPolicy,
+    greedy_mask_order, AdmissionController, AdmissionFailure, AdmissionJournal, AdmissionRequest, AggCacheStats,
+    AppendOutcome, BudgetError, BudgetLedger, CameraHealth, ChunkCacheStats, DegradationCurve, LaplaceMechanism,
+    MaskPolicy, MaskingAnalysis, NoisyRelease, NoisyValue, Parallelism, PrivacyPolicy, PrividError, PrividSystem,
+    QueryResult, QueryService, QueryServiceBuilder, StandingFiring, StoreRetryPolicy,
 };
 pub use privid_store::{
     Durability, FaultKind, FaultOp, FaultProfile, FaultVfs, FsyncPolicy, Record, RecoveryEvent, RecoveryReport,

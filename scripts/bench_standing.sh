@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Records a machine-readable incremental-aggregation benchmark snapshot at
+# the repo root (BENCH_PR8.json): per-firing standing-query latency across a
+# 10x window-length sweep (incremental vs seed-style), and aggregate
+# throughput for eight analysts sharing one foldable sub-plan through the
+# tier-2 aggregate-state cache.
+#
+# Usage:
+#   scripts/bench_standing.sh            # full snapshot -> BENCH_PR8.json
+#   scripts/bench_standing.sh --smoke    # quick CI smoke run
+#   scripts/bench_standing.sh --out F    # write to a different path
+set -eu
+cd "$(dirname "$0")/.."
+exec cargo run --release -p privid-bench --bin bench_pr8_standing -- "$@"
