@@ -33,6 +33,12 @@ pub struct Config {
     /// The declared global lock order, most-outer first. Position in this
     /// list is the partial order the lock-order rule validates against.
     pub lock_order: Vec<String>,
+    /// Locks that are *indexed families*: N instances ranked by a literal
+    /// subscript (e.g. per-shard admission gates). Re-acquiring a family
+    /// member while another is held is legal only when both carry literal
+    /// indexes and the incoming index is strictly greater — the canonical
+    /// ascending shard order.
+    pub lock_indexed: Vec<String>,
     /// Receiver-identifier (or gate-method) → declared lock name.
     pub lock_aliases: BTreeMap<String, String>,
     /// Methods that hold a declared lock for the duration of their call
@@ -98,6 +104,7 @@ impl Config {
         match (section, key) {
             ("workspace", "exclude") => self.exclude = parse_array(value)?,
             ("lock-order", "order") => self.lock_order = parse_array(value)?,
+            ("lock-order", "indexed") => self.lock_indexed = parse_array(value)?,
             ("lock-order.aliases", _) => {
                 self.lock_aliases.insert(key.to_string(), parse_string(value)?);
             }
@@ -212,6 +219,7 @@ mod tests {
                 "admission-gate",  # outermost
                 "camera-registry",
             ]
+            indexed = ["admission-gate"]
 
             [lock-order.aliases]
             gate = "admission-gate"
@@ -243,6 +251,7 @@ mod tests {
         .unwrap();
         assert_eq!(cfg.exclude, vec!["target/", "shims/"]);
         assert_eq!(cfg.lock_order, vec!["admission-gate", "camera-registry"]);
+        assert_eq!(cfg.lock_indexed, vec!["admission-gate"]);
         assert_eq!(cfg.lock_aliases.get("cameras").unwrap(), "camera-registry");
         assert_eq!(cfg.lock_scoped_calls.get("exclusive").unwrap(), "admission-gate");
         assert_eq!(cfg.taint.len(), 2);

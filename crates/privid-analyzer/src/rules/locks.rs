@@ -16,10 +16,23 @@
 //! module-granularity trade-off the crate docs describe. The declared order
 //! plus the per-site audit comments are the contract that keeps those
 //! compositions safe.
+//!
+//! ## Indexed lock families
+//!
+//! A lock named in `[lock-order] indexed` is a *family*: N instances of the
+//! same lock ranked by index (the sharded service's per-shard admission
+//! gates). Holding one member while acquiring another is legal **only** when
+//! both acquisitions carry a literal subscript in their receiver chain
+//! (`shards[0]… then shards[1]…`) and the indexes strictly ascend — the
+//! canonical fleet order that makes overlapping multi-shard admissions
+//! deadlock-free. Equal or descending indexes, or a second acquisition whose
+//! index the lexer cannot see, are flagged exactly like a re-acquisition.
+//! (Dynamic all-at-once acquisition, as in `admit_fleet`'s gate sweep, is a
+//! single lexical site and is covered by that function's runtime assert.)
 
 use super::{ident_at, is_punct, FileCx};
 use crate::diag::{Diagnostic, RuleId};
-use crate::lexer::TokKind;
+use crate::lexer::{Tok, TokKind};
 
 #[derive(Debug)]
 enum Extent {
@@ -37,6 +50,9 @@ struct Guard {
     lock: Option<String>,
     /// The receiver identifier as written (for diagnostics).
     raw: String,
+    /// Literal subscript in the receiver chain (`shards[3].…` → 3), for
+    /// indexed lock families.
+    index: Option<u64>,
     extent: Extent,
     line: u32,
 }
@@ -105,6 +121,7 @@ pub fn check(cx: &FileCx<'_>) -> Vec<Diagnostic> {
                     let guard = Guard {
                         lock: Some(lock.clone()),
                         raw: t.text.clone(),
+                        index: literal_index(toks, i),
                         extent: Extent::Call(paren),
                         line: t.line,
                     };
@@ -114,7 +131,7 @@ pub fn check(cx: &FileCx<'_>) -> Vec<Diagnostic> {
                     let receiver = i.checked_sub(2).and_then(|j| ident_at(toks, j)).unwrap_or("<expr>").to_string();
                     let lock = cx.cfg.lock_aliases.get(&receiver).cloned();
                     let extent = if saw_let { Extent::Block(brace) } else { Extent::Statement(brace) };
-                    let guard = Guard { lock, raw: receiver, extent, line: t.line };
+                    let guard = Guard { lock, raw: receiver, index: literal_index(toks, i), extent, line: t.line };
                     validate(cx, &stack, &guard, &mut out);
                     stack.push(guard);
                 }
@@ -125,11 +142,78 @@ pub fn check(cx: &FileCx<'_>) -> Vec<Diagnostic> {
     out
 }
 
+/// Nearest literal integer subscript in the receiver chain of the method
+/// call at `method` (`self.shards[3].admission.exclusive(…)` → `Some(3)`).
+///
+/// Walks the chain backwards over `.`-separated members and `[<int>]`
+/// subscripts; anything else (a call, a computed index, the chain's start)
+/// ends the walk. Computed indexes deliberately return `None` — an index the
+/// lexer cannot read cannot prove ascending order.
+fn literal_index(toks: &[Tok], method: usize) -> Option<u64> {
+    // `j` tracks the `.` whose left-hand side we are about to inspect.
+    let mut j = method.checked_sub(1)?;
+    if !is_punct(toks, j, '.') {
+        return None;
+    }
+    loop {
+        let prev = j.checked_sub(1)?;
+        let t = toks.get(prev)?;
+        if t.kind == TokKind::Ident {
+            // Plain member: keep walking through the preceding `.`, if any.
+            match prev.checked_sub(1) {
+                Some(p) if is_punct(toks, p, '.') => j = p,
+                _ => return None,
+            }
+        } else if t.kind == TokKind::Punct && t.text == "]" {
+            // Expect `[ <int> ]` — a computed index is not provable.
+            let lit = prev.checked_sub(1)?;
+            let open = prev.checked_sub(2)?;
+            if is_punct(toks, open, '[') {
+                if let Some(n) = toks.get(lit) {
+                    if n.kind == TokKind::Num {
+                        return n.text.parse::<u64>().ok();
+                    }
+                }
+            }
+            return None;
+        } else {
+            return None;
+        }
+    }
+}
+
 fn validate(cx: &FileCx<'_>, stack: &[Guard], incoming: &Guard, out: &mut Vec<Diagnostic>) {
     for held in stack {
         match (&held.lock, &incoming.lock) {
             (Some(a), Some(b)) => {
                 if a == b {
+                    if cx.cfg.lock_indexed.iter().any(|l| l == a) {
+                        // Indexed family: members may nest, but only in
+                        // strictly ascending index order — and only when the
+                        // lexer can actually see both indexes.
+                        match (held.index, incoming.index) {
+                            (Some(h), Some(n)) if n > h => {}
+                            (Some(h), Some(n)) => out.push(cx.diag(
+                                RuleId::LockOrder,
+                                incoming.line,
+                                format!(
+                                    "acquires indexed lock `{a}[{n}]` while holding `{a}[{h}]` (line {}); \
+                                     family members must be acquired in strictly ascending index order",
+                                    held.line
+                                ),
+                            )),
+                            _ => out.push(cx.diag(
+                                RuleId::LockOrder,
+                                incoming.line,
+                                format!(
+                                    "re-acquires indexed lock `{a}` while already held (acquired line {}) \
+                                     without a provable ascending literal index",
+                                    held.line
+                                ),
+                            )),
+                        }
+                        continue;
+                    }
                     out.push(cx.diag(
                         RuleId::LockOrder,
                         incoming.line,

@@ -17,6 +17,7 @@ fn fixture_config() -> Config {
 
         [lock-order]
         order = ["admission-gate", "camera-registry", "ledger-state"]
+        indexed = ["admission-gate"]
 
         [lock-order.aliases]
         gate = "admission-gate"
@@ -108,6 +109,38 @@ fn lock_order_accepts_declared_order_and_dropped_guards() {
     // Statement-extent guard dies at the `;`: the next acquisition is fresh.
     let seq = "fn f(&self) {\n    self.state.lock().insert(k, v);\n    self.state.lock().insert(k2, v2);\n}\n";
     assert!(!rules_of("src/svc.rs", seq).contains(&RuleId::LockOrder));
+}
+
+#[test]
+fn indexed_family_requires_strictly_ascending_literal_subscripts() {
+    // Ascending shard gates — the canonical fleet order: clean.
+    let ascending = "fn f(&self) {\n    let a = self.shards[0].gate.lock();\n    let b = self.shards[1].gate.lock();\n}\n";
+    assert!(!rules_of("src/svc.rs", ascending).contains(&RuleId::LockOrder), "ascending must pass");
+
+    // Descending: flagged — two admissions overlapping on {0, 1} would
+    // contend in opposite orders and deadlock.
+    let descending = "fn f(&self) {\n    let a = self.shards[1].gate.lock();\n    let b = self.shards[0].gate.lock();\n}\n";
+    assert!(rules_of("src/svc.rs", descending).contains(&RuleId::LockOrder), "descending must be rejected");
+
+    // Equal indexes: a self-deadlock, flagged.
+    let equal = "fn f(&self) {\n    let a = self.shards[1].gate.lock();\n    let b = self.shards[1].gate.lock();\n}\n";
+    assert!(rules_of("src/svc.rs", equal).contains(&RuleId::LockOrder), "equal must be rejected");
+
+    // A computed second index cannot prove ascending order: flagged.
+    let computed = "fn f(&self, k: usize) {\n    let a = self.shards[0].gate.lock();\n    let b = self.shards[k].gate.lock();\n}\n";
+    assert!(rules_of("src/svc.rs", computed).contains(&RuleId::LockOrder), "computed index must be rejected");
+
+    // Scoped calls participate in the family too: ascending exclusive() is
+    // clean, descending is not.
+    let scoped_ok = "fn f(&self) {\n    self.shards[2].admission.exclusive(|| {\n        self.shards[5].admission.exclusive(|| {});\n    });\n}\n";
+    assert!(!rules_of("src/svc.rs", scoped_ok).contains(&RuleId::LockOrder), "ascending scoped calls must pass");
+    let scoped_bad = "fn f(&self) {\n    self.shards[5].admission.exclusive(|| {\n        self.shards[2].admission.exclusive(|| {});\n    });\n}\n";
+    assert!(rules_of("src/svc.rs", scoped_bad).contains(&RuleId::LockOrder), "descending scoped calls must be rejected");
+
+    // Non-indexed locks keep the plain re-acquisition diagnostic even with
+    // ascending subscripts: `ledger-state` is not a declared family.
+    let non_family = "fn f(&self) {\n    let a = self.cams[0].state.lock();\n    let b = self.cams[1].state.lock();\n}\n";
+    assert!(rules_of("src/svc.rs", non_family).contains(&RuleId::LockOrder), "non-family locks must not ascend");
 }
 
 #[test]
@@ -313,6 +346,44 @@ fn committed_config_covers_the_aggregate_cache_module() {
     assert!(
         findings.iter().any(|d| d.rule == RuleId::LockOrder),
         "agg-cache-entries before cache-entries must be an inversion: {findings:?}"
+    );
+}
+
+/// The committed analyzer.toml must declare the per-shard admission gates as
+/// an indexed lock family: the fleet's deadlock-freedom argument rests on
+/// every multi-shard admission taking the gates in ascending shard order,
+/// and this is the machine check that keeps literal acquisition sites
+/// honest. Guards against the family declaration quietly disappearing.
+#[test]
+fn committed_config_rejects_out_of_order_shard_gate_acquisition() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root above crates/privid-analyzer");
+    let toml = std::fs::read_to_string(root.join("analyzer.toml")).expect("committed analyzer.toml");
+    let cfg = Config::parse(&toml).expect("committed analyzer.toml parses");
+    assert!(
+        cfg.lock_indexed.iter().any(|l| l == "admission-gate"),
+        "admission-gate must be declared an indexed family: {:?}",
+        cfg.lock_indexed
+    );
+
+    // Descending shard gates under the committed config: an inversion.
+    let descending =
+        "fn f(&self) {\n    self.shards[1].admission.exclusive(|| {\n        self.shards[0].admission.exclusive(|| {});\n    });\n}\n";
+    let (findings, _) = check_source("crates/privid-core/src/service.rs", descending, &cfg);
+    assert!(
+        findings.iter().any(|d| d.rule == RuleId::LockOrder),
+        "committed config must reject out-of-order shard gate acquisition: {findings:?}"
+    );
+
+    // Ascending shard gates: the canonical order, clean.
+    let ascending =
+        "fn f(&self) {\n    self.shards[0].admission.exclusive(|| {\n        self.shards[1].admission.exclusive(|| {});\n    });\n}\n";
+    let (findings, _) = check_source("crates/privid-core/src/service.rs", ascending, &cfg);
+    assert!(
+        !findings.iter().any(|d| d.rule == RuleId::LockOrder),
+        "ascending shard gate acquisition must stay clean: {findings:?}"
     );
 }
 

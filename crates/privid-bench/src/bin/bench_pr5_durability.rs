@@ -40,13 +40,17 @@ struct Journal<'a> {
 }
 
 impl AdmissionJournal for Journal<'_> {
-    fn record_admit(&self, requests: &[AdmissionRequest<'_>], epsilon: f64) -> Result<(), StoreError> {
+    fn record_admit(
+        &self,
+        requests: &[AdmissionRequest<'_>],
+        epsilon: f64,
+    ) -> Result<Option<privid::CommitWait>, StoreError> {
         let mut debits = Vec::with_capacity(requests.len());
         for r in requests {
             let (lo, hi) = r.ledger.debit_slot_range(&r.window).expect("checked window resolves");
             debits.push(DebitRange { camera: "cam".into(), lo: lo as u64, hi: hi as u64 });
         }
-        self.store.append(Record::Admit { epsilon, debits })
+        self.store.append(Record::Admit { epsilon, debits }).map(|_| None)
     }
     fn record_rollback(&self, _: &[AdmissionRequest<'_>], _: usize, _: f64) {}
 }

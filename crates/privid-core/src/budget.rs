@@ -362,13 +362,29 @@ pub enum AdmissionFailure {
     Journal(StoreError),
 }
 
-/// The durability hook of [`AdmissionController::admit_journaled`]: the
-/// serving layer implements this over its write-ahead log.
+/// The deferred durability half of a group-committed admission: a journal
+/// that *stages* its admit record into a commit batch hands one of these
+/// back, and the admission path redeems it exactly once — **after** the
+/// admission gates are released, so one shard's fsync never stalls another
+/// shard's admissions. The admission is acknowledged only when the wait
+/// resolves `Ok`.
+pub type CommitWait = Box<dyn FnOnce() -> Result<(), StoreError> + Send>;
+
+/// The durability hook of [`AdmissionController::admit_journaled`] and
+/// [`admit_fleet`]: the serving layer implements this over its write-ahead
+/// log — one implementation per shard, each bound to that shard's log.
 pub trait AdmissionJournal {
     /// Called under the admission gate after every budget check passed and
     /// **before any slot is debited**. An `Err` aborts the admission — the
     /// in-memory ledger must never run ahead of the journal.
-    fn record_admit(&self, requests: &[AdmissionRequest<'_>], epsilon: f64) -> Result<(), StoreError>;
+    ///
+    /// A journal over a group-commit log stages the record here and returns
+    /// `Ok(Some(wait))`; the admission path redeems the [`CommitWait`] after
+    /// the gates are released and acknowledges the admission only once it
+    /// resolves `Ok`. `Ok(None)` means the record is already durable (or the
+    /// journal is non-durable by configuration) and there is nothing to wait
+    /// on.
+    fn record_admit(&self, requests: &[AdmissionRequest<'_>], epsilon: f64) -> Result<Option<CommitWait>, StoreError>;
 
     /// Called after the (rare) all-or-nothing rollback: the first `debited`
     /// requests were debited and credited back, the rest never debited at
@@ -423,68 +439,22 @@ impl AdmissionController {
 
     /// [`AdmissionController::admit`] with a durability hook: after the
     /// checks pass, the journal records the admission's exact slot-range
-    /// debits — and only once that record is durable are the slots debited.
+    /// debits — and only once that record is durable is the admission
+    /// acknowledged. (With a group-commit journal the slots are debited
+    /// between staging and durability; a commit failure credits them back,
+    /// so acknowledgement still never outruns the durable record.)
+    ///
+    /// This is the single-shard special case of [`admit_fleet`]: one gate,
+    /// one journal, every request a member.
     pub fn admit_journaled(
         &self,
         requests: &[AdmissionRequest<'_>],
         epsilon: f64,
         journal: Option<&dyn AdmissionJournal>,
     ) -> Result<(), AdmissionFailure> {
-        let budget_err = |index: usize, error: BudgetError| AdmissionFailure::Budget { index, error };
-        let _gate = self.gate.lock().expect("admission gate poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
-        // Phase 1: every window must be on the recording and have enough
-        // margin-expanded budget. Nothing is debited yet.
-        for (i, r) in requests.iter().enumerate() {
-            r.ledger.validate_window(&r.window).map_err(|e| budget_err(i, e))?;
-            let min = r.ledger.min_remaining(&r.window.expand(r.rho_margin)).map_err(|e| budget_err(i, e))?;
-            if min + 1e-9 < epsilon {
-                return Err(budget_err(i, BudgetError::Insufficient { available: min }));
-            }
-        }
-        // Phase 1 checked each request independently, which misses compound
-        // spending when several requests share one ledger. Discovering that
-        // only at debit time would force a rollback *after* the admission was
-        // journaled — and the compensating credits cannot reproduce the
-        // untouched slots bit-for-bit (float subtraction does not round-trip).
-        // So simulate the full debit sequence on scratch copies first: by the
-        // time anything is journaled or debited, the admission is known to
-        // fit. (Cost is one slot-vector clone per *shared* ledger; the common
-        // all-distinct case skips this entirely.)
-        let shares_a_ledger = requests
-            .iter()
-            .enumerate()
-            // privid-analyzer: allow(panic-freedom) -- `i` comes from enumerate over `requests`, so `..i` is in bounds
-            .any(|(i, r)| requests[..i].iter().any(|q| std::ptr::eq(q.ledger, r.ledger)));
-        if shares_a_ledger {
-            simulate_shared(requests, epsilon).map_err(|(index, error)| budget_err(index, error))?;
-        }
-        // Journal between check and debit: the record describes exactly the
-        // debits phase 2 will apply (the gate excludes concurrent extensions,
-        // so the resolved slot ranges cannot move underneath us). A crash
-        // after this point at worst *over*-debits on recovery.
-        if let Some(journal) = journal {
-            journal.record_admit(requests, epsilon).map_err(AdmissionFailure::Journal)?;
-        }
-        // Phase 2: debit. With shared ledgers pre-simulated, a failure here
-        // is only possible when some caller debits a ledger *outside* the
-        // controller concurrently. Roll back every debit already made so the
-        // call stays all-or-nothing, and journal the rollback after the
-        // credits (crash in between = over-debit; the compensation may also
-        // differ from the untouched slots by ULPs — a bounded, conservative
-        // residue of an already-out-of-contract race).
-        for (i, r) in requests.iter().enumerate() {
-            if let Err(e) = r.ledger.check_and_debit(&r.window, r.rho_margin, epsilon) {
-                // privid-analyzer: allow(panic-freedom) -- `i` comes from enumerate over `requests`, so `..i` is in bounds
-                for done in &requests[..i] {
-                    done.ledger.credit(&done.window, epsilon);
-                }
-                if let Some(journal) = journal {
-                    journal.record_rollback(requests, i, epsilon);
-                }
-                return Err(budget_err(i, e));
-            }
-        }
-        Ok(())
+        let group =
+            [ShardAdmission { shard: 0, controller: self, journal, members: (0..requests.len()).collect() }];
+        admit_fleet(&group, requests, epsilon)
     }
 
     /// Run `f` holding the admission gate. The serving layer wraps live-edge
@@ -495,6 +465,219 @@ impl AdmissionController {
     pub fn exclusive<R>(&self, f: impl FnOnce() -> R) -> R {
         let _gate = self.gate.lock().expect("admission gate poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
         f()
+    }
+}
+
+/// One shard's slice of a fleet admission: the shard's gate rank, its
+/// controller and journal, and which of the caller's requests live on it.
+///
+/// The sharded service hashes each camera to a shard; a query spanning
+/// cameras on several shards builds one group per touched shard and hands
+/// them — **sorted by ascending shard index** — to [`admit_fleet`].
+pub struct ShardAdmission<'a> {
+    /// The shard's index: its rank in the fleet-wide gate order.
+    pub shard: usize,
+    /// The shard's admission controller (its gate).
+    pub controller: &'a AdmissionController,
+    /// The shard's durability journal, if the service is durable.
+    pub journal: Option<&'a dyn AdmissionJournal>,
+    /// Indices into the caller's request slice homed on this shard.
+    pub members: Vec<usize>,
+}
+
+/// Atomically admit `epsilon` against every request across several shards,
+/// or none of them — the multi-shard generalization of
+/// [`AdmissionController::admit_journaled`].
+///
+/// ## Lock discipline
+///
+/// Shard gates are ranked by shard index, and every multi-shard admission
+/// acquires them in strictly ascending order — two admissions whose shard
+/// sets overlap always contend in the same order, so the fleet cannot
+/// deadlock. `analyzer.toml` ranks the gates (`indexed` lock family) so the
+/// lexical rule machine-checks literal acquisitions; this function's runtime
+/// assert covers the dynamic path the lexical rule cannot see.
+///
+/// ## Durability protocol
+///
+/// Under the gates: check all → stage one admit record per shard (ascending)
+/// → debit all. The gates are then **released before** the [`CommitWait`]s
+/// are redeemed, so the expensive fsync runs outside every gate and one
+/// shard's flush never stalls another shard's admissions. If any wait fails,
+/// the admission cannot be acknowledged: the in-memory debits are credited
+/// back and every shard whose record *did* commit journals compensating
+/// credits — the durable state is then at worst over-debited (an admit
+/// surviving an unknowable fsync), never under.
+pub fn admit_fleet(
+    groups: &[ShardAdmission<'_>],
+    requests: &[AdmissionRequest<'_>],
+    epsilon: f64,
+) -> Result<(), AdmissionFailure> {
+    let budget_err = |index: usize, error: BudgetError| AdmissionFailure::Budget { index, error };
+    assert!(
+        groups.windows(2).all(|w| w[0].shard < w[1].shard), // privid-analyzer: allow(panic-freedom) -- windows(2) yields exactly-2 slices; out-of-order gates risk fleet deadlock, so refusing loudly is the point
+        "fleet admission groups must be sorted by strictly ascending shard index"
+    );
+    debug_assert!(
+        {
+            let mut seen = vec![false; requests.len()];
+            groups
+                .iter()
+                .flat_map(|g| g.members.iter())
+                .all(|&m| seen.get_mut(m).is_some_and(|s| !std::mem::replace(s, true)))
+                && seen.iter().all(|&s| s)
+        },
+        "fleet admission members must partition the request list"
+    );
+    // Lock-order audit: `admission-gate`, rank within the family = shard
+    // index. All gates are held across validate → stage → debit; the
+    // `ledger-state` and `wal-inner` leaves are only ever taken inside.
+    let _gates: Vec<_> = groups
+        .iter()
+        .map(|g| g.controller.gate.lock().expect("admission gate poisoned")) // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+        .collect();
+    // Phase 1: every window must be on the recording and have enough
+    // margin-expanded budget. Nothing is debited yet. Requests are checked
+    // in caller order so a rejection index maps straight back.
+    for (i, r) in requests.iter().enumerate() {
+        r.ledger.validate_window(&r.window).map_err(|e| budget_err(i, e))?;
+        let min = r.ledger.min_remaining(&r.window.expand(r.rho_margin)).map_err(|e| budget_err(i, e))?;
+        if min + 1e-9 < epsilon {
+            return Err(budget_err(i, BudgetError::Insufficient { available: min }));
+        }
+    }
+    // Phase 1 checked each request independently, which misses compound
+    // spending when several requests share one ledger. Discovering that
+    // only at debit time would force a rollback *after* the admission was
+    // journaled — and the compensating credits cannot reproduce the
+    // untouched slots bit-for-bit (float subtraction does not round-trip).
+    // So simulate the full debit sequence on scratch copies first: by the
+    // time anything is journaled or debited, the admission is known to
+    // fit. (Cost is one slot-vector clone per *shared* ledger; the common
+    // all-distinct case skips this entirely. A ledger belongs to exactly
+    // one camera and a camera to exactly one shard, so sharing can only
+    // happen within a group — the global simulation covers it either way.)
+    let shares_a_ledger = requests
+        .iter()
+        .enumerate()
+        // privid-analyzer: allow(panic-freedom) -- `i` comes from enumerate over `requests`, so `..i` is in bounds
+        .any(|(i, r)| requests[..i].iter().any(|q| std::ptr::eq(q.ledger, r.ledger)));
+    if shares_a_ledger {
+        simulate_shared(requests, epsilon).map_err(|(index, error)| budget_err(index, error))?;
+    }
+    // Stage one admit record per shard, in ascending shard order. The record
+    // describes exactly the debits phase 2 will apply (the gates exclude
+    // concurrent extensions, so the resolved slot ranges cannot move
+    // underneath us). A crash after this point at worst *over*-debits on
+    // recovery.
+    let mut durable: Vec<bool> = vec![false; groups.len()];
+    let mut waits: Vec<(usize, CommitWait)> = Vec::new();
+    for (gi, g) in groups.iter().enumerate() {
+        let Some(journal) = g.journal else { continue };
+        match journal.record_admit(&member_requests(g, requests), epsilon) {
+            Ok(Some(wait)) => waits.push((gi, wait)),
+            Ok(None) => {
+                if let Some(d) = durable.get_mut(gi) {
+                    *d = true;
+                }
+            }
+            Err(e) => {
+                // Earlier shards staged admit records for an admission that
+                // will never debit. Resolve their commits now (nothing is
+                // debited yet, so waiting under the gates is safe) and
+                // compensate the shards whose record became durable; a wait
+                // that failed left nothing durable to compensate.
+                redeem_waits(&mut durable, waits);
+                compensate_durable(groups, requests, &durable, 0, epsilon);
+                return Err(AdmissionFailure::Journal(e));
+            }
+        }
+    }
+    // Phase 2: debit. With shared ledgers pre-simulated, a failure here
+    // is only possible when some caller debits a ledger *outside* the
+    // controller concurrently. Roll back every debit already made so the
+    // call stays all-or-nothing, and journal the rollback after the
+    // credits (crash in between = over-debit; the compensation may also
+    // differ from the untouched slots by ULPs — a bounded, conservative
+    // residue of an already-out-of-contract race).
+    for (i, r) in requests.iter().enumerate() {
+        if let Err(e) = r.ledger.check_and_debit(&r.window, r.rho_margin, epsilon) {
+            // privid-analyzer: allow(panic-freedom) -- `i` comes from enumerate over `requests`, so `..i` is in bounds
+            for done in &requests[..i] {
+                done.ledger.credit(&done.window, epsilon);
+            }
+            redeem_waits(&mut durable, waits);
+            compensate_durable(groups, requests, &durable, i, epsilon);
+            return Err(budget_err(i, e));
+        }
+    }
+    // Success path: release every gate, then redeem the commit waits — the
+    // group-commit flush is the expensive part of a durable admission, and
+    // holding the gates across it would serialize the fleet on one fsync.
+    drop(_gates);
+    if let Some(e) = redeem_waits(&mut durable, waits) {
+        // The admission cannot be acknowledged: at least one shard's admit
+        // record is not durable, and a release must never outrun its durable
+        // debit record. Undo the in-memory debits (credits first, durable
+        // compensation after, so a crash in between over-debits — never
+        // under), then journal compensating credits on every shard whose
+        // record did reach disk.
+        for r in requests {
+            r.ledger.credit(&r.window, epsilon);
+        }
+        compensate_durable(groups, requests, &durable, requests.len(), epsilon);
+        return Err(AdmissionFailure::Journal(e));
+    }
+    Ok(())
+}
+
+/// Re-borrow the requests belonging to one shard group, in member order.
+fn member_requests<'a>(group: &ShardAdmission<'_>, requests: &[AdmissionRequest<'a>]) -> Vec<AdmissionRequest<'a>> {
+    group
+        .members
+        .iter()
+        .filter_map(|&m| requests.get(m))
+        .map(|r| AdmissionRequest { ledger: r.ledger, window: r.window, rho_margin: r.rho_margin })
+        .collect()
+}
+
+/// Redeem every outstanding commit wait, marking the groups whose admit
+/// record reached disk in `durable`. Returns the first wait failure.
+fn redeem_waits(durable: &mut [bool], waits: Vec<(usize, CommitWait)>) -> Option<StoreError> {
+    let mut failure = None;
+    for (gi, wait) in waits {
+        match wait() {
+            Ok(()) => {
+                if let Some(d) = durable.get_mut(gi) {
+                    *d = true;
+                }
+            }
+            Err(e) => {
+                if failure.is_none() {
+                    failure = Some(e);
+                }
+            }
+        }
+    }
+    failure
+}
+
+/// Journal compensating credits on every shard whose admit record is durable
+/// but whose admission was unwound. `debited` is the count of requests (in
+/// caller order) that were debited and credited back in memory — the journal
+/// compensates its whole slice regardless; the count is diagnostic.
+fn compensate_durable(
+    groups: &[ShardAdmission<'_>],
+    requests: &[AdmissionRequest<'_>],
+    durable: &[bool],
+    debited: usize,
+    epsilon: f64,
+) {
+    for (g, _) in groups.iter().zip(durable).filter(|(_, d)| **d) {
+        if let Some(journal) = g.journal {
+            let shard_debited = g.members.iter().filter(|&&m| m < debited).count();
+            journal.record_rollback(&member_requests(g, requests), shard_debited, epsilon);
+        }
     }
 }
 
@@ -824,7 +1007,7 @@ mod tests {
         use privid_store::StoreError;
         struct RefusingJournal;
         impl AdmissionJournal for RefusingJournal {
-            fn record_admit(&self, _: &[AdmissionRequest<'_>], _: f64) -> Result<(), StoreError> {
+            fn record_admit(&self, _: &[AdmissionRequest<'_>], _: f64) -> Result<Option<CommitWait>, StoreError> {
                 Err(StoreError::Io { context: "test".into(), message: "disk full".into() })
             }
             fn record_rollback(&self, _: &[AdmissionRequest<'_>], _: usize, _: f64) {}
@@ -848,11 +1031,11 @@ mod tests {
             log: StdMutex<Vec<String>>,
         }
         impl AdmissionJournal for TraceJournal {
-            fn record_admit(&self, requests: &[AdmissionRequest<'_>], epsilon: f64) -> Result<(), StoreError> {
+            fn record_admit(&self, requests: &[AdmissionRequest<'_>], epsilon: f64) -> Result<Option<CommitWait>, StoreError> {
                 let ranges: Vec<(usize, usize)> =
                     requests.iter().map(|r| r.ledger.debit_slot_range(&r.window).unwrap()).collect();
                 self.log.lock().unwrap().push(format!("admit {epsilon} {ranges:?}"));
-                Ok(())
+                Ok(None)
             }
             fn record_rollback(&self, _: &[AdmissionRequest<'_>], debited: usize, epsilon: f64) {
                 self.log.lock().unwrap().push(format!("rollback {debited} {epsilon}"));
@@ -991,5 +1174,126 @@ mod tests {
         let ra = a.remaining_at(100.0);
         let rb = b.remaining_at(100.0);
         assert!(ra.abs() < 1e-6 && rb.abs() < 1e-6, "both ledgers fully and equally spent: {ra}, {rb}");
+    }
+
+    #[test]
+    fn fleet_admission_is_all_or_nothing_across_shards() {
+        // Two shards, each with its own gate; camera `a` on shard 0, camera
+        // `b` on shard 1. A joint admission `b` cannot afford must leave `a`
+        // untouched too, exactly like the single-gate controller.
+        let a = BudgetLedger::new(100.0, 1.0);
+        let b = BudgetLedger::new(100.0, 0.3);
+        let (ctrl0, ctrl1) = (AdmissionController::new(), AdmissionController::new());
+        let w = TimeSpan::between_secs(0.0, 100.0);
+        let reqs =
+            [AdmissionRequest { ledger: &a, window: w, rho_margin: 0.0 }, AdmissionRequest { ledger: &b, window: w, rho_margin: 0.0 }];
+        let groups = [
+            ShardAdmission { shard: 0, controller: &ctrl0, journal: None, members: vec![0] },
+            ShardAdmission { shard: 1, controller: &ctrl1, journal: None, members: vec![1] },
+        ];
+        match admit_fleet(&groups, &reqs, 0.5) {
+            Err(AdmissionFailure::Budget { index: 1, error: BudgetError::Insufficient { available } }) => {
+                assert!((available - 0.3).abs() < 1e-9)
+            }
+            other => panic!("expected rejection on request 1, got {other:?}"),
+        }
+        assert!((a.remaining_at(50.0) - 1.0).abs() < 1e-9, "no partial debit across shards on rejection");
+        admit_fleet(&groups, &reqs, 0.2).unwrap();
+        assert!((a.remaining_at(50.0) - 0.8).abs() < 1e-9);
+        assert!((b.remaining_at(50.0) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending shard index")]
+    fn fleet_groups_must_be_sorted_by_shard() {
+        let a = BudgetLedger::new(100.0, 1.0);
+        let (ctrl0, ctrl1) = (AdmissionController::new(), AdmissionController::new());
+        let reqs = [
+            AdmissionRequest { ledger: &a, window: TimeSpan::between_secs(0.0, 10.0), rho_margin: 0.0 },
+        ];
+        let groups = [
+            ShardAdmission { shard: 1, controller: &ctrl1, journal: None, members: vec![0] },
+            ShardAdmission { shard: 0, controller: &ctrl0, journal: None, members: vec![] },
+        ];
+        let _ = admit_fleet(&groups, &reqs, 0.1);
+    }
+
+    /// A journal whose `record_admit` hands back a [`CommitWait`], resolving
+    /// to the configured outcome — the shape of a group-commit WAL journal.
+    struct WaitJournal {
+        fail_commit: bool,
+        staged: AtomicUsize,
+        rollbacks: AtomicUsize,
+    }
+    impl WaitJournal {
+        fn new(fail_commit: bool) -> Self {
+            WaitJournal { fail_commit, staged: AtomicUsize::new(0), rollbacks: AtomicUsize::new(0) }
+        }
+    }
+    impl AdmissionJournal for WaitJournal {
+        fn record_admit(&self, _: &[AdmissionRequest<'_>], _: f64) -> Result<Option<CommitWait>, StoreError> {
+            use privid_store::StoreError;
+            self.staged.fetch_add(1, Ordering::Relaxed);
+            let fail = self.fail_commit;
+            Ok(Some(Box::new(move || {
+                if fail {
+                    Err(StoreError::Wedged { reason: "fsync failed (test)".into() })
+                } else {
+                    Ok(())
+                }
+            })))
+        }
+        fn record_rollback(&self, _: &[AdmissionRequest<'_>], _: usize, _: f64) {
+            self.rollbacks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn commit_wait_success_acknowledges_the_fleet_admission() {
+        let a = BudgetLedger::new(100.0, 1.0);
+        let b = BudgetLedger::new(100.0, 1.0);
+        let (ctrl0, ctrl1) = (AdmissionController::new(), AdmissionController::new());
+        let (j0, j1) = (WaitJournal::new(false), WaitJournal::new(false));
+        let w = TimeSpan::between_secs(0.0, 50.0);
+        let reqs =
+            [AdmissionRequest { ledger: &a, window: w, rho_margin: 0.0 }, AdmissionRequest { ledger: &b, window: w, rho_margin: 0.0 }];
+        let groups = [
+            ShardAdmission { shard: 0, controller: &ctrl0, journal: Some(&j0), members: vec![0] },
+            ShardAdmission { shard: 1, controller: &ctrl1, journal: Some(&j1), members: vec![1] },
+        ];
+        admit_fleet(&groups, &reqs, 0.25).unwrap();
+        assert_eq!(j0.staged.load(Ordering::Relaxed), 1);
+        assert_eq!(j1.staged.load(Ordering::Relaxed), 1);
+        assert_eq!(j0.rollbacks.load(Ordering::Relaxed) + j1.rollbacks.load(Ordering::Relaxed), 0);
+        assert!((a.remaining_at(25.0) - 0.75).abs() < 1e-9);
+        assert!((b.remaining_at(25.0) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn commit_wait_failure_credits_memory_and_compensates_durable_shards() {
+        // Shard 0's record commits; shard 1's flush fails. The admission must
+        // not be acknowledged: memory is credited back on BOTH ledgers, and
+        // only the shard whose record reached disk journals a compensating
+        // credit (compensating a record that never committed would re-mint ε
+        // the durable state never spent).
+        let a = BudgetLedger::new(100.0, 1.0);
+        let b = BudgetLedger::new(100.0, 1.0);
+        let (ctrl0, ctrl1) = (AdmissionController::new(), AdmissionController::new());
+        let (j0, j1) = (WaitJournal::new(false), WaitJournal::new(true));
+        let w = TimeSpan::between_secs(0.0, 50.0);
+        let reqs =
+            [AdmissionRequest { ledger: &a, window: w, rho_margin: 0.0 }, AdmissionRequest { ledger: &b, window: w, rho_margin: 0.0 }];
+        let groups = [
+            ShardAdmission { shard: 0, controller: &ctrl0, journal: Some(&j0), members: vec![0] },
+            ShardAdmission { shard: 1, controller: &ctrl1, journal: Some(&j1), members: vec![1] },
+        ];
+        match admit_fleet(&groups, &reqs, 0.25) {
+            Err(AdmissionFailure::Journal(StoreError::Wedged { .. })) => {}
+            other => panic!("expected a wedged commit failure, got {other:?}"),
+        }
+        assert!((a.remaining_at(25.0) - 1.0).abs() < 1e-9, "memory credited back on the committed shard");
+        assert!((b.remaining_at(25.0) - 1.0).abs() < 1e-9, "memory credited back on the failed shard");
+        assert_eq!(j0.rollbacks.load(Ordering::Relaxed), 1, "the durable shard compensates");
+        assert_eq!(j1.rollbacks.load(Ordering::Relaxed), 0, "the failed shard has nothing durable to compensate");
     }
 }

@@ -83,7 +83,8 @@ pub mod spatial;
 
 pub use aggcache::{AggCacheKey, AggCacheStats, AggStateCache};
 pub use budget::{
-    AdmissionController, AdmissionFailure, AdmissionJournal, AdmissionRequest, BudgetError, BudgetLedger,
+    admit_fleet, AdmissionController, AdmissionFailure, AdmissionJournal, AdmissionRequest, BudgetError,
+    BudgetLedger, CommitWait, ShardAdmission,
 };
 pub use cache::{ChunkCacheKey, ChunkCacheStats, ChunkResultCache};
 pub use degradation::{detection_probability_bound, DegradationCurve};

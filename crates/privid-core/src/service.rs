@@ -26,7 +26,8 @@
 
 use crate::aggcache::{AggCacheStats, AggStateCache};
 use crate::budget::{
-    AdmissionController, AdmissionFailure, AdmissionJournal, AdmissionRequest, BudgetLedger,
+    admit_fleet, AdmissionController, AdmissionFailure, AdmissionJournal, AdmissionRequest, BudgetLedger,
+    CommitWait, ShardAdmission,
 };
 use crate::cache::{ChunkCacheStats, ChunkResultCache};
 use crate::error::PrividError;
@@ -160,42 +161,125 @@ const AGG_CACHE_FACTOR: usize = 16;
 /// assert_eq!(result.releases.len(), 1);
 /// ```
 pub struct QueryService {
-    cameras: RwLock<HashMap<String, Arc<CameraState>>>,
-    processors: RwLock<HashMap<String, RegisteredProcessor>>,
-    /// Registered standing queries, keyed by name. A `Mutex` (not `RwLock`):
-    /// every access mutates the firing high-watermark or the results.
+    /// The serving plane, partitioned by camera-id hash: each shard owns a
+    /// slice of the camera/processor registries, its own admission gate and
+    /// cache tiers, its own health registry — and, when durable, its own WAL
+    /// and snapshot under `dir/shard-<k>/`. One shard (the default)
+    /// reproduces the pre-fleet service exactly.
+    shards: Vec<ServiceShard>,
+    /// Registered standing queries, keyed by name — global, not sharded: a
+    /// standing query may reference cameras on several shards. Its journal
+    /// records live on the shard its *name* hashes to. A `Mutex` (not
+    /// `RwLock`): every access mutates the firing high-watermark or results.
     standing: Mutex<HashMap<String, StandingState>>,
-    admission: AdmissionController,
-    cache: ChunkResultCache,
-    /// Second cache tier: folded aggregate states per (PROCESS identity,
-    /// SELECT plan, closed-chunk prefix). Entries cover only fully recorded
-    /// footage, so appends never invalidate them; re-registrations do.
-    agg_cache: AggStateCache,
-    /// Source of registration generations for cameras and processors.
+    /// Source of registration generations for cameras and processors —
+    /// global and monotonic across shards, so a recovered fleet resumes the
+    /// counter past every shard's generations.
     generations: AtomicU64,
     /// Budget charged to a SELECT that has no `CONSUMING` clause.
     default_epsilon: f64,
     /// Worker count of the chunk execution engine, per PROCESS statement.
     parallelism: Parallelism,
-    /// The write-ahead log, when the service was built with
-    /// [`Durability::Wal`]. Every registration, live-edge extension and
-    /// admission journals here *before* mutating in-memory state.
+    /// What recovery did across all shards when this service was built
+    /// (None without durability, or when every shard was fresh).
+    recovery: Option<RecoveryReport>,
+    /// Backoff policy for transient journal failures in live ingestion.
+    retry: StoreRetryPolicy,
+}
+
+/// One slice of the fleet: the registries, admission gate, cache tiers,
+/// health registry and (optional) WAL for the names that hash here.
+///
+/// Lock discipline: a multi-shard admission acquires shard gates in
+/// strictly ascending `index` order — enforced dynamically by
+/// [`admit_fleet`] and lexically by the workspace lint (the `indexed`
+/// lock-order family in analyzer.toml).
+struct ServiceShard {
+    /// Position in `QueryService::shards` — the gate's lock rank.
+    index: usize,
+    cameras: RwLock<HashMap<String, Arc<CameraState>>>,
+    processors: RwLock<HashMap<String, RegisteredProcessor>>,
+    admission: AdmissionController,
+    /// Tier-1 chunk-result cache, holding only this shard's cameras'
+    /// entries: invalidation on re-registration walks one shard's map.
+    cache: ChunkResultCache,
+    /// Second cache tier: folded aggregate states per (PROCESS identity,
+    /// SELECT plan, closed-chunk prefix), shard-scoped like tier 1. Entries
+    /// cover only fully recorded footage, so appends never invalidate them;
+    /// re-registrations do.
+    agg_cache: AggStateCache,
+    /// This shard's write-ahead log (`dir/shard-<k>/`), when the service was
+    /// built with [`Durability::Wal`]. Every registration, live-edge
+    /// extension and admission journals here *before* mutating in-memory
+    /// state.
     store: Option<Arc<WalStore>>,
     /// Recovered cameras awaiting adoption: when the owner re-registers a
     /// name with the same policy (and, for fixed recordings, the same
     /// duration), the pre-crash ledger is restored instead of minting fresh ε
     /// for footage that was already queried. Consumed on adoption.
     recovered_cameras: Mutex<BTreeMap<String, CameraRecord>>,
-    /// What recovery did when this service was built (None without
-    /// durability, or for a fresh store).
-    recovery: Option<RecoveryReport>,
     /// Per-camera durability health plus accumulated storage warnings.
     /// Lock-order audit: `health-registry` — ordered after
     /// `recovered-registry`, before `cache-entries`; acquired under the
     /// admission gate on the journal failure paths and standalone on reads.
     health: Mutex<HealthRegistry>,
-    /// Backoff policy for transient journal failures in live ingestion.
-    retry: StoreRetryPolicy,
+}
+
+impl ServiceShard {
+    fn new(index: usize, cache_capacity: Option<usize>) -> ServiceShard {
+        let (cache, agg_cache) = match cache_capacity {
+            None => (ChunkResultCache::default(), AggStateCache::with_capacity(256 * AGG_CACHE_FACTOR)),
+            Some(c) => {
+                (ChunkResultCache::with_capacity(c), AggStateCache::with_capacity(c.saturating_mul(AGG_CACHE_FACTOR)))
+            }
+        };
+        ServiceShard {
+            index,
+            cameras: RwLock::new(HashMap::new()),
+            processors: RwLock::new(HashMap::new()),
+            admission: AdmissionController::new(),
+            cache,
+            agg_cache,
+            store: None,
+            recovered_cameras: Mutex::new(BTreeMap::new()),
+            health: Mutex::new(HealthRegistry::default()),
+        }
+    }
+}
+
+/// FNV-1a over a registry name — the shard-routing hash. Deliberately not
+/// `std`'s seeded `RandomState`: a camera must hash to the *same* shard on
+/// every process start, or recovery would re-home ledgers across shards.
+fn shard_hash(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Split a total cache capacity across `n` shards (ceiling division, so the
+/// fleet never gets *less* total capacity than requested; 0 stays 0, which
+/// keeps "capacity 0 disables the cache" true per shard).
+fn split_capacity(total: usize, n: usize) -> usize {
+    if n <= 1 {
+        total
+    } else {
+        total.div_ceil(n)
+    }
+}
+
+/// Fold one shard's recovery report into the fleet-wide report: counters
+/// add, the snapshot watermark takes the furthest shard, events and
+/// warnings concatenate in shard order.
+fn merge_report(into: &mut RecoveryReport, shard: RecoveryReport) {
+    into.snapshot_seq = into.snapshot_seq.max(shard.snapshot_seq);
+    into.records_replayed += shard.records_replayed;
+    into.stale_skipped += shard.stale_skipped;
+    into.torn_tail_bytes += shard.torn_tail_bytes;
+    into.events.extend(shard.events);
+    into.warnings.extend(shard.warnings);
 }
 
 /// Camera health states and pending storage warnings, under one lock (they
@@ -221,19 +305,12 @@ impl QueryService {
     /// default chunk-cache capacity and no durability.
     pub fn new() -> Self {
         QueryService {
-            cameras: RwLock::new(HashMap::new()),
-            processors: RwLock::new(HashMap::new()),
+            shards: vec![ServiceShard::new(0, None)],
             standing: Mutex::new(HashMap::new()),
-            admission: AdmissionController::new(),
-            cache: ChunkResultCache::default(),
-            agg_cache: AggStateCache::with_capacity(256 * AGG_CACHE_FACTOR),
             generations: AtomicU64::new(0),
             default_epsilon: 1.0,
             parallelism: Parallelism::Auto,
-            store: None,
-            recovered_cameras: Mutex::new(BTreeMap::new()),
             recovery: None,
-            health: Mutex::new(HealthRegistry::default()),
             retry: StoreRetryPolicy::default(),
         }
     }
@@ -255,12 +332,28 @@ impl QueryService {
         self
     }
 
+    /// Builder-style override of the shard count (default 1). Shards
+    /// partition the serving plane by camera-id hash: each gets its own
+    /// registries, admission gate, health registry and cache tiers. Call
+    /// *before* registering anything — resharding does not migrate existing
+    /// registrations. (Durable services configure this through
+    /// [`QueryServiceBuilder::shards`], which also shards the WAL layout.)
+    pub fn with_shards(mut self, n: usize) -> Self {
+        let n = n.max(1);
+        self.shards = (0..n).map(|k| ServiceShard::new(k, None)).collect();
+        self
+    }
+
     /// Builder-style override of the chunk cache's capacity (0 disables it).
     /// The aggregate-state tier scales with it (entries there are a few
     /// folded states, far smaller than a chunk's rows): `0` disables both.
+    /// The capacity is split across shards (ceiling division).
     pub fn with_cache_capacity(mut self, max_entries: usize) -> Self {
-        self.cache = ChunkResultCache::with_capacity(max_entries);
-        self.agg_cache = AggStateCache::with_capacity(max_entries.saturating_mul(AGG_CACHE_FACTOR));
+        let per_shard = split_capacity(max_entries, self.shards.len());
+        for shard in &mut self.shards {
+            shard.cache = ChunkResultCache::with_capacity(per_shard);
+            shard.agg_cache = AggStateCache::with_capacity(per_shard.saturating_mul(AGG_CACHE_FACTOR));
+        }
         self
     }
 
@@ -268,9 +361,12 @@ impl QueryService {
     /// it, which also turns off incremental standing-query execution). The
     /// chunk cache keeps its own capacity — this is the knob benchmarks use
     /// to compare the fold-every-time path against tier-2 sharing on equal
-    /// tier-1 footing.
+    /// tier-1 footing. Split across shards like the tier-1 capacity.
     pub fn with_agg_cache_capacity(mut self, max_entries: usize) -> Self {
-        self.agg_cache = AggStateCache::with_capacity(max_entries);
+        let per_shard = split_capacity(max_entries, self.shards.len());
+        for shard in &mut self.shards {
+            shard.agg_cache = AggStateCache::with_capacity(per_shard);
+        }
         self
     }
 
@@ -292,18 +388,21 @@ impl QueryService {
     pub fn register_camera(&self, name: impl Into<String>, scene: Scene, policy: PrivacyPolicy) -> Result<(), PrividError> {
         let name = name.into();
         let duration = scene.span.end.as_secs();
-        self.cache.invalidate_camera(&name);
-        self.agg_cache.invalidate_camera(&name);
-        // Journal + insert run under the admission gate (and, inside it, the
-        // registry write lock — gate-before-registry is the system's lock
-        // order): two racing registrations of one name reach the WAL and the
-        // registry in the same order, and an in-flight admission can never
-        // journal its debits *after* a replacement's registration record —
-        // its ledger currency check and its append are atomic with respect
-        // to registrations.
-        self.admission.exclusive(|| {
-            let mut cameras = self.cameras.write().expect("camera registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
-            let (generation, ledger) = self.camera_ledger(&name, duration, policy, false)?;
+        let shard = self.shard_of(&name);
+        // Shard-scoped invalidation: only the owning shard's cache tiers can
+        // hold this camera's entries, so no other shard's map is walked.
+        shard.cache.invalidate_camera(&name);
+        shard.agg_cache.invalidate_camera(&name);
+        // Journal + insert run under the shard's admission gate (and, inside
+        // it, the registry write lock — gate-before-registry is the system's
+        // lock order): two racing registrations of one name reach the WAL and
+        // the registry in the same order, and an in-flight admission can
+        // never journal its debits *after* a replacement's registration
+        // record — its ledger currency check and its append are atomic with
+        // respect to registrations.
+        shard.admission.exclusive(|| {
+            let mut cameras = shard.cameras.write().expect("camera registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+            let (generation, ledger) = self.camera_ledger(shard, &name, duration, policy, false)?;
             let state = Arc::new(CameraState {
                 scene,
                 policy,
@@ -340,11 +439,12 @@ impl QueryService {
     ) -> Result<(), PrividError> {
         let name = name.into();
         let scene = Recording::start(CameraId::new(name.as_str()), frame_rate, frame_size).into_scene();
-        self.cache.invalidate_camera(&name);
-        self.agg_cache.invalidate_camera(&name);
-        self.admission.exclusive(|| {
-            let mut cameras = self.cameras.write().expect("camera registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
-            let (generation, ledger) = self.camera_ledger(&name, 0.0, policy, true)?;
+        let shard = self.shard_of(&name);
+        shard.cache.invalidate_camera(&name);
+        shard.agg_cache.invalidate_camera(&name);
+        shard.admission.exclusive(|| {
+            let mut cameras = shard.cameras.write().expect("camera registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+            let (generation, ledger) = self.camera_ledger(shard, &name, 0.0, policy, true)?;
             let state = Arc::new(CameraState {
                 scene,
                 policy,
@@ -362,17 +462,18 @@ impl QueryService {
     /// else mint (and journal) a fresh registration.
     fn camera_ledger(
         &self,
+        shard: &ServiceShard,
         name: &str,
         duration: Seconds,
         policy: PrivacyPolicy,
         live: bool,
     ) -> Result<(u64, BudgetLedger), PrividError> {
-        if let Some(rec) = self.take_recovered(name, duration, policy, live) {
+        if let Some(rec) = self.take_recovered(shard, name, duration, policy, live) {
             let ledger = BudgetLedger::restore(rec.slots, rec.duration_secs, rec.slot_secs, rec.initial_epsilon, live);
             return Ok((rec.generation, ledger));
         }
         let generation = self.generations.fetch_add(1, Ordering::Relaxed);
-        if let Some(store) = &self.store {
+        if let Some(store) = &shard.store {
             store
                 .append(Record::RegisterCamera {
                     name: name.to_string(),
@@ -398,9 +499,16 @@ impl QueryService {
     /// the stale entry is dropped either way, so a *later* registration of
     /// the name can never adopt a ledger that a replacement already
     /// superseded in the journal.
-    fn take_recovered(&self, name: &str, duration: Seconds, policy: PrivacyPolicy, live: bool) -> Option<CameraRecord> {
-        self.store.as_ref()?;
-        let recovered = self.recovered_cameras.lock().expect("recovered registry poisoned").remove(name)?; // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+    fn take_recovered(
+        &self,
+        shard: &ServiceShard,
+        name: &str,
+        duration: Seconds,
+        policy: PrivacyPolicy,
+        live: bool,
+    ) -> Option<CameraRecord> {
+        shard.store.as_ref()?;
+        let recovered = shard.recovered_cameras.lock().expect("recovered registry poisoned").remove(name)?; // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
         let matches = recovered.live == live
             && recovered.initial_epsilon == policy.epsilon_budget
             && recovered.rho_secs == policy.rho_secs
@@ -429,6 +537,10 @@ impl QueryService {
     /// [`QueryService::recover_store`] resumes ingestion.
     pub fn append_frames(&self, camera: &str, batch: FrameBatch) -> Result<AppendOutcome, PrividError> {
         self.ensure_admittable(camera)?;
+        // Everything below is scoped to the owning shard: the exclusive
+        // section holds *this shard's* gate only, so an append here never
+        // stalls admissions (or other appends) on any other shard.
+        let shard = self.shard_of(camera);
         // The copy-on-write snapshot (O(scene)) is built *outside* the
         // registry write lock — holding it there would stall every query's
         // camera resolution for the duration of the clone. The swap then
@@ -463,11 +575,11 @@ impl QueryService {
             // does. A crash between journal and extend recovers a timeline
             // slightly ahead of the footage; queries there fail retryably,
             // and no slot gains ε.
-            let published: Option<Result<Seconds, PrividError>> = self.admission.exclusive(|| {
-                let mut cameras = self.cameras.write().expect("camera registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+            let published: Option<Result<Seconds, PrividError>> = shard.admission.exclusive(|| {
+                let mut cameras = shard.cameras.write().expect("camera registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
                 match cameras.get(camera) {
                     Some(current) if Arc::ptr_eq(current, &base) => {
-                        if let Some(store) = &self.store {
+                        if let Some(store) = &shard.store {
                             // Skip the record when the edge does not advance
                             // the ledger: post-crash replay of recorded
                             // batches would otherwise pay one append (and an
@@ -486,7 +598,7 @@ impl QueryService {
                         // entries; aggregate states cover exclusively closed
                         // chunks, which this append cannot change, so the
                         // second tier needs no invalidation here.
-                        self.cache.invalidate_live_edge(camera);
+                        shard.cache.invalidate_live_edge(camera);
                         let next = Arc::new(CameraState {
                             scene,
                             policy: base.policy,
@@ -504,7 +616,7 @@ impl QueryService {
             match published {
                 None => continue,
                 Some(Ok(edge)) => {
-                    if self.store.is_some() {
+                    if shard.store.is_some() {
                         // Any successful journaled append clears a Degraded
                         // mark (quarantine was refused before the loop).
                         self.set_health(camera, CameraHealth::Healthy);
@@ -550,13 +662,14 @@ impl QueryService {
         // Insert under the camera-registry read lock: resolving the state and
         // then writing outside it would race a concurrent register_camera and
         // silently publish the mask into the replaced (dead) CameraState.
-        let cameras = self.cameras.read().expect("camera registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+        let shard = self.shard_of(camera);
+        let cameras = shard.cameras.read().expect("camera registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
         let state = cameras.get(camera).ok_or_else(|| PrividError::UnknownCamera(camera.to_string()))?;
         let mask_id = mask_id.into();
-        self.cache.invalidate_mask(camera, &mask_id);
-        self.agg_cache.invalidate_mask(camera, &mask_id);
+        shard.cache.invalidate_mask(camera, &mask_id);
+        shard.agg_cache.invalidate_mask(camera, &mask_id);
         let generation = self.generations.fetch_add(1, Ordering::Relaxed);
-        if let Some(store) = &self.store {
+        if let Some(store) = &shard.store {
             store
                 .append(Record::RegisterMask {
                     camera: camera.to_string(),
@@ -580,16 +693,23 @@ impl QueryService {
         F: Fn() -> Box<dyn ChunkProcessor> + Send + Sync + 'static,
     {
         let name = name.into();
-        self.cache.invalidate_processor(&name);
-        self.agg_cache.invalidate_processor(&name);
+        // A processor's cached outputs live on its *cameras'* shards, not on
+        // the shard its own name hashes to — a re-registration must walk
+        // every shard's tiers (unlike camera invalidation, which is
+        // shard-local by construction).
+        for shard in &self.shards {
+            shard.cache.invalidate_processor(&name);
+            shard.agg_cache.invalidate_processor(&name);
+        }
+        let shard = self.shard_of(&name);
         let generation = self.generations.fetch_add(1, Ordering::Relaxed);
-        if let Some(store) = &self.store {
+        if let Some(store) = &shard.store {
             store
                 .append(Record::RegisterProcessor { name: name.clone(), generation })
                 .map_err(PrividError::Store)?;
         }
         // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
-        self.processors.write().expect("processor registry poisoned").insert(name, (generation, Arc::new(factory)));
+        shard.processors.write().expect("processor registry poisoned").insert(name, (generation, Arc::new(factory)));
         Ok(())
     }
 
@@ -648,7 +768,10 @@ impl QueryService {
                     // Idempotent re-registration: keep the firing watermark.
                 }
                 _ => {
-                    if let Some(store) = &self.store {
+                    // Standing queries are global in memory but journal to
+                    // the shard their *name* hashes to (they may reference
+                    // cameras on several shards; the record needs one home).
+                    if let Some(store) = &self.shard_of(&name).store {
                         store
                             .append(Record::RegisterStanding {
                                 name: name.clone(),
@@ -753,7 +876,7 @@ impl QueryService {
             // lost record can only make recovery re-fire this window — a
             // duplicate release (identical, by seed determinism) and a
             // conservative double debit, never an under-debit.
-            if let Some(store) = &self.store {
+            if let Some(store) = &self.shard_of(&job.name).store {
                 let _ = store.append(Record::StandingFired { name: job.name.clone(), window_index: job.index });
             }
             let mut standing = self.standing.lock().expect("standing registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
@@ -789,12 +912,17 @@ impl QueryService {
         self.recovery.as_ref()
     }
 
-    /// Write a snapshot and truncate the write-ahead log, bounding the next
-    /// recovery's replay cost. A no-op without durability. (The store also
-    /// snapshots automatically every `snapshot_every` records.)
+    /// Write a snapshot and truncate the write-ahead log of every shard,
+    /// bounding the next recovery's replay cost. A no-op without durability.
+    /// Compaction is per shard — each store also snapshots automatically
+    /// every `snapshot_every` of *its own* records, so one hot shard's churn
+    /// never forces fleet-wide snapshot work and recovery time stays flat as
+    /// the fleet ages.
     pub fn checkpoint(&self) -> Result<(), PrividError> {
-        if let Some(store) = &self.store {
-            store.checkpoint().map_err(PrividError::Store)?;
+        for shard in &self.shards {
+            if let Some(store) = &shard.store {
+                store.checkpoint().map_err(PrividError::Store)?;
+            }
         }
         Ok(())
     }
@@ -813,7 +941,8 @@ impl QueryService {
     /// (and every camera on a non-durable service) are
     /// [`CameraHealth::Healthy`].
     pub fn camera_health(&self, camera: &str) -> CameraHealth {
-        self.health
+        self.shard_of(camera)
+            .health
             .lock()
             .expect("health registry poisoned") // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
             .states
@@ -822,21 +951,46 @@ impl QueryService {
             .unwrap_or(CameraHealth::Healthy)
     }
 
-    /// Why the underlying store refuses appends, if it is wedged. `None`
-    /// without durability or while the store is accepting records.
+    /// Why a store refuses appends, if any shard's WAL is wedged. `None`
+    /// without durability or while every shard is accepting records. (A
+    /// wedge is per shard: the other shards keep journaling and serving.)
     pub fn store_wedged(&self) -> Option<String> {
-        self.store.as_ref().and_then(|s| s.is_wedged())
+        self.shards.iter().find_map(|shard| shard.store.as_ref().and_then(|s| s.is_wedged()))
     }
 
-    /// The durable shadow state (what recovery would rebuild right now).
-    /// `None` without durability. Chaos and recovery proofs compare its
-    /// per-slot budgets against the in-memory ledgers.
+    /// Why one specific shard's WAL refuses appends, if it is wedged.
+    pub fn shard_wedged(&self, shard: usize) -> Option<String> {
+        self.shards.get(shard).and_then(|s| s.store.as_ref()).and_then(|s| s.is_wedged())
+    }
+
+    /// The durable shadow state (what recovery would rebuild right now),
+    /// merged across shards — names are disjoint across shard stores by the
+    /// routing hash, so the union loses nothing. `None` without durability.
+    /// Chaos and recovery proofs compare its per-slot budgets against the
+    /// in-memory ledgers.
     pub fn durable_state(&self) -> Option<privid_store::StoreState> {
-        self.store.as_ref().map(|s| s.state())
+        if !self.is_durable() {
+            return None;
+        }
+        let mut merged = privid_store::StoreState::default();
+        for shard in &self.shards {
+            if let Some(store) = &shard.store {
+                let state = store.state();
+                merged.cameras.extend(state.cameras);
+                merged.processors.extend(state.processors);
+                merged.standing.extend(state.standing);
+                merged.next_generation = merged.next_generation.max(state.next_generation);
+            }
+        }
+        Some(merged)
+    }
+
+    fn is_durable(&self) -> bool {
+        self.shards.iter().any(|shard| shard.store.is_some())
     }
 
     fn set_health(&self, camera: &str, health: CameraHealth) {
-        let mut registry = self.health.lock().expect("health registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+        let mut registry = self.shard_of(camera).health.lock().expect("health registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
         match health {
             CameraHealth::Healthy => {
                 registry.states.remove(camera);
@@ -886,7 +1040,7 @@ impl QueryService {
     /// [`QueryService::recover_store`] report.
     fn note_lost_rollback(&self, camera: &str, lo: u64, hi: u64, epsilon: f64, error: &StoreError) {
         let reason = format!("a rollback credit could not be journaled: {error}");
-        let mut registry = self.health.lock().expect("health registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+        let mut registry = self.shard_of(camera).health.lock().expect("health registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
         registry.warnings.push(RecoveryWarning::CreditRollbackLost {
             camera: camera.to_string(),
             lo,
@@ -908,39 +1062,47 @@ impl QueryService {
     /// never re-minted. Recovered cameras that are not currently registered
     /// are staged for adoption exactly as at build time.
     pub fn recover_store(&self) -> Result<RecoveryReport, PrividError> {
-        let store = self
-            .store
-            .as_ref()
-            .ok_or_else(|| PrividError::Invalid("recover_store requires a durable service".into()))?;
-        // Under the admission gate: no admission may journal (or debit)
-        // between the reopen and the ledger reconciliation, and no append may
-        // extend a timeline the reconciliation is mid-merge on.
-        let mut report = self.admission.exclusive(|| -> Result<RecoveryReport, PrividError> {
-            let recovered = store.reopen().map_err(PrividError::Store)?;
-            let cameras = self.cameras.read().expect("camera registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
-            let mut unclaimed = BTreeMap::new();
-            for (name, rec) in recovered.state.cameras {
-                match cameras.get(&name) {
-                    // Same generation = same registration lineage: the
-                    // recovered slots describe this very ledger.
-                    Some(state) if state.generation == rec.generation => {
-                        state.ledger.reconcile(&rec.slots, rec.duration_secs);
-                    }
-                    // A different (or no) registration: stage the record for
-                    // adoption by a future matching re-registration.
-                    _ => {
-                        unclaimed.insert(name, rec);
+        if !self.is_durable() {
+            return Err(PrividError::Invalid("recover_store requires a durable service".into()));
+        }
+        let mut merged = RecoveryReport::default();
+        for shard in &self.shards {
+            let Some(store) = &shard.store else { continue };
+            // Under this shard's admission gate: no admission may journal (or
+            // debit) on this shard between the reopen and the ledger
+            // reconciliation, and no append may extend a timeline the
+            // reconciliation is mid-merge on. Other shards keep serving —
+            // recovery is per shard, like the faults it repairs.
+            let report = shard.admission.exclusive(|| -> Result<RecoveryReport, PrividError> {
+                let recovered = store.reopen().map_err(PrividError::Store)?;
+                let cameras = shard.cameras.read().expect("camera registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+                let mut unclaimed = BTreeMap::new();
+                for (name, rec) in recovered.state.cameras {
+                    match cameras.get(&name) {
+                        // Same generation = same registration lineage: the
+                        // recovered slots describe this very ledger.
+                        Some(state) if state.generation == rec.generation => {
+                            state.ledger.reconcile(&rec.slots, rec.duration_secs);
+                        }
+                        // A different (or no) registration: stage the record
+                        // for adoption by a future matching re-registration.
+                        _ => {
+                            unclaimed.insert(name, rec);
+                        }
                     }
                 }
-            }
-            let mut staged = self.recovered_cameras.lock().expect("recovered registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
-            staged.extend(unclaimed);
-            Ok(recovered.report)
-        })?;
-        let mut registry = self.health.lock().expect("health registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
-        report.warnings.append(&mut registry.warnings);
-        registry.states.clear();
-        Ok(report)
+                let mut staged = shard.recovered_cameras.lock().expect("recovered registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+                staged.extend(unclaimed);
+                Ok(recovered.report)
+            })?;
+            merge_report(&mut merged, report);
+        }
+        for shard in &self.shards {
+            let mut registry = shard.health.lock().expect("health registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+            merged.warnings.append(&mut registry.warnings);
+            registry.states.clear();
+        }
+        Ok(merged)
     }
 
     // ---- introspection ------------------------------------------------------------------
@@ -955,15 +1117,54 @@ impl QueryService {
         self.camera(camera).map(|c| c.policy)
     }
 
-    /// Counters of the cross-query chunk-result cache.
+    /// Counters of the cross-query chunk-result cache, summed over shards.
     pub fn cache_stats(&self) -> ChunkCacheStats {
-        self.cache.stats()
+        let mut total = ChunkCacheStats::default();
+        for stats in self.shards.iter().map(|shard| shard.cache.stats()) {
+            total.hits += stats.hits;
+            total.misses += stats.misses;
+            total.evictions += stats.evictions;
+            total.entries += stats.entries;
+        }
+        total
     }
 
-    /// Counters of the aggregate-state cache (the second tier): hits are
-    /// queries that reused another query's folded sub-plan states.
+    /// Counters of the aggregate-state cache (the second tier), summed over
+    /// shards: hits are queries that reused another query's folded sub-plan
+    /// states.
     pub fn agg_cache_stats(&self) -> AggCacheStats {
-        self.agg_cache.stats()
+        let mut total = AggCacheStats::default();
+        for stats in self.shards.iter().map(|shard| shard.agg_cache.stats()) {
+            total.hits += stats.hits;
+            total.misses += stats.misses;
+            total.evictions += stats.evictions;
+            total.entries += stats.entries;
+        }
+        total
+    }
+
+    /// Counters of one shard's chunk-result cache (`None` out of range).
+    /// The fleet tests assert with these that invalidation on camera
+    /// re-registration walks only the owning shard's entries.
+    pub fn shard_cache_stats(&self, shard: usize) -> Option<ChunkCacheStats> {
+        self.shards.get(shard).map(|s| s.cache.stats())
+    }
+
+    /// Counters of one shard's aggregate-state cache (`None` out of range).
+    pub fn shard_agg_cache_stats(&self, shard: usize) -> Option<AggCacheStats> {
+        self.shards.get(shard).map(|s| s.agg_cache.stats())
+    }
+
+    /// The number of shards the serving plane is partitioned into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard owns a registry name (camera, processor or standing
+    /// query). Stable across restarts: FNV-1a of the name, not a seeded
+    /// hasher — the durable layout depends on it.
+    pub fn shard_index(&self, name: &str) -> usize {
+        (shard_hash(name) % self.shards.len().max(1) as u64) as usize
     }
 
     // ---- execution ----------------------------------------------------------------------
@@ -1005,26 +1206,51 @@ impl QueryService {
 
     // ---- internals shared with `session` -------------------------------------------------
 
+    fn shard_of(&self, name: &str) -> &ServiceShard {
+        self.shard_at(self.shard_index(name))
+    }
+
+    fn shard_at(&self, index: usize) -> &ServiceShard {
+        // privid-analyzer: allow(panic-freedom) -- `index` comes from `shard_index`, a modulus over the (never-empty) shard vec
+        &self.shards[index]
+    }
+
     pub(crate) fn camera(&self, name: &str) -> Option<Arc<CameraState>> {
-        self.cameras.read().expect("camera registry poisoned").get(name).cloned() // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+        self.shard_of(name).cameras.read().expect("camera registry poisoned").get(name).cloned() // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
     }
 
     /// Resolve a processor to its `(generation, factory)` pair.
     pub(crate) fn processor(&self, name: &str) -> Option<RegisteredProcessor> {
-        self.processors.read().expect("processor registry poisoned").get(name).cloned() // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+        self.shard_of(name).processors.read().expect("processor registry poisoned").get(name).cloned() // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
     }
 
-    pub(crate) fn chunk_cache(&self) -> &ChunkResultCache {
-        &self.cache
+    /// The chunk-result cache tier of the shard owning `camera` — sessions
+    /// route every probe and insert through the camera's home shard, which
+    /// is what keeps invalidation shard-local.
+    pub(crate) fn chunk_cache_for(&self, camera: &str) -> &ChunkResultCache {
+        &self.shard_of(camera).cache
     }
 
-    pub(crate) fn agg_cache(&self) -> &AggStateCache {
-        &self.agg_cache
+    /// The aggregate-state cache tier of the shard owning `camera`.
+    pub(crate) fn agg_cache_for(&self, camera: &str) -> &AggStateCache {
+        &self.shard_of(camera).agg_cache
+    }
+
+    /// Whether the tier-2 cache is enabled (capacity is uniform per shard,
+    /// so the first shard answers for the fleet).
+    pub(crate) fn agg_cache_enabled(&self) -> bool {
+        self.shards.first().is_some_and(|shard| shard.agg_cache.enabled())
     }
 
     /// Admit a query's per-window requests, journaling the debits first when
     /// the service is durable. `cameras[i]` names the camera of `requests[i]`
     /// (for the journal record and error attribution).
+    ///
+    /// Requests are grouped by owning shard and admitted through
+    /// [`admit_fleet`]: every involved shard's gate is acquired in ascending
+    /// shard order, the check-all-then-debit-all protocol runs across the
+    /// union, and each durable shard's `Admit` record is *staged* under the
+    /// gates but group-committed (one fsync per batch) after they drop.
     pub(crate) fn admit_requests(
         &self,
         requests: &[AdmissionRequest<'_>],
@@ -1032,31 +1258,57 @@ impl QueryService {
         epsilon: f64,
     ) -> Result<(), AdmissionFailure> {
         debug_assert_eq!(requests.len(), cameras.len());
-        match &self.store {
-            None => self.admission.admit_journaled(requests, epsilon, None),
-            Some(store) => {
-                let journal = WalAdmissionJournal { service: self, store: store.as_ref(), cameras };
-                self.admission.admit_journaled(requests, epsilon, Some(&journal))
-            }
+        // BTreeMap iteration gives the canonical ascending shard order the
+        // fleet lock discipline requires.
+        let mut grouped: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, camera) in cameras.iter().enumerate() {
+            grouped.entry(self.shard_index(camera)).or_default().push(i);
         }
+        let prepared: Vec<(&ServiceShard, Vec<usize>, Option<WalAdmissionJournal<'_>>)> = grouped
+            .into_iter()
+            .map(|(k, members)| {
+                let shard = self.shard_at(k);
+                let journal = shard.store.as_ref().map(|store| WalAdmissionJournal {
+                    service: self,
+                    store: Arc::clone(store),
+                    cameras: members.iter().filter_map(|&i| cameras.get(i).copied()).collect(),
+                });
+                (shard, members, journal)
+            })
+            .collect();
+        let groups: Vec<ShardAdmission<'_>> = prepared
+            .iter()
+            .map(|(shard, members, journal)| ShardAdmission {
+                shard: shard.index,
+                controller: &shard.admission,
+                journal: journal.as_ref().map(|j| j as &dyn AdmissionJournal),
+                members: members.clone(),
+            })
+            .collect();
+        admit_fleet(&groups, requests, epsilon)
     }
 }
 
 /// The serving layer's [`AdmissionJournal`]: one atomic [`Record::Admit`]
-/// per admission, carrying the exact slot ranges the debits will cover.
+/// per (admission, shard), carrying the exact slot ranges the debits will
+/// cover on that shard.
 struct WalAdmissionJournal<'a> {
     service: &'a QueryService,
-    /// The service's store, resolved at construction: the journal is only
-    /// ever built inside the `Some(store)` arm of `admit_requests`, so the
-    /// trait methods need no fallible re-resolution.
-    store: &'a WalStore,
-    /// Camera name per request, index-aligned.
-    cameras: &'a [&'a str],
+    /// The owning shard's store, as an owned `Arc`: the commit-wait closure
+    /// `record_admit` returns must outlive the admission call, so it cannot
+    /// borrow from the journal.
+    store: Arc<WalStore>,
+    /// Camera name per member request, index-aligned with the (shard-local)
+    /// request slice the journal hooks receive.
+    cameras: Vec<&'a str>,
 }
 
 impl AdmissionJournal for WalAdmissionJournal<'_> {
-    fn record_admit(&self, requests: &[AdmissionRequest<'_>], epsilon: f64) -> Result<(), StoreError> {
-        let store = self.store;
+    fn record_admit(
+        &self,
+        requests: &[AdmissionRequest<'_>],
+        epsilon: f64,
+    ) -> Result<Option<CommitWait>, StoreError> {
         let mut debits = Vec::with_capacity(requests.len());
         for (camera, request) in self.cameras.iter().zip(requests) {
             // A session may be admitting against a camera a concurrent
@@ -1081,9 +1333,16 @@ impl AdmissionJournal for WalAdmissionJournal<'_> {
             debits.push(privid_store::DebitRange { camera: camera.to_string(), lo: lo as u64, hi: hi as u64 });
         }
         if debits.is_empty() {
-            return Ok(());
+            return Ok(None);
         }
-        store.append(Record::Admit { epsilon, debits })
+        // Stage under the shard gates, redeem after they drop: the group
+        // commit batches this record with concurrent admissions' appends
+        // (one fsync per batch), and no admission holds a gate while the
+        // flush runs. A staging failure aborts the fleet admission with the
+        // budget intact, exactly as the old synchronous append did.
+        let ticket = self.store.stage(Record::Admit { epsilon, debits })?;
+        let store = Arc::clone(&self.store);
+        Ok(Some(Box::new(move || store.wait_commit(ticket))))
     }
 
     fn record_rollback(&self, requests: &[AdmissionRequest<'_>], _debited: usize, epsilon: f64) {
@@ -1099,7 +1358,7 @@ impl AdmissionJournal for WalAdmissionJournal<'_> {
         // as a typed warning and the camera is quarantined until a supervised
         // recovery reconciles the two (further admissions on a ledger the
         // journal disagrees with could compound the gap).
-        let store = self.store;
+        let store = &self.store;
         for (camera, request) in self.cameras.iter().zip(requests) {
             let current =
                 self.service.camera(camera).is_some_and(|s| std::ptr::eq(s.ledger.as_ref(), request.ledger));
@@ -1127,7 +1386,9 @@ pub struct QueryServiceBuilder {
     durability: Durability,
     snapshot_every: Option<u64>,
     storage_vfs: Option<Arc<dyn Vfs>>,
+    shard_vfs: Vec<(usize, Arc<dyn Vfs>)>,
     append_retry: Option<StoreRetryPolicy>,
+    shards: Option<usize>,
 }
 
 impl QueryServiceBuilder {
@@ -1175,6 +1436,24 @@ impl QueryServiceBuilder {
         self
     }
 
+    /// Number of camera shards. Each shard owns its own registry slice,
+    /// admission gate, cache tiers, health registry and — under
+    /// [`Durability::Wal`] — its own WAL + snapshot in `dir/shard-<k>/`.
+    /// Cameras route to shards by a stable hash of their name, so the
+    /// layout survives restarts. Defaults to 1 (the pre-fleet layout).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards.max(1));
+        self
+    }
+
+    /// Override the [`Vfs`] of a *single* shard's store, leaving the rest on
+    /// the default. This is the injection point for single-shard chaos: fault
+    /// one shard's filesystem and assert the others keep serving.
+    pub fn shard_storage_vfs(mut self, shard: usize, vfs: Arc<dyn Vfs>) -> Self {
+        self.shard_vfs.push((shard, vfs));
+        self
+    }
+
     /// Backoff policy for transient journal failures in
     /// [`QueryService::append_frames`].
     pub fn append_retry(mut self, policy: StoreRetryPolicy) -> Self {
@@ -1192,26 +1471,69 @@ impl QueryServiceBuilder {
         if let Some(e) = self.default_epsilon {
             service.default_epsilon = e;
         }
-        if let Some(c) = self.cache_capacity {
-            service.cache = ChunkResultCache::with_capacity(c);
-            service.agg_cache = AggStateCache::with_capacity(c.saturating_mul(AGG_CACHE_FACTOR));
-        }
         if let Some(r) = self.append_retry {
             service.retry = r;
         }
+        let n = self.shards.unwrap_or(1).max(1);
+        let per_cache = self.cache_capacity.map(|c| split_capacity(c, n));
+        service.shards = (0..n).map(|k| ServiceShard::new(k, per_cache)).collect();
         let Durability::Wal { dir, fsync } = self.durability else {
             return Ok(service);
         };
         let options = WalOptions { snapshot_every: self.snapshot_every.unwrap_or(WalOptions::default().snapshot_every) };
-        let vfs = self.storage_vfs.unwrap_or_else(|| Arc::new(privid_store::StdVfs));
-        let (store, recovered) = WalStore::open_with_vfs(dir, fsync, options, vfs).map_err(PrividError::Store)?;
-        service.generations.store(recovered.state.next_generation, Ordering::Relaxed);
+        let default_vfs = self.storage_vfs.unwrap_or_else(|| Arc::new(privid_store::StdVfs));
+        let overrides: HashMap<usize, Arc<dyn Vfs>> = self.shard_vfs.into_iter().collect();
+        // Shard dirs are created contiguously (0..n), so a shrunk fleet is
+        // detectable by probing index n: footage journaled on a shard this
+        // layout would never read again must refuse to open, not silently
+        // re-mint its ε.
+        if default_vfs.exists(&dir.join(format!("shard-{n}"))) {
+            return Err(PrividError::Store(StoreError::InvalidRecord {
+                offset: 0,
+                reason: format!(
+                    "durability dir holds shard-{n} but the service was built with {n} shard(s): \
+                     refusing a layout that would orphan journaled admissions"
+                ),
+            }));
+        }
+        let mut merged_report = RecoveryReport::default();
+        let mut fresh = true;
+        let mut standing_records: BTreeMap<String, privid_store::StandingRecord> = BTreeMap::new();
+        for (k, shard) in service.shards.iter_mut().enumerate() {
+            let shard_dir = dir.join(format!("shard-{k}"));
+            let vfs = overrides.get(&k).cloned().unwrap_or_else(|| Arc::clone(&default_vfs));
+            let (store, recovered) =
+                WalStore::open_with_vfs(shard_dir, fsync, options, vfs).map_err(PrividError::Store)?;
+            // Every recovered name must hash home to this shard: a store laid
+            // out under a different shard count would scatter a camera's
+            // ledger across shards and could double-expose its ε.
+            for name in recovered.state.cameras.keys().chain(recovered.state.standing.keys()) {
+                let home = (shard_hash(name) % n as u64) as usize;
+                if home != k {
+                    return Err(PrividError::Store(StoreError::InvalidRecord {
+                        offset: 0,
+                        reason: format!(
+                            "shard-{k} holds {name:?} whose home under {n} shard(s) is shard-{home}: \
+                             store was laid out for a different shard count"
+                        ),
+                    }));
+                }
+            }
+            let gen = service.generations.load(Ordering::Relaxed).max(recovered.state.next_generation);
+            service.generations.store(gen, Ordering::Relaxed);
+            standing_records.extend(recovered.state.standing.clone());
+            fresh &= recovered.report == RecoveryReport::default()
+                && recovered.state == privid_store::StoreState::default();
+            *shard.recovered_cameras.lock().expect("recovered registry poisoned") = recovered.state.cameras; // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+            shard.store = Some(Arc::new(store));
+            merge_report(&mut merged_report, recovered.report);
+        }
         // Standing queries restore fully automatically: the WAL holds their
         // text, seed and firing watermark. They stay dormant until the owner
         // re-registers their live cameras and re-feeds footage past the
         // watermark (the pump skips queries whose cameras are missing).
         let mut standing = HashMap::new();
-        for (name, st) in &recovered.state.standing {
+        for (name, st) in &standing_records {
             let query = parse_query(&st.text).map_err(|e| {
                 PrividError::Store(StoreError::InvalidRecord {
                     offset: 0,
@@ -1235,13 +1557,11 @@ impl QueryServiceBuilder {
             );
         }
         *service.standing.lock().expect("standing registry poisoned") = standing; // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
-        // A genuinely fresh store (no snapshot, nothing replayed) reports no
-        // recovery; anything else — even an empty-but-snapshotted state —
-        // does, so operators can tell a restart from a first boot.
-        let fresh = recovered.report == RecoveryReport::default() && recovered.state == privid_store::StoreState::default();
-        *service.recovered_cameras.lock().expect("recovered registry poisoned") = recovered.state.cameras; // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
-        service.recovery = (!fresh).then_some(recovered.report);
-        service.store = Some(Arc::new(store));
+        // A genuinely fresh store (no snapshot, nothing replayed on any
+        // shard) reports no recovery; anything else — even an
+        // empty-but-snapshotted state — does, so operators can tell a
+        // restart from a first boot.
+        service.recovery = (!fresh).then_some(merged_report);
         Ok(service)
     }
 }
@@ -1629,7 +1949,7 @@ mod tests {
             Err(AdmissionFailure::Budget { index: 1, .. }) => {}
             other => panic!("expected a phase-2 rejection, got {other:?}"),
         }
-        let shadow = svc.store.as_ref().unwrap().state();
+        let shadow = svc.shards[0].store.as_ref().unwrap().state();
         let ledger_bits: Vec<u64> = state.ledger.slots_snapshot().iter().map(|s| s.to_bits()).collect();
         let shadow_bits: Vec<u64> = shadow.cameras["campus"].slots.iter().map(|s| s.to_bits()).collect();
         assert_eq!(shadow_bits, ledger_bits, "after a rollback the WAL shadow must equal the ledger bit-for-bit");
@@ -1656,13 +1976,13 @@ mod tests {
         }
         let svc = durable_service(&dir);
         svc.register_live_camera("live", FrameRate::new(2.0), FrameSize::new(100, 100), PrivacyPolicy::new(20.0, 2, 10.0)).expect("camera/processor registration must succeed");
-        let seq_before = svc.store.as_ref().unwrap().next_seq();
+        let seq_before = svc.shards[0].store.as_ref().unwrap().next_seq();
         // Replaying the recorded batch must not grow the journal at all…
         svc.append_frames("live", FrameBatch::new(60.0, vec![walker(1, 5.0, 40.0)])).unwrap();
-        assert_eq!(svc.store.as_ref().unwrap().next_seq(), seq_before, "a stale edge journals nothing");
+        assert_eq!(svc.shards[0].store.as_ref().unwrap().next_seq(), seq_before, "a stale edge journals nothing");
         // …while genuinely new footage still does.
         svc.append_frames("live", FrameBatch::empty(30.0)).unwrap();
-        assert_eq!(svc.store.as_ref().unwrap().next_seq(), seq_before + 1);
+        assert_eq!(svc.shards[0].store.as_ref().unwrap().next_seq(), seq_before + 1);
         assert_eq!(svc.ledger_edge("live"), Some(90.0));
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -1745,7 +2065,7 @@ mod tests {
         let (fault, svc) = faulty_service(&dir, FsyncPolicy::Never);
         let scene = SceneGenerator::new(SceneConfig::campus().with_duration_hours(0.5)).generate();
         svc.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 20.0)).expect("camera/processor registration must succeed");
-        let store = Arc::clone(svc.store.as_ref().unwrap());
+        let store = Arc::clone(svc.shards[svc.shard_index("campus")].store.as_ref().unwrap());
         let state = svc.camera("campus").unwrap();
         let window = TimeSpan::between_secs(0.0, 60.0);
         let (lo, hi) = state.ledger.debit_slot_range(&window).unwrap();
@@ -1755,7 +2075,7 @@ mod tests {
         // exercises the journal hook directly.
         let requests = [AdmissionRequest { ledger: &state.ledger, window, rho_margin: 0.0 }];
         fault.fail_from(FaultOp::Write, 1, FaultKind::Eio);
-        let journal = WalAdmissionJournal { service: &svc, store: store.as_ref(), cameras: &["campus"] };
+        let journal = WalAdmissionJournal { service: &svc, store: Arc::clone(&store), cameras: vec!["campus"] };
         journal.record_rollback(&requests, 0, 0.5);
         fault.heal();
         assert!(fault.injected() >= 1, "the credit append must actually have failed");

@@ -19,7 +19,7 @@
 //! chunks past the longest cached prefix and extends the folded states —
 //! per-firing work proportional to the *new* footage, not the window.
 
-use crate::aggcache::{AggCacheKey, AggStateCache};
+use crate::aggcache::AggCacheKey;
 use crate::budget::{AdmissionFailure, BudgetError};
 use crate::cache::ChunkCacheKey;
 use crate::error::PrividError;
@@ -185,10 +185,9 @@ pub(crate) fn execute_query(
     admit_query(service, &splits, epsilon_total)?;
 
     // ---- 5. Aggregate, bound, add noise ----------------------------------------------
-    let agg = service.agg_cache();
     let mut releases = Vec::new();
     for (stmt, select_epsilon, sensitivities) in planned {
-        releases.extend(release_select(stmt, &tables, &metas, &sensitivities, select_epsilon, mechanism, agg)?);
+        releases.extend(release_select(stmt, &tables, &metas, &sensitivities, select_epsilon, mechanism, service)?);
     }
 
     Ok(QueryResult { releases, epsilon_spent: epsilon_total, chunks_processed })
@@ -430,7 +429,7 @@ fn run_process(
     let (processor_generation, factory) =
         service.processor(&p.executable).ok_or_else(|| PrividError::UnknownProcessor(p.executable.clone()))?;
     let sandbox_spec = SandboxSpec::new(p.timeout_secs, p.max_rows, p.schema.clone());
-    let cache = service.chunk_cache();
+    let cache = service.chunk_cache_for(&split.camera);
     // Identity of this PROCESS execution: any two statements with equal keys
     // produce identical sandbox outputs, so the raw table can be shared
     // across queries (noise is applied at release time; see `cache` docs).
@@ -555,9 +554,9 @@ fn release_select(
     sensitivities: &[f64],
     select_epsilon: f64,
     mechanism: &mut LaplaceMechanism,
-    agg: &AggStateCache,
+    service: &QueryService,
 ) -> Result<Vec<NoisyRelease>, PrividError> {
-    let raw: Vec<RawRelease> = match fold_release(stmt, tables, metas, agg) {
+    let raw: Vec<RawRelease> = match fold_release(stmt, tables, metas, service) {
         Some(raw) => raw,
         None => execute_select(stmt, tables)?,
     };
@@ -577,7 +576,7 @@ fn fold_release(
     stmt: &SelectStatement,
     tables: &HashMap<String, Arc<Table>>,
     metas: &HashMap<String, TableMeta>,
-    agg: &AggStateCache,
+    service: &QueryService,
 ) -> Option<Vec<RawRelease>> {
     let base_tables = stmt.source.base_tables();
     if base_tables.len() != 1 {
@@ -587,6 +586,9 @@ fn fold_release(
     let table = tables.get(&base_tables[0])?;
     // privid-analyzer: allow(panic-freedom) -- `base_tables.len() == 1` was checked above, so index 0 exists
     let meta = metas.get(&base_tables[0])?;
+    // Aggregate states live in the camera's shard: invalidation on camera
+    // re-registration then only ever walks that shard's tier.
+    let agg = service.agg_cache_for(&meta.camera);
     let plan = FoldableSelect::compile(stmt, &table.schema)?;
     let chunks = table.chunk_rows();
     let n = chunks.len();
@@ -697,8 +699,7 @@ pub(crate) fn execute_standing(
     parallelism: Parallelism,
     default_epsilon: f64,
 ) -> Result<Option<QueryResult>, PrividError> {
-    let agg = service.agg_cache();
-    if !agg.enabled() {
+    if !service.agg_cache_enabled() {
         return Ok(None);
     }
     // ---- 1. Resolve SPLIT statements (identical to the reference path) --------------
@@ -768,6 +769,7 @@ pub(crate) fn execute_standing(
         if on_table.is_empty() {
             continue;
         }
+        let agg = service.agg_cache_for(&sp.meta.camera);
         let n = sp.n_chunks;
         // Longest cached prefix per SELECT: one counting probe at the full
         // prefix, then a silent walk-back.
@@ -854,13 +856,13 @@ pub(crate) fn execute_standing(
 /// previous pump already folded, and a duplicate insert at the same prefix is
 /// a first-wins no-op on bit-identical states.
 pub(crate) fn prefold_standing(service: &QueryService, query: &ParsedQuery, parallelism: Parallelism) {
-    let agg = service.agg_cache();
-    if !agg.enabled() {
+    if !service.agg_cache_enabled() {
         return;
     }
     let Ok(splits) = prepare_all_splits(service, query) else { return };
     for p in &query.processes {
         let Some(split) = splits.get(&p.input) else { return };
+        let agg = service.agg_cache_for(&split.camera);
         let Some((processor_generation, factory)) = service.processor(&p.executable) else { return };
         if !registrations_current(service, split, &p.executable, processor_generation) {
             continue;

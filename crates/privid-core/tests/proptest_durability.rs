@@ -92,13 +92,17 @@ struct TestJournal<'a> {
 }
 
 impl AdmissionJournal for TestJournal<'_> {
-    fn record_admit(&self, requests: &[AdmissionRequest<'_>], epsilon: f64) -> Result<(), StoreError> {
+    fn record_admit(
+        &self,
+        requests: &[AdmissionRequest<'_>],
+        epsilon: f64,
+    ) -> Result<Option<privid_core::CommitWait>, StoreError> {
         let mut debits = Vec::new();
         for (camera, r) in self.cameras.iter().zip(requests) {
             let (lo, hi) = r.ledger.debit_slot_range(&r.window).expect("checked window resolves");
             debits.push(DebitRange { camera: camera.clone(), lo: lo as u64, hi: hi as u64 });
         }
-        self.store.append(Record::Admit { epsilon, debits })
+        self.store.append(Record::Admit { epsilon, debits }).map(|_| None)
     }
 
     fn record_rollback(&self, _: &[AdmissionRequest<'_>], _: usize, _: f64) {

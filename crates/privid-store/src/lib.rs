@@ -55,6 +55,6 @@ pub use record::{DebitRange, Record};
 pub use state::{CameraRecord, MaskRecord, StandingRecord, StoreState};
 pub use vfs::{FaultKind, FaultOp, FaultProfile, FaultVfs, StdVfs, Vfs, VfsFile};
 pub use wal::{
-    Durability, FsyncPolicy, Recovered, RecoveryEvent, RecoveryReport, RecoveryWarning, StoreError,
-    WalOptions, WalStore,
+    CommitTicket, Durability, FsyncPolicy, Recovered, RecoveryEvent, RecoveryReport, RecoveryWarning,
+    StoreError, WalOptions, WalStore,
 };

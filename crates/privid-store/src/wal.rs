@@ -1,4 +1,5 @@
-//! The write-ahead log: append, fsync policy, snapshots, and crash recovery.
+//! The write-ahead log: group-commit appends, fsync policy, snapshots, and
+//! crash recovery.
 //!
 //! Layout inside the store directory:
 //!
@@ -10,6 +11,34 @@
 //!   watermark. Written to `snapshot.tmp` first, fsynced, then renamed into
 //!   place — a crash mid-snapshot leaves the previous snapshot intact.
 //!
+//! ## Group commit
+//!
+//! Concurrent appends are batched: each caller **stages** its record under
+//! the store lock (validation, sequence assignment, frame encoding, and the
+//! shadow-state apply with a captured undo), then waits for its outcome.
+//! One waiter becomes the *leader*: it takes the staged batch and the file
+//! handle, releases the lock, and flushes the whole batch with a single
+//! `write` + (policy permitting) a single `fsync`, then wakes every waiter
+//! with its per-record outcome. While a flush is in flight, new records keep
+//! staging into the next batch — the fsync cost is amortized over however
+//! many admissions arrive during it, which is what closes the gap between
+//! `FsyncPolicy::Always` and `FsyncPolicy::Never` throughput.
+//!
+//! Failure keeps the pre-group-commit semantics exactly:
+//!
+//! * a failed **write** rolls the file back to the last good frame, undoes
+//!   every staged shadow apply (bit-for-bit, via the captured undos), resets
+//!   the sequence counter, and fails every staged waiter with a transient
+//!   [`StoreError::Io`] — the store stays usable and callers retry;
+//! * a failed **fsync** wedges the store: every waiter in the doomed batch
+//!   (and any record staged behind it) observes [`StoreError::Wedged`],
+//!   never a false ack, and the shadow state is restored to exactly what it
+//!   was before the batch staged.
+//!
+//! Sequence numbers are assigned at stage time under the lock, so frames hit
+//! the log in strictly increasing `seq` order no matter what order waiters
+//! call [`WalStore::wait_commit`] in.
+//!
 //! ## Recovery invariants
 //!
 //! 1. **Never under-debit.** Every admission record is appended (and, under
@@ -18,10 +47,10 @@
 //!    prefix of the log survives a crash accounts for at least every release
 //!    that escaped.
 //! 2. **Torn tails truncate; corruption refuses.** Frames are written with
-//!    one sequential write each, so a crash can only leave a *prefix*: a
-//!    partial header, preallocated zeros, or a correct header whose payload
-//!    runs past end-of-file. Those truncate (the record's operation was
-//!    never applied; [`RecoveryEvent::TornTailTruncated`]). Everything else
+//!    sequential writes, so a crash can only leave a *prefix*: a partial
+//!    header, preallocated zeros, or a correct header whose payload runs
+//!    past end-of-file. Those truncate (the record's operation was never
+//!    acknowledged; [`RecoveryEvent::TornTailTruncated`]). Everything else
 //!    is disk corruption — truncating it could silently drop a debit whose
 //!    release *was* returned — so recovery stops with a typed error instead
 //!    of serving an under-debited ledger: [`StoreError::ChecksumMismatch`]
@@ -39,21 +68,23 @@
 use crate::record::{decode_payload, encode_frame, Record, FRAME_HEADER, MAX_PAYLOAD};
 use crate::state::StoreState;
 use crate::vfs::{StdVfs, Vfs, VfsFile};
+use std::collections::HashMap;
 use std::fmt;
 use std::io::SeekFrom;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// When the WAL calls `fsync` on appended records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FsyncPolicy {
-    /// `fsync` after every appended record: a record is durable before the
+    /// `fsync` after every committed batch: a record is durable before the
     /// corresponding ledger mutation (and any release) happens. This is the
     /// policy under which the never-under-debit invariant covers power loss.
+    /// Group commit amortizes the fsync over every record in the batch.
     #[default]
     Always,
     /// Never `fsync`; leave flushing to the OS page cache. Records still
-    /// reach the kernel on every append (a *process* crash loses nothing),
+    /// reach the kernel on every flush (a *process* crash loses nothing),
     /// but power loss may drop the most recent records — recovering a
     /// conservative earlier state. Orders of magnitude faster.
     Never,
@@ -68,7 +99,8 @@ pub enum Durability {
     None,
     /// Journal to a write-ahead log with periodic snapshots.
     Wal {
-        /// Directory holding `wal.log` / `snapshot.bin`.
+        /// Directory holding `wal.log` / `snapshot.bin` (sharded services
+        /// nest per-shard stores at `dir/shard-<k>/`).
         dir: PathBuf,
         /// Fsync policy for appended records.
         fsync: FsyncPolicy,
@@ -263,28 +295,170 @@ impl Default for WalOptions {
     }
 }
 
+/// The bit-exact inverse of one staged record's shadow apply. Captured at
+/// stage time (before the apply) and replayed — newest first — when a batch
+/// flush fails, so a doomed batch leaves the shadow state exactly as if none
+/// of its records had ever staged. Slot values are saved as raw `f64`s, not
+/// re-derived arithmetically: `(s - ε) + ε` is not guaranteed to restore the
+/// original bits, and the property suite compares ledgers bit-for-bit.
+enum Undo {
+    /// Restore saved slot ranges (inverse of `Admit` / `Credit`).
+    SavedSlots {
+        /// `(camera, first slot, saved values)` per mutated range.
+        saved: Vec<(String, u64, Vec<f64>)>,
+    },
+    /// Shrink a live timeline back (inverse of `Extend`).
+    Extend { camera: String, prev_duration_secs: f64, prev_len: usize },
+    /// Restore a standing query's firing watermark (inverse of
+    /// `StandingFired` / `ArmStanding`).
+    Standing { name: String, prev_next_start_secs: f64 },
+    /// Whole-state restore for the rare record kinds (registrations,
+    /// snapshot-only records) where a targeted undo is not worth the code.
+    Full(Box<StoreState>),
+}
+
+/// Capture the undo for `record` against the state it is about to mutate.
+/// Must be called *after* [`StoreState::check`] passed, so every referenced
+/// camera/range is known to exist.
+fn capture_undo(state: &StoreState, record: &Record) -> Undo {
+    match record {
+        Record::Admit { debits, .. } => Undo::SavedSlots {
+            saved: debits
+                .iter()
+                .map(|d| {
+                    let values = state
+                        .cameras
+                        .get(&d.camera)
+                        .and_then(|c| c.slots.get(d.lo as usize..d.hi as usize))
+                        .map(<[f64]>::to_vec)
+                        .unwrap_or_default();
+                    (d.camera.clone(), d.lo, values)
+                })
+                .collect(),
+        },
+        Record::Credit { camera, lo, hi, .. } => Undo::SavedSlots {
+            saved: vec![(
+                camera.clone(),
+                *lo,
+                state
+                    .cameras
+                    .get(camera)
+                    .and_then(|c| c.slots.get(*lo as usize..*hi as usize))
+                    .map(<[f64]>::to_vec)
+                    .unwrap_or_default(),
+            )],
+        },
+        Record::Extend { camera, .. } => match state.cameras.get(camera) {
+            Some(c) => Undo::Extend {
+                camera: camera.clone(),
+                prev_duration_secs: c.duration_secs,
+                prev_len: c.slots.len(),
+            },
+            None => Undo::Full(Box::new(state.clone())),
+        },
+        Record::StandingFired { name, .. } | Record::ArmStanding { name, .. } => match state.standing.get(name) {
+            Some(s) => Undo::Standing { name: name.clone(), prev_next_start_secs: s.next_start_secs },
+            None => Undo::Full(Box::new(state.clone())),
+        },
+        _ => Undo::Full(Box::new(state.clone())),
+    }
+}
+
+/// Replay one captured undo against `state`.
+fn undo_one(state: &mut StoreState, undo: Undo) {
+    match undo {
+        Undo::SavedSlots { saved } => {
+            for (camera, lo, values) in saved.into_iter().rev() {
+                if let Some(cam) = state.cameras.get_mut(&camera) {
+                    let lo = lo as usize;
+                    if let Some(dst) = cam.slots.get_mut(lo..lo + values.len()) {
+                        dst.copy_from_slice(&values);
+                    }
+                }
+            }
+        }
+        Undo::Extend { camera, prev_duration_secs, prev_len } => {
+            if let Some(cam) = state.cameras.get_mut(&camera) {
+                cam.slots.truncate(prev_len);
+                cam.duration_secs = prev_duration_secs;
+            }
+        }
+        Undo::Standing { name, prev_next_start_secs } => {
+            if let Some(st) = state.standing.get_mut(&name) {
+                st.next_start_secs = prev_next_start_secs;
+            }
+        }
+        Undo::Full(prev) => *state = *prev,
+    }
+}
+
+/// One staged-but-unflushed record: its waiter ticket, assigned sequence
+/// number and the undo that reverses its shadow apply.
+struct Staged {
+    ticket: u64,
+    seq: u64,
+    undo: Undo,
+}
+
+/// A claim on the outcome of one staged record. Obtained from
+/// [`WalStore::stage`]; redeemed — exactly once, by value — with
+/// [`WalStore::wait_commit`]. Dropping a ticket without waiting leaks its
+/// outcome slot until the next [`WalStore::reopen`]; every caller in this
+/// workspace waits.
+#[derive(Debug)]
+pub struct CommitTicket {
+    ticket: u64,
+    seq: u64,
+}
+
+impl CommitTicket {
+    /// The WAL sequence number the staged record will carry.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+}
+
 struct Inner {
-    file: Box<dyn VfsFile>,
+    /// The open log handle. `None` only while a group-commit leader owns it
+    /// (the `flushing` flag is set for exactly that window).
+    file: Option<Box<dyn VfsFile>>,
     state: StoreState,
     next_seq: u64,
     records_since_snapshot: u64,
-    /// Length of wal.log up to the last fully appended frame. A failed
-    /// append truncates back here so a partial frame can never sit *under*
+    /// Length of wal.log up to the last fully flushed batch. A failed
+    /// write truncates back here so a partial frame can never sit *under*
     /// later successful appends (recovery would misparse the stream).
     log_len: u64,
     /// Set when the in-memory durability assumption can no longer be trusted:
-    /// a failed fsync (the page cache may or may not hold the frame — there
+    /// a failed fsync (the page cache may or may not hold the frames — there
     /// is no way to know, and retrying the fsync cannot un-fail the first
-    /// one), a failed append whose rollback truncate also failed, or a
-    /// post-snapshot log reset that failed. While set, every append and
+    /// one), a failed write whose rollback truncate also failed, or a
+    /// post-snapshot log reset that failed. While set, every stage and
     /// checkpoint returns [`StoreError::Wedged`] until [`WalStore::reopen`]
     /// re-reads the log from disk.
     wedged: Option<String>,
     /// A failed *automatic* checkpoint stashed here instead of failing the
-    /// append that triggered it (the append itself was durable). The next
-    /// append retries the checkpoint; operators can inspect it via
+    /// batch that triggered it (the batch itself was durable). The next
+    /// quiescent flush retries the checkpoint; operators can inspect it via
     /// [`WalStore::last_checkpoint_error`].
     last_checkpoint_error: Option<StoreError>,
+    /// Records staged for the next commit batch, in ticket (= seq) order.
+    staged: Vec<Staged>,
+    /// The staged records' encoded frames, concatenated in seq order — the
+    /// exact bytes the next flush writes.
+    buf: Vec<u8>,
+    /// Next waiter ticket to mint. Monotonic and never rolled back (unlike
+    /// `next_seq`), so a retried record can never alias an older waiter's
+    /// outcome.
+    next_ticket: u64,
+    /// Every ticket at or below this watermark whose outcome is not in
+    /// `failed` committed durably.
+    durable_ticket: u64,
+    /// Outcomes of failed tickets, removed by their waiter.
+    failed: HashMap<u64, StoreError>,
+    /// True while a leader owns `file` and is writing a batch outside the
+    /// lock.
+    flushing: bool,
 }
 
 /// What [`recover`] hands back: the open log file positioned at its end plus
@@ -299,16 +473,23 @@ struct Recovery {
 
 /// An open write-ahead log: the append side of the durability subsystem.
 ///
-/// Appends are serialized by an internal mutex; the store applies every
-/// record to its own [`StoreState`] shadow as it appends, so snapshots are
-/// cut from state that is — by construction — exactly what recovery would
-/// rebuild.
+/// Appends go through group commit (see the module docs): staging is
+/// serialized by an internal mutex, the flush happens outside it, and the
+/// store applies every record to its own [`StoreState`] shadow as it stages,
+/// so snapshots are cut from state that is — by construction — exactly what
+/// recovery would rebuild.
 pub struct WalStore {
     /// Lock-order audit: `wal-inner` — a leaf in the declared global order
-    /// (analyzer.toml). Held across one append/checkpoint (including its
-    /// fsync) with nothing acquired inside it. The serving layer appends
-    /// while holding the admission gate and registry locks above it.
+    /// (analyzer.toml). Held for staging and batch bookkeeping only; the
+    /// batch write + fsync runs with the lock *released* (the group-commit
+    /// leader owns the file handle via `Inner::file.take()` while
+    /// `Inner::flushing` is set), so staging — which the serving layer does
+    /// under the per-shard admission gate — never blocks behind an in-flight
+    /// fsync.
     inner: Mutex<Inner>,
+    /// Wakes commit waiters when a batch resolves and flush/checkpoint
+    /// waiters when `flushing` clears.
+    cond: Condvar,
     vfs: Arc<dyn Vfs>,
     dir: PathBuf,
     fsync: FsyncPolicy,
@@ -350,20 +531,31 @@ impl WalStore {
         let recovered = Recovered { state: rec.state.clone(), report: rec.report };
         let store = WalStore {
             inner: Mutex::new(Inner {
-                file: rec.file,
+                file: Some(rec.file),
                 state: rec.state,
                 next_seq: rec.applied_seq + 1,
                 records_since_snapshot: 0,
                 log_len: rec.log_len,
                 wedged: None,
                 last_checkpoint_error: None,
+                staged: Vec::new(),
+                buf: Vec::new(),
+                next_ticket: 1,
+                durable_ticket: 0,
+                failed: HashMap::new(),
+                flushing: false,
             }),
+            cond: Condvar::new(),
             vfs,
             dir,
             fsync,
             snapshot_every: options.snapshot_every.max(1),
         };
         Ok((store, recovered))
+    }
+
+    fn lock_inner(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().expect("wal store lock poisoned") // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
     }
 
     /// Supervised recovery on a live (typically wedged) handle: re-read the
@@ -377,14 +569,32 @@ impl WalStore {
     /// happen only after an `Ok` append, a lost record can only make the
     /// durable state *more* debited than necessary, never less.
     pub fn reopen(&self) -> Result<Recovered, StoreError> {
-        let mut inner = self.inner.lock().expect("wal store lock poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
-        // Highest sequence this handle ever acknowledged as appended.
+        let mut inner = self.lock_inner();
+        while inner.flushing {
+            inner = self.cond.wait(inner).expect("wal store lock poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+        }
+        // Fail any staged-but-unflushed records: their frames never reached
+        // the log, the recovery below supersedes their shadow applies, and
+        // their waiters must not be left hanging.
+        let pending = std::mem::take(&mut inner.staged);
+        inner.buf.clear();
+        if let Some(first) = pending.first() {
+            // Roll the sequence counter back so `highest_acked` below counts
+            // only records whose commit was actually acknowledged.
+            inner.next_seq = first.seq;
+        }
+        for s in pending {
+            inner
+                .failed
+                .insert(s.ticket, StoreError::Wedged { reason: "store reopened while the record awaited group commit".into() });
+        }
+        // Highest sequence this handle ever acknowledged as committed.
         let highest_acked = inner.next_seq.saturating_sub(1);
         let mut rec = recover(self.vfs.as_ref(), &self.dir)?;
         let lost = highest_acked.saturating_sub(rec.applied_seq);
         rec.report.events.push(RecoveryEvent::StoreReopened { lost_records: lost });
         let recovered = Recovered { state: rec.state.clone(), report: rec.report };
-        inner.file = rec.file;
+        inner.file = Some(rec.file);
         inner.state = rec.state;
         // Resume the sequence space from the *recovered* watermark: any acked
         // seq past it is provably absent from the durable log (that is what
@@ -395,29 +605,21 @@ impl WalStore {
         inner.log_len = rec.log_len;
         inner.wedged = None;
         inner.last_checkpoint_error = None;
+        self.cond.notify_all();
         Ok(recovered)
     }
 
-    /// Append one record, making it durable per the fsync policy, and fold it
-    /// into the shadow state. Callers apply the corresponding in-memory
-    /// mutation only **after** this returns `Ok` — that ordering is what the
-    /// never-under-debit invariant rests on.
+    /// Stage one record for the next commit batch: validate it against the
+    /// shadow, assign its sequence number, encode its frame, and apply it to
+    /// the shadow (capturing an undo in case the batch fails). Returns a
+    /// [`CommitTicket`] the caller **must** redeem with
+    /// [`WalStore::wait_commit`] before treating the record as durable.
     ///
-    /// ## Failure semantics
-    ///
-    /// * A failed **write** rolls the file back to the last good frame and
-    ///   returns a transient [`StoreError::Io`]; the store stays usable and
-    ///   the caller may retry. If the rollback itself fails, the store wedges
-    ///   (appending after a partial frame would corrupt the log).
-    /// * A failed **fsync** wedges the store and returns
-    ///   [`StoreError::Wedged`]. The frame reached the kernel but its
-    ///   durability is unknowable — the page cache may have dropped it, kept
-    ///   it, or persisted it — and a *later* successful fsync says nothing
-    ///   about the earlier failed one. The record is **not** acknowledged and
-    ///   **not** applied to the shadow; only [`WalStore::reopen`] (which
-    ///   re-reads what actually survived) can resume appends.
-    pub fn append(&self, record: Record) -> Result<(), StoreError> {
-        let mut inner = self.inner.lock().expect("wal store lock poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+    /// The serving layer stages under its per-shard admission gate (cheap:
+    /// no I/O happens here) and waits *outside* it, so one shard's fsync
+    /// never serializes another's admissions.
+    pub fn stage(&self, record: Record) -> Result<CommitTicket, StoreError> {
+        let mut inner = self.lock_inner();
         if let Some(reason) = &inner.wedged {
             return Err(StoreError::Wedged { reason: reason.clone() });
         }
@@ -430,36 +632,12 @@ impl WalStore {
             .map_err(|reason| StoreError::InvalidRecord { offset: 0, reason: format!("record refused by state: {reason}") })?;
         let seq = inner.next_seq;
         let frame = encode_frame(seq, &record);
-        if let Err(e) = inner.file.write_all(&frame).map_err(io_err("appending a WAL record")) {
-            // Roll the file back to the last good frame so the partial bytes
-            // can never end up *under* later successful appends. If even
-            // that fails, wedge the store: appending after garbage would
-            // corrupt the log for everyone.
-            let target = inner.log_len;
-            if inner.file.set_len(target).and_then(|()| inner.file.seek(SeekFrom::Start(target))).is_err() {
-                inner.wedged =
-                    Some("a failed append could not be rolled back; the log tail may hold a partial frame".into());
-            }
-            return Err(e);
-        }
-        if self.fsync == FsyncPolicy::Always {
-            if let Err(e) = inner.file.sync_data() {
-                // No rollback: the write already reached the kernel, and after
-                // a failed fsync there is no way to know whether those bytes
-                // are on disk. Do NOT acknowledge, do NOT apply to the shadow
-                // — reopen() will re-read the log and adopt the frame iff it
-                // survived (at worst an over-debit, never an under-debit).
-                let reason = format!("fsync failed ({e}); durability of the last frame is unknowable");
-                inner.wedged = Some(reason.clone());
-                return Err(StoreError::Wedged { reason });
-            }
-        }
-        inner.log_len += frame.len() as u64;
+        let undo = capture_undo(&inner.state, &record);
         if let Err(reason) = inner.state.apply(&record) {
             // check() accepted the record but apply() refused it — the two
-            // disagree, and the frame is already durable, so every future
-            // recovery would refuse the log. Wedge the store (no further
-            // appends can be trusted) and surface a typed error instead of
+            // disagree. Nothing was staged (the frame never entered the
+            // batch buffer), but the disagreement means no further record
+            // can be trusted: wedge and surface a typed error instead of
             // panicking mid-serve.
             inner.wedged = Some(format!("record accepted by check but refused by apply: {reason}"));
             return Err(StoreError::InvalidRecord {
@@ -467,34 +645,186 @@ impl WalStore {
                 reason: format!("record accepted by check but refused by apply: {reason}"),
             });
         }
+        inner.buf.extend_from_slice(&frame);
         inner.next_seq = seq + 1;
-        inner.records_since_snapshot += 1;
-        if inner.records_since_snapshot >= self.snapshot_every {
-            if let Err(e) = self.checkpoint_locked(&mut inner) {
-                // The *append* succeeded and its record is durable, so the
-                // caller may debit against it — failing the append here would
-                // force an unnecessary refusal. Stash the checkpoint error
-                // (the counter was not reset, so the next append retries) and
-                // report success for the record itself. If the checkpoint
-                // wedged the store, subsequent appends surface that.
-                inner.last_checkpoint_error = Some(e);
+        let ticket = inner.next_ticket;
+        inner.next_ticket += 1;
+        inner.staged.push(Staged { ticket, seq, undo });
+        Ok(CommitTicket { ticket, seq })
+    }
+
+    /// Block until the staged record behind `ticket` is committed (or its
+    /// batch fails). The first waiter to find no flush in flight becomes the
+    /// batch leader and performs the write + fsync itself; everyone else
+    /// sleeps on the condvar until the leader publishes outcomes.
+    pub fn wait_commit(&self, ticket: CommitTicket) -> Result<(), StoreError> {
+        let mut inner = self.lock_inner();
+        loop {
+            if let Some(e) = inner.failed.remove(&ticket.ticket) {
+                return Err(e);
+            }
+            if inner.durable_ticket >= ticket.ticket {
+                return Ok(());
+            }
+            if !inner.flushing {
+                if inner.staged.is_empty() {
+                    // Unreachable: an unresolved ticket's record is staged
+                    // until some flush resolves it. Refuse instead of
+                    // spinning forever.
+                    return Err(StoreError::Io {
+                        context: "waiting for a group commit".into(),
+                        message: "commit ticket has no staged record".into(),
+                    });
+                }
+                inner = self.flush_leading(inner);
+                continue;
+            }
+            inner = self.cond.wait(inner).expect("wal store lock poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+        }
+    }
+
+    /// Append one record, making it durable per the fsync policy, and fold it
+    /// into the shadow state: [`WalStore::stage`] + [`WalStore::wait_commit`]
+    /// in one call. Callers apply the corresponding in-memory mutation only
+    /// **after** this returns `Ok` — that ordering is what the
+    /// never-under-debit invariant rests on.
+    ///
+    /// ## Failure semantics
+    ///
+    /// * A failed **write** rolls the file back to the last good frame,
+    ///   undoes the batch's shadow applies, and returns a transient
+    ///   [`StoreError::Io`]; the store stays usable and the caller may
+    ///   retry. If the rollback itself fails, the store wedges (appending
+    ///   after a partial frame would corrupt the log).
+    /// * A failed **fsync** wedges the store and returns
+    ///   [`StoreError::Wedged`]. The frames reached the kernel but their
+    ///   durability is unknowable — the page cache may have dropped them,
+    ///   kept them, or persisted them — and a *later* successful fsync says
+    ///   nothing about the earlier failed one. No record in the batch is
+    ///   acknowledged and the shadow is restored; only [`WalStore::reopen`]
+    ///   (which re-reads what actually survived) can resume appends.
+    pub fn append(&self, record: Record) -> Result<(), StoreError> {
+        let ticket = self.stage(record)?;
+        self.wait_commit(ticket)
+    }
+
+    /// Lead one commit batch: take the staged records, frames and file
+    /// handle; write + fsync with the lock released; re-lock and publish
+    /// every waiter's outcome. Returns the re-acquired guard.
+    fn flush_leading<'a>(&'a self, mut inner: MutexGuard<'a, Inner>) -> MutexGuard<'a, Inner> {
+        if inner.flushing || inner.staged.is_empty() {
+            return inner;
+        }
+        inner.flushing = true;
+        let batch = std::mem::take(&mut inner.staged);
+        let buf = std::mem::take(&mut inner.buf);
+        let rollback_to = inner.log_len;
+        let Some(mut file) = inner.file.take() else {
+            // `flushing == false` implies the handle is present; reaching
+            // here is a harness bug. Wedge rather than panic on the serving
+            // path.
+            let reason = "group-commit leader found the log handle missing".to_string();
+            inner.wedged = Some(reason.clone());
+            fail_staged(&mut inner, batch, StoreError::Wedged { reason });
+            inner.flushing = false;
+            self.cond.notify_all();
+            return inner;
+        };
+        drop(inner);
+
+        // The batch I/O: one sequential write of every frame, then (policy
+        // permitting) one fsync covering them all.
+        let write_res = file.write_all(&buf).map_err(io_err("appending a WAL record"));
+        let sync_res = if write_res.is_ok() && self.fsync == FsyncPolicy::Always { file.sync_data() } else { Ok(()) };
+
+        let mut inner = self.lock_inner();
+        inner.file = Some(file);
+        match (write_res, sync_res) {
+            (Ok(()), Ok(())) => {
+                inner.log_len += buf.len() as u64;
+                inner.records_since_snapshot += batch.len() as u64;
+                if let Some(last) = batch.last() {
+                    inner.durable_ticket = inner.durable_ticket.max(last.ticket);
+                }
+                // Auto-checkpoint only at a quiescent flush (nothing staged
+                // behind this batch): the snapshot watermark is next_seq - 1,
+                // and a staged-but-unflushed record folded into a snapshot
+                // could be rolled back later — leaving the snapshot claiming
+                // a seq the log will reuse, which replay would then skip.
+                if inner.records_since_snapshot >= self.snapshot_every
+                    && inner.staged.is_empty()
+                    && inner.wedged.is_none()
+                {
+                    if let Err(e) = self.checkpoint_locked(&mut inner) {
+                        // The batch itself is durable, so its waiters may
+                        // debit against it — failing them would force an
+                        // unnecessary refusal. Stash the checkpoint error
+                        // (the counter was not reset, so a later quiescent
+                        // flush retries).
+                        inner.last_checkpoint_error = Some(e);
+                    }
+                }
+            }
+            (Err(e), _) => {
+                // Roll the file back to the last good frame so partial bytes
+                // can never end up *under* later successful appends. If even
+                // that fails, wedge the store: appending after garbage would
+                // corrupt the log for everyone.
+                let rollback = inner
+                    .file
+                    .as_mut()
+                    .map(|f| f.set_len(rollback_to).and_then(|()| f.seek(SeekFrom::Start(rollback_to)).map(|_| ())));
+                let err = if matches!(rollback, Some(Ok(()))) {
+                    e
+                } else {
+                    let reason =
+                        "a failed append could not be rolled back; the log tail may hold a partial frame".to_string();
+                    inner.wedged = Some(reason.clone());
+                    StoreError::Wedged { reason }
+                };
+                fail_staged(&mut inner, batch, err);
+            }
+            (Ok(()), Err(e)) => {
+                // No rollback of the file: the write already reached the
+                // kernel, and after a failed fsync there is no way to know
+                // whether those bytes are on disk. Do NOT acknowledge any
+                // waiter in the batch, and restore the shadow — reopen()
+                // will re-read the log and adopt the frames iff they
+                // survived (at worst an over-debit, never an under-debit).
+                let reason = format!("fsync failed ({e}); durability of the last frame is unknowable");
+                inner.wedged = Some(reason.clone());
+                fail_staged(&mut inner, batch, StoreError::Wedged { reason });
             }
         }
-        Ok(())
+        inner.flushing = false;
+        self.cond.notify_all();
+        inner
     }
 
     /// Write a snapshot of the current state and truncate the log, bounding
     /// the next recovery's replay cost. Also invoked automatically every
-    /// [`WalOptions::snapshot_every`] appends.
+    /// [`WalOptions::snapshot_every`] committed records (at the next
+    /// quiescent flush). Any staged batch is flushed first.
     ///
     /// A failed snapshot *write* or *rename* leaves the previous snapshot and
     /// the log fully intact (the snapshot is staged at `snapshot.tmp` and
     /// renamed only once durable) and returns a transient error. Only a
     /// failure *after* the rename — resetting the log — wedges the store.
     pub fn checkpoint(&self) -> Result<(), StoreError> {
-        let mut inner = self.inner.lock().expect("wal store lock poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
-        if let Some(reason) = &inner.wedged {
-            return Err(StoreError::Wedged { reason: reason.clone() });
+        let mut inner = self.lock_inner();
+        loop {
+            if let Some(reason) = &inner.wedged {
+                return Err(StoreError::Wedged { reason: reason.clone() });
+            }
+            if inner.flushing {
+                inner = self.cond.wait(inner).expect("wal store lock poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+                continue;
+            }
+            if !inner.staged.is_empty() {
+                inner = self.flush_leading(inner);
+                continue;
+            }
+            break;
         }
         self.checkpoint_locked(&mut inner)
     }
@@ -502,24 +832,25 @@ impl WalStore {
     /// `Some(reason)` while the store refuses appends pending a supervised
     /// [`WalStore::reopen`].
     pub fn is_wedged(&self) -> Option<String> {
-        self.inner.lock().expect("wal store lock poisoned").wedged.clone() // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+        self.lock_inner().wedged.clone()
     }
 
     /// The error from the most recent *automatic* checkpoint attempt, if it
-    /// failed. The triggering append still succeeded (its record is durable);
-    /// the next append retries the checkpoint.
+    /// failed. The triggering batch still committed (its records are
+    /// durable); a later quiescent flush retries the checkpoint.
     pub fn last_checkpoint_error(&self) -> Option<StoreError> {
-        self.inner.lock().expect("wal store lock poisoned").last_checkpoint_error.clone() // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+        self.lock_inner().last_checkpoint_error.clone()
     }
 
-    /// A copy of the shadow state (what recovery would rebuild right now).
+    /// A copy of the shadow state (what recovery would rebuild right now,
+    /// plus any records staged for the in-flight batch).
     pub fn state(&self) -> StoreState {
-        self.inner.lock().expect("wal store lock poisoned").state.clone() // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+        self.lock_inner().state.clone()
     }
 
-    /// The sequence number the next appended record will carry.
+    /// The sequence number the next staged record will carry.
     pub fn next_seq(&self) -> u64 {
-        self.inner.lock().expect("wal store lock poisoned").next_seq // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+        self.lock_inner().next_seq
     }
 
     /// The store directory.
@@ -557,12 +888,17 @@ impl WalStore {
         // platform-dependent). A crash before it replays the old log against
         // the old snapshot — the idempotent-seq rule makes that equivalent.
         let _ = self.vfs.sync_dir(&self.dir);
-        let reset = inner
-            .file
-            .set_len(0)
-            .map_err(io_err("truncating wal.log after snapshot"))
-            .and_then(|()| inner.file.seek(SeekFrom::Start(0)).map(|_| ()).map_err(io_err("rewinding wal.log after snapshot")))
-            .and_then(|()| inner.file.sync_data().map_err(io_err("fsyncing truncated wal.log")));
+        let reset = match inner.file.as_mut() {
+            Some(f) => f
+                .set_len(0)
+                .map_err(io_err("truncating wal.log after snapshot"))
+                .and_then(|()| f.seek(SeekFrom::Start(0)).map(|_| ()).map_err(io_err("rewinding wal.log after snapshot")))
+                .and_then(|()| f.sync_data().map_err(io_err("fsyncing truncated wal.log"))),
+            None => Err(StoreError::Io {
+                context: "truncating wal.log after snapshot".into(),
+                message: "log handle owned by an in-flight flush".into(),
+            }),
+        };
         if let Err(e) = reset {
             // The snapshot is already authoritative, but the log handle is in
             // an indeterminate position/length — further appends could land
@@ -577,6 +913,30 @@ impl WalStore {
         inner.records_since_snapshot = 0;
         inner.last_checkpoint_error = None;
         Ok(())
+    }
+}
+
+/// Fail every outstanding staged record — the flushed `batch` plus anything
+/// staged behind it — after a flush failure: undo their shadow applies in
+/// reverse stage order (bit-for-bit, via the captured undos), roll the
+/// sequence counter back to the batch's first seq (keeping the on-disk
+/// sequence space contiguous for retries), and record `err` as every
+/// waiter's outcome.
+fn fail_staged(inner: &mut Inner, batch: Vec<Staged>, err: StoreError) {
+    let pending = std::mem::take(&mut inner.staged);
+    inner.buf.clear();
+    if let Some(first) = batch.first() {
+        inner.next_seq = first.seq;
+    }
+    // Pending records staged after the batch: undo newest-first, then the
+    // batch itself newest-first — exact reverse of stage order.
+    for s in pending.into_iter().rev() {
+        undo_one(&mut inner.state, s.undo);
+        inner.failed.insert(s.ticket, err.clone());
+    }
+    for s in batch.into_iter().rev() {
+        undo_one(&mut inner.state, s.undo);
+        inner.failed.insert(s.ticket, err.clone());
     }
 }
 
@@ -616,15 +976,15 @@ fn recover(vfs: &dyn Vfs, dir: &Path) -> Result<Recovery, StoreError> {
         if remaining == 0 {
             break;
         }
-        // Classify the frame at `offset`. Appends write each frame with a
-        // single sequential write, so a *crash* can only leave a prefix: a
-        // partial header, an all-zero header (filesystem-preallocated
-        // bytes), or a correct header whose payload runs past end-of-file.
-        // Those are torn tails — the append never finished, the operation
-        // it describes never happened, truncate and proceed. Anything else
-        // that fails to parse is disk corruption: truncating it could
-        // silently drop later records whose debits back released answers,
-        // so recovery refuses with a typed error instead.
+        // Classify the frame at `offset`. Appends write frames sequentially,
+        // so a *crash* can only leave a prefix: a partial header, an
+        // all-zero header (filesystem-preallocated bytes), or a correct
+        // header whose payload runs past end-of-file. Those are torn tails —
+        // the append was never acknowledged, the operation it describes
+        // never happened, truncate and proceed. Anything else that fails to
+        // parse is disk corruption: truncating it could silently drop later
+        // records whose debits back released answers, so recovery refuses
+        // with a typed error instead.
         let torn = |report: &mut RecoveryReport, file: &mut dyn VfsFile| -> Result<(), StoreError> {
             let dropped = (bytes.len() - offset) as u64;
             file.set_len(offset as u64).map_err(io_err("truncating the torn WAL tail"))?;
@@ -847,6 +1207,65 @@ mod tests {
         let (_s, recovered) = WalStore::open(&dir, FsyncPolicy::Never).unwrap();
         assert_eq!(recovered.state, live_state, "a crash mid-snapshot must not affect recovery");
         assert!(!dir.join("snapshot.tmp").exists(), "the orphan is cleaned up");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_appends_group_commit_with_contiguous_seqs() {
+        let dir = temp_dir("group");
+        let (store, _) = WalStore::open(&dir, FsyncPolicy::Always).unwrap();
+        store.append(live_cam("c")).unwrap();
+        store.append(Record::Extend { camera: "c".into(), live_edge_secs: 1000.0 }).unwrap();
+        let store = std::sync::Arc::new(store);
+        let threads: Vec<_> = (0..8u64)
+            .map(|t| {
+                let store = std::sync::Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for i in 0..50u64 {
+                        let lo = t * 100 + i;
+                        store
+                            .append(Record::Admit {
+                                epsilon: 0.001,
+                                debits: vec![DebitRange { camera: "c".into(), lo, hi: lo + 1 }],
+                            })
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(store.next_seq(), 2 + 400 + 1, "every concurrent append got a unique contiguous seq");
+        let live_state = store.state();
+        drop(store);
+        let (_s, recovered) = WalStore::open(&dir, FsyncPolicy::Always).unwrap();
+        assert_eq!(recovered.state, live_state, "recovery after concurrent group commits is bit-for-bit");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stage_then_wait_commits_and_stage_failures_leave_state_untouched() {
+        let dir = temp_dir("stage");
+        let (store, _) = WalStore::open(&dir, FsyncPolicy::Always).unwrap();
+        store.append(live_cam("c")).unwrap();
+        let before = store.state();
+        // A record the state refuses never stages and never perturbs the shadow.
+        let err = store
+            .stage(Record::Admit { epsilon: 0.5, debits: vec![DebitRange { camera: "ghost".into(), lo: 0, hi: 1 }] })
+            .unwrap_err();
+        assert!(matches!(err, StoreError::InvalidRecord { .. }));
+        assert_eq!(store.state(), before);
+        // A staged record is already visible in the shadow, and commits on wait.
+        let ticket = store
+            .stage(Record::Admit { epsilon: 0.5, debits: vec![DebitRange { camera: "c".into(), lo: 0, hi: 1 }] })
+            .unwrap();
+        assert_eq!(ticket.seq(), 2);
+        assert_eq!(store.state().cameras["c"].slots[0], 0.5);
+        store.wait_commit(ticket).unwrap();
+        drop(store);
+        let (_s, recovered) = WalStore::open(&dir, FsyncPolicy::Always).unwrap();
+        assert_eq!(recovered.state.cameras["c"].slots[0], 0.5);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -28,10 +28,11 @@ pub use privid_store as store;
 pub use privid_video as video;
 
 pub use privid_core::{
-    greedy_mask_order, AdmissionController, AdmissionFailure, AdmissionJournal, AdmissionRequest, AggCacheStats,
-    AppendOutcome, BudgetError, BudgetLedger, CameraHealth, ChunkCacheStats, DegradationCurve, LaplaceMechanism,
-    MaskPolicy, MaskingAnalysis, NoisyRelease, NoisyValue, Parallelism, PrivacyPolicy, PrividError, PrividSystem,
-    QueryResult, QueryService, QueryServiceBuilder, StandingFiring, StoreRetryPolicy,
+    admit_fleet, greedy_mask_order, AdmissionController, AdmissionFailure, AdmissionJournal, AdmissionRequest,
+    AggCacheStats, AppendOutcome, BudgetError, BudgetLedger, CameraHealth, ChunkCacheStats, CommitWait,
+    DegradationCurve, LaplaceMechanism, MaskPolicy, MaskingAnalysis, NoisyRelease, NoisyValue, Parallelism,
+    PrivacyPolicy, PrividError, PrividSystem, QueryResult, QueryService, QueryServiceBuilder, ShardAdmission,
+    StandingFiring, StoreRetryPolicy,
 };
 pub use privid_store::{
     Durability, FaultKind, FaultOp, FaultProfile, FaultVfs, FsyncPolicy, Record, RecoveryEvent, RecoveryReport,

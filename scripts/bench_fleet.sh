@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Records a machine-readable fleet-sharding benchmark snapshot at the repo
+# root (BENCH_PR9.json): fsync-durable admission throughput through the
+# group-commit WAL (serial vs concurrent vs pipelined flights) and an
+# admissions/s sweep over shard count x fsync policy with aggressive
+# per-shard snapshot compaction, tracked PR over PR.
+#
+# Usage:
+#   scripts/bench_fleet.sh            # full snapshot -> BENCH_PR9.json
+#   scripts/bench_fleet.sh --smoke    # quick CI smoke run
+#   scripts/bench_fleet.sh --out F    # write to a different path
+set -eu
+cd "$(dirname "$0")/.."
+exec cargo run --release -p privid-bench --bin bench_pr9_fleet -- "$@"

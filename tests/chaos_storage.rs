@@ -24,8 +24,9 @@
 //! var (a count: seeds `0..CHAOS_SEEDS` run).
 
 use privid::{
-    CameraHealth, ChunkProcessor, Durability, FaultProfile, FaultVfs, FrameBatch, FrameRate, FrameSize, FsyncPolicy,
-    Parallelism, PrivacyPolicy, PrividError, QueryService, StoreRetryPolicy, UniqueEntrantProcessor,
+    CameraHealth, ChunkProcessor, Durability, FaultKind, FaultOp, FaultProfile, FaultVfs, FrameBatch, FrameRate,
+    FrameSize, FsyncPolicy, Parallelism, PrivacyPolicy, PrividError, QueryService, StoreRetryPolicy,
+    UniqueEntrantProcessor,
 };
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -228,6 +229,83 @@ fn run_seed(seed: u64) -> u64 {
     );
     let _ = std::fs::remove_dir_all(&dir);
     fault.injected()
+}
+
+/// Sharded fault isolation: a fault schedule scoped to ONE shard's Vfs may
+/// wedge that shard and quarantine its cameras, but every other shard keeps
+/// journaling, admitting and serving — and a healed supervised recovery
+/// brings the wedged shard back without disturbing the rest.
+#[test]
+fn a_single_shards_faults_leave_the_other_shards_healthy() {
+    const SHARDS: usize = 4;
+    const FAULTED: usize = 2;
+
+    // Camera names route by id hash; probe candidates until every shard has
+    // one (the routing is pure, so a throwaway in-memory service answers).
+    let routing = QueryService::new().with_shards(SHARDS);
+    let mut names: Vec<Option<String>> = vec![None; SHARDS];
+    for i in 0..64 {
+        let name = format!("cam{i}");
+        let slot = &mut names[routing.shard_index(&name)];
+        if slot.is_none() {
+            *slot = Some(name);
+        }
+    }
+    let names: Vec<String> = names
+        .into_iter()
+        .map(|n| n.expect("64 candidate names must cover all 4 shards"))
+        .collect();
+
+    let dir = chaos_dir(424243);
+    let fault = FaultVfs::over_std();
+    let svc = QueryService::builder()
+        .parallelism(Parallelism::Fixed(1))
+        .durability(Durability::wal(&dir, FsyncPolicy::Always))
+        .shards(SHARDS)
+        .shard_storage_vfs(FAULTED, fault.clone())
+        .build()
+        .expect("sharded durable service builds");
+    svc.register_processor("person_counter", || {
+        Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>
+    })
+    .expect("registration");
+    for name in &names {
+        svc.register_live_camera(name, FrameRate::new(2.0), FrameSize::new(100, 100), policy())
+            .expect("registration");
+        svc.append_frames(name, batch(0)).expect("pre-fault append");
+    }
+
+    // Deterministic fault: every fsync on the faulted shard's Vfs fails.
+    fault.fail_from(FaultOp::Fsync, 1, FaultKind::Eio);
+    let err = svc
+        .append_frames(&names[FAULTED], batch(1))
+        .expect_err("an append journaled through a failing fsync cannot be acknowledged");
+    assert!(tolerable(&err), "the failure surfaces as a storage error, got {err:?}");
+    assert!(svc.shard_wedged(FAULTED).is_some(), "the faulted shard's WAL wedges");
+
+    // Blast radius check: every OTHER shard keeps appending, admitting and
+    // answering — the wedge is shard-local.
+    for (k, name) in names.iter().enumerate() {
+        if k == FAULTED {
+            continue;
+        }
+        assert!(svc.shard_wedged(k).is_none(), "shard {k} shares no fate with shard {FAULTED}");
+        svc.append_frames(name, batch(1)).unwrap_or_else(|e| panic!("shard {k} must keep appending: {e:?}"));
+        svc.execute_text(99, &window_query(name, 0.0, BATCH_SECS, 0.01))
+            .unwrap_or_else(|e| panic!("shard {k} must keep admitting and serving: {e:?}"));
+        assert_eq!(svc.camera_health(name), CameraHealth::Healthy, "shard {k}'s camera stays healthy");
+    }
+
+    // Heal + supervised recovery: per-shard reopen lifts the wedge and the
+    // quarantine; the fleet is whole again.
+    fault.heal();
+    svc.recover_store().expect("healed recovery succeeds");
+    assert!(svc.store_wedged().is_none(), "no shard stays wedged after recovery");
+    for name in &names {
+        assert_eq!(svc.camera_health(name), CameraHealth::Healthy, "recovery returns every camera to service");
+    }
+    svc.append_frames(&names[FAULTED], batch(1)).expect("the recovered shard serves again");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
