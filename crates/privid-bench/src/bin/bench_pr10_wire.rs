@@ -1,0 +1,201 @@
+//! Machine-readable network front-end benchmark snapshot.
+//!
+//! Measures the PR-10 wire path and writes the results as JSON so the perf
+//! trajectory is tracked PR over PR:
+//!
+//! 1. `codec` — pure privid-wire throughput, no sockets: encode and decode
+//!    of a realistic 64-release `QueryOk` response and zero-copy decode of
+//!    a `SubmitQuery` request (the server's hot receive path, which borrows
+//!    the query text straight from the buffer).
+//! 2. `loopback` — end-to-end admissions per second: the same query storm
+//!    executed in-process (`execute_text_as`) and over a loopback TCP
+//!    connection through the threaded server. The gap is the whole network
+//!    front-end — framing, auth lookup, thread handoff, syscalls.
+//!
+//! Usage: `bench_pr10_wire [--smoke] [--out PATH]` (default
+//! `BENCH_PR10.json` in the current directory; CI runs `--smoke --out /dev/null`).
+
+use privid::query::exec::ReleaseValue;
+use privid::server::{PrividClient, Server, ServerConfig, Token};
+use privid::wire::{Request, Response};
+use privid::{
+    ChunkProcessor, NoisyRelease, NoisyValue, PrivacyPolicy, QueryResult, QueryService, SceneConfig,
+    SceneGenerator, UniqueEntrantProcessor,
+};
+use std::sync::Arc;
+use std::time::Instant;
+
+const QUERY: &str = "
+    SPLIT campus BEGIN 0 END 300 BY TIME 10 sec STRIDE 0 sec INTO chunks;
+    PROCESS chunks USING person_counter TIMEOUT 1 sec PRODUCING 20 ROWS
+        WITH SCHEMA (count:NUMBER=0) INTO people;
+    SELECT COUNT(*) FROM people GROUP BY chunk BIN 60 CONSUMING 0.01;";
+
+const SCENE_SECS: f64 = 360.0;
+const SCENE_SEED: u64 = 42;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+/// A representative noised response: 64 mixed releases.
+fn sample_response() -> Response {
+    let releases = (0..64)
+        .map(|i| NoisyRelease {
+            label: format!("COUNT(*) group {i}"),
+            group_key: Some(format!("bin {i}")),
+            value: if i % 8 == 0 {
+                NoisyValue::Key(format!("key-{i}"))
+            } else {
+                NoisyValue::Number(i as f64 + 0.125)
+            },
+            raw: if i % 8 == 0 {
+                ReleaseValue::Candidates(vec![(format!("key-{i}"), 10.0), ("other".into(), 3.0)])
+            } else {
+                ReleaseValue::Number(i as f64)
+            },
+            sensitivity: 2.0,
+            noise_scale: 4.0,
+            epsilon: 0.01,
+        })
+        .collect();
+    Response::QueryOk(QueryResult { releases, epsilon_spent: 0.64, chunks_processed: 30 })
+}
+
+/// (ops/s, MiB/s, frame bytes) for `reps` runs of `f` producing `bytes`.
+fn rate(reps: usize, bytes: usize, elapsed_secs: f64) -> (f64, f64) {
+    let ops = reps as f64 / elapsed_secs.max(1e-9);
+    (ops, ops * bytes as f64 / (1024.0 * 1024.0))
+}
+
+fn service_with_campus() -> Arc<QueryService> {
+    let service = Arc::new(QueryService::new());
+    service
+        .register_processor("person_counter", || {
+            Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>
+        })
+        .expect("processor registration");
+    let config = SceneConfig::campus().with_duration_hours(SCENE_SECS / 3600.0).with_seed(SCENE_SEED);
+    let scene = SceneGenerator::new(config).generate();
+    // A deep ε budget so the storm measures throughput, not exhaustion.
+    service.register_camera("campus", scene, PrivacyPolicy::new(60.0, 2, 10_000.0)).expect("camera registration");
+    service
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PR10.json".to_string());
+
+    let (codec_reps, storm_queries) = if smoke { (2_000, 40) } else { (50_000, 400) };
+    eprintln!("bench_pr10_wire: {codec_reps} codec reps, {storm_queries}-query storms");
+
+    // ---- 1. codec throughput (sans-IO) --------------------------------------
+    let response = sample_response();
+    let mut frame = Vec::new();
+    response.encode(&mut frame).expect("encode");
+    let frame_bytes = frame.len();
+
+    let start = Instant::now();
+    for _ in 0..codec_reps {
+        let mut out = Vec::new();
+        response.encode(&mut out).expect("encode");
+        std::hint::black_box(&out);
+    }
+    let (enc_ops, enc_mibs) = rate(codec_reps, frame_bytes, start.elapsed().as_secs_f64());
+
+    let payload = &frame[privid::wire::HEADER_LEN..];
+    let opcode = frame[3];
+    let start = Instant::now();
+    for _ in 0..codec_reps {
+        let decoded = Response::decode(opcode, payload).expect("decode");
+        std::hint::black_box(&decoded);
+    }
+    let (dec_ops, dec_mibs) = rate(codec_reps, frame_bytes, start.elapsed().as_secs_f64());
+
+    let mut req_frame = Vec::new();
+    Request::SubmitQuery { seed: 1, text: QUERY }.encode(&mut req_frame).expect("encode");
+    let req_payload = &req_frame[privid::wire::HEADER_LEN..];
+    let req_opcode = req_frame[3];
+    let start = Instant::now();
+    for _ in 0..codec_reps {
+        // The server's hot path: zero-copy — the query text is borrowed
+        // from the payload, not copied out of it.
+        let decoded = Request::decode(req_opcode, req_payload).expect("decode");
+        std::hint::black_box(&decoded);
+    }
+    let (req_ops, req_mibs) = rate(codec_reps, req_frame.len(), start.elapsed().as_secs_f64());
+
+    eprintln!(
+        "  codec: response encode {enc_ops:.0}/s ({enc_mibs:.0} MiB/s), decode {dec_ops:.0}/s \
+         ({dec_mibs:.0} MiB/s), request decode {req_ops:.0}/s ({req_mibs:.0} MiB/s), frame {frame_bytes} B"
+    );
+
+    // ---- 2. loopback vs in-process admissions/s -----------------------------
+    // Same storm twice: distinct seeds over one warmed camera, so chunk
+    // processing is cached and the measured gap is admission + transport.
+    let service = service_with_campus();
+    service.execute_text(0, QUERY).expect("warm-up");
+
+    let start = Instant::now();
+    for seed in 1..=storm_queries as u64 {
+        let result = service.execute_text_as("bench", seed, QUERY).expect("in-process query");
+        std::hint::black_box(&result);
+    }
+    let in_process_secs = start.elapsed().as_secs_f64();
+    let in_process_qps = storm_queries as f64 / in_process_secs.max(1e-9);
+
+    let server = Server::start(Arc::clone(&service), ServerConfig::new(vec![
+        Token::analyst("bench-token", "bench"),
+    ]))
+    .expect("server start");
+    let addr = server.addr().to_string();
+    let mut client = PrividClient::connect(&addr, "bench-token").expect("connect");
+    client.submit_query(0, QUERY).expect("loopback warm-up");
+
+    let mut per_call_ms = Vec::with_capacity(storm_queries);
+    let start = Instant::now();
+    for seed in 1..=storm_queries as u64 {
+        let call = Instant::now();
+        let result = client.submit_query(seed + 1_000_000, QUERY).expect("loopback query");
+        per_call_ms.push(call.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(&result);
+    }
+    let loopback_secs = start.elapsed().as_secs_f64();
+    let loopback_qps = storm_queries as f64 / loopback_secs.max(1e-9);
+    let loopback_median_ms = median(per_call_ms);
+    server.shutdown();
+
+    eprintln!(
+        "  loopback: {in_process_qps:.0} q/s in-process vs {loopback_qps:.0} q/s over TCP \
+         (median {loopback_median_ms:.3} ms/call, overhead x{:.2})",
+        in_process_qps / loopback_qps.max(1e-9)
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"pr10_wire\",\n  \"smoke\": {smoke},\n  \"codec\": {{\n    \
+         \"frame_bytes\": {frame_bytes},\n    \
+         \"response_encode_per_sec\": {enc_ops:.1},\n    \"response_encode_mib_per_sec\": {enc_mibs:.1},\n    \
+         \"response_decode_per_sec\": {dec_ops:.1},\n    \"response_decode_mib_per_sec\": {dec_mibs:.1},\n    \
+         \"request_decode_per_sec\": {req_ops:.1},\n    \"request_decode_mib_per_sec\": {req_mibs:.1}\n  }},\n  \
+         \"loopback\": {{\n    \"storm_queries\": {storm_queries},\n    \
+         \"in_process_queries_per_sec\": {in_process_qps:.1},\n    \
+         \"loopback_queries_per_sec\": {loopback_qps:.1},\n    \
+         \"loopback_median_ms\": {loopback_median_ms:.3},\n    \
+         \"wire_overhead_factor\": {:.3}\n  }}\n}}\n",
+        in_process_qps / loopback_qps.max(1e-9)
+    );
+    if out_path != "/dev/null" {
+        std::fs::write(&out_path, &json).expect("write snapshot");
+        eprintln!("  wrote {out_path}");
+    }
+}

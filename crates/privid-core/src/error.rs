@@ -52,6 +52,19 @@ pub enum PrividError {
         /// Minimum remaining budget over the required frame range.
         available: f64,
     },
+    /// The submitting tenant's ε quota is insufficient for this query.
+    /// Rejected before any execution: nothing is debited anywhere — not the
+    /// quota, not any camera ledger. Quotas govern per-tenant resource use
+    /// on a multi-tenant front-end; the per-camera ledgers alone carry the
+    /// DP guarantee.
+    TenantQuotaExhausted {
+        /// The tenant whose quota is insufficient.
+        tenant: String,
+        /// Total ε the query would consume.
+        requested: f64,
+        /// The tenant's remaining quota.
+        available: f64,
+    },
     /// Spatial splitting with soft boundaries requires single-frame chunks (§7.2).
     SoftBoundaryChunkTooLarge {
         /// The chunk duration requested.
@@ -116,6 +129,9 @@ impl fmt::Display for PrividError {
             ),
             PrividError::BudgetExhausted { camera, requested, available } => {
                 write!(f, "privacy budget exhausted for camera {camera}: requested {requested}, available {available}")
+            }
+            PrividError::TenantQuotaExhausted { tenant, requested, available } => {
+                write!(f, "tenant {tenant}'s epsilon quota exhausted: requested {requested}, available {available}")
             }
             PrividError::SoftBoundaryChunkTooLarge { chunk_secs, frame_secs } => write!(
                 f,

@@ -96,7 +96,7 @@ pub use privid_store::{
     Durability, FaultKind, FaultOp, FaultProfile, FaultVfs, FsyncPolicy, RecoveryEvent, RecoveryReport,
     RecoveryWarning, StdVfs, StoreError, Vfs,
 };
-pub use service::{AppendOutcome, QueryService, QueryServiceBuilder, StandingFiring};
+pub use service::{AppendOutcome, QueryService, QueryServiceBuilder, StandingFiring, StandingPoll};
 pub use masking::{greedy_mask_order, MaskPlan, MaskingAnalysis};
 pub use mechanism::{laplace_noise, report_noisy_max, LaplaceMechanism};
 pub use policy::{MaskPolicy, PrivacyPolicy};

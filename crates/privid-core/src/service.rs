@@ -43,7 +43,7 @@ use privid_store::{
     CameraRecord, Durability, Record, RecoveryReport, RecoveryWarning, StoreError, Vfs, WalOptions, WalStore,
 };
 use privid_video::{CameraId, FrameBatch, FrameRate, FrameSize, Recording, Scene, Seconds, TimeSpan};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -97,6 +97,25 @@ pub struct StandingFiring {
     pub result: Result<QueryResult, PrividError>,
 }
 
+/// One cursor-based poll of a standing query's firings: the new firings past
+/// the caller's cursor, the cursor to pass next time, and how many firings
+/// the retention cap had already evicted before the caller could see them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandingPoll {
+    /// Firings with index ≥ the polled cursor that are still retained, in
+    /// window order.
+    pub firings: Vec<StandingFiring>,
+    /// Pass this as the cursor of the next poll to receive only firings that
+    /// happen after this one. Opaque beyond that: the cursor space restarts
+    /// with the process (firings are not journaled), so a stored cursor from
+    /// a previous process incarnation simply replays the retained window.
+    pub next_cursor: u64,
+    /// Firings in `[cursor, next_cursor)` that were evicted by the retention
+    /// cap before this poll — non-zero means the caller polled too slowly to
+    /// see every firing.
+    pub dropped: u64,
+}
+
 /// A registered standing query: the prototype (windows relative to zero), the
 /// cameras it reads, and the high-watermark of windows already fired.
 struct StandingState {
@@ -109,7 +128,14 @@ struct StandingState {
     period_secs: Seconds,
     base_seed: u64,
     next_start_secs: Seconds,
-    firings: Vec<StandingFiring>,
+    /// The most recent firings, oldest first, capped at the service's
+    /// standing-firing retention — a server polling thousands of standing
+    /// queries must never make this registry's memory grow with uptime.
+    firings: VecDeque<StandingFiring>,
+    /// Total firings ever recorded for this query (the cursor space of
+    /// [`QueryService::standing_results_since`]); `fired_count -
+    /// firings.len()` is the index of the oldest retained firing.
+    fired_count: u64,
 }
 
 /// A due standing-query window collected under the registry lock, executed
@@ -185,7 +211,22 @@ pub struct QueryService {
     recovery: Option<RecoveryReport>,
     /// Backoff policy for transient journal failures in live ingestion.
     retry: StoreRetryPolicy,
+    /// Maximum standing-query firings retained per query for polling — a
+    /// server polling on behalf of remote analysts must never let the
+    /// standing registry's memory grow with uptime. Cursor polls report
+    /// evictions via [`StandingPoll::dropped`].
+    standing_retention: usize,
+    /// Remaining ε per tenant, for services fronted by the multi-tenant
+    /// server. `None` (no entry) means the tenant is unlimited; quotas are a
+    /// resource-governance layer *above* the per-camera ledgers — the DP
+    /// guarantee itself never depends on them. Lock-order audit:
+    /// `tenant-quota-registry` — standalone acquisitions only (reserve /
+    /// refund / read), never nested with any other lock.
+    tenant_quotas: Mutex<HashMap<String, f64>>,
 }
+
+/// Default number of standing-query firings retained per query.
+const DEFAULT_STANDING_RETENTION: usize = 1024;
 
 /// One slice of the fleet: the registries, admission gate, cache tiers,
 /// health registry and (optional) WAL for the names that hash here.
@@ -312,6 +353,8 @@ impl QueryService {
             parallelism: Parallelism::Auto,
             recovery: None,
             retry: StoreRetryPolicy::default(),
+            standing_retention: DEFAULT_STANDING_RETENTION,
+            tenant_quotas: Mutex::new(HashMap::new()),
         }
     }
 
@@ -329,6 +372,13 @@ impl QueryService {
     /// Builder-style override of the ε charged to SELECTs without `CONSUMING`.
     pub fn with_default_epsilon(mut self, epsilon: f64) -> Self {
         self.default_epsilon = epsilon;
+        self
+    }
+
+    /// Builder-style override of how many firings each standing query
+    /// retains for polling (default 1024; clamped to at least 1).
+    pub fn with_standing_retention(mut self, retained: usize) -> Self {
+        self.standing_retention = retained.max(1);
         self
     }
 
@@ -790,7 +840,8 @@ impl QueryService {
                             period_secs,
                             base_seed,
                             next_start_secs: 0.0,
-                            firings: Vec::new(),
+                            firings: VecDeque::new(),
+                            fired_count: 0,
                         },
                     );
                 }
@@ -799,12 +850,44 @@ impl QueryService {
         Ok(self.pump_standing_queries())
     }
 
-    /// The firings a standing query has produced so far, in window order.
+    /// The retained firings of a standing query, in window order.
+    ///
+    /// Only the most recent `standing_retention` firings are kept in memory;
+    /// a long-running poller should use
+    /// [`QueryService::standing_results_since`] instead, which returns only
+    /// the firings past a cursor and reports anything evicted before it could
+    /// be observed.
     pub fn standing_results(&self, name: &str) -> Option<Vec<StandingFiring>> {
         self.standing.lock().expect("standing registry poisoned").get(name).map(|s| { // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
-            let mut firings = s.firings.clone();
-            firings.sort_by_key(|f| f.window.start);
-            firings
+            // Firings are recorded in watermark order, which is window order.
+            s.firings.iter().cloned().collect()
+        })
+    }
+
+    /// The firings of a standing query past `cursor`, in window order.
+    ///
+    /// The cursor space is the total number of firings ever recorded:
+    /// `cursor = 0` means "from the beginning", and each poll's
+    /// [`StandingPoll::next_cursor`] names the first firing the *next* poll
+    /// should return. Each poll copies only the new firings — a poller that
+    /// keeps up pays O(new) per call regardless of how long the query has
+    /// been running, and memory stays bounded by the retention cap either
+    /// way. Firings the cap evicted before the caller saw them are counted
+    /// in [`StandingPoll::dropped`]. `None` means no such standing query.
+    pub fn standing_results_since(&self, name: &str, cursor: u64) -> Option<StandingPoll> {
+        self.standing.lock().expect("standing registry poisoned").get(name).map(|s| { // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+            let oldest = s.fired_count - s.firings.len() as u64;
+            // A cursor past the end (e.g. from a previous process incarnation
+            // that had fired more) clamps to the live range rather than
+            // erroring: the poller simply resumes from "now".
+            let from = cursor.min(s.fired_count);
+            let dropped = oldest.saturating_sub(from);
+            let skip = from.saturating_sub(oldest) as usize;
+            StandingPoll {
+                firings: s.firings.iter().skip(skip).cloned().collect(),
+                next_cursor: s.fired_count,
+                dropped,
+            }
         })
     }
 
@@ -881,7 +964,11 @@ impl QueryService {
             }
             let mut standing = self.standing.lock().expect("standing registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
             if let Some(st) = standing.get_mut(&job.name) {
-                st.firings.push(StandingFiring { window: job.window, seed: job.seed, result });
+                st.firings.push_back(StandingFiring { window: job.window, seed: job.seed, result });
+                st.fired_count += 1;
+                while st.firings.len() > self.standing_retention {
+                    st.firings.pop_front();
+                }
             }
         }
         for query in prefolds {
@@ -1098,6 +1185,12 @@ impl QueryService {
             merge_report(&mut merged, report);
         }
         for shard in &self.shards {
+            // Drain the store's own durability warnings (e.g. a snapshot
+            // rename whose directory fsync failed) before the health
+            // registry's: the store saw its faults first.
+            if let Some(store) = &shard.store {
+                merged.warnings.extend(store.drain_warnings());
+            }
             let mut registry = shard.health.lock().expect("health registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
             merged.warnings.append(&mut registry.warnings);
             registry.states.clear();
@@ -1189,6 +1282,70 @@ impl QueryService {
     pub fn execute(&self, seed: u64, query: &ParsedQuery) -> Result<QueryResult, PrividError> {
         let mut mechanism = LaplaceMechanism::new(seed);
         self.execute_session(query, &mut mechanism, self.parallelism, self.default_epsilon)
+    }
+
+    // ---- tenant quotas ------------------------------------------------------------------
+
+    /// Grant (or reset) a tenant's remaining ε quota. Tenants with no quota
+    /// set are unlimited — quotas are the multi-tenant server's resource
+    /// governance layer; the per-camera ledgers alone carry the DP
+    /// guarantee.
+    pub fn set_tenant_quota(&self, tenant: impl Into<String>, epsilon: f64) {
+        let mut quotas = self.tenant_quotas.lock().expect("tenant quota registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+        quotas.insert(tenant.into(), epsilon.max(0.0));
+    }
+
+    /// A tenant's remaining ε quota, or `None` if the tenant is unlimited.
+    pub fn tenant_quota_remaining(&self, tenant: &str) -> Option<f64> {
+        let quotas = self.tenant_quotas.lock().expect("tenant quota registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+        quotas.get(tenant).copied()
+    }
+
+    /// Parse and execute a textual query on a tenant's behalf, enforcing the
+    /// tenant's ε quota. See [`QueryService::execute_as`].
+    pub fn execute_text_as(&self, tenant: &str, seed: u64, text: &str) -> Result<QueryResult, PrividError> {
+        let query = parse_query(text)?;
+        self.execute_as(tenant, seed, &query)
+    }
+
+    /// Execute a parsed query on a tenant's behalf, enforcing the tenant's ε
+    /// quota at admission time.
+    ///
+    /// The query's total ε demand is computable from the parsed query alone
+    /// (each SELECT's `CONSUMING` clause, or the service default) — the same
+    /// formula the per-camera admission gate charges — so the quota is
+    /// reserved *before* any sandbox work or ledger debit. An over-quota
+    /// submission is rejected with the typed
+    /// [`PrividError::TenantQuotaExhausted`] and debits nothing anywhere. If
+    /// execution then fails (unknown camera, exhausted per-camera ledger,
+    /// …), the reservation is refunded in full: the refund can only
+    /// *under*-count ε the per-camera ledgers kept (rare post-admission
+    /// failures), never hand back ε that produced an analyst-visible
+    /// release.
+    pub fn execute_as(&self, tenant: &str, seed: u64, query: &ParsedQuery) -> Result<QueryResult, PrividError> {
+        let requested: f64 =
+            query.selects.iter().map(|s| s.epsilon.unwrap_or(self.default_epsilon)).sum();
+        {
+            let mut quotas = self.tenant_quotas.lock().expect("tenant quota registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+            if let Some(available) = quotas.get_mut(tenant) {
+                if requested > *available {
+                    return Err(PrividError::TenantQuotaExhausted {
+                        tenant: tenant.to_string(),
+                        requested,
+                        available: *available,
+                    });
+                }
+                *available -= requested;
+            }
+        }
+        let result = self.execute(seed, query);
+        if result.is_err() {
+            let mut quotas = self.tenant_quotas.lock().expect("tenant quota registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+            if let Some(available) = quotas.get_mut(tenant) {
+                *available += requested;
+            }
+        }
+        result
     }
 
     /// Execute a query drawing noise from a caller-owned mechanism.
@@ -1389,6 +1546,7 @@ pub struct QueryServiceBuilder {
     shard_vfs: Vec<(usize, Arc<dyn Vfs>)>,
     append_retry: Option<StoreRetryPolicy>,
     shards: Option<usize>,
+    standing_retention: Option<usize>,
 }
 
 impl QueryServiceBuilder {
@@ -1461,6 +1619,13 @@ impl QueryServiceBuilder {
         self
     }
 
+    /// How many firings each standing query retains for polling (default
+    /// 1024; clamped to at least 1).
+    pub fn standing_retention(mut self, retained: usize) -> Self {
+        self.standing_retention = Some(retained);
+        self
+    }
+
     /// Build the service, performing crash recovery if the durability
     /// directory holds existing state.
     pub fn build(self) -> Result<QueryService, PrividError> {
@@ -1473,6 +1638,9 @@ impl QueryServiceBuilder {
         }
         if let Some(r) = self.append_retry {
             service.retry = r;
+        }
+        if let Some(r) = self.standing_retention {
+            service.standing_retention = r.max(1);
         }
         let n = self.shards.unwrap_or(1).max(1);
         let per_cache = self.cache_capacity.map(|c| split_capacity(c, n));
@@ -1552,7 +1720,8 @@ impl QueryServiceBuilder {
                     period_secs: st.period_secs,
                     base_seed: st.base_seed,
                     next_start_secs: st.next_start_secs,
-                    firings: Vec::new(),
+                    firings: VecDeque::new(),
+                    fired_count: 0,
                 },
             );
         }
@@ -1817,6 +1986,93 @@ mod tests {
         }
         // Catch-up: a second standing query registered late fires immediately.
         assert_eq!(svc.register_standing_query("catch_up", 99, standing).unwrap(), 4);
+    }
+
+    #[test]
+    fn standing_poll_cursor_returns_only_new_firings_and_retention_bounds_memory() {
+        use privid_video::FrameBatch;
+        let svc = live_service().with_standing_retention(2);
+        let standing = "
+            SPLIT live BEGIN 0 END 60 BY TIME 10 sec STRIDE 0 sec INTO chunks;
+            PROCESS chunks USING person_counter TIMEOUT 1 sec PRODUCING 20 ROWS
+                WITH SCHEMA (count:NUMBER=0) INTO people;
+            SELECT COUNT(*) FROM people CONSUMING 0.05;";
+        svc.register_standing_query("per_min", 7, standing).unwrap();
+        assert!(svc.standing_results_since("nope", 0).is_none(), "unknown name is None");
+
+        // Two firings; a cursor poll sees both and advances.
+        svc.append_frames("live", FrameBatch::new(130.0, vec![walker(1, 5.0, 40.0)])).unwrap();
+        let poll = svc.standing_results_since("per_min", 0).unwrap();
+        assert_eq!(poll.firings.len(), 2);
+        assert_eq!((poll.next_cursor, poll.dropped), (2, 0));
+        assert_eq!(poll.firings[0].window, TimeSpan::between_secs(0.0, 60.0));
+
+        // Nothing new: the follow-up poll is empty (no clone of history).
+        let idle = svc.standing_results_since("per_min", poll.next_cursor).unwrap();
+        assert!(idle.firings.is_empty());
+        assert_eq!((idle.next_cursor, idle.dropped), (2, 0));
+
+        // Four more windows close; retention 2 keeps memory bounded while a
+        // keeping-up poller still sees every firing it wasn't too slow for.
+        svc.append_frames("live", FrameBatch::new(240.0, vec![walker(2, 140.0, 200.0)])).unwrap();
+        assert_eq!(svc.standing_results("per_min").unwrap().len(), 2, "retention caps the in-memory history");
+        let poll2 = svc.standing_results_since("per_min", idle.next_cursor).unwrap();
+        assert_eq!(poll2.firings.len(), 2, "only retained firings are returned");
+        assert_eq!(poll2.next_cursor, 6);
+        assert_eq!(poll2.dropped, 2, "firings 2 and 3 were evicted before this poll");
+        assert_eq!(poll2.firings[0].window, TimeSpan::between_secs(240.0, 300.0));
+        assert_eq!(poll2.firings[1].seed, 7 + 5);
+
+        // A stale cursor past the end clamps instead of panicking.
+        let clamped = svc.standing_results_since("per_min", 999).unwrap();
+        assert!(clamped.firings.is_empty());
+        assert_eq!((clamped.next_cursor, clamped.dropped), (6, 0));
+
+        // The regression the wire poll rides on: 10k idle polls each return
+        // only the delta. With the old clone-the-world API this loop cloned
+        // 10k full histories; here every poll moves zero firings and the
+        // retained deque stays at the cap.
+        let mut cursor = clamped.next_cursor;
+        for _ in 0..10_000 {
+            let p = svc.standing_results_since("per_min", cursor).unwrap();
+            assert!(p.firings.is_empty());
+            cursor = p.next_cursor;
+        }
+        let standing = svc.standing.lock().unwrap();
+        assert_eq!(standing.get("per_min").unwrap().firings.len(), 2, "polling never grows retained state");
+    }
+
+    #[test]
+    fn tenant_quota_gates_admission_and_refunds_failed_queries() {
+        let svc = service();
+        // Unlimited tenants pass through untouched.
+        assert_eq!(svc.tenant_quota_remaining("alice"), None);
+        let direct = svc.execute_text(3, QUERY).unwrap();
+        let as_alice = svc.execute_text_as("alice", 3, QUERY).unwrap();
+        assert_eq!(direct, as_alice, "quota wrapper never perturbs the release");
+
+        // QUERY consumes 0.5 ε; a 1.2 quota admits two runs, then refuses.
+        svc.set_tenant_quota("bob", 1.2);
+        svc.execute_text_as("bob", 4, QUERY).unwrap();
+        svc.execute_text_as("bob", 5, QUERY).unwrap();
+        assert!((svc.tenant_quota_remaining("bob").unwrap() - 0.2).abs() < 1e-9);
+        let before = svc.remaining_budget("campus", 5.0).unwrap();
+        match svc.execute_text_as("bob", 6, QUERY) {
+            Err(PrividError::TenantQuotaExhausted { tenant, requested, available }) => {
+                assert_eq!(tenant, "bob");
+                assert_eq!(requested, 0.5);
+                assert!((available - 0.2).abs() < 1e-9);
+            }
+            other => panic!("expected TenantQuotaExhausted, got {other:?}"),
+        }
+        assert!((svc.tenant_quota_remaining("bob").unwrap() - 0.2).abs() < 1e-9, "rejection debits no quota");
+        assert_eq!(svc.remaining_budget("campus", 5.0).unwrap(), before, "rejection debits no camera ε");
+
+        // A failed execution refunds the reservation in full.
+        svc.set_tenant_quota("carol", 1.0);
+        let bad = QUERY.replace("campus", "nowhere");
+        assert!(matches!(svc.execute_text_as("carol", 7, &bad), Err(PrividError::UnknownCamera(_))));
+        assert!((svc.tenant_quota_remaining("carol").unwrap() - 1.0).abs() < 1e-9, "failed query refunds its reservation");
     }
 
     // ---- durability ---------------------------------------------------------------------
@@ -2102,6 +2358,40 @@ mod tests {
         // query now runs. A second recovery does not replay the warning.
         assert_eq!(svc.camera_health("campus"), CameraHealth::Healthy);
         svc.execute_text(1, QUERY).unwrap();
+        assert!(svc.recover_store().unwrap().warnings.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_dir_sync_failure_surfaces_in_supervised_recovery() {
+        use privid_store::{FaultKind, FaultOp};
+        let dir = wal_dir("dirsync");
+        let fault = privid_store::FaultVfs::over_std();
+        let svc = QueryService::builder()
+            .parallelism(Parallelism::Fixed(1))
+            .durability(Durability::wal(&dir, FsyncPolicy::Never))
+            .storage_vfs(fault.clone())
+            .snapshot_every(1)
+            .build()
+            .expect("durable service builds");
+        // The first journaled record triggers an automatic checkpoint whose
+        // post-rename directory fsync fails. Regression: this used to be a
+        // swallowed `let _ =` — no trace anywhere.
+        fault.fail_nth(FaultOp::DirSync, 1, FaultKind::FsyncFailure);
+        svc.register_processor("person_counter", || {
+            Box::new(UniqueEntrantProcessor::people()) as Box<dyn ChunkProcessor>
+        }).expect("camera/processor registration must succeed");
+        assert_eq!(fault.injected(), 1, "the dir-sync fault fired during the checkpoint");
+
+        let report = svc.recover_store().unwrap();
+        match &report.warnings[..] {
+            [RecoveryWarning::SnapshotDirSyncFailed { dir: d, error }] => {
+                assert!(d.contains("dirsync"), "warning names the shard dir, got {d}");
+                assert!(!error.is_empty());
+            }
+            other => panic!("expected one SnapshotDirSyncFailed warning, got {other:?}"),
+        }
+        // Drained, not replayed: a second recovery reports nothing.
         assert!(svc.recover_store().unwrap().warnings.is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -200,9 +200,17 @@ fn tokenize(input: &str) -> Result<Vec<Token>, QueryError> {
 // Parser
 // ---------------------------------------------------------------------------
 
+/// Maximum nesting depth of parenthesized subqueries / joined sources. The
+/// parser faces attacker-controlled bytes over the wire: recursion must be
+/// bounded by a typed error, never by the thread's stack.
+const MAX_SOURCE_DEPTH: usize = 64;
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Current `source()` recursion depth (every mutually-recursive cycle
+    /// with `inner_select()` passes through `source()`).
+    depth: usize,
 }
 
 impl Parser {
@@ -248,9 +256,24 @@ impl Parser {
 
     fn number(&mut self) -> Result<f64, QueryError> {
         match self.next() {
-            Some(Token::Num(n)) => Ok(n),
+            // `1e999` parses to +inf: every numeric literal must be finite
+            // before it can reach sensitivity or budget arithmetic.
+            Some(Token::Num(n)) if n.is_finite() => Ok(n),
+            Some(Token::Num(n)) => Err(QueryError::Parse(format!("numeric literal {n} is not finite"))),
             other => Err(QueryError::Parse(format!("expected number, found {other:?}"))),
         }
+    }
+
+    /// A number used as a row or limit count: a non-negative integer small
+    /// enough that the `as usize` conversion is exact. Untrusted input that
+    /// would saturate the cast (`PRODUCING 1e300 ROWS`) must be a typed
+    /// error, not a silent `usize::MAX`.
+    fn count(&mut self, what: &str) -> Result<usize, QueryError> {
+        let n = self.number()?;
+        if !(0.0..=1e9).contains(&n) || n.fract() != 0.0 {
+            return Err(QueryError::Parse(format!("{what} must be a non-negative integer at most 1e9, got {n}")));
+        }
+        Ok(n as usize)
     }
 
     /// A number with an optional time-unit suffix; returns seconds.
@@ -270,7 +293,11 @@ impl Parser {
                 if f == 0.0 {
                     return Ok(n); // "N frames" is interpreted by the caller
                 }
-                return Ok(n * f);
+                let secs = n * f;
+                if !secs.is_finite() {
+                    return Err(QueryError::Parse(format!("duration {n} x {f} s overflows")));
+                }
+                return Ok(secs);
             }
         }
         Ok(n)
@@ -311,8 +338,14 @@ impl Parser {
         if end_secs <= begin_secs {
             return Err(QueryError::Parse("SPLIT END must be after BEGIN".into()));
         }
+        if !(end_secs - begin_secs).is_finite() {
+            return Err(QueryError::Parse("SPLIT window duration overflows".into()));
+        }
         if chunk_secs <= 0.0 {
             return Err(QueryError::Parse("chunk duration must be positive".into()));
+        }
+        if stride_secs < 0.0 {
+            return Err(QueryError::Parse("STRIDE must be non-negative".into()));
         }
         Ok(SplitStatement { camera, begin_secs, end_secs, chunk_secs, stride_secs, mask, region_scheme, output })
     }
@@ -331,7 +364,7 @@ impl Parser {
         self.keyword("TIMEOUT")?;
         let timeout_secs = self.duration_secs()?;
         self.keyword("PRODUCING")?;
-        let max_rows = self.number()? as usize;
+        let max_rows = self.count("PRODUCING row bound")?;
         self.keyword("ROWS")?;
         self.keyword("WITH")?;
         self.keyword("SCHEMA")?;
@@ -436,7 +469,22 @@ impl Parser {
     }
 
     /// A source: table name, parenthesized inner select, optionally joined.
+    ///
+    /// Every `source()` ↔ `inner_select()` recursion cycle passes through
+    /// here, so this one depth guard bounds the whole grammar's recursion:
+    /// `((((…` from a hostile client is a typed parse error, not a stack
+    /// overflow abort.
     fn source(&mut self) -> Result<Relation, QueryError> {
+        if self.depth >= MAX_SOURCE_DEPTH {
+            return Err(QueryError::Parse(format!("query nesting exceeds {MAX_SOURCE_DEPTH} levels")));
+        }
+        self.depth += 1;
+        let rel = self.source_unguarded();
+        self.depth -= 1;
+        rel
+    }
+
+    fn source_unguarded(&mut self) -> Result<Relation, QueryError> {
         let mut rel = match self.peek() {
             Some(Token::LParen) => {
                 self.next();
@@ -531,7 +579,7 @@ impl Parser {
         }
         if self.peek_keyword("LIMIT") {
             self.next();
-            rel = Relation::Limit { input: Box::new(rel), limit: self.number()? as usize };
+            rel = Relation::Limit { input: Box::new(rel), limit: self.count("LIMIT")? };
         }
         if let Some((col, lo, hi)) = range {
             rel = Relation::RangeConstraint { input: Box::new(rel), column: col, lo, hi };
@@ -613,6 +661,12 @@ impl Parser {
             } else if self.peek_keyword("BIN") {
                 self.next();
                 let bin = self.duration_secs()?;
+                // BIN 0 would make the planned release count infinite (the
+                // window divided by the bin), which saturates to usize::MAX
+                // downstream — reject at the gate.
+                if bin <= 0.0 {
+                    return Err(QueryError::Parse(format!("GROUP BY BIN must be positive, got {bin}")));
+                }
                 group_by = Some(GroupBy { column, keys: GroupKeys::ChunkBins { bin_secs: bin } });
             } else {
                 return Err(QueryError::Unsupported(format!(
@@ -635,7 +689,13 @@ impl Parser {
         let mut epsilon = None;
         if self.peek_keyword("CONSUMING") {
             self.next();
-            epsilon = Some(self.number()?);
+            let e = self.number()?;
+            // A zero or negative ε would pass the budget check trivially —
+            // and a negative debit *adds* budget. Privacy bug, not a typo.
+            if e <= 0.0 {
+                return Err(QueryError::Parse(format!("CONSUMING epsilon must be positive, got {e}")));
+            }
+            epsilon = Some(e);
         }
         self.expect(&Token::Semi)?;
         Ok(SelectStatement { aggregations, source, group_by, epsilon })
@@ -645,7 +705,7 @@ impl Parser {
 /// Parse a full query text into its statements.
 pub fn parse_query(text: &str) -> Result<ParsedQuery, QueryError> {
     let tokens = tokenize(text)?;
-    let mut parser = Parser { tokens, pos: 0 };
+    let mut parser = Parser { tokens, pos: 0, depth: 0 };
     let mut query = ParsedQuery::default();
     while parser.peek().is_some() {
         if parser.peek_keyword("SPLIT") {

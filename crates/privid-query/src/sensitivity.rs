@@ -246,7 +246,18 @@ impl SensitivityContext {
             },
             None => 1,
         };
-        let mut out = Vec::with_capacity(stmt.aggregations.len() * groups);
+        // The release count allocates a Vec below and drives per-release
+        // noise sampling: a pathological window/bin ratio (or an enormous
+        // explicit key list from untrusted bytes) must be a typed refusal,
+        // not a capacity-overflow abort.
+        const MAX_PLANNED_RELEASES: usize = 1 << 20;
+        let releases = stmt.aggregations.len().saturating_mul(groups);
+        if releases > MAX_PLANNED_RELEASES {
+            return Err(QueryError::Unsupported(format!(
+                "SELECT plans {releases} releases, more than the {MAX_PLANNED_RELEASES} supported"
+            )));
+        }
+        let mut out = Vec::with_capacity(releases);
         for agg in &stmt.aggregations {
             let s = self.release_sensitivity(&stmt.source, agg)?;
             for _ in 0..groups {

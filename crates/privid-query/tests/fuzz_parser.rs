@@ -1,0 +1,231 @@
+//! Fuzz suite for the query front door.
+//!
+//! The parser was written for trusted in-process strings, but the network
+//! front-end feeds it attacker-controlled bytes. Whatever arrives, the
+//! contract is: `parse_query` (and sensitivity planning on anything that
+//! parses) returns `Ok` or a typed `Err` — it never panics, never overflows
+//! the stack, never saturates a cast into an allocation.
+//!
+//! Three input families, from blind to sighted:
+//! * raw byte soup (UTF-8-lossy decoded),
+//! * token soup drawn from the query language's own vocabulary (penetrates
+//!   far deeper into the grammar than random bytes),
+//! * mutations of a known-good query: truncations and single-token splices.
+//!
+//! Plus pinned regressions for the concrete hazards the fuzz families found:
+//! unbounded `((((…` recursion, `CONSUMING -5` (a negative debit *credits*
+//! budget), `GROUP BY … BIN 0` (infinite planned releases), `PRODUCING 1e30`
+//! (saturating cast), and non-finite numeric literals like `1e999`.
+
+use privid_query::ast::GroupKeys;
+use privid_query::{parse_query, ParsedQuery, QueryError, SensitivityContext, TableProfile};
+use proptest::prelude::*;
+
+/// A query that exercises every statement type — the mutation seed.
+const SEED_QUERY: &str = "\
+SPLIT cam BEGIN 0 END 600 BY TIME 10 sec STRIDE 0 sec INTO chunks;
+PROCESS chunks USING counter TIMEOUT 1 sec PRODUCING 20 ROWS WITH SCHEMA (count:NUMBER=0, tag:STRING=\"x\") INTO people;
+SELECT COUNT(*), SUM(count) FROM (SELECT count, tag FROM people WHERE count >= 1 LIMIT 50) GROUP BY chunk BIN 60 CONSUMING 0.5;";
+
+/// Vocabulary for token soup: every keyword and operator the grammar knows,
+/// plus literals chosen to sit on its validation edges.
+const VOCAB: &[&str] = &[
+    "SPLIT", "PROCESS", "SELECT", "BEGIN", "END", "BY", "TIME", "STRIDE", "INTO", "USING", "TIMEOUT", "PRODUCING",
+    "ROWS", "WITH", "SCHEMA", "MASK", "REGION", "FROM", "WHERE", "GROUP", "KEYS", "BIN", "LIMIT", "CONSUMING",
+    "JOIN", "UNION", "ON", "AND", "OR", "COUNT", "SUM", "AVG", "VAR", "ARGMAX", "range", "sec", "min", "hours",
+    "frames", "(", ")", "[", "]", ",", ";", ":", "=", "!=", ">=", "<=", "*", "cam", "chunks", "people", "count",
+    "tag", "NUMBER", "STRING", "\"s\"", "0", "1", "-1", "0.5", "-0.5", "1e9", "1e300", "1e999", "-1e999",
+    "9999999999999999999999", "10", "60",
+];
+
+/// The contract under test: parse, and if that succeeds, run sensitivity
+/// planning the way the session layer does. Returns whether it parsed (so
+/// generators can assert they reach the deep grammar at all).
+fn parse_then_plan(text: &str) -> bool {
+    let query: ParsedQuery = match parse_query(text) {
+        Ok(q) => q,
+        Err(_) => return false,
+    };
+    // Mirror session.rs: every PROCESS output (and split output, in case a
+    // SELECT reads it directly) becomes a table; plan each SELECT with the
+    // chunk-bin count its window and BIN imply.
+    let mut ctx = SensitivityContext::new();
+    let profile = TableProfile { max_rows_per_chunk: 10, chunk_secs: 5.0, rho_secs: 30.0, k: 2, num_chunks: 1000 };
+    for p in &query.processes {
+        ctx.register(&p.output, profile.clone());
+    }
+    for s in &query.splits {
+        ctx.register(&s.output, profile.clone());
+    }
+    let window_secs: f64 = query.splits.iter().map(|s| s.end_secs - s.begin_secs).fold(0.0, f64::max);
+    for stmt in &query.selects {
+        let bins = match &stmt.group_by {
+            Some(g) => match &g.keys {
+                GroupKeys::ChunkBins { bin_secs } => (window_secs / bin_secs).ceil().max(1.0) as usize,
+                GroupKeys::Explicit(_) => 1,
+            },
+            None => 1,
+        };
+        // Errors are fine (undefined tables, rule violations); panics are not.
+        let _ = ctx.statement_sensitivities(stmt, bins);
+    }
+    true
+}
+
+proptest! {
+    /// Raw byte soup: arbitrary bytes, lossily decoded. Nothing here should
+    /// parse, and nothing here may abort.
+    #[test]
+    fn byte_soup_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = parse_then_plan(&text);
+    }
+
+    /// Token soup: random words from the grammar's own vocabulary. This is
+    /// the family that walks deep into statement parsing.
+    #[test]
+    fn token_soup_never_panics(picks in proptest::collection::vec(0usize..VOCAB.len(), 0..96)) {
+        let text: String = picks.iter().map(|&i| VOCAB[i]).collect::<Vec<_>>().join(" ");
+        let _ = parse_then_plan(&text);
+    }
+
+    /// Truncation: every prefix of a valid query is handled — a client that
+    /// dies mid-send must produce a typed error, not a hung or crashed parse.
+    #[test]
+    fn truncated_query_never_panics(cut in 0usize..400) {
+        let cut = cut.min(SEED_QUERY.len());
+        // Cut at a char boundary (the seed is ASCII, so every byte is one).
+        let _ = parse_then_plan(&SEED_QUERY[..cut]);
+    }
+
+    /// Splice: replace one byte span of a valid query with a random token.
+    #[test]
+    fn spliced_query_never_panics(at in 0usize..400, len in 0usize..32, pick in 0usize..64) {
+        let at = at.min(SEED_QUERY.len());
+        let end = (at + len).min(SEED_QUERY.len());
+        let mut text = String::new();
+        text.push_str(&SEED_QUERY[..at]);
+        text.push_str(VOCAB[pick % VOCAB.len()]);
+        text.push_str(&SEED_QUERY[end..]);
+        let _ = parse_then_plan(&text);
+    }
+}
+
+#[test]
+fn deep_nesting_is_a_typed_error_not_a_stack_overflow() {
+    // Each "(" recurses source() → inner_select() → source(); unbounded,
+    // 100k of them walked straight off the thread stack.
+    let hostile = format!("SELECT COUNT(*) FROM {}t{};", "(".repeat(100_000), ")".repeat(100_000));
+    match parse_query(&hostile) {
+        Err(QueryError::Parse(msg)) => assert!(msg.contains("nesting"), "got: {msg}"),
+        other => panic!("expected a nesting-depth parse error, got {other:?}"),
+    }
+    // Unclosed parens — the truncation shape of the same attack.
+    assert!(parse_query(&format!("SELECT COUNT(*) FROM {}", "(".repeat(100_000))).is_err());
+    // Reasonable nesting still parses.
+    let sane = format!("SELECT COUNT(*) FROM {}t{};", "(".repeat(8), ")".repeat(8));
+    parse_query(&sane).expect("8 levels of nesting is a legal query");
+}
+
+#[test]
+fn non_positive_consuming_is_rejected() {
+    // A negative ε passes `requested <= available` trivially and its debit
+    // *adds* budget — an attacker-reachable privacy bug, not a typo.
+    for eps in ["-5", "-0.5", "0", "0.0"] {
+        let q = SEED_QUERY.replace("CONSUMING 0.5", &format!("CONSUMING {eps}"));
+        match parse_query(&q) {
+            Err(QueryError::Parse(msg)) => assert!(msg.contains("CONSUMING"), "for {eps}: {msg}"),
+            other => panic!("CONSUMING {eps} must be rejected, got {other:?}"),
+        }
+    }
+    // A positive ε still parses.
+    parse_query(&SEED_QUERY.replace("CONSUMING 0.5", "CONSUMING 0.25")).unwrap();
+}
+
+#[test]
+fn zero_or_negative_bin_is_rejected() {
+    // BIN 0 made the planned release count (window / bin) infinite, which
+    // saturated `as usize` and aborted on the Vec allocation downstream.
+    for bin in ["0", "0 sec", "-60"] {
+        let q = SEED_QUERY.replace("BIN 60", &format!("BIN {bin}"));
+        match parse_query(&q) {
+            Err(QueryError::Parse(msg)) => assert!(msg.contains("BIN"), "for {bin}: {msg}"),
+            other => panic!("BIN {bin} must be rejected, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn saturating_counts_are_rejected() {
+    for (from, to) in [
+        ("PRODUCING 20 ROWS", "PRODUCING 1e30 ROWS"),
+        ("PRODUCING 20 ROWS", "PRODUCING -3 ROWS"),
+        ("PRODUCING 20 ROWS", "PRODUCING 2.5 ROWS"),
+        ("LIMIT 50", "LIMIT 1e30"),
+        ("LIMIT 50", "LIMIT -1"),
+    ] {
+        let q = SEED_QUERY.replace(from, to);
+        assert!(
+            matches!(parse_query(&q), Err(QueryError::Parse(_))),
+            "{to} must be a typed parse error"
+        );
+    }
+}
+
+#[test]
+fn non_finite_literals_are_rejected() {
+    // The lexer has no exponent notation, but a long enough digit string
+    // overflows str::parse::<f64> to +inf (not an error!); every numeric
+    // literal must be finite before it can touch sensitivity or budget
+    // arithmetic.
+    let huge = "9".repeat(400);
+    assert!(huge.parse::<f64>().unwrap().is_infinite(), "the literal really does overflow parse");
+    for lit in [huge.clone(), format!("-{huge}")] {
+        let q = SEED_QUERY.replace("END 600", &format!("END {lit}"));
+        match parse_query(&q) {
+            Err(QueryError::Parse(msg)) => assert!(msg.contains("finite"), "got: {msg}"),
+            other => panic!("a non-finite literal must be rejected, got {other:?}"),
+        }
+    }
+    // A duration whose unit multiplication overflows is likewise typed.
+    let near_max = format!("9{}", "0".repeat(307)); // ~9e307: finite, but ×3600 overflows
+    let q = SEED_QUERY.replace("END 600", &format!("END {near_max} hours"));
+    match parse_query(&q) {
+        Err(QueryError::Parse(msg)) => assert!(msg.contains("overflow"), "got: {msg}"),
+        other => panic!("an overflowing duration must be rejected, got {other:?}"),
+    }
+}
+
+#[test]
+fn negative_stride_is_rejected() {
+    // chunk + stride <= 0 would walk the chunk planner backwards forever.
+    let q = SEED_QUERY.replace("STRIDE 0 sec", "STRIDE -10 sec");
+    match parse_query(&q) {
+        Err(QueryError::Parse(msg)) => assert!(msg.contains("STRIDE"), "got: {msg}"),
+        other => panic!("negative STRIDE must be rejected, got {other:?}"),
+    }
+}
+
+#[test]
+fn giant_window_tiny_bin_is_a_typed_refusal_not_an_abort() {
+    // Parses fine (every literal is finite and positive) but plans an
+    // astronomical release count: the planner must refuse, not allocate.
+    let q = "
+        SPLIT cam BEGIN 0 END 100000000000000 BY TIME 10 sec STRIDE 0 sec INTO chunks;
+        PROCESS chunks USING counter TIMEOUT 1 sec PRODUCING 20 ROWS WITH SCHEMA (count:NUMBER=0) INTO people;
+        SELECT COUNT(*) FROM people GROUP BY chunk BIN 0.001 CONSUMING 0.5;";
+    let parsed = parse_query(q).expect("the query is syntactically valid");
+    let mut ctx = SensitivityContext::new();
+    ctx.register("people", TableProfile { max_rows_per_chunk: 10, chunk_secs: 5.0, rho_secs: 30.0, k: 2, num_chunks: 1000 });
+    let stmt = &parsed.selects[0];
+    let bins = (1e14f64 / 0.001).ceil() as usize;
+    match ctx.statement_sensitivities(stmt, bins) {
+        Err(QueryError::Unsupported(msg)) => assert!(msg.contains("releases"), "got: {msg}"),
+        other => panic!("expected a planned-release cap refusal, got {other:?}"),
+    }
+}
+
+#[test]
+fn the_seed_query_still_parses_and_plans() {
+    assert!(parse_then_plan(SEED_QUERY), "hardening must not reject the valid seed query");
+}

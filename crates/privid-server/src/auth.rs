@@ -1,0 +1,78 @@
+//! Token authentication for the front-end.
+//!
+//! Tokens are opaque bearer strings configured at server start; each maps to
+//! an identity — a tenant name (the unit of ε-quota accounting) and a role.
+//! The registry is immutable once the server is running, so lookups are
+//! lock-free shared reads.
+//!
+//! Auth failures are **admission-time** rejections: they debit nothing — not
+//! a tenant quota, not a camera ledger. The per-camera ledgers alone carry
+//! the DP guarantee; auth governs who may spend against it at all.
+
+use std::collections::HashMap;
+
+/// What a token is allowed to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// The video owner's plane: may register cameras and append footage, and
+    /// everything an analyst may do.
+    Owner,
+    /// An analyst: may submit queries, manage standing queries, poll
+    /// firings and read budgets — never mutate footage.
+    Analyst,
+}
+
+/// Who a token authenticates as.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Identity {
+    /// The tenant whose ε quota this connection spends against.
+    pub tenant: String,
+    /// The connection's role.
+    pub role: Role,
+}
+
+/// One configured credential.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The opaque bearer string the client presents in `Hello`.
+    pub token: String,
+    /// The tenant it authenticates.
+    pub tenant: String,
+    /// The role it grants.
+    pub role: Role,
+}
+
+impl Token {
+    /// An owner-plane credential.
+    pub fn owner(token: impl Into<String>, tenant: impl Into<String>) -> Self {
+        Token { token: token.into(), tenant: tenant.into(), role: Role::Owner }
+    }
+
+    /// An analyst credential.
+    pub fn analyst(token: impl Into<String>, tenant: impl Into<String>) -> Self {
+        Token { token: token.into(), tenant: tenant.into(), role: Role::Analyst }
+    }
+}
+
+/// The immutable token → identity map.
+#[derive(Debug, Default)]
+pub struct AuthRegistry {
+    tokens: HashMap<String, Identity>,
+}
+
+impl AuthRegistry {
+    /// Build the registry from the configured credentials. Later entries
+    /// with the same token string win.
+    pub fn new(tokens: impl IntoIterator<Item = Token>) -> Self {
+        let tokens = tokens
+            .into_iter()
+            .map(|t| (t.token, Identity { tenant: t.tenant, role: t.role }))
+            .collect();
+        AuthRegistry { tokens }
+    }
+
+    /// Resolve a presented token.
+    pub fn lookup(&self, token: &str) -> Option<&Identity> {
+        self.tokens.get(token)
+    }
+}

@@ -1,0 +1,31 @@
+//! Privid's network front-end: a threaded TCP server (and matching blocking
+//! client) over [`privid_core::QueryService`], speaking the `privid-wire`
+//! binary protocol.
+//!
+//! The server is the **multi-tenant admission layer**:
+//! * connections authenticate with bearer tokens ([`auth`]) mapping to a
+//!   tenant and a role (owner plane vs analyst plane);
+//! * queries run as the authenticated tenant, so per-tenant ε quotas gate
+//!   them at admission — an over-quota request is refused *before*
+//!   execution and debits nothing, neither quota nor camera ledger;
+//! * per-connection write queues are bounded: a slow reader blocks its own
+//!   handler (TCP backpressure), never the server's memory.
+//!
+//! The transport is deliberately boring — blocking sockets, a thread per
+//! connection, cooperative shutdown on a flag — because the codec
+//! (`privid-wire`) is sans-IO: swapping this module for an async runtime
+//! changes nothing about the bytes.
+//!
+//! The differential tests in this crate hold the load-bearing property: a
+//! query submitted over TCP releases **bit-for-bit** the same noised values,
+//! and leaves **bit-for-bit** the same ledger state, as the same query
+//! executed in-process.
+
+pub mod auth;
+pub mod client;
+pub mod net;
+pub mod server;
+
+pub use auth::{AuthRegistry, Identity, Role, Token};
+pub use client::{ClientError, PrividClient};
+pub use server::{Server, ServerConfig};

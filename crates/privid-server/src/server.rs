@@ -1,0 +1,470 @@
+//! The threaded TCP front-end over a [`QueryService`].
+//!
+//! One accept thread, one handler thread plus one writer thread per
+//! connection. Responses travel handler → writer through a **bounded**
+//! queue: when a slow client stops draining its socket, the queue fills and
+//! the handler blocks *before* reading the next request — backpressure
+//! reaches the peer as TCP flow control instead of unbounded server memory.
+//!
+//! Multi-tenant admission control happens here, before any execution:
+//! * `Hello` must authenticate the connection (token → tenant + role);
+//! * owner-plane operations (camera registration, appends) require the
+//!   owner role;
+//! * `SubmitQuery` runs as the authenticated tenant, so the service's
+//!   per-tenant ε quota gates it at admission — a rejected query debits
+//!   nothing, anywhere.
+//!
+//! Shutdown is cooperative: a flag plus short socket timeouts. No thread
+//! blocks longer than [`TICK`] without re-checking the flag, and
+//! [`Server::shutdown`] joins every thread before returning.
+
+use crate::auth::{AuthRegistry, Identity, Role, Token};
+use crate::net::{read_frame, write_frame, FrameError, ReadFrame};
+use privid_core::{PrivacyPolicy, PrividError, QueryService};
+use privid_video::trajectory::Trajectory;
+use privid_video::{
+    Attributes, FrameBatch, FrameRate, FrameSize, ObjectClass, ObjectId, Point, PresenceSegment,
+    SceneConfig, SceneGenerator, TimeSpan, TrackedObject,
+};
+use privid_wire::{code, RemoteError, Request, Response, SceneKind, WalkerSpec, WirePoll};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// How long any blocking wait may last before the shutdown flag is
+/// re-checked (socket read timeout, accept poll, long-poll tick).
+const TICK: Duration = Duration::from_millis(25);
+
+/// Hard cap on a registered synthetic scene's duration (one week). Scene
+/// generation is O(duration); an unbounded request would let one owner call
+/// pin a core for minutes.
+const MAX_SCENE_SECS: f64 = 7.0 * 24.0 * 3600.0;
+
+/// Server configuration: credentials and queue sizing.
+#[derive(Debug)]
+pub struct ServerConfig {
+    /// The accepted credentials.
+    pub tokens: Vec<Token>,
+    /// Bounded frames per connection write queue. When full, the handler
+    /// blocks (backpressure) instead of buffering without limit.
+    pub write_queue_frames: usize,
+}
+
+impl ServerConfig {
+    /// A config with the given credentials and the default 64-frame write
+    /// queue.
+    pub fn new(tokens: Vec<Token>) -> Self {
+        ServerConfig { tokens, write_queue_frames: 64 }
+    }
+}
+
+/// A running front-end. Dropping without [`Server::shutdown`] leaks the
+/// threads until process exit; tests should always shut down.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Bind `127.0.0.1:0` (an ephemeral port) and start serving `service`.
+    pub fn start(service: Arc<QueryService>, config: ServerConfig) -> io::Result<Server> {
+        Server::bind("127.0.0.1:0", service, config)
+    }
+
+    /// Bind an explicit address and start serving.
+    pub fn bind(addr: &str, service: Arc<QueryService>, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let auth = Arc::new(AuthRegistry::new(config.tokens));
+        let queue = config.write_queue_frames.max(1);
+
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let conns = Arc::clone(&conns);
+            thread::spawn(move || {
+                while !shutdown.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let service = Arc::clone(&service);
+                            let auth = Arc::clone(&auth);
+                            let flag = Arc::clone(&shutdown);
+                            let handle = thread::spawn(move || {
+                                // A connection failing is that connection's
+                                // problem; the server keeps serving.
+                                let _ = serve_connection(stream, service, auth, flag, queue);
+                            });
+                            let mut conns = conns.lock().expect("connection registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+                            conns.push(handle);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(TICK),
+                        Err(_) => thread::sleep(TICK),
+                    }
+                }
+            })
+        };
+
+        Ok(Server { addr, shutdown, accept: Some(accept), conns })
+    }
+
+    /// The bound address (use with an ephemeral-port bind).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, wake every connection, and join all threads. In-flight
+    /// requests finish; idle connections close at their next tick.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let handles = {
+            let mut conns = self.conns.lock().expect("connection registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+            std::mem::take(&mut *conns)
+        };
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Why the handler is done with a connection.
+enum Done {
+    /// Peer went away or asked everything it wanted.
+    Closed,
+    /// Shutdown flag.
+    Shutdown,
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    service: Arc<QueryService>,
+    auth: Arc<AuthRegistry>,
+    shutdown: Arc<AtomicBool>,
+    queue_frames: usize,
+) -> Result<Done, FrameError> {
+    stream.set_read_timeout(Some(TICK))?;
+    stream.set_nodelay(true)?;
+    let write_half = stream.try_clone()?;
+    let (tx, rx) = sync_channel::<Vec<u8>>(queue_frames);
+    let writer = spawn_writer(write_half, rx);
+
+    let result = connection_loop(&mut stream, &service, &auth, &shutdown, &tx);
+
+    // Close the queue, let the writer drain what was accepted, then join.
+    drop(tx);
+    let _ = writer.join();
+    result
+}
+
+fn spawn_writer(mut stream: TcpStream, rx: Receiver<Vec<u8>>) -> JoinHandle<()> {
+    thread::spawn(move || {
+        while let Ok(frame) = rx.recv() {
+            if write_frame(&mut stream, &frame).is_err() {
+                // Peer gone: drain the queue so the handler never blocks on
+                // a channel nobody reads, then quit.
+                while rx.recv().is_ok() {}
+                return;
+            }
+        }
+    })
+}
+
+/// Encode and enqueue one response. Blocks when the bounded queue is full —
+/// that *is* the backpressure. Returns `false` when the writer is gone.
+fn enqueue(tx: &SyncSender<Vec<u8>>, shutdown: &AtomicBool, resp: &Response) -> bool {
+    let mut frame = Vec::new();
+    if resp.encode(&mut frame).is_err() {
+        // A response too large for the wire (e.g. a poll with a pathological
+        // firing backlog) must not kill the protocol stream silently; send a
+        // typed error instead.
+        let fallback = Response::Error(RemoteError {
+            code: code::BAD_REQUEST,
+            retryable: true,
+            message: "response exceeded the frame size cap; narrow the request".into(),
+        });
+        frame.clear();
+        if fallback.encode(&mut frame).is_err() {
+            return false;
+        }
+    }
+    // Bounded send with shutdown checks: try, and on a full queue wait a
+    // tick and re-check the flag rather than parking forever.
+    loop {
+        match tx.try_send(frame) {
+            Ok(()) => return true,
+            Err(TrySendError::Full(f)) => {
+                if shutdown.load(Ordering::Relaxed) {
+                    return false;
+                }
+                thread::sleep(TICK);
+                frame = f;
+            }
+            Err(TrySendError::Disconnected(_)) => return false,
+        }
+    }
+}
+
+fn connection_loop(
+    stream: &mut TcpStream,
+    service: &QueryService,
+    auth: &AuthRegistry,
+    shutdown: &AtomicBool,
+    tx: &SyncSender<Vec<u8>>,
+) -> Result<Done, FrameError> {
+    let mut identity: Option<Identity> = None;
+    loop {
+        let (op, payload) = match read_frame(stream, shutdown) {
+            Ok(ReadFrame::Frame(op, payload)) => (op, payload),
+            Ok(ReadFrame::Eof) => return Ok(Done::Closed),
+            Ok(ReadFrame::Shutdown) => {
+                let _ = enqueue(tx, shutdown, &Response::Error(RemoteError {
+                    code: code::SHUTTING_DOWN,
+                    retryable: true,
+                    message: "server shutting down".into(),
+                }));
+                return Ok(Done::Shutdown);
+            }
+            // Framing broke (bad magic/version/length): the stream is no
+            // longer self-synchronizing. Nothing sane to reply onto it.
+            Err(e) => return Err(e),
+        };
+
+        let request = match Request::decode(op, &payload) {
+            Ok(request) => request,
+            Err(e) => {
+                // The frame layer was intact (we consumed exactly the
+                // advertised payload), so the stream is still synchronized:
+                // reply with the typed failure and keep serving.
+                let ok = enqueue(tx, shutdown, &Response::Error(RemoteError {
+                    code: code::BAD_REQUEST,
+                    retryable: false,
+                    message: e.to_string(),
+                }));
+                if !ok {
+                    return Ok(Done::Closed);
+                }
+                continue;
+            }
+        };
+
+        let (response, close) = handle_request(service, auth, shutdown, &mut identity, &request);
+        if !enqueue(tx, shutdown, &response) || close {
+            return Ok(Done::Closed);
+        }
+    }
+}
+
+fn remote(code: u16, retryable: bool, message: impl Into<String>) -> Response {
+    Response::Error(RemoteError { code, retryable, message: message.into() })
+}
+
+fn privid_err(e: &PrividError) -> Response {
+    Response::Error(RemoteError::from_privid(e))
+}
+
+/// Dispatch one decoded request. Returns the response and whether the
+/// connection must close afterwards (auth failures close; everything else
+/// keeps the connection).
+fn handle_request(
+    service: &QueryService,
+    auth: &AuthRegistry,
+    shutdown: &AtomicBool,
+    identity: &mut Option<Identity>,
+    request: &Request<'_>,
+) -> (Response, bool) {
+    // Hello is the only pre-auth request.
+    if let Request::Hello { token } = request {
+        return match auth.lookup(token) {
+            Some(id) => {
+                *identity = Some(id.clone());
+                (Response::HelloOk { tenant: id.tenant.clone() }, false)
+            }
+            None => (remote(code::AUTH_FAILED, false, "unrecognised token"), true),
+        };
+    }
+    let Some(id) = identity.as_ref() else {
+        return (remote(code::AUTH_REQUIRED, false, "authenticate with Hello first"), false);
+    };
+
+    let owner_only = matches!(
+        request,
+        Request::RegisterCamera { .. } | Request::RegisterLiveCamera { .. } | Request::AppendFrames { .. }
+    );
+    if owner_only && id.role != Role::Owner {
+        return (remote(code::FORBIDDEN, false, "owner-plane operation requires an owner token"), false);
+    }
+
+    let response = match request {
+        // Already dispatched pre-auth; kept total so a refactor that moves
+        // the early return can never turn this arm into a panic.
+        Request::Hello { .. } => remote(code::BAD_REQUEST, false, "Hello already handled"),
+        Request::RegisterCamera { name, kind, duration_secs, seed, rho_secs, k, epsilon } => {
+            register_camera(service, name, *kind, *duration_secs, *seed, *rho_secs, *k, *epsilon)
+        }
+        Request::RegisterLiveCamera { name, fps, width, height, rho_secs, k, epsilon } => {
+            match validate_policy(*rho_secs, *k, *epsilon).and_then(|policy| {
+                if !(fps.is_finite() && *fps > 0.0) {
+                    return Err(PrividError::Invalid(format!("frame rate must be positive, got {fps}")));
+                }
+                service.register_live_camera(*name, FrameRate::new(*fps), FrameSize::new(*width, *height), policy)
+            }) {
+                Ok(()) => Response::Done,
+                Err(e) => privid_err(&e),
+            }
+        }
+        Request::AppendFrames { camera, duration_secs, walkers } => {
+            match build_batch(*duration_secs, walkers).and_then(|batch| service.append_frames(camera, batch)) {
+                Ok(outcome) => Response::AppendOk {
+                    live_edge_secs: outcome.live_edge_secs,
+                    standing_fired: outcome.standing_fired as u64,
+                },
+                Err(e) => privid_err(&e),
+            }
+        }
+        Request::SubmitQuery { seed, text } => {
+            // The tenant quota gates this at admission: over-quota requests
+            // are refused before execution and debit nothing.
+            match service.execute_text_as(&id.tenant, *seed, text) {
+                Ok(result) => Response::QueryOk(result),
+                Err(e) => privid_err(&e),
+            }
+        }
+        Request::RegisterStanding { name, base_seed, text } => {
+            match service.register_standing_query(*name, *base_seed, text) {
+                Ok(fired) => Response::StandingOk { fired: fired as u64 },
+                Err(e) => privid_err(&e),
+            }
+        }
+        Request::PollStanding { name, cursor } => match service.standing_results_since(name, *cursor) {
+            Some(poll) => Response::PollOk(WirePoll::from_core(&poll)),
+            None => remote(code::UNKNOWN_STANDING_QUERY, false, format!("no standing query named {name}")),
+        },
+        Request::StreamFirings { name, cursor, max_wait_ms } => {
+            stream_firings(service, shutdown, name, *cursor, *max_wait_ms)
+        }
+        Request::RemainingBudget { camera, at_secs } => {
+            Response::BudgetOk { remaining: service.remaining_budget(camera, *at_secs) }
+        }
+        Request::Ping { nonce } => Response::Pong { nonce: *nonce },
+    };
+    (response, false)
+}
+
+/// Long-poll: return as soon as a firing past `cursor` exists, else when
+/// `max_wait_ms` elapses (with whatever the final poll shows), else when the
+/// server shuts down.
+fn stream_firings(
+    service: &QueryService,
+    shutdown: &AtomicBool,
+    name: &str,
+    cursor: u64,
+    max_wait_ms: u32,
+) -> Response {
+    let deadline = Instant::now() + Duration::from_millis(u64::from(max_wait_ms));
+    loop {
+        let Some(poll) = service.standing_results_since(name, cursor) else {
+            return remote(code::UNKNOWN_STANDING_QUERY, false, format!("no standing query named {name}"));
+        };
+        if !poll.firings.is_empty() || Instant::now() >= deadline {
+            return Response::PollOk(WirePoll::from_core(&poll));
+        }
+        if shutdown.load(Ordering::Relaxed) {
+            return remote(code::SHUTTING_DOWN, true, "server shutting down");
+        }
+        thread::sleep(TICK.min(deadline.saturating_duration_since(Instant::now())));
+    }
+}
+
+fn validate_policy(rho_secs: f64, k: u32, epsilon: f64) -> Result<PrivacyPolicy, PrividError> {
+    if !(rho_secs.is_finite() && rho_secs > 0.0) {
+        return Err(PrividError::Invalid(format!("policy rho must be positive and finite, got {rho_secs}")));
+    }
+    if k == 0 {
+        return Err(PrividError::Invalid("policy K must be at least 1".into()));
+    }
+    if !(epsilon.is_finite() && epsilon >= 0.0) {
+        return Err(PrividError::Invalid(format!("policy epsilon must be non-negative and finite, got {epsilon}")));
+    }
+    Ok(PrivacyPolicy::new(rho_secs, k, epsilon))
+}
+
+/// Expand a wire registration into a deterministic synthetic scene. The
+/// same `(kind, duration, seed)` triple generates bit-identical footage
+/// here and in any in-process harness — that determinism is what the
+/// differential tests lean on.
+#[allow(clippy::too_many_arguments)]
+fn register_camera(
+    service: &QueryService,
+    name: &str,
+    kind: SceneKind,
+    duration_secs: f64,
+    seed: u64,
+    rho_secs: f64,
+    k: u32,
+    epsilon: f64,
+) -> Response {
+    let policy = match validate_policy(rho_secs, k, epsilon) {
+        Ok(policy) => policy,
+        Err(e) => return privid_err(&e),
+    };
+    if !(duration_secs.is_finite() && duration_secs > 0.0 && duration_secs <= MAX_SCENE_SECS) {
+        return privid_err(&PrividError::Invalid(format!(
+            "scene duration must be in (0, {MAX_SCENE_SECS}] seconds, got {duration_secs}"
+        )));
+    }
+    let config = match kind {
+        SceneKind::Campus => SceneConfig::campus(),
+        SceneKind::Highway => SceneConfig::highway(),
+        SceneKind::Urban => SceneConfig::urban(),
+    }
+    .with_duration_hours(duration_secs / 3600.0)
+    .with_seed(seed);
+    let scene = SceneGenerator::new(config).generate();
+    match service.register_camera(name, scene, policy) {
+        Ok(()) => Response::Done,
+        Err(e) => privid_err(&e),
+    }
+}
+
+/// Expand wire walker specs into the tracked objects of a frame batch.
+/// Validation happens *here*, before any constructor that asserts: hostile
+/// spans are typed errors, not server panics.
+fn build_batch(duration_secs: f64, walkers: &[WalkerSpec]) -> Result<FrameBatch, PrividError> {
+    if !(duration_secs.is_finite() && duration_secs > 0.0) {
+        return Err(PrividError::Invalid(format!("batch duration must be positive and finite, got {duration_secs}")));
+    }
+    let mut objects = Vec::with_capacity(walkers.len());
+    for w in walkers {
+        if !(w.start_secs.is_finite() && w.end_secs.is_finite() && 0.0 <= w.start_secs && w.start_secs < w.end_secs)
+        {
+            return Err(PrividError::Invalid(format!(
+                "walker {} span [{}, {}) must be finite, non-negative and non-empty",
+                w.id, w.start_secs, w.end_secs
+            )));
+        }
+        let class = match w.class {
+            privid_wire::WalkerClass::Person => ObjectClass::Person,
+            privid_wire::WalkerClass::Car => ObjectClass::Car,
+        };
+        objects.push(TrackedObject::new(
+            ObjectId(w.id),
+            class,
+            Attributes::default(),
+            vec![PresenceSegment {
+                span: TimeSpan::between_secs(w.start_secs, w.end_secs),
+                trajectory: Trajectory::linear(Point::new(0.0, 50.0), Point::new(100.0, 50.0), 5.0, 10.0),
+            }],
+        ));
+    }
+    Ok(FrameBatch::new(duration_secs, objects))
+}

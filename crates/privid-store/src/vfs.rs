@@ -175,8 +175,10 @@ pub enum FaultKind {
 pub enum FaultOp {
     /// `VfsFile::write_all`.
     Write,
-    /// `VfsFile::sync_data` / `sync_all` (file fsyncs; `sync_dir` is exempt —
-    /// callers already treat directory fsync as best-effort).
+    /// `VfsFile::sync_data` / `sync_all` (file fsyncs only; directory fsyncs
+    /// are the separate [`FaultOp::DirSync`] class so that adding a
+    /// directory-sync fault never shifts the positions of a script written
+    /// against file-fsync counts).
     Fsync,
     /// `Vfs::rename`.
     Rename,
@@ -186,6 +188,10 @@ pub enum FaultOp {
     Truncate,
     /// `Vfs::open_rw` / `Vfs::create`.
     Open,
+    /// `Vfs::sync_dir` — the durability point of a rename (e.g. a snapshot
+    /// superseding the log). Scripted-only: [`FaultProfile`] has no
+    /// probability for it.
+    DirSync,
 }
 
 /// Per-operation fault probabilities for a seeded random plan. All default
@@ -223,6 +229,7 @@ struct OpCounters {
     read: u64,
     truncate: u64,
     open: u64,
+    dir_sync: u64,
 }
 
 impl OpCounters {
@@ -234,6 +241,7 @@ impl OpCounters {
             FaultOp::Read => &mut self.read,
             FaultOp::Truncate => &mut self.truncate,
             FaultOp::Open => &mut self.open,
+            FaultOp::DirSync => &mut self.dir_sync,
         };
         *slot += 1;
         *slot
@@ -545,9 +553,10 @@ impl Vfs for FaultVfs {
     }
 
     fn sync_dir(&self, path: &Path) -> io::Result<()> {
-        // Callers treat directory fsync as best-effort already; faulting it
-        // would only exercise their `let _ =`.
-        self.inner.sync_dir(path)
+        match self.decide(FaultOp::DirSync) {
+            None => self.inner.sync_dir(path),
+            Some(kind) => Err(fault_error(kind, "sync_dir")),
+        }
     }
 }
 

@@ -252,6 +252,18 @@ pub enum RecoveryWarning {
         /// The store error that refused the credit.
         error: String,
     },
+    /// The directory fsync after renaming a fresh snapshot into place
+    /// failed: the snapshot bytes are durable but the *rename* may not be —
+    /// a crash could resurrect the previous snapshot with no trace. The
+    /// idempotent-seq rule keeps that correct (the surviving log replays
+    /// against the old snapshot), but the operator loses the space the
+    /// checkpoint was supposed to reclaim and should check the disk.
+    SnapshotDirSyncFailed {
+        /// The store directory whose fsync failed.
+        dir: String,
+        /// The underlying I/O error.
+        error: String,
+    },
 }
 
 /// What recovery did, for operators and tests.
@@ -442,6 +454,10 @@ struct Inner {
     /// quiescent flush retries the checkpoint; operators can inspect it via
     /// [`WalStore::last_checkpoint_error`].
     last_checkpoint_error: Option<StoreError>,
+    /// Typed warnings about partial durability (e.g. a snapshot rename whose
+    /// directory fsync failed), accumulated until the serving layer drains
+    /// them via [`WalStore::drain_warnings`] into a recovery report.
+    warnings: Vec<RecoveryWarning>,
     /// Records staged for the next commit batch, in ticket (= seq) order.
     staged: Vec<Staged>,
     /// The staged records' encoded frames, concatenated in seq order — the
@@ -538,6 +554,7 @@ impl WalStore {
                 log_len: rec.log_len,
                 wedged: None,
                 last_checkpoint_error: None,
+                warnings: Vec::new(),
                 staged: Vec::new(),
                 buf: Vec::new(),
                 next_ticket: 1,
@@ -842,6 +859,14 @@ impl WalStore {
         self.lock_inner().last_checkpoint_error.clone()
     }
 
+    /// Drain the store's accumulated durability warnings (e.g.
+    /// [`RecoveryWarning::SnapshotDirSyncFailed`]). The serving layer folds
+    /// them into the report a supervised recovery returns; draining resets
+    /// the buffer.
+    pub fn drain_warnings(&self) -> Vec<RecoveryWarning> {
+        std::mem::take(&mut self.lock_inner().warnings)
+    }
+
     /// A copy of the shadow state (what recovery would rebuild right now,
     /// plus any records staged for the in-flight batch).
     pub fn state(&self) -> StoreState {
@@ -884,10 +909,19 @@ impl WalStore {
             let _ = self.vfs.remove_file(&tmp);
             return Err(io_err("renaming snapshot.tmp into place")(e));
         }
-        // Make the rename itself durable (best-effort: directory fsync is
-        // platform-dependent). A crash before it replays the old log against
-        // the old snapshot — the idempotent-seq rule makes that equivalent.
-        let _ = self.vfs.sync_dir(&self.dir);
+        // Make the rename itself durable. A failure here is *survivable* —
+        // a crash before the rename reaches disk replays the old log against
+        // the old snapshot, and the idempotent-seq rule makes that
+        // equivalent — but it must not be *silent*: the checkpoint proceeds
+        // (the snapshot is in place and the common case is that the rename
+        // is durable anyway), and a typed warning records that the rename's
+        // durability is unproven until the next successful directory fsync.
+        if let Err(e) = self.vfs.sync_dir(&self.dir) {
+            inner.warnings.push(RecoveryWarning::SnapshotDirSyncFailed {
+                dir: self.dir.display().to_string(),
+                error: e.to_string(),
+            });
+        }
         let reset = match inner.file.as_mut() {
             Some(f) => f
                 .set_len(0)

@@ -13,8 +13,8 @@
 //! * corrupted snapshot → `StoreError::SnapshotCorrupt`, recovery refuses
 
 use privid_store::{
-    DebitRange, FaultKind, FaultOp, FaultVfs, FsyncPolicy, Record, RecoveryEvent, StoreError, StoreState, Vfs,
-    WalOptions, WalStore,
+    DebitRange, FaultKind, FaultOp, FaultVfs, FsyncPolicy, Record, RecoveryEvent, RecoveryWarning, StoreError,
+    StoreState, Vfs, WalOptions, WalStore,
 };
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -424,6 +424,48 @@ fn failed_snapshot_stages_preserve_the_previous_snapshot_and_log() {
     let (_s3, rec2) =
         WalStore::open_with(&dir, FsyncPolicy::Always, WalOptions { snapshot_every: u64::MAX }).unwrap();
     assert_eq!(rec2.state, live);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dir_sync_failure_after_snapshot_rename_warns_instead_of_being_swallowed() {
+    let dir = temp_dir("dirsync");
+    let (fault, store) = faulty_store(&dir);
+    store.append(live_cam("c", 1.0)).unwrap();
+    store.append(Record::Extend { camera: "c".into(), live_edge_secs: 30.0 }).unwrap();
+
+    // The rename of snapshot.tmp → snapshot.bin lands, but the directory
+    // fsync that would make the rename durable fails. The checkpoint is
+    // still usable (idempotent-seq replay keeps a resurrected old snapshot
+    // correct), so it succeeds — but it must leave a typed trace, not a
+    // silently swallowed error.
+    fault.fail_nth(FaultOp::DirSync, 1, FaultKind::FsyncFailure);
+    store.checkpoint().unwrap();
+    assert_eq!(fault.injected(), 1, "the dir-sync fault fired");
+    assert!(store.is_wedged().is_none(), "a dir-sync failure is survivable, not a wedge");
+    assert!(store.last_checkpoint_error().is_none(), "the checkpoint itself completed");
+
+    let warnings = store.drain_warnings();
+    assert_eq!(warnings.len(), 1);
+    match &warnings[0] {
+        RecoveryWarning::SnapshotDirSyncFailed { dir: d, error } => {
+            assert!(d.contains("dirsync"), "warning names the store dir, got {d}");
+            assert!(!error.is_empty());
+        }
+        other => panic!("expected SnapshotDirSyncFailed, got {other:?}"),
+    }
+    assert!(store.drain_warnings().is_empty(), "draining resets the buffer");
+
+    // Healed, the next checkpoint fsyncs the directory and accrues nothing.
+    store.append(Record::Extend { camera: "c".into(), live_edge_secs: 60.0 }).unwrap();
+    store.checkpoint().unwrap();
+    assert!(store.drain_warnings().is_empty());
+
+    // The snapshot the un-fsynced rename installed is intact and recovery
+    // reads it back byte-for-byte equal to the live shadow.
+    let (_s2, rec) =
+        WalStore::open_with(&dir, FsyncPolicy::Always, WalOptions { snapshot_every: u64::MAX }).unwrap();
+    assert_eq!(rec.state, store.state());
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -1,0 +1,286 @@
+//! Zero-copy primitive codec: a borrowing `Reader` and an appending `Writer`.
+//!
+//! All integers are little-endian. Floats travel as the raw bits of their
+//! IEEE-754 representation (`to_bits`/`from_bits`) — the noised releases a
+//! query returns must be **bit-for-bit** identical over the wire and
+//! in-process, and decimal round-trips are not closed under re-parsing.
+//! Strings and byte blobs are `u32` length-prefixed; `Reader::str` returns a
+//! `&str` *borrowed from the input buffer* — the server parses a submitted
+//! query straight out of its receive buffer without copying it first.
+//!
+//! The reader never allocates from attacker-controlled lengths: a hostile
+//! prefix either fits the bytes that actually arrived or fails with a typed
+//! [`WireError::Truncated`] before anything is sized from it.
+
+use crate::error::WireError;
+
+/// A cursor over a borrowed byte buffer. Every accessor either returns the
+/// decoded value or a typed error; none panic and none copy variable-length
+/// data.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Start reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    /// Assert the payload was consumed exactly.
+    pub fn finish(self) -> Result<(), WireError> {
+        match self.remaining() {
+            0 => Ok(()),
+            remaining => Err(WireError::TrailingBytes { remaining }),
+        }
+    }
+
+    /// Take `n` raw bytes, borrowed.
+    fn take(&mut self, what: &'static str, n: usize) -> Result<&'a [u8], WireError> {
+        match self.buf.get(self.pos..self.pos.saturating_add(n)) {
+            Some(bytes) => {
+                self.pos += n;
+                Ok(bytes)
+            }
+            None => Err(WireError::Truncated { what, needed: n, have: self.remaining() }),
+        }
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        // take(1) returned a 1-byte slice; unwrap_or is the no-panic spelling.
+        Ok(self.take(what, 1)?.first().copied().unwrap_or(0))
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn u16(&mut self, what: &'static str) -> Result<u16, WireError> {
+        let b = self.take(what, 2)?;
+        let mut raw = [0u8; 2];
+        raw.copy_from_slice(b);
+        Ok(u16::from_le_bytes(raw))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+        let b = self.take(what, 4)?;
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(b);
+        Ok(u32::from_le_bytes(raw))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+        let b = self.take(what, 8)?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(b);
+        Ok(u64::from_le_bytes(raw))
+    }
+
+    /// Read a little-endian `i64`.
+    pub fn i64(&mut self, what: &'static str) -> Result<i64, WireError> {
+        Ok(self.u64(what)? as i64)
+    }
+
+    /// Read an `f64` from its IEEE-754 bits. Exact: decode(encode(x)) has
+    /// the same bit pattern as `x`, NaN payloads and signed zeros included.
+    pub fn f64(&mut self, what: &'static str) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// Read a `bool` encoded as one byte (0 or 1; anything else is a tag error).
+    pub fn bool(&mut self, what: &'static str) -> Result<bool, WireError> {
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(WireError::BadTag { what, tag }),
+        }
+    }
+
+    /// Read a `u32` length-prefixed byte blob, borrowed from the buffer.
+    pub fn bytes(&mut self, what: &'static str) -> Result<&'a [u8], WireError> {
+        let len = self.u32(what)? as usize;
+        self.take(what, len)
+    }
+
+    /// Read a `u32` length-prefixed UTF-8 string, borrowed from the buffer.
+    pub fn str(&mut self, what: &'static str) -> Result<&'a str, WireError> {
+        std::str::from_utf8(self.bytes(what)?).map_err(|_| WireError::BadUtf8 { what })
+    }
+
+    /// Read a collection count, capped. The cap bounds what one frame may
+    /// ask the receiver to allocate — independent of the frame-size cap,
+    /// because elements can be zero bytes long on the wire.
+    pub fn count(&mut self, what: &'static str, max: u32) -> Result<usize, WireError> {
+        let count = self.u32(what)?;
+        if count > max {
+            return Err(WireError::CountTooLarge { what, count, max });
+        }
+        Ok(count as usize)
+    }
+}
+
+/// An appending encoder over a `Vec<u8>`. Infallible except for
+/// variable-length fields whose size cannot be represented in the `u32`
+/// prefix.
+#[derive(Debug)]
+pub struct Writer<'a> {
+    out: &'a mut Vec<u8>,
+}
+
+impl<'a> Writer<'a> {
+    /// Append to `out`.
+    pub fn new(out: &'a mut Vec<u8>) -> Self {
+        Writer { out }
+    }
+
+    /// Write one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.out.push(v);
+    }
+
+    /// Write a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a little-endian `i64`.
+    pub fn i64(&mut self, v: i64) {
+        self.u64(v as u64);
+    }
+
+    /// Write an `f64` as its IEEE-754 bits.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Write a `bool` as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Write a `u32` length-prefixed byte blob.
+    pub fn bytes(&mut self, what: &'static str, v: &[u8]) -> Result<(), WireError> {
+        let len = u32::try_from(v.len()).map_err(|_| WireError::ValueTooLarge { what })?;
+        self.u32(len);
+        self.out.extend_from_slice(v);
+        Ok(())
+    }
+
+    /// Write a `u32` length-prefixed UTF-8 string.
+    pub fn str(&mut self, what: &'static str, v: &str) -> Result<(), WireError> {
+        self.bytes(what, v.as_bytes())
+    }
+
+    /// Write a collection count.
+    pub fn count(&mut self, what: &'static str, n: usize) -> Result<(), WireError> {
+        let count = u32::try_from(n).map_err(|_| WireError::ValueTooLarge { what })?;
+        self.u32(count);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_exactly() {
+        let mut buf = Vec::new();
+        let mut w = Writer::new(&mut buf);
+        w.u8(7);
+        w.u16(65535);
+        w.u32(123_456_789);
+        w.u64(u64::MAX);
+        w.i64(-42);
+        w.f64(-0.0);
+        w.f64(f64::NAN);
+        w.f64(0.1 + 0.2);
+        w.bool(true);
+        w.str("s", "héllo").unwrap();
+        w.bytes("b", &[1, 2, 3]).unwrap();
+
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8("a").unwrap(), 7);
+        assert_eq!(r.u16("b").unwrap(), 65535);
+        assert_eq!(r.u32("c").unwrap(), 123_456_789);
+        assert_eq!(r.u64("d").unwrap(), u64::MAX);
+        assert_eq!(r.i64("e").unwrap(), -42);
+        let z = r.f64("f").unwrap();
+        assert_eq!(z.to_bits(), (-0.0f64).to_bits(), "signed zero survives");
+        assert_eq!(r.f64("g").unwrap().to_bits(), f64::NAN.to_bits(), "NaN payload survives");
+        assert_eq!(r.f64("h").unwrap(), 0.1 + 0.2, "bit-exact, not decimal-rounded");
+        assert!(r.bool("i").unwrap());
+        assert_eq!(r.str("j").unwrap(), "héllo");
+        assert_eq!(r.bytes("k").unwrap(), &[1, 2, 3]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_truncation_not_allocation() {
+        // A 4 GiB string length with 3 bytes behind it: typed error, and the
+        // reader never allocated anything to find out.
+        let mut buf = Vec::new();
+        Writer::new(&mut buf).u32(u32::MAX);
+        buf.extend_from_slice(b"abc");
+        let mut r = Reader::new(&buf);
+        match r.str("query text") {
+            Err(WireError::Truncated { what: "query text", needed, have: 3 }) => {
+                assert_eq!(needed, u32::MAX as usize)
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_truncation_point_is_typed() {
+        let mut buf = Vec::new();
+        let mut w = Writer::new(&mut buf);
+        w.u64(7);
+        w.str("s", "hello").unwrap();
+        for cut in 0..buf.len() {
+            let mut r = Reader::new(&buf[..cut]);
+            let outcome = r.u64("x").and_then(|_| r.str("s").map(|_| ()));
+            assert!(matches!(outcome, Err(WireError::Truncated { .. })), "cut at {cut} must be typed");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut buf = Vec::new();
+        Writer::new(&mut buf).u8(1);
+        buf.push(0xEE);
+        let mut r = Reader::new(&buf);
+        r.u8("v").unwrap();
+        assert_eq!(r.finish(), Err(WireError::TrailingBytes { remaining: 1 }));
+    }
+
+    #[test]
+    fn bad_bool_and_capped_counts_are_typed() {
+        let mut r = Reader::new(&[2]);
+        assert_eq!(r.bool("flag"), Err(WireError::BadTag { what: "flag", tag: 2 }));
+        let mut buf = Vec::new();
+        Writer::new(&mut buf).u32(1_000_001);
+        let mut r = Reader::new(&buf);
+        assert_eq!(
+            r.count("walkers", 1_000_000),
+            Err(WireError::CountTooLarge { what: "walkers", count: 1_000_001, max: 1_000_000 })
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Typed decode failures.
+//!
+//! Every way a peer can hand us malformed bytes has its own variant: the
+//! server maps these onto a single `BadRequest` wire error (the peer learns
+//! *that* its frame was bad and why, in text), while tests and fuzzers match
+//! on the variant to prove each hazard is handled. Nothing in this crate
+//! panics on input bytes — a malformed frame is data, not a bug.
+
+use std::fmt;
+
+/// A decode error. Each variant names the malformed-input class that caused
+/// it; `what` fields carry the field being decoded when the error hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the field did. Covers truncated headers,
+    /// truncated payloads and length prefixes that promise more bytes than
+    /// the frame carries.
+    Truncated {
+        /// The field being decoded.
+        what: &'static str,
+        /// Bytes the field needed.
+        needed: usize,
+        /// Bytes actually remaining.
+        have: usize,
+    },
+    /// The first two bytes were not the protocol magic `b"PV"`.
+    BadMagic {
+        /// The bytes found instead.
+        found: [u8; 2],
+    },
+    /// The frame's version byte is one this build does not speak. Per the
+    /// versioning rule (PROTOCOL.md) a peer must reject, not guess.
+    UnsupportedVersion {
+        /// The version byte found.
+        found: u8,
+    },
+    /// The opcode byte names no message in this protocol version.
+    UnknownOpcode {
+        /// The opcode byte found.
+        found: u8,
+    },
+    /// The header's payload length exceeds the hard cap. Rejected before any
+    /// allocation: a hostile length prefix must not size a buffer.
+    FrameTooLarge {
+        /// The advertised payload length.
+        len: u32,
+        /// The cap it exceeded.
+        max: u32,
+    },
+    /// The payload decoded cleanly but bytes were left over. A well-formed
+    /// frame is consumed exactly; trailing garbage means a codec mismatch.
+    TrailingBytes {
+        /// Bytes left unconsumed.
+        remaining: usize,
+    },
+    /// A length-prefixed string field was not valid UTF-8.
+    BadUtf8 {
+        /// The field being decoded.
+        what: &'static str,
+    },
+    /// An enum discriminant byte matched no known variant.
+    BadTag {
+        /// The enum being decoded.
+        what: &'static str,
+        /// The tag byte found.
+        tag: u8,
+    },
+    /// A collection count exceeded its per-field cap. Caps bound what a
+    /// single frame may ask the receiver to allocate, independent of the
+    /// overall frame-size cap.
+    CountTooLarge {
+        /// The collection being decoded.
+        what: &'static str,
+        /// The advertised element count.
+        count: u32,
+        /// The cap it exceeded.
+        max: u32,
+    },
+    /// A value to encode does not fit its wire representation (e.g. a string
+    /// longer than `u32::MAX` bytes). Encode-side only.
+    ValueTooLarge {
+        /// The field being encoded.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { what, needed, have } => {
+                write!(f, "truncated frame: {what} needs {needed} bytes, {have} remain")
+            }
+            WireError::BadMagic { found: [b0, b1] } => {
+                write!(f, "bad magic: expected \"PV\", found {b0:#04x} {b1:#04x}")
+            }
+            WireError::UnsupportedVersion { found } => write!(f, "unsupported protocol version {found}"),
+            WireError::UnknownOpcode { found } => write!(f, "unknown opcode {found:#04x}"),
+            WireError::FrameTooLarge { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds the {max}-byte cap")
+            }
+            WireError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after a complete payload")
+            }
+            WireError::BadUtf8 { what } => write!(f, "{what} is not valid UTF-8"),
+            WireError::BadTag { what, tag } => write!(f, "{what} has no variant with tag {tag}"),
+            WireError::CountTooLarge { what, count, max } => {
+                write!(f, "{what} count {count} exceeds the cap of {max}")
+            }
+            WireError::ValueTooLarge { what } => write!(f, "{what} does not fit its wire representation"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

@@ -1,0 +1,113 @@
+//! The frame layer: an 8-byte header in front of every message.
+//!
+//! ```text
+//! offset  size  field
+//!      0     2  magic   b"PV"
+//!      2     1  version (currently 1)
+//!      3     1  opcode  (see `crate::msg::opcode`)
+//!      4     4  payload length, u32 little-endian
+//!      8   len  payload
+//! ```
+//!
+//! The header is fixed-size so a receiver can read exactly [`HEADER_LEN`]
+//! bytes, validate magic/version/length, and only then commit to reading the
+//! payload. The length cap is enforced *here*, before any payload
+//! allocation: a hostile length prefix is a typed error, never a buffer
+//! size.
+//!
+//! **Versioning rule** (PROTOCOL.md): the version byte bumps on any change
+//! to the header or to an existing payload's layout; new opcodes may be
+//! added within a version. A peer that sees a version it does not speak
+//! must reject the frame — guessing a layout is how budget state gets
+//! misread.
+
+use crate::error::WireError;
+
+/// Protocol magic: the first two bytes of every frame.
+pub const MAGIC: [u8; 2] = *b"PV";
+
+/// The protocol version this build speaks.
+pub const VERSION: u8 = 1;
+
+/// Size of the fixed frame header.
+pub const HEADER_LEN: usize = 8;
+
+/// Hard cap on a frame's payload size (16 MiB). Large enough for any real
+/// query result; small enough that one connection cannot stage a
+/// memory-exhaustion attack with a single length prefix.
+pub const MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
+
+/// A decoded frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Protocol version of the sender.
+    pub version: u8,
+    /// Message opcode (validated by the message layer).
+    pub opcode: u8,
+    /// Payload length in bytes, already checked against [`MAX_PAYLOAD`].
+    pub len: u32,
+}
+
+/// Encode a complete frame (header + payload) onto `out`.
+pub fn encode_frame(opcode: u8, payload: &[u8], out: &mut Vec<u8>) -> Result<(), WireError> {
+    let len = u32::try_from(payload.len()).map_err(|_| WireError::ValueTooLarge { what: "frame payload" })?;
+    if len > MAX_PAYLOAD {
+        return Err(WireError::FrameTooLarge { len, max: MAX_PAYLOAD });
+    }
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(opcode);
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(())
+}
+
+/// Decode and validate a frame header from exactly [`HEADER_LEN`] bytes.
+pub fn decode_header(raw: &[u8; HEADER_LEN]) -> Result<FrameHeader, WireError> {
+    let [m0, m1, version, opcode, l0, l1, l2, l3] = *raw;
+    let magic = [m0, m1];
+    if magic != MAGIC {
+        return Err(WireError::BadMagic { found: magic });
+    }
+    if version != VERSION {
+        return Err(WireError::UnsupportedVersion { found: version });
+    }
+    let len = u32::from_le_bytes([l0, l1, l2, l3]);
+    if len > MAX_PAYLOAD {
+        return Err(WireError::FrameTooLarge { len, max: MAX_PAYLOAD });
+    }
+    Ok(FrameHeader { version, opcode, len })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trips() {
+        let mut out = Vec::new();
+        encode_frame(0x05, b"payload", &mut out).unwrap();
+        assert_eq!(out.len(), HEADER_LEN + 7);
+        let mut raw = [0u8; HEADER_LEN];
+        raw.copy_from_slice(&out[..HEADER_LEN]);
+        let h = decode_header(&raw).unwrap();
+        assert_eq!(h, FrameHeader { version: VERSION, opcode: 0x05, len: 7 });
+        assert_eq!(&out[HEADER_LEN..], b"payload");
+    }
+
+    #[test]
+    fn bad_magic_version_and_length_are_typed() {
+        let mut raw = [0u8; HEADER_LEN];
+        raw[0] = b'X';
+        raw[1] = b'V';
+        assert_eq!(decode_header(&raw), Err(WireError::BadMagic { found: [b'X', b'V'] }));
+
+        raw[0] = b'P';
+        raw[2] = 99;
+        assert_eq!(decode_header(&raw), Err(WireError::UnsupportedVersion { found: 99 }));
+
+        raw[2] = VERSION;
+        raw[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_header(&raw), Err(WireError::FrameTooLarge { len: u32::MAX, max: MAX_PAYLOAD }));
+    }
+}

@@ -1,0 +1,34 @@
+//! Privid's binary wire protocol — the codec half of the network front-end.
+//!
+//! This crate is **sans-IO**: it converts between typed messages and byte
+//! buffers and never touches a socket. `privid-server` drives it over
+//! blocking TCP today; an async runtime can drive the exact same codec over
+//! its own transport later, because nothing here blocks, sleeps or reads.
+//!
+//! Layering:
+//! * [`codec`] — primitive zero-copy `Reader`/`Writer` (little-endian
+//!   integers, `f64` as IEEE-754 bits, `u32` length-prefixed strings
+//!   borrowed straight from the receive buffer),
+//! * [`frame`] — the 8-byte `magic/version/opcode/length` header and its
+//!   validation (length cap enforced before any allocation),
+//! * [`msg`] — typed [`Request`]/[`Response`] messages, stable error codes,
+//!   and bit-exact encodings of `privid-core`'s release types.
+//!
+//! The decisive property is *bit-for-bit release transport*: a
+//! `Response::QueryOk` decodes into the same `QueryResult` the in-process
+//! API returns, floats compared by bit pattern — the differential harness
+//! in `privid-server` holds the two paths equal. Every malformed input maps
+//! to a typed [`WireError`]; nothing in this crate panics on peer bytes.
+
+pub mod codec;
+pub mod error;
+pub mod frame;
+pub mod msg;
+
+pub use codec::{Reader, Writer};
+pub use error::WireError;
+pub use frame::{decode_header, encode_frame, FrameHeader, HEADER_LEN, MAGIC, MAX_PAYLOAD, VERSION};
+pub use msg::{
+    code, error_code, opcode, RemoteError, Request, Response, SceneKind, WalkerClass, WalkerSpec,
+    WireFiring, WirePoll,
+};

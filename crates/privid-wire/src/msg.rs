@@ -1,0 +1,788 @@
+//! The message layer: typed requests and responses over the frame codec.
+//!
+//! Requests decode **zero-copy**: every string field of [`Request`] borrows
+//! from the receive buffer, so the server parses a submitted query straight
+//! out of the bytes that arrived. Responses are owned — they wrap the
+//! `privid-core` result types directly, which is what makes the differential
+//! harness meaningful: a [`Response::QueryOk`] decodes back into the *same*
+//! [`QueryResult`] type the in-process API returns, and equality is plain
+//! `==` over bit-exact floats.
+//!
+//! Remote errors travel as a stable numeric code plus the server's rendered
+//! message (see [`code`]). Codes are append-only across protocol versions.
+
+use crate::codec::{Reader, Writer};
+use crate::error::WireError;
+use crate::frame::encode_frame;
+use privid_core::{NoisyRelease, NoisyValue, PrividError, QueryResult, StandingFiring, StandingPoll};
+use privid_query::exec::ReleaseValue;
+use std::fmt;
+
+/// Opcode bytes. Requests occupy `0x01..=0x7F`; a successful response is the
+/// request's opcode with the high bit set; `0xFF` is the error response.
+pub mod opcode {
+    /// Authenticate the connection (must be the first request).
+    pub const HELLO: u8 = 0x01;
+    /// Register a deterministic synthetic camera (owner plane).
+    pub const REGISTER_CAMERA: u8 = 0x02;
+    /// Register a live (growing) camera (owner plane).
+    pub const REGISTER_LIVE_CAMERA: u8 = 0x03;
+    /// Append a batch of footage to a live camera (owner plane).
+    pub const APPEND_FRAMES: u8 = 0x04;
+    /// Submit a one-shot query.
+    pub const SUBMIT_QUERY: u8 = 0x05;
+    /// Register (idempotently) a standing query.
+    pub const REGISTER_STANDING: u8 = 0x06;
+    /// Poll a standing query's firings past a cursor.
+    pub const POLL_STANDING: u8 = 0x07;
+    /// Long-poll a standing query: block until new firings or timeout.
+    pub const STREAM_FIRINGS: u8 = 0x08;
+    /// Read a camera's remaining per-frame budget at a timestamp.
+    pub const REMAINING_BUDGET: u8 = 0x09;
+    /// Liveness probe.
+    pub const PING: u8 = 0x0A;
+
+    /// Success-response bit.
+    pub const RESPONSE: u8 = 0x80;
+    /// The error response.
+    pub const ERROR: u8 = 0xFF;
+}
+
+/// Stable error codes carried by [`RemoteError`]. Append-only: a code never
+/// changes meaning across protocol versions.
+pub mod code {
+    /// `PrividError::UnknownCamera`.
+    pub const UNKNOWN_CAMERA: u16 = 1;
+    /// `PrividError::UnknownProcessor`.
+    pub const UNKNOWN_PROCESSOR: u16 = 2;
+    /// `PrividError::UnknownMask`.
+    pub const UNKNOWN_MASK: u16 = 3;
+    /// `PrividError::UnknownRegionScheme`.
+    pub const UNKNOWN_REGION_SCHEME: u16 = 4;
+    /// `PrividError::WindowOutsideRecording`.
+    pub const WINDOW_OUTSIDE_RECORDING: u16 = 5;
+    /// `PrividError::BeyondLiveEdge` (retryable).
+    pub const BEYOND_LIVE_EDGE: u16 = 6;
+    /// `PrividError::BudgetExhausted` — the per-camera DP ledger refused.
+    pub const BUDGET_EXHAUSTED: u16 = 7;
+    /// `PrividError::TenantQuotaExhausted` — admission control refused
+    /// before execution; nothing was debited anywhere.
+    pub const TENANT_QUOTA_EXHAUSTED: u16 = 8;
+    /// `PrividError::SoftBoundaryChunkTooLarge`.
+    pub const SOFT_BOUNDARY_CHUNK_TOO_LARGE: u16 = 9;
+    /// `PrividError::CameraQuarantined` (retryable).
+    pub const CAMERA_QUARANTINED: u16 = 10;
+    /// `PrividError::Query` — parse/validation/sensitivity failure.
+    pub const QUERY: u16 = 11;
+    /// `PrividError::Store` — durability-layer failure.
+    pub const STORE: u16 = 12;
+    /// `PrividError::Invalid`.
+    pub const INVALID: u16 = 13;
+
+    /// Server: the connection has not completed `Hello`.
+    pub const AUTH_REQUIRED: u16 = 100;
+    /// Server: the presented token is not recognised.
+    pub const AUTH_FAILED: u16 = 101;
+    /// Server: the token's role may not perform this operation.
+    pub const FORBIDDEN: u16 = 102;
+    /// Server: no standing query is registered under that name.
+    pub const UNKNOWN_STANDING_QUERY: u16 = 103;
+    /// Server: the request frame failed to decode (the message carries the
+    /// `WireError` rendering).
+    pub const BAD_REQUEST: u16 = 104;
+    /// Server: shutting down; the request was not processed.
+    pub const SHUTTING_DOWN: u16 = 105;
+}
+
+/// The wire code for a `PrividError`. Total: every variant maps.
+pub fn error_code(e: &PrividError) -> u16 {
+    match e {
+        PrividError::UnknownCamera(_) => code::UNKNOWN_CAMERA,
+        PrividError::UnknownProcessor(_) => code::UNKNOWN_PROCESSOR,
+        PrividError::UnknownMask(_) => code::UNKNOWN_MASK,
+        PrividError::UnknownRegionScheme(_) => code::UNKNOWN_REGION_SCHEME,
+        PrividError::WindowOutsideRecording { .. } => code::WINDOW_OUTSIDE_RECORDING,
+        PrividError::BeyondLiveEdge { .. } => code::BEYOND_LIVE_EDGE,
+        PrividError::BudgetExhausted { .. } => code::BUDGET_EXHAUSTED,
+        PrividError::TenantQuotaExhausted { .. } => code::TENANT_QUOTA_EXHAUSTED,
+        PrividError::SoftBoundaryChunkTooLarge { .. } => code::SOFT_BOUNDARY_CHUNK_TOO_LARGE,
+        PrividError::CameraQuarantined { .. } => code::CAMERA_QUARANTINED,
+        PrividError::Query(_) => code::QUERY,
+        PrividError::Store(_) => code::STORE,
+        PrividError::Invalid(_) => code::INVALID,
+    }
+}
+
+/// A server-side failure as it travels the wire: a stable code, the
+/// retryability bit the server computed, and the rendered message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteError {
+    /// Stable error code (see [`code`]).
+    pub code: u16,
+    /// Whether the identical request may later succeed unchanged.
+    pub retryable: bool,
+    /// The server's human-readable rendering.
+    pub message: String,
+}
+
+impl RemoteError {
+    /// Project a `PrividError` onto the wire.
+    pub fn from_privid(e: &PrividError) -> Self {
+        RemoteError { code: error_code(e), retryable: e.is_retryable(), message: e.to_string() }
+    }
+}
+
+impl fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "remote error {}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for RemoteError {}
+
+/// Scene kinds a [`Request::RegisterCamera`] may name. The server expands
+/// the code into the matching `SceneConfig` constructor, so both sides of a
+/// differential harness generate **bit-identical** footage from the same
+/// `(kind, duration, seed)` triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SceneKind {
+    /// Campus walkway (pedestrians, benches).
+    Campus,
+    /// Highway (vehicles, shoulder).
+    Highway,
+    /// Urban intersection (dense pedestrians, storefronts).
+    Urban,
+}
+
+impl SceneKind {
+    /// Wire tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            SceneKind::Campus => 0,
+            SceneKind::Highway => 1,
+            SceneKind::Urban => 2,
+        }
+    }
+
+    /// Decode a wire tag.
+    pub fn from_tag(tag: u8) -> Result<Self, WireError> {
+        match tag {
+            0 => Ok(SceneKind::Campus),
+            1 => Ok(SceneKind::Highway),
+            2 => Ok(SceneKind::Urban),
+            tag => Err(WireError::BadTag { what: "scene kind", tag }),
+        }
+    }
+}
+
+/// Object classes an appended walker may carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalkerClass {
+    /// A pedestrian.
+    Person,
+    /// A vehicle.
+    Car,
+}
+
+impl WalkerClass {
+    fn tag(self) -> u8 {
+        match self {
+            WalkerClass::Person => 0,
+            WalkerClass::Car => 1,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, WireError> {
+        match tag {
+            0 => Ok(WalkerClass::Person),
+            1 => Ok(WalkerClass::Car),
+            tag => Err(WireError::BadTag { what: "walker class", tag }),
+        }
+    }
+}
+
+/// One synthetic tracked object in an [`Request::AppendFrames`] batch: a
+/// linear pass-through present over `[start_secs, end_secs)`. Protocol v1
+/// carries parametric presence segments, not raw trajectories — enough to
+/// drive standing queries; a richer encoding is a future version's problem.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WalkerSpec {
+    /// Stable object identity within the camera.
+    pub id: u64,
+    /// Semantic class.
+    pub class: WalkerClass,
+    /// Appearance start, seconds on the camera timeline.
+    pub start_secs: f64,
+    /// Appearance end (exclusive), seconds.
+    pub end_secs: f64,
+}
+
+/// Cap on walkers per append frame.
+const MAX_WALKERS: u32 = 100_000;
+/// Cap on releases per query result frame.
+const MAX_RELEASES: u32 = 1 << 20;
+/// Cap on ARGMAX candidates per release.
+const MAX_CANDIDATES: u32 = 1 << 20;
+/// Cap on firings per poll response frame.
+const MAX_FIRINGS: u32 = 1 << 16;
+
+/// A client→server request. String fields borrow from the receive buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request<'a> {
+    /// Authenticate; must be the first request on a connection.
+    Hello {
+        /// The bearer token identifying the tenant (and its role).
+        token: &'a str,
+    },
+    /// Register a deterministic synthetic camera.
+    RegisterCamera {
+        /// Camera name.
+        name: &'a str,
+        /// Scene family to generate.
+        kind: SceneKind,
+        /// Recording duration in seconds.
+        duration_secs: f64,
+        /// Scene RNG seed — same seed, same footage, everywhere.
+        seed: u64,
+        /// Privacy policy ρ (max appearance duration, seconds).
+        rho_secs: f64,
+        /// Privacy policy K (max appearances).
+        k: u32,
+        /// Per-frame ε budget.
+        epsilon: f64,
+    },
+    /// Register a live (growing) camera.
+    RegisterLiveCamera {
+        /// Camera name.
+        name: &'a str,
+        /// Frame rate, frames per second.
+        fps: f64,
+        /// Frame width in pixels.
+        width: u32,
+        /// Frame height in pixels.
+        height: u32,
+        /// Privacy policy ρ (seconds).
+        rho_secs: f64,
+        /// Privacy policy K.
+        k: u32,
+        /// Per-frame ε budget.
+        epsilon: f64,
+    },
+    /// Append footage to a live camera.
+    AppendFrames {
+        /// The live camera.
+        camera: &'a str,
+        /// Duration of the appended batch, seconds.
+        duration_secs: f64,
+        /// Synthetic objects present in the batch.
+        walkers: Vec<WalkerSpec>,
+    },
+    /// Submit a one-shot query.
+    SubmitQuery {
+        /// Noise seed; same `(seed, text)` must release identical bits.
+        seed: u64,
+        /// The query text.
+        text: &'a str,
+    },
+    /// Register a standing query (idempotent on identical `(name, seed, text)`).
+    RegisterStanding {
+        /// Standing-query name.
+        name: &'a str,
+        /// Base noise seed (window `i` fires with `base_seed + i`).
+        base_seed: u64,
+        /// The query text.
+        text: &'a str,
+    },
+    /// Poll a standing query's firings past `cursor`.
+    PollStanding {
+        /// Standing-query name.
+        name: &'a str,
+        /// Firings before this index are skipped.
+        cursor: u64,
+    },
+    /// Long-poll: like `PollStanding` but blocks server-side until a firing
+    /// past `cursor` exists or `max_wait_ms` elapses.
+    StreamFirings {
+        /// Standing-query name.
+        name: &'a str,
+        /// Firings before this index are skipped.
+        cursor: u64,
+        /// Maximum server-side wait, milliseconds.
+        max_wait_ms: u32,
+    },
+    /// Read a camera's minimum remaining budget at a timestamp.
+    RemainingBudget {
+        /// The camera.
+        camera: &'a str,
+        /// Timestamp, seconds.
+        at_secs: f64,
+    },
+    /// Liveness probe; echoes the nonce.
+    Ping {
+        /// Echoed verbatim in `Pong`.
+        nonce: u64,
+    },
+}
+
+impl<'a> Request<'a> {
+    /// This request's opcode byte.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Request::Hello { .. } => opcode::HELLO,
+            Request::RegisterCamera { .. } => opcode::REGISTER_CAMERA,
+            Request::RegisterLiveCamera { .. } => opcode::REGISTER_LIVE_CAMERA,
+            Request::AppendFrames { .. } => opcode::APPEND_FRAMES,
+            Request::SubmitQuery { .. } => opcode::SUBMIT_QUERY,
+            Request::RegisterStanding { .. } => opcode::REGISTER_STANDING,
+            Request::PollStanding { .. } => opcode::POLL_STANDING,
+            Request::StreamFirings { .. } => opcode::STREAM_FIRINGS,
+            Request::RemainingBudget { .. } => opcode::REMAINING_BUDGET,
+            Request::Ping { .. } => opcode::PING,
+        }
+    }
+
+    /// Encode this request as a complete frame onto `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        let mut payload = Vec::new();
+        let mut w = Writer::new(&mut payload);
+        match self {
+            Request::Hello { token } => w.str("token", token)?,
+            Request::RegisterCamera { name, kind, duration_secs, seed, rho_secs, k, epsilon } => {
+                w.str("camera name", name)?;
+                w.u8(kind.tag());
+                w.f64(*duration_secs);
+                w.u64(*seed);
+                w.f64(*rho_secs);
+                w.u32(*k);
+                w.f64(*epsilon);
+            }
+            Request::RegisterLiveCamera { name, fps, width, height, rho_secs, k, epsilon } => {
+                w.str("camera name", name)?;
+                w.f64(*fps);
+                w.u32(*width);
+                w.u32(*height);
+                w.f64(*rho_secs);
+                w.u32(*k);
+                w.f64(*epsilon);
+            }
+            Request::AppendFrames { camera, duration_secs, walkers } => {
+                w.str("camera name", camera)?;
+                w.f64(*duration_secs);
+                w.count("walkers", walkers.len())?;
+                for walker in walkers {
+                    w.u64(walker.id);
+                    w.u8(walker.class.tag());
+                    w.f64(walker.start_secs);
+                    w.f64(walker.end_secs);
+                }
+            }
+            Request::SubmitQuery { seed, text } => {
+                w.u64(*seed);
+                w.str("query text", text)?;
+            }
+            Request::RegisterStanding { name, base_seed, text } => {
+                w.str("standing name", name)?;
+                w.u64(*base_seed);
+                w.str("query text", text)?;
+            }
+            Request::PollStanding { name, cursor } => {
+                w.str("standing name", name)?;
+                w.u64(*cursor);
+            }
+            Request::StreamFirings { name, cursor, max_wait_ms } => {
+                w.str("standing name", name)?;
+                w.u64(*cursor);
+                w.u32(*max_wait_ms);
+            }
+            Request::RemainingBudget { camera, at_secs } => {
+                w.str("camera name", camera)?;
+                w.f64(*at_secs);
+            }
+            Request::Ping { nonce } => w.u64(*nonce),
+        }
+        encode_frame(self.opcode(), &payload, out)
+    }
+
+    /// Decode a request payload. `opcode` comes from the frame header;
+    /// string fields borrow from `payload`.
+    pub fn decode(op: u8, payload: &'a [u8]) -> Result<Request<'a>, WireError> {
+        let mut r = Reader::new(payload);
+        let req = match op {
+            opcode::HELLO => Request::Hello { token: r.str("token")? },
+            opcode::REGISTER_CAMERA => Request::RegisterCamera {
+                name: r.str("camera name")?,
+                kind: SceneKind::from_tag(r.u8("scene kind")?)?,
+                duration_secs: r.f64("duration_secs")?,
+                seed: r.u64("seed")?,
+                rho_secs: r.f64("rho_secs")?,
+                k: r.u32("k")?,
+                epsilon: r.f64("epsilon")?,
+            },
+            opcode::REGISTER_LIVE_CAMERA => Request::RegisterLiveCamera {
+                name: r.str("camera name")?,
+                fps: r.f64("fps")?,
+                width: r.u32("width")?,
+                height: r.u32("height")?,
+                rho_secs: r.f64("rho_secs")?,
+                k: r.u32("k")?,
+                epsilon: r.f64("epsilon")?,
+            },
+            opcode::APPEND_FRAMES => {
+                let camera = r.str("camera name")?;
+                let duration_secs = r.f64("duration_secs")?;
+                let n = r.count("walkers", MAX_WALKERS)?;
+                let mut walkers = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    walkers.push(WalkerSpec {
+                        id: r.u64("walker id")?,
+                        class: WalkerClass::from_tag(r.u8("walker class")?)?,
+                        start_secs: r.f64("walker start")?,
+                        end_secs: r.f64("walker end")?,
+                    });
+                }
+                Request::AppendFrames { camera, duration_secs, walkers }
+            }
+            opcode::SUBMIT_QUERY => {
+                Request::SubmitQuery { seed: r.u64("seed")?, text: r.str("query text")? }
+            }
+            opcode::REGISTER_STANDING => Request::RegisterStanding {
+                name: r.str("standing name")?,
+                base_seed: r.u64("base_seed")?,
+                text: r.str("query text")?,
+            },
+            opcode::POLL_STANDING => {
+                Request::PollStanding { name: r.str("standing name")?, cursor: r.u64("cursor")? }
+            }
+            opcode::STREAM_FIRINGS => Request::StreamFirings {
+                name: r.str("standing name")?,
+                cursor: r.u64("cursor")?,
+                max_wait_ms: r.u32("max_wait_ms")?,
+            },
+            opcode::REMAINING_BUDGET => {
+                Request::RemainingBudget { camera: r.str("camera name")?, at_secs: r.f64("at_secs")? }
+            }
+            opcode::PING => Request::Ping { nonce: r.u64("nonce")? },
+            found => return Err(WireError::UnknownOpcode { found }),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+/// One standing-query firing as it travels the wire. The window is carried
+/// as raw microseconds (the timeline's native integer unit) so it
+/// round-trips exactly; a failed firing carries the projected error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireFiring {
+    /// Window start, microseconds on the camera timeline.
+    pub start_micros: i64,
+    /// Window end (exclusive), microseconds.
+    pub end_micros: i64,
+    /// The firing's noise seed.
+    pub seed: u64,
+    /// The execution outcome.
+    pub result: Result<QueryResult, RemoteError>,
+}
+
+impl WireFiring {
+    /// Project a core firing onto the wire.
+    pub fn from_core(f: &StandingFiring) -> Self {
+        WireFiring {
+            start_micros: f.window.start.as_micros(),
+            end_micros: f.window.end.as_micros(),
+            seed: f.seed,
+            result: match &f.result {
+                Ok(r) => Ok(r.clone()),
+                Err(e) => Err(RemoteError::from_privid(e)),
+            },
+        }
+    }
+}
+
+/// A poll response: the firings past the caller's cursor plus the cursor to
+/// pass next time. Mirrors `privid_core::StandingPoll`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WirePoll {
+    /// New firings, oldest first.
+    pub firings: Vec<WireFiring>,
+    /// Pass this as the next poll's cursor.
+    pub next_cursor: u64,
+    /// Firings that aged out of retention before this poll saw them.
+    pub dropped: u64,
+}
+
+impl WirePoll {
+    /// Project a core poll onto the wire.
+    pub fn from_core(p: &StandingPoll) -> Self {
+        WirePoll {
+            firings: p.firings.iter().map(WireFiring::from_core).collect(),
+            next_cursor: p.next_cursor,
+            dropped: p.dropped,
+        }
+    }
+}
+
+/// A server→client response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// `Hello` accepted; names the authenticated tenant.
+    HelloOk {
+        /// The tenant the token mapped to.
+        tenant: String,
+    },
+    /// An owner-plane registration succeeded (no payload).
+    Done,
+    /// `AppendFrames` succeeded.
+    AppendOk {
+        /// The camera's live edge after the append, seconds.
+        live_edge_secs: f64,
+        /// Standing-query windows that fired during the append.
+        standing_fired: u64,
+    },
+    /// `SubmitQuery` succeeded: the noised releases, bit-exact.
+    QueryOk(QueryResult),
+    /// `RegisterStanding` succeeded.
+    StandingOk {
+        /// Windows that fired immediately upon registration.
+        fired: u64,
+    },
+    /// `PollStanding` / `StreamFirings` succeeded.
+    PollOk(WirePoll),
+    /// `RemainingBudget` succeeded.
+    BudgetOk {
+        /// The minimum remaining ε at the probed instant; `None` if the
+        /// camera is unknown or the instant is outside its recording.
+        remaining: Option<f64>,
+    },
+    /// `Ping` echo.
+    Pong {
+        /// The request's nonce.
+        nonce: u64,
+    },
+    /// The request failed.
+    Error(RemoteError),
+}
+
+impl Response {
+    /// This response's opcode byte.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Response::HelloOk { .. } => opcode::HELLO | opcode::RESPONSE,
+            Response::Done => opcode::REGISTER_CAMERA | opcode::RESPONSE,
+            Response::AppendOk { .. } => opcode::APPEND_FRAMES | opcode::RESPONSE,
+            Response::QueryOk(_) => opcode::SUBMIT_QUERY | opcode::RESPONSE,
+            Response::StandingOk { .. } => opcode::REGISTER_STANDING | opcode::RESPONSE,
+            Response::PollOk(_) => opcode::POLL_STANDING | opcode::RESPONSE,
+            Response::BudgetOk { .. } => opcode::REMAINING_BUDGET | opcode::RESPONSE,
+            Response::Pong { .. } => opcode::PING | opcode::RESPONSE,
+            Response::Error(_) => opcode::ERROR,
+        }
+    }
+
+    /// Encode this response as a complete frame onto `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        let mut payload = Vec::new();
+        let mut w = Writer::new(&mut payload);
+        match self {
+            Response::HelloOk { tenant } => w.str("tenant", tenant)?,
+            Response::Done => {}
+            Response::AppendOk { live_edge_secs, standing_fired } => {
+                w.f64(*live_edge_secs);
+                w.u64(*standing_fired);
+            }
+            Response::QueryOk(result) => encode_query_result(&mut w, result)?,
+            Response::StandingOk { fired } => w.u64(*fired),
+            Response::PollOk(poll) => {
+                w.count("firings", poll.firings.len())?;
+                for firing in &poll.firings {
+                    w.i64(firing.start_micros);
+                    w.i64(firing.end_micros);
+                    w.u64(firing.seed);
+                    match &firing.result {
+                        Ok(result) => {
+                            w.u8(0);
+                            encode_query_result(&mut w, result)?;
+                        }
+                        Err(e) => {
+                            w.u8(1);
+                            encode_remote_error(&mut w, e)?;
+                        }
+                    }
+                }
+                w.u64(poll.next_cursor);
+                w.u64(poll.dropped);
+            }
+            Response::BudgetOk { remaining } => match remaining {
+                Some(v) => {
+                    w.u8(1);
+                    w.f64(*v);
+                }
+                None => w.u8(0),
+            },
+            Response::Pong { nonce } => w.u64(*nonce),
+            Response::Error(e) => encode_remote_error(&mut w, e)?,
+        }
+        encode_frame(self.opcode(), &payload, out)
+    }
+
+    /// Decode a response payload. `op` comes from the frame header.
+    pub fn decode(op: u8, payload: &[u8]) -> Result<Response, WireError> {
+        let mut r = Reader::new(payload);
+        let resp = match op {
+            _ if op == opcode::HELLO | opcode::RESPONSE => {
+                Response::HelloOk { tenant: r.str("tenant")?.to_string() }
+            }
+            _ if op == opcode::REGISTER_CAMERA | opcode::RESPONSE => Response::Done,
+            _ if op == opcode::APPEND_FRAMES | opcode::RESPONSE => Response::AppendOk {
+                live_edge_secs: r.f64("live_edge_secs")?,
+                standing_fired: r.u64("standing_fired")?,
+            },
+            _ if op == opcode::SUBMIT_QUERY | opcode::RESPONSE => {
+                Response::QueryOk(decode_query_result(&mut r)?)
+            }
+            _ if op == opcode::REGISTER_STANDING | opcode::RESPONSE => {
+                Response::StandingOk { fired: r.u64("fired")? }
+            }
+            _ if op == opcode::POLL_STANDING | opcode::RESPONSE => {
+                let n = r.count("firings", MAX_FIRINGS)?;
+                let mut firings = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    let start_micros = r.i64("window start")?;
+                    let end_micros = r.i64("window end")?;
+                    let seed = r.u64("firing seed")?;
+                    let result = match r.u8("firing outcome")? {
+                        0 => Ok(decode_query_result(&mut r)?),
+                        1 => Err(decode_remote_error(&mut r)?),
+                        tag => return Err(WireError::BadTag { what: "firing outcome", tag }),
+                    };
+                    firings.push(WireFiring { start_micros, end_micros, seed, result });
+                }
+                Response::PollOk(WirePoll {
+                    firings,
+                    next_cursor: r.u64("next_cursor")?,
+                    dropped: r.u64("dropped")?,
+                })
+            }
+            _ if op == opcode::REMAINING_BUDGET | opcode::RESPONSE => {
+                let remaining = match r.u8("budget presence")? {
+                    0 => None,
+                    1 => Some(r.f64("remaining")?),
+                    tag => return Err(WireError::BadTag { what: "budget presence", tag }),
+                };
+                Response::BudgetOk { remaining }
+            }
+            _ if op == opcode::PING | opcode::RESPONSE => Response::Pong { nonce: r.u64("nonce")? },
+            opcode::ERROR => Response::Error(decode_remote_error(&mut r)?),
+            found => return Err(WireError::UnknownOpcode { found }),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+fn encode_remote_error(w: &mut Writer<'_>, e: &RemoteError) -> Result<(), WireError> {
+    w.u16(e.code);
+    w.bool(e.retryable);
+    w.str("error message", &e.message)
+}
+
+fn decode_remote_error(r: &mut Reader<'_>) -> Result<RemoteError, WireError> {
+    Ok(RemoteError {
+        code: r.u16("error code")?,
+        retryable: r.bool("error retryable")?,
+        message: r.str("error message")?.to_string(),
+    })
+}
+
+/// Encode a `QueryResult` — releases in order, every float as raw bits.
+fn encode_query_result(w: &mut Writer<'_>, result: &QueryResult) -> Result<(), WireError> {
+    w.count("releases", result.releases.len())?;
+    for release in &result.releases {
+        w.str("release label", &release.label)?;
+        match &release.group_key {
+            Some(key) => {
+                w.u8(1);
+                w.str("group key", key)?;
+            }
+            None => w.u8(0),
+        }
+        match &release.value {
+            NoisyValue::Number(n) => {
+                w.u8(0);
+                w.f64(*n);
+            }
+            NoisyValue::Key(k) => {
+                w.u8(1);
+                w.str("noisy key", k)?;
+            }
+        }
+        match &release.raw {
+            ReleaseValue::Number(n) => {
+                w.u8(0);
+                w.f64(*n);
+            }
+            ReleaseValue::Candidates(candidates) => {
+                w.u8(1);
+                w.count("candidates", candidates.len())?;
+                for (key, count) in candidates {
+                    w.str("candidate key", key)?;
+                    w.f64(*count);
+                }
+            }
+        }
+        w.f64(release.sensitivity);
+        w.f64(release.noise_scale);
+        w.f64(release.epsilon);
+    }
+    w.f64(result.epsilon_spent);
+    w.u64(result.chunks_processed as u64);
+    Ok(())
+}
+
+/// Decode a `QueryResult`. This reconstructs, on the client, the release
+/// the server's session layer already minted and debited — it creates no
+/// new analyst-visible information (see analyzer.toml's
+/// release-construction allow entry for this file).
+fn decode_query_result(r: &mut Reader<'_>) -> Result<QueryResult, WireError> {
+    let n = r.count("releases", MAX_RELEASES)?;
+    let mut releases = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let label = r.str("release label")?.to_string();
+        let group_key = match r.u8("group key presence")? {
+            0 => None,
+            1 => Some(r.str("group key")?.to_string()),
+            tag => return Err(WireError::BadTag { what: "group key presence", tag }),
+        };
+        let value = match r.u8("noisy value tag")? {
+            0 => NoisyValue::Number(r.f64("noisy number")?),
+            1 => NoisyValue::Key(r.str("noisy key")?.to_string()),
+            tag => return Err(WireError::BadTag { what: "noisy value tag", tag }),
+        };
+        let raw = match r.u8("raw value tag")? {
+            0 => ReleaseValue::Number(r.f64("raw number")?),
+            1 => {
+                let c = r.count("candidates", MAX_CANDIDATES)?;
+                let mut candidates = Vec::with_capacity(c.min(4096));
+                for _ in 0..c {
+                    let key = r.str("candidate key")?.to_string();
+                    let count = r.f64("candidate count")?;
+                    candidates.push((key, count));
+                }
+                ReleaseValue::Candidates(candidates)
+            }
+            tag => return Err(WireError::BadTag { what: "raw value tag", tag }),
+        };
+        releases.push(NoisyRelease {
+            label,
+            group_key,
+            value,
+            raw,
+            sensitivity: r.f64("sensitivity")?,
+            noise_scale: r.f64("noise_scale")?,
+            epsilon: r.f64("release epsilon")?,
+        });
+    }
+    let epsilon_spent = r.f64("epsilon_spent")?;
+    let chunks_processed = r.u64("chunks_processed")? as usize;
+    Ok(QueryResult { releases, epsilon_spent, chunks_processed })
+}

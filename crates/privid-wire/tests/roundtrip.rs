@@ -1,0 +1,257 @@
+//! Round-trip and malformed-frame coverage for the message layer.
+//!
+//! Two properties: (1) every request and response survives
+//! encode → frame-split → decode unchanged, floats compared by bit pattern;
+//! (2) every class of malformed frame — bad magic, wrong version, unknown
+//! opcode, oversized length, truncation at *every byte boundary*, trailing
+//! garbage, bad tags — is a typed `WireError`, never a panic.
+
+use privid_core::{NoisyRelease, NoisyValue, QueryResult};
+use privid_query::exec::ReleaseValue;
+use privid_wire::{
+    decode_header, RemoteError, Request, Response, SceneKind, WalkerClass, WalkerSpec, WireError,
+    WireFiring, WirePoll, HEADER_LEN, MAX_PAYLOAD, VERSION,
+};
+
+/// Encode a request, split the frame, decode the payload back.
+fn round_trip_request(req: &Request<'_>) {
+    let mut buf = Vec::new();
+    req.encode(&mut buf).expect("encode");
+    let header = decode_header(buf[..HEADER_LEN].try_into().expect("header slice")).expect("header");
+    assert_eq!(header.version, VERSION);
+    assert_eq!(header.len as usize, buf.len() - HEADER_LEN);
+    let decoded = Request::decode(header.opcode, &buf[HEADER_LEN..]).expect("decode");
+    assert_eq!(&decoded, req);
+}
+
+fn round_trip_response(resp: &Response) {
+    let mut buf = Vec::new();
+    resp.encode(&mut buf).expect("encode");
+    let header = decode_header(buf[..HEADER_LEN].try_into().expect("header slice")).expect("header");
+    let decoded = Response::decode(header.opcode, &buf[HEADER_LEN..]).expect("decode");
+    assert_eq!(&decoded, resp);
+}
+
+fn sample_result() -> QueryResult {
+    QueryResult {
+        releases: vec![
+            NoisyRelease {
+                label: "COUNT(*)".into(),
+                group_key: Some("bin 3".into()),
+                value: NoisyValue::Number(0.1 + 0.2), // survives only bit-exactly
+                raw: ReleaseValue::Number(42.0),
+                sensitivity: 2.0,
+                noise_scale: 4.0,
+                epsilon: 0.5,
+            },
+            NoisyRelease {
+                label: "ARGMAX(tag)".into(),
+                group_key: None,
+                value: NoisyValue::Key("red".into()),
+                raw: ReleaseValue::Candidates(vec![("red".into(), 7.0), ("blue".into(), -0.0)]),
+                sensitivity: 1.0,
+                noise_scale: 2.0,
+                epsilon: 0.5,
+            },
+        ],
+        epsilon_spent: 1.0,
+        chunks_processed: 61,
+    }
+}
+
+#[test]
+fn every_request_round_trips() {
+    let requests = [
+        Request::Hello { token: "analyst-a-token" },
+        Request::RegisterCamera {
+            name: "campus",
+            kind: SceneKind::Campus,
+            duration_secs: 1800.0,
+            seed: 7,
+            rho_secs: 60.0,
+            k: 2,
+            epsilon: 20.0,
+        },
+        Request::RegisterLiveCamera {
+            name: "live",
+            fps: 2.0,
+            width: 100,
+            height: 100,
+            rho_secs: 20.0,
+            k: 2,
+            epsilon: 10.0,
+        },
+        Request::AppendFrames {
+            camera: "live",
+            duration_secs: 60.0,
+            walkers: vec![
+                WalkerSpec { id: 1, class: WalkerClass::Person, start_secs: 5.0, end_secs: 40.0 },
+                WalkerSpec { id: 2, class: WalkerClass::Car, start_secs: 0.0, end_secs: 59.5 },
+            ],
+        },
+        Request::SubmitQuery { seed: 11, text: "SELECT COUNT(*) FROM people CONSUMING 0.5;" },
+        Request::RegisterStanding { name: "hourly", base_seed: 3, text: "SPLIT live …" },
+        Request::PollStanding { name: "hourly", cursor: 17 },
+        Request::StreamFirings { name: "hourly", cursor: 17, max_wait_ms: 2000 },
+        Request::RemainingBudget { camera: "campus", at_secs: 12.5 },
+        Request::Ping { nonce: u64::MAX },
+    ];
+    for req in &requests {
+        round_trip_request(req);
+    }
+}
+
+#[test]
+fn every_response_round_trips() {
+    let firing_err = RemoteError { code: 7, retryable: false, message: "budget exhausted".into() };
+    let responses = [
+        Response::HelloOk { tenant: "tenant-a".into() },
+        Response::Done,
+        Response::AppendOk { live_edge_secs: 120.0, standing_fired: 2 },
+        Response::QueryOk(sample_result()),
+        Response::StandingOk { fired: 0 },
+        Response::PollOk(WirePoll {
+            firings: vec![
+                WireFiring {
+                    start_micros: 0,
+                    end_micros: 120_000_000,
+                    seed: 3,
+                    result: Ok(sample_result()),
+                },
+                WireFiring {
+                    start_micros: 120_000_000,
+                    end_micros: 240_000_000,
+                    seed: 4,
+                    result: Err(firing_err.clone()),
+                },
+            ],
+            next_cursor: 2,
+            dropped: 1,
+        }),
+        Response::BudgetOk { remaining: Some(19.5) },
+        Response::BudgetOk { remaining: None },
+        Response::Pong { nonce: 9 },
+        Response::Error(RemoteError { code: 104, retryable: false, message: "bad request".into() }),
+    ];
+    for resp in &responses {
+        round_trip_response(resp);
+    }
+}
+
+#[test]
+fn noised_floats_survive_bit_for_bit() {
+    // The exact adversarial values: a subnormal, -0.0, a value with no short
+    // decimal rendering, and a NaN with payload bits.
+    let values = [f64::MIN_POSITIVE / 8.0, -0.0, 0.1 + 0.2, f64::from_bits(0x7ff8_0000_dead_beef)];
+    for &v in &values {
+        let mut result = sample_result();
+        result.releases[0].value = NoisyValue::Number(v);
+        result.epsilon_spent = v;
+        let mut buf = Vec::new();
+        Response::QueryOk(result.clone()).encode(&mut buf).unwrap();
+        let header = decode_header(buf[..HEADER_LEN].try_into().unwrap()).unwrap();
+        match Response::decode(header.opcode, &buf[HEADER_LEN..]).unwrap() {
+            Response::QueryOk(decoded) => {
+                let got = match decoded.releases[0].value {
+                    NoisyValue::Number(n) => n,
+                    _ => panic!("variant changed in transit"),
+                };
+                assert_eq!(got.to_bits(), v.to_bits(), "bit pattern must survive");
+                assert_eq!(decoded.epsilon_spent.to_bits(), v.to_bits());
+            }
+            other => panic!("wrong response: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn truncation_at_every_byte_is_typed() {
+    let req = Request::AppendFrames {
+        camera: "live",
+        duration_secs: 60.0,
+        walkers: vec![WalkerSpec { id: 1, class: WalkerClass::Person, start_secs: 5.0, end_secs: 40.0 }],
+    };
+    let mut buf = Vec::new();
+    req.encode(&mut buf).unwrap();
+    let opcode = buf[3];
+    for cut in 0..buf.len() - HEADER_LEN {
+        let result = Request::decode(opcode, &buf[HEADER_LEN..HEADER_LEN + cut]);
+        assert!(
+            matches!(result, Err(WireError::Truncated { .. })),
+            "cut at payload byte {cut}: expected Truncated, got {result:?}"
+        );
+    }
+
+    let mut out = Vec::new();
+    Response::QueryOk(sample_result()).encode(&mut out).unwrap();
+    let opcode = out[3];
+    for cut in 0..out.len() - HEADER_LEN {
+        let result = Response::decode(opcode, &out[HEADER_LEN..HEADER_LEN + cut]);
+        assert!(
+            matches!(result, Err(WireError::Truncated { .. })),
+            "response cut at {cut}: expected Truncated, got {result:?}"
+        );
+    }
+}
+
+#[test]
+fn trailing_bytes_bad_tags_and_unknown_opcodes_are_typed() {
+    let mut buf = Vec::new();
+    Request::Ping { nonce: 1 }.encode(&mut buf).unwrap();
+    let opcode = buf[3];
+    let mut payload = buf[HEADER_LEN..].to_vec();
+    payload.push(0xAB);
+    assert_eq!(Request::decode(opcode, &payload), Err(WireError::TrailingBytes { remaining: 1 }));
+
+    // A scene-kind tag from the future.
+    let mut buf = Vec::new();
+    Request::RegisterCamera {
+        name: "c",
+        kind: SceneKind::Urban,
+        duration_secs: 1.0,
+        seed: 0,
+        rho_secs: 1.0,
+        k: 1,
+        epsilon: 1.0,
+    }
+    .encode(&mut buf)
+    .unwrap();
+    // The kind byte sits right after the 4-byte length + 1-byte name.
+    let kind_at = HEADER_LEN + 4 + 1;
+    buf[kind_at] = 9;
+    match Request::decode(buf[3], &buf[HEADER_LEN..]) {
+        Err(WireError::BadTag { what: "scene kind", tag: 9 }) => {}
+        other => panic!("expected BadTag, got {other:?}"),
+    }
+
+    assert_eq!(Request::decode(0x6E, &[]), Err(WireError::UnknownOpcode { found: 0x6E }));
+    assert_eq!(Response::decode(0x90, &[]), Err(WireError::UnknownOpcode { found: 0x90 }));
+}
+
+#[test]
+fn hostile_header_lengths_are_rejected_before_allocation() {
+    let mut raw = [0u8; HEADER_LEN];
+    raw[0] = b'P';
+    raw[1] = b'V';
+    raw[2] = VERSION;
+    raw[3] = 0x05;
+    raw[4..8].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+    assert_eq!(
+        decode_header(&raw),
+        Err(WireError::FrameTooLarge { len: MAX_PAYLOAD + 1, max: MAX_PAYLOAD })
+    );
+}
+
+#[test]
+fn walker_count_cap_is_enforced() {
+    // Hand-craft an AppendFrames payload claiming 2^31 walkers.
+    let mut payload = Vec::new();
+    let mut w = privid_wire::Writer::new(&mut payload);
+    w.str("camera name", "live").unwrap();
+    w.f64(60.0);
+    w.u32(1 << 31);
+    match Request::decode(privid_wire::opcode::APPEND_FRAMES, &payload) {
+        Err(WireError::CountTooLarge { what: "walkers", .. }) => {}
+        other => panic!("expected CountTooLarge, got {other:?}"),
+    }
+}

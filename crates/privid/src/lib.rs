@@ -13,6 +13,10 @@
 //!   multi-analyst [`QueryService`] and the §7 optimizations.
 //! * [`store`] — the durable privacy ledger: write-ahead log, snapshots and
 //!   crash recovery behind the [`Durability`] knob.
+//! * [`wire`] — the sans-IO zero-copy binary wire protocol (versioned frames,
+//!   typed decode errors, bit-exact float transport).
+//! * [`server`] — the threaded multi-tenant TCP front-end and blocking client
+//!   over [`QueryService`], speaking [`wire`].
 //!
 //! The most common entry points are re-exported at the crate root; see the
 //! `examples/` directory for runnable end-to-end walkthroughs.
@@ -24,15 +28,17 @@ pub use privid_core as core;
 pub use privid_cv as cv;
 pub use privid_query as query;
 pub use privid_sandbox as sandbox;
+pub use privid_server as server;
 pub use privid_store as store;
 pub use privid_video as video;
+pub use privid_wire as wire;
 
 pub use privid_core::{
     admit_fleet, greedy_mask_order, AdmissionController, AdmissionFailure, AdmissionJournal, AdmissionRequest,
     AggCacheStats, AppendOutcome, BudgetError, BudgetLedger, CameraHealth, ChunkCacheStats, CommitWait,
     DegradationCurve, LaplaceMechanism, MaskPolicy, MaskingAnalysis, NoisyRelease, NoisyValue, Parallelism,
     PrivacyPolicy, PrividError, PrividSystem, QueryResult, QueryService, QueryServiceBuilder, ShardAdmission,
-    StandingFiring, StoreRetryPolicy,
+    StandingFiring, StandingPoll, StoreRetryPolicy,
 };
 pub use privid_store::{
     Durability, FaultKind, FaultOp, FaultProfile, FaultVfs, FsyncPolicy, Record, RecoveryEvent, RecoveryReport,

@@ -1,0 +1,6 @@
+#!/bin/sh
+# Wire protocol + TCP front-end benchmark (PR 10).
+# Usage: ./scripts/bench_wire.sh [--smoke] [--out PATH]
+set -eu
+cd "$(dirname "$0")/.."
+exec cargo run --release -p privid-bench --bin bench_pr10_wire -- "$@"
