@@ -85,6 +85,16 @@ pub enum PrividError {
         /// Why it was quarantined.
         reason: String,
     },
+    /// A standing-query name is already owned by a different tenant. The
+    /// standing registry is a shared namespace on a multi-tenant front-end;
+    /// registration (and replacement) of a name is reserved to the tenant
+    /// that first claimed it. Rejected at admission: nothing is debited.
+    StandingQueryDenied {
+        /// The contested standing-query name.
+        name: String,
+        /// The tenant whose claim was refused.
+        tenant: String,
+    },
     /// An error from the query layer (parse, validation, sensitivity).
     Query(QueryError),
     /// The durability store failed (journal append, recovery, corruption).
@@ -140,6 +150,10 @@ impl fmt::Display for PrividError {
             PrividError::CameraQuarantined { camera, reason } => write!(
                 f,
                 "camera {camera} is quarantined ({reason}); admissions resume after supervised recovery"
+            ),
+            PrividError::StandingQueryDenied { name, tenant } => write!(
+                f,
+                "standing query {name} is owned by another tenant; {tenant} may neither replace nor re-register it"
             ),
             PrividError::Query(e) => write!(f, "query error: {e}"),
             PrividError::Store(e) => write!(f, "durability error: {e}"),

@@ -136,6 +136,13 @@ struct StandingState {
     /// [`QueryService::standing_results_since`]); `fired_count -
     /// firings.len()` is the index of the oldest retained firing.
     fired_count: u64,
+    /// The tenant that registered this query through the multi-tenant
+    /// front-end, or `None` for trusted in-process registrations. Every
+    /// firing is charged against the owner's ε quota, and only the owner may
+    /// poll, replace or re-register the name — the standing namespace is
+    /// shared, so ownership is what keeps one tenant's noised releases (and
+    /// quota) out of another's reach.
+    owner: Option<String>,
 }
 
 /// A due standing-query window collected under the registry lock, executed
@@ -146,6 +153,9 @@ struct StandingJob {
     index: u64,
     seed: u64,
     query: ParsedQuery,
+    /// The tenant whose ε quota this firing debits (`None`: unmetered
+    /// in-process registration).
+    owner: Option<String>,
 }
 
 /// A registered processor: its registration generation plus the shared factory.
@@ -788,6 +798,39 @@ impl QueryService {
         base_seed: u64,
         text: &str,
     ) -> Result<usize, PrividError> {
+        self.register_standing_scoped(None, name, base_seed, text)
+    }
+
+    /// [`QueryService::register_standing_query`] on a tenant's behalf — the
+    /// multi-tenant front-end's entry point.
+    ///
+    /// The standing namespace is shared, so ownership gates it: a fresh name
+    /// is claimed for `tenant`; a name owned by a *different* tenant is
+    /// refused with the typed [`PrividError::StandingQueryDenied`] whether
+    /// the call would re-register or replace it. A recovered standing query
+    /// (whose journal predates tenant ownership) is unowned until its
+    /// tenant's first idempotent re-registration reclaims it. Every firing
+    /// of an owned query is charged against the owner's ε quota exactly like
+    /// a [`QueryService::execute_as`] submission: an over-quota window is
+    /// recorded as a quota-refusal firing and executes nothing — no camera
+    /// ledger is touched.
+    pub fn register_standing_query_as(
+        &self,
+        tenant: &str,
+        name: impl Into<String>,
+        base_seed: u64,
+        text: &str,
+    ) -> Result<usize, PrividError> {
+        self.register_standing_scoped(Some(tenant), name, base_seed, text)
+    }
+
+    fn register_standing_scoped(
+        &self,
+        tenant: Option<&str>,
+        name: impl Into<String>,
+        base_seed: u64,
+        text: &str,
+    ) -> Result<usize, PrividError> {
         let query = parse_query(text)?;
         if query.splits.is_empty() {
             return Err(PrividError::Invalid("a standing query needs at least one SPLIT".into()));
@@ -813,9 +856,24 @@ impl QueryService {
         let name = name.into();
         {
             let mut standing = self.standing.lock().expect("standing registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
-            match standing.get(&name) {
+            // Ownership gate: a tenant may touch a name only if it is fresh,
+            // already its own, or unowned (a recovered registration whose
+            // journal predates tenant ownership — first re-registration
+            // reclaims it). Trusted in-process callers (`tenant == None`)
+            // bypass the gate but never *take* ownership from a tenant.
+            if let (Some(t), Some(existing)) = (tenant, standing.get(&name)) {
+                if existing.owner.as_deref().is_some_and(|o| o != t) {
+                    return Err(PrividError::StandingQueryDenied { name, tenant: t.to_string() });
+                }
+            }
+            match standing.get_mut(&name) {
                 Some(existing) if existing.text == text && existing.base_seed == base_seed => {
                     // Idempotent re-registration: keep the firing watermark.
+                    // A tenant re-registering an unowned (recovered) query
+                    // claims it here.
+                    if let Some(t) = tenant {
+                        existing.owner.get_or_insert_with(|| t.to_string());
+                    }
                 }
                 _ => {
                     // Standing queries are global in memory but journal to
@@ -842,6 +900,7 @@ impl QueryService {
                             next_start_secs: 0.0,
                             firings: VecDeque::new(),
                             fired_count: 0,
+                            owner: tenant.map(str::to_string),
                         },
                     );
                 }
@@ -875,7 +934,31 @@ impl QueryService {
     /// way. Firings the cap evicted before the caller saw them are counted
     /// in [`StandingPoll::dropped`]. `None` means no such standing query.
     pub fn standing_results_since(&self, name: &str, cursor: u64) -> Option<StandingPoll> {
-        self.standing.lock().expect("standing registry poisoned").get(name).map(|s| { // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+        self.poll_standing_scoped(None, name, cursor)
+    }
+
+    /// [`QueryService::standing_results_since`] on a tenant's behalf — the
+    /// multi-tenant front-end's poll path.
+    ///
+    /// Firings are noised query releases; only the tenant that owns the
+    /// standing query may read them. A name that does not exist, is owned by
+    /// another tenant, or is unowned (a recovered registration the tenant
+    /// has not yet reclaimed via
+    /// [`QueryService::register_standing_query_as`]) uniformly returns
+    /// `None` — a poll must not double as an oracle for which names other
+    /// tenants have registered.
+    pub fn standing_results_since_as(&self, tenant: &str, name: &str, cursor: u64) -> Option<StandingPoll> {
+        self.poll_standing_scoped(Some(tenant), name, cursor)
+    }
+
+    fn poll_standing_scoped(&self, tenant: Option<&str>, name: &str, cursor: u64) -> Option<StandingPoll> {
+        self.standing.lock().expect("standing registry poisoned").get(name).filter(|s| { // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+            match tenant {
+                // Trusted in-process callers see everything.
+                None => true,
+                Some(t) => s.owner.as_deref() == Some(t),
+            }
+        }).map(|s| {
             let oldest = s.fired_count - s.firings.len() as u64;
             // A cursor past the end (e.g. from a previous process incarnation
             // that had fired more) clamps to the live range rather than
@@ -933,6 +1016,7 @@ impl QueryService {
                         index,
                         seed: st.base_seed.wrapping_add(index),
                         query,
+                        owner: st.owner.clone(),
                     });
                     st.next_start_secs = next_start;
                 }
@@ -953,7 +1037,26 @@ impl QueryService {
         }
         let fired = jobs.len();
         for job in jobs {
-            let result = self.execute_standing_query(job.seed, &job.query);
+            // A tenant-owned firing is metered exactly like an `execute_as`
+            // submission: reserve the owner's quota first (an over-quota
+            // window becomes a quota-refusal firing and executes nothing —
+            // no camera ledger is touched), refund on execution failure.
+            let result = match job.owner.as_deref() {
+                None => self.execute_standing_query(job.seed, &job.query),
+                Some(tenant) => {
+                    let requested = self.query_epsilon_demand(&job.query);
+                    match self.reserve_tenant_quota(tenant, requested) {
+                        Err(refused) => Err(refused),
+                        Ok(()) => {
+                            let result = self.execute_standing_query(job.seed, &job.query);
+                            if result.is_err() {
+                                self.refund_tenant_quota(tenant, requested);
+                            }
+                            result
+                        }
+                    }
+                }
+            };
             // Journal the advanced watermark *after* the firing (whose own
             // debits the execute path journaled). Best-effort on purpose: a
             // lost record can only make recovery re-fire this window — a
@@ -1323,29 +1426,50 @@ impl QueryService {
     /// failures), never hand back ε that produced an analyst-visible
     /// release.
     pub fn execute_as(&self, tenant: &str, seed: u64, query: &ParsedQuery) -> Result<QueryResult, PrividError> {
-        let requested: f64 =
-            query.selects.iter().map(|s| s.epsilon.unwrap_or(self.default_epsilon)).sum();
-        {
-            let mut quotas = self.tenant_quotas.lock().expect("tenant quota registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
-            if let Some(available) = quotas.get_mut(tenant) {
-                if requested > *available {
-                    return Err(PrividError::TenantQuotaExhausted {
-                        tenant: tenant.to_string(),
-                        requested,
-                        available: *available,
-                    });
-                }
-                *available -= requested;
-            }
-        }
+        let requested = self.query_epsilon_demand(query);
+        self.reserve_tenant_quota(tenant, requested)?;
         let result = self.execute(seed, query);
         if result.is_err() {
-            let mut quotas = self.tenant_quotas.lock().expect("tenant quota registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
-            if let Some(available) = quotas.get_mut(tenant) {
-                *available += requested;
-            }
+            self.refund_tenant_quota(tenant, requested);
         }
         result
+    }
+
+    /// Total ε a parsed query will consume on success — each SELECT's
+    /// `CONSUMING` clause, or the service default. The same formula the
+    /// per-camera admission gate charges, which is what makes reserving it
+    /// against a tenant quota *before* execution sound.
+    fn query_epsilon_demand(&self, query: &ParsedQuery) -> f64 {
+        query.selects.iter().map(|s| s.epsilon.unwrap_or(self.default_epsilon)).sum()
+    }
+
+    /// Reserve `requested` ε from a tenant's quota, or refuse with the typed
+    /// admission error (debiting nothing). Tenants with no quota entry are
+    /// unlimited. Standalone acquisition of `tenant-quota-registry`.
+    fn reserve_tenant_quota(&self, tenant: &str, requested: f64) -> Result<(), PrividError> {
+        let mut quotas = self.tenant_quotas.lock().expect("tenant quota registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+        if let Some(available) = quotas.get_mut(tenant) {
+            if requested > *available {
+                return Err(PrividError::TenantQuotaExhausted {
+                    tenant: tenant.to_string(),
+                    requested,
+                    available: *available,
+                });
+            }
+            *available -= requested;
+        }
+        Ok(())
+    }
+
+    /// Return a failed execution's reservation. The refund can only
+    /// *under*-count ε the per-camera ledgers kept (rare post-admission
+    /// failures), never hand back ε that produced an analyst-visible
+    /// release. Standalone acquisition of `tenant-quota-registry`.
+    fn refund_tenant_quota(&self, tenant: &str, amount: f64) {
+        let mut quotas = self.tenant_quotas.lock().expect("tenant quota registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+        if let Some(available) = quotas.get_mut(tenant) {
+            *available += amount;
+        }
     }
 
     /// Execute a query drawing noise from a caller-owned mechanism.
@@ -1722,6 +1846,10 @@ impl QueryServiceBuilder {
                     next_start_secs: st.next_start_secs,
                     firings: VecDeque::new(),
                     fired_count: 0,
+                    // The journal predates tenant ownership; the query stays
+                    // unowned (dormant to every tenant) until its tenant's
+                    // idempotent re-registration reclaims it.
+                    owner: None,
                 },
             );
         }
@@ -2073,6 +2201,58 @@ mod tests {
         let bad = QUERY.replace("campus", "nowhere");
         assert!(matches!(svc.execute_text_as("carol", 7, &bad), Err(PrividError::UnknownCamera(_))));
         assert!((svc.tenant_quota_remaining("carol").unwrap() - 1.0).abs() < 1e-9, "failed query refunds its reservation");
+    }
+
+    #[test]
+    fn standing_ownership_scopes_polls_and_meters_the_owner_quota() {
+        use privid_video::FrameBatch;
+        let svc = live_service();
+        let standing = "
+            SPLIT live BEGIN 0 END 60 BY TIME 10 sec STRIDE 0 sec INTO chunks;
+            PROCESS chunks USING person_counter TIMEOUT 1 sec PRODUCING 20 ROWS
+                WITH SCHEMA (count:NUMBER=0) INTO people;
+            SELECT COUNT(*) FROM people CONSUMING 0.5;";
+        svc.set_tenant_quota("acme", 1.2);
+        // acme claims the name; a rival may neither replace it nor re-register
+        // the identical text (that would hand it a handle to acme's firings).
+        assert_eq!(svc.register_standing_query_as("acme", "watch", 9, standing).unwrap(), 0);
+        match svc.register_standing_query_as("rival", "watch", 9, standing) {
+            Err(PrividError::StandingQueryDenied { name, tenant }) => {
+                assert_eq!((name.as_str(), tenant.as_str()), ("watch", "rival"));
+            }
+            other => panic!("expected StandingQueryDenied, got {other:?}"),
+        }
+        // Scoped polls: the owner sees its query; a rival gets the same answer
+        // as for a name that was never registered.
+        assert!(svc.standing_results_since_as("acme", "watch", 0).is_some());
+        assert!(svc.standing_results_since_as("rival", "watch", 0).is_none(), "cross-tenant poll is indistinguishable from an unknown name");
+
+        // Three windows close; the 1.2 quota admits two 0.5 ε firings and the
+        // third becomes a typed refusal firing that executed nothing.
+        svc.append_frames("live", FrameBatch::new(200.0, vec![walker(1, 5.0, 40.0)])).unwrap();
+        let poll = svc.standing_results_since_as("acme", "watch", 0).unwrap();
+        assert_eq!(poll.firings.len(), 3);
+        assert!(poll.firings[0].result.is_ok());
+        assert!(poll.firings[1].result.is_ok());
+        match &poll.firings[2].result {
+            Err(PrividError::TenantQuotaExhausted { tenant, requested, available }) => {
+                assert_eq!(tenant, "acme");
+                assert_eq!(*requested, 0.5);
+                assert!((available - 0.2).abs() < 1e-9);
+            }
+            other => panic!("expected TenantQuotaExhausted firing, got {other:?}"),
+        }
+        assert!((svc.tenant_quota_remaining("acme").unwrap() - 0.2).abs() < 1e-9, "refused firing debits no quota");
+        assert!((svc.remaining_budget("live", 130.0).unwrap() - 10.0).abs() < 1e-9, "refused firing debits no camera ε");
+
+        // In-process registrations stay unowned (and unmetered); they are
+        // invisible to scoped polls until a tenant reclaims the name with an
+        // idempotent re-registration — the recovery path for pre-ownership
+        // journal records.
+        svc.register_standing_query("legacy", 4, standing).unwrap();
+        assert!(svc.standing_results_since_as("acme", "legacy", 0).is_none(), "unowned names are invisible to scoped polls");
+        svc.register_standing_query_as("acme", "legacy", 4, standing).unwrap();
+        assert!(svc.standing_results_since_as("acme", "legacy", 0).is_some(), "identical re-registration claims the unowned name");
     }
 
     // ---- durability ---------------------------------------------------------------------

@@ -8,8 +8,12 @@
 //! Auth failures are **admission-time** rejections: they debit nothing — not
 //! a tenant quota, not a camera ledger. The per-camera ledgers alone carry
 //! the DP guarantee; auth governs who may spend against it at all.
-
-use std::collections::HashMap;
+//!
+//! Lookup scans every configured credential with a constant-time comparison
+//! and no early exit, so the time a `Hello` takes is independent of how many
+//! prefix bytes the presented token shares with a real one — a hash-map
+//! `get` (or a short-circuiting `==`) would leak token prefixes through a
+//! timing side channel, minor over loopback but free to close.
 
 /// What a token is allowed to do.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,22 +61,49 @@ impl Token {
 /// The immutable token → identity map.
 #[derive(Debug, Default)]
 pub struct AuthRegistry {
-    tokens: HashMap<String, Identity>,
+    tokens: Vec<(String, Identity)>,
+}
+
+/// Byte-equality without early exit: the comparison touches every byte of
+/// both inputs (padding the shorter with zeros) and folds the differences
+/// into one accumulator, so its duration depends only on the lengths, not on
+/// where the first mismatch sits.
+fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    let mut diff = a.len() ^ b.len();
+    for i in 0..a.len().max(b.len()) {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff |= usize::from(x ^ y);
+    }
+    // black_box keeps the optimizer from re-introducing the short circuit
+    // this function exists to avoid.
+    std::hint::black_box(diff) == 0
 }
 
 impl AuthRegistry {
     /// Build the registry from the configured credentials. Later entries
     /// with the same token string win.
     pub fn new(tokens: impl IntoIterator<Item = Token>) -> Self {
-        let tokens = tokens
-            .into_iter()
-            .map(|t| (t.token, Identity { tenant: t.tenant, role: t.role }))
-            .collect();
-        AuthRegistry { tokens }
+        let mut registry: Vec<(String, Identity)> = Vec::new();
+        for t in tokens {
+            let identity = Identity { tenant: t.tenant, role: t.role };
+            match registry.iter_mut().find(|(existing, _)| *existing == t.token) {
+                Some((_, slot)) => *slot = identity,
+                None => registry.push((t.token, identity)),
+            }
+        }
+        AuthRegistry { tokens: registry }
     }
 
-    /// Resolve a presented token.
+    /// Resolve a presented token. Scans the whole registry with a
+    /// constant-time comparison — no early exit on a match.
     pub fn lookup(&self, token: &str) -> Option<&Identity> {
-        self.tokens.get(token)
+        let mut found = None;
+        for (candidate, identity) in &self.tokens {
+            if constant_time_eq(candidate.as_bytes(), token.as_bytes()) {
+                found = Some(identity);
+            }
+        }
+        found
     }
 }

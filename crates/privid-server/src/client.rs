@@ -9,7 +9,7 @@
 
 use crate::net::{read_frame, write_frame, FrameError, ReadFrame};
 use privid_core::QueryResult;
-use privid_wire::{RemoteError, Request, Response, SceneKind, WalkerSpec, WireError, WirePoll};
+use privid_wire::{RemoteError, Request, Response, SceneKind, WalkerSpec, WireError, WirePoll, MAX_PAYLOAD};
 use std::io;
 use std::net::TcpStream;
 use std::sync::atomic::AtomicBool;
@@ -113,7 +113,7 @@ impl PrividClient {
         let mut frame = Vec::new();
         request.encode(&mut frame)?;
         write_frame(&mut self.stream, &frame)?;
-        match read_frame(&mut self.stream, &self.local_flag)? {
+        match read_frame(&mut self.stream, &self.local_flag, MAX_PAYLOAD)? {
             ReadFrame::Frame(op, payload) => {
                 let response = Response::decode(op, &payload)?;
                 if let Response::Error(e) = response {
@@ -201,7 +201,9 @@ impl PrividClient {
     }
 
     /// Long-poll: block server-side until a firing past `cursor` exists or
-    /// `max_wait_ms` elapses.
+    /// `max_wait_ms` elapses. The server clamps the wait to its own ceiling
+    /// (30 s — see PROTOCOL.md); to wait longer, re-issue with the same
+    /// cursor when an empty poll returns.
     pub fn stream_firings(&mut self, name: &str, cursor: u64, max_wait_ms: u32) -> Result<WirePoll, ClientError> {
         // The server may hold this request up to max_wait_ms; widen the
         // socket patience accordingly, then restore the short default.

@@ -28,4 +28,4 @@ pub mod server;
 
 pub use auth::{AuthRegistry, Identity, Role, Token};
 pub use client::{ClientError, PrividClient};
-pub use server::{Server, ServerConfig};
+pub use server::{Server, ServerConfig, MAX_STREAM_WAIT_MS, PRE_AUTH_MAX_PAYLOAD};

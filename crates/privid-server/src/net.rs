@@ -85,7 +85,16 @@ fn read_full(stream: &mut TcpStream, buf: &mut [u8], shutdown: &AtomicBool) -> i
 }
 
 /// Read one complete frame: header, validation, payload.
-pub fn read_frame(stream: &mut TcpStream, shutdown: &AtomicBool) -> Result<ReadFrame, FrameError> {
+///
+/// `max_payload` tightens (never loosens) the protocol's own frame cap for
+/// this read — the server passes a few-KiB limit until a connection has
+/// authenticated, so an anonymous peer cannot make one length prefix size a
+/// 16 MiB allocation. Pass [`privid_wire::MAX_PAYLOAD`] for the full cap.
+pub fn read_frame(
+    stream: &mut TcpStream,
+    shutdown: &AtomicBool,
+    max_payload: u32,
+) -> Result<ReadFrame, FrameError> {
     let mut raw = [0u8; HEADER_LEN];
     match read_full(stream, &mut raw, shutdown) {
         Ok(true) => {}
@@ -94,6 +103,9 @@ pub fn read_frame(stream: &mut TcpStream, shutdown: &AtomicBool) -> Result<ReadF
         Err(e) => return Err(e.into()),
     }
     let header = decode_header(&raw)?;
+    if header.len > max_payload {
+        return Err(WireError::FrameTooLarge { len: header.len, max: max_payload }.into());
+    }
     let mut payload = vec![0u8; header.len as usize];
     match read_full(stream, &mut payload, shutdown) {
         Ok(true) => Ok(ReadFrame::Frame(header.opcode, payload)),

@@ -8,11 +8,21 @@
 //!
 //! Multi-tenant admission control happens here, before any execution:
 //! * `Hello` must authenticate the connection (token → tenant + role);
-//! * owner-plane operations (camera registration, appends) require the
-//!   owner role;
+//! * owner-plane operations (camera registration, appends, budget reads)
+//!   require the owner role;
 //! * `SubmitQuery` runs as the authenticated tenant, so the service's
 //!   per-tenant ε quota gates it at admission — a rejected query debits
-//!   nothing, anywhere.
+//!   nothing, anywhere;
+//! * standing queries are tenant-scoped end to end: registration claims the
+//!   name for the tenant, every firing debits the owner's quota, and polls
+//!   from any other tenant answer `UnknownStandingQuery` — one tenant's
+//!   noised releases are never readable under another's token.
+//!
+//! Resource bounds: concurrent connections are capped (excess peers get a
+//! typed retryable `ServerBusy` and are closed, and finished handler threads
+//! are reaped on every accept), and until a connection authenticates its
+//! frames are limited to [`PRE_AUTH_MAX_PAYLOAD`] — an anonymous peer cannot
+//! make one length prefix size a 16 MiB allocation.
 //!
 //! Shutdown is cooperative: a flag plus short socket timeouts. No thread
 //! blocks longer than [`TICK`] without re-checking the flag, and
@@ -26,8 +36,8 @@ use privid_video::{
     Attributes, FrameBatch, FrameRate, FrameSize, ObjectClass, ObjectId, Point, PresenceSegment,
     SceneConfig, SceneGenerator, TimeSpan, TrackedObject,
 };
-use privid_wire::{code, RemoteError, Request, Response, SceneKind, WalkerSpec, WirePoll};
-use std::io;
+use privid_wire::{code, RemoteError, Request, Response, SceneKind, WalkerSpec, WirePoll, MAX_PAYLOAD};
+use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
@@ -44,6 +54,18 @@ const TICK: Duration = Duration::from_millis(25);
 /// pin a core for minutes.
 const MAX_SCENE_SECS: f64 = 7.0 * 24.0 * 3600.0;
 
+/// Frame-payload cap for a connection that has not yet authenticated
+/// (PROTOCOL.md). A `Hello` is a short token string; until one succeeds the
+/// peer gets a few KiB, not the protocol's 16 MiB — pre-auth connections
+/// must be close to free.
+pub const PRE_AUTH_MAX_PAYLOAD: u32 = 4 * 1024;
+
+/// Server-side ceiling on [`Request::StreamFirings`]'s `max_wait_ms`
+/// (PROTOCOL.md). A long-poll pins its handler thread (each tick re-takes
+/// the standing-registry lock); a `u32::MAX` wait would pin it for ~50 days.
+/// Clients wanting to wait longer re-issue the poll with the same cursor.
+pub const MAX_STREAM_WAIT_MS: u32 = 30_000;
+
 /// Server configuration: credentials and queue sizing.
 #[derive(Debug)]
 pub struct ServerConfig {
@@ -52,13 +74,26 @@ pub struct ServerConfig {
     /// Bounded frames per connection write queue. When full, the handler
     /// blocks (backpressure) instead of buffering without limit.
     pub write_queue_frames: usize,
+    /// Cap on concurrent connections. A peer accepted past the cap receives
+    /// one typed, retryable `ServerBusy` error frame and is closed before
+    /// any handler threads are spawned for it; finished handlers are reaped
+    /// from the registry on every accept, so a long-running server's
+    /// thread/handle count is bounded by this number, not by uptime.
+    pub max_connections: usize,
 }
 
 impl ServerConfig {
-    /// A config with the given credentials and the default 64-frame write
-    /// queue.
+    /// A config with the given credentials, the default 64-frame write
+    /// queue and the default 128-connection cap.
     pub fn new(tokens: Vec<Token>) -> Self {
-        ServerConfig { tokens, write_queue_frames: 64 }
+        ServerConfig { tokens, write_queue_frames: 64, max_connections: 128 }
+    }
+
+    /// Builder-style override of the concurrent-connection cap (clamped to
+    /// at least 1).
+    pub fn with_max_connections(mut self, max: usize) -> Self {
+        self.max_connections = max.max(1);
+        self
     }
 }
 
@@ -86,6 +121,7 @@ impl Server {
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let auth = Arc::new(AuthRegistry::new(config.tokens));
         let queue = config.write_queue_frames.max(1);
+        let max_connections = config.max_connections.max(1);
 
         let accept = {
             let shutdown = Arc::clone(&shutdown);
@@ -94,6 +130,16 @@ impl Server {
                 while !shutdown.load(Ordering::Relaxed) {
                     match listener.accept() {
                         Ok((stream, _)) => {
+                            let mut conns = conns.lock().expect("connection registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
+                            // Reap finished handlers on every accept: the
+                            // registry holds only live connections, so
+                            // neither handles nor threads grow with uptime.
+                            conns.retain(|handle| !handle.is_finished());
+                            if conns.len() >= max_connections {
+                                drop(conns);
+                                refuse_busy(stream);
+                                continue;
+                            }
                             let service = Arc::clone(&service);
                             let auth = Arc::clone(&auth);
                             let flag = Arc::clone(&shutdown);
@@ -102,7 +148,6 @@ impl Server {
                                 // problem; the server keeps serving.
                                 let _ = serve_connection(stream, service, auth, flag, queue);
                             });
-                            let mut conns = conns.lock().expect("connection registry poisoned"); // privid-analyzer: allow(panic-freedom) -- lock poisoning only follows a prior panic; propagating the crash is intended
                             conns.push(handle);
                         }
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(TICK),
@@ -133,6 +178,39 @@ impl Server {
         };
         for handle in handles {
             let _ = handle.join();
+        }
+    }
+}
+
+/// Refuse a connection accepted past the cap: one typed, retryable error
+/// frame, best-effort (a few dozen bytes into a fresh socket buffer — if
+/// even that fails, the close alone tells the peer), then drop. No handler
+/// or writer thread is ever spawned for a refused connection, and the whole
+/// refusal is bounded to a few ticks of the accept thread.
+fn refuse_busy(mut stream: TcpStream) {
+    let busy = Response::Error(RemoteError {
+        code: code::SERVER_BUSY,
+        retryable: true,
+        message: "server at its connection cap; retry shortly".into(),
+    });
+    let mut frame = Vec::new();
+    if busy.encode(&mut frame).is_ok() {
+        let _ = stream.set_write_timeout(Some(TICK));
+        if write_frame(&mut stream, &frame).is_ok() {
+            // Signal end-of-stream, then briefly drain whatever the peer
+            // already sent (typically its Hello). Closing with unread bytes
+            // in the kernel buffer turns into an RST that can discard the
+            // busy frame before the peer reads it — the drain is what makes
+            // the refusal reliably *typed* rather than a reset.
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+            let _ = stream.set_read_timeout(Some(TICK));
+            let mut scratch = [0u8; 256];
+            for _ in 0..2 {
+                match stream.read(&mut scratch) {
+                    Ok(n) if n > 0 => continue,
+                    _ => break,
+                }
+            }
         }
     }
 }
@@ -223,7 +301,10 @@ fn connection_loop(
 ) -> Result<Done, FrameError> {
     let mut identity: Option<Identity> = None;
     loop {
-        let (op, payload) = match read_frame(stream, shutdown) {
+        // Until `Hello` succeeds the peer is anonymous: its frames are held
+        // to the small pre-auth cap, not the protocol's 16 MiB.
+        let cap = if identity.is_some() { MAX_PAYLOAD } else { PRE_AUTH_MAX_PAYLOAD };
+        let (op, payload) = match read_frame(stream, shutdown, cap) {
             Ok(ReadFrame::Frame(op, payload)) => (op, payload),
             Ok(ReadFrame::Eof) => return Ok(Done::Closed),
             Ok(ReadFrame::Shutdown) => {
@@ -296,9 +377,15 @@ fn handle_request(
         return (remote(code::AUTH_REQUIRED, false, "authenticate with Hello first"), false);
     };
 
+    // Budget reads are owner-plane too: a camera's remaining ε encodes what
+    // every analyst spent on it — a cross-tenant side channel if any
+    // analyst could read it.
     let owner_only = matches!(
         request,
-        Request::RegisterCamera { .. } | Request::RegisterLiveCamera { .. } | Request::AppendFrames { .. }
+        Request::RegisterCamera { .. }
+            | Request::RegisterLiveCamera { .. }
+            | Request::AppendFrames { .. }
+            | Request::RemainingBudget { .. }
     );
     if owner_only && id.role != Role::Owner {
         return (remote(code::FORBIDDEN, false, "owner-plane operation requires an owner token"), false);
@@ -340,17 +427,22 @@ fn handle_request(
             }
         }
         Request::RegisterStanding { name, base_seed, text } => {
-            match service.register_standing_query(*name, *base_seed, text) {
+            // Registration claims the name for this tenant; every firing
+            // then debits the tenant's ε quota at admission, exactly like a
+            // SubmitQuery — standing queries are not a quota bypass.
+            match service.register_standing_query_as(&id.tenant, *name, *base_seed, text) {
                 Ok(fired) => Response::StandingOk { fired: fired as u64 },
                 Err(e) => privid_err(&e),
             }
         }
-        Request::PollStanding { name, cursor } => match service.standing_results_since(name, *cursor) {
-            Some(poll) => Response::PollOk(WirePoll::from_core(&poll)),
-            None => remote(code::UNKNOWN_STANDING_QUERY, false, format!("no standing query named {name}")),
-        },
+        Request::PollStanding { name, cursor } => {
+            match service.standing_results_since_as(&id.tenant, name, *cursor) {
+                Some(poll) => Response::PollOk(WirePoll::from_core(&poll)),
+                None => unknown_standing(name),
+            }
+        }
         Request::StreamFirings { name, cursor, max_wait_ms } => {
-            stream_firings(service, shutdown, name, *cursor, *max_wait_ms)
+            stream_firings(service, shutdown, &id.tenant, name, *cursor, *max_wait_ms)
         }
         Request::RemainingBudget { camera, at_secs } => {
             Response::BudgetOk { remaining: service.remaining_budget(camera, *at_secs) }
@@ -360,20 +452,29 @@ fn handle_request(
     (response, false)
 }
 
+/// The uniform refusal for a standing-query name this tenant may not read:
+/// missing and other-tenant names answer identically, so a poll cannot be
+/// used to probe which names other tenants have registered.
+fn unknown_standing(name: &str) -> Response {
+    remote(code::UNKNOWN_STANDING_QUERY, false, format!("no standing query named {name}"))
+}
+
 /// Long-poll: return as soon as a firing past `cursor` exists, else when
-/// `max_wait_ms` elapses (with whatever the final poll shows), else when the
-/// server shuts down.
+/// `max_wait_ms` (clamped to [`MAX_STREAM_WAIT_MS`]) elapses (with whatever
+/// the final poll shows), else when the server shuts down.
 fn stream_firings(
     service: &QueryService,
     shutdown: &AtomicBool,
+    tenant: &str,
     name: &str,
     cursor: u64,
     max_wait_ms: u32,
 ) -> Response {
-    let deadline = Instant::now() + Duration::from_millis(u64::from(max_wait_ms));
+    let wait_ms = max_wait_ms.min(MAX_STREAM_WAIT_MS);
+    let deadline = Instant::now() + Duration::from_millis(u64::from(wait_ms));
     loop {
-        let Some(poll) = service.standing_results_since(name, cursor) else {
-            return remote(code::UNKNOWN_STANDING_QUERY, false, format!("no standing query named {name}"));
+        let Some(poll) = service.standing_results_since_as(tenant, name, cursor) else {
+            return unknown_standing(name);
         };
         if !poll.firings.is_empty() || Instant::now() >= deadline {
             return Response::PollOk(WirePoll::from_core(&poll));

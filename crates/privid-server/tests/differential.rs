@@ -88,9 +88,11 @@ fn wire_releases_are_bit_for_bit_identical_to_in_process_calls() {
         }
         assert_eq!(over_wire.epsilon_spent.to_bits(), in_process.epsilon_spent.to_bits());
 
-        // The ledgers on both sides evolved identically.
+        // The ledgers on both sides evolved identically. Budget reads are
+        // owner-plane (an analyst reading them would learn what other
+        // tenants spent), so the wire side asks as the owner.
         for at in [0.0, 59.0, 300.0, 599.0] {
-            let wire_remaining = analyst.remaining_budget("campus", at).expect("wire budget");
+            let wire_remaining = owner.remaining_budget("campus", at).expect("wire budget");
             let direct_remaining = direct.remaining_budget("campus", at);
             assert_eq!(
                 wire_remaining.map(f64::to_bits),
@@ -160,7 +162,7 @@ fn auth_and_role_rejections_are_typed_and_debit_nothing() {
         Request::Ping { nonce: 4 }.encode(&mut frame).unwrap();
         write_frame(&mut raw, &frame).unwrap();
         let flag = AtomicBool::new(false);
-        match read_frame(&mut raw, &flag).expect("response") {
+        match read_frame(&mut raw, &flag, privid_wire::MAX_PAYLOAD).expect("response") {
             ReadFrame::Frame(op, payload) => match Response::decode(op, &payload).expect("decode") {
                 Response::Error(e) => assert_eq!(e.code, code::AUTH_REQUIRED),
                 other => panic!("expected AuthRequired, got {other:?}"),
@@ -179,6 +181,14 @@ fn auth_and_role_rejections_are_typed_and_debit_nothing() {
         .register_live_camera("rogue", 2.0, 100, 100, 20.0, 2, 10.0)
         .expect_err("analyst on the owner plane must refuse");
     assert_eq!(forbidden.remote_code(), Some(code::FORBIDDEN));
+
+    // Budget reads are owner-plane: a camera's remaining ε encodes what
+    // every other tenant spent on it.
+    let forbidden = analyst
+        .remaining_budget("campus", 30.0)
+        .expect_err("analyst budget read must refuse");
+    assert_eq!(forbidden.remote_code(), Some(code::FORBIDDEN));
+    assert!(owner.remaining_budget("campus", 30.0).expect("owner budget read").is_some());
 
     // None of the rejections touched quota or ledger.
     assert_eq!(served.tenant_quota_remaining("tenant-a"), Some(5.0));
@@ -203,7 +213,7 @@ fn malformed_frames_get_typed_errors_and_leave_the_connection_usable() {
     let flag = AtomicBool::new(false);
     let mut call = |frame: &[u8]| -> Response {
         write_frame(&mut raw, frame).expect("write");
-        match read_frame(&mut raw, &flag).expect("read") {
+        match read_frame(&mut raw, &flag, privid_wire::MAX_PAYLOAD).expect("read") {
             ReadFrame::Frame(op, payload) => Response::decode(op, &payload).expect("decode"),
             other => panic!("expected a frame, got {other:?}"),
         }
@@ -343,6 +353,158 @@ impl DirectTwin for QueryService {
         );
         self.append_frames("live", FrameBatch::new(duration_secs, vec![object])).expect("append");
     }
+}
+
+#[test]
+fn standing_queries_are_tenant_scoped_and_firings_debit_the_owner_quota() {
+    let served = base_service();
+    // Each LIVE_QUERY firing consumes 0.5 ε; tenant-a can afford two.
+    served.set_tenant_quota("tenant-a", 1.2);
+    let server = start_server(Arc::clone(&served));
+    let addr = server.addr().to_string();
+    let mut owner = PrividClient::connect(&addr, "owner-secret").expect("owner connect");
+    owner.register_live_camera("live", 2.0, 100, 100, 20.0, 2, 10.0).expect("live registration");
+
+    let mut analyst_a = PrividClient::connect(&addr, "analyst-a-secret").expect("a connect");
+    analyst_a.register_standing("watch", 3, LIVE_QUERY).expect("standing registration");
+
+    // The namespace is tenant-scoped: tenant-b can neither take the name…
+    let mut analyst_b = PrividClient::connect(&addr, "analyst-b-secret").expect("b connect");
+    let denied = analyst_b
+        .register_standing("watch", 99, LIVE_QUERY)
+        .expect_err("replacing another tenant's standing query must refuse");
+    assert_eq!(denied.remote_code(), Some(code::STANDING_QUERY_DENIED));
+    let denied = analyst_b
+        .register_standing("watch", 3, LIVE_QUERY)
+        .expect_err("even an identical re-registration by another tenant must refuse");
+    assert_eq!(denied.remote_code(), Some(code::STANDING_QUERY_DENIED));
+    // …nor read its firings — another tenant's query answers exactly like a
+    // missing one, so polls cannot probe the namespace.
+    let hidden = analyst_b.poll_standing("watch", 0).expect_err("cross-tenant poll must refuse");
+    assert_eq!(hidden.remote_code(), Some(code::UNKNOWN_STANDING_QUERY));
+
+    // Two windows fire (0.5 ε each) against tenant-a's quota: standing
+    // queries are not a quota bypass.
+    let (_, fired) = owner.append_frames("live", 120.0, vec![
+        WalkerSpec { id: 1, class: WalkerClass::Person, start_secs: 5.0, end_secs: 40.0 },
+    ]).expect("first window");
+    assert_eq!(fired, 1);
+    let (_, fired) = owner.append_frames("live", 120.0, vec![
+        WalkerSpec { id: 2, class: WalkerClass::Person, start_secs: 130.0, end_secs: 170.0 },
+    ]).expect("second window");
+    assert_eq!(fired, 1);
+    let quota = served.tenant_quota_remaining("tenant-a").expect("quota set");
+    assert!((quota - 0.2).abs() < 1e-9, "two firings debited 1.0 from the owner tenant, left {quota}");
+
+    // The third window exceeds the quota: the firing is recorded as the
+    // typed refusal, executes nothing, and debits neither quota nor camera.
+    let (_, fired) = owner.append_frames("live", 120.0, vec![]).expect("third window");
+    assert_eq!(fired, 1);
+    let quota = served.tenant_quota_remaining("tenant-a").expect("quota set");
+    assert!((quota - 0.2).abs() < 1e-9, "a refused firing debits no quota, left {quota}");
+    assert_eq!(
+        served.remaining_budget("live", 250.0).map(f64::to_bits),
+        Some(10.0f64.to_bits()),
+        "the refused window's camera slots were never touched"
+    );
+    let poll = analyst_a.poll_standing("watch", 0).expect("owner tenant polls");
+    assert_eq!(poll.firings.len(), 3);
+    assert!(poll.firings[0].result.is_ok());
+    assert!(poll.firings[1].result.is_ok());
+    match &poll.firings[2].result {
+        Err(e) => assert_eq!(e.code, code::TENANT_QUOTA_EXHAUSTED),
+        Ok(r) => panic!("over-quota firing must be a typed refusal, got {r:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn connection_cap_refuses_with_typed_busy_and_reaps_finished_handlers() {
+    let served = base_service();
+    let config = ServerConfig::new(vec![Token::analyst("analyst-a-secret", "tenant-a")])
+        .with_max_connections(2);
+    let server = Server::start(Arc::clone(&served), config).expect("server start");
+    let addr = server.addr().to_string();
+
+    let c1 = PrividClient::connect(&addr, "analyst-a-secret").expect("first connection");
+    let c2 = PrividClient::connect(&addr, "analyst-a-secret").expect("second connection");
+
+    // The third is refused before authentication with the typed, retryable
+    // busy error.
+    let busy = PrividClient::connect(&addr, "analyst-a-secret").expect_err("third must refuse");
+    assert_eq!(busy.remote_code(), Some(code::SERVER_BUSY));
+
+    // Freed connections are reaped (on the accept path), so capacity comes
+    // back without a restart. The handlers notice the closed sockets within
+    // a tick; retry until the sweep has run.
+    drop(c1);
+    drop(c2);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    let recovered = loop {
+        match PrividClient::connect(&addr, "analyst-a-secret") {
+            Ok(client) => break client,
+            Err(_) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+            Err(e) => panic!("capacity never came back after clients closed: {e}"),
+        }
+    };
+    drop(recovered);
+    server.shutdown();
+}
+
+#[test]
+fn pre_auth_frames_are_capped_small_but_authenticated_ones_are_not() {
+    use privid_server::net::{read_frame, write_frame, ReadFrame};
+    use privid_wire::{encode_frame, opcode, Request, Response};
+    use std::sync::atomic::AtomicBool;
+
+    let served = base_service();
+    let server = start_server(Arc::clone(&served));
+    let addr = server.addr().to_string();
+    let flag = AtomicBool::new(false);
+
+    // Anonymous connection: a frame over the pre-auth cap (but far under the
+    // protocol's 16 MiB) is refused at the header — the connection closes
+    // without the server ever allocating the payload.
+    {
+        let mut raw = std::net::TcpStream::connect(&addr).expect("tcp connect");
+        raw.set_read_timeout(Some(std::time::Duration::from_millis(500))).unwrap();
+        let mut frame = Vec::new();
+        let oversized = vec![0u8; privid_server::PRE_AUTH_MAX_PAYLOAD as usize + 1];
+        encode_frame(opcode::HELLO, &oversized, &mut frame).unwrap();
+        write_frame(&mut raw, &frame).expect("write");
+        match read_frame(&mut raw, &flag, privid_wire::MAX_PAYLOAD) {
+            Ok(ReadFrame::Eof) | Err(_) => {}
+            other => panic!("oversized pre-auth frame must close the connection, got {other:?}"),
+        }
+    }
+
+    // Authenticated connection: the same-sized frame is within the full cap
+    // and gets an ordinary typed response (here: a parse failure), proving
+    // the small cap applies only before Hello.
+    {
+        let mut raw = std::net::TcpStream::connect(&addr).expect("tcp connect");
+        raw.set_read_timeout(Some(std::time::Duration::from_millis(500))).unwrap();
+        let mut call = |frame: &[u8]| -> Response {
+            write_frame(&mut raw, frame).expect("write");
+            match read_frame(&mut raw, &flag, privid_wire::MAX_PAYLOAD).expect("read") {
+                ReadFrame::Frame(op, payload) => Response::decode(op, &payload).expect("decode"),
+                other => panic!("expected a frame, got {other:?}"),
+            }
+        };
+        let mut hello = Vec::new();
+        Request::Hello { token: "analyst-a-secret" }.encode(&mut hello).unwrap();
+        assert!(matches!(call(&hello), Response::HelloOk { .. }));
+        let big_text = "x".repeat(privid_server::PRE_AUTH_MAX_PAYLOAD as usize + 1);
+        let mut big = Vec::new();
+        Request::SubmitQuery { seed: 1, text: &big_text }.encode(&mut big).unwrap();
+        match call(&big) {
+            Response::Error(e) => assert_eq!(e.code, code::QUERY, "typed parse refusal, not a closed socket"),
+            other => panic!("expected a typed error, got {other:?}"),
+        }
+    }
+    server.shutdown();
 }
 
 #[test]

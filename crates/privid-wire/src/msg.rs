@@ -78,6 +78,9 @@ pub mod code {
     pub const STORE: u16 = 12;
     /// `PrividError::Invalid`.
     pub const INVALID: u16 = 13;
+    /// `PrividError::StandingQueryDenied` — the standing-query name is
+    /// owned by a different tenant; admission-time, nothing debited.
+    pub const STANDING_QUERY_DENIED: u16 = 14;
 
     /// Server: the connection has not completed `Hello`.
     pub const AUTH_REQUIRED: u16 = 100;
@@ -92,6 +95,9 @@ pub mod code {
     pub const BAD_REQUEST: u16 = 104;
     /// Server: shutting down; the request was not processed.
     pub const SHUTTING_DOWN: u16 = 105;
+    /// Server: at its concurrent-connection cap; retry later (sent as the
+    /// only frame on the refused connection, which then closes).
+    pub const SERVER_BUSY: u16 = 106;
 }
 
 /// The wire code for a `PrividError`. Total: every variant maps.
@@ -110,6 +116,7 @@ pub fn error_code(e: &PrividError) -> u16 {
         PrividError::Query(_) => code::QUERY,
         PrividError::Store(_) => code::STORE,
         PrividError::Invalid(_) => code::INVALID,
+        PrividError::StandingQueryDenied { .. } => code::STANDING_QUERY_DENIED,
     }
 }
 
